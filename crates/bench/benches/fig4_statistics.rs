@@ -1,0 +1,26 @@
+//! Regenerates Fig. 4(a–c) and Table I (SurveyBank statistics) and benchmarks
+//! the statistics pass plus corpus generation itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rpg_bench::{bench_corpus, bench_corpus_config};
+use rpg_corpus::generate;
+use rpg_eval::experiments::fig4_statistics;
+
+fn fig4(c: &mut Criterion) {
+    let corpus = bench_corpus();
+
+    let report = fig4_statistics::run(&corpus);
+    println!("\n{}", fig4_statistics::format(&report));
+
+    let mut group = c.benchmark_group("fig4_statistics");
+    group.sample_size(20);
+    group.bench_function("statistics_pass", |b| b.iter(|| fig4_statistics::run(&corpus)));
+    group.sample_size(10);
+    group.bench_function("corpus_generation_default_scale", |b| {
+        b.iter(|| generate(&bench_corpus_config()).len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig4);
+criterion_main!(benches);

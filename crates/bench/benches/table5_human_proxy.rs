@@ -1,0 +1,30 @@
+//! Regenerates Table V (human-evaluation proxy) and benchmarks the criterion
+//! scoring functions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rpg_bench::{bench_corpus, bench_threads};
+use rpg_corpus::LabelLevel;
+use rpg_eval::experiments::{table5_human, ExperimentContext};
+use rpg_eval::human_proxy::{criterion_score, Criterion as HumanCriterion};
+
+fn table5(c: &mut Criterion) {
+    let corpus = bench_corpus();
+    let ctx = ExperimentContext::new(&corpus, 20, 60, bench_threads());
+
+    let report = table5_human::run(&ctx, 20, 30);
+    println!("\n{}", table5_human::format(&report));
+
+    let survey = &ctx.set.surveys[0];
+    let output = survey.label(LabelLevel::AtLeastOne);
+    let mut group = c.benchmark_group("table5_human_proxy");
+    group.sample_size(30);
+    for criterion in HumanCriterion::ALL {
+        group.bench_function(format!("score_{}", criterion.name()), |b| {
+            b.iter(|| criterion_score(&corpus, survey, &output, criterion))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table5);
+criterion_main!(benches);

@@ -1,0 +1,317 @@
+//! Citation wiring for the synthetic corpus.
+//!
+//! The generator needs citation structure with the properties the paper's
+//! method exploits:
+//!
+//! * **temporal consistency** — a paper only cites earlier papers;
+//! * **preferential attachment** — already well-cited papers keep attracting
+//!   citations, giving the power-law citation-count distribution of Fig. 4(a);
+//! * **topical affinity** — most references stay inside the citing paper's
+//!   topic;
+//! * **prerequisite chains** — a sizeable fraction of references goes to
+//!   *foundational papers of prerequisite topics*, which is what puts the
+//!   survey-relevant prerequisite papers 1–2 citation hops away from the
+//!   topically matching papers (Observation II);
+//! * **in-text occurrence counts** — every citation edge carries "how many
+//!   times the cited paper is mentioned", the `con(i, j)` of Eq. (2).
+//!
+//! [`CitationSampler`] implements weighted sampling without replacement over
+//! candidate pools with those properties.
+
+use crate::paper::PaperId;
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A reference held by a citing paper: the cited paper plus the in-text
+/// occurrence count (`con(i, j)` in Eq. 2 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Reference {
+    /// The cited paper.
+    pub cited: PaperId,
+    /// In-text occurrence count, at least 1.
+    pub occurrences: u8,
+}
+
+/// Relative weights of the three candidate pools a citing paper draws from.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PoolWeights {
+    /// Weight of same-topic earlier papers.
+    pub same_topic: f64,
+    /// Weight of prerequisite-topic earlier papers.
+    pub prerequisite: f64,
+    /// Weight of arbitrary earlier papers (background citations).
+    pub background: f64,
+}
+
+impl Default for PoolWeights {
+    fn default() -> Self {
+        PoolWeights { same_topic: 0.62, prerequisite: 0.28, background: 0.10 }
+    }
+}
+
+impl PoolWeights {
+    /// Normalises the weights to sum to 1 (degenerate all-zero weights become
+    /// uniform).
+    pub fn normalized(self) -> PoolWeights {
+        let sum = self.same_topic + self.prerequisite + self.background;
+        if sum <= 0.0 {
+            return PoolWeights { same_topic: 1.0 / 3.0, prerequisite: 1.0 / 3.0, background: 1.0 / 3.0 };
+        }
+        PoolWeights {
+            same_topic: self.same_topic / sum,
+            prerequisite: self.prerequisite / sum,
+            background: self.background / sum,
+        }
+    }
+}
+
+/// A candidate paper with a sampling weight.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Candidate {
+    /// The candidate cited paper.
+    pub paper: PaperId,
+    /// Sampling weight (> 0); typically `1 + in_degree` for preferential
+    /// attachment, optionally boosted for foundational papers.
+    pub weight: f64,
+}
+
+/// Weighted sampling of citation targets.
+#[derive(Debug)]
+pub struct CitationSampler<'a> {
+    rng: &'a mut StdRng,
+}
+
+impl<'a> CitationSampler<'a> {
+    /// Creates a sampler borrowing the generator's RNG.
+    pub fn new(rng: &'a mut StdRng) -> Self {
+        CitationSampler { rng }
+    }
+
+    /// Samples up to `count` distinct papers from `candidates`,
+    /// proportionally to their weights.
+    pub fn sample_weighted(&mut self, candidates: &[Candidate], count: usize) -> Vec<PaperId> {
+        if candidates.is_empty() || count == 0 {
+            return Vec::new();
+        }
+        let mut pool: Vec<Candidate> =
+            candidates.iter().copied().filter(|c| c.weight > 0.0).collect();
+        let mut chosen = Vec::with_capacity(count.min(pool.len()));
+        while chosen.len() < count && !pool.is_empty() {
+            let total: f64 = pool.iter().map(|c| c.weight).sum();
+            let mut target = self.rng.gen::<f64>() * total;
+            let mut picked = pool.len() - 1;
+            for (i, c) in pool.iter().enumerate() {
+                target -= c.weight;
+                if target <= 0.0 {
+                    picked = i;
+                    break;
+                }
+            }
+            chosen.push(pool.swap_remove(picked).paper);
+        }
+        chosen
+    }
+
+    /// Splits a total reference budget across the three pools according to
+    /// `weights`, then samples from each pool.  Returns the union (distinct
+    /// papers, order of pools preserved: same topic, prerequisites,
+    /// background).
+    pub fn sample_references(
+        &mut self,
+        total: usize,
+        weights: PoolWeights,
+        same_topic: &[Candidate],
+        prerequisite: &[Candidate],
+        background: &[Candidate],
+    ) -> Vec<PaperId> {
+        let w = weights.normalized();
+        let mut n_same = (total as f64 * w.same_topic).round() as usize;
+        let mut n_prereq = (total as f64 * w.prerequisite).round() as usize;
+        let n_background = total.saturating_sub(n_same + n_prereq);
+
+        // Rebalance when a pool is too small, so sparse early topics still
+        // reach a sensible reference count.
+        if same_topic.len() < n_same {
+            n_prereq += n_same - same_topic.len();
+            n_same = same_topic.len();
+        }
+        if prerequisite.len() < n_prereq {
+            n_prereq = prerequisite.len();
+        }
+
+        let mut out = self.sample_weighted(same_topic, n_same);
+        out.extend(self.sample_weighted(prerequisite, n_prereq));
+        out.extend(self.sample_weighted(background, n_background));
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Draws an in-text occurrence count for a regular (non-survey) citation:
+    /// mostly 1, occasionally 2–3.
+    pub fn regular_occurrences(&mut self) -> u8 {
+        let roll: f64 = self.rng.gen();
+        if roll < 0.78 {
+            1
+        } else if roll < 0.95 {
+            2
+        } else {
+            3
+        }
+    }
+
+    /// Draws an in-text occurrence count for a survey reference.  Important
+    /// references (higher `importance` in `[0, 1]`) are mentioned more often,
+    /// mirroring the skew of Fig. 1 (most references cited once, a core cited
+    /// three or more times).
+    pub fn survey_occurrences(&mut self, importance: f64) -> u8 {
+        let importance = importance.clamp(0.0, 1.0);
+        let roll: f64 = self.rng.gen();
+        // The more important the reference, the more probability mass moves
+        // toward high occurrence counts.
+        let boosted = roll * (1.0 - 0.55 * importance);
+        if boosted < 0.08 {
+            let extra: f64 = self.rng.gen();
+            if extra < 0.4 {
+                5
+            } else {
+                4
+            }
+        } else if boosted < 0.22 {
+            3
+        } else if boosted < 0.48 {
+            2
+        } else {
+            1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    fn candidates(n: u32) -> Vec<Candidate> {
+        (0..n).map(|i| Candidate { paper: PaperId(i), weight: 1.0 }).collect()
+    }
+
+    #[test]
+    fn sampling_respects_count_and_distinctness() {
+        let mut r = rng();
+        let mut sampler = CitationSampler::new(&mut r);
+        let picked = sampler.sample_weighted(&candidates(20), 8);
+        assert_eq!(picked.len(), 8);
+        let distinct: std::collections::HashSet<_> = picked.iter().collect();
+        assert_eq!(distinct.len(), 8);
+    }
+
+    #[test]
+    fn sampling_caps_at_pool_size() {
+        let mut r = rng();
+        let mut sampler = CitationSampler::new(&mut r);
+        let picked = sampler.sample_weighted(&candidates(3), 10);
+        assert_eq!(picked.len(), 3);
+    }
+
+    #[test]
+    fn zero_weight_candidates_are_never_picked() {
+        let mut r = rng();
+        let mut sampler = CitationSampler::new(&mut r);
+        let pool = vec![
+            Candidate { paper: PaperId(0), weight: 0.0 },
+            Candidate { paper: PaperId(1), weight: 1.0 },
+        ];
+        for _ in 0..20 {
+            let picked = sampler.sample_weighted(&pool, 1);
+            assert_eq!(picked, vec![PaperId(1)]);
+        }
+    }
+
+    #[test]
+    fn heavier_candidates_are_picked_more_often() {
+        let mut r = rng();
+        let mut sampler = CitationSampler::new(&mut r);
+        let pool = vec![
+            Candidate { paper: PaperId(0), weight: 10.0 },
+            Candidate { paper: PaperId(1), weight: 1.0 },
+        ];
+        let mut heavy_first = 0;
+        for _ in 0..200 {
+            if sampler.sample_weighted(&pool, 1) == vec![PaperId(0)] {
+                heavy_first += 1;
+            }
+        }
+        assert!(heavy_first > 140, "heavy candidate picked only {heavy_first}/200 times");
+    }
+
+    #[test]
+    fn reference_sampling_mixes_pools() {
+        let mut r = rng();
+        let mut sampler = CitationSampler::new(&mut r);
+        let same: Vec<Candidate> =
+            (0..30).map(|i| Candidate { paper: PaperId(i), weight: 1.0 }).collect();
+        let prereq: Vec<Candidate> =
+            (100..130).map(|i| Candidate { paper: PaperId(i), weight: 1.0 }).collect();
+        let background: Vec<Candidate> =
+            (200..230).map(|i| Candidate { paper: PaperId(i), weight: 1.0 }).collect();
+        let refs = sampler.sample_references(20, PoolWeights::default(), &same, &prereq, &background);
+        assert!(refs.len() >= 15);
+        let n_prereq = refs.iter().filter(|p| (100..130).contains(&p.0)).count();
+        assert!(n_prereq >= 2, "prerequisite pool under-sampled: {n_prereq}");
+    }
+
+    #[test]
+    fn reference_sampling_rebalances_small_pools() {
+        let mut r = rng();
+        let mut sampler = CitationSampler::new(&mut r);
+        let same: Vec<Candidate> = (0..2).map(|i| Candidate { paper: PaperId(i), weight: 1.0 }).collect();
+        let prereq: Vec<Candidate> =
+            (10..40).map(|i| Candidate { paper: PaperId(i), weight: 1.0 }).collect();
+        let refs = sampler.sample_references(15, PoolWeights::default(), &same, &prereq, &[]);
+        assert!(refs.len() >= 10, "got only {} references", refs.len());
+    }
+
+    #[test]
+    fn occurrence_distributions_are_in_range_and_skewed() {
+        let mut r = rng();
+        let mut sampler = CitationSampler::new(&mut r);
+        let mut ones = 0;
+        for _ in 0..500 {
+            let o = sampler.regular_occurrences();
+            assert!((1..=3).contains(&o));
+            if o == 1 {
+                ones += 1;
+            }
+        }
+        assert!(ones > 300, "regular citations should mostly have 1 occurrence");
+
+        let mut high_importance_heavy = 0;
+        let mut low_importance_heavy = 0;
+        for _ in 0..500 {
+            if sampler.survey_occurrences(0.95) >= 3 {
+                high_importance_heavy += 1;
+            }
+            if sampler.survey_occurrences(0.05) >= 3 {
+                low_importance_heavy += 1;
+            }
+        }
+        assert!(
+            high_importance_heavy > low_importance_heavy,
+            "important references must be cited more often ({high_importance_heavy} vs {low_importance_heavy})"
+        );
+    }
+
+    #[test]
+    fn pool_weight_normalization() {
+        let w = PoolWeights { same_topic: 2.0, prerequisite: 1.0, background: 1.0 }.normalized();
+        assert!((w.same_topic - 0.5).abs() < 1e-12);
+        let degenerate = PoolWeights { same_topic: 0.0, prerequisite: 0.0, background: 0.0 }.normalized();
+        assert!((degenerate.same_topic - 1.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,147 @@
+//! Paper records.
+//!
+//! A [`Paper`] is the corpus-level view of a scientific article: identifier,
+//! title, abstract, publication year, venue, topic, and whether it is a
+//! survey.  Paper ids are dense and identical to the node ids of the
+//! citation graph built over the corpus, so `PaperId(i)` and
+//! `rpg_graph::NodeId(i)` always refer to the same article.
+
+use rpg_graph::NodeId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::topic::TopicId;
+use crate::venue::VenueId;
+
+/// A dense paper identifier, aligned with the citation-graph node ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PaperId(pub u32);
+
+impl PaperId {
+    /// The id as an array index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a paper id from an array index.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        debug_assert!(index <= u32::MAX as usize);
+        PaperId(index as u32)
+    }
+
+    /// The citation-graph node corresponding to this paper.
+    #[inline]
+    pub fn node(self) -> NodeId {
+        NodeId(self.0)
+    }
+
+    /// The paper corresponding to a citation-graph node.
+    #[inline]
+    pub fn from_node(node: NodeId) -> Self {
+        PaperId(node.0)
+    }
+}
+
+impl fmt::Display for PaperId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// The kind of a paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PaperKind {
+    /// A regular research article.
+    Research,
+    /// A survey / literature-review article.
+    Survey,
+}
+
+/// A scientific paper in the synthetic corpus.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Paper {
+    /// Dense identifier (equals the citation-graph node id).
+    pub id: PaperId,
+    /// Paper title.
+    pub title: String,
+    /// Paper abstract (a few sentences of topical text).
+    pub abstract_text: String,
+    /// Publication year.
+    pub year: u16,
+    /// Publication venue.
+    pub venue: VenueId,
+    /// The research topic this paper primarily belongs to.
+    pub topic: TopicId,
+    /// Research article vs. survey.
+    pub kind: PaperKind,
+    /// Number of pages of the (simulated) PDF; used by the dataset pipeline's
+    /// filtering stage (surveys outside 2..=100 pages are dropped, as in the
+    /// paper).
+    pub pages: u16,
+    /// Whether the (simulated) full text parsed cleanly; failures are dropped
+    /// by the pipeline's filtering stage.
+    pub parse_ok: bool,
+}
+
+impl Paper {
+    /// Whether this paper is a survey.
+    pub fn is_survey(&self) -> bool {
+        self.kind == PaperKind::Survey
+    }
+
+    /// The text used for indexing: title plus abstract.
+    pub fn indexed_text(&self) -> String {
+        format!("{} {}", self.title, self.abstract_text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Paper {
+        Paper {
+            id: PaperId(7),
+            title: "Attention is all you need".to_string(),
+            abstract_text: "We propose the transformer architecture.".to_string(),
+            year: 2017,
+            venue: VenueId(2),
+            topic: TopicId(3),
+            kind: PaperKind::Research,
+            pages: 11,
+            parse_ok: true,
+        }
+    }
+
+    #[test]
+    fn paper_id_aligns_with_node_id() {
+        let id = PaperId(42);
+        assert_eq!(id.node(), NodeId(42));
+        assert_eq!(PaperId::from_node(NodeId(42)), id);
+        assert_eq!(PaperId::from_index(42), id);
+        assert_eq!(id.index(), 42);
+    }
+
+    #[test]
+    fn display_is_prefixed() {
+        assert_eq!(PaperId(3).to_string(), "p3");
+    }
+
+    #[test]
+    fn survey_flag_follows_kind() {
+        let mut p = sample();
+        assert!(!p.is_survey());
+        p.kind = PaperKind::Survey;
+        assert!(p.is_survey());
+    }
+
+    #[test]
+    fn indexed_text_concatenates_title_and_abstract() {
+        let p = sample();
+        let text = p.indexed_text();
+        assert!(text.contains("Attention"));
+        assert!(text.contains("transformer"));
+    }
+}

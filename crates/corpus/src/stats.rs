@@ -1,0 +1,284 @@
+//! Corpus and SurveyBank statistics (Fig. 4 and Table I of the paper).
+//!
+//! Three distributions are reported for the surveys in SurveyBank:
+//!
+//! * Fig. 4(a) — distribution of each survey's *citation count* (how often
+//!   the survey itself is cited), bucketed `0-5, 5-10, 10-100, 100-500,
+//!   500-1000, 1000-2000, 2000+`;
+//! * Fig. 4(b) — distribution of publication years, bucketed in five-year
+//!   bins from 1980 (with a catch-all early bin);
+//! * Fig. 4(c) — distribution of reference-list lengths, bucketed in steps of
+//!   50;
+//!
+//! plus Table I — the number of surveys per CCF domain, with an "uncertain"
+//! bucket for surveys published at unranked venues.
+
+use crate::store::Corpus;
+use crate::survey::SurveyBank;
+use crate::topic::Domain;
+use crate::venue::VenueTier;
+use serde::{Deserialize, Serialize};
+
+/// A labelled histogram bucket.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Bucket {
+    /// Human-readable bucket label (e.g. "10-100").
+    pub label: String,
+    /// Number of samples in the bucket.
+    pub count: usize,
+}
+
+/// A labelled histogram.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Histogram {
+    /// The buckets in display order.
+    pub buckets: Vec<Bucket>,
+}
+
+impl Histogram {
+    /// Total number of samples.
+    pub fn total(&self) -> usize {
+        self.buckets.iter().map(|b| b.count).sum()
+    }
+
+    /// The count of a bucket by label, 0 if absent.
+    pub fn count_of(&self, label: &str) -> usize {
+        self.buckets.iter().find(|b| b.label == label).map(|b| b.count).unwrap_or(0)
+    }
+
+    fn from_bounds(values: impl Iterator<Item = u32>, bounds: &[(u32, u32, &str)]) -> Histogram {
+        let mut counts = vec![0usize; bounds.len()];
+        for v in values {
+            for (i, (lo, hi, _)) in bounds.iter().enumerate() {
+                if v >= *lo && v < *hi {
+                    counts[i] += 1;
+                    break;
+                }
+            }
+        }
+        Histogram {
+            buckets: bounds
+                .iter()
+                .zip(counts)
+                .map(|((_, _, label), count)| Bucket { label: (*label).to_string(), count })
+                .collect(),
+        }
+    }
+}
+
+/// Fig. 4(a): distribution of the citation counts of the surveys in the bank.
+pub fn survey_citation_distribution(bank: &SurveyBank) -> Histogram {
+    const BOUNDS: &[(u32, u32, &str)] = &[
+        (0, 5, "0-5"),
+        (5, 10, "5-10"),
+        (10, 100, "10-100"),
+        (100, 500, "100-500"),
+        (500, 1000, "500-1000"),
+        (1000, 2000, "1000-2000"),
+        (2000, u32::MAX, "2000+"),
+    ];
+    Histogram::from_bounds(bank.iter().map(|s| s.citation_count), BOUNDS)
+}
+
+/// Fig. 4(b): distribution of the publication years of the surveys.
+pub fn survey_year_distribution(bank: &SurveyBank) -> Histogram {
+    const BOUNDS: &[(u32, u32, &str)] = &[
+        (0, 1980, "before 1980"),
+        (1980, 1985, "1980-1985"),
+        (1985, 1990, "1985-1990"),
+        (1990, 1995, "1990-1995"),
+        (1995, 2000, "1995-2000"),
+        (2000, 2005, "2000-2005"),
+        (2005, 2010, "2005-2010"),
+        (2010, 2015, "2010-2015"),
+        (2015, 2021, "2015-2020"),
+    ];
+    Histogram::from_bounds(bank.iter().map(|s| u32::from(s.year)), BOUNDS)
+}
+
+/// Fig. 4(c): distribution of the reference-list lengths of the surveys.
+pub fn survey_reference_distribution(bank: &SurveyBank) -> Histogram {
+    const BOUNDS: &[(u32, u32, &str)] = &[
+        (0, 50, "0-50"),
+        (50, 100, "50-100"),
+        (100, 150, "100-150"),
+        (150, 200, "150-200"),
+        (200, 250, "200-250"),
+        (250, 300, "250-300"),
+        (300, u32::MAX, "300+"),
+    ];
+    Histogram::from_bounds(bank.iter().map(|s| s.reference_count() as u32), BOUNDS)
+}
+
+/// One row of Table I: a domain and how many surveys fall into it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DomainCount {
+    /// Domain name, as in Table I.
+    pub domain: String,
+    /// Number of surveys.
+    pub count: usize,
+    /// Share of the whole bank (0–1).
+    pub share: f64,
+}
+
+/// Table I: the distribution of surveys over the ten CCF domains plus the
+/// "uncertain" bucket.  A survey counts as *uncertain* when its venue is
+/// unranked (the paper assigns "uncertain" to papers whose venue is missing
+/// or not in the CCF collection).
+pub fn topic_distribution(corpus: &Corpus, bank: &SurveyBank) -> Vec<DomainCount> {
+    let mut counts: std::collections::HashMap<Domain, usize> = std::collections::HashMap::new();
+    let total = bank.len().max(1);
+    for survey in bank.iter() {
+        let Some(paper) = corpus.paper(survey.paper) else { continue };
+        let venue_tier = corpus.venues().get(paper.venue).map(|v| v.tier);
+        let domain = match venue_tier {
+            Some(VenueTier::Unranked) | None => Domain::Uncertain,
+            Some(_) => corpus.topics().get(paper.topic).map(|t| t.domain).unwrap_or(Domain::Uncertain),
+        };
+        *counts.entry(domain).or_insert(0) += 1;
+    }
+    let mut rows: Vec<DomainCount> = Domain::RANKED
+        .iter()
+        .chain(std::iter::once(&Domain::Uncertain))
+        .map(|&d| {
+            let count = counts.get(&d).copied().unwrap_or(0);
+            DomainCount { domain: d.name().to_string(), count, share: count as f64 / total as f64 }
+        })
+        .collect();
+    // Table I orders ranked domains by descending paper count, with the
+    // uncertain bucket last.
+    let uncertain = rows.pop().expect("uncertain row present");
+    rows.sort_by(|a, b| b.count.cmp(&a.count).then(a.domain.cmp(&b.domain)));
+    rows.push(uncertain);
+    rows
+}
+
+/// Summary statistics of the whole corpus (used in README/EXPERIMENTS
+/// reporting and by the Fig. 4 bench).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorpusSummary {
+    /// Total number of papers.
+    pub papers: usize,
+    /// Total number of citation edges.
+    pub citations: usize,
+    /// Number of surveys in the final SurveyBank.
+    pub surveys: usize,
+    /// Average references per survey.
+    pub avg_survey_references: f64,
+    /// Share of surveys published in the last 20 years of the corpus range.
+    pub recent_survey_share: f64,
+    /// Share of surveys that are never cited.
+    pub uncited_survey_share: f64,
+}
+
+/// Computes the corpus summary.
+pub fn summarize(corpus: &Corpus) -> CorpusSummary {
+    let bank = corpus.survey_bank();
+    let surveys = bank.len();
+    let max_year = corpus.papers().iter().map(|p| p.year).max().unwrap_or(2020);
+    let recent_cutoff = max_year.saturating_sub(20);
+    let recent = bank.iter().filter(|s| s.year >= recent_cutoff).count();
+    let uncited = bank.iter().filter(|s| s.citation_count == 0).count();
+    CorpusSummary {
+        papers: corpus.len(),
+        citations: corpus.graph().edge_count(),
+        surveys,
+        avg_survey_references: bank.average_reference_count(),
+        recent_survey_share: if surveys > 0 { recent as f64 / surveys as f64 } else { 0.0 },
+        uncited_survey_share: if surveys > 0 { uncited as f64 / surveys as f64 } else { 0.0 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate, CorpusConfig};
+    use crate::paper::PaperId;
+    use crate::survey::{Survey, SurveyReference};
+
+    fn corpus() -> Corpus {
+        generate(&CorpusConfig { seed: 9, ..CorpusConfig::small() })
+    }
+
+    fn survey(year: u16, citations: u32, refs: usize) -> Survey {
+        Survey {
+            paper: PaperId(0),
+            key_phrases: vec!["x".into()],
+            query: "x".into(),
+            references: (1..=refs as u32)
+                .map(|i| SurveyReference { paper: PaperId(i), occurrences: 1 })
+                .collect(),
+            year,
+            citation_count: citations,
+        }
+    }
+
+    #[test]
+    fn histograms_cover_every_survey() {
+        let c = corpus();
+        let bank = c.survey_bank();
+        assert_eq!(survey_citation_distribution(bank).total(), bank.len());
+        assert_eq!(survey_year_distribution(bank).total(), bank.len());
+        assert_eq!(survey_reference_distribution(bank).total(), bank.len());
+    }
+
+    #[test]
+    fn citation_buckets_match_hand_built_bank() {
+        let bank = SurveyBank {
+            surveys: vec![survey(2019, 0, 10), survey(2018, 7, 10), survey(2015, 50, 10), survey(2010, 600, 10)],
+        };
+        let h = survey_citation_distribution(&bank);
+        assert_eq!(h.count_of("0-5"), 1);
+        assert_eq!(h.count_of("5-10"), 1);
+        assert_eq!(h.count_of("10-100"), 1);
+        assert_eq!(h.count_of("500-1000"), 1);
+        assert_eq!(h.count_of("2000+"), 0);
+    }
+
+    #[test]
+    fn year_buckets_match_hand_built_bank() {
+        let bank = SurveyBank { surveys: vec![survey(1975, 0, 5), survey(1999, 0, 5), survey(2018, 0, 5)] };
+        let h = survey_year_distribution(&bank);
+        assert_eq!(h.count_of("before 1980"), 1);
+        assert_eq!(h.count_of("1995-2000"), 1);
+        assert_eq!(h.count_of("2015-2020"), 1);
+    }
+
+    #[test]
+    fn reference_buckets_match_hand_built_bank() {
+        let bank = SurveyBank { surveys: vec![survey(2018, 0, 30), survey(2018, 0, 75), survey(2018, 0, 320)] };
+        let h = survey_reference_distribution(&bank);
+        assert_eq!(h.count_of("0-50"), 1);
+        assert_eq!(h.count_of("50-100"), 1);
+        assert_eq!(h.count_of("300+"), 1);
+    }
+
+    #[test]
+    fn topic_distribution_accounts_for_every_survey() {
+        let c = corpus();
+        let rows = topic_distribution(&c, c.survey_bank());
+        let total: usize = rows.iter().map(|r| r.count).sum();
+        assert_eq!(total, c.survey_bank().len());
+        assert_eq!(rows.last().unwrap().domain, Domain::Uncertain.name());
+        let share_sum: f64 = rows.iter().map(|r| r.share).sum();
+        assert!((share_sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn most_surveys_are_recent() {
+        let c = corpus();
+        let summary = summarize(&c);
+        assert!(summary.recent_survey_share > 0.7, "recent share {}", summary.recent_survey_share);
+        assert_eq!(summary.surveys, c.survey_bank().len());
+        assert!(summary.avg_survey_references >= 10.0);
+        assert!(summary.papers > 0 && summary.citations > 0);
+    }
+
+    #[test]
+    fn empty_bank_statistics_are_zero() {
+        let bank = SurveyBank::default();
+        assert_eq!(survey_citation_distribution(&bank).total(), 0);
+        assert_eq!(survey_year_distribution(&bank).total(), 0);
+        assert_eq!(survey_reference_distribution(&bank).total(), 0);
+    }
+}

@@ -1,0 +1,276 @@
+//! The assembled corpus: papers, reference lists, citation graph, and the
+//! SurveyBank benchmark derived from it.
+//!
+//! [`Corpus`] is the object every downstream crate works against: the
+//! simulated search engines index its papers, the RePaGer pipeline walks its
+//! citation graph and reads its per-edge occurrence counts, and the
+//! evaluation harness iterates its surveys.
+
+use crate::citation::Reference;
+use crate::paper::{Paper, PaperId};
+use crate::survey::SurveyBank;
+use crate::topic::TopicCatalog;
+use crate::venue::VenueTable;
+use rpg_graph::{CitationGraph, GraphBuilder, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// A complete synthetic scholarly corpus.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Corpus {
+    papers: Vec<Paper>,
+    references: Vec<Vec<Reference>>,
+    graph: CitationGraph,
+    topics: TopicCatalog,
+    venues: VenueTable,
+    survey_bank: SurveyBank,
+}
+
+impl Corpus {
+    /// Assembles a corpus from papers and their reference lists, building the
+    /// citation graph.  The survey bank starts empty; the dataset pipeline
+    /// (see [`crate::pipeline`]) fills it in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `references.len() != papers.len()` or if any reference
+    /// points outside the paper set — these are programming errors of the
+    /// generator, not recoverable conditions.
+    pub fn assemble(
+        papers: Vec<Paper>,
+        references: Vec<Vec<Reference>>,
+        topics: TopicCatalog,
+        venues: VenueTable,
+    ) -> Self {
+        assert_eq!(papers.len(), references.len(), "one reference list per paper");
+        let mut builder = GraphBuilder::with_edge_capacity(
+            papers.len(),
+            references.iter().map(Vec::len).sum(),
+        );
+        for (citing, refs) in references.iter().enumerate() {
+            for r in refs {
+                builder
+                    .add_citation(NodeId::from_index(citing), r.cited.node())
+                    .expect("generator produced an invalid citation edge");
+            }
+        }
+        let graph = builder.build();
+        Corpus { papers, references, graph, topics, venues, survey_bank: SurveyBank::default() }
+    }
+
+    /// Installs the SurveyBank benchmark produced by the dataset pipeline.
+    pub fn set_survey_bank(&mut self, bank: SurveyBank) {
+        self.survey_bank = bank;
+    }
+
+    /// Number of papers.
+    pub fn len(&self) -> usize {
+        self.papers.len()
+    }
+
+    /// Whether the corpus has no papers.
+    pub fn is_empty(&self) -> bool {
+        self.papers.is_empty()
+    }
+
+    /// All papers in id order.
+    pub fn papers(&self) -> &[Paper] {
+        &self.papers
+    }
+
+    /// Looks up a paper.
+    pub fn paper(&self, id: PaperId) -> Option<&Paper> {
+        self.papers.get(id.index())
+    }
+
+    /// The citation graph over all papers (node ids equal paper ids).
+    pub fn graph(&self) -> &CitationGraph {
+        &self.graph
+    }
+
+    /// The topic catalogue.
+    pub fn topics(&self) -> &TopicCatalog {
+        &self.topics
+    }
+
+    /// The venue table.
+    pub fn venues(&self) -> &VenueTable {
+        &self.venues
+    }
+
+    /// The SurveyBank benchmark (empty until the pipeline has run).
+    pub fn survey_bank(&self) -> &SurveyBank {
+        &self.survey_bank
+    }
+
+    /// The reference list (with occurrence counts) of a paper.
+    pub fn references_of(&self, id: PaperId) -> &[Reference] {
+        self.references.get(id.index()).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The in-text occurrence count `con(citing, cited)`; 0 if `citing` does
+    /// not reference `cited`.
+    pub fn occurrences(&self, citing: PaperId, cited: PaperId) -> u8 {
+        self.references_of(citing)
+            .iter()
+            .find(|r| r.cited == cited)
+            .map(|r| r.occurrences)
+            .unwrap_or(0)
+    }
+
+    /// The symmetric relevance count used by Eq. (2): how many times `a`
+    /// mentions `b` or `b` mentions `a` (at most one direction is non-zero in
+    /// a temporally consistent corpus).
+    pub fn connection_strength(&self, a: PaperId, b: PaperId) -> u8 {
+        self.occurrences(a, b).max(self.occurrences(b, a))
+    }
+
+    /// Number of papers citing `id` (its citation count in the corpus).
+    pub fn citation_count(&self, id: PaperId) -> usize {
+        self.graph.in_degree(id.node())
+    }
+
+    /// The venue score of a paper (Eq. 3's `venue(i)` term).
+    pub fn venue_score(&self, id: PaperId) -> f64 {
+        match self.paper(id) {
+            Some(p) => self.venues.venue_score(p.venue),
+            None => 0.0,
+        }
+    }
+
+    /// Publication year of a paper (0 if unknown).
+    pub fn year(&self, id: PaperId) -> u16 {
+        self.paper(id).map(|p| p.year).unwrap_or(0)
+    }
+
+    /// Whether the paper is a survey.
+    pub fn is_survey(&self, id: PaperId) -> bool {
+        self.paper(id).map(Paper::is_survey).unwrap_or(false)
+    }
+
+    /// All survey papers (whether or not they survived the pipeline filters).
+    pub fn survey_papers(&self) -> Vec<&Paper> {
+        self.papers.iter().filter(|p| p.is_survey()).collect()
+    }
+
+    /// All research (non-survey) papers.
+    pub fn research_papers(&self) -> Vec<&Paper> {
+        self.papers.iter().filter(|p| !p.is_survey()).collect()
+    }
+
+    /// Iterates over `(paper, title + abstract)` pairs, the input to the
+    /// search-engine indexes.
+    pub fn indexable_documents(&self) -> impl Iterator<Item = (PaperId, String)> + '_ {
+        self.papers.iter().map(|p| (p.id, p.indexed_text()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper::PaperKind;
+    use crate::venue::VenueTier;
+
+    fn tiny_corpus() -> Corpus {
+        let mut venues = VenueTable::new();
+        let v = venues.add("Test venue", VenueTier::A, 0.8);
+        let mut topics = TopicCatalog::new();
+        let t = topics.add("test topic", crate::topic::Domain::Theory, &["alpha", "beta"], &[], 1.0);
+        let mk = |i: u32, year: u16, kind: PaperKind| Paper {
+            id: PaperId(i),
+            title: format!("paper {i} about alpha"),
+            abstract_text: "alpha beta gamma".to_string(),
+            year,
+            venue: v,
+            topic: t,
+            kind,
+            pages: 10,
+            parse_ok: true,
+        };
+        let papers = vec![
+            mk(0, 2000, PaperKind::Research),
+            mk(1, 2005, PaperKind::Research),
+            mk(2, 2010, PaperKind::Research),
+            mk(3, 2015, PaperKind::Survey),
+        ];
+        let references = vec![
+            vec![],
+            vec![Reference { cited: PaperId(0), occurrences: 2 }],
+            vec![Reference { cited: PaperId(0), occurrences: 1 }, Reference { cited: PaperId(1), occurrences: 1 }],
+            vec![
+                Reference { cited: PaperId(0), occurrences: 3 },
+                Reference { cited: PaperId(1), occurrences: 2 },
+                Reference { cited: PaperId(2), occurrences: 1 },
+            ],
+        ];
+        Corpus::assemble(papers, references, topics, venues)
+    }
+
+    #[test]
+    fn assembly_builds_matching_graph() {
+        let c = tiny_corpus();
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.graph().node_count(), 4);
+        assert_eq!(c.graph().edge_count(), 6);
+        assert!(c.graph().has_edge(NodeId(3), NodeId(2)));
+        assert!(!c.graph().has_edge(NodeId(2), NodeId(3)));
+    }
+
+    #[test]
+    fn occurrence_lookup_matches_reference_lists() {
+        let c = tiny_corpus();
+        assert_eq!(c.occurrences(PaperId(3), PaperId(0)), 3);
+        assert_eq!(c.occurrences(PaperId(0), PaperId(3)), 0);
+        assert_eq!(c.connection_strength(PaperId(0), PaperId(3)), 3);
+        assert_eq!(c.connection_strength(PaperId(3), PaperId(0)), 3);
+        assert_eq!(c.occurrences(PaperId(1), PaperId(2)), 0);
+    }
+
+    #[test]
+    fn citation_counts_come_from_the_graph() {
+        let c = tiny_corpus();
+        assert_eq!(c.citation_count(PaperId(0)), 3);
+        assert_eq!(c.citation_count(PaperId(3)), 0);
+    }
+
+    #[test]
+    fn paper_classification_helpers() {
+        let c = tiny_corpus();
+        assert!(c.is_survey(PaperId(3)));
+        assert!(!c.is_survey(PaperId(0)));
+        assert_eq!(c.survey_papers().len(), 1);
+        assert_eq!(c.research_papers().len(), 3);
+        assert_eq!(c.year(PaperId(2)), 2010);
+        assert_eq!(c.year(PaperId(99)), 0);
+        assert!(c.venue_score(PaperId(0)) > 0.5);
+        assert_eq!(c.venue_score(PaperId(99)), 0.0);
+    }
+
+    #[test]
+    fn indexable_documents_cover_all_papers() {
+        let c = tiny_corpus();
+        let docs: Vec<_> = c.indexable_documents().collect();
+        assert_eq!(docs.len(), 4);
+        assert!(docs[0].1.contains("alpha"));
+    }
+
+    #[test]
+    fn survey_bank_starts_empty_and_can_be_installed() {
+        let mut c = tiny_corpus();
+        assert!(c.survey_bank().is_empty());
+        c.set_survey_bank(SurveyBank::default());
+        assert!(c.survey_bank().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "one reference list per paper")]
+    fn mismatched_reference_lists_panic() {
+        let c = tiny_corpus();
+        let papers = c.papers().to_vec();
+        let _ = Corpus::assemble(
+            papers,
+            vec![],
+            TopicCatalog::new(),
+            VenueTable::new(),
+        );
+    }
+}

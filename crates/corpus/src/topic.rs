@@ -1,0 +1,394 @@
+//! Research-topic taxonomy with prerequisite relations.
+//!
+//! SurveyBank restricts itself to computer science and categorises surveys
+//! into the ten CCF domains listed in Table I of the paper.  The synthetic
+//! corpus mirrors that: a [`TopicCatalog`] holds a set of research topics,
+//! each belonging to one [`Domain`], carrying a term vocabulary used to
+//! generate titles/abstracts, and — crucially for the Reading Path
+//! Generation task — a list of *prerequisite topics*.  Papers of a topic cite
+//! foundational papers of its prerequisite topics, which is exactly the
+//! structure that makes engine top-K results miss part of a survey's
+//! reference list (Observation I) while 1st/2nd-order citation neighbours
+//! recover it (Observation II).
+
+use serde::{Deserialize, Serialize};
+
+/// The ten CCF-style domains of Table I, plus an "uncertain" bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Domain {
+    /// Artificial Intelligence.
+    ArtificialIntelligence,
+    /// Interdisciplinary and emerging subjects.
+    Interdisciplinary,
+    /// Computer networks.
+    ComputerNetwork,
+    /// Computer graphics and multimedia.
+    GraphicsMultimedia,
+    /// Databases, data mining, information retrieval.
+    DatabaseDataMiningIr,
+    /// Software engineering, system software, programming languages.
+    SoftwareEngineering,
+    /// Computer architecture, parallel/distributed computing, storage.
+    ArchitectureParallelStorage,
+    /// Network and information security.
+    Security,
+    /// Computer science theory.
+    Theory,
+    /// Human-computer interaction and pervasive computing.
+    HumanComputerInteraction,
+    /// Papers whose venue could not be categorised (Table I's largest row).
+    Uncertain,
+}
+
+impl Domain {
+    /// All domains in Table I order (excluding `Uncertain`).
+    pub const RANKED: [Domain; 10] = [
+        Domain::ArtificialIntelligence,
+        Domain::Interdisciplinary,
+        Domain::ComputerNetwork,
+        Domain::GraphicsMultimedia,
+        Domain::DatabaseDataMiningIr,
+        Domain::SoftwareEngineering,
+        Domain::ArchitectureParallelStorage,
+        Domain::Security,
+        Domain::Theory,
+        Domain::HumanComputerInteraction,
+    ];
+
+    /// Human-readable name matching Table I.
+    pub fn name(self) -> &'static str {
+        match self {
+            Domain::ArtificialIntelligence => "Artificial Intelligence",
+            Domain::Interdisciplinary => "Interdisciplinary, Emerging Subjects",
+            Domain::ComputerNetwork => "Computer Network",
+            Domain::GraphicsMultimedia => "Computer Graphics and Multimedia",
+            Domain::DatabaseDataMiningIr => "Database, Data Mining, Information Retrieval",
+            Domain::SoftwareEngineering => {
+                "Software Engineering, System Software, Programming Language"
+            }
+            Domain::ArchitectureParallelStorage => {
+                "Computer Architecture, Parallel and Distributed Computing, Storage System"
+            }
+            Domain::Security => "Network and Information Security",
+            Domain::Theory => "Computer Science Theory",
+            Domain::HumanComputerInteraction => {
+                "Human-Computer Interaction and Pervasive Computing"
+            }
+            Domain::Uncertain => "Uncertain Topics",
+        }
+    }
+}
+
+/// A dense topic identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TopicId(pub u32);
+
+impl TopicId {
+    /// The id as an array index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A research topic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Topic {
+    /// Dense identifier.
+    pub id: TopicId,
+    /// Topic name, e.g. "pretrained language models".
+    pub name: String,
+    /// The domain the topic belongs to.
+    pub domain: Domain,
+    /// Terms characteristic of the topic, used to generate titles and
+    /// abstracts.
+    pub terms: Vec<String>,
+    /// Topics whose foundational papers are prerequisites for this topic.
+    pub prerequisites: Vec<TopicId>,
+    /// Relative size of the topic (how many papers the generator allocates),
+    /// as a multiplier on the per-topic base count.
+    pub weight: f64,
+}
+
+/// The catalogue of all topics.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TopicCatalog {
+    topics: Vec<Topic>,
+}
+
+/// Specification of a topic before id assignment; used by
+/// [`TopicCatalog::from_specs`].
+#[derive(Debug, Clone)]
+pub struct TopicSpec {
+    /// Topic name.
+    pub name: &'static str,
+    /// Domain.
+    pub domain: Domain,
+    /// Characteristic terms (space-separated phrases allowed).
+    pub terms: &'static [&'static str],
+    /// Names of prerequisite topics (must appear earlier in the spec list).
+    pub prerequisites: &'static [&'static str],
+    /// Relative topic size.
+    pub weight: f64,
+}
+
+impl TopicCatalog {
+    /// Creates an empty catalogue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of topics.
+    pub fn len(&self) -> usize {
+        self.topics.len()
+    }
+
+    /// Whether the catalogue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.topics.is_empty()
+    }
+
+    /// Looks up a topic by id.
+    pub fn get(&self, id: TopicId) -> Option<&Topic> {
+        self.topics.get(id.index())
+    }
+
+    /// Looks up a topic by exact name.
+    pub fn by_name(&self, name: &str) -> Option<&Topic> {
+        self.topics.iter().find(|t| t.name == name)
+    }
+
+    /// All topics.
+    pub fn iter(&self) -> impl Iterator<Item = &Topic> {
+        self.topics.iter()
+    }
+
+    /// All topics of a domain.
+    pub fn by_domain(&self, domain: Domain) -> Vec<&Topic> {
+        self.topics.iter().filter(|t| t.domain == domain).collect()
+    }
+
+    /// Adds a topic, resolving prerequisite names against already-added
+    /// topics.  Unknown prerequisite names are ignored.
+    pub fn add(
+        &mut self,
+        name: &str,
+        domain: Domain,
+        terms: &[&str],
+        prerequisites: &[&str],
+        weight: f64,
+    ) -> TopicId {
+        let id = TopicId(self.topics.len() as u32);
+        let prereq_ids = prerequisites
+            .iter()
+            .filter_map(|p| self.by_name(p).map(|t| t.id))
+            .collect();
+        self.topics.push(Topic {
+            id,
+            name: name.to_string(),
+            domain,
+            terms: terms.iter().map(|s| s.to_string()).collect(),
+            prerequisites: prereq_ids,
+            weight: weight.max(0.1),
+        });
+        id
+    }
+
+    /// Builds a catalogue from a spec list (prerequisites must reference
+    /// earlier entries).
+    pub fn from_specs(specs: &[TopicSpec]) -> Self {
+        let mut catalog = TopicCatalog::new();
+        for spec in specs {
+            catalog.add(spec.name, spec.domain, spec.terms, spec.prerequisites, spec.weight);
+        }
+        catalog
+    }
+
+    /// The transitive prerequisite closure of a topic (not including the
+    /// topic itself), in breadth-first order.
+    pub fn prerequisite_closure(&self, topic: TopicId) -> Vec<TopicId> {
+        let mut seen = std::collections::HashSet::new();
+        let mut queue = std::collections::VecDeque::new();
+        let mut out = Vec::new();
+        if let Some(t) = self.get(topic) {
+            queue.extend(t.prerequisites.iter().copied());
+        }
+        while let Some(p) = queue.pop_front() {
+            if seen.insert(p) {
+                out.push(p);
+                if let Some(t) = self.get(p) {
+                    queue.extend(t.prerequisites.iter().copied());
+                }
+            }
+        }
+        out
+    }
+
+    /// The default synthetic computer-science catalogue: a hand-written set
+    /// of topics spread over the ten Table I domains, with prerequisite
+    /// chains of depth up to 4 in the AI/NLP area (mirroring the paper's
+    /// Fig. 9 "pretrained language model" case study).
+    pub fn synthetic_default() -> Self {
+        Self::from_specs(default_specs())
+    }
+}
+
+/// The built-in topic specification list used by
+/// [`TopicCatalog::synthetic_default`].
+pub fn default_specs() -> &'static [TopicSpec] {
+    use Domain::*;
+    const SPECS: &[TopicSpec] = &[
+        // --- Artificial Intelligence: a prerequisite chain ending in
+        // pretrained language models (the Fig. 9 case study). ---
+        TopicSpec { name: "statistical learning theory", domain: ArtificialIntelligence, terms: &["statistical", "learning", "generalization", "risk", "bounds", "kernel", "margin", "support", "vector"], prerequisites: &[], weight: 0.8 },
+        TopicSpec { name: "neural networks", domain: ArtificialIntelligence, terms: &["neural", "network", "backpropagation", "perceptron", "activation", "gradient", "hidden", "layer"], prerequisites: &["statistical learning theory"], weight: 1.2 },
+        TopicSpec { name: "word embeddings", domain: ArtificialIntelligence, terms: &["word", "embedding", "distributed", "representation", "semantic", "vector", "corpus", "context"], prerequisites: &["neural networks"], weight: 0.9 },
+        TopicSpec { name: "sequence to sequence learning", domain: ArtificialIntelligence, terms: &["sequence", "encoder", "decoder", "recurrent", "translation", "neural", "machine"], prerequisites: &["neural networks", "word embeddings"], weight: 0.9 },
+        TopicSpec { name: "attention mechanisms", domain: ArtificialIntelligence, terms: &["attention", "transformer", "self", "alignment", "head", "encoder", "decoder"], prerequisites: &["sequence to sequence learning"], weight: 1.0 },
+        TopicSpec { name: "contextualized word representations", domain: ArtificialIntelligence, terms: &["contextualized", "word", "representation", "embedding", "deep", "language", "bidirectional"], prerequisites: &["word embeddings", "attention mechanisms"], weight: 0.8 },
+        TopicSpec { name: "pretrained language models", domain: ArtificialIntelligence, terms: &["pretrained", "language", "model", "transformer", "fine", "tuning", "bert", "text", "understanding"], prerequisites: &["attention mechanisms", "contextualized word representations"], weight: 1.3 },
+        TopicSpec { name: "hate speech detection", domain: ArtificialIntelligence, terms: &["hate", "speech", "detection", "abusive", "language", "social", "media", "classifier", "twitter"], prerequisites: &["word embeddings", "pretrained language models"], weight: 0.8 },
+        TopicSpec { name: "image classification", domain: ArtificialIntelligence, terms: &["image", "classification", "convolutional", "visual", "recognition", "object", "feature"], prerequisites: &["neural networks"], weight: 1.1 },
+        TopicSpec { name: "generative adversarial networks", domain: ArtificialIntelligence, terms: &["generative", "adversarial", "network", "generator", "discriminator", "synthesis", "image"], prerequisites: &["image classification"], weight: 0.9 },
+        TopicSpec { name: "reinforcement learning", domain: ArtificialIntelligence, terms: &["reinforcement", "learning", "policy", "reward", "agent", "value", "exploration", "markov"], prerequisites: &["statistical learning theory", "neural networks"], weight: 1.0 },
+        TopicSpec { name: "graph neural networks", domain: ArtificialIntelligence, terms: &["graph", "neural", "network", "node", "message", "passing", "convolution", "embedding"], prerequisites: &["neural networks", "word embeddings"], weight: 0.9 },
+        TopicSpec { name: "knowledge graph embedding", domain: ArtificialIntelligence, terms: &["knowledge", "graph", "embedding", "entity", "relation", "triple", "link", "prediction"], prerequisites: &["graph neural networks", "word embeddings"], weight: 0.7 },
+        TopicSpec { name: "question answering", domain: ArtificialIntelligence, terms: &["question", "answering", "reading", "comprehension", "answer", "span", "passage"], prerequisites: &["pretrained language models"], weight: 0.7 },
+        TopicSpec { name: "machine translation", domain: ArtificialIntelligence, terms: &["machine", "translation", "bilingual", "neural", "alignment", "bleu", "multilingual"], prerequisites: &["sequence to sequence learning", "attention mechanisms"], weight: 0.8 },
+        TopicSpec { name: "speech recognition", domain: ArtificialIntelligence, terms: &["speech", "recognition", "acoustic", "phoneme", "audio", "transcription", "end"], prerequisites: &["sequence to sequence learning"], weight: 0.7 },
+        TopicSpec { name: "explainable artificial intelligence", domain: ArtificialIntelligence, terms: &["explainable", "interpretability", "explanation", "saliency", "attribution", "trust", "black", "box"], prerequisites: &["neural networks", "image classification"], weight: 0.6 },
+        TopicSpec { name: "federated learning", domain: ArtificialIntelligence, terms: &["federated", "learning", "decentralized", "client", "aggregation", "privacy", "communication"], prerequisites: &["neural networks", "distributed systems"], weight: 0.7 },
+        // --- Databases / Data mining / IR. ---
+        TopicSpec { name: "relational query optimization", domain: DatabaseDataMiningIr, terms: &["query", "optimization", "relational", "join", "cardinality", "cost", "plan", "estimation"], prerequisites: &[], weight: 0.8 },
+        TopicSpec { name: "transaction processing", domain: DatabaseDataMiningIr, terms: &["transaction", "concurrency", "control", "isolation", "locking", "serializable", "recovery"], prerequisites: &["relational query optimization"], weight: 0.7 },
+        TopicSpec { name: "distributed databases", domain: DatabaseDataMiningIr, terms: &["distributed", "database", "partitioning", "replication", "consistency", "shard", "commit"], prerequisites: &["transaction processing", "distributed systems"], weight: 0.8 },
+        TopicSpec { name: "data stream processing", domain: DatabaseDataMiningIr, terms: &["stream", "processing", "window", "continuous", "query", "real", "time", "event"], prerequisites: &["relational query optimization"], weight: 0.6 },
+        TopicSpec { name: "frequent pattern mining", domain: DatabaseDataMiningIr, terms: &["frequent", "pattern", "mining", "itemset", "association", "rule", "support", "apriori"], prerequisites: &[], weight: 0.7 },
+        TopicSpec { name: "recommender systems", domain: DatabaseDataMiningIr, terms: &["recommender", "recommendation", "collaborative", "filtering", "rating", "user", "item", "preference"], prerequisites: &["frequent pattern mining", "word embeddings"], weight: 0.9 },
+        TopicSpec { name: "learning to rank", domain: DatabaseDataMiningIr, terms: &["learning", "rank", "ranking", "retrieval", "relevance", "listwise", "pairwise", "search"], prerequisites: &["statistical learning theory", "recommender systems"], weight: 0.6 },
+        TopicSpec { name: "entity resolution", domain: DatabaseDataMiningIr, terms: &["entity", "resolution", "deduplication", "record", "linkage", "matching", "blocking"], prerequisites: &["relational query optimization", "word embeddings"], weight: 0.5 },
+        TopicSpec { name: "graph databases", domain: DatabaseDataMiningIr, terms: &["graph", "database", "traversal", "property", "subgraph", "matching", "query", "storage"], prerequisites: &["relational query optimization", "graph neural networks"], weight: 0.6 },
+        TopicSpec { name: "citation recommendation", domain: DatabaseDataMiningIr, terms: &["citation", "recommendation", "scholarly", "paper", "literature", "academic", "reference", "scientific"], prerequisites: &["recommender systems", "learning to rank"], weight: 0.6 },
+        // --- Computer networks. ---
+        TopicSpec { name: "congestion control", domain: ComputerNetwork, terms: &["congestion", "control", "tcp", "throughput", "latency", "bandwidth", "fairness"], prerequisites: &[], weight: 0.7 },
+        TopicSpec { name: "software defined networking", domain: ComputerNetwork, terms: &["software", "defined", "networking", "controller", "openflow", "switch", "programmable"], prerequisites: &["congestion control"], weight: 0.8 },
+        TopicSpec { name: "network function virtualization", domain: ComputerNetwork, terms: &["network", "function", "virtualization", "middlebox", "service", "chain", "orchestration"], prerequisites: &["software defined networking"], weight: 0.6 },
+        TopicSpec { name: "wireless sensor networks", domain: ComputerNetwork, terms: &["wireless", "sensor", "network", "energy", "routing", "node", "coverage", "deployment"], prerequisites: &["congestion control"], weight: 0.7 },
+        TopicSpec { name: "internet of things", domain: ComputerNetwork, terms: &["internet", "things", "iot", "device", "edge", "smart", "sensing", "connectivity"], prerequisites: &["wireless sensor networks"], weight: 0.9 },
+        // --- Security. ---
+        TopicSpec { name: "applied cryptography", domain: Security, terms: &["cryptography", "encryption", "key", "signature", "protocol", "cipher", "security"], prerequisites: &[], weight: 0.8 },
+        TopicSpec { name: "intrusion detection", domain: Security, terms: &["intrusion", "detection", "anomaly", "network", "attack", "malicious", "traffic"], prerequisites: &["applied cryptography", "statistical learning theory"], weight: 0.7 },
+        TopicSpec { name: "malware analysis", domain: Security, terms: &["malware", "analysis", "binary", "detection", "obfuscation", "dynamic", "static"], prerequisites: &["intrusion detection"], weight: 0.6 },
+        TopicSpec { name: "adversarial machine learning", domain: Security, terms: &["adversarial", "attack", "robustness", "perturbation", "defense", "example", "model"], prerequisites: &["image classification", "intrusion detection"], weight: 0.7 },
+        TopicSpec { name: "blockchain consensus", domain: Security, terms: &["blockchain", "consensus", "ledger", "smart", "contract", "byzantine", "proof"], prerequisites: &["applied cryptography", "distributed systems"], weight: 0.8 },
+        // --- Architecture / parallel / storage. ---
+        TopicSpec { name: "distributed systems", domain: ArchitectureParallelStorage, terms: &["distributed", "system", "consensus", "replication", "fault", "tolerance", "coordination"], prerequisites: &[], weight: 1.0 },
+        TopicSpec { name: "cache coherence", domain: ArchitectureParallelStorage, terms: &["cache", "coherence", "memory", "protocol", "multiprocessor", "shared", "latency"], prerequisites: &[], weight: 0.5 },
+        TopicSpec { name: "key value storage", domain: ArchitectureParallelStorage, terms: &["key", "value", "store", "storage", "lsm", "compaction", "flash", "persistent"], prerequisites: &["distributed systems"], weight: 0.7 },
+        TopicSpec { name: "gpu computing", domain: ArchitectureParallelStorage, terms: &["gpu", "parallel", "accelerator", "kernel", "throughput", "cuda", "memory"], prerequisites: &["cache coherence"], weight: 0.6 },
+        TopicSpec { name: "serverless computing", domain: ArchitectureParallelStorage, terms: &["serverless", "function", "cloud", "container", "cold", "start", "elastic"], prerequisites: &["distributed systems"], weight: 0.6 },
+        // --- Software engineering. ---
+        TopicSpec { name: "program analysis", domain: SoftwareEngineering, terms: &["program", "analysis", "static", "dataflow", "abstract", "interpretation", "soundness"], prerequisites: &[], weight: 0.7 },
+        TopicSpec { name: "automated testing", domain: SoftwareEngineering, terms: &["testing", "test", "generation", "coverage", "fuzzing", "mutation", "oracle"], prerequisites: &["program analysis"], weight: 0.7 },
+        TopicSpec { name: "code representation learning", domain: SoftwareEngineering, terms: &["code", "representation", "learning", "source", "embedding", "program", "neural"], prerequisites: &["program analysis", "pretrained language models"], weight: 0.6 },
+        TopicSpec { name: "software defect prediction", domain: SoftwareEngineering, terms: &["defect", "prediction", "bug", "software", "metric", "quality", "fault"], prerequisites: &["automated testing", "statistical learning theory"], weight: 0.5 },
+        // --- Theory. ---
+        TopicSpec { name: "approximation algorithms", domain: Theory, terms: &["approximation", "algorithm", "hardness", "ratio", "optimization", "combinatorial", "np"], prerequisites: &[], weight: 0.6 },
+        TopicSpec { name: "graph algorithms", domain: Theory, terms: &["graph", "algorithm", "shortest", "path", "spanning", "tree", "flow", "matching"], prerequisites: &["approximation algorithms"], weight: 0.7 },
+        TopicSpec { name: "sublinear algorithms", domain: Theory, terms: &["sublinear", "streaming", "sketch", "sampling", "property", "testing", "estimation"], prerequisites: &["approximation algorithms"], weight: 0.4 },
+        // --- Graphics / multimedia. ---
+        TopicSpec { name: "neural rendering", domain: GraphicsMultimedia, terms: &["neural", "rendering", "radiance", "field", "view", "synthesis", "scene", "3d"], prerequisites: &["image classification", "generative adversarial networks"], weight: 0.6 },
+        TopicSpec { name: "video understanding", domain: GraphicsMultimedia, terms: &["video", "understanding", "action", "recognition", "temporal", "frame", "clip"], prerequisites: &["image classification"], weight: 0.6 },
+        // --- HCI. ---
+        TopicSpec { name: "activity recognition", domain: HumanComputerInteraction, terms: &["activity", "recognition", "wearable", "sensor", "human", "motion", "accelerometer"], prerequisites: &["statistical learning theory", "internet of things"], weight: 0.5 },
+        TopicSpec { name: "conversational agents", domain: HumanComputerInteraction, terms: &["conversational", "agent", "dialogue", "chatbot", "user", "interaction", "response"], prerequisites: &["pretrained language models", "question answering"], weight: 0.6 },
+        // --- Interdisciplinary. ---
+        TopicSpec { name: "computational biology sequence models", domain: Interdisciplinary, terms: &["protein", "sequence", "genomic", "biological", "structure", "prediction", "alignment"], prerequisites: &["sequence to sequence learning", "pretrained language models"], weight: 0.6 },
+        TopicSpec { name: "smart grid analytics", domain: Interdisciplinary, terms: &["smart", "grid", "energy", "load", "forecasting", "power", "demand"], prerequisites: &["data stream processing", "statistical learning theory"], weight: 0.5 },
+        TopicSpec { name: "autonomous driving perception", domain: Interdisciplinary, terms: &["autonomous", "driving", "perception", "lidar", "vehicle", "detection", "planning"], prerequisites: &["image classification", "reinforcement learning"], weight: 0.7 },
+    ];
+    SPECS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_catalog_is_nontrivial() {
+        let c = TopicCatalog::synthetic_default();
+        assert!(c.len() >= 50, "expected a rich catalogue, got {}", c.len());
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn every_domain_is_represented() {
+        let c = TopicCatalog::synthetic_default();
+        for d in Domain::RANKED {
+            assert!(!c.by_domain(d).is_empty(), "domain {d:?} has no topics");
+        }
+    }
+
+    #[test]
+    fn prerequisites_resolve_to_earlier_topics() {
+        let c = TopicCatalog::synthetic_default();
+        for t in c.iter() {
+            for &p in &t.prerequisites {
+                assert!(p.index() < t.id.index(), "{} has a forward prerequisite", t.name);
+            }
+        }
+    }
+
+    #[test]
+    fn pretrained_language_models_has_a_deep_chain() {
+        let c = TopicCatalog::synthetic_default();
+        let plm = c.by_name("pretrained language models").unwrap();
+        let closure = c.prerequisite_closure(plm.id);
+        assert!(closure.len() >= 4, "closure too small: {}", closure.len());
+        let names: Vec<_> =
+            closure.iter().map(|&id| c.get(id).unwrap().name.as_str()).collect();
+        assert!(names.contains(&"attention mechanisms"));
+        assert!(names.contains(&"neural networks"));
+    }
+
+    #[test]
+    fn closure_of_root_topic_is_empty() {
+        let c = TopicCatalog::synthetic_default();
+        let root = c.by_name("statistical learning theory").unwrap();
+        assert!(c.prerequisite_closure(root.id).is_empty());
+    }
+
+    #[test]
+    fn unknown_prerequisites_are_ignored() {
+        let mut c = TopicCatalog::new();
+        let id = c.add("lonely topic", Domain::Theory, &["alpha"], &["does not exist"], 1.0);
+        assert!(c.get(id).unwrap().prerequisites.is_empty());
+    }
+
+    #[test]
+    fn by_name_and_get_agree() {
+        let c = TopicCatalog::synthetic_default();
+        let t = c.by_name("graph databases").unwrap();
+        assert_eq!(c.get(t.id).unwrap().name, "graph databases");
+        assert!(c.by_name("nonexistent topic").is_none());
+    }
+
+    #[test]
+    fn weights_are_positive() {
+        let c = TopicCatalog::synthetic_default();
+        assert!(c.iter().all(|t| t.weight > 0.0));
+    }
+
+    #[test]
+    fn domain_names_match_table_one() {
+        assert_eq!(Domain::ArtificialIntelligence.name(), "Artificial Intelligence");
+        assert_eq!(Domain::Uncertain.name(), "Uncertain Topics");
+        assert_eq!(Domain::RANKED.len(), 10);
+    }
+
+    #[test]
+    fn terms_are_nonempty_for_all_topics() {
+        let c = TopicCatalog::synthetic_default();
+        assert!(c.iter().all(|t| t.terms.len() >= 5));
+    }
+}

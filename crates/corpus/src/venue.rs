@@ -1,0 +1,205 @@
+//! Publication venues and venue scores.
+//!
+//! Eq. (3) of the paper mixes a PageRank score with a per-paper *venue score*
+//! derived from the CCF venue ranking (three expert-assigned tiers) and the
+//! AMiner influence score, averaged.  The real rankings cover ~700 venues;
+//! this module provides a synthetic venue table with the same structure: each
+//! venue has a CCF-style tier (A/B/C) and an AMiner-style influence score in
+//! `[0, 1]`, and [`VenueTable::venue_score`] returns the average of the two
+//! (with the tier mapped onto `[0, 1]`).
+
+use serde::{Deserialize, Serialize};
+
+/// A dense venue identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VenueId(pub u32);
+
+impl VenueId {
+    /// The id as an array index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// CCF-style venue tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VenueTier {
+    /// Top-tier venue (CCF A).
+    A,
+    /// Mid-tier venue (CCF B).
+    B,
+    /// Entry-tier venue (CCF C).
+    C,
+    /// Venue outside the ranked collection (workshops, arXiv-only, unknown).
+    Unranked,
+}
+
+impl VenueTier {
+    /// Maps the tier onto a `[0, 1]` score, mirroring the manual CCF levels.
+    pub fn score(self) -> f64 {
+        match self {
+            VenueTier::A => 1.0,
+            VenueTier::B => 0.7,
+            VenueTier::C => 0.4,
+            VenueTier::Unranked => 0.1,
+        }
+    }
+}
+
+/// A publication venue.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Venue {
+    /// Dense identifier.
+    pub id: VenueId,
+    /// Venue name (e.g. "ICDE", "Journal of Synthetic Databases").
+    pub name: String,
+    /// CCF-style tier.
+    pub tier: VenueTier,
+    /// AMiner-style influence score in `[0, 1]`.
+    pub influence: f64,
+}
+
+/// The table of all venues known to the corpus.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct VenueTable {
+    venues: Vec<Venue>,
+}
+
+impl VenueTable {
+    /// Creates an empty venue table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates the default synthetic venue collection: a fixed catalogue of
+    /// venues across the three tiers plus an unranked bucket, enough for the
+    /// generator to spread papers realistically.
+    pub fn synthetic_default() -> Self {
+        let mut table = VenueTable::new();
+        let spec: &[(&str, VenueTier, f64)] = &[
+            ("Synthetic Transactions on Databases", VenueTier::A, 0.95),
+            ("Conference on Learning Representations (synthetic)", VenueTier::A, 0.92),
+            ("Synthetic Conference on Data Engineering", VenueTier::A, 0.90),
+            ("Annual Meeting on Computational Linguistics (synthetic)", VenueTier::A, 0.88),
+            ("Symposium on Theory of Computing (synthetic)", VenueTier::A, 0.85),
+            ("Synthetic Conference on Computer Vision", VenueTier::A, 0.87),
+            ("Journal of Machine Intelligence (synthetic)", VenueTier::B, 0.70),
+            ("Synthetic Conference on Information Retrieval", VenueTier::B, 0.68),
+            ("Synthetic Networking Conference", VenueTier::B, 0.64),
+            ("Conference on Software Engineering Practice (synthetic)", VenueTier::B, 0.62),
+            ("Synthetic Security and Privacy Workshop Series", VenueTier::B, 0.60),
+            ("Synthetic Graphics Forum", VenueTier::B, 0.58),
+            ("Regional Conference on Intelligent Systems", VenueTier::C, 0.40),
+            ("Synthetic Workshop on Emerging Topics", VenueTier::C, 0.35),
+            ("Journal of Applied Computing Studies", VenueTier::C, 0.32),
+            ("Student Symposium on Computing", VenueTier::C, 0.28),
+            ("arXiv preprint (synthetic)", VenueTier::Unranked, 0.15),
+            ("Unspecified venue", VenueTier::Unranked, 0.05),
+        ];
+        for (name, tier, influence) in spec {
+            table.add(name, *tier, *influence);
+        }
+        table
+    }
+
+    /// Adds a venue and returns its id.
+    pub fn add(&mut self, name: &str, tier: VenueTier, influence: f64) -> VenueId {
+        let id = VenueId(self.venues.len() as u32);
+        self.venues.push(Venue {
+            id,
+            name: name.to_string(),
+            tier,
+            influence: influence.clamp(0.0, 1.0),
+        });
+        id
+    }
+
+    /// Number of venues.
+    pub fn len(&self) -> usize {
+        self.venues.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.venues.is_empty()
+    }
+
+    /// Looks up a venue.
+    pub fn get(&self, id: VenueId) -> Option<&Venue> {
+        self.venues.get(id.index())
+    }
+
+    /// All venues.
+    pub fn iter(&self) -> impl Iterator<Item = &Venue> {
+        self.venues.iter()
+    }
+
+    /// Venues of a given tier.
+    pub fn by_tier(&self, tier: VenueTier) -> Vec<VenueId> {
+        self.venues.iter().filter(|v| v.tier == tier).map(|v| v.id).collect()
+    }
+
+    /// The venue score used by Eq. (3): the average of the tier score (CCF
+    /// proxy) and the influence score (AMiner proxy), in `[0, 1]`.  Unknown
+    /// venues score as `Unranked`.
+    pub fn venue_score(&self, id: VenueId) -> f64 {
+        match self.get(id) {
+            Some(v) => (v.tier.score() + v.influence) / 2.0,
+            None => (VenueTier::Unranked.score() + 0.0) / 2.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tier_scores_are_ordered() {
+        assert!(VenueTier::A.score() > VenueTier::B.score());
+        assert!(VenueTier::B.score() > VenueTier::C.score());
+        assert!(VenueTier::C.score() > VenueTier::Unranked.score());
+    }
+
+    #[test]
+    fn synthetic_table_has_all_tiers() {
+        let t = VenueTable::synthetic_default();
+        assert!(t.len() >= 12);
+        for tier in [VenueTier::A, VenueTier::B, VenueTier::C, VenueTier::Unranked] {
+            assert!(!t.by_tier(tier).is_empty(), "missing tier {tier:?}");
+        }
+    }
+
+    #[test]
+    fn venue_score_is_average_of_tier_and_influence() {
+        let mut t = VenueTable::new();
+        let id = t.add("Test venue", VenueTier::A, 0.5);
+        assert!((t.venue_score(id) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_venue_scores_low() {
+        let t = VenueTable::synthetic_default();
+        let unknown = t.venue_score(VenueId(9999));
+        let best_known = t.iter().map(|v| t.venue_score(v.id)).fold(0.0, f64::max);
+        assert!(unknown < best_known);
+        assert!(unknown >= 0.0);
+    }
+
+    #[test]
+    fn influence_is_clamped() {
+        let mut t = VenueTable::new();
+        let id = t.add("Overclaimed venue", VenueTier::C, 7.0);
+        assert_eq!(t.get(id).unwrap().influence, 1.0);
+    }
+
+    #[test]
+    fn scores_stay_in_unit_interval() {
+        let t = VenueTable::synthetic_default();
+        for v in t.iter() {
+            let s = t.venue_score(v.id);
+            assert!((0.0..=1.0).contains(&s), "score {s} out of range for {}", v.name);
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! The AMiner-like engine.
+//!
+//! Differentiated from the other two simulated engines by using log-TF-IDF
+//! scoring (rather than BM25) and a stronger citation prior, reflecting
+//! AMiner's emphasis on scholarly impact metrics.
+
+use crate::engine::{EngineIndex, LexicalConfig, LexicalEngine, LexicalScoring, Query, SearchEngine};
+use rpg_corpus::{Corpus, PaperId};
+use std::sync::Arc;
+
+/// The simulated AMiner engine.
+#[derive(Debug, Clone)]
+pub struct AminerEngine {
+    inner: LexicalEngine,
+}
+
+impl AminerEngine {
+    /// The ranking configuration characterising this engine.
+    pub fn config() -> LexicalConfig {
+        LexicalConfig {
+            scoring: LexicalScoring::TfIdf,
+            title_boost: 2.0,
+            citation_weight: 0.6,
+            recency_weight: 0.0,
+        }
+    }
+
+    /// Builds the engine over a corpus.
+    pub fn build(corpus: &Corpus) -> Self {
+        Self::from_index(EngineIndex::build(corpus))
+    }
+
+    /// Builds the engine from an already-built shared index.
+    pub fn from_index(index: Arc<EngineIndex>) -> Self {
+        AminerEngine { inner: LexicalEngine::new(index, "AMiner (simulated)", Self::config()) }
+    }
+}
+
+impl SearchEngine for AminerEngine {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn search(&self, query: &Query<'_>) -> Vec<PaperId> {
+        self.inner.search(query)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpg_corpus::{generate, CorpusConfig};
+
+    fn corpus() -> Corpus {
+        generate(&CorpusConfig { seed: 35, ..CorpusConfig::small() })
+    }
+
+    #[test]
+    fn returns_results_for_survey_queries() {
+        let c = corpus();
+        let engine = AminerEngine::build(&c);
+        let mut non_empty = 0;
+        for survey in c.survey_bank().iter().take(10) {
+            if !engine.search(&Query::simple(&survey.query, 20)).is_empty() {
+                non_empty += 1;
+            }
+        }
+        assert!(non_empty >= 8, "AMiner simulation failed on too many queries: {non_empty}/10");
+    }
+
+    #[test]
+    fn respects_top_k_and_year_cutoff() {
+        let c = corpus();
+        let engine = AminerEngine::build(&c);
+        let survey = c.survey_bank().iter().next().unwrap();
+        let results = engine.search(&Query {
+            text: &survey.query,
+            top_k: 10,
+            max_year: Some(survey.year),
+            exclude: &[],
+        });
+        assert!(results.len() <= 10);
+        for p in results {
+            assert!(c.year(p) <= survey.year);
+        }
+    }
+
+    #[test]
+    fn name_identifies_the_engine() {
+        let c = corpus();
+        assert!(AminerEngine::build(&c).name().contains("AMiner"));
+    }
+}

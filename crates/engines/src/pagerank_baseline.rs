@@ -1,0 +1,167 @@
+//! The PageRank re-ranking baseline.
+//!
+//! As in the paper (Section VI-A): "we first expand initial seed nodes
+//! returned from Google Scholar to their neighbours as candidates, and then
+//! the PageRank algorithm is applied to reorder initial seeds and expanded
+//! candidates together".  The expected failure mode — which the evaluation
+//! reproduces — is that PageRank "always returns the papers whose citation
+//! number is the largest", regardless of topical relevance.
+
+use crate::engine::{Query, SearchEngine};
+use crate::scholar::ScholarEngine;
+use rpg_corpus::{Corpus, PaperId};
+use rpg_graph::pagerank::{pagerank_default, PageRankScores};
+use rpg_graph::traversal::{expand, Direction};
+use rpg_graph::CitationGraph;
+use std::sync::Arc;
+
+/// The PageRank re-ranking baseline.
+pub struct PageRankBaseline {
+    scholar: ScholarEngine,
+    graph: Arc<CitationGraph>,
+    scores: PageRankScores,
+    years: Vec<u16>,
+    /// Number of seed papers taken from the scholar engine.
+    pub seed_count: usize,
+    /// Expansion depth (the paper uses 1st- and 2nd-order neighbours).
+    pub expansion_hops: u8,
+}
+
+impl PageRankBaseline {
+    /// Builds the baseline: global PageRank over the whole citation graph plus
+    /// a Scholar engine for seeds.
+    pub fn build(corpus: &Corpus, scholar: ScholarEngine) -> Self {
+        let graph = Arc::new(corpus.graph().clone());
+        let scores = pagerank_default(&graph).expect("default PageRank configuration is valid");
+        let years = corpus.papers().iter().map(|p| p.year).collect();
+        PageRankBaseline { scholar, graph, scores, years, seed_count: 30, expansion_hops: 2 }
+    }
+
+    fn year(&self, paper: PaperId) -> u16 {
+        self.years.get(paper.index()).copied().unwrap_or(0)
+    }
+
+    /// The candidate set: seeds plus their 1st/2nd-order citation neighbours,
+    /// filtered by the query's year cut-off and exclusions.
+    pub fn candidates(&self, query: &Query<'_>) -> Vec<PaperId> {
+        let seed_query = Query { top_k: self.seed_count, ..*query };
+        let seeds = self.scholar.seed_papers(&seed_query);
+        let seed_nodes: Vec<_> = seeds.iter().map(|p| p.node()).collect();
+        let expansion = expand(&self.graph, &seed_nodes, self.expansion_hops, Direction::References)
+            .expect("seed papers come from the same corpus as the graph");
+        expansion
+            .nodes
+            .into_iter()
+            .map(PaperId::from_node)
+            .filter(|&p| query.admits(p, self.year(p)))
+            .collect()
+    }
+}
+
+impl SearchEngine for PageRankBaseline {
+    fn name(&self) -> &'static str {
+        "PageRank"
+    }
+
+    fn search(&self, query: &Query<'_>) -> Vec<PaperId> {
+        let mut candidates = self.candidates(query);
+        candidates.sort_by(|a, b| {
+            self.scores
+                .score(b.node())
+                .partial_cmp(&self.scores.score(a.node()))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(b))
+        });
+        candidates.truncate(query.top_k);
+        candidates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineIndex;
+    use rpg_corpus::{generate, CorpusConfig};
+
+    fn corpus() -> Corpus {
+        generate(&CorpusConfig { seed: 36, ..CorpusConfig::small() })
+    }
+
+    fn baseline(c: &Corpus) -> PageRankBaseline {
+        PageRankBaseline::build(c, ScholarEngine::from_index(EngineIndex::build(c)))
+    }
+
+    #[test]
+    fn expansion_grows_the_candidate_set() {
+        let c = corpus();
+        let b = baseline(&c);
+        let survey = c.survey_bank().iter().next().unwrap();
+        let q = Query::simple(&survey.query, 30);
+        let candidates = b.candidates(&q);
+        assert!(
+            candidates.len() > 30,
+            "expansion should add papers beyond the 30 seeds, got {}",
+            candidates.len()
+        );
+    }
+
+    #[test]
+    fn results_are_sorted_by_pagerank() {
+        let c = corpus();
+        let b = baseline(&c);
+        let survey = c.survey_bank().iter().next().unwrap();
+        let results = b.search(&Query::simple(&survey.query, 25));
+        for pair in results.windows(2) {
+            assert!(b.scores.score(pair[0].node()) >= b.scores.score(pair[1].node()));
+        }
+    }
+
+    #[test]
+    fn returns_globally_popular_papers() {
+        // The documented failure mode: heavily cited papers dominate.
+        let c = corpus();
+        let b = baseline(&c);
+        let survey = c.survey_bank().iter().next().unwrap();
+        let results = b.search(&Query::simple(&survey.query, 20));
+        let avg_citations: f64 = results
+            .iter()
+            .map(|&p| c.citation_count(p) as f64)
+            .sum::<f64>()
+            / results.len().max(1) as f64;
+        let corpus_avg: f64 = c
+            .papers()
+            .iter()
+            .map(|p| c.citation_count(p.id) as f64)
+            .sum::<f64>()
+            / c.len() as f64;
+        assert!(
+            avg_citations > corpus_avg,
+            "PageRank results ({avg_citations:.2}) should be more cited than average ({corpus_avg:.2})"
+        );
+    }
+
+    #[test]
+    fn respects_filters_and_top_k() {
+        let c = corpus();
+        let b = baseline(&c);
+        let survey = c.survey_bank().iter().next().unwrap();
+        let exclude = [survey.paper];
+        let results = b.search(&Query {
+            text: &survey.query,
+            top_k: 15,
+            max_year: Some(survey.year),
+            exclude: &exclude,
+        });
+        assert!(results.len() <= 15);
+        assert!(!results.contains(&survey.paper));
+        for p in results {
+            assert!(c.year(p) <= survey.year);
+        }
+    }
+
+    #[test]
+    fn name_is_pagerank() {
+        let c = corpus();
+        assert_eq!(baseline(&c).name(), "PageRank");
+    }
+}

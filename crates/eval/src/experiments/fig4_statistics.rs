@@ -1,0 +1,139 @@
+//! Fig. 4 + Table I — SurveyBank statistics.
+//!
+//! Regenerates the three distributions of Fig. 4 (citation counts,
+//! publication years, reference-list lengths of the surveys) and the Table I
+//! topic distribution over the ten CCF domains.
+
+use crate::report::{fmt_pct, format_table};
+use rpg_corpus::stats::{
+    summarize, survey_citation_distribution, survey_reference_distribution,
+    survey_year_distribution, topic_distribution, CorpusSummary, DomainCount, Histogram,
+};
+use rpg_corpus::Corpus;
+use serde::{Deserialize, Serialize};
+
+/// The Fig. 4 / Table I report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig4Report {
+    /// Fig. 4(a): citation-count distribution of the surveys.
+    pub citation_distribution: Histogram,
+    /// Fig. 4(b): publication-year distribution of the surveys.
+    pub year_distribution: Histogram,
+    /// Fig. 4(c): reference-count distribution of the surveys.
+    pub reference_distribution: Histogram,
+    /// Table I: surveys per domain.
+    pub topic_distribution: Vec<DomainCount>,
+    /// Headline corpus summary (paper counts, average references, ...).
+    pub summary: CorpusSummary,
+}
+
+/// Computes all SurveyBank statistics for a corpus.
+pub fn run(corpus: &Corpus) -> Fig4Report {
+    let bank = corpus.survey_bank();
+    Fig4Report {
+        citation_distribution: survey_citation_distribution(bank),
+        year_distribution: survey_year_distribution(bank),
+        reference_distribution: survey_reference_distribution(bank),
+        topic_distribution: topic_distribution(corpus, bank),
+        summary: summarize(corpus),
+    }
+}
+
+fn histogram_rows(histogram: &Histogram) -> Vec<Vec<String>> {
+    histogram
+        .buckets
+        .iter()
+        .map(|b| vec![b.label.clone(), b.count.to_string()])
+        .collect()
+}
+
+/// Formats the report as the three histograms plus Table I.
+pub fn format(report: &Fig4Report) -> String {
+    let mut out = String::new();
+    out.push_str(&format_table(
+        "Fig. 4(a) — survey citation counts",
+        &["Citations", "Surveys"],
+        &histogram_rows(&report.citation_distribution),
+    ));
+    out.push('\n');
+    out.push_str(&format_table(
+        "Fig. 4(b) — survey publication years",
+        &["Years", "Surveys"],
+        &histogram_rows(&report.year_distribution),
+    ));
+    out.push('\n');
+    out.push_str(&format_table(
+        "Fig. 4(c) — survey reference counts",
+        &["References", "Surveys"],
+        &histogram_rows(&report.reference_distribution),
+    ));
+    out.push('\n');
+    let topic_rows: Vec<Vec<String>> = report
+        .topic_distribution
+        .iter()
+        .map(|row| vec![row.domain.clone(), row.count.to_string(), fmt_pct(row.share)])
+        .collect();
+    out.push_str(&format_table(
+        "Table I — topic distribution of surveys",
+        &["Domain", "#Papers", "Share"],
+        &topic_rows,
+    ));
+    out.push('\n');
+    let s = &report.summary;
+    out.push_str(&format!(
+        "corpus: {} papers, {} citation edges, {} surveys, {:.1} references/survey, {:.1}% recent, {:.1}% uncited\n",
+        s.papers,
+        s.citations,
+        s.surveys,
+        s.avg_survey_references,
+        s.recent_survey_share * 100.0,
+        s.uncited_survey_share * 100.0,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::test_support::test_corpus;
+
+    #[test]
+    fn distributions_cover_every_survey() {
+        let corpus = test_corpus();
+        let report = run(&corpus);
+        let n = corpus.survey_bank().len();
+        assert_eq!(report.citation_distribution.total(), n);
+        assert_eq!(report.year_distribution.total(), n);
+        assert_eq!(report.reference_distribution.total(), n);
+        let topic_total: usize = report.topic_distribution.iter().map(|r| r.count).sum();
+        assert_eq!(topic_total, n);
+        assert_eq!(report.summary.surveys, n);
+    }
+
+    #[test]
+    fn recent_years_dominate() {
+        // Fig. 4(b)'s shape: the overwhelming majority of surveys are recent.
+        let corpus = test_corpus();
+        let report = run(&corpus);
+        assert!(report.summary.recent_survey_share > 0.7);
+    }
+
+    #[test]
+    fn formatting_mentions_every_table() {
+        let corpus = test_corpus();
+        let report = run(&corpus);
+        let text = format(&report);
+        assert!(text.contains("Fig. 4(a)"));
+        assert!(text.contains("Fig. 4(b)"));
+        assert!(text.contains("Fig. 4(c)"));
+        assert!(text.contains("Table I"));
+        assert!(text.contains("Artificial Intelligence"));
+        assert!(text.contains("Uncertain Topics"));
+    }
+
+    #[test]
+    fn report_is_deterministic() {
+        let corpus = test_corpus();
+        assert_eq!(run(&corpus), run(&corpus));
+    }
+}

@@ -1,0 +1,146 @@
+//! Small helpers for printing paper-style tables and series, and for
+//! exporting experiment reports as JSON.
+
+use serde::Serialize;
+use std::fmt::Write as _;
+
+/// Serialises any experiment report to pretty-printed JSON, so results can be
+/// archived or plotted outside Rust.  Returns an error string on the (never
+/// expected) serialisation failure.
+pub fn to_json<T: Serialize>(report: &T) -> Result<String, String> {
+    serde_json::to_string_pretty(report).map_err(|e| e.to_string())
+}
+
+/// Writes a report as JSON to a file path, creating parent directories.
+pub fn write_json<T: Serialize>(report: &T, path: &std::path::Path) -> Result<(), String> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent).map_err(|e| e.to_string())?;
+    }
+    std::fs::write(path, to_json(report)?).map_err(|e| e.to_string())
+}
+
+/// Formats a table with a header row and aligned columns, suitable for
+/// printing from benches and examples.
+pub fn format_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "=== {title} ===");
+    let mut header_line = String::new();
+    for (i, h) in header.iter().enumerate() {
+        let _ = write!(header_line, "{:<width$}  ", h, width = widths[i]);
+    }
+    let _ = writeln!(out, "{}", header_line.trim_end());
+    let _ = writeln!(out, "{}", "-".repeat(header_line.trim_end().len()));
+    for row in rows {
+        let mut line = String::new();
+        for (i, cell) in row.iter().enumerate() {
+            let width = widths.get(i).copied().unwrap_or(cell.len());
+            let _ = write!(line, "{:<width$}  ", cell, width = width);
+        }
+        let _ = writeln!(out, "{}", line.trim_end());
+    }
+    out
+}
+
+/// Formats a named series of (x, y) points as one row per x, used for the
+/// figure-style outputs (F1@K curves, overlap ratios).
+pub fn format_series(title: &str, x_label: &str, series: &[(String, Vec<(f64, f64)>)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "=== {title} ===");
+    for (name, points) in series {
+        let _ = writeln!(out, "[{name}]");
+        for (x, y) in points {
+            let _ = writeln!(out, "  {x_label}={x:<6} value={y:.4}");
+        }
+    }
+    out
+}
+
+/// Formats a float with 4 decimal places (the paper's table precision).
+pub fn fmt4(value: f64) -> String {
+    format!("{value:.4}")
+}
+
+/// Formats a share as a percentage with 2 decimal places.
+pub fn fmt_pct(value: f64) -> String {
+    format!("{:.2}%", value * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_contains_title_header_and_rows() {
+        let table = format_table(
+            "Table X",
+            &["Method", "F1"],
+            &[vec!["NEWST".to_string(), "0.2343".to_string()]],
+        );
+        assert!(table.contains("=== Table X ==="));
+        assert!(table.contains("Method"));
+        assert!(table.contains("NEWST"));
+        assert!(table.contains("0.2343"));
+    }
+
+    #[test]
+    fn table_aligns_wide_cells() {
+        let table = format_table(
+            "T",
+            &["A", "B"],
+            &[vec!["a-very-long-cell".to_string(), "x".to_string()]],
+        );
+        let lines: Vec<&str> = table.lines().collect();
+        assert!(lines.len() >= 4);
+    }
+
+    #[test]
+    fn series_lists_every_point() {
+        let s = format_series(
+            "Fig Y",
+            "K",
+            &[("NEWST".to_string(), vec![(20.0, 0.1), (30.0, 0.2)])],
+        );
+        assert!(s.contains("[NEWST]"));
+        assert!(s.contains("K=20"));
+        assert!(s.contains("value=0.2000"));
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt4(0.123456), "0.1235");
+        assert_eq!(fmt_pct(0.9310), "93.10%");
+    }
+
+    #[test]
+    fn json_export_round_trips_through_serde() {
+        #[derive(serde::Serialize, serde::Deserialize, PartialEq, Debug)]
+        struct Sample {
+            name: String,
+            values: Vec<f64>,
+        }
+        let sample = Sample { name: "NEWST".into(), values: vec![0.1, 0.2] };
+        let json = to_json(&sample).unwrap();
+        assert!(json.contains("NEWST"));
+        let back: Sample = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, sample);
+    }
+
+    #[test]
+    fn json_file_export_creates_directories() {
+        let dir = std::env::temp_dir().join("rpg_report_test");
+        let path = dir.join("nested").join("report.json");
+        let _ = std::fs::remove_dir_all(&dir);
+        write_json(&vec![1, 2, 3], &path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains('1'));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,216 @@
+//! Connected components of the undirected citation-graph view.
+//!
+//! Used to sanity-check sub-citation graphs before running NEWST (the Steiner
+//! machinery requires all terminals in a single component) and to sample a
+//! connected sub-graph for the Fig. 5 style visualisation.
+
+use crate::mst::UnionFind;
+use crate::{CitationGraph, GraphError, NodeId, WeightedGraph};
+
+/// A partition of a graph's nodes into connected components.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Components {
+    /// `labels[i]` is the component index of node `i` (0-based, dense).
+    pub labels: Vec<u32>,
+    /// Number of components.
+    pub count: usize,
+}
+
+impl Components {
+    /// The component label of a node.
+    pub fn label(&self, node: NodeId) -> u32 {
+        self.labels[node.index()]
+    }
+
+    /// Whether two nodes share a component.
+    pub fn same_component(&self, a: NodeId, b: NodeId) -> bool {
+        self.label(a) == self.label(b)
+    }
+
+    /// All nodes belonging to component `label`.
+    pub fn members(&self, label: u32) -> Vec<NodeId> {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &l)| (l == label).then(|| NodeId::from_index(i)))
+            .collect()
+    }
+
+    /// The sizes of all components, indexed by label.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.count];
+        for &l in &self.labels {
+            sizes[l as usize] += 1;
+        }
+        sizes
+    }
+
+    /// The label of the largest component (ties broken by smallest label).
+    pub fn largest(&self) -> Option<u32> {
+        self.sizes()
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+            .map(|(label, _)| label as u32)
+    }
+}
+
+fn relabel(uf: &mut UnionFind, n: usize) -> Components {
+    let mut mapping = std::collections::HashMap::new();
+    let mut labels = vec![0u32; n];
+    for i in 0..n {
+        let root = uf.find(i);
+        let next = mapping.len() as u32;
+        let label = *mapping.entry(root).or_insert(next);
+        labels[i] = label;
+    }
+    Components { labels, count: mapping.len() }
+}
+
+/// Computes connected components of the undirected view of a citation graph.
+pub fn connected_components(graph: &CitationGraph) -> Components {
+    let n = graph.node_count();
+    let mut uf = UnionFind::new(n);
+    for (u, v) in graph.edges() {
+        uf.union(u.index(), v.index());
+    }
+    relabel(&mut uf, n)
+}
+
+/// Computes connected components of a weighted graph.
+pub fn weighted_components(graph: &WeightedGraph) -> Components {
+    let n = graph.node_count();
+    let mut uf = UnionFind::new(n);
+    for (a, b, _) in graph.edges() {
+        uf.union(a.index(), b.index());
+    }
+    relabel(&mut uf, n)
+}
+
+/// Checks that every node of `nodes` lies in one connected component of the
+/// weighted graph; returns the first offending node otherwise.
+pub fn all_in_one_component(
+    graph: &WeightedGraph,
+    nodes: &[NodeId],
+) -> Result<(), GraphError> {
+    let Some((&first, rest)) = nodes.split_first() else {
+        return Err(GraphError::EmptyTerminalSet);
+    };
+    graph.check_node(first)?;
+    let comps = weighted_components(graph);
+    for &n in rest {
+        graph.check_node(n)?;
+        if !comps.same_component(first, n) {
+            return Err(GraphError::TerminalsDisconnected { unreachable: n });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn two_islands() -> CitationGraph {
+        let mut b = GraphBuilder::new(6);
+        b.add_citation(NodeId(0), NodeId(1)).unwrap();
+        b.add_citation(NodeId(1), NodeId(2)).unwrap();
+        b.add_citation(NodeId(3), NodeId(4)).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn counts_components_including_isolates() {
+        let g = two_islands();
+        let c = connected_components(&g);
+        assert_eq!(c.count, 3); // {0,1,2}, {3,4}, {5}
+        assert!(c.same_component(NodeId(0), NodeId(2)));
+        assert!(!c.same_component(NodeId(0), NodeId(3)));
+        assert!(!c.same_component(NodeId(4), NodeId(5)));
+    }
+
+    #[test]
+    fn sizes_and_largest_are_consistent() {
+        let g = two_islands();
+        let c = connected_components(&g);
+        let sizes = c.sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), 6);
+        let largest = c.largest().unwrap();
+        assert_eq!(sizes[largest as usize], 3);
+        assert_eq!(c.members(largest).len(), 3);
+    }
+
+    #[test]
+    fn weighted_components_match_structure() {
+        let mut g = WeightedGraph::with_zero_weights(4);
+        g.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        let c = weighted_components(&g);
+        assert_eq!(c.count, 3);
+    }
+
+    #[test]
+    fn one_component_check_reports_offender() {
+        let mut g = WeightedGraph::with_zero_weights(4);
+        g.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        g.add_edge(NodeId(2), NodeId(3), 1.0).unwrap();
+        assert!(all_in_one_component(&g, &[NodeId(0), NodeId(1)]).is_ok());
+        assert_eq!(
+            all_in_one_component(&g, &[NodeId(0), NodeId(2)]),
+            Err(GraphError::TerminalsDisconnected { unreachable: NodeId(2) })
+        );
+        assert_eq!(all_in_one_component(&g, &[]), Err(GraphError::EmptyTerminalSet));
+    }
+
+    #[test]
+    fn empty_graph_has_zero_components() {
+        let g = CitationGraph::empty(0);
+        let c = connected_components(&g);
+        assert_eq!(c.count, 0);
+        assert!(c.largest().is_none());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::GraphBuilder;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Component labels agree with pairwise reachability in the undirected
+        /// view, checked through BFS.
+        #[test]
+        fn labels_agree_with_reachability(
+            edges in prop::collection::vec((0u32..20, 0u32..20), 0..80),
+            a in 0u32..20,
+            b in 0u32..20,
+        ) {
+            let mut builder = GraphBuilder::new(20);
+            for (u, v) in edges {
+                if u != v {
+                    builder.add_citation(NodeId(u), NodeId(v)).unwrap();
+                }
+            }
+            let g = builder.build();
+            let comps = connected_components(&g);
+            let dist = crate::traversal::bfs_distances(&g, NodeId(a), crate::traversal::Direction::Both).unwrap();
+            let reachable = dist[b as usize].is_some();
+            prop_assert_eq!(reachable, comps.same_component(NodeId(a), NodeId(b)));
+        }
+
+        /// Component sizes always sum to the node count.
+        #[test]
+        fn sizes_partition_the_nodes(edges in prop::collection::vec((0u32..25, 0u32..25), 0..100)) {
+            let mut builder = GraphBuilder::new(25);
+            for (u, v) in edges {
+                if u != v {
+                    builder.add_citation(NodeId(u), NodeId(v)).unwrap();
+                }
+            }
+            let g = builder.build();
+            let comps = connected_components(&g);
+            prop_assert_eq!(comps.sizes().iter().sum::<usize>(), 25);
+        }
+    }
+}

@@ -1,0 +1,355 @@
+//! Shortest paths over node- and edge-weighted graphs.
+//!
+//! The KMB heuristic for NEWST (Algorithm 1 of the paper) needs the "metric
+//! closure" of the weighted citation graph: for every pair of compulsory
+//! terminals, the cheapest path where the cost of a path includes both its
+//! edge costs and the node weights of the papers it passes through.  The
+//! paper defines a shortest path from `Pi` to `Pj` as one "whose distance,
+//! including node costs and edge weights, is minimal".
+//!
+//! The convention used here (and documented on [`path_cost`]) is:
+//!
+//! * every edge on the path contributes its edge cost, and
+//! * every *interior* vertex contributes its node weight — the two endpoints
+//!   do not, so that the distance is symmetric and terminal weights are not
+//!   double-counted when paths are concatenated into a tree.  Terminal and
+//!   branch vertex weights are accounted for once, at tree-costing time, by
+//!   [`crate::WeightedGraph::subgraph_cost`].
+
+use crate::{GraphError, NodeId, WeightedGraph};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A shortest path between two nodes, including both endpoints.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShortestPath {
+    /// The node sequence from source to target (inclusive).
+    pub nodes: Vec<NodeId>,
+    /// The path cost under the node+edge convention described at the module
+    /// level.
+    pub cost: f64,
+}
+
+impl ShortestPath {
+    /// The edges of the path as consecutive pairs.
+    pub fn edges(&self) -> Vec<(NodeId, NodeId)> {
+        self.nodes.windows(2).map(|w| (w[0], w[1])).collect()
+    }
+
+    /// Number of edges on the path.
+    pub fn hop_count(&self) -> usize {
+        self.nodes.len().saturating_sub(1)
+    }
+}
+
+#[derive(Debug, PartialEq)]
+struct HeapEntry {
+    cost: f64,
+    node: NodeId,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse so the BinaryHeap acts as a min-heap; costs are finite and
+        // non-NaN by construction of WeightedGraph.
+        other.cost.partial_cmp(&self.cost).unwrap_or(Ordering::Equal)
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Computes, for every node, the cheapest cost of reaching it from `source`
+/// under the node+edge cost convention, together with predecessor links.
+///
+/// Returns `(costs, predecessors)`, where unreachable nodes have
+/// `f64::INFINITY` cost and `None` predecessor.
+pub fn single_source(
+    graph: &WeightedGraph,
+    source: NodeId,
+) -> Result<(Vec<f64>, Vec<Option<NodeId>>), GraphError> {
+    graph.check_node(source)?;
+    let n = graph.node_count();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut prev: Vec<Option<NodeId>> = vec![None; n];
+    let mut settled = vec![false; n];
+    let mut heap = BinaryHeap::new();
+    dist[source.index()] = 0.0;
+    heap.push(HeapEntry { cost: 0.0, node: source });
+
+    while let Some(HeapEntry { cost, node }) = heap.pop() {
+        if settled[node.index()] {
+            continue;
+        }
+        settled[node.index()] = true;
+        for &(next, edge_cost) in graph.neighbors(node) {
+            if settled[next.index()] {
+                continue;
+            }
+            // Entering `next` from `node`: pay the edge, plus `node`'s weight
+            // if `node` is an interior vertex (i.e. not the source).
+            let interior_weight = if node == source { 0.0 } else { graph.node_weight(node) };
+            let candidate = cost + edge_cost + interior_weight;
+            if candidate < dist[next.index()] {
+                dist[next.index()] = candidate;
+                prev[next.index()] = Some(node);
+                heap.push(HeapEntry { cost: candidate, node: next });
+            }
+        }
+    }
+    Ok((dist, prev))
+}
+
+/// The cost of a concrete path (given as a node sequence) under the same
+/// convention as [`single_source`]: all edge costs plus interior node
+/// weights.  Returns an error if any consecutive pair is not an edge.
+pub fn path_cost(graph: &WeightedGraph, nodes: &[NodeId]) -> Result<f64, GraphError> {
+    let mut cost = 0.0;
+    for w in nodes.windows(2) {
+        match graph.edge_cost(w[0], w[1]) {
+            Some(c) => cost += c,
+            None => {
+                return Err(GraphError::InvalidWeight {
+                    what: format!("missing edge between {} and {}", w[0], w[1]),
+                })
+            }
+        }
+    }
+    if nodes.len() > 2 {
+        for &v in &nodes[1..nodes.len() - 1] {
+            cost += graph.node_weight(v);
+        }
+    }
+    Ok(cost)
+}
+
+/// Computes the cheapest path from `source` to `target`.
+///
+/// Returns `Ok(None)` if `target` is unreachable.
+pub fn shortest_path(
+    graph: &WeightedGraph,
+    source: NodeId,
+    target: NodeId,
+) -> Result<Option<ShortestPath>, GraphError> {
+    graph.check_node(target)?;
+    let (dist, prev) = single_source(graph, source)?;
+    if dist[target.index()].is_infinite() {
+        return Ok(None);
+    }
+    let mut nodes = vec![target];
+    let mut current = target;
+    while current != source {
+        let p = prev[current.index()].expect("finite-cost node has a predecessor");
+        nodes.push(p);
+        current = p;
+    }
+    nodes.reverse();
+    Ok(Some(ShortestPath { nodes, cost: dist[target.index()] }))
+}
+
+/// Computes cheapest paths from `source` to each of `targets` with a single
+/// Dijkstra run.  Unreachable targets map to `None`.
+pub fn shortest_paths_to(
+    graph: &WeightedGraph,
+    source: NodeId,
+    targets: &[NodeId],
+) -> Result<Vec<Option<ShortestPath>>, GraphError> {
+    for &t in targets {
+        graph.check_node(t)?;
+    }
+    let (dist, prev) = single_source(graph, source)?;
+    let mut out = Vec::with_capacity(targets.len());
+    for &target in targets {
+        if dist[target.index()].is_infinite() {
+            out.push(None);
+            continue;
+        }
+        let mut nodes = vec![target];
+        let mut current = target;
+        while current != source {
+            let p = prev[current.index()].expect("finite-cost node has a predecessor");
+            nodes.push(p);
+            current = p;
+        }
+        nodes.reverse();
+        out.push(Some(ShortestPath { nodes, cost: dist[target.index()] }));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Path graph 0 - 1 - 2 - 3 with unit edge costs and node weights
+    /// [0, 10, 1, 0], plus a direct expensive edge 0 - 3.
+    fn fixture() -> WeightedGraph {
+        let mut g = WeightedGraph::new(vec![0.0, 10.0, 1.0, 0.0]).unwrap();
+        g.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        g.add_edge(NodeId(1), NodeId(2), 1.0).unwrap();
+        g.add_edge(NodeId(2), NodeId(3), 1.0).unwrap();
+        g.add_edge(NodeId(0), NodeId(3), 5.0).unwrap();
+        g
+    }
+
+    #[test]
+    fn node_weights_divert_the_path() {
+        let g = fixture();
+        // Via the chain: edges 3, interior weights 10 + 1 = 11 -> 14.
+        // Direct edge: 5.  The direct edge must win.
+        let p = shortest_path(&g, NodeId(0), NodeId(3)).unwrap().unwrap();
+        assert_eq!(p.nodes, vec![NodeId(0), NodeId(3)]);
+        assert!((p.cost - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interior_weights_are_charged() {
+        let g = fixture();
+        // Via 1: edges 1 + 1 plus interior weight 10 = 12.
+        // Via 3: edges 5 + 1 plus interior weight 0 = 6.  The detour around
+        // the heavy interior node must win even though it has more edge cost.
+        let p = shortest_path(&g, NodeId(0), NodeId(2)).unwrap().unwrap();
+        assert_eq!(p.nodes, vec![NodeId(0), NodeId(3), NodeId(2)]);
+        assert!((p.cost - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn endpoint_weights_are_not_charged() {
+        let g = fixture();
+        let p = shortest_path(&g, NodeId(1), NodeId(2)).unwrap().unwrap();
+        assert!((p.cost - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn path_cost_matches_dijkstra() {
+        let g = fixture();
+        let p = shortest_path(&g, NodeId(0), NodeId(2)).unwrap().unwrap();
+        let recomputed = path_cost(&g, &p.nodes).unwrap();
+        assert!((recomputed - p.cost).abs() < 1e-12);
+    }
+
+    #[test]
+    fn path_cost_rejects_non_edges() {
+        let g = fixture();
+        assert!(path_cost(&g, &[NodeId(0), NodeId(2)]).is_err());
+    }
+
+    #[test]
+    fn unreachable_target_returns_none() {
+        let mut g = WeightedGraph::with_zero_weights(3);
+        g.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        assert!(shortest_path(&g, NodeId(0), NodeId(2)).unwrap().is_none());
+    }
+
+    #[test]
+    fn trivial_path_to_self_has_zero_cost() {
+        let g = fixture();
+        let p = shortest_path(&g, NodeId(2), NodeId(2)).unwrap().unwrap();
+        assert_eq!(p.nodes, vec![NodeId(2)]);
+        assert_eq!(p.cost, 0.0);
+        assert_eq!(p.hop_count(), 0);
+    }
+
+    #[test]
+    fn batched_targets_match_individual_queries() {
+        let g = fixture();
+        let batch = shortest_paths_to(&g, NodeId(0), &[NodeId(1), NodeId(2), NodeId(3)]).unwrap();
+        for (i, target) in [NodeId(1), NodeId(2), NodeId(3)].iter().enumerate() {
+            let single = shortest_path(&g, NodeId(0), *target).unwrap().unwrap();
+            let batched = batch[i].as_ref().unwrap();
+            assert_eq!(single.nodes, batched.nodes);
+            assert!((single.cost - batched.cost).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn out_of_bounds_nodes_are_rejected() {
+        let g = fixture();
+        assert!(shortest_path(&g, NodeId(0), NodeId(9)).is_err());
+        assert!(single_source(&g, NodeId(9)).is_err());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn random_graph(
+        n: usize,
+        edges: &[(u32, u32, u16)],
+        weights: &[u16],
+    ) -> WeightedGraph {
+        let node_weights: Vec<f64> =
+            (0..n).map(|i| f64::from(weights[i % weights.len().max(1)])).collect();
+        let mut g = WeightedGraph::new(node_weights).unwrap();
+        for &(a, b, c) in edges {
+            let (a, b) = ((a as usize % n) as u32, (b as usize % n) as u32);
+            if a != b {
+                g.add_edge(NodeId(a), NodeId(b), f64::from(c) + 1.0).unwrap();
+            }
+        }
+        g
+    }
+
+    proptest! {
+        /// The symmetric-distance property: d(a, b) == d(b, a) under the
+        /// interior-node-weight convention.
+        #[test]
+        fn distances_are_symmetric(
+            edges in prop::collection::vec((0u32..15, 0u32..15, 0u16..50), 1..80),
+            weights in prop::collection::vec(0u16..20, 1..16),
+            a in 0u32..15,
+            b in 0u32..15,
+        ) {
+            let g = random_graph(15, &edges, &weights);
+            let ab = shortest_path(&g, NodeId(a), NodeId(b)).unwrap().map(|p| p.cost);
+            let ba = shortest_path(&g, NodeId(b), NodeId(a)).unwrap().map(|p| p.cost);
+            match (ab, ba) {
+                (Some(x), Some(y)) => prop_assert!((x - y).abs() < 1e-9),
+                (None, None) => {}
+                _ => prop_assert!(false, "reachability must be symmetric"),
+            }
+        }
+
+        /// Triangle inequality on the metric closure: d(a, c) <= d(a, b) + d(b, c) + w(b).
+        /// (Concatenating the two paths makes b an interior vertex, hence the w(b) term.)
+        #[test]
+        fn relaxed_triangle_inequality(
+            edges in prop::collection::vec((0u32..12, 0u32..12, 0u16..30), 1..60),
+            weights in prop::collection::vec(0u16..10, 1..13),
+            a in 0u32..12,
+            b in 0u32..12,
+            c in 0u32..12,
+        ) {
+            let g = random_graph(12, &edges, &weights);
+            let dab = shortest_path(&g, NodeId(a), NodeId(b)).unwrap().map(|p| p.cost);
+            let dbc = shortest_path(&g, NodeId(b), NodeId(c)).unwrap().map(|p| p.cost);
+            let dac = shortest_path(&g, NodeId(a), NodeId(c)).unwrap().map(|p| p.cost);
+            if let (Some(x), Some(y), Some(z)) = (dab, dbc, dac) {
+                prop_assert!(z <= x + y + g.node_weight(NodeId(b)) + 1e-9);
+            }
+        }
+
+        /// The reported cost always equals the recomputed cost of the
+        /// returned node sequence.
+        #[test]
+        fn reported_cost_matches_path(
+            edges in prop::collection::vec((0u32..12, 0u32..12, 0u16..30), 1..60),
+            weights in prop::collection::vec(0u16..10, 1..13),
+            a in 0u32..12,
+            b in 0u32..12,
+        ) {
+            let g = random_graph(12, &edges, &weights);
+            if let Some(p) = shortest_path(&g, NodeId(a), NodeId(b)).unwrap() {
+                let recomputed = path_cost(&g, &p.nodes).unwrap();
+                prop_assert!((recomputed - p.cost).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Error type shared by the graph algorithms.
+
+use crate::NodeId;
+use std::fmt;
+
+/// Errors produced by graph construction and graph algorithms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A node id referenced by an operation does not exist in the graph.
+    NodeOutOfBounds {
+        /// The offending node.
+        node: NodeId,
+        /// The number of nodes in the graph.
+        node_count: usize,
+    },
+    /// A Steiner tree / shortest-path query was issued with an empty terminal
+    /// set or no valid source.
+    EmptyTerminalSet,
+    /// The requested terminals are not all in the same connected component, so
+    /// no tree can span them.
+    TerminalsDisconnected {
+        /// A terminal that could not be reached from the first terminal.
+        unreachable: NodeId,
+    },
+    /// A weight or cost was negative, NaN, or otherwise unusable.
+    InvalidWeight {
+        /// Human-readable description of the offending quantity.
+        what: String,
+    },
+    /// An edge refers to identical endpoints where a simple graph is required.
+    SelfLoop {
+        /// The node citing itself.
+        node: NodeId,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfBounds { node, node_count } => {
+                write!(f, "node {node} out of bounds for graph with {node_count} nodes")
+            }
+            GraphError::EmptyTerminalSet => write!(f, "terminal set is empty"),
+            GraphError::TerminalsDisconnected { unreachable } => {
+                write!(f, "terminal {unreachable} is not connected to the other terminals")
+            }
+            GraphError::InvalidWeight { what } => write!(f, "invalid weight: {what}"),
+            GraphError::SelfLoop { node } => write!(f, "self-loop on node {node}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_node_and_bounds() {
+        let err = GraphError::NodeOutOfBounds { node: NodeId(9), node_count: 4 };
+        let msg = err.to_string();
+        assert!(msg.contains("n9"));
+        assert!(msg.contains('4'));
+    }
+
+    #[test]
+    fn display_for_disconnected_terminals() {
+        let err = GraphError::TerminalsDisconnected { unreachable: NodeId(3) };
+        assert!(err.to_string().contains("n3"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        let err: Box<dyn std::error::Error> = Box::new(GraphError::EmptyTerminalSet);
+        assert!(!err.to_string().is_empty());
+    }
+}

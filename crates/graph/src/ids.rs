@@ -1,0 +1,85 @@
+//! Strongly-typed node identifiers.
+//!
+//! Graph nodes are dense `u32` indices.  A newtype keeps them from being
+//! confused with corpus-level paper identifiers (which live in `rpg-corpus`)
+//! and with positions in arbitrary vectors.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dense node index inside a [`crate::CitationGraph`] or
+/// [`crate::WeightedGraph`].
+///
+/// Node ids are assigned contiguously from `0` by [`crate::GraphBuilder`], so
+/// they can be used directly to index per-node arrays such as PageRank
+/// vectors or weight tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Returns the id as a `usize` suitable for indexing per-node arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a node id from an array index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in `u32`; graphs in this workspace are
+    /// bounded well below `u32::MAX` nodes.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        debug_assert!(index <= u32::MAX as usize, "node index overflows u32");
+        NodeId(index as u32)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(value: u32) -> Self {
+        NodeId(value)
+    }
+}
+
+impl From<NodeId> for u32 {
+    fn from(value: NodeId) -> Self {
+        value.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trips() {
+        let id = NodeId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id, NodeId(42));
+    }
+
+    #[test]
+    fn display_is_prefixed() {
+        assert_eq!(NodeId(7).to_string(), "n7");
+    }
+
+    #[test]
+    fn conversions_are_symmetric() {
+        let id: NodeId = 9u32.into();
+        let back: u32 = id.into();
+        assert_eq!(back, 9);
+    }
+
+    #[test]
+    fn ordering_follows_numeric_value() {
+        assert!(NodeId(1) < NodeId(2));
+        assert!(NodeId(100) > NodeId(99));
+    }
+}

@@ -1,0 +1,266 @@
+//! PageRank over the citation graph.
+//!
+//! Eq. (3) of the paper uses the PageRank score of each paper in the whole
+//! scientific citation network as the structural component of its node
+//! weight, and the paper also evaluates a plain PageRank re-ranking baseline.
+//! This module implements power-iteration PageRank with uniform teleportation
+//! and dangling-node redistribution over a [`CitationGraph`].
+
+use crate::{CitationGraph, GraphError, NodeId};
+
+/// Configuration for the PageRank power iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PageRankConfig {
+    /// Damping factor `d` (probability of following a citation edge rather
+    /// than teleporting).  The classical value is 0.85.
+    pub damping: f64,
+    /// Maximum number of power iterations.
+    pub max_iterations: usize,
+    /// L1 convergence tolerance between successive iterates.
+    pub tolerance: f64,
+}
+
+impl Default for PageRankConfig {
+    fn default() -> Self {
+        PageRankConfig { damping: 0.85, max_iterations: 100, tolerance: 1e-9 }
+    }
+}
+
+/// The result of a PageRank computation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PageRankScores {
+    /// Per-node scores, summing to 1 (a probability distribution).
+    pub scores: Vec<f64>,
+    /// Number of iterations actually performed.
+    pub iterations: usize,
+    /// Final L1 delta between the last two iterates.
+    pub delta: f64,
+}
+
+impl PageRankScores {
+    /// The score of a single node.
+    pub fn score(&self, node: NodeId) -> f64 {
+        self.scores[node.index()]
+    }
+
+    /// Node ids sorted by descending score (ties broken by ascending id for
+    /// determinism).
+    pub fn ranking(&self) -> Vec<NodeId> {
+        let mut order: Vec<NodeId> = (0..self.scores.len()).map(NodeId::from_index).collect();
+        order.sort_by(|a, b| {
+            self.scores[b.index()]
+                .partial_cmp(&self.scores[a.index()])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(b))
+        });
+        order
+    }
+}
+
+/// Runs PageRank on the citation graph, where a paper distributes its rank
+/// uniformly across its reference list (outgoing edges).
+///
+/// Dangling papers (no references) distribute their rank uniformly over the
+/// whole graph, which keeps the scores a proper distribution.
+pub fn pagerank(graph: &CitationGraph, config: PageRankConfig) -> Result<PageRankScores, GraphError> {
+    if !(0.0..1.0).contains(&config.damping) {
+        return Err(GraphError::InvalidWeight {
+            what: format!("damping factor {} outside [0, 1)", config.damping),
+        });
+    }
+    if config.tolerance <= 0.0 || !config.tolerance.is_finite() {
+        return Err(GraphError::InvalidWeight {
+            what: format!("tolerance {} must be positive and finite", config.tolerance),
+        });
+    }
+    let n = graph.node_count();
+    if n == 0 {
+        return Ok(PageRankScores { scores: Vec::new(), iterations: 0, delta: 0.0 });
+    }
+
+    let uniform = 1.0 / n as f64;
+    let mut rank = vec![uniform; n];
+    let mut next = vec![0.0; n];
+    let mut iterations = 0;
+    let mut delta = f64::INFINITY;
+
+    for _ in 0..config.max_iterations {
+        iterations += 1;
+        // Mass from dangling nodes is shared uniformly.
+        let dangling_mass: f64 = graph
+            .nodes()
+            .filter(|&u| graph.out_degree(u) == 0)
+            .map(|u| rank[u.index()])
+            .sum();
+        let base = (1.0 - config.damping) * uniform + config.damping * dangling_mass * uniform;
+        next.iter_mut().for_each(|x| *x = base);
+
+        for u in graph.nodes() {
+            let out = graph.references(u);
+            if out.is_empty() {
+                continue;
+            }
+            let share = config.damping * rank[u.index()] / out.len() as f64;
+            for &v in out {
+                next[v.index()] += share;
+            }
+        }
+
+        delta = rank
+            .iter()
+            .zip(next.iter())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        std::mem::swap(&mut rank, &mut next);
+        if delta < config.tolerance {
+            break;
+        }
+    }
+
+    Ok(PageRankScores { scores: rank, iterations, delta })
+}
+
+/// Convenience wrapper running PageRank with [`PageRankConfig::default`].
+pub fn pagerank_default(graph: &CitationGraph) -> Result<PageRankScores, GraphError> {
+    pagerank(graph, PageRankConfig::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    /// Star: papers 1..=4 all cite paper 0.
+    fn star() -> CitationGraph {
+        let mut b = GraphBuilder::new(5);
+        for i in 1..5 {
+            b.add_citation(NodeId(i), NodeId(0)).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn scores_form_a_distribution() {
+        let g = star();
+        let pr = pagerank_default(&g).unwrap();
+        let sum: f64 = pr.scores.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6, "sum = {sum}");
+        assert!(pr.scores.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn highly_cited_paper_ranks_first() {
+        let g = star();
+        let pr = pagerank_default(&g).unwrap();
+        assert_eq!(pr.ranking()[0], NodeId(0));
+        assert!(pr.score(NodeId(0)) > pr.score(NodeId(1)));
+    }
+
+    #[test]
+    fn symmetric_leaves_have_equal_scores() {
+        let g = star();
+        let pr = pagerank_default(&g).unwrap();
+        for i in 2..5 {
+            assert!((pr.score(NodeId(1)) - pr.score(NodeId(i))).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_graph_is_handled() {
+        let g = CitationGraph::empty(0);
+        let pr = pagerank_default(&g).unwrap();
+        assert!(pr.scores.is_empty());
+    }
+
+    #[test]
+    fn edgeless_graph_is_uniform() {
+        let g = CitationGraph::empty(4);
+        let pr = pagerank_default(&g).unwrap();
+        for &s in &pr.scores {
+            assert!((s - 0.25).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn converges_within_iteration_budget() {
+        let g = star();
+        let pr = pagerank(&g, PageRankConfig { max_iterations: 200, ..Default::default() }).unwrap();
+        assert!(pr.iterations < 200);
+        assert!(pr.delta < 1e-9);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let g = star();
+        assert!(pagerank(&g, PageRankConfig { damping: 1.5, ..Default::default() }).is_err());
+        assert!(pagerank(&g, PageRankConfig { tolerance: 0.0, ..Default::default() }).is_err());
+    }
+
+    #[test]
+    fn chain_ranks_the_root_highest() {
+        // 3 -> 2 -> 1 -> 0: rank should increase toward 0.
+        let mut b = GraphBuilder::new(4);
+        b.add_citation(NodeId(3), NodeId(2)).unwrap();
+        b.add_citation(NodeId(2), NodeId(1)).unwrap();
+        b.add_citation(NodeId(1), NodeId(0)).unwrap();
+        let g = b.build();
+        let pr = pagerank_default(&g).unwrap();
+        assert!(pr.score(NodeId(0)) > pr.score(NodeId(1)));
+        assert!(pr.score(NodeId(1)) > pr.score(NodeId(2)));
+        assert!(pr.score(NodeId(2)) > pr.score(NodeId(3)));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::GraphBuilder;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// PageRank always returns a probability distribution regardless of
+        /// graph shape (dangling nodes, disconnected parts, etc.).
+        #[test]
+        fn always_a_distribution(edges in prop::collection::vec((0u32..30, 0u32..30), 0..200)) {
+            let mut b = GraphBuilder::new(30);
+            for (u, v) in edges {
+                if u != v {
+                    b.add_citation(NodeId(u), NodeId(v)).unwrap();
+                }
+            }
+            let g = b.build();
+            let pr = pagerank_default(&g).unwrap();
+            let sum: f64 = pr.scores.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-6);
+            prop_assert!(pr.scores.iter().all(|&s| s.is_finite() && s >= 0.0));
+        }
+
+        /// Adding an extra citation to a paper never decreases its score.
+        #[test]
+        fn extra_citation_does_not_hurt(
+            edges in prop::collection::vec((0u32..20, 0u32..20), 0..100),
+            target in 0u32..20,
+            new_citer in 0u32..20,
+        ) {
+            prop_assume!(target != new_citer);
+            let build = |extra: bool| {
+                let mut b = GraphBuilder::new(20);
+                for &(u, v) in &edges {
+                    if u != v {
+                        b.add_citation(NodeId(u), NodeId(v)).unwrap();
+                    }
+                }
+                if extra {
+                    b.add_citation(NodeId(new_citer), NodeId(target)).unwrap();
+                }
+                b.build()
+            };
+            let before = pagerank_default(&build(false)).unwrap();
+            let after = pagerank_default(&build(true)).unwrap();
+            // Only assert when the edge was genuinely new.
+            if !build(false).has_edge(NodeId(new_citer), NodeId(target)) {
+                prop_assert!(after.score(NodeId(target)) >= before.score(NodeId(target)) - 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Topological utilities over the directed citation graph.
+//!
+//! A well-formed citation corpus is (almost) a DAG: a paper can only cite
+//! papers published before it.  The reading-order assembly in `rpg-repager`
+//! walks the generated Steiner tree from prerequisites to follow-ups, and
+//! uses the utilities here to obtain a citation-consistent ordering and to
+//! detect any cycles introduced by noisy data.
+
+use crate::{CitationGraph, GraphError, NodeId};
+use std::collections::VecDeque;
+
+/// Result of a topological sort attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopoResult {
+    /// The graph restricted to the requested nodes is acyclic; contains a
+    /// topological order in which every paper appears *after* the papers it
+    /// cites (prerequisites first).
+    Acyclic(Vec<NodeId>),
+    /// A cycle was detected; contains the nodes that could not be ordered.
+    Cyclic(Vec<NodeId>),
+}
+
+impl TopoResult {
+    /// Returns the order if acyclic.
+    pub fn order(&self) -> Option<&[NodeId]> {
+        match self {
+            TopoResult::Acyclic(order) => Some(order),
+            TopoResult::Cyclic(_) => None,
+        }
+    }
+
+    /// Whether a full order was produced.
+    pub fn is_acyclic(&self) -> bool {
+        matches!(self, TopoResult::Acyclic(_))
+    }
+}
+
+/// Kahn's algorithm restricted to the sub-graph induced by `nodes`.
+///
+/// The returned order lists *cited papers before citing papers*, i.e.
+/// prerequisites first — the natural reading order of the paper's task.
+/// Ties (papers with no ordering constraint between them) are broken by
+/// ascending node id for determinism.
+pub fn reading_order(graph: &CitationGraph, nodes: &[NodeId]) -> Result<TopoResult, GraphError> {
+    for &n in nodes {
+        graph.check_node(n)?;
+    }
+    let mut subset: Vec<NodeId> = nodes.to_vec();
+    subset.sort_unstable();
+    subset.dedup();
+    let in_subset = |n: NodeId| subset.binary_search(&n).is_ok();
+
+    // in-subset out-degree = number of prerequisites (cited papers) inside the
+    // subset that must come first.
+    let mut pending: std::collections::HashMap<NodeId, usize> = subset
+        .iter()
+        .map(|&n| {
+            let deps = graph.references(n).iter().filter(|&&m| in_subset(m)).count();
+            (n, deps)
+        })
+        .collect();
+
+    let mut ready: VecDeque<NodeId> =
+        subset.iter().copied().filter(|&n| pending[&n] == 0).collect();
+    let mut order = Vec::with_capacity(subset.len());
+
+    while let Some(n) = ready.pop_front() {
+        order.push(n);
+        // Every paper citing `n` inside the subset loses one prerequisite.
+        for &citer in graph.cited_by(n) {
+            if let Some(count) = pending.get_mut(&citer) {
+                *count -= 1;
+                if *count == 0 {
+                    // Insert keeping ascending-id order among currently ready
+                    // nodes for determinism.
+                    let pos = ready.iter().position(|&r| r > citer).unwrap_or(ready.len());
+                    ready.insert(pos, citer);
+                }
+            }
+        }
+    }
+
+    if order.len() == subset.len() {
+        Ok(TopoResult::Acyclic(order))
+    } else {
+        let ordered: std::collections::HashSet<NodeId> = order.into_iter().collect();
+        let leftover = subset.into_iter().filter(|n| !ordered.contains(n)).collect();
+        Ok(TopoResult::Cyclic(leftover))
+    }
+}
+
+/// Returns `true` if the whole graph is a DAG (no citation cycles).
+pub fn is_dag(graph: &CitationGraph) -> bool {
+    let all: Vec<NodeId> = graph.nodes().collect();
+    matches!(reading_order(graph, &all), Ok(TopoResult::Acyclic(_)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    /// 2 cites 1, 1 cites 0; 3 cites 0.  Reading order must put 0 first.
+    fn chain() -> CitationGraph {
+        let mut b = GraphBuilder::new(4);
+        b.add_citation(NodeId(2), NodeId(1)).unwrap();
+        b.add_citation(NodeId(1), NodeId(0)).unwrap();
+        b.add_citation(NodeId(3), NodeId(0)).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn prerequisites_come_first() {
+        let g = chain();
+        let order = reading_order(&g, &[NodeId(0), NodeId(1), NodeId(2), NodeId(3)])
+            .unwrap()
+            .order()
+            .unwrap()
+            .to_vec();
+        let pos = |n: NodeId| order.iter().position(|&x| x == n).unwrap();
+        assert!(pos(NodeId(0)) < pos(NodeId(1)));
+        assert!(pos(NodeId(1)) < pos(NodeId(2)));
+        assert!(pos(NodeId(0)) < pos(NodeId(3)));
+    }
+
+    #[test]
+    fn subset_ordering_ignores_outside_constraints() {
+        let g = chain();
+        let result = reading_order(&g, &[NodeId(2), NodeId(3)]).unwrap();
+        let order = result.order().unwrap();
+        assert_eq!(order.len(), 2);
+    }
+
+    #[test]
+    fn cycles_are_reported() {
+        let mut b = GraphBuilder::new(3);
+        b.add_citation(NodeId(0), NodeId(1)).unwrap();
+        b.add_citation(NodeId(1), NodeId(2)).unwrap();
+        b.add_citation(NodeId(2), NodeId(0)).unwrap();
+        let g = b.build();
+        let result = reading_order(&g, &[NodeId(0), NodeId(1), NodeId(2)]).unwrap();
+        assert!(!result.is_acyclic());
+        assert!(matches!(result, TopoResult::Cyclic(ref v) if v.len() == 3));
+        assert!(!is_dag(&g));
+    }
+
+    #[test]
+    fn dag_detection_accepts_chain() {
+        assert!(is_dag(&chain()));
+    }
+
+    #[test]
+    fn duplicates_and_empty_sets_are_handled() {
+        let g = chain();
+        let order = reading_order(&g, &[NodeId(1), NodeId(1)]).unwrap();
+        assert_eq!(order.order().unwrap(), &[NodeId(1)]);
+        let empty = reading_order(&g, &[]).unwrap();
+        assert_eq!(empty.order().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn out_of_bounds_is_rejected() {
+        let g = chain();
+        assert!(reading_order(&g, &[NodeId(9)]).is_err());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::GraphBuilder;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// For graphs that are DAGs by construction (edges always point from
+        /// higher id to lower id, like "newer cites older"), the reading order
+        /// contains every node exactly once and respects every edge.
+        #[test]
+        fn order_respects_all_citations(edges in prop::collection::vec((0u32..20, 0u32..20), 0..100)) {
+            let mut b = GraphBuilder::new(20);
+            for (u, v) in edges {
+                let (hi, lo) = if u > v { (u, v) } else { (v, u) };
+                if hi != lo {
+                    b.add_citation(NodeId(hi), NodeId(lo)).unwrap();
+                }
+            }
+            let g = b.build();
+            let nodes: Vec<NodeId> = g.nodes().collect();
+            let result = reading_order(&g, &nodes).unwrap();
+            let order = result.order().expect("DAG by construction");
+            prop_assert_eq!(order.len(), 20);
+            let pos: std::collections::HashMap<NodeId, usize> =
+                order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+            for (citing, cited) in g.edges() {
+                prop_assert!(pos[&cited] < pos[&citing]);
+            }
+        }
+    }
+}

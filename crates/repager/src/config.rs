@@ -1,0 +1,144 @@
+//! Configuration of the RePaGer pipeline and the NEWST model.
+
+use serde::{Deserialize, Serialize};
+
+/// All tunable parameters of RePaGer.
+///
+/// The cost-function constants default to the values reported in the paper's
+/// experimental setup: `{α, β, γ, a, b} = {3, 2, 5, 0.7, 0.3}`, 30 initial
+/// seed papers, and 1st/2nd-order neighbourhood expansion.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RepagerConfig {
+    /// `α` in Eq. (2): numerator of the edge cost.
+    pub alpha: f64,
+    /// `β` in Eq. (2): exponent applied to the connection count.
+    pub beta: f64,
+    /// `γ` in Eq. (3): numerator of the node weight.
+    pub gamma: f64,
+    /// `a` in Eq. (3): weight of the (normalised) PageRank score.
+    pub a: f64,
+    /// `b` in Eq. (3): weight of the venue score.
+    pub b: f64,
+    /// Number of initial seed papers requested from the search engine
+    /// (Step 1).
+    pub seed_count: usize,
+    /// Neighbourhood expansion depth when building the sub-citation graph
+    /// (Step 3); the paper uses 1st- and 2nd-order neighbours.
+    pub expansion_hops: u8,
+    /// Minimum number of initial seeds that must cite a paper for it to be
+    /// selected as a reallocated seed (Step 4).
+    pub cooccurrence_threshold: usize,
+    /// Upper bound on the number of compulsory terminals handed to the
+    /// Steiner stage.  Keeping this below the evaluation K means part of the
+    /// reading list comes from the tree's connector papers rather than from
+    /// co-occurrence ranking alone, which is what distinguishes the full
+    /// model from the NEWST-C ablation; it also keeps the Steiner instance
+    /// tractable and the rendered path readable.
+    pub max_terminals: usize,
+    /// Whether node weights participate in the Steiner objective (disabled by
+    /// the NEWST-N ablation).
+    pub use_node_weights: bool,
+    /// Whether edge costs participate in the Steiner objective (disabled by
+    /// the NEWST-E ablation; edges then cost a uniform constant).
+    pub use_edge_weights: bool,
+}
+
+impl Default for RepagerConfig {
+    fn default() -> Self {
+        RepagerConfig {
+            alpha: 3.0,
+            beta: 2.0,
+            gamma: 5.0,
+            a: 0.7,
+            b: 0.3,
+            seed_count: 30,
+            expansion_hops: 2,
+            cooccurrence_threshold: 2,
+            max_terminals: 25,
+            use_node_weights: true,
+            use_edge_weights: true,
+        }
+    }
+}
+
+impl RepagerConfig {
+    /// The paper's published parameter set (identical to `Default`).
+    pub fn paper_defaults() -> Self {
+        Self::default()
+    }
+
+    /// A copy with a different number of initial seeds (Table II sweeps 10–50).
+    pub fn with_seed_count(self, seed_count: usize) -> Self {
+        RepagerConfig { seed_count, ..self }
+    }
+
+    /// Validates the configuration, returning a description of the first
+    /// problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.alpha <= 0.0 || !self.alpha.is_finite() {
+            return Err(format!("alpha must be positive and finite, got {}", self.alpha));
+        }
+        if self.beta < 0.0 || !self.beta.is_finite() {
+            return Err(format!("beta must be non-negative and finite, got {}", self.beta));
+        }
+        if self.gamma <= 0.0 || !self.gamma.is_finite() {
+            return Err(format!("gamma must be positive and finite, got {}", self.gamma));
+        }
+        if self.a < 0.0 || self.b < 0.0 || self.a + self.b <= 0.0 {
+            return Err(format!("a and b must be non-negative with a positive sum, got a={} b={}", self.a, self.b));
+        }
+        if self.seed_count == 0 {
+            return Err("seed_count must be at least 1".to_string());
+        }
+        if self.expansion_hops == 0 {
+            return Err("expansion_hops must be at least 1".to_string());
+        }
+        if self.max_terminals == 0 {
+            return Err("max_terminals must be at least 1".to_string());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let c = RepagerConfig::default();
+        assert_eq!(c.alpha, 3.0);
+        assert_eq!(c.beta, 2.0);
+        assert_eq!(c.gamma, 5.0);
+        assert_eq!(c.a, 0.7);
+        assert_eq!(c.b, 0.3);
+        assert_eq!(c.seed_count, 30);
+        assert_eq!(c.expansion_hops, 2);
+        assert_eq!(c, RepagerConfig::paper_defaults());
+    }
+
+    #[test]
+    fn default_config_is_valid() {
+        assert!(RepagerConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        assert!(RepagerConfig { alpha: 0.0, ..Default::default() }.validate().is_err());
+        assert!(RepagerConfig { beta: -1.0, ..Default::default() }.validate().is_err());
+        assert!(RepagerConfig { gamma: f64::NAN, ..Default::default() }.validate().is_err());
+        assert!(RepagerConfig { a: 0.0, b: 0.0, ..Default::default() }.validate().is_err());
+        assert!(RepagerConfig { seed_count: 0, ..Default::default() }.validate().is_err());
+        assert!(RepagerConfig { expansion_hops: 0, ..Default::default() }.validate().is_err());
+        assert!(RepagerConfig { max_terminals: 0, ..Default::default() }.validate().is_err());
+    }
+
+    #[test]
+    fn with_seed_count_only_changes_seed_count() {
+        let base = RepagerConfig::default();
+        let modified = base.with_seed_count(50);
+        assert_eq!(modified.seed_count, 50);
+        assert_eq!(modified.alpha, base.alpha);
+        assert_eq!(modified.expansion_hops, base.expansion_hops);
+    }
+}

@@ -1,0 +1,401 @@
+//! The end-to-end RePaGer system (Fig. 6 of the paper).
+//!
+//! [`RePaGer`] wires the five stages together: seed retrieval, weighted
+//! citation graph, sub-graph construction, seed reallocation, and NEWST.  Its
+//! output carries both the structured [`ReadingPath`] (what the web UI of
+//! Section V renders) and a flattened ranked *reading list* (what the
+//! overlap-metric evaluation of Section VI consumes).
+
+use crate::config::RepagerConfig;
+use crate::newst::{self, NewstForest};
+use crate::path::{self, ReadingPath};
+use crate::seeds::{reallocate, SeedAllocation};
+use crate::subgraph::SubGraph;
+use crate::variants::Variant;
+use crate::weights::NodeWeights;
+use rpg_corpus::{Corpus, PaperId};
+use rpg_engines::{EngineIndex, Query, ScholarEngine};
+use rpg_graph::pagerank::pagerank_default;
+use rpg_graph::GraphError;
+use std::time::{Duration, Instant};
+
+/// A reading-path generation request.
+#[derive(Debug, Clone)]
+pub struct PathRequest<'a> {
+    /// The query (key phrases joined by spaces).
+    pub query: &'a str,
+    /// Number of papers wanted in the flattened reading list.
+    pub top_k: usize,
+    /// Only papers published in or before this year are considered.
+    pub max_year: Option<u16>,
+    /// Papers excluded from every stage (e.g. the originating survey).
+    pub exclude: &'a [PaperId],
+    /// Model parameters.
+    pub config: RepagerConfig,
+    /// Which model variant to run.
+    pub variant: Variant,
+}
+
+impl<'a> PathRequest<'a> {
+    /// A request with default configuration and the full NEWST model.
+    pub fn new(query: &'a str, top_k: usize) -> Self {
+        PathRequest {
+            query,
+            top_k,
+            max_year: None,
+            exclude: &[],
+            config: RepagerConfig::default(),
+            variant: Variant::Newst,
+        }
+    }
+}
+
+/// The output of a RePaGer run.
+#[derive(Debug, Clone)]
+pub struct RepagerOutput {
+    /// The flattened, ranked reading list (up to `top_k` papers).
+    pub reading_list: Vec<PaperId>,
+    /// The structured reading path (empty for the NEWST-C variant, which
+    /// cannot generate one).
+    pub path: ReadingPath,
+    /// The Steiner forest behind the path.
+    pub forest: NewstForest,
+    /// Seed allocation details (initial seeds, reallocated seeds,
+    /// co-occurrence counts).
+    pub seeds: SeedAllocation,
+    /// Number of nodes in the sub-citation graph.
+    pub subgraph_nodes: usize,
+    /// Number of edges in the sub-citation graph.
+    pub subgraph_edges: usize,
+    /// Wall-clock time spent generating the result.
+    pub elapsed: Duration,
+}
+
+/// The RePaGer system bound to a corpus.
+pub struct RePaGer<'c> {
+    corpus: &'c Corpus,
+    scholar: ScholarEngine,
+    node_weights: NodeWeights,
+}
+
+impl<'c> RePaGer<'c> {
+    /// Builds the system: computes global PageRank (Step 2's node weights)
+    /// and the seed search engine over the corpus.
+    pub fn build(corpus: &'c Corpus) -> Self {
+        let index = EngineIndex::build(corpus);
+        Self::with_engine(corpus, ScholarEngine::from_index(index))
+    }
+
+    /// Builds the system reusing an existing shared engine index (avoids
+    /// re-indexing when baselines share the same corpus).
+    pub fn with_engine(corpus: &'c Corpus, scholar: ScholarEngine) -> Self {
+        let pagerank = pagerank_default(corpus.graph())
+            .expect("default PageRank configuration is always valid");
+        let node_weights = NodeWeights::build(corpus, &pagerank);
+        RePaGer { corpus, scholar, node_weights }
+    }
+
+    /// The corpus the system is bound to.
+    pub fn corpus(&self) -> &Corpus {
+        self.corpus
+    }
+
+    /// The node-weight table (exposed for diagnostics and rendering).
+    pub fn node_weights(&self) -> &NodeWeights {
+        &self.node_weights
+    }
+
+    /// The seed engine.
+    pub fn scholar(&self) -> &ScholarEngine {
+        &self.scholar
+    }
+
+    /// Generates a reading path and reading list for a request.
+    pub fn generate(&self, request: &PathRequest<'_>) -> Result<RepagerOutput, GraphError> {
+        request
+            .config
+            .validate()
+            .map_err(|what| GraphError::InvalidWeight { what })?;
+        let started = Instant::now();
+        let config = request.variant.apply(request.config);
+
+        // Step 1: initial seed papers from the engine.
+        let seed_query = Query {
+            text: request.query,
+            top_k: config.seed_count,
+            max_year: request.max_year,
+            exclude: request.exclude,
+        };
+        let initial_seeds = self.scholar.seed_papers(&seed_query);
+        if initial_seeds.is_empty() {
+            return Ok(RepagerOutput {
+                reading_list: Vec::new(),
+                path: ReadingPath::default(),
+                forest: NewstForest::default(),
+                seeds: SeedAllocation {
+                    initial: Vec::new(),
+                    reallocated: Vec::new(),
+                    cooccurrence: Default::default(),
+                },
+                subgraph_nodes: 0,
+                subgraph_edges: 0,
+                elapsed: started.elapsed(),
+            });
+        }
+
+        // Steps 2+3: weighted sub-citation graph around the seeds.
+        let subgraph = SubGraph::build(
+            self.corpus,
+            &self.node_weights,
+            &initial_seeds,
+            &config,
+            request.max_year,
+            request.exclude,
+        )?;
+
+        // Step 4: seed reallocation by co-occurrence.
+        let allocation = reallocate(self.corpus, &subgraph, &initial_seeds, &config);
+        let terminals = allocation.terminals(request.variant.terminal_selection(), &config);
+
+        // Step 5: NEWST (skipped by the NEWST-C variant).
+        let (forest, reading_path) = if request.variant.runs_steiner() {
+            let forest = newst::solve(&subgraph, &terminals)?;
+            let reading_path = path::assemble(self.corpus, &forest);
+            (forest, reading_path)
+        } else {
+            (NewstForest::default(), ReadingPath::default())
+        };
+
+        let reading_list = self.ranked_reading_list(
+            request,
+            &config,
+            &subgraph,
+            &allocation,
+            &terminals,
+            &forest,
+        );
+
+        Ok(RepagerOutput {
+            reading_list,
+            path: reading_path,
+            forest,
+            seeds: allocation,
+            subgraph_nodes: subgraph.node_count(),
+            subgraph_edges: subgraph.edge_count(),
+            elapsed: started.elapsed(),
+        })
+    }
+
+    /// Builds the flattened top-K reading list.
+    ///
+    /// Papers selected by the model (tree papers, or the terminals for
+    /// NEWST-C) come first, ranked by co-occurrence count and then by node
+    /// weight (cheaper = more important).  If the model selected fewer than
+    /// `top_k` papers, the list is padded with the remaining sub-graph
+    /// candidates under the same ranking, so that precision/F1 can be
+    /// evaluated at any K as in Fig. 8.
+    fn ranked_reading_list(
+        &self,
+        request: &PathRequest<'_>,
+        config: &RepagerConfig,
+        subgraph: &SubGraph,
+        allocation: &SeedAllocation,
+        terminals: &[PaperId],
+        forest: &NewstForest,
+    ) -> Vec<PaperId> {
+        let core: Vec<PaperId> = if request.variant.runs_steiner() {
+            forest.papers()
+        } else {
+            terminals.to_vec()
+        };
+
+        let rank_key = |p: PaperId| {
+            let cooccurrence = allocation.cooccurrence.get(&p).copied().unwrap_or(0);
+            let weight = self.node_weights.node_weight(p, config);
+            (std::cmp::Reverse(cooccurrence), ordered_float(weight), p)
+        };
+
+        let mut ranked_core = core;
+        ranked_core.sort_by_key(|&p| rank_key(p));
+
+        let mut list = ranked_core;
+        // NEWST-C returns the reallocated papers themselves ("due to the
+        // inability of path generation"): it is not padded up to K, which is
+        // why it trades recall (F1) for precision in Table III.  The Steiner
+        // variants pad with the remaining sub-graph candidates so the list
+        // can be evaluated at any K.
+        if request.variant.runs_steiner() && list.len() < request.top_k {
+            let in_list: std::collections::HashSet<PaperId> = list.iter().copied().collect();
+            let mut extension: Vec<PaperId> = subgraph
+                .papers()
+                .iter()
+                .copied()
+                .filter(|p| !in_list.contains(p))
+                .collect();
+            extension.sort_by_key(|&p| rank_key(p));
+            list.extend(extension);
+        }
+        list.truncate(request.top_k);
+        list
+    }
+}
+
+/// Total order wrapper for finite f64 sort keys.
+fn ordered_float(x: f64) -> u64 {
+    // Finite non-negative weights only; map to sortable bits.
+    debug_assert!(x.is_finite() && x >= 0.0);
+    x.to_bits()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpg_corpus::{generate, CorpusConfig, LabelLevel};
+
+    fn corpus() -> Corpus {
+        generate(&CorpusConfig { seed: 101, ..CorpusConfig::small() })
+    }
+
+    fn first_survey_request<'a>(_corpus: &'a Corpus, query: &'a str, exclude: &'a [PaperId], year: u16) -> PathRequest<'a> {
+        PathRequest {
+            query,
+            top_k: 30,
+            max_year: Some(year),
+            exclude,
+            config: RepagerConfig::default(),
+            variant: Variant::Newst,
+        }
+    }
+
+    #[test]
+    fn generates_a_consistent_reading_path() {
+        let c = corpus();
+        let system = RePaGer::build(&c);
+        let survey = c.survey_bank().iter().next().unwrap();
+        let exclude = [survey.paper];
+        let request = first_survey_request(&c, &survey.query, &exclude, survey.year);
+        let output = system.generate(&request).unwrap();
+        assert!(!output.reading_list.is_empty());
+        assert!(output.reading_list.len() <= 30);
+        assert!(output.path.is_consistent());
+        assert!(!output.reading_list.contains(&survey.paper));
+        assert!(output.subgraph_nodes > 0 && output.subgraph_edges > 0);
+        for &p in &output.reading_list {
+            assert!(c.year(p) <= survey.year);
+        }
+    }
+
+    #[test]
+    fn reading_list_overlaps_ground_truth_better_than_chance() {
+        let c = corpus();
+        let system = RePaGer::build(&c);
+        let mut hits = 0usize;
+        let mut evaluated = 0usize;
+        for survey in c.survey_bank().iter().take(6) {
+            let exclude = [survey.paper];
+            let request = first_survey_request(&c, &survey.query, &exclude, survey.year);
+            let output = system.generate(&request).unwrap();
+            let truth: std::collections::HashSet<_> =
+                survey.label(LabelLevel::AtLeastOne).into_iter().collect();
+            hits += output.reading_list.iter().filter(|p| truth.contains(p)).count();
+            evaluated += 1;
+        }
+        assert!(evaluated > 0);
+        assert!(hits > 0, "NEWST never hit a single ground-truth reference");
+    }
+
+    #[test]
+    fn variants_produce_different_lists() {
+        let c = corpus();
+        let system = RePaGer::build(&c);
+        let survey = c.survey_bank().iter().next().unwrap();
+        let exclude = [survey.paper];
+        let mut lists = Vec::new();
+        for variant in [Variant::Newst, Variant::NoReallocation, Variant::CandidatesOnly] {
+            let request = PathRequest {
+                variant,
+                ..first_survey_request(&c, &survey.query, &exclude, survey.year)
+            };
+            lists.push(system.generate(&request).unwrap().reading_list);
+        }
+        assert!(lists.iter().any(|l| l != &lists[0]) || lists[0].is_empty() == false);
+        // NEWST-C never produces a path.
+        let request = PathRequest {
+            variant: Variant::CandidatesOnly,
+            ..first_survey_request(&c, &survey.query, &exclude, survey.year)
+        };
+        let output = system.generate(&request).unwrap();
+        assert!(output.path.is_empty());
+        assert!(output.forest.is_empty());
+    }
+
+    #[test]
+    fn top_k_controls_list_length() {
+        let c = corpus();
+        let system = RePaGer::build(&c);
+        let survey = c.survey_bank().iter().next().unwrap();
+        let exclude = [survey.paper];
+        for k in [5usize, 20, 50] {
+            let request = PathRequest {
+                top_k: k,
+                ..first_survey_request(&c, &survey.query, &exclude, survey.year)
+            };
+            let output = system.generate(&request).unwrap();
+            assert!(output.reading_list.len() <= k);
+            if output.subgraph_nodes >= k {
+                assert_eq!(output.reading_list.len(), k, "list should be padded up to K");
+            }
+        }
+    }
+
+    #[test]
+    fn nonsense_query_yields_empty_output() {
+        let c = corpus();
+        let system = RePaGer::build(&c);
+        let request = PathRequest::new("zzzzz qqqqq xxxxx", 20);
+        let output = system.generate(&request).unwrap();
+        assert!(output.reading_list.is_empty());
+        assert!(output.path.is_empty());
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let c = corpus();
+        let system = RePaGer::build(&c);
+        let survey = c.survey_bank().iter().next().unwrap();
+        let request = PathRequest {
+            config: RepagerConfig { seed_count: 0, ..Default::default() },
+            ..PathRequest::new(&survey.query, 20)
+        };
+        assert!(system.generate(&request).is_err());
+    }
+
+    #[test]
+    fn elapsed_time_is_recorded() {
+        let c = corpus();
+        let system = RePaGer::build(&c);
+        let survey = c.survey_bank().iter().next().unwrap();
+        let output = system.generate(&PathRequest::new(&survey.query, 20)).unwrap();
+        assert!(output.elapsed > Duration::ZERO);
+    }
+
+    #[test]
+    fn larger_seed_count_does_not_shrink_the_subgraph() {
+        let c = corpus();
+        let system = RePaGer::build(&c);
+        let survey = c.survey_bank().iter().next().unwrap();
+        let small = system
+            .generate(&PathRequest {
+                config: RepagerConfig::default().with_seed_count(10),
+                ..PathRequest::new(&survey.query, 20)
+            })
+            .unwrap();
+        let large = system
+            .generate(&PathRequest {
+                config: RepagerConfig::default().with_seed_count(40),
+                ..PathRequest::new(&survey.query, 20)
+            })
+            .unwrap();
+        assert!(large.subgraph_nodes >= small.subgraph_nodes);
+    }
+}

@@ -1,0 +1,145 @@
+//! The NEWST model variants used in the Table III ablation study.
+//!
+//! Left half of Table III (seed-reallocation ablation):
+//!
+//! * **NEWST** — high co-occurrence papers as compulsory terminals;
+//! * **NEWST-W** — the initial top-30 seed papers as terminals;
+//! * **NEWST-U** — the union of the two;
+//! * **NEWST-I** — the intersection of the two.
+//!
+//! Right half (weight ablation):
+//!
+//! * **NEWST-C** — return the reallocated papers directly, skipping the
+//!   Steiner optimisation (no path can be generated);
+//! * **NEWST-N** — exclude node weights from the objective;
+//! * **NEWST-E** — exclude edge weights from the objective.
+
+use crate::config::RepagerConfig;
+use crate::seeds::TerminalSelection;
+use serde::{Deserialize, Serialize};
+
+/// A NEWST variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Variant {
+    /// The full model.
+    Newst,
+    /// Initial seeds as terminals (no reallocation).
+    NoReallocation,
+    /// Union of initial and reallocated seeds.
+    Union,
+    /// Intersection of initial and reallocated seeds.
+    Intersection,
+    /// Reallocated papers as the final result (no Steiner tree).
+    CandidatesOnly,
+    /// Node weights removed from the objective.
+    NoNodeWeights,
+    /// Edge weights removed from the objective.
+    NoEdgeWeights,
+}
+
+impl Variant {
+    /// All variants, in the order Table III reports them.
+    pub const ALL: [Variant; 7] = [
+        Variant::Newst,
+        Variant::NoReallocation,
+        Variant::Intersection,
+        Variant::Union,
+        Variant::CandidatesOnly,
+        Variant::NoNodeWeights,
+        Variant::NoEdgeWeights,
+    ];
+
+    /// The name used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Variant::Newst => "NEWST",
+            Variant::NoReallocation => "NEWST-W",
+            Variant::Union => "NEWST-U",
+            Variant::Intersection => "NEWST-I",
+            Variant::CandidatesOnly => "NEWST-C",
+            Variant::NoNodeWeights => "NEWST-N",
+            Variant::NoEdgeWeights => "NEWST-E",
+        }
+    }
+
+    /// How the terminal set is selected for this variant.
+    pub fn terminal_selection(self) -> TerminalSelection {
+        match self {
+            Variant::NoReallocation => TerminalSelection::InitialSeeds,
+            Variant::Union => TerminalSelection::Union,
+            Variant::Intersection => TerminalSelection::Intersection,
+            // The weight ablations and the full model all use reallocated
+            // seeds; NEWST-C also starts from them (it just skips the tree).
+            _ => TerminalSelection::Reallocated,
+        }
+    }
+
+    /// Whether the Steiner optimisation runs at all.
+    pub fn runs_steiner(self) -> bool {
+        !matches!(self, Variant::CandidatesOnly)
+    }
+
+    /// Applies the variant's weight ablations to a configuration.
+    pub fn apply(self, config: RepagerConfig) -> RepagerConfig {
+        match self {
+            Variant::NoNodeWeights => RepagerConfig { use_node_weights: false, ..config },
+            Variant::NoEdgeWeights => RepagerConfig { use_edge_weights: false, ..config },
+            _ => config,
+        }
+    }
+}
+
+impl std::fmt::Display for Variant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_the_paper() {
+        assert_eq!(Variant::Newst.name(), "NEWST");
+        assert_eq!(Variant::NoReallocation.name(), "NEWST-W");
+        assert_eq!(Variant::Union.name(), "NEWST-U");
+        assert_eq!(Variant::Intersection.name(), "NEWST-I");
+        assert_eq!(Variant::CandidatesOnly.name(), "NEWST-C");
+        assert_eq!(Variant::NoNodeWeights.name(), "NEWST-N");
+        assert_eq!(Variant::NoEdgeWeights.name(), "NEWST-E");
+        assert_eq!(Variant::ALL.len(), 7);
+    }
+
+    #[test]
+    fn terminal_selection_mapping() {
+        assert_eq!(Variant::Newst.terminal_selection(), TerminalSelection::Reallocated);
+        assert_eq!(Variant::NoReallocation.terminal_selection(), TerminalSelection::InitialSeeds);
+        assert_eq!(Variant::Union.terminal_selection(), TerminalSelection::Union);
+        assert_eq!(Variant::Intersection.terminal_selection(), TerminalSelection::Intersection);
+        assert_eq!(Variant::NoNodeWeights.terminal_selection(), TerminalSelection::Reallocated);
+    }
+
+    #[test]
+    fn only_candidates_only_skips_steiner() {
+        for v in Variant::ALL {
+            assert_eq!(v.runs_steiner(), v != Variant::CandidatesOnly);
+        }
+    }
+
+    #[test]
+    fn weight_ablations_modify_config() {
+        let base = RepagerConfig::default();
+        let n = Variant::NoNodeWeights.apply(base);
+        let e = Variant::NoEdgeWeights.apply(base);
+        let full = Variant::Newst.apply(base);
+        assert!(!n.use_node_weights && n.use_edge_weights);
+        assert!(e.use_node_weights && !e.use_edge_weights);
+        assert!(full.use_node_weights && full.use_edge_weights);
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(Variant::Union.to_string(), "NEWST-U");
+    }
+}

@@ -1,0 +1,210 @@
+//! The NEWST cost functions: edge costs (Eq. 2) and node weights (Eq. 3).
+//!
+//! * **Edge cost** `c(i, j) = α / con(i, j)^β`, where `con(i, j)` is the
+//!   number of times paper `j` is cited inside paper `i` (or vice versa).
+//!   Papers that discuss each other at length are cheap to connect.
+//! * **Node weight** `w(i) = γ / (a · pgscore(i) + b · venue(i))`, where
+//!   `pgscore` is the paper's PageRank in the whole citation network and
+//!   `venue` its venue score.  Important, well-published papers are cheap to
+//!   include in the tree.
+//!
+//! Raw PageRank scores live on a `1/N` scale (they sum to one over millions
+//! of papers) while venue scores live in `[0, 1]`; mixing them directly would
+//! let the venue term drown out the PageRank term.  As in standard practice,
+//! the PageRank score is therefore normalised by the maximum score in the
+//! graph before being combined — this keeps both terms on `[0, 1]` and is
+//! recorded here as a reproduction decision (the paper does not spell out its
+//! normalisation).
+
+use crate::config::RepagerConfig;
+use rpg_corpus::{Corpus, PaperId};
+use rpg_graph::pagerank::PageRankScores;
+
+/// Pre-computed per-paper node-weight inputs for a corpus.
+#[derive(Debug, Clone)]
+pub struct NodeWeights {
+    normalized_pagerank: Vec<f64>,
+    venue_scores: Vec<f64>,
+}
+
+impl NodeWeights {
+    /// Builds the node-weight inputs from global PageRank scores and the
+    /// corpus venue table.
+    pub fn build(corpus: &Corpus, pagerank: &PageRankScores) -> Self {
+        let max_score = pagerank.scores.iter().copied().fold(f64::MIN, f64::max).max(f64::MIN_POSITIVE);
+        let normalized_pagerank = pagerank.scores.iter().map(|s| s / max_score).collect();
+        let venue_scores = corpus
+            .papers()
+            .iter()
+            .map(|p| corpus.venues().venue_score(p.venue))
+            .collect();
+        NodeWeights { normalized_pagerank, venue_scores }
+    }
+
+    /// The normalised PageRank score of a paper, in `[0, 1]`.
+    pub fn pagerank(&self, paper: PaperId) -> f64 {
+        self.normalized_pagerank.get(paper.index()).copied().unwrap_or(0.0)
+    }
+
+    /// The venue score of a paper, in `[0, 1]`.
+    pub fn venue(&self, paper: PaperId) -> f64 {
+        self.venue_scores.get(paper.index()).copied().unwrap_or(0.0)
+    }
+
+    /// Eq. (3): the node weight of a paper under `config`.
+    ///
+    /// When node weights are disabled (NEWST-N ablation) every node weighs
+    /// zero, removing the vertex term from the objective.
+    pub fn node_weight(&self, paper: PaperId, config: &RepagerConfig) -> f64 {
+        if !config.use_node_weights {
+            return 0.0;
+        }
+        let importance = config.a * self.pagerank(paper) + config.b * self.venue(paper);
+        // Guard against papers with no PageRank mass and an unknown venue; a
+        // small floor keeps the weight finite and merely makes such papers
+        // very expensive to include, which is the intended semantics.
+        config.gamma / importance.max(1e-6)
+    }
+
+    /// Number of papers covered.
+    pub fn len(&self) -> usize {
+        self.normalized_pagerank.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.normalized_pagerank.is_empty()
+    }
+}
+
+/// Eq. (2): the cost of the edge between two papers given their in-text
+/// connection count.
+///
+/// `connection` is `con(i, j)`: how many times one paper mentions the other.
+/// A zero connection (no citation relation) is a caller error for graph
+/// edges; it is mapped to the cost of a single mention so the function stays
+/// total.  When edge weights are disabled (NEWST-E ablation) every edge costs
+/// the uniform constant `α`.
+pub fn edge_cost(connection: u8, config: &RepagerConfig) -> f64 {
+    if !config.use_edge_weights {
+        return config.alpha;
+    }
+    let con = f64::from(connection.max(1));
+    config.alpha / con.powf(config.beta)
+}
+
+/// Convenience: the edge cost between two corpus papers, reading the
+/// connection strength from the corpus.
+pub fn corpus_edge_cost(corpus: &Corpus, a: PaperId, b: PaperId, config: &RepagerConfig) -> f64 {
+    edge_cost(corpus.connection_strength(a, b), config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpg_corpus::{generate, CorpusConfig};
+    use rpg_graph::pagerank::pagerank_default;
+
+    fn setup() -> (Corpus, NodeWeights) {
+        let corpus = generate(&CorpusConfig { seed: 51, ..CorpusConfig::small() });
+        let pr = pagerank_default(corpus.graph()).unwrap();
+        let weights = NodeWeights::build(&corpus, &pr);
+        (corpus, weights)
+    }
+
+    #[test]
+    fn edge_cost_decreases_with_connection_strength() {
+        let config = RepagerConfig::default();
+        let c1 = edge_cost(1, &config);
+        let c2 = edge_cost(2, &config);
+        let c3 = edge_cost(3, &config);
+        assert!(c1 > c2 && c2 > c3);
+        // α / con^β with α=3, β=2: con=1 → 3, con=2 → 0.75, con=3 → 1/3.
+        assert!((c1 - 3.0).abs() < 1e-12);
+        assert!((c2 - 0.75).abs() < 1e-12);
+        assert!((c3 - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_connection_is_treated_as_one() {
+        let config = RepagerConfig::default();
+        assert_eq!(edge_cost(0, &config), edge_cost(1, &config));
+    }
+
+    #[test]
+    fn disabled_edge_weights_are_uniform() {
+        let config = RepagerConfig { use_edge_weights: false, ..Default::default() };
+        assert_eq!(edge_cost(1, &config), edge_cost(5, &config));
+        assert_eq!(edge_cost(3, &config), config.alpha);
+    }
+
+    #[test]
+    fn node_weight_decreases_with_importance() {
+        let (corpus, weights) = setup();
+        let config = RepagerConfig::default();
+        // The most cited paper should have a lower weight than an uncited one.
+        let most_cited = corpus
+            .papers()
+            .iter()
+            .max_by_key(|p| corpus.citation_count(p.id))
+            .unwrap()
+            .id;
+        let uncited = corpus
+            .papers()
+            .iter()
+            .find(|p| corpus.citation_count(p.id) == 0)
+            .unwrap()
+            .id;
+        assert!(
+            weights.node_weight(most_cited, &config) < weights.node_weight(uncited, &config),
+            "well-cited papers must be cheaper to include"
+        );
+    }
+
+    #[test]
+    fn normalized_pagerank_peaks_at_one() {
+        let (_corpus, weights) = setup();
+        let max = (0..weights.len())
+            .map(|i| weights.pagerank(PaperId::from_index(i)))
+            .fold(f64::MIN, f64::max);
+        assert!((max - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disabled_node_weights_are_zero() {
+        let (_corpus, weights) = setup();
+        let config = RepagerConfig { use_node_weights: false, ..Default::default() };
+        assert_eq!(weights.node_weight(PaperId(0), &config), 0.0);
+    }
+
+    #[test]
+    fn unknown_paper_is_very_expensive_but_finite() {
+        let (_corpus, weights) = setup();
+        let config = RepagerConfig::default();
+        let w = weights.node_weight(PaperId(u32::MAX), &config);
+        assert!(w.is_finite());
+        assert!(w > 1000.0);
+    }
+
+    #[test]
+    fn corpus_edge_cost_uses_occurrences() {
+        let (corpus, _weights) = setup();
+        let config = RepagerConfig::default();
+        // Find an edge with occurrences >= 2 if one exists and check it is
+        // cheaper than a single-mention edge.
+        let mut multi = None;
+        'outer: for p in corpus.papers() {
+            for r in corpus.references_of(p.id) {
+                if r.occurrences >= 2 {
+                    multi = Some((p.id, r.cited));
+                    break 'outer;
+                }
+            }
+        }
+        if let Some((citing, cited)) = multi {
+            assert!(
+                corpus_edge_cost(&corpus, citing, cited, &config) < edge_cost(1, &config)
+            );
+        }
+    }
+}

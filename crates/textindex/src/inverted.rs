@@ -1,0 +1,320 @@
+//! Inverted index over document fields.
+//!
+//! Documents are added as `(doc id, title, body)` pairs; the index keeps
+//! separate per-field postings because the simulated search engines weight
+//! title matches much more heavily than body matches (mirroring the paper's
+//! observation that existing engines "solely return the paper whose title
+//! contains query phrases").
+
+use crate::tokenize::tokenize;
+use crate::vocab::{TermId, Vocabulary};
+use crate::DocId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Which document field a posting refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Field {
+    /// The paper title.
+    Title,
+    /// The paper abstract / body text.
+    Body,
+}
+
+/// A single posting: a document and the in-field term frequency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Posting {
+    /// The document containing the term.
+    pub doc: DocId,
+    /// Number of occurrences of the term in the field.
+    pub term_frequency: u32,
+}
+
+/// Per-document statistics kept by the index.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DocStats {
+    /// Number of (post-tokenisation) terms in the title field.
+    pub title_len: u32,
+    /// Number of (post-tokenisation) terms in the body field.
+    pub body_len: u32,
+}
+
+/// An inverted index with separate title and body postings.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct InvertedIndex {
+    vocab: Vocabulary,
+    title_postings: HashMap<TermId, Vec<Posting>>,
+    body_postings: HashMap<TermId, Vec<Posting>>,
+    doc_stats: HashMap<DocId, DocStats>,
+}
+
+impl InvertedIndex {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of indexed documents.
+    pub fn doc_count(&self) -> usize {
+        self.doc_stats.len()
+    }
+
+    /// Number of distinct terms across both fields.
+    pub fn term_count(&self) -> usize {
+        self.vocab.len()
+    }
+
+    /// The vocabulary used by this index.
+    pub fn vocabulary(&self) -> &Vocabulary {
+        &self.vocab
+    }
+
+    /// Per-document length statistics, if the document was indexed.
+    pub fn doc_stats(&self, doc: DocId) -> Option<DocStats> {
+        self.doc_stats.get(&doc).copied()
+    }
+
+    /// Average body length over all indexed documents (used by BM25).
+    pub fn average_body_len(&self) -> f64 {
+        if self.doc_stats.is_empty() {
+            return 0.0;
+        }
+        let total: u64 = self.doc_stats.values().map(|s| u64::from(s.body_len)).sum();
+        total as f64 / self.doc_stats.len() as f64
+    }
+
+    /// Average title length over all indexed documents.
+    pub fn average_title_len(&self) -> f64 {
+        if self.doc_stats.is_empty() {
+            return 0.0;
+        }
+        let total: u64 = self.doc_stats.values().map(|s| u64::from(s.title_len)).sum();
+        total as f64 / self.doc_stats.len() as f64
+    }
+
+    /// Indexes a document.  Re-adding an existing `doc` id appends postings
+    /// (callers are expected to use unique ids).
+    pub fn add_document(&mut self, doc: DocId, title: &str, body: &str) {
+        let title_tokens = tokenize(title);
+        let body_tokens = tokenize(body);
+        let stats = self.doc_stats.entry(doc).or_default();
+        stats.title_len += title_tokens.len() as u32;
+        stats.body_len += body_tokens.len() as u32;
+
+        let mut title_tf: HashMap<TermId, u32> = HashMap::new();
+        for token in &title_tokens {
+            *title_tf.entry(self.vocab.intern(&token.term)).or_insert(0) += 1;
+        }
+        let mut body_tf: HashMap<TermId, u32> = HashMap::new();
+        for token in &body_tokens {
+            *body_tf.entry(self.vocab.intern(&token.term)).or_insert(0) += 1;
+        }
+        for (term, tf) in title_tf {
+            self.title_postings
+                .entry(term)
+                .or_default()
+                .push(Posting { doc, term_frequency: tf });
+        }
+        for (term, tf) in body_tf {
+            self.body_postings
+                .entry(term)
+                .or_default()
+                .push(Posting { doc, term_frequency: tf });
+        }
+    }
+
+    /// The postings list of `term` in `field`, empty if the term is unknown.
+    pub fn postings(&self, field: Field, term: &str) -> &[Posting] {
+        let Some(id) = self.vocab.get(term) else {
+            return &[];
+        };
+        let map = match field {
+            Field::Title => &self.title_postings,
+            Field::Body => &self.body_postings,
+        };
+        map.get(&id).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Document frequency of `term` in `field`.
+    pub fn document_frequency(&self, field: Field, term: &str) -> usize {
+        self.postings(field, term).len()
+    }
+
+    /// Document frequency of `term` across both fields (a document counts
+    /// once even if the term appears in both its title and body).
+    pub fn combined_document_frequency(&self, term: &str) -> usize {
+        let mut docs: std::collections::HashSet<DocId> = std::collections::HashSet::new();
+        docs.extend(self.postings(Field::Title, term).iter().map(|p| p.doc));
+        docs.extend(self.postings(Field::Body, term).iter().map(|p| p.doc));
+        docs.len()
+    }
+
+    /// Term frequency of `term` in the given field of `doc`.
+    pub fn term_frequency(&self, field: Field, term: &str, doc: DocId) -> u32 {
+        self.postings(field, term)
+            .iter()
+            .find(|p| p.doc == doc)
+            .map(|p| p.term_frequency)
+            .unwrap_or(0)
+    }
+
+    /// Documents whose title or body contains *every* query term (boolean AND
+    /// retrieval), useful as a candidate generator.
+    pub fn conjunctive_candidates(&self, query: &str) -> Vec<DocId> {
+        let terms: Vec<String> = tokenize(query).into_iter().map(|t| t.term).collect();
+        if terms.is_empty() {
+            return Vec::new();
+        }
+        let mut candidate_sets: Vec<std::collections::HashSet<DocId>> = Vec::new();
+        for term in &terms {
+            let mut docs: std::collections::HashSet<DocId> = std::collections::HashSet::new();
+            docs.extend(self.postings(Field::Title, term).iter().map(|p| p.doc));
+            docs.extend(self.postings(Field::Body, term).iter().map(|p| p.doc));
+            candidate_sets.push(docs);
+        }
+        let (first, rest) = candidate_sets.split_first().expect("non-empty terms");
+        let mut result: Vec<DocId> = first
+            .iter()
+            .filter(|d| rest.iter().all(|s| s.contains(d)))
+            .copied()
+            .collect();
+        result.sort_unstable();
+        result
+    }
+
+    /// Documents containing *any* query term (boolean OR retrieval).
+    pub fn disjunctive_candidates(&self, query: &str) -> Vec<DocId> {
+        let terms: Vec<String> = tokenize(query).into_iter().map(|t| t.term).collect();
+        let mut docs: std::collections::HashSet<DocId> = std::collections::HashSet::new();
+        for term in &terms {
+            docs.extend(self.postings(Field::Title, term).iter().map(|p| p.doc));
+            docs.extend(self.postings(Field::Body, term).iter().map(|p| p.doc));
+        }
+        let mut result: Vec<DocId> = docs.into_iter().collect();
+        result.sort_unstable();
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_index() -> InvertedIndex {
+        let mut idx = InvertedIndex::new();
+        idx.add_document(0, "A survey on hate speech detection", "hate speech detection on social media platforms");
+        idx.add_document(1, "Deep learning for image classification", "convolutional networks for images");
+        idx.add_document(2, "Hate speech and abusive language", "annotation of abusive language corpora");
+        idx
+    }
+
+    #[test]
+    fn doc_and_term_counts() {
+        let idx = sample_index();
+        assert_eq!(idx.doc_count(), 3);
+        assert!(idx.term_count() > 5);
+    }
+
+    #[test]
+    fn title_postings_find_documents() {
+        let idx = sample_index();
+        let docs: Vec<_> = idx.postings(Field::Title, "hate").iter().map(|p| p.doc).collect();
+        assert_eq!(docs, vec![0, 2]);
+        assert_eq!(idx.document_frequency(Field::Title, "hate"), 2);
+        assert_eq!(idx.document_frequency(Field::Title, "quantum"), 0);
+    }
+
+    #[test]
+    fn term_frequencies_are_per_field() {
+        let idx = sample_index();
+        assert_eq!(idx.term_frequency(Field::Title, "speech", 0), 1);
+        assert_eq!(idx.term_frequency(Field::Body, "speech", 0), 1);
+        assert_eq!(idx.term_frequency(Field::Body, "speech", 1), 0);
+    }
+
+    #[test]
+    fn combined_document_frequency_deduplicates() {
+        let idx = sample_index();
+        // "speech" appears in both title and body of doc 0, and title of doc 2.
+        assert_eq!(idx.combined_document_frequency("speech"), 2);
+    }
+
+    #[test]
+    fn conjunctive_retrieval_requires_all_terms() {
+        let idx = sample_index();
+        assert_eq!(idx.conjunctive_candidates("hate speech detection"), vec![0]);
+        assert_eq!(idx.conjunctive_candidates("hate speech"), vec![0, 2]);
+        assert!(idx.conjunctive_candidates("quantum computing").is_empty());
+        assert!(idx.conjunctive_candidates("").is_empty());
+    }
+
+    #[test]
+    fn disjunctive_retrieval_takes_union() {
+        let idx = sample_index();
+        assert_eq!(idx.disjunctive_candidates("hate image"), vec![0, 1, 2]);
+        assert!(idx.disjunctive_candidates("").is_empty());
+    }
+
+    #[test]
+    fn doc_stats_track_lengths() {
+        let idx = sample_index();
+        let stats = idx.doc_stats(0).unwrap();
+        assert!(stats.title_len >= 3);
+        assert!(stats.body_len >= 4);
+        assert!(idx.doc_stats(99).is_none());
+        assert!(idx.average_body_len() > 0.0);
+        assert!(idx.average_title_len() > 0.0);
+    }
+
+    #[test]
+    fn empty_index_averages_are_zero() {
+        let idx = InvertedIndex::new();
+        assert_eq!(idx.average_body_len(), 0.0);
+        assert_eq!(idx.average_title_len(), 0.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Every document that contains a term lexically is discoverable
+        /// through the postings of that term.
+        #[test]
+        fn postings_cover_documents(titles in prop::collection::vec("[a-z]{3,8}( [a-z]{3,8}){0,5}", 1..20)) {
+            let mut idx = InvertedIndex::new();
+            for (i, title) in titles.iter().enumerate() {
+                idx.add_document(i as DocId, title, "");
+            }
+            for (i, title) in titles.iter().enumerate() {
+                for token in tokenize(title) {
+                    let docs: Vec<_> = idx
+                        .postings(Field::Title, &token.term)
+                        .iter()
+                        .map(|p| p.doc)
+                        .collect();
+                    prop_assert!(docs.contains(&(i as DocId)));
+                }
+            }
+        }
+
+        /// Conjunctive candidates are always a subset of disjunctive ones.
+        #[test]
+        fn conjunction_subset_of_disjunction(
+            titles in prop::collection::vec("[a-z]{3,6}( [a-z]{3,6}){0,4}", 1..15),
+            query in "[a-z]{3,6}( [a-z]{3,6}){0,2}",
+        ) {
+            let mut idx = InvertedIndex::new();
+            for (i, title) in titles.iter().enumerate() {
+                idx.add_document(i as DocId, title, title);
+            }
+            let conj = idx.conjunctive_candidates(&query);
+            let disj = idx.disjunctive_candidates(&query);
+            for d in &conj {
+                prop_assert!(disj.contains(d));
+            }
+        }
+    }
+}

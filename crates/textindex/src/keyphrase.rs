@@ -1,0 +1,317 @@
+//! TopicRank-style keyphrase extraction.
+//!
+//! SurveyBank's query for each survey is the set of key phrases extracted
+//! from its title with the TopicRank algorithm (Bougouin et al., 2013, via
+//! `pke`).  This module reproduces the algorithm's structure:
+//!
+//! 1. **Candidate selection** — maximal runs of content words (stop words and
+//!    punctuation break candidates), mirroring TopicRank's noun-phrase
+//!    chunking approximation.
+//! 2. **Topic clustering** — candidates whose stemmed word sets overlap by at
+//!    least a threshold (Jaccard ≥ 0.25 by default) are merged into a topic
+//!    with single-link agglomerative clustering.
+//! 3. **Topic graph ranking** — topics form a complete graph whose edge
+//!    weights are the sum of reciprocal distances between their candidates'
+//!    positions in the text; topics are ranked with PageRank-style power
+//!    iteration.
+//! 4. **Selection** — for each of the top topics, the candidate appearing
+//!    earliest in the text is emitted as the key phrase.
+
+use crate::similarity::jaccard;
+use crate::tokenize::{is_stop_word, stem, tokenize_surface};
+use serde::{Deserialize, Serialize};
+
+/// Configuration for [`extract_keyphrases`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KeyphraseConfig {
+    /// Maximum number of key phrases to return.
+    pub max_phrases: usize,
+    /// Jaccard similarity threshold (over stemmed word sets) above which two
+    /// candidates are clustered into the same topic.
+    pub clustering_threshold: f64,
+    /// PageRank damping factor for the topic graph.
+    pub damping: f64,
+    /// Number of power iterations on the topic graph.
+    pub iterations: usize,
+    /// Maximum number of words in a candidate phrase.
+    pub max_phrase_words: usize,
+}
+
+impl Default for KeyphraseConfig {
+    fn default() -> Self {
+        KeyphraseConfig {
+            max_phrases: 3,
+            clustering_threshold: 0.25,
+            damping: 0.85,
+            iterations: 30,
+            max_phrase_words: 4,
+        }
+    }
+}
+
+/// A candidate phrase with its first occurrence position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Candidate {
+    /// Surface words (lowercased, unstemmed) of the phrase.
+    words: Vec<String>,
+    /// Stemmed word set used for clustering.
+    stems: Vec<String>,
+    /// Token position of the first word of the first occurrence.
+    first_position: usize,
+}
+
+impl Candidate {
+    fn surface(&self) -> String {
+        self.words.join(" ")
+    }
+}
+
+/// Extracts candidate phrases: maximal runs of content words.
+fn candidates(text: &str, max_words: usize) -> Vec<Candidate> {
+    let tokens = tokenize_surface(text);
+    let mut out: Vec<Candidate> = Vec::new();
+    let mut current: Vec<(String, usize)> = Vec::new();
+
+    let flush = |current: &mut Vec<(String, usize)>, out: &mut Vec<Candidate>| {
+        if current.is_empty() {
+            return;
+        }
+        // Long runs are truncated to the first `max_words` words.
+        let words: Vec<String> = current.iter().take(max_words).map(|(w, _)| w.clone()).collect();
+        let first_position = current[0].1;
+        let stems = words.iter().map(|w| stem(w)).collect();
+        out.push(Candidate { words, stems, first_position });
+        current.clear();
+    };
+
+    let mut last_position: Option<usize> = None;
+    for token in tokens {
+        let breaks_run = is_stop_word(&token.term)
+            || token.term.chars().all(|c| c.is_ascii_digit())
+            || token.term.len() < 2
+            || last_position.is_some_and(|p| token.position != p + 1);
+        if breaks_run {
+            flush(&mut current, &mut out);
+            if !is_stop_word(&token.term)
+                && !token.term.chars().all(|c| c.is_ascii_digit())
+                && token.term.len() >= 2
+            {
+                current.push((token.term.clone(), token.position));
+            }
+        } else {
+            current.push((token.term.clone(), token.position));
+        }
+        last_position = Some(token.position);
+    }
+    flush(&mut current, &mut out);
+    out
+}
+
+/// Single-link agglomerative clustering of candidates into topics.
+fn cluster(candidates: &[Candidate], threshold: f64) -> Vec<Vec<usize>> {
+    let n = candidates.len();
+    let mut cluster_of: Vec<usize> = (0..n).collect();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let si: Vec<&str> = candidates[i].stems.iter().map(String::as_str).collect();
+            let sj: Vec<&str> = candidates[j].stems.iter().map(String::as_str).collect();
+            if jaccard(&si, &sj) >= threshold {
+                // Merge: relabel j's cluster to i's.
+                let (a, b) = (cluster_of[i], cluster_of[j]);
+                if a != b {
+                    for c in cluster_of.iter_mut() {
+                        if *c == b {
+                            *c = a;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let mut map: std::collections::HashMap<usize, Vec<usize>> = std::collections::HashMap::new();
+    for (idx, &c) in cluster_of.iter().enumerate() {
+        map.entry(c).or_default().push(idx);
+    }
+    let mut clusters: Vec<Vec<usize>> = map.into_values().collect();
+    clusters.sort_by_key(|members| members[0]);
+    clusters
+}
+
+/// Ranks topics on the complete topic graph with PageRank power iteration.
+fn rank_topics(candidates: &[Candidate], clusters: &[Vec<usize>], config: &KeyphraseConfig) -> Vec<f64> {
+    let k = clusters.len();
+    if k == 0 {
+        return Vec::new();
+    }
+    // Edge weight between topics = sum over candidate pairs of reciprocal
+    // positional distance (closer mentions -> stronger connection).
+    let mut weights = vec![vec![0.0f64; k]; k];
+    for a in 0..k {
+        for b in (a + 1)..k {
+            let mut w = 0.0;
+            for &ca in &clusters[a] {
+                for &cb in &clusters[b] {
+                    let d = candidates[ca]
+                        .first_position
+                        .abs_diff(candidates[cb].first_position)
+                        .max(1);
+                    w += 1.0 / d as f64;
+                }
+            }
+            weights[a][b] = w;
+            weights[b][a] = w;
+        }
+    }
+    let out_weight: Vec<f64> = weights.iter().map(|row| row.iter().sum()).collect();
+    let mut score = vec![1.0 / k as f64; k];
+    for _ in 0..config.iterations {
+        let mut next = vec![(1.0 - config.damping) / k as f64; k];
+        for i in 0..k {
+            if out_weight[i] <= 0.0 {
+                // Dangling topic: spread uniformly.
+                for item in next.iter_mut() {
+                    *item += config.damping * score[i] / k as f64;
+                }
+                continue;
+            }
+            for j in 0..k {
+                if weights[i][j] > 0.0 {
+                    next[j] += config.damping * score[i] * weights[i][j] / out_weight[i];
+                }
+            }
+        }
+        score = next;
+    }
+    score
+}
+
+/// Extracts up to `config.max_phrases` key phrases from `text`.
+///
+/// The output phrases are lowercase surface forms ordered by descending topic
+/// score (ties broken by earliest occurrence), which is the order the
+/// SurveyBank query builder uses to join them into a query string.
+pub fn extract_keyphrases(text: &str, config: &KeyphraseConfig) -> Vec<String> {
+    let candidates = candidates(text, config.max_phrase_words);
+    if candidates.is_empty() {
+        return Vec::new();
+    }
+    let clusters = cluster(&candidates, config.clustering_threshold);
+    let scores = rank_topics(&candidates, &clusters, config);
+
+    let mut ranked: Vec<(usize, f64)> = scores.iter().copied().enumerate().collect();
+    ranked.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| {
+                let fa = clusters[a.0].iter().map(|&c| candidates[c].first_position).min();
+                let fb = clusters[b.0].iter().map(|&c| candidates[c].first_position).min();
+                fa.cmp(&fb)
+            })
+    });
+
+    let mut phrases = Vec::new();
+    for (topic, _) in ranked.into_iter().take(config.max_phrases) {
+        // Representative = earliest-occurring candidate of the topic.
+        let representative = clusters[topic]
+            .iter()
+            .min_by_key(|&&c| candidates[c].first_position)
+            .copied()
+            .expect("clusters are non-empty");
+        phrases.push(candidates[representative].surface());
+    }
+    phrases
+}
+
+/// Convenience: extracts key phrases with the default configuration.
+pub fn extract_default(text: &str) -> Vec<String> {
+    extract_keyphrases(text, &KeyphraseConfig::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn survey_title_yields_topic_phrases() {
+        let phrases =
+            extract_default("A survey on hate speech detection using natural language processing");
+        assert!(!phrases.is_empty());
+        let joined = phrases.join(" | ");
+        assert!(joined.contains("hate speech detection"), "got: {joined}");
+        assert!(joined.contains("natural language processing"), "got: {joined}");
+        // "survey" is a standalone candidate but the informative multi-word
+        // phrases must be among the results.
+    }
+
+    #[test]
+    fn stop_words_break_candidates() {
+        let phrases = extract_default("graph databases for the management of large networks");
+        let joined = phrases.join(" | ");
+        assert!(joined.contains("graph databas"), "got: {joined}");
+        assert!(!joined.contains("for the"));
+    }
+
+    #[test]
+    fn empty_and_stopword_only_titles() {
+        assert!(extract_default("").is_empty());
+        assert!(extract_default("of the and for").is_empty());
+    }
+
+    #[test]
+    fn max_phrases_is_respected() {
+        let config = KeyphraseConfig { max_phrases: 1, ..Default::default() };
+        let phrases = extract_keyphrases(
+            "deep reinforcement learning for autonomous driving and robot navigation",
+            &config,
+        );
+        assert_eq!(phrases.len(), 1);
+    }
+
+    #[test]
+    fn similar_candidates_cluster_together() {
+        // "neural network" and "neural networks" should fold into one topic,
+        // so asking for 2 phrases does not return both variants.
+        let phrases = extract_keyphrases(
+            "neural network compression and neural networks pruning",
+            &KeyphraseConfig { max_phrases: 2, ..Default::default() },
+        );
+        let count_neural = phrases.iter().filter(|p| p.contains("neural")).count();
+        assert!(count_neural <= 1, "variants must cluster: {phrases:?}");
+    }
+
+    #[test]
+    fn long_candidates_are_truncated() {
+        let config = KeyphraseConfig { max_phrase_words: 2, ..Default::default() };
+        let phrases = extract_keyphrases("deep convolutional generative adversarial network training", &config);
+        for p in &phrases {
+            assert!(p.split(' ').count() <= 2, "phrase too long: {p}");
+        }
+    }
+
+    #[test]
+    fn output_is_deterministic() {
+        let title = "knowledge graph embedding methods a comprehensive survey";
+        assert_eq!(extract_default(title), extract_default(title));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Extraction never panics, never exceeds the configured phrase count,
+        /// and every phrase is non-empty lowercase text.
+        #[test]
+        fn extraction_is_well_formed(text in "[a-zA-Z ]{0,120}", max in 1usize..6) {
+            let config = KeyphraseConfig { max_phrases: max, ..Default::default() };
+            let phrases = extract_keyphrases(&text, &config);
+            prop_assert!(phrases.len() <= max);
+            for p in &phrases {
+                prop_assert!(!p.trim().is_empty());
+                prop_assert_eq!(p.to_lowercase(), p.clone());
+            }
+        }
+    }
+}

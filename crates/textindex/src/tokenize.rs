@@ -1,0 +1,236 @@
+//! Tokenisation and stop-word filtering.
+//!
+//! A small, deterministic tokenizer adequate for scholarly titles and
+//! abstracts: lowercase, split on non-alphanumeric characters, drop pure
+//! numbers shorter than 4 digits (page numbers, etc.), and optionally drop
+//! English stop words.  A light suffix-stripping stemmer folds trivial
+//! plural/inflection variants together so that "networks" matches "network".
+
+use serde::{Deserialize, Serialize};
+
+/// A single token produced by [`tokenize`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Token {
+    /// Normalised (lowercased, stemmed) form used for indexing.
+    pub term: String,
+    /// Position of the token in the source text (0-based token offset).
+    pub position: usize,
+}
+
+/// English stop words that carry no topical signal in scholarly titles.
+pub const STOP_WORDS: &[&str] = &[
+    "a", "an", "the", "and", "or", "of", "in", "on", "for", "with", "to", "from", "by", "at",
+    "as", "is", "are", "was", "were", "be", "been", "being", "this", "that", "these", "those",
+    "it", "its", "we", "our", "their", "his", "her", "your", "via", "using", "based", "toward",
+    "towards", "into", "over", "under", "between", "among", "about", "can", "may", "do", "does",
+    "not", "no", "new", "novel", "approach", "method", "methods", "paper", "study",
+];
+
+/// Returns `true` if `term` is a stop word.
+pub fn is_stop_word(term: &str) -> bool {
+    STOP_WORDS.contains(&term)
+}
+
+/// A light stemmer: strips a handful of common English suffixes so that
+/// surface variants of the same technical term collapse together.  This is
+/// intentionally conservative (no Porter rules that mangle short technical
+/// terms).
+pub fn stem(term: &str) -> String {
+    let mut t = term.to_string();
+    // Order matters: longest suffixes first.
+    for (suffix, min_len) in [("ization", 9), ("ational", 9), ("ments", 7), ("ingly", 8),
+        ("ities", 7), ("ing", 6), ("ions", 6), ("ies", 5), ("ers", 5), ("ed", 5), ("es", 5),
+        ("s", 4)]
+    {
+        if t.len() >= min_len && t.ends_with(suffix) {
+            t.truncate(t.len() - suffix.len());
+            break;
+        }
+    }
+    t
+}
+
+/// Options controlling [`tokenize_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TokenizeOptions {
+    /// Drop stop words.
+    pub remove_stop_words: bool,
+    /// Apply the light stemmer.
+    pub stem: bool,
+    /// Minimum length (in characters) of a kept token.
+    pub min_len: usize,
+}
+
+impl Default for TokenizeOptions {
+    fn default() -> Self {
+        TokenizeOptions { remove_stop_words: true, stem: true, min_len: 2 }
+    }
+}
+
+/// Tokenises `text` with the default options (stop-word removal + stemming).
+pub fn tokenize(text: &str) -> Vec<Token> {
+    tokenize_with(text, TokenizeOptions::default())
+}
+
+/// Tokenises `text` without dropping stop words or stemming; used by the
+/// keyphrase extractor, which needs the full surface sequence.
+pub fn tokenize_surface(text: &str) -> Vec<Token> {
+    tokenize_with(
+        text,
+        TokenizeOptions { remove_stop_words: false, stem: false, min_len: 1 },
+    )
+}
+
+/// Tokenises `text` with explicit options.
+pub fn tokenize_with(text: &str, options: TokenizeOptions) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    let mut position = 0usize;
+    for raw in text.split(|c: char| !c.is_alphanumeric()) {
+        if raw.is_empty() {
+            continue;
+        }
+        let lower = raw.to_lowercase();
+        let current_position = position;
+        position += 1;
+        if lower.len() < options.min_len {
+            continue;
+        }
+        if lower.chars().all(|c| c.is_ascii_digit()) && lower.len() < 4 {
+            continue;
+        }
+        if options.remove_stop_words && is_stop_word(&lower) {
+            continue;
+        }
+        let term = if options.stem { stem(&lower) } else { lower };
+        tokens.push(Token { term, position: current_position });
+    }
+    tokens
+}
+
+/// Convenience: the distinct normalised terms of `text`, in first-seen order.
+pub fn distinct_terms(text: &str) -> Vec<String> {
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    for token in tokenize(text) {
+        if seen.insert(token.term.clone()) {
+            out.push(token.term);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lowercases_and_splits_on_punctuation() {
+        let tokens = tokenize_surface("Hate-Speech Detection: A Survey!");
+        let terms: Vec<_> = tokens.iter().map(|t| t.term.as_str()).collect();
+        assert_eq!(terms, vec!["hate", "speech", "detection", "a", "survey"]);
+    }
+
+    #[test]
+    fn positions_count_all_surface_tokens() {
+        let tokens = tokenize("deep learning for the masses");
+        // "for" and "the" are stop words but still consume positions.
+        let positions: Vec<_> = tokens.iter().map(|t| t.position).collect();
+        assert_eq!(positions, vec![0, 1, 4]);
+    }
+
+    #[test]
+    fn stop_words_are_removed_by_default() {
+        let terms = distinct_terms("a survey of the state of the art");
+        assert!(!terms.contains(&"the".to_string()));
+        assert!(!terms.contains(&"of".to_string()));
+        assert!(terms.contains(&"art".to_string()));
+    }
+
+    #[test]
+    fn stemming_folds_plurals() {
+        assert_eq!(stem("networks"), "network");
+        assert_eq!(stem("embeddings"), "embedding");
+        assert_eq!(stem("learning"), "learn");
+        // Short technical terms are left alone.
+        assert_eq!(stem("gan"), "gan");
+        assert_eq!(stem("bert"), "bert");
+    }
+
+    #[test]
+    fn stemmed_variants_collide() {
+        let a = tokenize("graph neural networks");
+        let b = tokenize("graph neural network");
+        let ta: Vec<_> = a.iter().map(|t| &t.term).collect();
+        let tb: Vec<_> = b.iter().map(|t| &t.term).collect();
+        assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn short_numbers_are_dropped_but_years_kept() {
+        let terms = distinct_terms("volume 7 of 2019 proceedings");
+        assert!(!terms.contains(&"7".to_string()));
+        assert!(terms.contains(&"2019".to_string()));
+    }
+
+    #[test]
+    fn empty_and_symbol_only_input() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("!!! --- ###").is_empty());
+    }
+
+    #[test]
+    fn distinct_terms_preserve_first_seen_order() {
+        let terms = distinct_terms("learning to learn: learning transfer");
+        assert_eq!(terms[0], "learn");
+        assert_eq!(terms.iter().filter(|t| t.as_str() == "learn").count(), 1);
+        assert!(terms.contains(&"transfer".to_string()));
+    }
+
+    #[test]
+    fn options_disable_stop_word_removal_and_stemming() {
+        let tokens = tokenize_with(
+            "the networks",
+            TokenizeOptions { remove_stop_words: false, stem: false, min_len: 1 },
+        );
+        let terms: Vec<_> = tokens.iter().map(|t| t.term.as_str()).collect();
+        assert_eq!(terms, vec!["the", "networks"]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Tokenisation never panics and always produces terms free of ASCII
+        /// uppercase with monotonically increasing positions.
+        #[test]
+        fn tokens_are_normalized(text in ".{0,200}") {
+            let tokens = tokenize(&text);
+            let mut last = None;
+            for t in &tokens {
+                prop_assert!(t.term.chars().all(|c| !c.is_ascii_uppercase()));
+                prop_assert!(!t.term.is_empty());
+                if let Some(prev) = last {
+                    prop_assert!(t.position > prev);
+                }
+                last = Some(t.position);
+            }
+        }
+
+        /// Surface tokenisation (no stemming / stop-word removal) is stable
+        /// under re-joining: tokenising the joined terms yields the same
+        /// sequence of terms.
+        #[test]
+        fn retokenizing_terms_is_stable(text in "[a-zA-Z ]{0,120}") {
+            let options = TokenizeOptions { remove_stop_words: false, stem: false, min_len: 1 };
+            let first: Vec<String> =
+                tokenize_with(&text, options).into_iter().map(|t| t.term).collect();
+            let joined = first.join(" ");
+            let second: Vec<String> =
+                tokenize_with(&joined, options).into_iter().map(|t| t.term).collect();
+            prop_assert_eq!(first, second);
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! `rpg` — a command-line front end for the RePaGer reading-path generator.
+//!
+//! This is the offline counterpart of the web interface described in
+//! Section V of the paper: it accepts a free-text query, generates the
+//! reading path over a synthetic corpus, and prints the navigation-bar view
+//! plus (optionally) the Graphviz DOT rendering.
+//!
+//! ```text
+//! cargo run --release --bin rpg -- --query "graph neural networks" --top-k 25
+//! cargo run --release --bin rpg -- --list-queries
+//! cargo run --release --bin rpg -- --query "pretrained language models" --dot path.dot
+//! ```
+
+use rpg_corpus::{generate, Corpus, CorpusConfig};
+use rpg_repager::render::{output_to_text, path_to_dot};
+use rpg_repager::system::{PathRequest, RePaGer};
+use rpg_repager::{RepagerConfig, Variant};
+
+/// Parsed command-line options.
+#[derive(Debug, Clone, PartialEq)]
+struct CliOptions {
+    query: Option<String>,
+    top_k: usize,
+    seeds: usize,
+    variant: Variant,
+    corpus_scale: CorpusScale,
+    dot_path: Option<String>,
+    list_queries: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CorpusScale {
+    Small,
+    Default,
+}
+
+impl Default for CliOptions {
+    fn default() -> Self {
+        CliOptions {
+            query: None,
+            top_k: 30,
+            seeds: RepagerConfig::default().seed_count,
+            variant: Variant::Newst,
+            corpus_scale: CorpusScale::Small,
+            dot_path: None,
+            list_queries: false,
+        }
+    }
+}
+
+fn parse_variant(name: &str) -> Result<Variant, String> {
+    Variant::ALL
+        .into_iter()
+        .find(|v| v.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| {
+            let known: Vec<&str> = Variant::ALL.iter().map(|v| v.name()).collect();
+            format!("unknown variant '{name}'; expected one of {}", known.join(", "))
+        })
+}
+
+fn parse_args(args: &[String]) -> Result<CliOptions, String> {
+    let mut options = CliOptions::default();
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        let mut value_of = |flag: &str| -> Result<String, String> {
+            iter.next().cloned().ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "--query" | "-q" => options.query = Some(value_of("--query")?),
+            "--top-k" | "-k" => {
+                options.top_k = value_of("--top-k")?
+                    .parse()
+                    .map_err(|_| "--top-k expects a positive integer".to_string())?;
+            }
+            "--seeds" => {
+                options.seeds = value_of("--seeds")?
+                    .parse()
+                    .map_err(|_| "--seeds expects a positive integer".to_string())?;
+            }
+            "--variant" => options.variant = parse_variant(&value_of("--variant")?)?,
+            "--dot" => options.dot_path = Some(value_of("--dot")?),
+            "--full-corpus" => options.corpus_scale = CorpusScale::Default,
+            "--list-queries" => options.list_queries = true,
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unrecognised argument '{other}'\n{}", usage())),
+        }
+    }
+    if options.top_k == 0 {
+        return Err("--top-k must be at least 1".to_string());
+    }
+    if options.seeds == 0 {
+        return Err("--seeds must be at least 1".to_string());
+    }
+    Ok(options)
+}
+
+fn usage() -> String {
+    [
+        "rpg — Reading Path Generation over a synthetic scholarly corpus",
+        "",
+        "USAGE:",
+        "  rpg --query <TEXT> [--top-k N] [--seeds N] [--variant NEWST|NEWST-W|NEWST-U|NEWST-I|NEWST-C|NEWST-N|NEWST-E]",
+        "      [--dot FILE] [--full-corpus]",
+        "  rpg --list-queries            list the benchmark survey queries",
+        "",
+        "OPTIONS:",
+        "  -q, --query <TEXT>   the research topic to generate a reading path for",
+        "  -k, --top-k <N>      length of the flattened reading list (default 30)",
+        "      --seeds <N>      number of initial seed papers (default 30)",
+        "      --variant <V>    model variant (default NEWST)",
+        "      --dot <FILE>     also write the path as Graphviz DOT",
+        "      --full-corpus    use the ~5k-paper corpus instead of the ~1.2k-paper one",
+        "      --list-queries   print the SurveyBank queries of the corpus and exit",
+    ]
+    .join("\n")
+}
+
+fn build_corpus(scale: CorpusScale) -> Corpus {
+    match scale {
+        CorpusScale::Small => generate(&CorpusConfig { seed: 0xDE40, ..CorpusConfig::small() }),
+        CorpusScale::Default => generate(&CorpusConfig::default()),
+    }
+}
+
+fn run(options: &CliOptions) -> Result<String, String> {
+    let corpus = build_corpus(options.corpus_scale);
+    if options.list_queries {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{} benchmark queries (from {} surveys):\n",
+            corpus.survey_bank().len(),
+            corpus.survey_papers().len()
+        ));
+        for survey in corpus.survey_bank().iter() {
+            out.push_str(&format!("  {}\n", survey.query));
+        }
+        return Ok(out);
+    }
+
+    let Some(query) = &options.query else {
+        return Err(usage());
+    };
+    let system = RePaGer::build(&corpus);
+    let config = RepagerConfig::default().with_seed_count(options.seeds);
+    let request = PathRequest {
+        query,
+        top_k: options.top_k,
+        max_year: None,
+        exclude: &[],
+        config,
+        variant: options.variant,
+    };
+    let output = system.generate(&request).map_err(|e| e.to_string())?;
+    if output.reading_list.is_empty() {
+        return Ok(format!("no papers found for query \"{query}\"\n"));
+    }
+
+    let mut text = String::new();
+    text.push_str(&format!("query: {query}  (variant {}, {} seeds)\n", options.variant, options.seeds));
+    text.push_str(&output_to_text(&corpus, &output));
+
+    if let Some(dot_path) = &options.dot_path {
+        let engine_top = system.scholar().seed_papers(&rpg_engines::Query {
+            text: query,
+            top_k: options.seeds,
+            max_year: None,
+            exclude: &[],
+        });
+        let dot = path_to_dot(&corpus, &output.path, &engine_top);
+        std::fs::write(dot_path, dot).map_err(|e| format!("cannot write {dot_path}: {e}"))?;
+        text.push_str(&format!("\nDOT written to {dot_path}\n"));
+    }
+    Ok(text)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&args).and_then(|options| run(&options)) {
+        Ok(text) => print!("{text}"),
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_are_applied() {
+        let options = parse_args(&args(&["--query", "graph databases"])).unwrap();
+        assert_eq!(options.query.as_deref(), Some("graph databases"));
+        assert_eq!(options.top_k, 30);
+        assert_eq!(options.variant, Variant::Newst);
+        assert_eq!(options.corpus_scale, CorpusScale::Small);
+    }
+
+    #[test]
+    fn all_flags_parse() {
+        let options = parse_args(&args(&[
+            "-q", "hate speech detection", "-k", "15", "--seeds", "20", "--variant", "newst-u",
+            "--dot", "/tmp/x.dot", "--full-corpus",
+        ]))
+        .unwrap();
+        assert_eq!(options.top_k, 15);
+        assert_eq!(options.seeds, 20);
+        assert_eq!(options.variant, Variant::Union);
+        assert_eq!(options.dot_path.as_deref(), Some("/tmp/x.dot"));
+        assert_eq!(options.corpus_scale, CorpusScale::Default);
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        assert!(parse_args(&args(&["--top-k", "zero"])).is_err());
+        assert!(parse_args(&args(&["--top-k", "0", "--query", "x"])).is_err());
+        assert!(parse_args(&args(&["--variant", "bogus"])).is_err());
+        assert!(parse_args(&args(&["--unknown"])).is_err());
+        assert!(parse_args(&args(&["--query"])).is_err());
+    }
+
+    #[test]
+    fn variant_names_are_case_insensitive() {
+        assert_eq!(parse_variant("newst-c").unwrap(), Variant::CandidatesOnly);
+        assert_eq!(parse_variant("NEWST-E").unwrap(), Variant::NoEdgeWeights);
+        assert!(parse_variant("steiner").is_err());
+    }
+
+    #[test]
+    fn list_queries_runs_without_a_query() {
+        let options = parse_args(&args(&["--list-queries"])).unwrap();
+        let output = run(&options).unwrap();
+        assert!(output.contains("benchmark queries"));
+    }
+
+    #[test]
+    fn generation_runs_for_a_known_topic() {
+        let options = parse_args(&args(&["--query", "graph neural networks", "--top-k", "10"])).unwrap();
+        let output = run(&options).unwrap();
+        assert!(output.contains("reading path"), "unexpected output: {output}");
+    }
+}

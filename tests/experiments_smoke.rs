@@ -1,0 +1,107 @@
+//! Integration smoke tests of the experiment runners: every table/figure
+//! module runs on the demonstration corpus and reproduces the paper's
+//! qualitative shape.
+
+use rpg_corpus::LabelLevel;
+use rpg_eval::experiments::{
+    fig2_overlap, fig4_statistics, fig8_main, fig9_case_study, table2_seed_count, table3_ablation,
+    table4_runtime, table5_human, ExperimentContext,
+};
+use rpg_repro::demo_corpus;
+
+#[test]
+fn observation_study_shows_the_expansion_effect() {
+    let corpus = demo_corpus();
+    let ctx = ExperimentContext::new(&corpus, 10, 8, 2);
+    let report = fig2_overlap::run(&ctx, &[30], 8);
+    let panel = &report.panels[0];
+    // Observation II: 2nd-order neighbourhoods cover clearly more of the
+    // reference list than the direct engine results.
+    assert!(panel.ratios[2][0] > panel.ratios[0][0]);
+    // Observation I: the direct results do not cover the full reference list.
+    assert!(panel.ratios[0][0] < 0.9);
+}
+
+#[test]
+fn statistics_report_matches_the_survey_bank() {
+    let corpus = demo_corpus();
+    let report = fig4_statistics::run(&corpus);
+    assert_eq!(report.citation_distribution.total(), corpus.survey_bank().len());
+    assert!(report.summary.avg_survey_references > 5.0);
+    assert!(!fig4_statistics::format(&report).is_empty());
+}
+
+#[test]
+fn main_comparison_produces_the_papers_ordering() {
+    let corpus = demo_corpus();
+    let ctx = ExperimentContext::new(&corpus, 15, 8, 2);
+    let report = fig8_main::run(&ctx, &[20, 30, 40]);
+    assert_eq!(report.levels.len(), 3);
+
+    let mean_f1 = |method: &str| {
+        let curve = report.curve(LabelLevel::AtLeastOne, method).unwrap();
+        curve.points.iter().map(|p| p.f1).sum::<f64>() / curve.points.len() as f64
+    };
+    let newst = mean_f1("NEWST");
+    let pagerank = mean_f1("PageRank");
+    assert!(newst > 0.0);
+    // The paper's most robust ordering: NEWST clearly above the PageRank
+    // re-ranking baseline.
+    assert!(newst > pagerank, "NEWST {newst:.3} vs PageRank {pagerank:.3}");
+}
+
+#[test]
+fn seed_count_sweep_and_ablation_run_to_completion() {
+    let corpus = demo_corpus();
+    let ctx = ExperimentContext::new(&corpus, 15, 6, 2);
+
+    let table2 = table2_seed_count::run(&ctx, &[10, 30], 30, LabelLevel::AtLeastOne);
+    assert_eq!(table2.rows.len(), 2);
+    assert!(table2.rows.iter().all(|r| r.f1 >= 0.0 && r.precision <= 1.0));
+
+    let table3 = table3_ablation::run(&ctx, 30, LabelLevel::AtLeastOne);
+    assert_eq!(table3.rows.len(), 7);
+    let newst = table3.row(rpg_repager::Variant::Newst).unwrap();
+    assert!(newst.f1 > 0.0);
+}
+
+#[test]
+fn runtime_study_reports_interactive_latencies() {
+    let corpus = demo_corpus();
+    let ctx = ExperimentContext::new(&corpus, 15, 5, 2);
+    let report = table4_runtime::run(&ctx, 5);
+    let avg = report.average.expect("measured at least one query");
+    assert!(avg.millis < 10_000.0, "query latency {:.0}ms is not interactive", avg.millis);
+    assert!(avg.nodes > 0);
+}
+
+#[test]
+fn human_proxy_prefers_newst_for_prerequisites() {
+    let corpus = demo_corpus();
+    let ctx = ExperimentContext::new(&corpus, 10, 40, 2);
+    let report = table5_human::run(&ctx, 4, 30);
+    assert_eq!(report.rows.len(), 6);
+    let prereq_b: f64 = report
+        .rows
+        .iter()
+        .filter(|r| r.criterion == "Prerequisite")
+        .map(|r| r.shares.prefer_b)
+        .sum();
+    let prereq_a: f64 = report
+        .rows
+        .iter()
+        .filter(|r| r.criterion == "Prerequisite")
+        .map(|r| r.shares.prefer_a)
+        .sum();
+    assert!(prereq_b >= prereq_a);
+}
+
+#[test]
+fn case_study_discovers_prerequisite_papers() {
+    let corpus = demo_corpus();
+    let ctx = ExperimentContext::new(&corpus, 10, 40, 2);
+    let report = fig9_case_study::run(&ctx, None);
+    assert!(!report.path_papers.is_empty());
+    assert!(!report.discovered_papers.is_empty());
+    assert!(report.rendered_dot.contains("digraph"));
+}
