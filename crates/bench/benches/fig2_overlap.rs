@@ -29,7 +29,11 @@ fn fig2(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig2_overlap");
     group.sample_size(20);
     group.bench_function("two_hop_expansion_30_seeds", |b| {
-        b.iter(|| expand(corpus.graph(), &seed_nodes, 2, Direction::References).unwrap().len())
+        b.iter(|| {
+            expand(corpus.graph(), &seed_nodes, 2, Direction::References)
+                .unwrap()
+                .len()
+        })
     });
     group.finish();
 }

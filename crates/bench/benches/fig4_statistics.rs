@@ -14,7 +14,9 @@ fn fig4(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("fig4_statistics");
     group.sample_size(20);
-    group.bench_function("statistics_pass", |b| b.iter(|| fig4_statistics::run(&corpus)));
+    group.bench_function("statistics_pass", |b| {
+        b.iter(|| fig4_statistics::run(&corpus))
+    });
     group.sample_size(10);
     group.bench_function("corpus_generation_default_scale", |b| {
         b.iter(|| generate(&bench_corpus_config()).len())

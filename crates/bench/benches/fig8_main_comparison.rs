@@ -28,7 +28,11 @@ fn fig8(c: &mut Criterion) {
                 config: RepagerConfig::default(),
                 variant: Variant::Newst,
             };
-            ctx.system.generate(&request).unwrap().reading_list.len()
+            ctx.system
+                .generate_uncached(&request)
+                .unwrap()
+                .reading_list
+                .len()
         })
     });
     group.bench_function("scholar_single_query_top30", |b| {

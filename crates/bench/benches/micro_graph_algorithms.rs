@@ -36,8 +36,15 @@ fn micro(c: &mut Criterion) {
         max_year: Some(survey.year),
         exclude: &[],
     });
-    let subgraph =
-        SubGraph::build(&corpus, &node_weights, &seeds, &config, Some(survey.year), &[]).unwrap();
+    let subgraph = SubGraph::build(
+        &corpus,
+        &node_weights,
+        &seeds,
+        &config,
+        Some(survey.year),
+        &[],
+    )
+    .unwrap();
     let allocation = reallocate(&corpus, &subgraph, &seeds, &config);
     let terminals = allocation.terminals(TerminalSelection::Reallocated, &config);
     let local_terminals = subgraph.to_local(&terminals);
@@ -49,11 +56,20 @@ fn micro(c: &mut Criterion) {
     );
 
     group.bench_function("steiner_tree_kmb", |b| {
-        b.iter(|| steiner_tree(&subgraph.weighted, &local_terminals).unwrap().node_count())
+        b.iter(|| {
+            steiner_tree(&subgraph.weighted, &local_terminals)
+                .unwrap()
+                .node_count()
+        })
     });
     if let Some(&source) = local_terminals.first() {
         group.bench_function("dijkstra_single_source", |b| {
-            b.iter(|| dijkstra::single_source(&subgraph.weighted, source).unwrap().0.len())
+            b.iter(|| {
+                dijkstra::single_source(&subgraph.weighted, source)
+                    .unwrap()
+                    .0
+                    .len()
+            })
         });
     }
     group.bench_function("minimum_spanning_forest", |b| {

@@ -1,0 +1,93 @@
+//! Throughput of the `rpg-service` serving layer: serial single requests vs.
+//! batched fan-out over worker threads, plus the cost of an LRU cache hit.
+//!
+//! The workload is the demo corpus's benchmark survey queries — the same
+//! requests the evaluation loop issues — so the numbers reflect the shape of
+//! real query traffic. The batch/serial pair measures the same request set
+//! through `generate_uncached` (serial loop, one thread) and
+//! `generate_batch_with_threads` (all cores), which is the speedup the
+//! serving layer exists to provide.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rpg_bench::micro_corpus;
+use rpg_repager::system::PathRequest;
+use rpg_service::{default_threads, PathService};
+
+fn service_throughput(c: &mut Criterion) {
+    let corpus = micro_corpus();
+    let service = PathService::build(corpus).expect("corpus artifacts build");
+    let surveys: Vec<(String, u16)> = service
+        .corpus()
+        .survey_bank()
+        .iter()
+        .take(12)
+        .map(|s| (s.query.clone(), s.year))
+        .collect();
+    let requests: Vec<PathRequest<'_>> = surveys
+        .iter()
+        .map(|(query, year)| PathRequest {
+            max_year: Some(*year),
+            ..PathRequest::new(query, 30)
+        })
+        .collect();
+    let threads = default_threads();
+    println!(
+        "\nservice throughput instance: {} survey queries, {} worker threads",
+        requests.len(),
+        threads
+    );
+
+    let mut group = c.benchmark_group("service_throughput");
+    group.sample_size(10);
+
+    group.bench_function("serial_uncached", |b| {
+        b.iter(|| {
+            requests
+                .iter()
+                .map(|r| service.generate_uncached(r).unwrap().reading_list.len())
+                .sum::<usize>()
+        })
+    });
+
+    group.bench_function("batch_all_cores", |b| {
+        b.iter(|| {
+            service.clear_cache();
+            service
+                .generate_batch_with_threads(&requests, threads)
+                .into_iter()
+                .map(|r| r.unwrap().reading_list.len())
+                .sum::<usize>()
+        })
+    });
+
+    // Warm the cache once, then measure pure hit latency.
+    let warm = &requests[0];
+    service.clear_cache();
+    service.generate(warm).unwrap();
+    group.bench_function("cache_hit", |b| {
+        b.iter(|| service.generate(warm).unwrap().reading_list.len())
+    });
+
+    group.finish();
+
+    // A quick self-check outside the timed region: batching must beat the
+    // serial loop on multi-core hosts (informational, not an assertion, so a
+    // loaded CI box cannot flake the bench run).
+    let serial_started = std::time::Instant::now();
+    for request in &requests {
+        let _ = service.generate_uncached(request).unwrap();
+    }
+    let serial = serial_started.elapsed();
+    service.clear_cache();
+    let batch_started = std::time::Instant::now();
+    let _ = service.generate_batch_with_threads(&requests, threads);
+    let batch = batch_started.elapsed();
+    println!(
+        "serial {} queries: {serial:?}; batch over {threads} threads: {batch:?} ({:.2}x)",
+        requests.len(),
+        serial.as_secs_f64() / batch.as_secs_f64().max(1e-9),
+    );
+}
+
+criterion_group!(benches, service_throughput);
+criterion_main!(benches);

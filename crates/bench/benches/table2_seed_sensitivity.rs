@@ -12,8 +12,12 @@ fn table2(c: &mut Criterion) {
     let corpus = bench_corpus();
     let ctx = ExperimentContext::new(&corpus, 20, BENCH_SURVEY_LIMIT, bench_threads());
 
-    let report =
-        table2_seed_count::run(&ctx, &[10, 15, 20, 25, 30, 40, 50], 30, LabelLevel::AtLeastOne);
+    let report = table2_seed_count::run(
+        &ctx,
+        &[10, 15, 20, 25, 30, 40, 50],
+        30,
+        LabelLevel::AtLeastOne,
+    );
     println!("\n{}", table2_seed_count::format(&report));
 
     let survey = &ctx.set.surveys[0];
@@ -31,7 +35,11 @@ fn table2(c: &mut Criterion) {
                     config: RepagerConfig::default().with_seed_count(seeds),
                     variant: Variant::Newst,
                 };
-                ctx.system.generate(&request).unwrap().reading_list.len()
+                ctx.system
+                    .generate_uncached(&request)
+                    .unwrap()
+                    .reading_list
+                    .len()
             })
         });
     }

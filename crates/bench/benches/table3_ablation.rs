@@ -19,7 +19,11 @@ fn table3(c: &mut Criterion) {
     let exclude = [survey.paper];
     let mut group = c.benchmark_group("table3_ablation");
     group.sample_size(10);
-    for variant in [Variant::Newst, Variant::CandidatesOnly, Variant::NoEdgeWeights] {
+    for variant in [
+        Variant::Newst,
+        Variant::CandidatesOnly,
+        Variant::NoEdgeWeights,
+    ] {
         group.bench_function(format!("query_{}", variant.name()), |b| {
             b.iter(|| {
                 let request = PathRequest {
@@ -30,7 +34,11 @@ fn table3(c: &mut Criterion) {
                     config: RepagerConfig::default(),
                     variant,
                 };
-                ctx.system.generate(&request).unwrap().reading_list.len()
+                ctx.system
+                    .generate_uncached(&request)
+                    .unwrap()
+                    .reading_list
+                    .len()
             })
         });
     }

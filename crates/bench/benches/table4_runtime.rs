@@ -38,7 +38,10 @@ fn table4(c: &mut Criterion) {
                     config: RepagerConfig::default(),
                     variant: Variant::Newst,
                 };
-                ctx.system.generate(&request).unwrap().subgraph_nodes
+                ctx.system
+                    .generate_uncached(&request)
+                    .unwrap()
+                    .subgraph_nodes
             })
         });
     }

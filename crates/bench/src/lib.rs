@@ -8,23 +8,31 @@
 //! statistic pass) so `cargo bench` also tracks performance over time.
 
 use rpg_corpus::{generate, Corpus, CorpusConfig};
+use std::sync::Arc;
 
 /// The corpus configuration used by all benches: the default generator scale
 /// (~5k papers, ~80k citation edges, ~80 surveys), which is large enough for
 /// the trends of the paper's figures to be visible while keeping a full
 /// `cargo bench` run in the minutes range.
 pub fn bench_corpus_config() -> CorpusConfig {
-    CorpusConfig { seed: 0xBE9C_0DE, ..CorpusConfig::default() }
+    CorpusConfig {
+        seed: 0x0BE9_C0DE,
+        ..CorpusConfig::default()
+    }
 }
 
-/// Generates the benchmark corpus.
-pub fn bench_corpus() -> Corpus {
-    generate(&bench_corpus_config())
+/// Generates the benchmark corpus, shareable across the harness without
+/// copying.
+pub fn bench_corpus() -> Arc<Corpus> {
+    Arc::new(generate(&bench_corpus_config()))
 }
 
 /// A smaller corpus for the micro-benchmarks of the graph algorithms.
-pub fn micro_corpus() -> Corpus {
-    generate(&CorpusConfig { seed: 0xBE9C_0DF, ..CorpusConfig::small() })
+pub fn micro_corpus() -> Arc<Corpus> {
+    Arc::new(generate(&CorpusConfig {
+        seed: 0x0BE9_C0DF,
+        ..CorpusConfig::small()
+    }))
 }
 
 /// Number of evaluation surveys used by the table/figure benches.  The full
@@ -34,7 +42,10 @@ pub const BENCH_SURVEY_LIMIT: usize = 24;
 
 /// Number of worker threads for the evaluation loops.
 pub fn bench_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(8)
 }
 
 #[cfg(test)]
@@ -44,7 +55,10 @@ mod tests {
     #[test]
     fn bench_corpus_config_is_default_scale() {
         let config = bench_corpus_config();
-        assert_eq!(config.papers_per_topic, CorpusConfig::default().papers_per_topic);
+        assert_eq!(
+            config.papers_per_topic,
+            CorpusConfig::default().papers_per_topic
+        );
     }
 
     #[test]

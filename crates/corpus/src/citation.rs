@@ -46,7 +46,11 @@ pub struct PoolWeights {
 
 impl Default for PoolWeights {
     fn default() -> Self {
-        PoolWeights { same_topic: 0.62, prerequisite: 0.28, background: 0.10 }
+        PoolWeights {
+            same_topic: 0.62,
+            prerequisite: 0.28,
+            background: 0.10,
+        }
     }
 }
 
@@ -56,7 +60,11 @@ impl PoolWeights {
     pub fn normalized(self) -> PoolWeights {
         let sum = self.same_topic + self.prerequisite + self.background;
         if sum <= 0.0 {
-            return PoolWeights { same_topic: 1.0 / 3.0, prerequisite: 1.0 / 3.0, background: 1.0 / 3.0 };
+            return PoolWeights {
+                same_topic: 1.0 / 3.0,
+                prerequisite: 1.0 / 3.0,
+                background: 1.0 / 3.0,
+            };
         }
         PoolWeights {
             same_topic: self.same_topic / sum,
@@ -94,8 +102,11 @@ impl<'a> CitationSampler<'a> {
         if candidates.is_empty() || count == 0 {
             return Vec::new();
         }
-        let mut pool: Vec<Candidate> =
-            candidates.iter().copied().filter(|c| c.weight > 0.0).collect();
+        let mut pool: Vec<Candidate> = candidates
+            .iter()
+            .copied()
+            .filter(|c| c.weight > 0.0)
+            .collect();
         let mut chosen = Vec::with_capacity(count.min(pool.len()));
         while chosen.len() < count && !pool.is_empty() {
             let total: f64 = pool.iter().map(|c| c.weight).sum();
@@ -198,7 +209,12 @@ mod tests {
     }
 
     fn candidates(n: u32) -> Vec<Candidate> {
-        (0..n).map(|i| Candidate { paper: PaperId(i), weight: 1.0 }).collect()
+        (0..n)
+            .map(|i| Candidate {
+                paper: PaperId(i),
+                weight: 1.0,
+            })
+            .collect()
     }
 
     #[test]
@@ -224,8 +240,14 @@ mod tests {
         let mut r = rng();
         let mut sampler = CitationSampler::new(&mut r);
         let pool = vec![
-            Candidate { paper: PaperId(0), weight: 0.0 },
-            Candidate { paper: PaperId(1), weight: 1.0 },
+            Candidate {
+                paper: PaperId(0),
+                weight: 0.0,
+            },
+            Candidate {
+                paper: PaperId(1),
+                weight: 1.0,
+            },
         ];
         for _ in 0..20 {
             let picked = sampler.sample_weighted(&pool, 1);
@@ -238,8 +260,14 @@ mod tests {
         let mut r = rng();
         let mut sampler = CitationSampler::new(&mut r);
         let pool = vec![
-            Candidate { paper: PaperId(0), weight: 10.0 },
-            Candidate { paper: PaperId(1), weight: 1.0 },
+            Candidate {
+                paper: PaperId(0),
+                weight: 10.0,
+            },
+            Candidate {
+                paper: PaperId(1),
+                weight: 1.0,
+            },
         ];
         let mut heavy_first = 0;
         for _ in 0..200 {
@@ -247,20 +275,36 @@ mod tests {
                 heavy_first += 1;
             }
         }
-        assert!(heavy_first > 140, "heavy candidate picked only {heavy_first}/200 times");
+        assert!(
+            heavy_first > 140,
+            "heavy candidate picked only {heavy_first}/200 times"
+        );
     }
 
     #[test]
     fn reference_sampling_mixes_pools() {
         let mut r = rng();
         let mut sampler = CitationSampler::new(&mut r);
-        let same: Vec<Candidate> =
-            (0..30).map(|i| Candidate { paper: PaperId(i), weight: 1.0 }).collect();
-        let prereq: Vec<Candidate> =
-            (100..130).map(|i| Candidate { paper: PaperId(i), weight: 1.0 }).collect();
-        let background: Vec<Candidate> =
-            (200..230).map(|i| Candidate { paper: PaperId(i), weight: 1.0 }).collect();
-        let refs = sampler.sample_references(20, PoolWeights::default(), &same, &prereq, &background);
+        let same: Vec<Candidate> = (0..30)
+            .map(|i| Candidate {
+                paper: PaperId(i),
+                weight: 1.0,
+            })
+            .collect();
+        let prereq: Vec<Candidate> = (100..130)
+            .map(|i| Candidate {
+                paper: PaperId(i),
+                weight: 1.0,
+            })
+            .collect();
+        let background: Vec<Candidate> = (200..230)
+            .map(|i| Candidate {
+                paper: PaperId(i),
+                weight: 1.0,
+            })
+            .collect();
+        let refs =
+            sampler.sample_references(20, PoolWeights::default(), &same, &prereq, &background);
         assert!(refs.len() >= 15);
         let n_prereq = refs.iter().filter(|p| (100..130).contains(&p.0)).count();
         assert!(n_prereq >= 2, "prerequisite pool under-sampled: {n_prereq}");
@@ -270,9 +314,18 @@ mod tests {
     fn reference_sampling_rebalances_small_pools() {
         let mut r = rng();
         let mut sampler = CitationSampler::new(&mut r);
-        let same: Vec<Candidate> = (0..2).map(|i| Candidate { paper: PaperId(i), weight: 1.0 }).collect();
-        let prereq: Vec<Candidate> =
-            (10..40).map(|i| Candidate { paper: PaperId(i), weight: 1.0 }).collect();
+        let same: Vec<Candidate> = (0..2)
+            .map(|i| Candidate {
+                paper: PaperId(i),
+                weight: 1.0,
+            })
+            .collect();
+        let prereq: Vec<Candidate> = (10..40)
+            .map(|i| Candidate {
+                paper: PaperId(i),
+                weight: 1.0,
+            })
+            .collect();
         let refs = sampler.sample_references(15, PoolWeights::default(), &same, &prereq, &[]);
         assert!(refs.len() >= 10, "got only {} references", refs.len());
     }
@@ -289,7 +342,10 @@ mod tests {
                 ones += 1;
             }
         }
-        assert!(ones > 300, "regular citations should mostly have 1 occurrence");
+        assert!(
+            ones > 300,
+            "regular citations should mostly have 1 occurrence"
+        );
 
         let mut high_importance_heavy = 0;
         let mut low_importance_heavy = 0;
@@ -309,9 +365,19 @@ mod tests {
 
     #[test]
     fn pool_weight_normalization() {
-        let w = PoolWeights { same_topic: 2.0, prerequisite: 1.0, background: 1.0 }.normalized();
+        let w = PoolWeights {
+            same_topic: 2.0,
+            prerequisite: 1.0,
+            background: 1.0,
+        }
+        .normalized();
         assert!((w.same_topic - 0.5).abs() < 1e-12);
-        let degenerate = PoolWeights { same_topic: 0.0, prerequisite: 0.0, background: 0.0 }.normalized();
+        let degenerate = PoolWeights {
+            same_topic: 0.0,
+            prerequisite: 0.0,
+            background: 0.0,
+        }
+        .normalized();
         assert!((degenerate.same_topic - 1.0 / 3.0).abs() < 1e-12);
     }
 }

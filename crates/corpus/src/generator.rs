@@ -96,15 +96,35 @@ impl CorpusConfig {
 
     /// A medium configuration for benchmarks (a few thousand papers).
     pub fn medium() -> Self {
-        CorpusConfig { papers_per_topic: 70, ..Default::default() }
+        CorpusConfig {
+            papers_per_topic: 70,
+            ..Default::default()
+        }
     }
 }
 
 /// Generic academic filler vocabulary mixed into titles and abstracts.
 const FILLER_TERMS: &[&str] = &[
-    "analysis", "framework", "evaluation", "empirical", "scalable", "robust", "efficient",
-    "model", "system", "approach", "benchmark", "large", "scale", "improved", "unified",
-    "adaptive", "hierarchical", "structured", "automatic", "joint",
+    "analysis",
+    "framework",
+    "evaluation",
+    "empirical",
+    "scalable",
+    "robust",
+    "efficient",
+    "model",
+    "system",
+    "approach",
+    "benchmark",
+    "large",
+    "scale",
+    "improved",
+    "unified",
+    "adaptive",
+    "hierarchical",
+    "structured",
+    "automatic",
+    "joint",
 ];
 
 const TITLE_PATTERNS: usize = 6;
@@ -228,16 +248,21 @@ pub fn generate_with(config: &CorpusConfig, topics: TopicCatalog, venues: VenueT
     let mut plans: Vec<PaperPlan> = Vec::new();
     let mut topic_paper_counts = vec![0usize; topics.len()];
     for topic in topics.iter() {
-        let count = ((config.papers_per_topic as f64) * topic.weight).round().max(3.0) as usize;
+        let count = ((config.papers_per_topic as f64) * topic.weight)
+            .round()
+            .max(3.0) as usize;
         topic_paper_counts[topic.id.index()] = count;
-        let start_year =
-            config.year_start + (depths[topic.id.index()] as u16 * 3).min(15);
+        let start_year = config.year_start + (depths[topic.id.index()] as u16 * 3).min(15);
         let span = config.year_end.saturating_sub(start_year).max(1);
         for _ in 0..count {
             let u: f64 = rng.gen();
             // Skew publication years toward the recent end (Fig. 4b).
             let year = start_year + (f64::from(span) * u.powf(0.55)) as u16;
-            plans.push(PaperPlan { topic: topic.id, year, kind: PaperKind::Research });
+            plans.push(PaperPlan {
+                topic: topic.id,
+                year,
+                kind: PaperKind::Research,
+            });
         }
         if count >= config.min_topic_papers_for_survey {
             for _ in 0..config.surveys_per_topic {
@@ -245,7 +270,11 @@ pub fn generate_with(config: &CorpusConfig, topics: TopicCatalog, venues: VenueT
                 let latest_span = config.year_end.saturating_sub(earliest).max(1);
                 let year = config.year_end - rng.gen_range(0..latest_span.min(7));
                 let year = year.max(earliest);
-                plans.push(PaperPlan { topic: topic.id, year, kind: PaperKind::Survey });
+                plans.push(PaperPlan {
+                    topic: topic.id,
+                    year,
+                    kind: PaperKind::Survey,
+                });
             }
         }
     }
@@ -267,9 +296,11 @@ pub fn generate_with(config: &CorpusConfig, topics: TopicCatalog, venues: VenueT
             .flat_map(|t| t.terms.iter().cloned())
             .collect();
         let (title, pages, parse_ok) = match plan.kind {
-            PaperKind::Research => {
-                (research_title(&mut rng, &topic.terms), rng.gen_range(6..=14), true)
-            }
+            PaperKind::Research => (
+                research_title(&mut rng, &topic.terms),
+                rng.gen_range(6..=14),
+                true,
+            ),
             PaperKind::Survey => {
                 let mut title = survey_title(&mut rng, &topic.name);
                 let mut pages = rng.gen_range(12..=40);
@@ -283,8 +314,9 @@ pub fn generate_with(config: &CorpusConfig, topics: TopicCatalog, venues: VenueT
                             // Duplicate of an earlier survey title on the same
                             // topic (falls back to an over-long document when
                             // it is the topic's first survey).
-                            if let Some(prev) =
-                                survey_titles_by_topic.get(&plan.topic).and_then(|v| v.first())
+                            if let Some(prev) = survey_titles_by_topic
+                                .get(&plan.topic)
+                                .and_then(|v| v.first())
                             {
                                 title = prev.clone();
                             } else {
@@ -293,7 +325,10 @@ pub fn generate_with(config: &CorpusConfig, topics: TopicCatalog, venues: VenueT
                         }
                     }
                 }
-                survey_titles_by_topic.entry(plan.topic).or_default().push(title.clone());
+                survey_titles_by_topic
+                    .entry(plan.topic)
+                    .or_default()
+                    .push(title.clone());
                 (title, pages, parse_ok)
             }
         };
@@ -352,8 +387,15 @@ pub fn generate_with(config: &CorpusConfig, topics: TopicCatalog, venues: VenueT
             // Direct prerequisites matter more than transitive ones.
             let hop_decay = 1.0 / (1.0 + hop as f64 * 0.35);
             for (rank, &j) in published.iter().enumerate() {
-                let foundational_boost =
-                    if rank < foundation_cutoff { if is_survey { 4.0 } else { 3.0 } } else { 1.0 };
+                let foundational_boost = if rank < foundation_cutoff {
+                    if is_survey {
+                        4.0
+                    } else {
+                        3.0
+                    }
+                } else {
+                    1.0
+                };
                 prerequisite.push(Candidate {
                     paper: PaperId::from_index(j),
                     weight: (1.0 + f64::from(in_degree[j])) * foundational_boost * hop_decay,
@@ -367,7 +409,10 @@ pub fn generate_with(config: &CorpusConfig, topics: TopicCatalog, venues: VenueT
         if i > 0 {
             for _ in 0..60.min(i) {
                 let j = rng.gen_range(0..i);
-                background.push(Candidate { paper: PaperId::from_index(j), weight: 1.0 });
+                background.push(Candidate {
+                    paper: PaperId::from_index(j),
+                    weight: 1.0,
+                });
             }
         }
 
@@ -381,12 +426,21 @@ pub fn generate_with(config: &CorpusConfig, topics: TopicCatalog, venues: VenueT
         let pool_weights = if is_survey {
             // Surveys lean a bit harder on their own topic but still pull in
             // prerequisite work (the behaviour Observation I is about).
-            PoolWeights { same_topic: 0.66, prerequisite: 0.28, background: 0.06 }
+            PoolWeights {
+                same_topic: 0.66,
+                prerequisite: 0.28,
+                background: 0.06,
+            }
         } else {
             config.pool_weights
         };
-        let cited =
-            sampler.sample_references(budget, pool_weights, &same_topic, &prerequisite, &background);
+        let cited = sampler.sample_references(
+            budget,
+            pool_weights,
+            &same_topic,
+            &prerequisite,
+            &background,
+        );
 
         // Importance of each cited paper for occurrence counts: normalised
         // current citation count (well-cited papers are discussed at length).
@@ -398,12 +452,16 @@ pub fn generate_with(config: &CorpusConfig, topics: TopicCatalog, venues: VenueT
             .max(1);
         for cited_paper in cited {
             let occurrences = if is_survey {
-                let importance = f64::from(in_degree[cited_paper.index()]) / f64::from(max_in_degree);
+                let importance =
+                    f64::from(in_degree[cited_paper.index()]) / f64::from(max_in_degree);
                 sampler.survey_occurrences(importance)
             } else {
                 sampler.regular_occurrences()
             };
-            references[i].push(Reference { cited: cited_paper, occurrences });
+            references[i].push(Reference {
+                cited: cited_paper,
+                occurrences,
+            });
             in_degree[cited_paper.index()] += 1;
         }
 
@@ -413,8 +471,10 @@ pub fn generate_with(config: &CorpusConfig, topics: TopicCatalog, venues: VenueT
                 if rng.gen::<f64>() < config.survey_citation_rate {
                     let already = references[i].iter().any(|r| r.cited.index() == survey_idx);
                     if !already {
-                        references[i]
-                            .push(Reference { cited: PaperId::from_index(survey_idx), occurrences: 1 });
+                        references[i].push(Reference {
+                            cited: PaperId::from_index(survey_idx),
+                            occurrences: 1,
+                        });
                         in_degree[survey_idx] += 1;
                     }
                 }
@@ -430,7 +490,14 @@ pub fn generate_with(config: &CorpusConfig, topics: TopicCatalog, venues: VenueT
     }
 
     let mut corpus = Corpus::assemble(papers, references, topics, venues);
-    let bank = pipeline::run(&corpus, &PipelineConfig { seed: config.seed ^ 0x9E37_79B9, ..Default::default() }).bank;
+    let bank = pipeline::run(
+        &corpus,
+        &PipelineConfig {
+            seed: config.seed ^ 0x9E37_79B9,
+            ..Default::default()
+        },
+    )
+    .bank;
     corpus.set_survey_bank(bank);
     corpus
 }
@@ -441,23 +508,41 @@ mod tests {
     use rpg_graph::topo;
 
     fn small_corpus() -> Corpus {
-        generate(&CorpusConfig { seed: 11, ..CorpusConfig::small() })
+        generate(&CorpusConfig {
+            seed: 11,
+            ..CorpusConfig::small()
+        })
     }
 
     #[test]
     fn generation_is_deterministic() {
-        let a = generate(&CorpusConfig { seed: 42, ..CorpusConfig::small() });
-        let b = generate(&CorpusConfig { seed: 42, ..CorpusConfig::small() });
+        let a = generate(&CorpusConfig {
+            seed: 42,
+            ..CorpusConfig::small()
+        });
+        let b = generate(&CorpusConfig {
+            seed: 42,
+            ..CorpusConfig::small()
+        });
         assert_eq!(a.len(), b.len());
         assert_eq!(a.graph().edge_count(), b.graph().edge_count());
-        assert_eq!(a.paper(PaperId(10)).unwrap().title, b.paper(PaperId(10)).unwrap().title);
+        assert_eq!(
+            a.paper(PaperId(10)).unwrap().title,
+            b.paper(PaperId(10)).unwrap().title
+        );
         assert_eq!(a.survey_bank().len(), b.survey_bank().len());
     }
 
     #[test]
     fn different_seeds_differ() {
-        let a = generate(&CorpusConfig { seed: 1, ..CorpusConfig::small() });
-        let b = generate(&CorpusConfig { seed: 2, ..CorpusConfig::small() });
+        let a = generate(&CorpusConfig {
+            seed: 1,
+            ..CorpusConfig::small()
+        });
+        let b = generate(&CorpusConfig {
+            seed: 2,
+            ..CorpusConfig::small()
+        });
         // Same planning, different sampling: titles should differ somewhere.
         let differing = a
             .papers()
@@ -472,8 +557,16 @@ mod tests {
     fn corpus_has_expected_scale() {
         let c = small_corpus();
         assert!(c.len() > 800, "corpus too small: {}", c.len());
-        assert!(c.graph().edge_count() > 4_000, "too few edges: {}", c.graph().edge_count());
-        assert!(c.survey_bank().len() >= 20, "too few surveys: {}", c.survey_bank().len());
+        assert!(
+            c.graph().edge_count() > 4_000,
+            "too few edges: {}",
+            c.graph().edge_count()
+        );
+        assert!(
+            c.survey_bank().len() >= 20,
+            "too few surveys: {}",
+            c.survey_bank().len()
+        );
     }
 
     #[test]
@@ -516,7 +609,11 @@ mod tests {
             let cross = survey
                 .references
                 .iter()
-                .filter(|r| c.paper(r.paper).map(|p| p.topic != survey_topic).unwrap_or(false))
+                .filter(|r| {
+                    c.paper(r.paper)
+                        .map(|p| p.topic != survey_topic)
+                        .unwrap_or(false)
+                })
                 .count();
             if cross > 0 {
                 with_cross_topic += 1;
@@ -539,12 +636,19 @@ mod tests {
                 saw_high = true;
             }
         }
-        assert!(saw_high, "no survey has references cited three or more times");
+        assert!(
+            saw_high,
+            "no survey has references cited three or more times"
+        );
     }
 
     #[test]
     fn some_surveys_get_cited() {
-        let c = generate(&CorpusConfig { seed: 3, survey_citation_rate: 0.4, ..CorpusConfig::small() });
+        let c = generate(&CorpusConfig {
+            seed: 3,
+            survey_citation_rate: 0.4,
+            ..CorpusConfig::small()
+        });
         let cited_surveys = c
             .survey_bank()
             .iter()
@@ -559,8 +663,16 @@ mod tests {
         let sample = c.research_papers()[0];
         let topic = c.topics().get(sample.topic).unwrap();
         let title_lower = sample.title.to_lowercase();
-        let hits = topic.terms.iter().filter(|t| title_lower.contains(t.as_str())).count();
-        assert!(hits >= 1, "title '{}' shares no vocabulary with its topic", sample.title);
+        let hits = topic
+            .terms
+            .iter()
+            .filter(|t| title_lower.contains(t.as_str()))
+            .count();
+        assert!(
+            hits >= 1,
+            "title '{}' shares no vocabulary with its topic",
+            sample.title
+        );
     }
 
     #[test]
@@ -569,14 +681,21 @@ mod tests {
         let all_surveys = c.survey_papers().len();
         let kept = c.survey_bank().len();
         assert!(kept <= all_surveys);
-        assert!(kept * 3 >= all_surveys, "pipeline dropped too many surveys: {kept}/{all_surveys}");
+        assert!(
+            kept * 3 >= all_surveys,
+            "pipeline dropped too many surveys: {kept}/{all_surveys}"
+        );
     }
 
     #[test]
     fn years_are_within_configured_range() {
         let c = small_corpus();
         for p in c.papers() {
-            assert!((1990..=2020).contains(&p.year), "year {} out of range", p.year);
+            assert!(
+                (1990..=2020).contains(&p.year),
+                "year {} out of range",
+                p.year
+            );
         }
     }
 }

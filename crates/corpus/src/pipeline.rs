@@ -76,8 +76,18 @@ impl Default for PipelineConfig {
 
 /// Words that indicate "this phrase is about the document type, not the
 /// research topic"; phrases made only of these are dropped from queries.
-const SURVEY_INDICATOR_WORDS: &[&str] =
-    &["survey", "review", "overview", "tutorial", "comprehensive", "recent", "progress", "advances", "techniques", "applications"];
+const SURVEY_INDICATOR_WORDS: &[&str] = &[
+    "survey",
+    "review",
+    "overview",
+    "tutorial",
+    "comprehensive",
+    "recent",
+    "progress",
+    "advances",
+    "techniques",
+    "applications",
+];
 
 /// Counts reported by each pipeline stage (the numbers the paper quotes when
 /// describing the 41,194 → 9,321 attrition).
@@ -170,7 +180,9 @@ pub fn filter(corpus: &Corpus, surveys: &[PaperId], config: &PipelineConfig) -> 
         .iter()
         .copied()
         .filter(|&id| {
-            let Some(paper) = corpus.paper(id) else { return false };
+            let Some(paper) = corpus.paper(id) else {
+                return false;
+            };
             paper.parse_ok && paper.pages >= config.min_pages && paper.pages <= config.max_pages
         })
         .collect()
@@ -195,7 +207,9 @@ pub fn query_phrases(title: &str, config: &KeyphraseConfig) -> Vec<String> {
 pub fn process(corpus: &Corpus, surveys: &[PaperId], config: &PipelineConfig) -> SurveyBank {
     let mut out = Vec::with_capacity(surveys.len());
     for &id in surveys {
-        let Some(paper) = corpus.paper(id) else { continue };
+        let Some(paper) = corpus.paper(id) else {
+            continue;
+        };
         let key_phrases = query_phrases(&paper.title, &config.keyphrases);
         if key_phrases.is_empty() {
             continue;
@@ -203,7 +217,10 @@ pub fn process(corpus: &Corpus, surveys: &[PaperId], config: &PipelineConfig) ->
         let references: Vec<SurveyReference> = corpus
             .references_of(id)
             .iter()
-            .map(|r| SurveyReference { paper: r.cited, occurrences: r.occurrences })
+            .map(|r| SurveyReference {
+                paper: r.cited,
+                occurrences: r.occurrences,
+            })
             .collect();
         if references.is_empty() {
             continue;
@@ -226,7 +243,8 @@ pub fn run(corpus: &Corpus, config: &PipelineConfig) -> PipelineOutput {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let records = collect(corpus, config, &mut rng);
     let collected_surveys = {
-        let distinct: std::collections::HashSet<PaperId> = records.iter().map(|r| r.paper).collect();
+        let distinct: std::collections::HashSet<PaperId> =
+            records.iter().map(|r| r.paper).collect();
         distinct.len()
     };
     let deduplicated = deduplicate(&records);
@@ -252,7 +270,10 @@ pub fn filter_verdict(paper: &Paper, config: &PipelineConfig) -> Result<(), Stri
         return Err(format!("too short ({} pages)", paper.pages));
     }
     if paper.pages > config.max_pages {
-        return Err(format!("too long ({} pages), likely a thesis or report", paper.pages));
+        return Err(format!(
+            "too long ({} pages), likely a thesis or report",
+            paper.pages
+        ));
     }
     Ok(())
 }
@@ -263,7 +284,10 @@ mod tests {
     use crate::generator::{generate, CorpusConfig};
 
     fn corpus() -> Corpus {
-        generate(&CorpusConfig { seed: 5, ..CorpusConfig::small() })
+        generate(&CorpusConfig {
+            seed: 5,
+            ..CorpusConfig::small()
+        })
     }
 
     #[test]
@@ -276,16 +300,32 @@ mod tests {
         assert!(r.after_deduplication >= r.after_filtering);
         assert!(r.after_filtering >= r.processed);
         assert_eq!(r.processed, out.bank.len());
-        assert!(out.bank.len() > 0);
+        assert!(!out.bank.is_empty());
     }
 
     #[test]
     fn deduplication_drops_title_collisions() {
         let records = vec![
-            RawRecord { paper: PaperId(1), title: "A Survey on X".into(), source: Source::ScholarCrawl },
-            RawRecord { paper: PaperId(1), title: "A Survey on X".into(), source: Source::S2orcDump },
-            RawRecord { paper: PaperId(2), title: "a survey on x!".into(), source: Source::S2orcDump },
-            RawRecord { paper: PaperId(3), title: "A different survey".into(), source: Source::ScholarCrawl },
+            RawRecord {
+                paper: PaperId(1),
+                title: "A Survey on X".into(),
+                source: Source::ScholarCrawl,
+            },
+            RawRecord {
+                paper: PaperId(1),
+                title: "A Survey on X".into(),
+                source: Source::S2orcDump,
+            },
+            RawRecord {
+                paper: PaperId(2),
+                title: "a survey on x!".into(),
+                source: Source::S2orcDump,
+            },
+            RawRecord {
+                paper: PaperId(3),
+                title: "A different survey".into(),
+                source: Source::ScholarCrawl,
+            },
         ];
         let deduped = deduplicate(&records);
         assert_eq!(deduped, vec![PaperId(1), PaperId(3)]);
@@ -299,7 +339,12 @@ mod tests {
         for paper in c.survey_papers() {
             let verdict = filter_verdict(paper, &config);
             let kept = filter(&c, &[paper.id], &config);
-            assert_eq!(verdict.is_ok(), !kept.is_empty(), "inconsistent filter for {}", paper.id);
+            assert_eq!(
+                verdict.is_ok(),
+                !kept.is_empty(),
+                "inconsistent filter for {}",
+                paper.id
+            );
         }
     }
 
@@ -311,7 +356,9 @@ mod tests {
             assert!(!survey.query.is_empty());
             for phrase in &survey.key_phrases {
                 assert!(
-                    !phrase.split_whitespace().all(|w| SURVEY_INDICATOR_WORDS.contains(&w)),
+                    !phrase
+                        .split_whitespace()
+                        .all(|w| SURVEY_INDICATOR_WORDS.contains(&w)),
                     "query phrase '{phrase}' is only survey-indicator words"
                 );
             }
@@ -321,7 +368,10 @@ mod tests {
 
     #[test]
     fn query_phrases_keep_topic_and_drop_survey_markers() {
-        let phrases = query_phrases("A survey on hate speech detection", &KeyphraseConfig::default());
+        let phrases = query_phrases(
+            "A survey on hate speech detection",
+            &KeyphraseConfig::default(),
+        );
         let joined = phrases.join(" | ");
         assert!(joined.contains("hate speech detection"), "got {joined}");
         assert!(!phrases.iter().any(|p| p == "survey"));
@@ -339,7 +389,11 @@ mod tests {
     #[test]
     fn zero_coverage_collects_nothing() {
         let c = corpus();
-        let config = PipelineConfig { scholar_coverage: 0.0, s2orc_coverage: 0.0, ..Default::default() };
+        let config = PipelineConfig {
+            scholar_coverage: 0.0,
+            s2orc_coverage: 0.0,
+            ..Default::default()
+        };
         let out = run(&c, &config);
         assert_eq!(out.report.collected_records, 0);
         assert!(out.bank.is_empty());
@@ -347,7 +401,13 @@ mod tests {
 
     #[test]
     fn normalize_title_ignores_case_and_punctuation() {
-        assert_eq!(normalize_title("A  Survey, on X!"), normalize_title("a survey on x"));
-        assert_ne!(normalize_title("survey on x"), normalize_title("survey on y"));
+        assert_eq!(
+            normalize_title("A  Survey, on X!"),
+            normalize_title("a survey on x")
+        );
+        assert_ne!(
+            normalize_title("survey on x"),
+            normalize_title("survey on y")
+        );
     }
 }

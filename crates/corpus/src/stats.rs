@@ -43,7 +43,11 @@ impl Histogram {
 
     /// The count of a bucket by label, 0 if absent.
     pub fn count_of(&self, label: &str) -> usize {
-        self.buckets.iter().find(|b| b.label == label).map(|b| b.count).unwrap_or(0)
+        self.buckets
+            .iter()
+            .find(|b| b.label == label)
+            .map(|b| b.count)
+            .unwrap_or(0)
     }
 
     fn from_bounds(values: impl Iterator<Item = u32>, bounds: &[(u32, u32, &str)]) -> Histogram {
@@ -60,7 +64,10 @@ impl Histogram {
             buckets: bounds
                 .iter()
                 .zip(counts)
-                .map(|((_, _, label), count)| Bucket { label: (*label).to_string(), count })
+                .map(|((_, _, label), count)| Bucket {
+                    label: (*label).to_string(),
+                    count,
+                })
                 .collect(),
         }
     }
@@ -129,11 +136,17 @@ pub fn topic_distribution(corpus: &Corpus, bank: &SurveyBank) -> Vec<DomainCount
     let mut counts: std::collections::HashMap<Domain, usize> = std::collections::HashMap::new();
     let total = bank.len().max(1);
     for survey in bank.iter() {
-        let Some(paper) = corpus.paper(survey.paper) else { continue };
+        let Some(paper) = corpus.paper(survey.paper) else {
+            continue;
+        };
         let venue_tier = corpus.venues().get(paper.venue).map(|v| v.tier);
         let domain = match venue_tier {
             Some(VenueTier::Unranked) | None => Domain::Uncertain,
-            Some(_) => corpus.topics().get(paper.topic).map(|t| t.domain).unwrap_or(Domain::Uncertain),
+            Some(_) => corpus
+                .topics()
+                .get(paper.topic)
+                .map(|t| t.domain)
+                .unwrap_or(Domain::Uncertain),
         };
         *counts.entry(domain).or_insert(0) += 1;
     }
@@ -142,7 +155,11 @@ pub fn topic_distribution(corpus: &Corpus, bank: &SurveyBank) -> Vec<DomainCount
         .chain(std::iter::once(&Domain::Uncertain))
         .map(|&d| {
             let count = counts.get(&d).copied().unwrap_or(0);
-            DomainCount { domain: d.name().to_string(), count, share: count as f64 / total as f64 }
+            DomainCount {
+                domain: d.name().to_string(),
+                count,
+                share: count as f64 / total as f64,
+            }
         })
         .collect();
     // Table I orders ranked domains by descending paper count, with the
@@ -184,8 +201,16 @@ pub fn summarize(corpus: &Corpus) -> CorpusSummary {
         citations: corpus.graph().edge_count(),
         surveys,
         avg_survey_references: bank.average_reference_count(),
-        recent_survey_share: if surveys > 0 { recent as f64 / surveys as f64 } else { 0.0 },
-        uncited_survey_share: if surveys > 0 { uncited as f64 / surveys as f64 } else { 0.0 },
+        recent_survey_share: if surveys > 0 {
+            recent as f64 / surveys as f64
+        } else {
+            0.0
+        },
+        uncited_survey_share: if surveys > 0 {
+            uncited as f64 / surveys as f64
+        } else {
+            0.0
+        },
     }
 }
 
@@ -197,7 +222,10 @@ mod tests {
     use crate::survey::{Survey, SurveyReference};
 
     fn corpus() -> Corpus {
-        generate(&CorpusConfig { seed: 9, ..CorpusConfig::small() })
+        generate(&CorpusConfig {
+            seed: 9,
+            ..CorpusConfig::small()
+        })
     }
 
     fn survey(year: u16, citations: u32, refs: usize) -> Survey {
@@ -206,7 +234,10 @@ mod tests {
             key_phrases: vec!["x".into()],
             query: "x".into(),
             references: (1..=refs as u32)
-                .map(|i| SurveyReference { paper: PaperId(i), occurrences: 1 })
+                .map(|i| SurveyReference {
+                    paper: PaperId(i),
+                    occurrences: 1,
+                })
                 .collect(),
             year,
             citation_count: citations,
@@ -225,7 +256,12 @@ mod tests {
     #[test]
     fn citation_buckets_match_hand_built_bank() {
         let bank = SurveyBank {
-            surveys: vec![survey(2019, 0, 10), survey(2018, 7, 10), survey(2015, 50, 10), survey(2010, 600, 10)],
+            surveys: vec![
+                survey(2019, 0, 10),
+                survey(2018, 7, 10),
+                survey(2015, 50, 10),
+                survey(2010, 600, 10),
+            ],
         };
         let h = survey_citation_distribution(&bank);
         assert_eq!(h.count_of("0-5"), 1);
@@ -237,7 +273,9 @@ mod tests {
 
     #[test]
     fn year_buckets_match_hand_built_bank() {
-        let bank = SurveyBank { surveys: vec![survey(1975, 0, 5), survey(1999, 0, 5), survey(2018, 0, 5)] };
+        let bank = SurveyBank {
+            surveys: vec![survey(1975, 0, 5), survey(1999, 0, 5), survey(2018, 0, 5)],
+        };
         let h = survey_year_distribution(&bank);
         assert_eq!(h.count_of("before 1980"), 1);
         assert_eq!(h.count_of("1995-2000"), 1);
@@ -246,7 +284,13 @@ mod tests {
 
     #[test]
     fn reference_buckets_match_hand_built_bank() {
-        let bank = SurveyBank { surveys: vec![survey(2018, 0, 30), survey(2018, 0, 75), survey(2018, 0, 320)] };
+        let bank = SurveyBank {
+            surveys: vec![
+                survey(2018, 0, 30),
+                survey(2018, 0, 75),
+                survey(2018, 0, 320),
+            ],
+        };
         let h = survey_reference_distribution(&bank);
         assert_eq!(h.count_of("0-50"), 1);
         assert_eq!(h.count_of("50-100"), 1);
@@ -268,7 +312,11 @@ mod tests {
     fn most_surveys_are_recent() {
         let c = corpus();
         let summary = summarize(&c);
-        assert!(summary.recent_survey_share > 0.7, "recent share {}", summary.recent_survey_share);
+        assert!(
+            summary.recent_survey_share > 0.7,
+            "recent share {}",
+            summary.recent_survey_share
+        );
         assert_eq!(summary.surveys, c.survey_bank().len());
         assert!(summary.avg_survey_references >= 10.0);
         assert!(summary.papers > 0 && summary.citations > 0);

@@ -41,11 +41,13 @@ impl Corpus {
         topics: TopicCatalog,
         venues: VenueTable,
     ) -> Self {
-        assert_eq!(papers.len(), references.len(), "one reference list per paper");
-        let mut builder = GraphBuilder::with_edge_capacity(
+        assert_eq!(
             papers.len(),
-            references.iter().map(Vec::len).sum(),
+            references.len(),
+            "one reference list per paper"
         );
+        let mut builder =
+            GraphBuilder::with_edge_capacity(papers.len(), references.iter().map(Vec::len).sum());
         for (citing, refs) in references.iter().enumerate() {
             for r in refs {
                 builder
@@ -54,7 +56,14 @@ impl Corpus {
             }
         }
         let graph = builder.build();
-        Corpus { papers, references, graph, topics, venues, survey_bank: SurveyBank::default() }
+        Corpus {
+            papers,
+            references,
+            graph,
+            topics,
+            venues,
+            survey_bank: SurveyBank::default(),
+        }
     }
 
     /// Installs the SurveyBank benchmark produced by the dataset pipeline.
@@ -104,7 +113,10 @@ impl Corpus {
 
     /// The reference list (with occurrence counts) of a paper.
     pub fn references_of(&self, id: PaperId) -> &[Reference] {
-        self.references.get(id.index()).map(Vec::as_slice).unwrap_or(&[])
+        self.references
+            .get(id.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// The in-text occurrence count `con(citing, cited)`; 0 if `citing` does
@@ -174,7 +186,13 @@ mod tests {
         let mut venues = VenueTable::new();
         let v = venues.add("Test venue", VenueTier::A, 0.8);
         let mut topics = TopicCatalog::new();
-        let t = topics.add("test topic", crate::topic::Domain::Theory, &["alpha", "beta"], &[], 1.0);
+        let t = topics.add(
+            "test topic",
+            crate::topic::Domain::Theory,
+            &["alpha", "beta"],
+            &[],
+            1.0,
+        );
         let mk = |i: u32, year: u16, kind: PaperKind| Paper {
             id: PaperId(i),
             title: format!("paper {i} about alpha"),
@@ -194,12 +212,33 @@ mod tests {
         ];
         let references = vec![
             vec![],
-            vec![Reference { cited: PaperId(0), occurrences: 2 }],
-            vec![Reference { cited: PaperId(0), occurrences: 1 }, Reference { cited: PaperId(1), occurrences: 1 }],
+            vec![Reference {
+                cited: PaperId(0),
+                occurrences: 2,
+            }],
             vec![
-                Reference { cited: PaperId(0), occurrences: 3 },
-                Reference { cited: PaperId(1), occurrences: 2 },
-                Reference { cited: PaperId(2), occurrences: 1 },
+                Reference {
+                    cited: PaperId(0),
+                    occurrences: 1,
+                },
+                Reference {
+                    cited: PaperId(1),
+                    occurrences: 1,
+                },
+            ],
+            vec![
+                Reference {
+                    cited: PaperId(0),
+                    occurrences: 3,
+                },
+                Reference {
+                    cited: PaperId(1),
+                    occurrences: 2,
+                },
+                Reference {
+                    cited: PaperId(2),
+                    occurrences: 1,
+                },
             ],
         ];
         Corpus::assemble(papers, references, topics, venues)
@@ -266,11 +305,6 @@ mod tests {
     fn mismatched_reference_lists_panic() {
         let c = tiny_corpus();
         let papers = c.papers().to_vec();
-        let _ = Corpus::assemble(
-            papers,
-            vec![],
-            TopicCatalog::new(),
-            VenueTable::new(),
-        );
+        let _ = Corpus::assemble(papers, vec![], TopicCatalog::new(), VenueTable::new());
     }
 }

@@ -33,8 +33,11 @@ pub enum LabelLevel {
 
 impl LabelLevel {
     /// All levels in increasing strictness.
-    pub const ALL: [LabelLevel; 3] =
-        [LabelLevel::AtLeastOne, LabelLevel::AtLeastTwo, LabelLevel::AtLeastThree];
+    pub const ALL: [LabelLevel; 3] = [
+        LabelLevel::AtLeastOne,
+        LabelLevel::AtLeastTwo,
+        LabelLevel::AtLeastThree,
+    ];
 
     /// The minimum occurrence count for the level.
     pub fn threshold(self) -> u8 {
@@ -167,13 +170,28 @@ mod tests {
     fn sample() -> Survey {
         Survey {
             paper: PaperId(100),
-            key_phrases: vec!["hate speech detection".into(), "natural language processing".into()],
+            key_phrases: vec![
+                "hate speech detection".into(),
+                "natural language processing".into(),
+            ],
             query: "hate speech detection natural language processing".into(),
             references: vec![
-                SurveyReference { paper: PaperId(1), occurrences: 1 },
-                SurveyReference { paper: PaperId(2), occurrences: 2 },
-                SurveyReference { paper: PaperId(3), occurrences: 3 },
-                SurveyReference { paper: PaperId(4), occurrences: 5 },
+                SurveyReference {
+                    paper: PaperId(1),
+                    occurrences: 1,
+                },
+                SurveyReference {
+                    paper: PaperId(2),
+                    occurrences: 2,
+                },
+                SurveyReference {
+                    paper: PaperId(3),
+                    occurrences: 3,
+                },
+                SurveyReference {
+                    paper: PaperId(4),
+                    occurrences: 5,
+                },
             ],
             year: 2017,
             citation_count: 120,
@@ -225,7 +243,9 @@ mod tests {
         other.paper = PaperId(200);
         other.citation_count = 10;
         other.year = 2019;
-        let bank = SurveyBank { surveys: vec![sample(), other] };
+        let bank = SurveyBank {
+            surveys: vec![sample(), other],
+        };
         assert_eq!(bank.len(), 2);
         assert!(bank.by_paper(PaperId(200)).is_some());
         assert!(bank.by_paper(PaperId(42)).is_none());

@@ -199,7 +199,13 @@ impl TopicCatalog {
     pub fn from_specs(specs: &[TopicSpec]) -> Self {
         let mut catalog = TopicCatalog::new();
         for spec in specs {
-            catalog.add(spec.name, spec.domain, spec.terms, spec.prerequisites, spec.weight);
+            catalog.add(
+                spec.name,
+                spec.domain,
+                spec.terms,
+                spec.prerequisites,
+                spec.weight,
+            );
         }
         catalog
     }
@@ -240,72 +246,900 @@ pub fn default_specs() -> &'static [TopicSpec] {
     const SPECS: &[TopicSpec] = &[
         // --- Artificial Intelligence: a prerequisite chain ending in
         // pretrained language models (the Fig. 9 case study). ---
-        TopicSpec { name: "statistical learning theory", domain: ArtificialIntelligence, terms: &["statistical", "learning", "generalization", "risk", "bounds", "kernel", "margin", "support", "vector"], prerequisites: &[], weight: 0.8 },
-        TopicSpec { name: "neural networks", domain: ArtificialIntelligence, terms: &["neural", "network", "backpropagation", "perceptron", "activation", "gradient", "hidden", "layer"], prerequisites: &["statistical learning theory"], weight: 1.2 },
-        TopicSpec { name: "word embeddings", domain: ArtificialIntelligence, terms: &["word", "embedding", "distributed", "representation", "semantic", "vector", "corpus", "context"], prerequisites: &["neural networks"], weight: 0.9 },
-        TopicSpec { name: "sequence to sequence learning", domain: ArtificialIntelligence, terms: &["sequence", "encoder", "decoder", "recurrent", "translation", "neural", "machine"], prerequisites: &["neural networks", "word embeddings"], weight: 0.9 },
-        TopicSpec { name: "attention mechanisms", domain: ArtificialIntelligence, terms: &["attention", "transformer", "self", "alignment", "head", "encoder", "decoder"], prerequisites: &["sequence to sequence learning"], weight: 1.0 },
-        TopicSpec { name: "contextualized word representations", domain: ArtificialIntelligence, terms: &["contextualized", "word", "representation", "embedding", "deep", "language", "bidirectional"], prerequisites: &["word embeddings", "attention mechanisms"], weight: 0.8 },
-        TopicSpec { name: "pretrained language models", domain: ArtificialIntelligence, terms: &["pretrained", "language", "model", "transformer", "fine", "tuning", "bert", "text", "understanding"], prerequisites: &["attention mechanisms", "contextualized word representations"], weight: 1.3 },
-        TopicSpec { name: "hate speech detection", domain: ArtificialIntelligence, terms: &["hate", "speech", "detection", "abusive", "language", "social", "media", "classifier", "twitter"], prerequisites: &["word embeddings", "pretrained language models"], weight: 0.8 },
-        TopicSpec { name: "image classification", domain: ArtificialIntelligence, terms: &["image", "classification", "convolutional", "visual", "recognition", "object", "feature"], prerequisites: &["neural networks"], weight: 1.1 },
-        TopicSpec { name: "generative adversarial networks", domain: ArtificialIntelligence, terms: &["generative", "adversarial", "network", "generator", "discriminator", "synthesis", "image"], prerequisites: &["image classification"], weight: 0.9 },
-        TopicSpec { name: "reinforcement learning", domain: ArtificialIntelligence, terms: &["reinforcement", "learning", "policy", "reward", "agent", "value", "exploration", "markov"], prerequisites: &["statistical learning theory", "neural networks"], weight: 1.0 },
-        TopicSpec { name: "graph neural networks", domain: ArtificialIntelligence, terms: &["graph", "neural", "network", "node", "message", "passing", "convolution", "embedding"], prerequisites: &["neural networks", "word embeddings"], weight: 0.9 },
-        TopicSpec { name: "knowledge graph embedding", domain: ArtificialIntelligence, terms: &["knowledge", "graph", "embedding", "entity", "relation", "triple", "link", "prediction"], prerequisites: &["graph neural networks", "word embeddings"], weight: 0.7 },
-        TopicSpec { name: "question answering", domain: ArtificialIntelligence, terms: &["question", "answering", "reading", "comprehension", "answer", "span", "passage"], prerequisites: &["pretrained language models"], weight: 0.7 },
-        TopicSpec { name: "machine translation", domain: ArtificialIntelligence, terms: &["machine", "translation", "bilingual", "neural", "alignment", "bleu", "multilingual"], prerequisites: &["sequence to sequence learning", "attention mechanisms"], weight: 0.8 },
-        TopicSpec { name: "speech recognition", domain: ArtificialIntelligence, terms: &["speech", "recognition", "acoustic", "phoneme", "audio", "transcription", "end"], prerequisites: &["sequence to sequence learning"], weight: 0.7 },
-        TopicSpec { name: "explainable artificial intelligence", domain: ArtificialIntelligence, terms: &["explainable", "interpretability", "explanation", "saliency", "attribution", "trust", "black", "box"], prerequisites: &["neural networks", "image classification"], weight: 0.6 },
-        TopicSpec { name: "federated learning", domain: ArtificialIntelligence, terms: &["federated", "learning", "decentralized", "client", "aggregation", "privacy", "communication"], prerequisites: &["neural networks", "distributed systems"], weight: 0.7 },
+        TopicSpec {
+            name: "statistical learning theory",
+            domain: ArtificialIntelligence,
+            terms: &[
+                "statistical",
+                "learning",
+                "generalization",
+                "risk",
+                "bounds",
+                "kernel",
+                "margin",
+                "support",
+                "vector",
+            ],
+            prerequisites: &[],
+            weight: 0.8,
+        },
+        TopicSpec {
+            name: "neural networks",
+            domain: ArtificialIntelligence,
+            terms: &[
+                "neural",
+                "network",
+                "backpropagation",
+                "perceptron",
+                "activation",
+                "gradient",
+                "hidden",
+                "layer",
+            ],
+            prerequisites: &["statistical learning theory"],
+            weight: 1.2,
+        },
+        TopicSpec {
+            name: "word embeddings",
+            domain: ArtificialIntelligence,
+            terms: &[
+                "word",
+                "embedding",
+                "distributed",
+                "representation",
+                "semantic",
+                "vector",
+                "corpus",
+                "context",
+            ],
+            prerequisites: &["neural networks"],
+            weight: 0.9,
+        },
+        TopicSpec {
+            name: "sequence to sequence learning",
+            domain: ArtificialIntelligence,
+            terms: &[
+                "sequence",
+                "encoder",
+                "decoder",
+                "recurrent",
+                "translation",
+                "neural",
+                "machine",
+            ],
+            prerequisites: &["neural networks", "word embeddings"],
+            weight: 0.9,
+        },
+        TopicSpec {
+            name: "attention mechanisms",
+            domain: ArtificialIntelligence,
+            terms: &[
+                "attention",
+                "transformer",
+                "self",
+                "alignment",
+                "head",
+                "encoder",
+                "decoder",
+            ],
+            prerequisites: &["sequence to sequence learning"],
+            weight: 1.0,
+        },
+        TopicSpec {
+            name: "contextualized word representations",
+            domain: ArtificialIntelligence,
+            terms: &[
+                "contextualized",
+                "word",
+                "representation",
+                "embedding",
+                "deep",
+                "language",
+                "bidirectional",
+            ],
+            prerequisites: &["word embeddings", "attention mechanisms"],
+            weight: 0.8,
+        },
+        TopicSpec {
+            name: "pretrained language models",
+            domain: ArtificialIntelligence,
+            terms: &[
+                "pretrained",
+                "language",
+                "model",
+                "transformer",
+                "fine",
+                "tuning",
+                "bert",
+                "text",
+                "understanding",
+            ],
+            prerequisites: &[
+                "attention mechanisms",
+                "contextualized word representations",
+            ],
+            weight: 1.3,
+        },
+        TopicSpec {
+            name: "hate speech detection",
+            domain: ArtificialIntelligence,
+            terms: &[
+                "hate",
+                "speech",
+                "detection",
+                "abusive",
+                "language",
+                "social",
+                "media",
+                "classifier",
+                "twitter",
+            ],
+            prerequisites: &["word embeddings", "pretrained language models"],
+            weight: 0.8,
+        },
+        TopicSpec {
+            name: "image classification",
+            domain: ArtificialIntelligence,
+            terms: &[
+                "image",
+                "classification",
+                "convolutional",
+                "visual",
+                "recognition",
+                "object",
+                "feature",
+            ],
+            prerequisites: &["neural networks"],
+            weight: 1.1,
+        },
+        TopicSpec {
+            name: "generative adversarial networks",
+            domain: ArtificialIntelligence,
+            terms: &[
+                "generative",
+                "adversarial",
+                "network",
+                "generator",
+                "discriminator",
+                "synthesis",
+                "image",
+            ],
+            prerequisites: &["image classification"],
+            weight: 0.9,
+        },
+        TopicSpec {
+            name: "reinforcement learning",
+            domain: ArtificialIntelligence,
+            terms: &[
+                "reinforcement",
+                "learning",
+                "policy",
+                "reward",
+                "agent",
+                "value",
+                "exploration",
+                "markov",
+            ],
+            prerequisites: &["statistical learning theory", "neural networks"],
+            weight: 1.0,
+        },
+        TopicSpec {
+            name: "graph neural networks",
+            domain: ArtificialIntelligence,
+            terms: &[
+                "graph",
+                "neural",
+                "network",
+                "node",
+                "message",
+                "passing",
+                "convolution",
+                "embedding",
+            ],
+            prerequisites: &["neural networks", "word embeddings"],
+            weight: 0.9,
+        },
+        TopicSpec {
+            name: "knowledge graph embedding",
+            domain: ArtificialIntelligence,
+            terms: &[
+                "knowledge",
+                "graph",
+                "embedding",
+                "entity",
+                "relation",
+                "triple",
+                "link",
+                "prediction",
+            ],
+            prerequisites: &["graph neural networks", "word embeddings"],
+            weight: 0.7,
+        },
+        TopicSpec {
+            name: "question answering",
+            domain: ArtificialIntelligence,
+            terms: &[
+                "question",
+                "answering",
+                "reading",
+                "comprehension",
+                "answer",
+                "span",
+                "passage",
+            ],
+            prerequisites: &["pretrained language models"],
+            weight: 0.7,
+        },
+        TopicSpec {
+            name: "machine translation",
+            domain: ArtificialIntelligence,
+            terms: &[
+                "machine",
+                "translation",
+                "bilingual",
+                "neural",
+                "alignment",
+                "bleu",
+                "multilingual",
+            ],
+            prerequisites: &["sequence to sequence learning", "attention mechanisms"],
+            weight: 0.8,
+        },
+        TopicSpec {
+            name: "speech recognition",
+            domain: ArtificialIntelligence,
+            terms: &[
+                "speech",
+                "recognition",
+                "acoustic",
+                "phoneme",
+                "audio",
+                "transcription",
+                "end",
+            ],
+            prerequisites: &["sequence to sequence learning"],
+            weight: 0.7,
+        },
+        TopicSpec {
+            name: "explainable artificial intelligence",
+            domain: ArtificialIntelligence,
+            terms: &[
+                "explainable",
+                "interpretability",
+                "explanation",
+                "saliency",
+                "attribution",
+                "trust",
+                "black",
+                "box",
+            ],
+            prerequisites: &["neural networks", "image classification"],
+            weight: 0.6,
+        },
+        TopicSpec {
+            name: "federated learning",
+            domain: ArtificialIntelligence,
+            terms: &[
+                "federated",
+                "learning",
+                "decentralized",
+                "client",
+                "aggregation",
+                "privacy",
+                "communication",
+            ],
+            prerequisites: &["neural networks", "distributed systems"],
+            weight: 0.7,
+        },
         // --- Databases / Data mining / IR. ---
-        TopicSpec { name: "relational query optimization", domain: DatabaseDataMiningIr, terms: &["query", "optimization", "relational", "join", "cardinality", "cost", "plan", "estimation"], prerequisites: &[], weight: 0.8 },
-        TopicSpec { name: "transaction processing", domain: DatabaseDataMiningIr, terms: &["transaction", "concurrency", "control", "isolation", "locking", "serializable", "recovery"], prerequisites: &["relational query optimization"], weight: 0.7 },
-        TopicSpec { name: "distributed databases", domain: DatabaseDataMiningIr, terms: &["distributed", "database", "partitioning", "replication", "consistency", "shard", "commit"], prerequisites: &["transaction processing", "distributed systems"], weight: 0.8 },
-        TopicSpec { name: "data stream processing", domain: DatabaseDataMiningIr, terms: &["stream", "processing", "window", "continuous", "query", "real", "time", "event"], prerequisites: &["relational query optimization"], weight: 0.6 },
-        TopicSpec { name: "frequent pattern mining", domain: DatabaseDataMiningIr, terms: &["frequent", "pattern", "mining", "itemset", "association", "rule", "support", "apriori"], prerequisites: &[], weight: 0.7 },
-        TopicSpec { name: "recommender systems", domain: DatabaseDataMiningIr, terms: &["recommender", "recommendation", "collaborative", "filtering", "rating", "user", "item", "preference"], prerequisites: &["frequent pattern mining", "word embeddings"], weight: 0.9 },
-        TopicSpec { name: "learning to rank", domain: DatabaseDataMiningIr, terms: &["learning", "rank", "ranking", "retrieval", "relevance", "listwise", "pairwise", "search"], prerequisites: &["statistical learning theory", "recommender systems"], weight: 0.6 },
-        TopicSpec { name: "entity resolution", domain: DatabaseDataMiningIr, terms: &["entity", "resolution", "deduplication", "record", "linkage", "matching", "blocking"], prerequisites: &["relational query optimization", "word embeddings"], weight: 0.5 },
-        TopicSpec { name: "graph databases", domain: DatabaseDataMiningIr, terms: &["graph", "database", "traversal", "property", "subgraph", "matching", "query", "storage"], prerequisites: &["relational query optimization", "graph neural networks"], weight: 0.6 },
-        TopicSpec { name: "citation recommendation", domain: DatabaseDataMiningIr, terms: &["citation", "recommendation", "scholarly", "paper", "literature", "academic", "reference", "scientific"], prerequisites: &["recommender systems", "learning to rank"], weight: 0.6 },
+        TopicSpec {
+            name: "relational query optimization",
+            domain: DatabaseDataMiningIr,
+            terms: &[
+                "query",
+                "optimization",
+                "relational",
+                "join",
+                "cardinality",
+                "cost",
+                "plan",
+                "estimation",
+            ],
+            prerequisites: &[],
+            weight: 0.8,
+        },
+        TopicSpec {
+            name: "transaction processing",
+            domain: DatabaseDataMiningIr,
+            terms: &[
+                "transaction",
+                "concurrency",
+                "control",
+                "isolation",
+                "locking",
+                "serializable",
+                "recovery",
+            ],
+            prerequisites: &["relational query optimization"],
+            weight: 0.7,
+        },
+        TopicSpec {
+            name: "distributed databases",
+            domain: DatabaseDataMiningIr,
+            terms: &[
+                "distributed",
+                "database",
+                "partitioning",
+                "replication",
+                "consistency",
+                "shard",
+                "commit",
+            ],
+            prerequisites: &["transaction processing", "distributed systems"],
+            weight: 0.8,
+        },
+        TopicSpec {
+            name: "data stream processing",
+            domain: DatabaseDataMiningIr,
+            terms: &[
+                "stream",
+                "processing",
+                "window",
+                "continuous",
+                "query",
+                "real",
+                "time",
+                "event",
+            ],
+            prerequisites: &["relational query optimization"],
+            weight: 0.6,
+        },
+        TopicSpec {
+            name: "frequent pattern mining",
+            domain: DatabaseDataMiningIr,
+            terms: &[
+                "frequent",
+                "pattern",
+                "mining",
+                "itemset",
+                "association",
+                "rule",
+                "support",
+                "apriori",
+            ],
+            prerequisites: &[],
+            weight: 0.7,
+        },
+        TopicSpec {
+            name: "recommender systems",
+            domain: DatabaseDataMiningIr,
+            terms: &[
+                "recommender",
+                "recommendation",
+                "collaborative",
+                "filtering",
+                "rating",
+                "user",
+                "item",
+                "preference",
+            ],
+            prerequisites: &["frequent pattern mining", "word embeddings"],
+            weight: 0.9,
+        },
+        TopicSpec {
+            name: "learning to rank",
+            domain: DatabaseDataMiningIr,
+            terms: &[
+                "learning",
+                "rank",
+                "ranking",
+                "retrieval",
+                "relevance",
+                "listwise",
+                "pairwise",
+                "search",
+            ],
+            prerequisites: &["statistical learning theory", "recommender systems"],
+            weight: 0.6,
+        },
+        TopicSpec {
+            name: "entity resolution",
+            domain: DatabaseDataMiningIr,
+            terms: &[
+                "entity",
+                "resolution",
+                "deduplication",
+                "record",
+                "linkage",
+                "matching",
+                "blocking",
+            ],
+            prerequisites: &["relational query optimization", "word embeddings"],
+            weight: 0.5,
+        },
+        TopicSpec {
+            name: "graph databases",
+            domain: DatabaseDataMiningIr,
+            terms: &[
+                "graph",
+                "database",
+                "traversal",
+                "property",
+                "subgraph",
+                "matching",
+                "query",
+                "storage",
+            ],
+            prerequisites: &["relational query optimization", "graph neural networks"],
+            weight: 0.6,
+        },
+        TopicSpec {
+            name: "citation recommendation",
+            domain: DatabaseDataMiningIr,
+            terms: &[
+                "citation",
+                "recommendation",
+                "scholarly",
+                "paper",
+                "literature",
+                "academic",
+                "reference",
+                "scientific",
+            ],
+            prerequisites: &["recommender systems", "learning to rank"],
+            weight: 0.6,
+        },
         // --- Computer networks. ---
-        TopicSpec { name: "congestion control", domain: ComputerNetwork, terms: &["congestion", "control", "tcp", "throughput", "latency", "bandwidth", "fairness"], prerequisites: &[], weight: 0.7 },
-        TopicSpec { name: "software defined networking", domain: ComputerNetwork, terms: &["software", "defined", "networking", "controller", "openflow", "switch", "programmable"], prerequisites: &["congestion control"], weight: 0.8 },
-        TopicSpec { name: "network function virtualization", domain: ComputerNetwork, terms: &["network", "function", "virtualization", "middlebox", "service", "chain", "orchestration"], prerequisites: &["software defined networking"], weight: 0.6 },
-        TopicSpec { name: "wireless sensor networks", domain: ComputerNetwork, terms: &["wireless", "sensor", "network", "energy", "routing", "node", "coverage", "deployment"], prerequisites: &["congestion control"], weight: 0.7 },
-        TopicSpec { name: "internet of things", domain: ComputerNetwork, terms: &["internet", "things", "iot", "device", "edge", "smart", "sensing", "connectivity"], prerequisites: &["wireless sensor networks"], weight: 0.9 },
+        TopicSpec {
+            name: "congestion control",
+            domain: ComputerNetwork,
+            terms: &[
+                "congestion",
+                "control",
+                "tcp",
+                "throughput",
+                "latency",
+                "bandwidth",
+                "fairness",
+            ],
+            prerequisites: &[],
+            weight: 0.7,
+        },
+        TopicSpec {
+            name: "software defined networking",
+            domain: ComputerNetwork,
+            terms: &[
+                "software",
+                "defined",
+                "networking",
+                "controller",
+                "openflow",
+                "switch",
+                "programmable",
+            ],
+            prerequisites: &["congestion control"],
+            weight: 0.8,
+        },
+        TopicSpec {
+            name: "network function virtualization",
+            domain: ComputerNetwork,
+            terms: &[
+                "network",
+                "function",
+                "virtualization",
+                "middlebox",
+                "service",
+                "chain",
+                "orchestration",
+            ],
+            prerequisites: &["software defined networking"],
+            weight: 0.6,
+        },
+        TopicSpec {
+            name: "wireless sensor networks",
+            domain: ComputerNetwork,
+            terms: &[
+                "wireless",
+                "sensor",
+                "network",
+                "energy",
+                "routing",
+                "node",
+                "coverage",
+                "deployment",
+            ],
+            prerequisites: &["congestion control"],
+            weight: 0.7,
+        },
+        TopicSpec {
+            name: "internet of things",
+            domain: ComputerNetwork,
+            terms: &[
+                "internet",
+                "things",
+                "iot",
+                "device",
+                "edge",
+                "smart",
+                "sensing",
+                "connectivity",
+            ],
+            prerequisites: &["wireless sensor networks"],
+            weight: 0.9,
+        },
         // --- Security. ---
-        TopicSpec { name: "applied cryptography", domain: Security, terms: &["cryptography", "encryption", "key", "signature", "protocol", "cipher", "security"], prerequisites: &[], weight: 0.8 },
-        TopicSpec { name: "intrusion detection", domain: Security, terms: &["intrusion", "detection", "anomaly", "network", "attack", "malicious", "traffic"], prerequisites: &["applied cryptography", "statistical learning theory"], weight: 0.7 },
-        TopicSpec { name: "malware analysis", domain: Security, terms: &["malware", "analysis", "binary", "detection", "obfuscation", "dynamic", "static"], prerequisites: &["intrusion detection"], weight: 0.6 },
-        TopicSpec { name: "adversarial machine learning", domain: Security, terms: &["adversarial", "attack", "robustness", "perturbation", "defense", "example", "model"], prerequisites: &["image classification", "intrusion detection"], weight: 0.7 },
-        TopicSpec { name: "blockchain consensus", domain: Security, terms: &["blockchain", "consensus", "ledger", "smart", "contract", "byzantine", "proof"], prerequisites: &["applied cryptography", "distributed systems"], weight: 0.8 },
+        TopicSpec {
+            name: "applied cryptography",
+            domain: Security,
+            terms: &[
+                "cryptography",
+                "encryption",
+                "key",
+                "signature",
+                "protocol",
+                "cipher",
+                "security",
+            ],
+            prerequisites: &[],
+            weight: 0.8,
+        },
+        TopicSpec {
+            name: "intrusion detection",
+            domain: Security,
+            terms: &[
+                "intrusion",
+                "detection",
+                "anomaly",
+                "network",
+                "attack",
+                "malicious",
+                "traffic",
+            ],
+            prerequisites: &["applied cryptography", "statistical learning theory"],
+            weight: 0.7,
+        },
+        TopicSpec {
+            name: "malware analysis",
+            domain: Security,
+            terms: &[
+                "malware",
+                "analysis",
+                "binary",
+                "detection",
+                "obfuscation",
+                "dynamic",
+                "static",
+            ],
+            prerequisites: &["intrusion detection"],
+            weight: 0.6,
+        },
+        TopicSpec {
+            name: "adversarial machine learning",
+            domain: Security,
+            terms: &[
+                "adversarial",
+                "attack",
+                "robustness",
+                "perturbation",
+                "defense",
+                "example",
+                "model",
+            ],
+            prerequisites: &["image classification", "intrusion detection"],
+            weight: 0.7,
+        },
+        TopicSpec {
+            name: "blockchain consensus",
+            domain: Security,
+            terms: &[
+                "blockchain",
+                "consensus",
+                "ledger",
+                "smart",
+                "contract",
+                "byzantine",
+                "proof",
+            ],
+            prerequisites: &["applied cryptography", "distributed systems"],
+            weight: 0.8,
+        },
         // --- Architecture / parallel / storage. ---
-        TopicSpec { name: "distributed systems", domain: ArchitectureParallelStorage, terms: &["distributed", "system", "consensus", "replication", "fault", "tolerance", "coordination"], prerequisites: &[], weight: 1.0 },
-        TopicSpec { name: "cache coherence", domain: ArchitectureParallelStorage, terms: &["cache", "coherence", "memory", "protocol", "multiprocessor", "shared", "latency"], prerequisites: &[], weight: 0.5 },
-        TopicSpec { name: "key value storage", domain: ArchitectureParallelStorage, terms: &["key", "value", "store", "storage", "lsm", "compaction", "flash", "persistent"], prerequisites: &["distributed systems"], weight: 0.7 },
-        TopicSpec { name: "gpu computing", domain: ArchitectureParallelStorage, terms: &["gpu", "parallel", "accelerator", "kernel", "throughput", "cuda", "memory"], prerequisites: &["cache coherence"], weight: 0.6 },
-        TopicSpec { name: "serverless computing", domain: ArchitectureParallelStorage, terms: &["serverless", "function", "cloud", "container", "cold", "start", "elastic"], prerequisites: &["distributed systems"], weight: 0.6 },
+        TopicSpec {
+            name: "distributed systems",
+            domain: ArchitectureParallelStorage,
+            terms: &[
+                "distributed",
+                "system",
+                "consensus",
+                "replication",
+                "fault",
+                "tolerance",
+                "coordination",
+            ],
+            prerequisites: &[],
+            weight: 1.0,
+        },
+        TopicSpec {
+            name: "cache coherence",
+            domain: ArchitectureParallelStorage,
+            terms: &[
+                "cache",
+                "coherence",
+                "memory",
+                "protocol",
+                "multiprocessor",
+                "shared",
+                "latency",
+            ],
+            prerequisites: &[],
+            weight: 0.5,
+        },
+        TopicSpec {
+            name: "key value storage",
+            domain: ArchitectureParallelStorage,
+            terms: &[
+                "key",
+                "value",
+                "store",
+                "storage",
+                "lsm",
+                "compaction",
+                "flash",
+                "persistent",
+            ],
+            prerequisites: &["distributed systems"],
+            weight: 0.7,
+        },
+        TopicSpec {
+            name: "gpu computing",
+            domain: ArchitectureParallelStorage,
+            terms: &[
+                "gpu",
+                "parallel",
+                "accelerator",
+                "kernel",
+                "throughput",
+                "cuda",
+                "memory",
+            ],
+            prerequisites: &["cache coherence"],
+            weight: 0.6,
+        },
+        TopicSpec {
+            name: "serverless computing",
+            domain: ArchitectureParallelStorage,
+            terms: &[
+                "serverless",
+                "function",
+                "cloud",
+                "container",
+                "cold",
+                "start",
+                "elastic",
+            ],
+            prerequisites: &["distributed systems"],
+            weight: 0.6,
+        },
         // --- Software engineering. ---
-        TopicSpec { name: "program analysis", domain: SoftwareEngineering, terms: &["program", "analysis", "static", "dataflow", "abstract", "interpretation", "soundness"], prerequisites: &[], weight: 0.7 },
-        TopicSpec { name: "automated testing", domain: SoftwareEngineering, terms: &["testing", "test", "generation", "coverage", "fuzzing", "mutation", "oracle"], prerequisites: &["program analysis"], weight: 0.7 },
-        TopicSpec { name: "code representation learning", domain: SoftwareEngineering, terms: &["code", "representation", "learning", "source", "embedding", "program", "neural"], prerequisites: &["program analysis", "pretrained language models"], weight: 0.6 },
-        TopicSpec { name: "software defect prediction", domain: SoftwareEngineering, terms: &["defect", "prediction", "bug", "software", "metric", "quality", "fault"], prerequisites: &["automated testing", "statistical learning theory"], weight: 0.5 },
+        TopicSpec {
+            name: "program analysis",
+            domain: SoftwareEngineering,
+            terms: &[
+                "program",
+                "analysis",
+                "static",
+                "dataflow",
+                "abstract",
+                "interpretation",
+                "soundness",
+            ],
+            prerequisites: &[],
+            weight: 0.7,
+        },
+        TopicSpec {
+            name: "automated testing",
+            domain: SoftwareEngineering,
+            terms: &[
+                "testing",
+                "test",
+                "generation",
+                "coverage",
+                "fuzzing",
+                "mutation",
+                "oracle",
+            ],
+            prerequisites: &["program analysis"],
+            weight: 0.7,
+        },
+        TopicSpec {
+            name: "code representation learning",
+            domain: SoftwareEngineering,
+            terms: &[
+                "code",
+                "representation",
+                "learning",
+                "source",
+                "embedding",
+                "program",
+                "neural",
+            ],
+            prerequisites: &["program analysis", "pretrained language models"],
+            weight: 0.6,
+        },
+        TopicSpec {
+            name: "software defect prediction",
+            domain: SoftwareEngineering,
+            terms: &[
+                "defect",
+                "prediction",
+                "bug",
+                "software",
+                "metric",
+                "quality",
+                "fault",
+            ],
+            prerequisites: &["automated testing", "statistical learning theory"],
+            weight: 0.5,
+        },
         // --- Theory. ---
-        TopicSpec { name: "approximation algorithms", domain: Theory, terms: &["approximation", "algorithm", "hardness", "ratio", "optimization", "combinatorial", "np"], prerequisites: &[], weight: 0.6 },
-        TopicSpec { name: "graph algorithms", domain: Theory, terms: &["graph", "algorithm", "shortest", "path", "spanning", "tree", "flow", "matching"], prerequisites: &["approximation algorithms"], weight: 0.7 },
-        TopicSpec { name: "sublinear algorithms", domain: Theory, terms: &["sublinear", "streaming", "sketch", "sampling", "property", "testing", "estimation"], prerequisites: &["approximation algorithms"], weight: 0.4 },
+        TopicSpec {
+            name: "approximation algorithms",
+            domain: Theory,
+            terms: &[
+                "approximation",
+                "algorithm",
+                "hardness",
+                "ratio",
+                "optimization",
+                "combinatorial",
+                "np",
+            ],
+            prerequisites: &[],
+            weight: 0.6,
+        },
+        TopicSpec {
+            name: "graph algorithms",
+            domain: Theory,
+            terms: &[
+                "graph",
+                "algorithm",
+                "shortest",
+                "path",
+                "spanning",
+                "tree",
+                "flow",
+                "matching",
+            ],
+            prerequisites: &["approximation algorithms"],
+            weight: 0.7,
+        },
+        TopicSpec {
+            name: "sublinear algorithms",
+            domain: Theory,
+            terms: &[
+                "sublinear",
+                "streaming",
+                "sketch",
+                "sampling",
+                "property",
+                "testing",
+                "estimation",
+            ],
+            prerequisites: &["approximation algorithms"],
+            weight: 0.4,
+        },
         // --- Graphics / multimedia. ---
-        TopicSpec { name: "neural rendering", domain: GraphicsMultimedia, terms: &["neural", "rendering", "radiance", "field", "view", "synthesis", "scene", "3d"], prerequisites: &["image classification", "generative adversarial networks"], weight: 0.6 },
-        TopicSpec { name: "video understanding", domain: GraphicsMultimedia, terms: &["video", "understanding", "action", "recognition", "temporal", "frame", "clip"], prerequisites: &["image classification"], weight: 0.6 },
+        TopicSpec {
+            name: "neural rendering",
+            domain: GraphicsMultimedia,
+            terms: &[
+                "neural",
+                "rendering",
+                "radiance",
+                "field",
+                "view",
+                "synthesis",
+                "scene",
+                "3d",
+            ],
+            prerequisites: &["image classification", "generative adversarial networks"],
+            weight: 0.6,
+        },
+        TopicSpec {
+            name: "video understanding",
+            domain: GraphicsMultimedia,
+            terms: &[
+                "video",
+                "understanding",
+                "action",
+                "recognition",
+                "temporal",
+                "frame",
+                "clip",
+            ],
+            prerequisites: &["image classification"],
+            weight: 0.6,
+        },
         // --- HCI. ---
-        TopicSpec { name: "activity recognition", domain: HumanComputerInteraction, terms: &["activity", "recognition", "wearable", "sensor", "human", "motion", "accelerometer"], prerequisites: &["statistical learning theory", "internet of things"], weight: 0.5 },
-        TopicSpec { name: "conversational agents", domain: HumanComputerInteraction, terms: &["conversational", "agent", "dialogue", "chatbot", "user", "interaction", "response"], prerequisites: &["pretrained language models", "question answering"], weight: 0.6 },
+        TopicSpec {
+            name: "activity recognition",
+            domain: HumanComputerInteraction,
+            terms: &[
+                "activity",
+                "recognition",
+                "wearable",
+                "sensor",
+                "human",
+                "motion",
+                "accelerometer",
+            ],
+            prerequisites: &["statistical learning theory", "internet of things"],
+            weight: 0.5,
+        },
+        TopicSpec {
+            name: "conversational agents",
+            domain: HumanComputerInteraction,
+            terms: &[
+                "conversational",
+                "agent",
+                "dialogue",
+                "chatbot",
+                "user",
+                "interaction",
+                "response",
+            ],
+            prerequisites: &["pretrained language models", "question answering"],
+            weight: 0.6,
+        },
         // --- Interdisciplinary. ---
-        TopicSpec { name: "computational biology sequence models", domain: Interdisciplinary, terms: &["protein", "sequence", "genomic", "biological", "structure", "prediction", "alignment"], prerequisites: &["sequence to sequence learning", "pretrained language models"], weight: 0.6 },
-        TopicSpec { name: "smart grid analytics", domain: Interdisciplinary, terms: &["smart", "grid", "energy", "load", "forecasting", "power", "demand"], prerequisites: &["data stream processing", "statistical learning theory"], weight: 0.5 },
-        TopicSpec { name: "autonomous driving perception", domain: Interdisciplinary, terms: &["autonomous", "driving", "perception", "lidar", "vehicle", "detection", "planning"], prerequisites: &["image classification", "reinforcement learning"], weight: 0.7 },
+        TopicSpec {
+            name: "computational biology sequence models",
+            domain: Interdisciplinary,
+            terms: &[
+                "protein",
+                "sequence",
+                "genomic",
+                "biological",
+                "structure",
+                "prediction",
+                "alignment",
+            ],
+            prerequisites: &[
+                "sequence to sequence learning",
+                "pretrained language models",
+            ],
+            weight: 0.6,
+        },
+        TopicSpec {
+            name: "smart grid analytics",
+            domain: Interdisciplinary,
+            terms: &[
+                "smart",
+                "grid",
+                "energy",
+                "load",
+                "forecasting",
+                "power",
+                "demand",
+            ],
+            prerequisites: &["data stream processing", "statistical learning theory"],
+            weight: 0.5,
+        },
+        TopicSpec {
+            name: "autonomous driving perception",
+            domain: Interdisciplinary,
+            terms: &[
+                "autonomous",
+                "driving",
+                "perception",
+                "lidar",
+                "vehicle",
+                "detection",
+                "planning",
+            ],
+            prerequisites: &["image classification", "reinforcement learning"],
+            weight: 0.7,
+        },
     ];
     SPECS
 }
@@ -334,7 +1168,11 @@ mod tests {
         let c = TopicCatalog::synthetic_default();
         for t in c.iter() {
             for &p in &t.prerequisites {
-                assert!(p.index() < t.id.index(), "{} has a forward prerequisite", t.name);
+                assert!(
+                    p.index() < t.id.index(),
+                    "{} has a forward prerequisite",
+                    t.name
+                );
             }
         }
     }
@@ -345,8 +1183,10 @@ mod tests {
         let plm = c.by_name("pretrained language models").unwrap();
         let closure = c.prerequisite_closure(plm.id);
         assert!(closure.len() >= 4, "closure too small: {}", closure.len());
-        let names: Vec<_> =
-            closure.iter().map(|&id| c.get(id).unwrap().name.as_str()).collect();
+        let names: Vec<_> = closure
+            .iter()
+            .map(|&id| c.get(id).unwrap().name.as_str())
+            .collect();
         assert!(names.contains(&"attention mechanisms"));
         assert!(names.contains(&"neural networks"));
     }
@@ -361,7 +1201,13 @@ mod tests {
     #[test]
     fn unknown_prerequisites_are_ignored() {
         let mut c = TopicCatalog::new();
-        let id = c.add("lonely topic", Domain::Theory, &["alpha"], &["does not exist"], 1.0);
+        let id = c.add(
+            "lonely topic",
+            Domain::Theory,
+            &["alpha"],
+            &["does not exist"],
+            1.0,
+        );
         assert!(c.get(id).unwrap().prerequisites.is_empty());
     }
 
@@ -381,7 +1227,10 @@ mod tests {
 
     #[test]
     fn domain_names_match_table_one() {
-        assert_eq!(Domain::ArtificialIntelligence.name(), "Artificial Intelligence");
+        assert_eq!(
+            Domain::ArtificialIntelligence.name(),
+            "Artificial Intelligence"
+        );
         assert_eq!(Domain::Uncertain.name(), "Uncertain Topics");
         assert_eq!(Domain::RANKED.len(), 10);
     }

@@ -79,18 +79,58 @@ impl VenueTable {
         let mut table = VenueTable::new();
         let spec: &[(&str, VenueTier, f64)] = &[
             ("Synthetic Transactions on Databases", VenueTier::A, 0.95),
-            ("Conference on Learning Representations (synthetic)", VenueTier::A, 0.92),
-            ("Synthetic Conference on Data Engineering", VenueTier::A, 0.90),
-            ("Annual Meeting on Computational Linguistics (synthetic)", VenueTier::A, 0.88),
-            ("Symposium on Theory of Computing (synthetic)", VenueTier::A, 0.85),
-            ("Synthetic Conference on Computer Vision", VenueTier::A, 0.87),
-            ("Journal of Machine Intelligence (synthetic)", VenueTier::B, 0.70),
-            ("Synthetic Conference on Information Retrieval", VenueTier::B, 0.68),
+            (
+                "Conference on Learning Representations (synthetic)",
+                VenueTier::A,
+                0.92,
+            ),
+            (
+                "Synthetic Conference on Data Engineering",
+                VenueTier::A,
+                0.90,
+            ),
+            (
+                "Annual Meeting on Computational Linguistics (synthetic)",
+                VenueTier::A,
+                0.88,
+            ),
+            (
+                "Symposium on Theory of Computing (synthetic)",
+                VenueTier::A,
+                0.85,
+            ),
+            (
+                "Synthetic Conference on Computer Vision",
+                VenueTier::A,
+                0.87,
+            ),
+            (
+                "Journal of Machine Intelligence (synthetic)",
+                VenueTier::B,
+                0.70,
+            ),
+            (
+                "Synthetic Conference on Information Retrieval",
+                VenueTier::B,
+                0.68,
+            ),
             ("Synthetic Networking Conference", VenueTier::B, 0.64),
-            ("Conference on Software Engineering Practice (synthetic)", VenueTier::B, 0.62),
-            ("Synthetic Security and Privacy Workshop Series", VenueTier::B, 0.60),
+            (
+                "Conference on Software Engineering Practice (synthetic)",
+                VenueTier::B,
+                0.62,
+            ),
+            (
+                "Synthetic Security and Privacy Workshop Series",
+                VenueTier::B,
+                0.60,
+            ),
             ("Synthetic Graphics Forum", VenueTier::B, 0.58),
-            ("Regional Conference on Intelligent Systems", VenueTier::C, 0.40),
+            (
+                "Regional Conference on Intelligent Systems",
+                VenueTier::C,
+                0.40,
+            ),
             ("Synthetic Workshop on Emerging Topics", VenueTier::C, 0.35),
             ("Journal of Applied Computing Studies", VenueTier::C, 0.32),
             ("Student Symposium on Computing", VenueTier::C, 0.28),
@@ -137,7 +177,11 @@ impl VenueTable {
 
     /// Venues of a given tier.
     pub fn by_tier(&self, tier: VenueTier) -> Vec<VenueId> {
-        self.venues.iter().filter(|v| v.tier == tier).map(|v| v.id).collect()
+        self.venues
+            .iter()
+            .filter(|v| v.tier == tier)
+            .map(|v| v.id)
+            .collect()
     }
 
     /// The venue score used by Eq. (3): the average of the tier score (CCF
@@ -166,7 +210,12 @@ mod tests {
     fn synthetic_table_has_all_tiers() {
         let t = VenueTable::synthetic_default();
         assert!(t.len() >= 12);
-        for tier in [VenueTier::A, VenueTier::B, VenueTier::C, VenueTier::Unranked] {
+        for tier in [
+            VenueTier::A,
+            VenueTier::B,
+            VenueTier::C,
+            VenueTier::Unranked,
+        ] {
             assert!(!t.by_tier(tier).is_empty(), "missing tier {tier:?}");
         }
     }
@@ -199,7 +248,11 @@ mod tests {
         let t = VenueTable::synthetic_default();
         for v in t.iter() {
             let s = t.venue_score(v.id);
-            assert!((0.0..=1.0).contains(&s), "score {s} out of range for {}", v.name);
+            assert!(
+                (0.0..=1.0).contains(&s),
+                "score {s} out of range for {}",
+                v.name
+            );
         }
     }
 }

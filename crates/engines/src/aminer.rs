@@ -4,7 +4,9 @@
 //! scoring (rather than BM25) and a stronger citation prior, reflecting
 //! AMiner's emphasis on scholarly impact metrics.
 
-use crate::engine::{EngineIndex, LexicalConfig, LexicalEngine, LexicalScoring, Query, SearchEngine};
+use crate::engine::{
+    EngineIndex, LexicalConfig, LexicalEngine, LexicalScoring, Query, SearchEngine,
+};
 use rpg_corpus::{Corpus, PaperId};
 use std::sync::Arc;
 
@@ -32,7 +34,9 @@ impl AminerEngine {
 
     /// Builds the engine from an already-built shared index.
     pub fn from_index(index: Arc<EngineIndex>) -> Self {
-        AminerEngine { inner: LexicalEngine::new(index, "AMiner (simulated)", Self::config()) }
+        AminerEngine {
+            inner: LexicalEngine::new(index, "AMiner (simulated)", Self::config()),
+        }
     }
 }
 
@@ -52,7 +56,10 @@ mod tests {
     use rpg_corpus::{generate, CorpusConfig};
 
     fn corpus() -> Corpus {
-        generate(&CorpusConfig { seed: 35, ..CorpusConfig::small() })
+        generate(&CorpusConfig {
+            seed: 35,
+            ..CorpusConfig::small()
+        })
     }
 
     #[test]
@@ -65,7 +72,10 @@ mod tests {
                 non_empty += 1;
             }
         }
-        assert!(non_empty >= 8, "AMiner simulation failed on too many queries: {non_empty}/10");
+        assert!(
+            non_empty >= 8,
+            "AMiner simulation failed on too many queries: {non_empty}/10"
+        );
     }
 
     #[test]

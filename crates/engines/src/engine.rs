@@ -34,7 +34,12 @@ pub struct Query<'a> {
 impl<'a> Query<'a> {
     /// A query with no year restriction and no exclusions.
     pub fn simple(text: &'a str, top_k: usize) -> Self {
-        Query { text, top_k, max_year: None, exclude: &[] }
+        Query {
+            text,
+            top_k,
+            max_year: None,
+            exclude: &[],
+        }
     }
 
     /// Whether a paper passes the year and exclusion filters.
@@ -81,7 +86,12 @@ impl EngineIndex {
             citation_counts.push(corpus.citation_count(paper.id) as u32);
             is_survey.push(paper.is_survey());
         }
-        Arc::new(EngineIndex { inverted, years, citation_counts, is_survey })
+        Arc::new(EngineIndex {
+            inverted,
+            years,
+            citation_counts,
+            is_survey,
+        })
     }
 
     /// Number of indexed papers.
@@ -106,7 +116,10 @@ impl EngineIndex {
 
     /// Citation count of a paper at index-build time.
     pub fn citation_count(&self, paper: PaperId) -> u32 {
-        self.citation_counts.get(paper.index()).copied().unwrap_or(0)
+        self.citation_counts
+            .get(paper.index())
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Whether a paper is a survey.
@@ -150,7 +163,11 @@ pub struct LexicalEngine {
 impl LexicalEngine {
     /// Creates a lexical engine with an explicit name and configuration.
     pub fn new(index: Arc<EngineIndex>, name: &'static str, config: LexicalConfig) -> Self {
-        LexicalEngine { index, config, name }
+        LexicalEngine {
+            index,
+            config,
+            name,
+        }
     }
 
     /// The engine's configuration.
@@ -165,7 +182,10 @@ impl LexicalEngine {
             LexicalScoring::Bm25 => {
                 let bm25 = Bm25Index::new(
                     self.index.inverted(),
-                    Bm25Params { title_boost: self.config.title_boost, ..Default::default() },
+                    Bm25Params {
+                        title_boost: self.config.title_boost,
+                        ..Default::default()
+                    },
                 );
                 bm25.search(query.text, usize::MAX)
             }
@@ -179,11 +199,14 @@ impl LexicalEngine {
             .filter(|s| query.admits(PaperId(s.doc), self.index.year(PaperId(s.doc))))
             .map(|s| {
                 let paper = PaperId(s.doc);
-                let citation_prior =
-                    self.config.citation_weight * f64::from(self.index.citation_count(paper)).ln_1p();
+                let citation_prior = self.config.citation_weight
+                    * f64::from(self.index.citation_count(paper)).ln_1p();
                 let recency_prior = self.config.recency_weight
                     * (f64::from(self.index.year(paper).saturating_sub(1990)) / 30.0);
-                ScoredDoc { doc: s.doc, score: s.score + citation_prior + recency_prior }
+                ScoredDoc {
+                    doc: s.doc,
+                    score: s.score + citation_prior + recency_prior,
+                }
             })
             .collect();
         sort_ranking(&mut scored);
@@ -211,7 +234,10 @@ mod tests {
     use rpg_corpus::{generate, CorpusConfig};
 
     fn corpus() -> Corpus {
-        generate(&CorpusConfig { seed: 21, ..CorpusConfig::small() })
+        generate(&CorpusConfig {
+            seed: 21,
+            ..CorpusConfig::small()
+        })
     }
 
     fn engine(corpus: &Corpus) -> LexicalEngine {
@@ -240,7 +266,12 @@ mod tests {
 
     #[test]
     fn query_filters_apply() {
-        let q = Query { text: "x", top_k: 5, max_year: Some(2000), exclude: &[PaperId(3)] };
+        let q = Query {
+            text: "x",
+            top_k: 5,
+            max_year: Some(2000),
+            exclude: &[PaperId(3)],
+        };
         assert!(q.admits(PaperId(1), 1999));
         assert!(!q.admits(PaperId(1), 2001));
         assert!(!q.admits(PaperId(3), 1999));
@@ -321,12 +352,22 @@ mod tests {
         let flat = LexicalEngine::new(
             idx.clone(),
             "flat",
-            LexicalConfig { scoring: LexicalScoring::Bm25, title_boost: 3.0, citation_weight: 0.0, recency_weight: 0.0 },
+            LexicalConfig {
+                scoring: LexicalScoring::Bm25,
+                title_boost: 3.0,
+                citation_weight: 0.0,
+                recency_weight: 0.0,
+            },
         );
         let cite_heavy = LexicalEngine::new(
             idx,
             "cite-heavy",
-            LexicalConfig { scoring: LexicalScoring::Bm25, title_boost: 3.0, citation_weight: 5.0, recency_weight: 0.0 },
+            LexicalConfig {
+                scoring: LexicalScoring::Bm25,
+                title_boost: 3.0,
+                citation_weight: 5.0,
+                recency_weight: 0.0,
+            },
         );
         let a = flat.search(&Query::simple(&survey.query, 20));
         let b = cite_heavy.search(&Query::simple(&survey.query, 20));

@@ -5,7 +5,9 @@
 //! recent activity), so the three engines return visibly different — but all
 //! purely lexical — top-K lists, as in the paper's comparison.
 
-use crate::engine::{EngineIndex, LexicalConfig, LexicalEngine, LexicalScoring, Query, SearchEngine};
+use crate::engine::{
+    EngineIndex, LexicalConfig, LexicalEngine, LexicalScoring, Query, SearchEngine,
+};
 use rpg_corpus::{Corpus, PaperId};
 use std::sync::Arc;
 
@@ -56,7 +58,10 @@ mod tests {
     use rpg_corpus::{generate, CorpusConfig};
 
     fn corpus() -> Corpus {
-        generate(&CorpusConfig { seed: 34, ..CorpusConfig::small() })
+        generate(&CorpusConfig {
+            seed: 34,
+            ..CorpusConfig::small()
+        })
     }
 
     #[test]
@@ -71,7 +76,10 @@ mod tests {
         let b = scholar.search(&q);
         assert!(!a.is_empty() && !b.is_empty());
         let shared = a.iter().filter(|p| b.contains(p)).count();
-        assert!(shared > 0, "two lexical engines should agree on some papers");
+        assert!(
+            shared > 0,
+            "two lexical engines should agree on some papers"
+        );
         assert_ne!(a, b, "different priors should produce different orderings");
     }
 

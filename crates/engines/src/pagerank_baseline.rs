@@ -34,7 +34,14 @@ impl PageRankBaseline {
         let graph = Arc::new(corpus.graph().clone());
         let scores = pagerank_default(&graph).expect("default PageRank configuration is valid");
         let years = corpus.papers().iter().map(|p| p.year).collect();
-        PageRankBaseline { scholar, graph, scores, years, seed_count: 30, expansion_hops: 2 }
+        PageRankBaseline {
+            scholar,
+            graph,
+            scores,
+            years,
+            seed_count: 30,
+            expansion_hops: 2,
+        }
     }
 
     fn year(&self, paper: PaperId) -> u16 {
@@ -44,11 +51,19 @@ impl PageRankBaseline {
     /// The candidate set: seeds plus their 1st/2nd-order citation neighbours,
     /// filtered by the query's year cut-off and exclusions.
     pub fn candidates(&self, query: &Query<'_>) -> Vec<PaperId> {
-        let seed_query = Query { top_k: self.seed_count, ..*query };
+        let seed_query = Query {
+            top_k: self.seed_count,
+            ..*query
+        };
         let seeds = self.scholar.seed_papers(&seed_query);
         let seed_nodes: Vec<_> = seeds.iter().map(|p| p.node()).collect();
-        let expansion = expand(&self.graph, &seed_nodes, self.expansion_hops, Direction::References)
-            .expect("seed papers come from the same corpus as the graph");
+        let expansion = expand(
+            &self.graph,
+            &seed_nodes,
+            self.expansion_hops,
+            Direction::References,
+        )
+        .expect("seed papers come from the same corpus as the graph");
         expansion
             .nodes
             .into_iter()
@@ -84,7 +99,10 @@ mod tests {
     use rpg_corpus::{generate, CorpusConfig};
 
     fn corpus() -> Corpus {
-        generate(&CorpusConfig { seed: 36, ..CorpusConfig::small() })
+        generate(&CorpusConfig {
+            seed: 36,
+            ..CorpusConfig::small()
+        })
     }
 
     fn baseline(c: &Corpus) -> PageRankBaseline {

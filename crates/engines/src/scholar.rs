@@ -6,7 +6,9 @@
 //! of Section IV-A), so it exposes the underlying [`LexicalEngine`] for
 //! callers that need the full ranking rather than the truncated list.
 
-use crate::engine::{EngineIndex, LexicalConfig, LexicalEngine, LexicalScoring, Query, SearchEngine};
+use crate::engine::{
+    EngineIndex, LexicalConfig, LexicalEngine, LexicalScoring, Query, SearchEngine,
+};
 use rpg_corpus::{Corpus, PaperId};
 use std::sync::Arc;
 
@@ -35,7 +37,9 @@ impl ScholarEngine {
 
     /// Builds the engine from an already-built shared index.
     pub fn from_index(index: Arc<EngineIndex>) -> Self {
-        ScholarEngine { inner: LexicalEngine::new(index, "Google Scholar (simulated)", Self::config()) }
+        ScholarEngine {
+            inner: LexicalEngine::new(index, "Google Scholar (simulated)", Self::config()),
+        }
     }
 
     /// The underlying lexical engine (used by the RePaGer seed stage).
@@ -65,7 +69,10 @@ mod tests {
     use rpg_corpus::{generate, CorpusConfig, LabelLevel};
 
     fn corpus() -> Corpus {
-        generate(&CorpusConfig { seed: 33, ..CorpusConfig::small() })
+        generate(&CorpusConfig {
+            seed: 33,
+            ..CorpusConfig::small()
+        })
     }
 
     #[test]
@@ -75,7 +82,12 @@ mod tests {
         let survey = c.survey_bank().iter().next().unwrap();
         let seeds = engine.seed_papers(&Query::simple(&survey.query, 30));
         assert!(seeds.len() <= 30);
-        assert!(seeds.len() >= 10, "query '{}' found only {} seeds", survey.query, seeds.len());
+        assert!(
+            seeds.len() >= 10,
+            "query '{}' found only {} seeds",
+            survey.query,
+            seeds.len()
+        );
     }
 
     #[test]
@@ -107,7 +119,10 @@ mod tests {
             }
         }
         assert!(any_overlap, "engine never finds any ground-truth paper");
-        assert!(any_miss, "engine implausibly finds the complete reference list");
+        assert!(
+            any_miss,
+            "engine implausibly finds the complete reference list"
+        );
     }
 
     #[test]

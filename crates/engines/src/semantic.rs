@@ -75,11 +75,19 @@ impl SemanticMatcher {
     /// The candidate set: Scholar seeds plus 1st/2nd-order citation
     /// neighbours, filtered by the query.
     pub fn candidates(&self, query: &Query<'_>) -> Vec<PaperId> {
-        let seed_query = Query { top_k: self.seed_count, ..*query };
+        let seed_query = Query {
+            top_k: self.seed_count,
+            ..*query
+        };
         let seeds = self.scholar.seed_papers(&seed_query);
         let seed_nodes: Vec<_> = seeds.iter().map(|p| p.node()).collect();
-        let expansion = expand(&self.graph, &seed_nodes, self.expansion_hops, Direction::References)
-            .expect("seed papers come from the same corpus as the graph");
+        let expansion = expand(
+            &self.graph,
+            &seed_nodes,
+            self.expansion_hops,
+            Direction::References,
+        )
+        .expect("seed papers come from the same corpus as the graph");
         expansion
             .nodes
             .into_iter()
@@ -115,7 +123,10 @@ mod tests {
     use rpg_corpus::{generate, CorpusConfig};
 
     fn corpus() -> Corpus {
-        generate(&CorpusConfig { seed: 37, ..CorpusConfig::small() })
+        generate(&CorpusConfig {
+            seed: 37,
+            ..CorpusConfig::small()
+        })
     }
 
     fn matcher(c: &Corpus) -> SemanticMatcher {
@@ -139,7 +150,11 @@ mod tests {
         let on_topic_fraction = |papers: &[PaperId]| {
             papers
                 .iter()
-                .filter(|&&p| c.paper(p).map(|x| related.contains(&x.topic)).unwrap_or(false))
+                .filter(|&&p| {
+                    c.paper(p)
+                        .map(|x| related.contains(&x.topic))
+                        .unwrap_or(false)
+                })
                 .count() as f64
                 / papers.len().max(1) as f64
         };

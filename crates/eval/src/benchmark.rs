@@ -13,7 +13,8 @@ use crate::metrics::{mean, overlap};
 use rpg_corpus::{Corpus, LabelLevel, PaperId, Survey};
 use rpg_engines::{Query, SearchEngine};
 use rpg_repager::system::PathRequest;
-use rpg_repager::{RePaGer, RepagerConfig, Variant};
+use rpg_repager::{RepagerConfig, Variant};
+use rpg_service::PathService;
 use serde::{Deserialize, Serialize};
 
 /// A method that produces a ranked reading list for a survey's query.
@@ -55,10 +56,10 @@ impl<E: SearchEngine + Sync> ListMethod for EngineMethod<E> {
     }
 }
 
-/// Wraps a RePaGer system (with a variant and configuration) as a
+/// Wraps a [`PathService`] (with a variant and configuration) as a
 /// [`ListMethod`].
 pub struct RepagerMethod<'c> {
-    system: &'c RePaGer<'c>,
+    system: &'c PathService,
     /// The model variant being evaluated.
     pub variant: Variant,
     /// The configuration used for every query.
@@ -67,13 +68,21 @@ pub struct RepagerMethod<'c> {
 
 impl<'c> RepagerMethod<'c> {
     /// The full NEWST model with the paper's default parameters.
-    pub fn newst(system: &'c RePaGer<'c>) -> Self {
-        RepagerMethod { system, variant: Variant::Newst, config: RepagerConfig::default() }
+    pub fn newst(system: &'c PathService) -> Self {
+        RepagerMethod {
+            system,
+            variant: Variant::Newst,
+            config: RepagerConfig::default(),
+        }
     }
 
     /// A specific variant with a specific configuration.
-    pub fn variant(system: &'c RePaGer<'c>, variant: Variant, config: RepagerConfig) -> Self {
-        RepagerMethod { system, variant, config }
+    pub fn variant(system: &'c PathService, variant: Variant, config: RepagerConfig) -> Self {
+        RepagerMethod {
+            system,
+            variant,
+            config,
+        }
     }
 }
 
@@ -180,7 +189,11 @@ impl MethodLists {
             recalls.push(m.recall);
             f1s.push(m.f1);
         }
-        MethodScores { precision: mean(&precisions), recall: mean(&recalls), f1: mean(&f1s) }
+        MethodScores {
+            precision: mean(&precisions),
+            recall: mean(&recalls),
+            f1: mean(&f1s),
+        }
     }
 }
 
@@ -194,29 +207,16 @@ pub fn collect_lists<M: ListMethod + ?Sized>(
     max_k: usize,
     threads: usize,
 ) -> MethodLists {
-    let n = set.len();
-    let mut lists: Vec<Vec<PaperId>> = vec![Vec::new(); n];
-    if n == 0 {
-        return MethodLists { method: method.name(), lists };
+    let lists = rpg_service::parallel::fan_out(
+        set.len(),
+        threads,
+        || (),
+        |(), i| method.list_for(corpus, &set.surveys[i], max_k),
+    );
+    MethodLists {
+        method: method.name(),
+        lists,
     }
-    let threads = threads.clamp(1, n);
-    let chunk = n.div_ceil(threads);
-    let chunks: Vec<(usize, &mut [Vec<PaperId>])> =
-        lists.chunks_mut(chunk).enumerate().collect();
-    crossbeam::scope(|scope| {
-        for (chunk_index, slot) in chunks {
-            let surveys = &set.surveys;
-            scope.spawn(move |_| {
-                let start = chunk_index * chunk;
-                for (offset, out) in slot.iter_mut().enumerate() {
-                    let survey = &surveys[start + offset];
-                    *out = method.list_for(corpus, survey, max_k);
-                }
-            });
-        }
-    })
-    .expect("evaluation worker threads do not panic");
-    MethodLists { method: method.name(), lists }
 }
 
 /// Convenience: runs a method and immediately scores it at one (K, level).
@@ -237,9 +237,13 @@ mod tests {
     use super::*;
     use rpg_corpus::{generate, CorpusConfig};
     use rpg_engines::ScholarEngine;
+    use rpg_service::PathService;
 
     fn corpus() -> Corpus {
-        generate(&CorpusConfig { seed: 121, ..CorpusConfig::small() })
+        generate(&CorpusConfig {
+            seed: 121,
+            ..CorpusConfig::small()
+        })
     }
 
     #[test]
@@ -287,7 +291,7 @@ mod tests {
     fn repager_method_runs_over_the_set() {
         let c = corpus();
         let set = EvaluationSet::select(&c, 15, 4);
-        let system = RePaGer::build(&c);
+        let system = PathService::build(c.clone()).unwrap();
         let method = RepagerMethod::newst(&system);
         assert_eq!(method.name(), "NEWST");
         let lists = collect_lists(&c, &set, &method, 30, 2);
@@ -302,7 +306,7 @@ mod tests {
     #[test]
     fn repager_method_name_reflects_seed_count() {
         let c = corpus();
-        let system = RePaGer::build(&c);
+        let system = PathService::build(c.clone()).unwrap();
         let method = RepagerMethod::variant(
             &system,
             Variant::Newst,
@@ -324,7 +328,9 @@ mod tests {
     #[test]
     fn empty_evaluation_set_is_handled() {
         let c = corpus();
-        let set = EvaluationSet { surveys: Vec::new() };
+        let set = EvaluationSet {
+            surveys: Vec::new(),
+        };
         let method = EngineMethod::new(ScholarEngine::build(&c));
         let lists = collect_lists(&c, &set, &method, 20, 2);
         assert!(lists.lists.is_empty());

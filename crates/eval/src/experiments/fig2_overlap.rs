@@ -80,7 +80,10 @@ pub fn run(ctx: &ExperimentContext<'_>, seed_counts: &[usize], survey_limit: usi
         panels.push(OverlapByOrder { top_k, ratios });
     }
 
-    Fig2Report { panels, surveys_evaluated: surveys.len() }
+    Fig2Report {
+        panels,
+        surveys_evaluated: surveys.len(),
+    }
 }
 
 /// Formats the report as the two panels of Fig. 2.
@@ -97,7 +100,10 @@ pub fn format(report: &Fig2Report) -> String {
             })
             .collect();
         out.push_str(&format_table(
-            &format!("Fig. 2 — overlap ratio, TOP {} ({} surveys)", panel.top_k, report.surveys_evaluated),
+            &format!(
+                "Fig. 2 — overlap ratio, TOP {} ({} surveys)",
+                panel.top_k, report.surveys_evaluated
+            ),
             &["Order", "#occ >= 1", "#occ >= 2", "#occ >= 3"],
             &rows,
         ));

@@ -71,7 +71,13 @@ pub fn format(report: &Fig4Report) -> String {
     let topic_rows: Vec<Vec<String>> = report
         .topic_distribution
         .iter()
-        .map(|row| vec![row.domain.clone(), row.count.to_string(), fmt_pct(row.share)])
+        .map(|row| {
+            vec![
+                row.domain.clone(),
+                row.count.to_string(),
+                fmt_pct(row.share),
+            ]
+        })
         .collect();
     out.push_str(&format_table(
         "Table I — topic distribution of surveys",

@@ -5,7 +5,9 @@ use crate::benchmark::{collect_lists, EngineMethod, ListMethod, MethodLists, Rep
 use crate::experiments::ExperimentContext;
 use crate::report::format_series;
 use rpg_corpus::LabelLevel;
-use rpg_engines::{AminerEngine, MsAcademicEngine, PageRankBaseline, ScholarEngine, SemanticMatcher};
+use rpg_engines::{
+    AminerEngine, MsAcademicEngine, PageRankBaseline, ScholarEngine, SemanticMatcher,
+};
 use serde::{Deserialize, Serialize};
 
 /// Scores of one method at one K for one label level.
@@ -87,7 +89,11 @@ pub fn run(ctx: &ExperimentContext<'_>, ks: &[usize]) -> Fig8Report {
                     .iter()
                     .map(|&k| {
                         let scores = lists.scores_at(&ctx.set, k, level);
-                        PointScore { k, f1: scores.f1, precision: scores.precision }
+                        PointScore {
+                            k,
+                            f1: scores.f1,
+                            precision: scores.precision,
+                        }
                     })
                     .collect(),
             })
@@ -95,7 +101,11 @@ pub fn run(ctx: &ExperimentContext<'_>, ks: &[usize]) -> Fig8Report {
         levels.push((level.name().to_string(), curves));
     }
 
-    Fig8Report { levels, ks: ks.to_vec(), surveys_evaluated: ctx.set.len() }
+    Fig8Report {
+        levels,
+        ks: ks.to_vec(),
+        surveys_evaluated: ctx.set.len(),
+    }
 }
 
 /// Formats the report as one F1 series and one precision series per level.
@@ -105,19 +115,36 @@ pub fn format(report: &Fig8Report) -> String {
         let f1_series: Vec<(String, Vec<(f64, f64)>)> = curves
             .iter()
             .map(|c| {
-                (c.method.clone(), c.points.iter().map(|p| (p.k as f64, p.f1)).collect())
+                (
+                    c.method.clone(),
+                    c.points.iter().map(|p| (p.k as f64, p.f1)).collect(),
+                )
             })
             .collect();
-        out.push_str(&format_series(&format!("Fig. 8 — F1 score, {level}"), "K", &f1_series));
+        out.push_str(&format_series(
+            &format!("Fig. 8 — F1 score, {level}"),
+            "K",
+            &f1_series,
+        ));
         let p_series: Vec<(String, Vec<(f64, f64)>)> = curves
             .iter()
             .map(|c| {
-                (c.method.clone(), c.points.iter().map(|p| (p.k as f64, p.precision)).collect())
+                (
+                    c.method.clone(),
+                    c.points.iter().map(|p| (p.k as f64, p.precision)).collect(),
+                )
             })
             .collect();
-        out.push_str(&format_series(&format!("Fig. 8 — Precision, {level}"), "K", &p_series));
+        out.push_str(&format_series(
+            &format!("Fig. 8 — Precision, {level}"),
+            "K",
+            &p_series,
+        ));
     }
-    out.push_str(&format!("(averaged over {} surveys)\n", report.surveys_evaluated));
+    out.push_str(&format!(
+        "(averaged over {} surveys)\n",
+        report.surveys_evaluated
+    ));
     out
 }
 
@@ -174,7 +201,11 @@ mod tests {
         let at_30 = newst.points.iter().find(|p| p.k == 30).unwrap();
         // All engines at K=30:
         let mut any_engine_f1 = Vec::new();
-        for method in ["Google Scholar (simulated)", "Microsoft Academic (simulated)", "AMiner (simulated)"] {
+        for method in [
+            "Google Scholar (simulated)",
+            "Microsoft Academic (simulated)",
+            "AMiner (simulated)",
+        ] {
             let curve = report.curve(LabelLevel::AtLeastOne, method).unwrap();
             any_engine_f1.push(curve.points.iter().find(|p| p.k == 30).unwrap().f1);
         }

@@ -80,13 +80,18 @@ pub fn run(ctx: &ExperimentContext<'_>, query: Option<&str>) -> CaseStudyReport 
         variant: Variant::Newst,
     };
     let Ok(output) = ctx.system.generate(&request) else {
-        return CaseStudyReport { query, ..Default::default() };
+        return CaseStudyReport {
+            query,
+            ..Default::default()
+        };
     };
 
-    let engine_top: Vec<PaperId> = ctx
-        .system
-        .scholar()
-        .seed_papers(&Query { text: &query, top_k: 30, max_year: None, exclude: &[] });
+    let engine_top: Vec<PaperId> = ctx.system.scholar().seed_papers(&Query {
+        text: &query,
+        top_k: 30,
+        max_year: None,
+        exclude: &[],
+    });
     let discovered: Vec<PaperId> = output
         .path
         .order
@@ -112,7 +117,10 @@ pub fn run(ctx: &ExperimentContext<'_>, query: Option<&str>) -> CaseStudyReport 
 /// Formats the case study as a narrative plus the rendered path.
 pub fn format(report: &CaseStudyReport) -> String {
     let mut out = String::new();
-    out.push_str(&format!("=== Fig. 9 — reading path for \"{}\" ===\n", report.query));
+    out.push_str(&format!(
+        "=== Fig. 9 — reading path for \"{}\" ===\n",
+        report.query
+    ));
     out.push_str(&format!(
         "path papers: {}, of which {} are not in the engine's top-30 (prerequisite discoveries)\n",
         report.path_papers.len(),
@@ -137,14 +145,20 @@ mod tests {
         let ctx = ExperimentContext::new(&corpus, 10, 40, 2);
         let report = run(&ctx, None);
         assert!(!report.query.is_empty());
-        assert!(!report.path_papers.is_empty(), "the case study produced no path");
+        assert!(
+            !report.path_papers.is_empty(),
+            "the case study produced no path"
+        );
         // The headline property of Fig. 9: the path contains papers that the
         // engine's top list does not.
         assert!(
             !report.discovered_papers.is_empty(),
             "the reading path only contains engine results — no prerequisite discovery"
         );
-        assert_eq!(report.discovered_papers.len(), report.discovered_titles.len());
+        assert_eq!(
+            report.discovered_papers.len(),
+            report.discovered_titles.len()
+        );
         assert!(report.rendered_dot.starts_with("digraph"));
         assert!(report.rendered_text.contains("reading path"));
     }

@@ -26,19 +26,21 @@ pub mod table5_human;
 
 use crate::benchmark::EvaluationSet;
 use rpg_corpus::Corpus;
-use rpg_engines::{EngineIndex, ScholarEngine};
-use rpg_repager::RePaGer;
+use rpg_engines::EngineIndex;
+use rpg_repager::artifacts::CorpusArtifacts;
+use rpg_service::PathService;
 use std::sync::Arc;
 
-/// Shared state for experiment runs: the evaluation set, the RePaGer system,
-/// and the shared engine index, built once per corpus.
+/// Shared state for experiment runs: the evaluation set, the serving-layer
+/// [`PathService`], and the shared engine index, built once per corpus.
 pub struct ExperimentContext<'c> {
     /// The corpus under evaluation.
     pub corpus: &'c Corpus,
     /// The evaluation surveys.
     pub set: EvaluationSet,
-    /// The RePaGer system (PageRank + node weights computed once).
-    pub system: RePaGer<'c>,
+    /// The reading-path service (engine index, PageRank and node weights
+    /// computed once, shared across the evaluation worker threads).
+    pub system: PathService,
     /// Shared lexical index for building the engine baselines.
     pub index: Arc<EngineIndex>,
     /// Number of worker threads used by the evaluation loops.
@@ -49,19 +51,27 @@ impl<'c> ExperimentContext<'c> {
     /// Builds a context evaluating on at most `max_surveys` surveys with at
     /// least `min_references` references.
     pub fn new(
-        corpus: &'c Corpus,
+        corpus: &'c Arc<Corpus>,
         min_references: usize,
         max_surveys: usize,
         threads: usize,
     ) -> Self {
         let set = EvaluationSet::select(corpus, min_references, max_surveys);
         let index = EngineIndex::build(corpus);
-        let system = RePaGer::with_engine(corpus, ScholarEngine::from_index(index.clone()));
-        ExperimentContext { corpus, set, system, index, threads: threads.max(1) }
+        let artifacts = CorpusArtifacts::with_index(Arc::clone(corpus), index.clone())
+            .expect("corpus artifacts build on a valid corpus");
+        let system = PathService::with_artifacts(artifacts);
+        ExperimentContext {
+            corpus: corpus.as_ref(),
+            set,
+            system,
+            index,
+            threads: threads.max(1),
+        }
     }
 
     /// A small context suitable for unit tests (few surveys, two threads).
-    pub fn for_tests(corpus: &'c Corpus) -> Self {
+    pub fn for_tests(corpus: &'c Arc<Corpus>) -> Self {
         Self::new(corpus, 10, 6, 2)
     }
 }
@@ -72,8 +82,11 @@ pub(crate) mod test_support {
 
     /// A shared small corpus for experiment tests (regenerated per call; the
     /// generator is fast at this scale).
-    pub fn test_corpus() -> Corpus {
-        generate(&CorpusConfig { seed: 2024, ..CorpusConfig::small() })
+    pub fn test_corpus() -> std::sync::Arc<Corpus> {
+        std::sync::Arc::new(generate(&CorpusConfig {
+            seed: 2024,
+            ..CorpusConfig::small()
+        }))
     }
 }
 

@@ -37,7 +37,12 @@ pub struct Table2Report {
 
 /// Runs the seed-count sweep at a fixed K and label level (the paper's main
 /// operating point is K = 30 with the full reference list as truth).
-pub fn run(ctx: &ExperimentContext<'_>, seed_counts: &[usize], k: usize, level: LabelLevel) -> Table2Report {
+pub fn run(
+    ctx: &ExperimentContext<'_>,
+    seed_counts: &[usize],
+    k: usize,
+    level: LabelLevel,
+) -> Table2Report {
     let mut rows = Vec::with_capacity(seed_counts.len());
     for &seed_count in seed_counts {
         let method = RepagerMethod::variant(
@@ -47,7 +52,11 @@ pub fn run(ctx: &ExperimentContext<'_>, seed_counts: &[usize], k: usize, level: 
         );
         let lists = collect_lists(ctx.corpus, &ctx.set, &method, k, ctx.threads);
         let scores = lists.scores_at(&ctx.set, k, level);
-        rows.push(SeedCountRow { seed_count, f1: scores.f1, precision: scores.precision });
+        rows.push(SeedCountRow {
+            seed_count,
+            f1: scores.f1,
+            precision: scores.precision,
+        });
     }
     Table2Report {
         rows,

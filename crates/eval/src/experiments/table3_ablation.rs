@@ -58,7 +58,12 @@ pub fn run(ctx: &ExperimentContext<'_>, k: usize, level: LabelLevel) -> Table3Re
             precision: scores.precision,
         });
     }
-    Table3Report { rows, k, level: level.name().to_string(), surveys_evaluated: ctx.set.len() }
+    Table3Report {
+        rows,
+        k,
+        level: level.name().to_string(),
+        surveys_evaluated: ctx.set.len(),
+    }
 }
 
 /// Formats the report in the layout of Table III.
@@ -117,7 +122,10 @@ mod tests {
         let r = report();
         let newst = r.row(Variant::Newst).unwrap();
         let union = r.row(Variant::Union).unwrap();
-        assert!(union.f1 + 0.05 >= newst.f1 * 0.5, "NEWST-U collapsed: {union:?}");
+        assert!(
+            union.f1 + 0.05 >= newst.f1 * 0.5,
+            "NEWST-U collapsed: {union:?}"
+        );
     }
 
     #[test]

@@ -50,7 +50,12 @@ pub fn run(ctx: &ExperimentContext<'_>, limit: usize) -> Table4Report {
             config: RepagerConfig::default(),
             variant: Variant::Newst,
         };
-        let Ok(output) = ctx.system.generate(&request) else { continue };
+        // Bypass the result cache: this experiment *measures* the pipeline,
+        // and an identical request may already have been cached by an
+        // earlier experiment in the same process.
+        let Ok(output) = ctx.system.generate_uncached(&request) else {
+            continue;
+        };
         if output.reading_list.is_empty() {
             continue;
         }
@@ -58,7 +63,7 @@ pub fn run(ctx: &ExperimentContext<'_>, limit: usize) -> Table4Report {
             query: survey.query.clone(),
             nodes: output.subgraph_nodes,
             edges: output.subgraph_edges,
-            millis: output.elapsed.as_secs_f64() * 1000.0,
+            millis: output.timings.total.as_secs_f64() * 1000.0,
         });
     }
     if measured.is_empty() {
@@ -83,7 +88,10 @@ pub fn run(ctx: &ExperimentContext<'_>, limit: usize) -> Table4Report {
         millis: measured.iter().map(|c| c.millis).sum::<f64>() / n,
     };
 
-    Table4Report { cases, average: Some(average) }
+    Table4Report {
+        cases,
+        average: Some(average),
+    }
 }
 
 /// Formats the report in the layout of Table IV.
@@ -154,7 +162,11 @@ mod tests {
         let ctx = ExperimentContext::for_tests(&corpus);
         let report = run(&ctx, 3);
         if let Some(avg) = &report.average {
-            assert!(avg.millis < 5_000.0, "average runtime {:.1}ms is implausibly slow", avg.millis);
+            assert!(
+                avg.millis < 5_000.0,
+                "average runtime {:.1}ms is implausibly slow",
+                avg.millis
+            );
         }
     }
 

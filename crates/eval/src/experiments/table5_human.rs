@@ -37,7 +37,11 @@ pub struct Table5Report {
     pub queries_per_domain: Vec<(String, usize)>,
 }
 
-fn surveys_of_domain<'a>(ctx: &'a ExperimentContext<'_>, domain: Domain, limit: usize) -> Vec<&'a Survey> {
+fn surveys_of_domain<'a>(
+    ctx: &'a ExperimentContext<'_>,
+    domain: Domain,
+    limit: usize,
+) -> Vec<&'a Survey> {
     ctx.set
         .surveys
         .iter()
@@ -53,7 +57,11 @@ fn surveys_of_domain<'a>(ctx: &'a ExperimentContext<'_>, domain: Domain, limit: 
 }
 
 /// Runs the proxy human evaluation for the two Table V domains.
-pub fn run(ctx: &ExperimentContext<'_>, queries_per_domain: usize, list_length: usize) -> Table5Report {
+pub fn run(
+    ctx: &ExperimentContext<'_>,
+    queries_per_domain: usize,
+    list_length: usize,
+) -> Table5Report {
     let domains = [
         ("AI", Domain::ArtificialIntelligence),
         ("DM", Domain::DatabaseDataMiningIr),
@@ -104,7 +112,10 @@ pub fn run(ctx: &ExperimentContext<'_>, queries_per_domain: usize, list_length: 
             });
         }
     }
-    Table5Report { rows, queries_per_domain: per_domain_counts }
+    Table5Report {
+        rows,
+        queries_per_domain: per_domain_counts,
+    }
 }
 
 /// Formats the report in the layout of Table V.
@@ -124,7 +135,13 @@ pub fn format(report: &Table5Report) -> String {
         .collect();
     let mut out = format_table(
         "Table V — human evaluation proxy (A = Google Scholar, B = NEWST)",
-        &["Domain", "Criterion", "Prefer A (%)", "Same (%)", "Prefer B (%)"],
+        &[
+            "Domain",
+            "Criterion",
+            "Prefer A (%)",
+            "Same (%)",
+            "Prefer B (%)",
+        ],
         &rows,
     );
     for (domain, count) in &report.queries_per_domain {
@@ -150,7 +167,10 @@ mod tests {
         assert_eq!(r.rows.len(), 6, "2 domains x 3 criteria");
         for row in &r.rows {
             let total = row.shares.prefer_a + row.shares.same + row.shares.prefer_b;
-            assert!(total == 0.0 || (total - 1.0).abs() < 1e-9, "shares must sum to 1: {row:?}");
+            assert!(
+                total == 0.0 || (total - 1.0).abs() < 1e-9,
+                "shares must sum to 1: {row:?}"
+            );
         }
         assert_eq!(r.queries_per_domain.len(), 2);
     }
@@ -160,14 +180,20 @@ mod tests {
         // The paper's strongest result: on "prerequisite", nobody prefers the
         // flat engine list.  Require at least a clear advantage for NEWST.
         let r = report();
-        let prereq_rows: Vec<_> =
-            r.rows.iter().filter(|row| row.criterion == "Prerequisite").collect();
+        let prereq_rows: Vec<_> = r
+            .rows
+            .iter()
+            .filter(|row| row.criterion == "Prerequisite")
+            .collect();
         assert!(!prereq_rows.is_empty());
-        let b: f64 = prereq_rows.iter().map(|r| r.shares.prefer_b).sum::<f64>()
-            / prereq_rows.len() as f64;
-        let a: f64 = prereq_rows.iter().map(|r| r.shares.prefer_a).sum::<f64>()
-            / prereq_rows.len() as f64;
-        assert!(b >= a, "NEWST should win the prerequisite criterion (B={b:.2} vs A={a:.2})");
+        let b: f64 =
+            prereq_rows.iter().map(|r| r.shares.prefer_b).sum::<f64>() / prereq_rows.len() as f64;
+        let a: f64 =
+            prereq_rows.iter().map(|r| r.shares.prefer_a).sum::<f64>() / prereq_rows.len() as f64;
+        assert!(
+            b >= a,
+            "NEWST should win the prerequisite criterion (B={b:.2} vs A={a:.2})"
+        );
     }
 
     #[test]

@@ -36,8 +36,11 @@ pub enum Criterion {
 
 impl Criterion {
     /// All criteria in Table V order.
-    pub const ALL: [Criterion; 3] =
-        [Criterion::Prerequisite, Criterion::Relevance, Criterion::Completeness];
+    pub const ALL: [Criterion; 3] = [
+        Criterion::Prerequisite,
+        Criterion::Relevance,
+        Criterion::Completeness,
+    ];
 
     /// Display name.
     pub fn name(self) -> &'static str {
@@ -209,7 +212,10 @@ mod tests {
     use rpg_corpus::{generate, CorpusConfig};
 
     fn corpus() -> Corpus {
-        generate(&CorpusConfig { seed: 131, ..CorpusConfig::small() })
+        generate(&CorpusConfig {
+            seed: 131,
+            ..CorpusConfig::small()
+        })
     }
 
     #[test]
@@ -300,7 +306,10 @@ mod tests {
         let output: Vec<PaperId> = survey.label(LabelLevel::AtLeastOne);
         for criterion in Criterion::ALL {
             let score = criterion_score(&c, survey, &output, criterion);
-            assert!((0.0..=1.0).contains(&score), "{criterion:?} score {score} out of range");
+            assert!(
+                (0.0..=1.0).contains(&score),
+                "{criterion:?} score {score} out of range"
+            );
             assert!(!criterion.name().is_empty());
         }
     }

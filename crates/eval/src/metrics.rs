@@ -60,8 +60,17 @@ pub fn overlap(generated: &[PaperId], truth: &[PaperId]) -> OverlapMetrics {
     let h = hits(generated, truth);
     let p = precision(generated, truth);
     let r = recall(generated, truth);
-    let f1 = if p + r == 0.0 { 0.0 } else { 2.0 * p * r / (p + r) };
-    OverlapMetrics { precision: p, recall: r, f1, hits: h }
+    let f1 = if p + r == 0.0 {
+        0.0
+    } else {
+        2.0 * p * r / (p + r)
+    };
+    OverlapMetrics {
+        precision: p,
+        recall: r,
+        f1,
+        hits: h,
+    }
 }
 
 /// The overlap ratio of Fig. 2: the fraction of the ground truth covered by a
@@ -120,7 +129,9 @@ pub fn ndcg(ranked: &[PaperId], truth: &[PaperId]) -> f64 {
         })
         .sum();
     let ideal_hits = truth.len().min(ranked.len());
-    let ideal: f64 = (0..ideal_hits).map(|rank| 1.0 / ((rank + 2) as f64).log2()).sum();
+    let ideal: f64 = (0..ideal_hits)
+        .map(|rank| 1.0 / ((rank + 2) as f64).log2())
+        .sum();
     if ideal == 0.0 {
         0.0
     } else {
@@ -180,9 +191,9 @@ mod tests {
         let truth = p(&[1, 2]);
         assert_eq!(precision(&generated, &truth), 1.0);
         assert_eq!(recall(&generated, &truth), 1.0); // hits counts slots, 2/2 of truth? no:
-        // hits = 2 (two slots match), truth = 2 -> recall 1.0 is an artefact of
-        // duplicate slots; callers deduplicate generated lists, which every
-        // method in this workspace does.
+                                                     // hits = 2 (two slots match), truth = 2 -> recall 1.0 is an artefact of
+                                                     // duplicate slots; callers deduplicate generated lists, which every
+                                                     // method in this workspace does.
     }
 
     #[test]

@@ -126,7 +126,10 @@ mod tests {
             name: String,
             values: Vec<f64>,
         }
-        let sample = Sample { name: "NEWST".into(), values: vec![0.1, 0.2] };
+        let sample = Sample {
+            name: "NEWST".into(),
+            values: vec![0.1, 0.2],
+        };
         let json = to_json(&sample).unwrap();
         assert!(json.contains("NEWST"));
         let back: Sample = serde_json::from_str(&json).unwrap();

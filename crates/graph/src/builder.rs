@@ -22,12 +22,18 @@ impl GraphBuilder {
     /// Creates a builder for a graph with `node_count` nodes (ids
     /// `0..node_count`).
     pub fn new(node_count: usize) -> Self {
-        GraphBuilder { node_count, edges: Vec::new() }
+        GraphBuilder {
+            node_count,
+            edges: Vec::new(),
+        }
     }
 
     /// Creates a builder and pre-reserves space for `edge_hint` edges.
     pub fn with_edge_capacity(node_count: usize, edge_hint: usize) -> Self {
-        GraphBuilder { node_count, edges: Vec::with_capacity(edge_hint) }
+        GraphBuilder {
+            node_count,
+            edges: Vec::with_capacity(edge_hint),
+        }
     }
 
     /// Number of nodes the built graph will have.
@@ -57,7 +63,10 @@ impl GraphBuilder {
         }
         for node in [citing, cited] {
             if node.index() >= self.node_count {
-                return Err(GraphError::NodeOutOfBounds { node, node_count: self.node_count });
+                return Err(GraphError::NodeOutOfBounds {
+                    node,
+                    node_count: self.node_count,
+                });
             }
         }
         self.edges.push((citing, cited));
@@ -66,7 +75,11 @@ impl GraphBuilder {
 
     /// Records a citation, growing the node space as needed.  Convenient for
     /// loading edge lists whose node universe is not known up front.
-    pub fn add_citation_growing(&mut self, citing: NodeId, cited: NodeId) -> Result<(), GraphError> {
+    pub fn add_citation_growing(
+        &mut self,
+        citing: NodeId,
+        cited: NodeId,
+    ) -> Result<(), GraphError> {
         self.ensure_node(citing);
         self.ensure_node(cited);
         self.add_citation(citing, cited)
@@ -184,7 +197,7 @@ mod tests {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "proptests"))]
 mod proptests {
     use super::*;
     use proptest::prelude::*;

@@ -32,7 +32,8 @@ impl Components {
         self.labels
             .iter()
             .enumerate()
-            .filter_map(|(i, &l)| (l == label).then(|| NodeId::from_index(i)))
+            .filter(|&(_, &l)| l == label)
+            .map(|(i, _)| NodeId::from_index(i))
             .collect()
     }
 
@@ -58,13 +59,15 @@ impl Components {
 fn relabel(uf: &mut UnionFind, n: usize) -> Components {
     let mut mapping = std::collections::HashMap::new();
     let mut labels = vec![0u32; n];
-    for i in 0..n {
+    for (i, slot) in labels.iter_mut().enumerate().take(n) {
         let root = uf.find(i);
         let next = mapping.len() as u32;
-        let label = *mapping.entry(root).or_insert(next);
-        labels[i] = label;
+        *slot = *mapping.entry(root).or_insert(next);
     }
-    Components { labels, count: mapping.len() }
+    Components {
+        labels,
+        count: mapping.len(),
+    }
 }
 
 /// Computes connected components of the undirected view of a citation graph.
@@ -89,10 +92,7 @@ pub fn weighted_components(graph: &WeightedGraph) -> Components {
 
 /// Checks that every node of `nodes` lies in one connected component of the
 /// weighted graph; returns the first offending node otherwise.
-pub fn all_in_one_component(
-    graph: &WeightedGraph,
-    nodes: &[NodeId],
-) -> Result<(), GraphError> {
+pub fn all_in_one_component(graph: &WeightedGraph, nodes: &[NodeId]) -> Result<(), GraphError> {
     let Some((&first, rest)) = nodes.split_first() else {
         return Err(GraphError::EmptyTerminalSet);
     };
@@ -157,9 +157,14 @@ mod tests {
         assert!(all_in_one_component(&g, &[NodeId(0), NodeId(1)]).is_ok());
         assert_eq!(
             all_in_one_component(&g, &[NodeId(0), NodeId(2)]),
-            Err(GraphError::TerminalsDisconnected { unreachable: NodeId(2) })
+            Err(GraphError::TerminalsDisconnected {
+                unreachable: NodeId(2)
+            })
         );
-        assert_eq!(all_in_one_component(&g, &[]), Err(GraphError::EmptyTerminalSet));
+        assert_eq!(
+            all_in_one_component(&g, &[]),
+            Err(GraphError::EmptyTerminalSet)
+        );
     }
 
     #[test]
@@ -171,7 +176,7 @@ mod tests {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "proptests"))]
 mod proptests {
     use super::*;
     use crate::GraphBuilder;

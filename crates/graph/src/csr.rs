@@ -38,7 +38,13 @@ impl CitationGraph {
         debug_assert_eq!(out_offsets.len(), in_offsets.len());
         debug_assert_eq!(out_targets.len(), in_targets.len());
         let edge_count = out_targets.len();
-        CitationGraph { out_offsets, out_targets, in_offsets, in_targets, edge_count }
+        CitationGraph {
+            out_offsets,
+            out_targets,
+            in_offsets,
+            in_targets,
+            edge_count,
+        }
     }
 
     /// Creates an empty graph with `node_count` isolated nodes.
@@ -81,7 +87,10 @@ impl CitationGraph {
         if self.contains(node) {
             Ok(())
         } else {
-            Err(GraphError::NodeOutOfBounds { node, node_count: self.node_count() })
+            Err(GraphError::NodeOutOfBounds {
+                node,
+                node_count: self.node_count(),
+            })
         }
     }
 
@@ -142,7 +151,8 @@ impl CitationGraph {
 
     /// Iterates over all directed edges as `(citing, cited)` pairs.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
-        self.nodes().flat_map(move |u| self.references(u).iter().map(move |&v| (u, v)))
+        self.nodes()
+            .flat_map(move |u| self.references(u).iter().map(move |&v| (u, v)))
     }
 
     /// Iterates over the undirected neighbours of `node` (references followed
@@ -151,7 +161,10 @@ impl CitationGraph {
     /// paper in a well-formed corpus); if the input data violates this, the
     /// duplicate is harmless for traversal purposes.
     pub fn neighbors_undirected(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_ {
-        self.references(node).iter().copied().chain(self.cited_by(node).iter().copied())
+        self.references(node)
+            .iter()
+            .copied()
+            .chain(self.cited_by(node).iter().copied())
     }
 
     /// Total number of citation edges incident to `node` whose other endpoint
@@ -241,7 +254,10 @@ mod tests {
         assert!(g.check_node(NodeId(4)).is_ok());
         assert_eq!(
             g.check_node(NodeId(5)),
-            Err(GraphError::NodeOutOfBounds { node: NodeId(5), node_count: 5 })
+            Err(GraphError::NodeOutOfBounds {
+                node: NodeId(5),
+                node_count: 5
+            })
         );
     }
 

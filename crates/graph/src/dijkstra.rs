@@ -42,7 +42,7 @@ impl ShortestPath {
     }
 }
 
-#[derive(Debug, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 struct HeapEntry {
     cost: f64,
     node: NodeId,
@@ -54,7 +54,10 @@ impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse so the BinaryHeap acts as a min-heap; costs are finite and
         // non-NaN by construction of WeightedGraph.
-        other.cost.partial_cmp(&self.cost).unwrap_or(Ordering::Equal)
+        other
+            .cost
+            .partial_cmp(&self.cost)
+            .unwrap_or(Ordering::Equal)
     }
 }
 
@@ -64,44 +67,184 @@ impl PartialOrd for HeapEntry {
     }
 }
 
-/// Computes, for every node, the cheapest cost of reaching it from `source`
-/// under the node+edge cost convention, together with predecessor links.
+/// A reusable Dijkstra workspace: the binary heap plus the per-node
+/// distance/predecessor/settled state.
 ///
-/// Returns `(costs, predecessors)`, where unreachable nodes have
-/// `f64::INFINITY` cost and `None` predecessor.
-pub fn single_source(
+/// The KMB Steiner heuristic runs one single-source search per terminal over
+/// the same graph; allocating these vectors once per *graph* instead of once
+/// per *source* removes the dominant allocation cost of that loop. Staleness
+/// is tracked with per-slot generation stamps, so starting a new run is O(1)
+/// — no `fill` over the whole vector between sources.
+///
+/// A scratch is not tied to one graph: it grows to the largest node count it
+/// has seen and can be reused across graphs of different sizes.
+#[derive(Debug, Default, Clone)]
+pub struct DijkstraScratch {
+    dist: Vec<f64>,
+    prev: Vec<Option<NodeId>>,
+    settled: Vec<bool>,
+    stamp: Vec<u32>,
+    generation: u32,
+    heap: BinaryHeap<HeapEntry>,
+}
+
+impl DijkstraScratch {
+    /// An empty scratch; buffers are allocated lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A scratch pre-sized for graphs of up to `nodes` nodes.
+    pub fn with_capacity(nodes: usize) -> Self {
+        let mut scratch = Self::default();
+        scratch.grow(nodes);
+        scratch
+    }
+
+    fn grow(&mut self, n: usize) {
+        if self.dist.len() < n {
+            self.dist.resize(n, f64::INFINITY);
+            self.prev.resize(n, None);
+            self.settled.resize(n, false);
+            self.stamp.resize(n, 0);
+        }
+    }
+
+    /// Starts a new run over a graph with `n` nodes: grows the buffers if
+    /// needed and invalidates all previous state.
+    fn begin_run(&mut self, n: usize) {
+        self.grow(n);
+        self.heap.clear();
+        if self.generation == u32::MAX {
+            // Stamp wrap-around: reset everything once every 2^32 runs.
+            self.stamp.fill(0);
+            self.generation = 0;
+        }
+        self.generation += 1;
+    }
+
+    #[inline]
+    fn is_current(&self, index: usize) -> bool {
+        self.stamp[index] == self.generation
+    }
+
+    #[inline]
+    fn set_dist(&mut self, index: usize, cost: f64, prev: Option<NodeId>) {
+        if !self.is_current(index) {
+            self.stamp[index] = self.generation;
+            self.settled[index] = false;
+        }
+        self.dist[index] = cost;
+        self.prev[index] = prev;
+    }
+
+    /// The cost of the last run's source-to-`node` path
+    /// (`f64::INFINITY` if unreached).
+    #[inline]
+    pub fn dist(&self, node: NodeId) -> f64 {
+        let i = node.index();
+        if i < self.dist.len() && self.is_current(i) {
+            self.dist[i]
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// The predecessor of `node` on its cheapest path from the last run's
+    /// source.
+    #[inline]
+    pub fn predecessor(&self, node: NodeId) -> Option<NodeId> {
+        let i = node.index();
+        if i < self.prev.len() && self.is_current(i) {
+            self.prev[i]
+        } else {
+            None
+        }
+    }
+
+    /// Reconstructs the node sequence from the last run's source to `target`
+    /// (inclusive), or `None` if `target` was unreached.
+    pub fn path_to(&self, target: NodeId) -> Option<Vec<NodeId>> {
+        if self.dist(target).is_infinite() {
+            return None;
+        }
+        let mut nodes = vec![target];
+        let mut current = target;
+        while let Some(p) = self.predecessor(current) {
+            nodes.push(p);
+            current = p;
+        }
+        nodes.reverse();
+        Some(nodes)
+    }
+}
+
+/// Runs a single-source search from `source`, leaving distances and
+/// predecessor links in `scratch` (read back via [`DijkstraScratch::dist`],
+/// [`DijkstraScratch::predecessor`] and [`DijkstraScratch::path_to`]).
+pub fn single_source_into(
     graph: &WeightedGraph,
     source: NodeId,
-) -> Result<(Vec<f64>, Vec<Option<NodeId>>), GraphError> {
+    scratch: &mut DijkstraScratch,
+) -> Result<(), GraphError> {
     graph.check_node(source)?;
-    let n = graph.node_count();
-    let mut dist = vec![f64::INFINITY; n];
-    let mut prev: Vec<Option<NodeId>> = vec![None; n];
-    let mut settled = vec![false; n];
-    let mut heap = BinaryHeap::new();
-    dist[source.index()] = 0.0;
-    heap.push(HeapEntry { cost: 0.0, node: source });
+    scratch.begin_run(graph.node_count());
+    scratch.set_dist(source.index(), 0.0, None);
+    scratch.heap.push(HeapEntry {
+        cost: 0.0,
+        node: source,
+    });
 
-    while let Some(HeapEntry { cost, node }) = heap.pop() {
-        if settled[node.index()] {
+    while let Some(HeapEntry { cost, node }) = scratch.heap.pop() {
+        let node_index = node.index();
+        if scratch.settled[node_index] {
             continue;
         }
-        settled[node.index()] = true;
+        scratch.settled[node_index] = true;
         for &(next, edge_cost) in graph.neighbors(node) {
-            if settled[next.index()] {
+            let next_index = next.index();
+            if scratch.is_current(next_index) && scratch.settled[next_index] {
                 continue;
             }
             // Entering `next` from `node`: pay the edge, plus `node`'s weight
             // if `node` is an interior vertex (i.e. not the source).
-            let interior_weight = if node == source { 0.0 } else { graph.node_weight(node) };
+            let interior_weight = if node == source {
+                0.0
+            } else {
+                graph.node_weight(node)
+            };
             let candidate = cost + edge_cost + interior_weight;
-            if candidate < dist[next.index()] {
-                dist[next.index()] = candidate;
-                prev[next.index()] = Some(node);
-                heap.push(HeapEntry { cost: candidate, node: next });
+            if candidate < scratch.dist(next) {
+                scratch.set_dist(next_index, candidate, Some(node));
+                scratch.heap.push(HeapEntry {
+                    cost: candidate,
+                    node: next,
+                });
             }
         }
     }
+    Ok(())
+}
+
+/// Computes, for every node, the cheapest cost of reaching it from `source`
+/// under the node+edge cost convention, together with predecessor links.
+///
+/// Returns `(costs, predecessors)`, where unreachable nodes have
+/// `f64::INFINITY` cost and `None` predecessor. Thin wrapper over
+/// [`single_source_into`] with a fresh scratch.
+pub fn single_source(
+    graph: &WeightedGraph,
+    source: NodeId,
+) -> Result<(Vec<f64>, Vec<Option<NodeId>>), GraphError> {
+    let mut scratch = DijkstraScratch::with_capacity(graph.node_count());
+    single_source_into(graph, source, &mut scratch)?;
+    let n = graph.node_count();
+    let dist = (0..n)
+        .map(|i| scratch.dist(NodeId::from_index(i)))
+        .collect();
+    let prev = (0..n)
+        .map(|i| scratch.predecessor(NodeId::from_index(i)))
+        .collect();
     Ok((dist, prev))
 }
 
@@ -136,20 +279,10 @@ pub fn shortest_path(
     source: NodeId,
     target: NodeId,
 ) -> Result<Option<ShortestPath>, GraphError> {
-    graph.check_node(target)?;
-    let (dist, prev) = single_source(graph, source)?;
-    if dist[target.index()].is_infinite() {
-        return Ok(None);
-    }
-    let mut nodes = vec![target];
-    let mut current = target;
-    while current != source {
-        let p = prev[current.index()].expect("finite-cost node has a predecessor");
-        nodes.push(p);
-        current = p;
-    }
-    nodes.reverse();
-    Ok(Some(ShortestPath { nodes, cost: dist[target.index()] }))
+    let mut scratch = DijkstraScratch::with_capacity(graph.node_count());
+    Ok(shortest_paths_into(graph, source, &[target], &mut scratch)?
+        .pop()
+        .flatten())
 }
 
 /// Computes cheapest paths from `source` to each of `targets` with a single
@@ -159,25 +292,29 @@ pub fn shortest_paths_to(
     source: NodeId,
     targets: &[NodeId],
 ) -> Result<Vec<Option<ShortestPath>>, GraphError> {
+    let mut scratch = DijkstraScratch::with_capacity(graph.node_count());
+    shortest_paths_into(graph, source, targets, &mut scratch)
+}
+
+/// Like [`shortest_paths_to`], but reusing a caller-provided scratch so
+/// repeated runs over the same graph (one per KMB terminal) skip the per-run
+/// allocations.
+pub fn shortest_paths_into(
+    graph: &WeightedGraph,
+    source: NodeId,
+    targets: &[NodeId],
+    scratch: &mut DijkstraScratch,
+) -> Result<Vec<Option<ShortestPath>>, GraphError> {
     for &t in targets {
         graph.check_node(t)?;
     }
-    let (dist, prev) = single_source(graph, source)?;
+    single_source_into(graph, source, scratch)?;
     let mut out = Vec::with_capacity(targets.len());
     for &target in targets {
-        if dist[target.index()].is_infinite() {
-            out.push(None);
-            continue;
-        }
-        let mut nodes = vec![target];
-        let mut current = target;
-        while current != source {
-            let p = prev[current.index()].expect("finite-cost node has a predecessor");
-            nodes.push(p);
-            current = p;
-        }
-        nodes.reverse();
-        out.push(Some(ShortestPath { nodes, cost: dist[target.index()] }));
+        out.push(scratch.path_to(target).map(|nodes| ShortestPath {
+            nodes,
+            cost: scratch.dist(target),
+        }));
     }
     Ok(out)
 }
@@ -273,25 +410,53 @@ mod tests {
         assert!(shortest_path(&g, NodeId(0), NodeId(9)).is_err());
         assert!(single_source(&g, NodeId(9)).is_err());
     }
+
+    #[test]
+    fn reused_scratch_matches_fresh_runs() {
+        let g = fixture();
+        let mut scratch = DijkstraScratch::new();
+        let targets = [NodeId(0), NodeId(1), NodeId(2), NodeId(3)];
+        // Run from every source through the same scratch; each run must match
+        // an independent fresh-allocation run exactly.
+        for source in targets {
+            let reused = shortest_paths_into(&g, source, &targets, &mut scratch).unwrap();
+            let fresh = shortest_paths_to(&g, source, &targets).unwrap();
+            assert_eq!(reused, fresh, "scratch reuse changed results from {source}");
+        }
+    }
+
+    #[test]
+    fn scratch_survives_graphs_of_different_sizes() {
+        let big = fixture();
+        let mut small = WeightedGraph::with_zero_weights(2);
+        small.add_edge(NodeId(0), NodeId(1), 3.0).unwrap();
+        let mut scratch = DijkstraScratch::new();
+        single_source_into(&big, NodeId(0), &mut scratch).unwrap();
+        single_source_into(&small, NodeId(1), &mut scratch).unwrap();
+        assert_eq!(scratch.dist(NodeId(0)), 3.0);
+        // Stale state from the larger graph's run must not leak through.
+        assert!(scratch.dist(NodeId(3)).is_infinite());
+        single_source_into(&big, NodeId(2), &mut scratch).unwrap();
+        assert_eq!(scratch.dist(NodeId(2)), 0.0);
+        assert!(scratch.path_to(NodeId(0)).is_some());
+    }
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "proptests"))]
 mod proptests {
     use super::*;
     use proptest::prelude::*;
 
-    fn random_graph(
-        n: usize,
-        edges: &[(u32, u32, u16)],
-        weights: &[u16],
-    ) -> WeightedGraph {
-        let node_weights: Vec<f64> =
-            (0..n).map(|i| f64::from(weights[i % weights.len().max(1)])).collect();
+    fn random_graph(n: usize, edges: &[(u32, u32, u16)], weights: &[u16]) -> WeightedGraph {
+        let node_weights: Vec<f64> = (0..n)
+            .map(|i| f64::from(weights[i % weights.len().max(1)]))
+            .collect();
         let mut g = WeightedGraph::new(node_weights).unwrap();
         for &(a, b, c) in edges {
             let (a, b) = ((a as usize % n) as u32, (b as usize % n) as u32);
             if a != b {
-                g.add_edge(NodeId(a), NodeId(b), f64::from(c) + 1.0).unwrap();
+                g.add_edge(NodeId(a), NodeId(b), f64::from(c) + 1.0)
+                    .unwrap();
             }
         }
         g

@@ -38,11 +38,17 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::NodeOutOfBounds { node, node_count } => {
-                write!(f, "node {node} out of bounds for graph with {node_count} nodes")
+                write!(
+                    f,
+                    "node {node} out of bounds for graph with {node_count} nodes"
+                )
             }
             GraphError::EmptyTerminalSet => write!(f, "terminal set is empty"),
             GraphError::TerminalsDisconnected { unreachable } => {
-                write!(f, "terminal {unreachable} is not connected to the other terminals")
+                write!(
+                    f,
+                    "terminal {unreachable} is not connected to the other terminals"
+                )
             }
             GraphError::InvalidWeight { what } => write!(f, "invalid weight: {what}"),
             GraphError::SelfLoop { node } => write!(f, "self-loop on node {node}"),
@@ -58,7 +64,10 @@ mod tests {
 
     #[test]
     fn display_mentions_node_and_bounds() {
-        let err = GraphError::NodeOutOfBounds { node: NodeId(9), node_count: 4 };
+        let err = GraphError::NodeOutOfBounds {
+            node: NodeId(9),
+            node_count: 4,
+        };
         let msg = err.to_string();
         assert!(msg.contains("n9"));
         assert!(msg.contains('4'));
@@ -66,7 +75,9 @@ mod tests {
 
     #[test]
     fn display_for_disconnected_terminals() {
-        let err = GraphError::TerminalsDisconnected { unreachable: NodeId(3) };
+        let err = GraphError::TerminalsDisconnected {
+            unreachable: NodeId(3),
+        };
         assert!(err.to_string().contains("n3"));
     }
 

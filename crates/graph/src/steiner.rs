@@ -27,7 +27,7 @@
 //! Step 5 is the standard final step of KMB; the paper's Algorithm 1 lists
 //! steps 1–4 and inherits the same approximation bound.
 
-use crate::dijkstra::{shortest_paths_to, ShortestPath};
+use crate::dijkstra::{shortest_paths_into, DijkstraScratch, ShortestPath};
 use crate::mst::{minimum_spanning_forest, mst_of_subset, UnionFind};
 use crate::{GraphError, NodeId, WeightedGraph};
 use std::collections::HashMap;
@@ -86,8 +86,12 @@ impl SteinerTree {
         if self.edges.len() + 1 != self.nodes.len() {
             return false;
         }
-        let index: HashMap<NodeId, usize> =
-            self.nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        let index: HashMap<NodeId, usize> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (n, i))
+            .collect();
         let mut uf = UnionFind::new(self.nodes.len());
         for &(a, b) in &self.edges {
             let (Some(&ia), Some(&ib)) = (index.get(&a), index.get(&b)) else {
@@ -130,9 +134,18 @@ fn finalize_tree(
     nodes.sort_unstable();
     nodes.dedup();
 
-    let edge_cost: f64 = edges.iter().map(|&(a, b)| graph.edge_cost(a, b).unwrap_or(0.0)).sum();
+    let edge_cost: f64 = edges
+        .iter()
+        .map(|&(a, b)| graph.edge_cost(a, b).unwrap_or(0.0))
+        .sum();
     let node_weight: f64 = nodes.iter().map(|&n| graph.node_weight(n)).sum();
-    SteinerTree { nodes, edges, total_cost: edge_cost + node_weight, edge_cost, node_weight }
+    SteinerTree {
+        nodes,
+        edges,
+        total_cost: edge_cost + node_weight,
+        edge_cost,
+        node_weight,
+    }
 }
 
 /// Computes an approximate node-edge weighted Steiner tree spanning
@@ -140,9 +153,22 @@ fn finalize_tree(
 ///
 /// Errors if the terminal set is empty, contains out-of-bounds nodes, or is
 /// not contained in a single connected component of `graph`.
+/// Thin wrapper over [`steiner_tree_with`] with a fresh scratch.
 pub fn steiner_tree(
     graph: &WeightedGraph,
     terminals: &[NodeId],
+) -> Result<SteinerTree, GraphError> {
+    let mut scratch = DijkstraScratch::with_capacity(graph.node_count());
+    steiner_tree_with(graph, terminals, &mut scratch)
+}
+
+/// [`steiner_tree`] with a caller-provided [`DijkstraScratch`], so the K
+/// single-source runs of the metric-closure step (step 1) share one heap and
+/// one set of distance/parent vectors instead of re-allocating per source.
+pub fn steiner_tree_with(
+    graph: &WeightedGraph,
+    terminals: &[NodeId],
+    scratch: &mut DijkstraScratch,
 ) -> Result<SteinerTree, GraphError> {
     if terminals.is_empty() {
         return Err(GraphError::EmptyTerminalSet);
@@ -162,11 +188,13 @@ pub fn steiner_tree(
     let k = terminals.len();
     let mut pairwise: Vec<Vec<Option<ShortestPath>>> = Vec::with_capacity(k);
     for &s in &terminals {
-        let paths = shortest_paths_to(graph, s, &terminals)?;
+        let paths = shortest_paths_into(graph, s, &terminals, scratch)?;
         // Reachability check: every other terminal must be reachable.
         for (j, p) in paths.iter().enumerate() {
             if p.is_none() {
-                return Err(GraphError::TerminalsDisconnected { unreachable: terminals[j] });
+                return Err(GraphError::TerminalsDisconnected {
+                    unreachable: terminals[j],
+                });
             }
         }
         pairwise.push(paths);
@@ -175,9 +203,9 @@ pub fn steiner_tree(
     // Step 2: MST of the complete distance graph, where node i of the closure
     // corresponds to terminals[i].
     let mut closure = WeightedGraph::with_zero_weights(k);
-    for i in 0..k {
-        for j in (i + 1)..k {
-            let cost = pairwise[i][j].as_ref().expect("checked reachable").cost;
+    for (i, row) in pairwise.iter().enumerate() {
+        for (j, path) in row.iter().enumerate().skip(i + 1) {
+            let cost = path.as_ref().expect("checked reachable").cost;
             closure.add_edge(NodeId::from_index(i), NodeId::from_index(j), cost)?;
         }
     }
@@ -187,7 +215,9 @@ pub fn steiner_tree(
     // the induced sub-graph's vertices.
     let mut sub_nodes: Vec<NodeId> = Vec::new();
     for &(ci, cj, _) in &closure_mst.edges {
-        let path = pairwise[ci.index()][cj.index()].as_ref().expect("checked reachable");
+        let path = pairwise[ci.index()][cj.index()]
+            .as_ref()
+            .expect("checked reachable");
         sub_nodes.extend_from_slice(&path.nodes);
     }
     sub_nodes.extend(terminals.iter().copied());
@@ -287,7 +317,10 @@ mod tests {
     #[test]
     fn empty_terminals_error() {
         let g = hub_graph();
-        assert_eq!(steiner_tree(&g, &[]).unwrap_err(), GraphError::EmptyTerminalSet);
+        assert_eq!(
+            steiner_tree(&g, &[]).unwrap_err(),
+            GraphError::EmptyTerminalSet
+        );
     }
 
     #[test]
@@ -296,6 +329,21 @@ mod tests {
         let t = steiner_tree(&g, &[NodeId(0), NodeId(1), NodeId(2)]).unwrap();
         let recomputed = g.subgraph_cost(&t.edges, &t.nodes);
         assert!((recomputed - t.total_cost).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shared_scratch_matches_fresh_scratch() {
+        let g = hub_graph();
+        let mut scratch = DijkstraScratch::new();
+        for terminals in [
+            vec![NodeId(0), NodeId(1), NodeId(2)],
+            vec![NodeId(0), NodeId(2)],
+            vec![NodeId(1)],
+        ] {
+            let reused = steiner_tree_with(&g, &terminals, &mut scratch).unwrap();
+            let fresh = steiner_tree(&g, &terminals).unwrap();
+            assert_eq!(reused, fresh);
+        }
     }
 
     #[test]
@@ -312,7 +360,7 @@ mod tests {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "proptests"))]
 mod proptests {
     use super::*;
     use proptest::prelude::*;
@@ -322,17 +370,20 @@ mod proptests {
         extra_edges: &[(u32, u32, u16)],
         weights: &[u16],
     ) -> WeightedGraph {
-        let node_weights: Vec<f64> =
-            (0..n).map(|i| f64::from(weights[i % weights.len().max(1)])).collect();
+        let node_weights: Vec<f64> = (0..n)
+            .map(|i| f64::from(weights[i % weights.len().max(1)]))
+            .collect();
         let mut g = WeightedGraph::new(node_weights).unwrap();
         // Spanning path guarantees connectivity.
         for i in 1..n {
-            g.add_edge(NodeId::from_index(i - 1), NodeId::from_index(i), 5.0).unwrap();
+            g.add_edge(NodeId::from_index(i - 1), NodeId::from_index(i), 5.0)
+                .unwrap();
         }
         for &(a, b, c) in extra_edges {
             let (a, b) = ((a as usize % n) as u32, (b as usize % n) as u32);
             if a != b {
-                g.add_edge(NodeId(a), NodeId(b), f64::from(c) + 0.5).unwrap();
+                g.add_edge(NodeId(a), NodeId(b), f64::from(c) + 0.5)
+                    .unwrap();
             }
         }
         g

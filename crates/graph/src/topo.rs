@@ -55,13 +55,20 @@ pub fn reading_order(graph: &CitationGraph, nodes: &[NodeId]) -> Result<TopoResu
     let mut pending: std::collections::HashMap<NodeId, usize> = subset
         .iter()
         .map(|&n| {
-            let deps = graph.references(n).iter().filter(|&&m| in_subset(m)).count();
+            let deps = graph
+                .references(n)
+                .iter()
+                .filter(|&&m| in_subset(m))
+                .count();
             (n, deps)
         })
         .collect();
 
-    let mut ready: VecDeque<NodeId> =
-        subset.iter().copied().filter(|&n| pending[&n] == 0).collect();
+    let mut ready: VecDeque<NodeId> = subset
+        .iter()
+        .copied()
+        .filter(|&n| pending[&n] == 0)
+        .collect();
     let mut order = Vec::with_capacity(subset.len());
 
     while let Some(n) = ready.pop_front() {
@@ -84,7 +91,10 @@ pub fn reading_order(graph: &CitationGraph, nodes: &[NodeId]) -> Result<TopoResu
         Ok(TopoResult::Acyclic(order))
     } else {
         let ordered: std::collections::HashSet<NodeId> = order.into_iter().collect();
-        let leftover = subset.into_iter().filter(|n| !ordered.contains(n)).collect();
+        let leftover = subset
+            .into_iter()
+            .filter(|n| !ordered.contains(n))
+            .collect();
         Ok(TopoResult::Cyclic(leftover))
     }
 }
@@ -165,7 +175,7 @@ mod tests {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "proptests"))]
 mod proptests {
     use super::*;
     use crate::GraphBuilder;

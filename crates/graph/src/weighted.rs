@@ -34,7 +34,11 @@ impl WeightedGraph {
             }
         }
         let n = node_weights.len();
-        Ok(WeightedGraph { node_weights, adjacency: vec![Vec::new(); n], edge_count: 0 })
+        Ok(WeightedGraph {
+            node_weights,
+            adjacency: vec![Vec::new(); n],
+            edge_count: 0,
+        })
     }
 
     /// Creates a graph of `node_count` nodes whose weights are all zero.
@@ -69,7 +73,10 @@ impl WeightedGraph {
         if self.contains(node) {
             Ok(())
         } else {
-            Err(GraphError::NodeOutOfBounds { node, node_count: self.node_count() })
+            Err(GraphError::NodeOutOfBounds {
+                node,
+                node_count: self.node_count(),
+            })
         }
     }
 
@@ -83,7 +90,9 @@ impl WeightedGraph {
     pub fn set_node_weight(&mut self, node: NodeId, weight: f64) -> Result<(), GraphError> {
         self.check_node(node)?;
         if !weight.is_finite() || weight < 0.0 {
-            return Err(GraphError::InvalidWeight { what: format!("node weight {weight}") });
+            return Err(GraphError::InvalidWeight {
+                what: format!("node weight {weight}"),
+            });
         }
         self.node_weights[node.index()] = weight;
         Ok(())
@@ -121,12 +130,11 @@ impl WeightedGraph {
         self.check_node(a)?;
         self.check_node(b)?;
         if !cost.is_finite() || cost < 0.0 {
-            return Err(GraphError::InvalidWeight { what: format!("edge cost {cost}") });
+            return Err(GraphError::InvalidWeight {
+                what: format!("edge cost {cost}"),
+            });
         }
-        let existing = self
-            .adjacency[a.index()]
-            .iter()
-            .position(|&(n, _)| n == b);
+        let existing = self.adjacency[a.index()].iter().position(|&(n, _)| n == b);
         match existing {
             Some(pos_a) => {
                 let current = self.adjacency[a.index()][pos_a].1;
@@ -159,7 +167,9 @@ impl WeightedGraph {
         self.check_node(a)?;
         self.check_node(b)?;
         if !cost.is_finite() || cost < 0.0 {
-            return Err(GraphError::InvalidWeight { what: format!("edge cost {cost}") });
+            return Err(GraphError::InvalidWeight {
+                what: format!("edge cost {cost}"),
+            });
         }
         let pos_a = self.adjacency[a.index()].iter().position(|&(n, _)| n == b);
         let pos_b = self.adjacency[b.index()].iter().position(|&(n, _)| n == a);
@@ -320,7 +330,9 @@ mod tests {
         assert!(g.set_edge_cost(NodeId(0), NodeId(1), -1.0).is_err());
         let mut disconnected = WeightedGraph::with_zero_weights(3);
         disconnected.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
-        assert!(disconnected.set_edge_cost(NodeId(0), NodeId(2), 1.0).is_err());
+        assert!(disconnected
+            .set_edge_cost(NodeId(0), NodeId(2), 1.0)
+            .is_err());
     }
 
     #[test]

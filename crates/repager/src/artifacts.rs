@@ -1,0 +1,113 @@
+//! Owned, shareable per-corpus artifacts.
+//!
+//! Everything the query pipeline needs that is a pure function of the corpus
+//! — the engine index, the seed engine, global PageRank, and the Eq. (3)
+//! node-weight table — is built once into a [`CorpusArtifacts`] and shared
+//! across threads behind an `Arc`. The borrowing [`crate::system::RePaGer`]
+//! facade recomputes these per instance; the serving layer
+//! (`rpg-service::PathService`) holds an `Arc<CorpusArtifacts>` so concurrent
+//! requests pay the build cost exactly once.
+
+use crate::weights::NodeWeights;
+use rpg_corpus::Corpus;
+use rpg_engines::{EngineIndex, ScholarEngine};
+use rpg_graph::pagerank::{pagerank_default, PageRankScores};
+use rpg_graph::GraphError;
+use std::sync::Arc;
+
+/// The immutable per-corpus state shared by every request.
+#[derive(Debug)]
+pub struct CorpusArtifacts {
+    corpus: Arc<Corpus>,
+    index: Arc<EngineIndex>,
+    scholar: ScholarEngine,
+    pagerank: PageRankScores,
+    node_weights: NodeWeights,
+}
+
+impl CorpusArtifacts {
+    /// Builds all artifacts for a corpus: engine index, seed engine, global
+    /// PageRank, and node weights.
+    ///
+    /// Errors if the corpus graph rejects the PageRank computation.
+    pub fn build(corpus: impl Into<Arc<Corpus>>) -> Result<Arc<Self>, GraphError> {
+        let corpus = corpus.into();
+        let index = EngineIndex::build(&corpus);
+        Self::with_index(corpus, index)
+    }
+
+    /// Builds the artifacts reusing an existing shared engine index (avoids
+    /// re-indexing when baselines share the same corpus).
+    pub fn with_index(
+        corpus: Arc<Corpus>,
+        index: Arc<EngineIndex>,
+    ) -> Result<Arc<Self>, GraphError> {
+        let scholar = ScholarEngine::from_index(index.clone());
+        let pagerank = pagerank_default(corpus.graph())?;
+        let node_weights = NodeWeights::build(&corpus, &pagerank);
+        Ok(Arc::new(CorpusArtifacts {
+            corpus,
+            index,
+            scholar,
+            pagerank,
+            node_weights,
+        }))
+    }
+
+    /// The corpus the artifacts were built from.
+    pub fn corpus(&self) -> &Corpus {
+        &self.corpus
+    }
+
+    /// The corpus as a shareable handle.
+    pub fn corpus_arc(&self) -> Arc<Corpus> {
+        self.corpus.clone()
+    }
+
+    /// The shared lexical engine index.
+    pub fn index(&self) -> &Arc<EngineIndex> {
+        &self.index
+    }
+
+    /// The seed search engine (Step 1).
+    pub fn scholar(&self) -> &ScholarEngine {
+        &self.scholar
+    }
+
+    /// Global PageRank scores (Step 2).
+    pub fn pagerank(&self) -> &PageRankScores {
+        &self.pagerank
+    }
+
+    /// The Eq. (3) node-weight table.
+    pub fn node_weights(&self) -> &NodeWeights {
+        &self.node_weights
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpg_corpus::{generate, CorpusConfig};
+
+    #[test]
+    fn artifacts_are_shareable_and_complete() {
+        let corpus = generate(&CorpusConfig {
+            seed: 31,
+            ..CorpusConfig::small()
+        });
+        let n = corpus.len();
+        let artifacts = CorpusArtifacts::build(corpus).unwrap();
+        assert_eq!(artifacts.corpus().len(), n);
+        assert_eq!(artifacts.index().len(), n);
+        assert_eq!(artifacts.node_weights().len(), n);
+        assert!(artifacts.pagerank().scores.len() == n);
+        // Sharing across threads only needs the Arc to be Send + Sync.
+        fn assert_send_sync<T: Send + Sync>(_: &T) {}
+        assert_send_sync(&artifacts);
+        let clone = artifacts.clone();
+        std::thread::spawn(move || clone.corpus().len())
+            .join()
+            .unwrap();
+    }
+}

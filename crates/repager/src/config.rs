@@ -1,6 +1,44 @@
 //! Configuration of the RePaGer pipeline and the NEWST model.
 
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A validation error for a [`RepagerConfig`] field.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// A cost-function constant is out of range (non-finite, negative where
+    /// positivity is required, ...).
+    InvalidConstant {
+        /// The parameter name as written in the paper (`alpha`, `beta`, ...).
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+        /// What the constraint is.
+        requirement: &'static str,
+    },
+    /// A count parameter that must be at least 1 was zero.
+    ZeroCount {
+        /// The parameter name.
+        name: &'static str,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::InvalidConstant {
+                name,
+                value,
+                requirement,
+            } => {
+                write!(f, "{name} must be {requirement}, got {value}")
+            }
+            ConfigError::ZeroCount { name } => write!(f, "{name} must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// All tunable parameters of RePaGer.
 ///
@@ -72,29 +110,59 @@ impl RepagerConfig {
         RepagerConfig { seed_count, ..self }
     }
 
-    /// Validates the configuration, returning a description of the first
-    /// problem found.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Validates the configuration, returning the first problem found as a
+    /// typed [`ConfigError`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.alpha <= 0.0 || !self.alpha.is_finite() {
-            return Err(format!("alpha must be positive and finite, got {}", self.alpha));
+            return Err(ConfigError::InvalidConstant {
+                name: "alpha",
+                value: self.alpha,
+                requirement: "positive and finite",
+            });
         }
         if self.beta < 0.0 || !self.beta.is_finite() {
-            return Err(format!("beta must be non-negative and finite, got {}", self.beta));
+            return Err(ConfigError::InvalidConstant {
+                name: "beta",
+                value: self.beta,
+                requirement: "non-negative and finite",
+            });
         }
         if self.gamma <= 0.0 || !self.gamma.is_finite() {
-            return Err(format!("gamma must be positive and finite, got {}", self.gamma));
+            return Err(ConfigError::InvalidConstant {
+                name: "gamma",
+                value: self.gamma,
+                requirement: "positive and finite",
+            });
         }
-        if self.a < 0.0 || self.b < 0.0 || self.a + self.b <= 0.0 {
-            return Err(format!("a and b must be non-negative with a positive sum, got a={} b={}", self.a, self.b));
+        let a_bad = self.a.is_nan() || self.a < 0.0;
+        let b_bad = self.b.is_nan() || self.b < 0.0;
+        if a_bad || b_bad {
+            let (name, value) = if a_bad { ("a", self.a) } else { ("b", self.b) };
+            return Err(ConfigError::InvalidConstant {
+                name,
+                value,
+                requirement: "non-negative",
+            });
+        }
+        if self.a + self.b <= 0.0 {
+            return Err(ConfigError::InvalidConstant {
+                name: "a + b",
+                value: self.a + self.b,
+                requirement: "positive",
+            });
         }
         if self.seed_count == 0 {
-            return Err("seed_count must be at least 1".to_string());
+            return Err(ConfigError::ZeroCount { name: "seed_count" });
         }
         if self.expansion_hops == 0 {
-            return Err("expansion_hops must be at least 1".to_string());
+            return Err(ConfigError::ZeroCount {
+                name: "expansion_hops",
+            });
         }
         if self.max_terminals == 0 {
-            return Err("max_terminals must be at least 1".to_string());
+            return Err(ConfigError::ZeroCount {
+                name: "max_terminals",
+            });
         }
         Ok(())
     }
@@ -124,13 +192,98 @@ mod tests {
 
     #[test]
     fn invalid_configs_are_rejected() {
-        assert!(RepagerConfig { alpha: 0.0, ..Default::default() }.validate().is_err());
-        assert!(RepagerConfig { beta: -1.0, ..Default::default() }.validate().is_err());
-        assert!(RepagerConfig { gamma: f64::NAN, ..Default::default() }.validate().is_err());
-        assert!(RepagerConfig { a: 0.0, b: 0.0, ..Default::default() }.validate().is_err());
-        assert!(RepagerConfig { seed_count: 0, ..Default::default() }.validate().is_err());
-        assert!(RepagerConfig { expansion_hops: 0, ..Default::default() }.validate().is_err());
-        assert!(RepagerConfig { max_terminals: 0, ..Default::default() }.validate().is_err());
+        assert!(RepagerConfig {
+            alpha: 0.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(RepagerConfig {
+            beta: -1.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(RepagerConfig {
+            gamma: f64::NAN,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(RepagerConfig {
+            a: 0.0,
+            b: 0.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(RepagerConfig {
+            seed_count: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(RepagerConfig {
+            expansion_hops: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(RepagerConfig {
+            max_terminals: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn validation_errors_are_typed_and_std_errors() {
+        let err = RepagerConfig {
+            alpha: 0.0,
+            ..Default::default()
+        }
+        .validate()
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            ConfigError::InvalidConstant { name: "alpha", .. }
+        ));
+        let err = RepagerConfig {
+            seed_count: 0,
+            ..Default::default()
+        }
+        .validate()
+        .unwrap_err();
+        assert_eq!(err, ConfigError::ZeroCount { name: "seed_count" });
+        // The error type plugs into the std error machinery and renders the
+        // offending field.
+        let boxed: Box<dyn std::error::Error> = Box::new(err);
+        assert!(boxed.to_string().contains("seed_count"));
+    }
+
+    #[test]
+    fn nan_blend_weights_are_rejected_and_blame_the_right_field() {
+        let err = RepagerConfig {
+            a: f64::NAN,
+            ..Default::default()
+        }
+        .validate()
+        .unwrap_err();
+        assert!(
+            matches!(err, ConfigError::InvalidConstant { name: "a", .. }),
+            "NaN `a` must be blamed on `a`, got {err}"
+        );
+        let err = RepagerConfig {
+            b: f64::NAN,
+            ..Default::default()
+        }
+        .validate()
+        .unwrap_err();
+        assert!(
+            matches!(err, ConfigError::InvalidConstant { name: "b", .. }),
+            "NaN `b` must be blamed on `b`, got {err}"
+        );
     }
 
     #[test]

@@ -29,18 +29,22 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod artifacts;
 pub mod config;
 pub mod newst;
 pub mod path;
 pub mod render;
 pub mod seeds;
 pub mod semantic;
+pub mod stages;
 pub mod subgraph;
 pub mod system;
 pub mod variants;
 pub mod weights;
 
-pub use config::RepagerConfig;
+pub use artifacts::CorpusArtifacts;
+pub use config::{ConfigError, RepagerConfig};
 pub use path::ReadingPath;
-pub use system::{RePaGer, RepagerOutput};
+pub use stages::{Stage, StageContext, StageTimings};
+pub use system::{RePaGer, RepagerError, RepagerOutput};
 pub use variants::Variant;

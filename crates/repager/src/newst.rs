@@ -15,7 +15,7 @@
 use crate::subgraph::SubGraph;
 use rpg_corpus::PaperId;
 use rpg_graph::components::weighted_components;
-use rpg_graph::steiner::steiner_tree;
+use rpg_graph::steiner::steiner_tree_with;
 use rpg_graph::GraphError;
 use serde::{Deserialize, Serialize};
 
@@ -75,7 +75,10 @@ impl NewstForest {
 
     /// All edges across all trees.
     pub fn edges(&self) -> Vec<(PaperId, PaperId)> {
-        self.trees.iter().flat_map(|t| t.edges.iter().copied()).collect()
+        self.trees
+            .iter()
+            .flat_map(|t| t.edges.iter().copied())
+            .collect()
     }
 
     /// Total cost over all trees.
@@ -99,7 +102,20 @@ impl NewstForest {
 /// Terminals missing from the sub-graph are reported in
 /// [`NewstForest::dropped_terminals`]; terminals in different components each
 /// get their own tree.  An empty usable-terminal set yields an empty forest.
+/// Thin wrapper over [`solve_with`] with a fresh Dijkstra scratch.
 pub fn solve(subgraph: &SubGraph, terminals: &[PaperId]) -> Result<NewstForest, GraphError> {
+    let mut scratch = rpg_graph::dijkstra::DijkstraScratch::new();
+    solve_with(subgraph, terminals, &mut scratch)
+}
+
+/// [`solve`] with a caller-provided [`rpg_graph::dijkstra::DijkstraScratch`],
+/// so the per-component KMB runs (and the service layer's repeated requests)
+/// reuse one Dijkstra workspace.
+pub fn solve_with(
+    subgraph: &SubGraph,
+    terminals: &[PaperId],
+    scratch: &mut rpg_graph::dijkstra::DijkstraScratch,
+) -> Result<NewstForest, GraphError> {
     let mut dropped = Vec::new();
     let mut local_terminals = Vec::new();
     for &t in terminals {
@@ -109,7 +125,10 @@ pub fn solve(subgraph: &SubGraph, terminals: &[PaperId]) -> Result<NewstForest, 
         }
     }
     if local_terminals.is_empty() {
-        return Ok(NewstForest { trees: Vec::new(), dropped_terminals: dropped });
+        return Ok(NewstForest {
+            trees: Vec::new(),
+            dropped_terminals: dropped,
+        });
     }
 
     // Group terminals by connected component of the weighted sub-graph.
@@ -117,7 +136,10 @@ pub fn solve(subgraph: &SubGraph, terminals: &[PaperId]) -> Result<NewstForest, 
     let mut per_component: std::collections::HashMap<u32, Vec<rpg_graph::NodeId>> =
         std::collections::HashMap::new();
     for &local in &local_terminals {
-        per_component.entry(components.label(local)).or_default().push(local);
+        per_component
+            .entry(components.label(local))
+            .or_default()
+            .push(local);
     }
 
     let mut trees = Vec::with_capacity(per_component.len());
@@ -125,7 +147,7 @@ pub fn solve(subgraph: &SubGraph, terminals: &[PaperId]) -> Result<NewstForest, 
     // Deterministic order: largest terminal group first, then by label.
     groups.sort_by(|a, b| b.1.len().cmp(&a.1.len()).then(a.0.cmp(&b.0)));
     for (_, group) in groups {
-        let tree = steiner_tree(&subgraph.weighted, &group)?;
+        let tree = steiner_tree_with(&subgraph.weighted, &group, scratch)?;
         trees.push(PaperTree {
             papers: subgraph.to_papers(&tree.nodes),
             edges: tree
@@ -137,7 +159,10 @@ pub fn solve(subgraph: &SubGraph, terminals: &[PaperId]) -> Result<NewstForest, 
         });
     }
 
-    Ok(NewstForest { trees, dropped_terminals: dropped })
+    Ok(NewstForest {
+        trees,
+        dropped_terminals: dropped,
+    })
 }
 
 #[cfg(test)]
@@ -146,7 +171,7 @@ mod tests {
     use crate::config::RepagerConfig;
     use crate::seeds::{reallocate, TerminalSelection};
     use crate::weights::NodeWeights;
-    use rpg_corpus::{generate, CorpusConfig, Corpus};
+    use rpg_corpus::{generate, Corpus, CorpusConfig};
     use rpg_engines::{EngineIndex, Query, ScholarEngine};
     use rpg_graph::pagerank::pagerank_default;
 
@@ -157,11 +182,18 @@ mod tests {
     }
 
     fn fixture() -> Fixture {
-        let corpus = generate(&CorpusConfig { seed: 81, ..CorpusConfig::small() });
+        let corpus = generate(&CorpusConfig {
+            seed: 81,
+            ..CorpusConfig::small()
+        });
         let pr = pagerank_default(corpus.graph()).unwrap();
         let node_weights = NodeWeights::build(&corpus, &pr);
         let scholar = ScholarEngine::from_index(EngineIndex::build(&corpus));
-        Fixture { corpus, node_weights, scholar }
+        Fixture {
+            corpus,
+            node_weights,
+            scholar,
+        }
     }
 
     fn forest_for_first_survey(f: &Fixture) -> (NewstForest, Vec<PaperId>, SubGraph) {
@@ -201,7 +233,10 @@ mod tests {
                 assert!(covered.contains(t), "terminal {t} not covered");
             }
         }
-        assert!(forest.dropped_terminals.iter().all(|t| sg.local_of(*t).is_none()));
+        assert!(forest
+            .dropped_terminals
+            .iter()
+            .all(|t| sg.local_of(*t).is_none()));
     }
 
     #[test]
@@ -221,7 +256,10 @@ mod tests {
             assert!(tree.cost.is_finite() && tree.cost >= 0.0);
         }
         assert!(forest.total_cost() >= 0.0);
-        assert_eq!(forest.len(), forest.trees.iter().map(|t| t.papers.len()).sum::<usize>());
+        assert_eq!(
+            forest.len(),
+            forest.trees.iter().map(|t| t.papers.len()).sum::<usize>()
+        );
     }
 
     #[test]

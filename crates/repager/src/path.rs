@@ -55,16 +55,22 @@ impl ReadingPath {
     /// The direct prerequisites of a paper on the path (papers with an edge
     /// into it).
     pub fn prerequisites_of(&self, paper: PaperId) -> Vec<PaperId> {
-        self.edges.iter().filter(|e| e.to == paper).map(|e| e.from).collect()
+        self.edges
+            .iter()
+            .filter(|e| e.to == paper)
+            .map(|e| e.from)
+            .collect()
     }
 
     /// Checks the core invariant: every edge's `from` appears before its `to`
     /// in the reading order.
     pub fn is_consistent(&self) -> bool {
-        self.edges.iter().all(|e| match (self.position(e.from), self.position(e.to)) {
-            (Some(a), Some(b)) => a < b,
-            _ => false,
-        })
+        self.edges
+            .iter()
+            .all(|e| match (self.position(e.from), self.position(e.to)) {
+                (Some(a), Some(b)) => a < b,
+                _ => false,
+            })
     }
 }
 
@@ -75,9 +81,7 @@ fn direct_edge(corpus: &Corpus, a: PaperId, b: PaperId) -> ReadingEdge {
     if corpus.graph().has_edge(a.node(), b.node()) {
         // a cites b -> b is the prerequisite.
         ReadingEdge { from: b, to: a }
-    } else if corpus.graph().has_edge(b.node(), a.node()) {
-        ReadingEdge { from: a, to: b }
-    } else if corpus.year(a) <= corpus.year(b) {
+    } else if corpus.graph().has_edge(b.node(), a.node()) || corpus.year(a) <= corpus.year(b) {
         ReadingEdge { from: a, to: b }
     } else {
         ReadingEdge { from: b, to: a }
@@ -114,7 +118,11 @@ pub fn assemble(corpus: &Corpus, forest: &NewstForest) -> ReadingPath {
         .map(|(a, b)| direct_edge(corpus, a, b))
         .collect();
 
-    let mut path = ReadingPath { order, edges, cost: forest.total_cost() };
+    let mut path = ReadingPath {
+        order,
+        edges,
+        cost: forest.total_cost(),
+    };
     // The topological order respects direct citations; tree edges between
     // papers with no direct citation are year-directed and might rarely
     // conflict with it.  Repair by sorting the order on (position constrained
@@ -131,10 +139,13 @@ pub fn assemble(corpus: &Corpus, forest: &NewstForest) -> ReadingPath {
 mod tests {
     use super::*;
     use crate::newst::{NewstForest, PaperTree};
-    use rpg_corpus::{generate, CorpusConfig, Corpus};
+    use rpg_corpus::{generate, Corpus, CorpusConfig};
 
     fn corpus() -> Corpus {
-        generate(&CorpusConfig { seed: 91, ..CorpusConfig::small() })
+        generate(&CorpusConfig {
+            seed: 91,
+            ..CorpusConfig::small()
+        })
     }
 
     /// Builds a small forest from a real citation chain in the corpus: pick a
@@ -145,13 +156,25 @@ mod tests {
             .iter()
             .find(|p| c.references_of(p.id).len() >= 2)
             .expect("generated corpus has papers with references");
-        let refs: Vec<PaperId> = c.references_of(citing.id).iter().take(2).map(|r| r.cited).collect();
+        let refs: Vec<PaperId> = c
+            .references_of(citing.id)
+            .iter()
+            .take(2)
+            .map(|r| r.cited)
+            .collect();
         let tree = PaperTree {
             papers: vec![citing.id, refs[0], refs[1]],
             edges: vec![(citing.id, refs[0]), (citing.id, refs[1])],
             cost: 1.0,
         };
-        (NewstForest { trees: vec![tree], dropped_terminals: vec![] }, citing.id, refs)
+        (
+            NewstForest {
+                trees: vec![tree],
+                dropped_terminals: vec![],
+            },
+            citing.id,
+            refs,
+        )
     }
 
     #[test]
@@ -171,7 +194,10 @@ mod tests {
         let (forest, citing, refs) = chain_forest(&c);
         let path = assemble(&c, &forest);
         for r in &refs {
-            assert!(path.edges.contains(&ReadingEdge { from: *r, to: citing }));
+            assert!(path.edges.contains(&ReadingEdge {
+                from: *r,
+                to: citing
+            }));
         }
         let prereqs = path.prerequisites_of(citing);
         assert_eq!(prereqs.len(), 2);
@@ -194,10 +220,19 @@ mod tests {
         papers.sort_by_key(|p| p.year);
         let old = papers.first().unwrap().id;
         let new = papers.last().unwrap().id;
-        let tree = PaperTree { papers: vec![old, new], edges: vec![(new, old)], cost: 0.0 };
-        let forest = NewstForest { trees: vec![tree], dropped_terminals: vec![] };
+        let tree = PaperTree {
+            papers: vec![old, new],
+            edges: vec![(new, old)],
+            cost: 0.0,
+        };
+        let forest = NewstForest {
+            trees: vec![tree],
+            dropped_terminals: vec![],
+        };
         let path = assemble(&c, &forest);
-        if !c.graph().has_edge(new.node(), old.node()) && !c.graph().has_edge(old.node(), new.node()) {
+        if !c.graph().has_edge(new.node(), old.node())
+            && !c.graph().has_edge(old.node(), new.node())
+        {
             assert!(path.position(old).unwrap() < path.position(new).unwrap());
         }
         assert!(path.is_consistent());

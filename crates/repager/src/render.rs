@@ -9,9 +9,9 @@
 
 use crate::path::ReadingPath;
 use crate::system::RepagerOutput;
-use rpg_corpus::{Corpus, PaperId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rpg_corpus::{Corpus, PaperId};
 use std::fmt::Write as _;
 
 fn title_of(corpus: &Corpus, paper: PaperId) -> String {
@@ -63,7 +63,14 @@ pub fn output_to_text(corpus: &Corpus, output: &RepagerOutput) -> String {
         output.forest.trees.len(),
         output.forest.total_cost(),
     );
-    let _ = writeln!(out, "generated in {:?}", output.elapsed);
+    let _ = writeln!(out, "generated in {:?}", output.timings.total);
+    let stage_line: Vec<String> = output
+        .timings
+        .stages()
+        .iter()
+        .map(|(name, d)| format!("{name} {:.2}ms", d.as_secs_f64() * 1e3))
+        .collect();
+    let _ = writeln!(out, "stage times: {}", stage_line.join(", "));
     let _ = writeln!(out, "\nreading path:");
     out.push_str(&path_to_text(corpus, &output.path));
     out
@@ -78,11 +85,24 @@ fn dot_escape(s: &str) -> String {
 /// paper was part of the engine's top results (grey) or was surfaced through
 /// the citation graph (green), mirroring Fig. 9's colour scheme.
 pub fn path_to_dot(corpus: &Corpus, path: &ReadingPath, engine_results: &[PaperId]) -> String {
-    let mut out = String::from("digraph reading_path {\n  rankdir=LR;\n  node [shape=box, style=filled];\n");
+    let mut out =
+        String::from("digraph reading_path {\n  rankdir=LR;\n  node [shape=box, style=filled];\n");
     for &paper in &path.order {
-        let colour = if engine_results.contains(&paper) { "lightgrey" } else { "palegreen" };
-        let label = format!("{}\\n({})", dot_escape(&title_of(corpus, paper)), corpus.year(paper));
-        let _ = writeln!(out, "  p{} [label=\"{}\", fillcolor={}];", paper.0, label, colour);
+        let colour = if engine_results.contains(&paper) {
+            "lightgrey"
+        } else {
+            "palegreen"
+        };
+        let label = format!(
+            "{}\\n({})",
+            dot_escape(&title_of(corpus, paper)),
+            corpus.year(paper)
+        );
+        let _ = writeln!(
+            out,
+            "  p{} [label=\"{}\", fillcolor={}];",
+            paper.0, label, colour
+        );
     }
     for edge in &path.edges {
         let _ = writeln!(out, "  p{} -> p{};", edge.from.0, edge.to.0);
@@ -95,8 +115,17 @@ pub fn path_to_dot(corpus: &Corpus, path: &ReadingPath, engine_results: &[PaperI
 /// (the Fig. 5 visualisation).  Nodes are coloured by topic domain.
 pub fn graph_sample_dot(corpus: &Corpus, sample_size: usize, seed: u64) -> String {
     const COLOURS: &[&str] = &[
-        "tomato", "gold", "palegreen", "skyblue", "plum", "orange", "turquoise", "salmon",
-        "khaki", "lightpink", "lightgrey",
+        "tomato",
+        "gold",
+        "palegreen",
+        "skyblue",
+        "plum",
+        "orange",
+        "turquoise",
+        "salmon",
+        "khaki",
+        "lightpink",
+        "lightgrey",
     ];
     let mut rng = StdRng::seed_from_u64(seed);
     if corpus.is_empty() || sample_size == 0 {
@@ -152,16 +181,21 @@ pub fn graph_sample_dot(corpus: &Corpus, sample_size: usize, seed: u64) -> Strin
 mod tests {
     use super::*;
     use crate::system::{PathRequest, RePaGer};
-    use rpg_corpus::{generate, CorpusConfig, Corpus};
+    use rpg_corpus::{generate, Corpus, CorpusConfig};
 
     fn corpus() -> Corpus {
-        generate(&CorpusConfig { seed: 111, ..CorpusConfig::small() })
+        generate(&CorpusConfig {
+            seed: 111,
+            ..CorpusConfig::small()
+        })
     }
 
     fn output(c: &Corpus) -> RepagerOutput {
-        let system = RePaGer::build(c);
+        let system = RePaGer::build(c).unwrap();
         let survey = c.survey_bank().iter().next().unwrap();
-        system.generate(&PathRequest::new(&survey.query, 25)).unwrap()
+        system
+            .generate(&PathRequest::new(&survey.query, 25))
+            .unwrap()
     }
 
     #[test]

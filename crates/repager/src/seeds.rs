@@ -137,19 +137,26 @@ pub fn reallocate(
 mod tests {
     use super::*;
     use crate::weights::NodeWeights;
-    use rpg_corpus::{generate, CorpusConfig, Corpus};
+    use rpg_corpus::{generate, Corpus, CorpusConfig};
     use rpg_engines::{EngineIndex, Query, ScholarEngine};
     use rpg_graph::pagerank::pagerank_default;
 
     fn setup() -> (Corpus, NodeWeights, ScholarEngine) {
-        let corpus = generate(&CorpusConfig { seed: 71, ..CorpusConfig::small() });
+        let corpus = generate(&CorpusConfig {
+            seed: 71,
+            ..CorpusConfig::small()
+        });
         let pr = pagerank_default(corpus.graph()).unwrap();
         let nw = NodeWeights::build(&corpus, &pr);
         let scholar = ScholarEngine::from_index(EngineIndex::build(&corpus));
         (corpus, nw, scholar)
     }
 
-    fn allocation(corpus: &Corpus, nw: &NodeWeights, scholar: &ScholarEngine) -> (SeedAllocation, SubGraph) {
+    fn allocation(
+        corpus: &Corpus,
+        nw: &NodeWeights,
+        scholar: &ScholarEngine,
+    ) -> (SeedAllocation, SubGraph) {
         let config = RepagerConfig::default();
         let survey = corpus.survey_bank().iter().next().unwrap();
         let seeds = scholar.seed_papers(&Query {
@@ -158,7 +165,15 @@ mod tests {
             max_year: Some(survey.year),
             exclude: &[survey.paper],
         });
-        let sg = SubGraph::build(corpus, nw, &seeds, &config, Some(survey.year), &[survey.paper]).unwrap();
+        let sg = SubGraph::build(
+            corpus,
+            nw,
+            &seeds,
+            &config,
+            Some(survey.year),
+            &[survey.paper],
+        )
+        .unwrap();
         (reallocate(corpus, &sg, &seeds, &config), sg)
     }
 
@@ -213,7 +228,10 @@ mod tests {
     fn terminal_selection_policies_relate_as_sets() {
         let (corpus, nw, scholar) = setup();
         let (alloc, _sg) = allocation(&corpus, &nw, &scholar);
-        let config = RepagerConfig { max_terminals: 10_000, ..Default::default() };
+        let config = RepagerConfig {
+            max_terminals: 10_000,
+            ..Default::default()
+        };
         let realloc = alloc.terminals(TerminalSelection::Reallocated, &config);
         let initial = alloc.terminals(TerminalSelection::InitialSeeds, &config);
         let union = alloc.terminals(TerminalSelection::Union, &config);
@@ -232,7 +250,10 @@ mod tests {
     fn max_terminals_caps_the_terminal_set() {
         let (corpus, nw, scholar) = setup();
         let (alloc, _sg) = allocation(&corpus, &nw, &scholar);
-        let config = RepagerConfig { max_terminals: 5, ..Default::default() };
+        let config = RepagerConfig {
+            max_terminals: 5,
+            ..Default::default()
+        };
         assert!(alloc.terminals(TerminalSelection::Union, &config).len() <= 5);
     }
 
@@ -253,19 +274,31 @@ mod tests {
             if seeds.is_empty() {
                 continue;
             }
-            let sg = SubGraph::build(&corpus, &nw, &seeds, &config, Some(survey.year), &[survey.paper]).unwrap();
+            let sg = SubGraph::build(
+                &corpus,
+                &nw,
+                &seeds,
+                &config,
+                Some(survey.year),
+                &[survey.paper],
+            )
+            .unwrap();
             let alloc = reallocate(&corpus, &sg, &seeds, &config);
             let survey_topic = corpus.paper(survey.paper).unwrap().topic;
-            if alloc
-                .reallocated
-                .iter()
-                .any(|&p| corpus.paper(p).map(|x| x.topic != survey_topic).unwrap_or(false))
-            {
+            if alloc.reallocated.iter().any(|&p| {
+                corpus
+                    .paper(p)
+                    .map(|x| x.topic != survey_topic)
+                    .unwrap_or(false)
+            }) {
                 found_cross_topic = true;
                 break;
             }
         }
-        assert!(found_cross_topic, "reallocation never surfaced a prerequisite-topic paper");
+        assert!(
+            found_cross_topic,
+            "reallocation never surfaced a prerequisite-topic paper"
+        );
     }
 
     #[test]
@@ -276,6 +309,8 @@ mod tests {
         let alloc = reallocate(&corpus, &sg, &[], &config);
         assert!(alloc.initial.is_empty());
         assert!(alloc.reallocated.is_empty());
-        assert!(alloc.terminals(TerminalSelection::Union, &config).is_empty());
+        assert!(alloc
+            .terminals(TerminalSelection::Union, &config)
+            .is_empty());
     }
 }

@@ -17,7 +17,7 @@ use crate::newst::{self, NewstForest};
 use crate::path::{self, ReadingPath};
 use crate::seeds::{reallocate, TerminalSelection};
 use crate::subgraph::SubGraph;
-use crate::system::{PathRequest, RePaGer};
+use crate::system::{PathRequest, RePaGer, RepagerError};
 use rpg_corpus::{Corpus, PaperId};
 use rpg_engines::Query;
 use rpg_graph::GraphError;
@@ -49,7 +49,10 @@ impl SemanticSimilarity {
     /// Semantic similarity between two papers, in `[0, 1]` for practical
     /// inputs (cosine of non-negative feature vectors).
     pub fn similarity(&self, a: PaperId, b: PaperId) -> f64 {
-        match (self.embeddings.get(a.index()), self.embeddings.get(b.index())) {
+        match (
+            self.embeddings.get(a.index()),
+            self.embeddings.get(b.index()),
+        ) {
             (Some(ea), Some(eb)) => cosine(ea, eb).max(0.0),
             _ => 0.0,
         }
@@ -78,12 +81,17 @@ pub fn apply_semantic_blend(
         return Ok(());
     }
     if !(blend.is_finite() && blend >= 0.0) {
-        return Err(GraphError::InvalidWeight { what: format!("semantic blend {blend}") });
+        return Err(GraphError::InvalidWeight {
+            what: format!("semantic blend {blend}"),
+        });
     }
-    let edges: Vec<(rpg_graph::NodeId, rpg_graph::NodeId, f64)> = subgraph.weighted.edges().collect();
+    let edges: Vec<(rpg_graph::NodeId, rpg_graph::NodeId, f64)> =
+        subgraph.weighted.edges().collect();
     for (a, b, cost) in edges {
         let sim = semantic.similarity(subgraph.paper_of(a), subgraph.paper_of(b));
-        subgraph.weighted.set_edge_cost(a, b, cost / (1.0 + blend * sim))?;
+        subgraph
+            .weighted
+            .set_edge_cost(a, b, cost / (1.0 + blend * sim))?;
     }
     Ok(())
 }
@@ -113,11 +121,8 @@ pub fn generate_with_semantics(
     request: &PathRequest<'_>,
     semantic: &SemanticSimilarity,
     blend: f64,
-) -> Result<SemanticOutput, GraphError> {
-    request
-        .config
-        .validate()
-        .map_err(|what| GraphError::InvalidWeight { what })?;
+) -> Result<SemanticOutput, RepagerError> {
+    request.config.validate()?;
     let config: RepagerConfig = request.config;
     let corpus = system.corpus();
 
@@ -179,7 +184,10 @@ mod tests {
     use rpg_graph::pagerank::pagerank_default;
 
     fn corpus() -> Corpus {
-        generate(&CorpusConfig { seed: 141, ..CorpusConfig::small() })
+        generate(&CorpusConfig {
+            seed: 141,
+            ..CorpusConfig::small()
+        })
     }
 
     #[test]
@@ -191,7 +199,12 @@ mod tests {
         // Two papers of the same topic should be more similar than two papers
         // of unrelated topics, on average over a few samples.
         let by_topic = |topic: rpg_corpus::TopicId| -> Vec<PaperId> {
-            c.research_papers().iter().filter(|p| p.topic == topic).take(3).map(|p| p.id).collect()
+            c.research_papers()
+                .iter()
+                .filter(|p| p.topic == topic)
+                .take(3)
+                .map(|p| p.id)
+                .collect()
         };
         let t0 = c.papers()[0].topic;
         let other = c
@@ -205,7 +218,10 @@ mod tests {
         if same.len() >= 2 && !different.is_empty() {
             let within = sem.similarity(same[0], same[1]);
             let across = sem.similarity(same[0], different[0]);
-            assert!(within >= across, "within-topic {within} < across-topic {across}");
+            assert!(
+                within >= across,
+                "within-topic {within} < across-topic {across}"
+            );
         }
         assert_eq!(sem.similarity(PaperId(u32::MAX), PaperId(0)), 0.0);
     }
@@ -253,7 +269,7 @@ mod tests {
     #[test]
     fn semantic_generation_produces_a_consistent_path() {
         let c = corpus();
-        let system = RePaGer::build(&c);
+        let system = RePaGer::build(&c).unwrap();
         let sem = SemanticSimilarity::build(&c);
         let survey = c.survey_bank().iter().next().unwrap();
         let exclude = [survey.paper];
@@ -275,7 +291,7 @@ mod tests {
     #[test]
     fn empty_query_yields_empty_semantic_output() {
         let c = corpus();
-        let system = RePaGer::build(&c);
+        let system = RePaGer::build(&c).unwrap();
         let sem = SemanticSimilarity::build(&c);
         let request = PathRequest::new("zzz qqq", 10);
         let output = generate_with_semantics(&system, &request, &sem, 1.0).unwrap();

@@ -1,0 +1,445 @@
+//! The RePaGer query path as an explicit five-stage pipeline.
+//!
+//! [`crate::system::RePaGer::generate`] used to be a monolith that walked all
+//! five steps of Fig. 6 inline. This module splits it into one [`Stage`] per
+//! step — [`SeedStage`] → [`SubgraphStage`] → [`ReallocStage`] →
+//! [`SteinerStage`] → [`RenderStage`] — driven by [`run_pipeline`], which
+//! times every stage into a [`StageTimings`] so per-request hot spots are
+//! observable, and threads a shared [`DijkstraScratch`] through the Steiner
+//! stage so the KMB heuristic's K single-source runs reuse one workspace.
+//!
+//! The stages borrow the corpus artifacts through a [`StageContext`]; both
+//! the borrowing [`crate::system::RePaGer`] facade and the owned
+//! `rpg-service::PathService` build one per request.
+
+use crate::config::RepagerConfig;
+use crate::newst::{self, NewstForest};
+use crate::path::{self, ReadingPath};
+use crate::seeds::{reallocate, SeedAllocation};
+use crate::subgraph::SubGraph;
+use crate::system::{PathRequest, RepagerError, RepagerOutput};
+use crate::weights::NodeWeights;
+use rpg_corpus::{Corpus, PaperId};
+use rpg_engines::{Query, ScholarEngine};
+use rpg_graph::dijkstra::DijkstraScratch;
+use rpg_graph::GraphError;
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// Wall-clock time of each pipeline stage of one request, plus the total.
+///
+/// The stage durations sum to slightly less than `total` (the difference is
+/// pipeline bookkeeping: validation, timing itself, and the early-exit
+/// branch).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageTimings {
+    /// Step 1 — initial seed retrieval from the engine.
+    pub seed: Duration,
+    /// Steps 2+3 — weighted sub-citation graph construction.
+    pub subgraph: Duration,
+    /// Step 4 — seed reallocation by co-occurrence.
+    pub realloc: Duration,
+    /// Step 5 — the NEWST Steiner optimisation.
+    pub steiner: Duration,
+    /// Path assembly and reading-list ranking.
+    pub render: Duration,
+    /// End-to-end wall-clock time of the request.
+    pub total: Duration,
+}
+
+impl StageTimings {
+    /// The five per-stage durations, labelled, in pipeline order.
+    pub fn stages(&self) -> [(&'static str, Duration); 5] {
+        [
+            ("seed", self.seed),
+            ("subgraph", self.subgraph),
+            ("realloc", self.realloc),
+            ("steiner", self.steiner),
+            ("render", self.render),
+        ]
+    }
+
+    /// Sum of the five stage durations (≤ [`StageTimings::total`]).
+    pub fn stage_sum(&self) -> Duration {
+        self.seed + self.subgraph + self.realloc + self.steiner + self.render
+    }
+}
+
+/// Everything a stage may read (and, for the scratch, mutate) while running
+/// one request: the shared corpus artifacts, the request, and the
+/// variant-applied configuration.
+pub struct StageContext<'a> {
+    /// The corpus being queried.
+    pub corpus: &'a Corpus,
+    /// The seed search engine.
+    pub scholar: &'a ScholarEngine,
+    /// PageRank + venue node weights (Eq. 3).
+    pub node_weights: &'a NodeWeights,
+    /// The request being served.
+    pub request: &'a PathRequest<'a>,
+    /// The request's configuration with the variant's ablations applied.
+    pub config: RepagerConfig,
+    /// Reusable Dijkstra workspace for the Steiner stage.
+    pub scratch: &'a mut DijkstraScratch,
+}
+
+/// One step of the pipeline: consumes the previous stage's output, produces
+/// its own.
+pub trait Stage {
+    /// What the stage consumes.
+    type Input;
+    /// What the stage produces.
+    type Output;
+
+    /// The stage name as reported in timings and diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// Runs the stage.
+    fn run(
+        &self,
+        cx: &mut StageContext<'_>,
+        input: Self::Input,
+    ) -> Result<Self::Output, GraphError>;
+}
+
+/// Step 1: initial seed papers from the engine.
+pub struct SeedStage;
+
+impl Stage for SeedStage {
+    type Input = ();
+    type Output = Vec<PaperId>;
+
+    fn name(&self) -> &'static str {
+        "seed"
+    }
+
+    fn run(&self, cx: &mut StageContext<'_>, _input: ()) -> Result<Vec<PaperId>, GraphError> {
+        Ok(cx.scholar.seed_papers(&Query {
+            text: cx.request.query,
+            top_k: cx.config.seed_count,
+            max_year: cx.request.max_year,
+            exclude: cx.request.exclude,
+        }))
+    }
+}
+
+/// Output of [`SubgraphStage`].
+pub struct SubgraphStageOutput {
+    /// The initial seeds (passed through for reallocation).
+    pub seeds: Vec<PaperId>,
+    /// The weighted sub-citation graph around them.
+    pub subgraph: SubGraph,
+}
+
+/// Steps 2+3: the weighted sub-citation graph around the seeds.
+pub struct SubgraphStage;
+
+impl Stage for SubgraphStage {
+    type Input = Vec<PaperId>;
+    type Output = SubgraphStageOutput;
+
+    fn name(&self) -> &'static str {
+        "subgraph"
+    }
+
+    fn run(
+        &self,
+        cx: &mut StageContext<'_>,
+        seeds: Vec<PaperId>,
+    ) -> Result<SubgraphStageOutput, GraphError> {
+        let subgraph = SubGraph::build(
+            cx.corpus,
+            cx.node_weights,
+            &seeds,
+            &cx.config,
+            cx.request.max_year,
+            cx.request.exclude,
+        )?;
+        Ok(SubgraphStageOutput { seeds, subgraph })
+    }
+}
+
+/// Output of [`ReallocStage`].
+pub struct ReallocStageOutput {
+    /// The sub-citation graph (passed through).
+    pub subgraph: SubGraph,
+    /// Initial seeds, reallocated seeds and co-occurrence counts.
+    pub allocation: SeedAllocation,
+    /// The compulsory terminals under the variant's selection policy.
+    pub terminals: Vec<PaperId>,
+}
+
+/// Step 4: seed reallocation by co-occurrence.
+pub struct ReallocStage;
+
+impl Stage for ReallocStage {
+    type Input = SubgraphStageOutput;
+    type Output = ReallocStageOutput;
+
+    fn name(&self) -> &'static str {
+        "realloc"
+    }
+
+    fn run(
+        &self,
+        cx: &mut StageContext<'_>,
+        input: SubgraphStageOutput,
+    ) -> Result<ReallocStageOutput, GraphError> {
+        let SubgraphStageOutput { seeds, subgraph } = input;
+        let allocation = reallocate(cx.corpus, &subgraph, &seeds, &cx.config);
+        let terminals = allocation.terminals(cx.request.variant.terminal_selection(), &cx.config);
+        Ok(ReallocStageOutput {
+            subgraph,
+            allocation,
+            terminals,
+        })
+    }
+}
+
+/// Output of [`SteinerStage`].
+pub struct SteinerStageOutput {
+    /// The sub-citation graph (passed through).
+    pub subgraph: SubGraph,
+    /// The seed allocation (passed through).
+    pub allocation: SeedAllocation,
+    /// The terminal set (passed through for NEWST-C ranking).
+    pub terminals: Vec<PaperId>,
+    /// The Steiner forest (empty for the NEWST-C variant).
+    pub forest: NewstForest,
+}
+
+/// Step 5: the NEWST Steiner optimisation (skipped by NEWST-C).
+pub struct SteinerStage;
+
+impl Stage for SteinerStage {
+    type Input = ReallocStageOutput;
+    type Output = SteinerStageOutput;
+
+    fn name(&self) -> &'static str {
+        "steiner"
+    }
+
+    fn run(
+        &self,
+        cx: &mut StageContext<'_>,
+        input: ReallocStageOutput,
+    ) -> Result<SteinerStageOutput, GraphError> {
+        let ReallocStageOutput {
+            subgraph,
+            allocation,
+            terminals,
+        } = input;
+        let forest = if cx.request.variant.runs_steiner() {
+            newst::solve_with(&subgraph, &terminals, cx.scratch)?
+        } else {
+            NewstForest::default()
+        };
+        Ok(SteinerStageOutput {
+            subgraph,
+            allocation,
+            terminals,
+            forest,
+        })
+    }
+}
+
+/// Final stage: assembles the structured reading path and the flattened
+/// ranked reading list.
+pub struct RenderStage;
+
+impl Stage for RenderStage {
+    type Input = SteinerStageOutput;
+    type Output = RepagerOutput;
+
+    fn name(&self) -> &'static str {
+        "render"
+    }
+
+    fn run(
+        &self,
+        cx: &mut StageContext<'_>,
+        input: SteinerStageOutput,
+    ) -> Result<RepagerOutput, GraphError> {
+        let SteinerStageOutput {
+            subgraph,
+            allocation,
+            terminals,
+            forest,
+        } = input;
+        let reading_path = if cx.request.variant.runs_steiner() {
+            path::assemble(cx.corpus, &forest)
+        } else {
+            ReadingPath::default()
+        };
+        let reading_list = ranked_reading_list(cx, &subgraph, &allocation, &terminals, &forest);
+        Ok(RepagerOutput {
+            reading_list,
+            path: reading_path,
+            forest,
+            seeds: allocation,
+            subgraph_nodes: subgraph.node_count(),
+            subgraph_edges: subgraph.edge_count(),
+            timings: StageTimings::default(),
+        })
+    }
+}
+
+/// Builds the flattened top-K reading list.
+///
+/// Papers selected by the model (tree papers, or the terminals for NEWST-C)
+/// come first, ranked by co-occurrence count and then by node weight
+/// (cheaper = more important).  If the model selected fewer than `top_k`
+/// papers, the list is padded with the remaining sub-graph candidates under
+/// the same ranking, so that precision/F1 can be evaluated at any K as in
+/// Fig. 8.
+fn ranked_reading_list(
+    cx: &StageContext<'_>,
+    subgraph: &SubGraph,
+    allocation: &SeedAllocation,
+    terminals: &[PaperId],
+    forest: &NewstForest,
+) -> Vec<PaperId> {
+    let core: Vec<PaperId> = if cx.request.variant.runs_steiner() {
+        forest.papers()
+    } else {
+        terminals.to_vec()
+    };
+
+    let rank_key = |p: PaperId| {
+        let cooccurrence = allocation.cooccurrence.get(&p).copied().unwrap_or(0);
+        let weight = cx.node_weights.node_weight(p, &cx.config);
+        (std::cmp::Reverse(cooccurrence), ordered_float(weight), p)
+    };
+
+    let mut list = core;
+    list.sort_by_key(|&p| rank_key(p));
+
+    // NEWST-C returns the reallocated papers themselves ("due to the
+    // inability of path generation"): it is not padded up to K, which is
+    // why it trades recall (F1) for precision in Table III.  The Steiner
+    // variants pad with the remaining sub-graph candidates so the list
+    // can be evaluated at any K.
+    if cx.request.variant.runs_steiner() && list.len() < cx.request.top_k {
+        let in_list: std::collections::HashSet<PaperId> = list.iter().copied().collect();
+        let mut extension: Vec<PaperId> = subgraph
+            .papers()
+            .iter()
+            .copied()
+            .filter(|p| !in_list.contains(p))
+            .collect();
+        extension.sort_by_key(|&p| rank_key(p));
+        list.extend(extension);
+    }
+    list.truncate(cx.request.top_k);
+    list
+}
+
+/// Total order wrapper for finite f64 sort keys.
+fn ordered_float(x: f64) -> u64 {
+    // Finite non-negative weights only; map to sortable bits.
+    debug_assert!(x.is_finite() && x >= 0.0);
+    x.to_bits()
+}
+
+fn timed<T>(slot: &mut Duration, f: impl FnOnce() -> T) -> T {
+    let started = Instant::now();
+    let out = f();
+    *slot = started.elapsed();
+    out
+}
+
+/// Validates a request and drives the pipeline over borrowed corpus
+/// artifacts.
+///
+/// This is the single entry point both facades share — the borrowing
+/// [`crate::system::RePaGer`] and the owned `rpg-service::PathService` — so
+/// validation, variant application and stage sequencing cannot drift between
+/// them.
+pub fn serve_request(
+    corpus: &Corpus,
+    scholar: &ScholarEngine,
+    node_weights: &NodeWeights,
+    request: &PathRequest<'_>,
+    scratch: &mut DijkstraScratch,
+) -> Result<RepagerOutput, RepagerError> {
+    request.config.validate()?;
+    let mut cx = StageContext {
+        corpus,
+        scholar,
+        node_weights,
+        request,
+        config: request.variant.apply(request.config),
+        scratch,
+    };
+    Ok(run_pipeline(&mut cx)?)
+}
+
+/// Drives the five stages for one request, recording per-stage timings.
+///
+/// Validation of the request's configuration is the caller's responsibility
+/// (both facades validate before building the [`StageContext`], so the
+/// context always carries an applied, valid configuration).
+pub fn run_pipeline(cx: &mut StageContext<'_>) -> Result<RepagerOutput, GraphError> {
+    let started = Instant::now();
+    let mut timings = StageTimings::default();
+
+    let seeds = timed(&mut timings.seed, || SeedStage.run(cx, ()))?;
+    if seeds.is_empty() {
+        // No seeds: every downstream stage would be a no-op, so short-circuit
+        // with an empty output (stage timings for the skipped stages stay 0).
+        timings.total = started.elapsed();
+        return Ok(RepagerOutput {
+            reading_list: Vec::new(),
+            path: ReadingPath::default(),
+            forest: NewstForest::default(),
+            seeds: SeedAllocation {
+                initial: Vec::new(),
+                reallocated: Vec::new(),
+                cooccurrence: Default::default(),
+            },
+            subgraph_nodes: 0,
+            subgraph_edges: 0,
+            timings,
+        });
+    }
+
+    let subgraph = timed(&mut timings.subgraph, || SubgraphStage.run(cx, seeds))?;
+    let realloc = timed(&mut timings.realloc, || ReallocStage.run(cx, subgraph))?;
+    let steiner = timed(&mut timings.steiner, || SteinerStage.run(cx, realloc))?;
+    let mut output = timed(&mut timings.render, || RenderStage.run(cx, steiner))?;
+
+    timings.total = started.elapsed();
+    output.timings = timings;
+    Ok(output)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_names_follow_pipeline_order() {
+        assert_eq!(SeedStage.name(), "seed");
+        assert_eq!(SubgraphStage.name(), "subgraph");
+        assert_eq!(ReallocStage.name(), "realloc");
+        assert_eq!(SteinerStage.name(), "steiner");
+        assert_eq!(RenderStage.name(), "render");
+        let timings = StageTimings::default();
+        let labels: Vec<&str> = timings.stages().iter().map(|(n, _)| *n).collect();
+        assert_eq!(labels, ["seed", "subgraph", "realloc", "steiner", "render"]);
+    }
+
+    #[test]
+    fn stage_sum_adds_all_five_stages() {
+        let timings = StageTimings {
+            seed: Duration::from_millis(1),
+            subgraph: Duration::from_millis(2),
+            realloc: Duration::from_millis(3),
+            steiner: Duration::from_millis(4),
+            render: Duration::from_millis(5),
+            total: Duration::from_millis(16),
+        };
+        assert_eq!(timings.stage_sum(), Duration::from_millis(15));
+        assert!(timings.stage_sum() <= timings.total);
+    }
+}

@@ -43,7 +43,12 @@ impl SubGraph {
         exclude: &[PaperId],
     ) -> Result<Self, GraphError> {
         let seed_nodes: Vec<NodeId> = seeds.iter().map(|p| p.node()).collect();
-        let expansion = expand(corpus.graph(), &seed_nodes, config.expansion_hops, Direction::References)?;
+        let expansion = expand(
+            corpus.graph(),
+            &seed_nodes,
+            config.expansion_hops,
+            Direction::References,
+        )?;
 
         let admitted = |paper: PaperId| -> bool {
             if exclude.contains(&paper) {
@@ -71,8 +76,10 @@ impl SubGraph {
             .map(|(i, &p)| (p, NodeId::from_index(i)))
             .collect();
 
-        let weights: Vec<f64> =
-            papers.iter().map(|&p| node_weights.node_weight(p, config)).collect();
+        let weights: Vec<f64> = papers
+            .iter()
+            .map(|&p| node_weights.node_weight(p, config))
+            .collect();
         let mut weighted = WeightedGraph::new(weights)?;
 
         // Every citation edge between two admitted papers becomes an
@@ -81,12 +88,21 @@ impl SubGraph {
             let local_a = NodeId::from_index(i);
             for reference in corpus.references_of(paper) {
                 if let Some(&local_b) = local_of.get(&reference.cited) {
-                    weighted.add_edge(local_a, local_b, edge_cost(reference.occurrences, config))?;
+                    weighted.add_edge(
+                        local_a,
+                        local_b,
+                        edge_cost(reference.occurrences, config),
+                    )?;
                 }
             }
         }
 
-        Ok(SubGraph { weighted, papers, local_of, hops })
+        Ok(SubGraph {
+            weighted,
+            papers,
+            local_of,
+            hops,
+        })
     }
 
     /// Number of papers (nodes) in the sub-graph.
@@ -143,11 +159,14 @@ impl SubGraph {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rpg_corpus::{generate, CorpusConfig, Corpus};
+    use rpg_corpus::{generate, Corpus, CorpusConfig};
     use rpg_graph::pagerank::pagerank_default;
 
     fn setup() -> (Corpus, NodeWeights) {
-        let corpus = generate(&CorpusConfig { seed: 61, ..CorpusConfig::small() });
+        let corpus = generate(&CorpusConfig {
+            seed: 61,
+            ..CorpusConfig::small()
+        });
         let pr = pagerank_default(corpus.graph()).unwrap();
         let nw = NodeWeights::build(&corpus, &pr);
         (corpus, nw)
@@ -172,7 +191,8 @@ mod tests {
     fn subgraph_contains_all_seeds_at_hop_zero() {
         let (corpus, nw) = setup();
         let seeds = any_seeds(&corpus, 10);
-        let sg = SubGraph::build(&corpus, &nw, &seeds, &RepagerConfig::default(), None, &[]).unwrap();
+        let sg =
+            SubGraph::build(&corpus, &nw, &seeds, &RepagerConfig::default(), None, &[]).unwrap();
         for &s in &seeds {
             assert_eq!(sg.hop_of(s), Some(0));
         }
@@ -183,7 +203,8 @@ mod tests {
     fn expansion_adds_neighbours() {
         let (corpus, nw) = setup();
         let seeds = any_seeds(&corpus, 10);
-        let sg = SubGraph::build(&corpus, &nw, &seeds, &RepagerConfig::default(), None, &[]).unwrap();
+        let sg =
+            SubGraph::build(&corpus, &nw, &seeds, &RepagerConfig::default(), None, &[]).unwrap();
         assert!(sg.node_count() > seeds.len());
         assert!(sg.edge_count() > 0);
         assert!(!sg.papers_at_hop(1).is_empty());
@@ -197,7 +218,10 @@ mod tests {
             &corpus,
             &nw,
             &seeds,
-            &RepagerConfig { expansion_hops: 1, ..Default::default() },
+            &RepagerConfig {
+                expansion_hops: 1,
+                ..Default::default()
+            },
             None,
             &[],
         )
@@ -206,7 +230,10 @@ mod tests {
             &corpus,
             &nw,
             &seeds,
-            &RepagerConfig { expansion_hops: 2, ..Default::default() },
+            &RepagerConfig {
+                expansion_hops: 2,
+                ..Default::default()
+            },
             None,
             &[],
         )
@@ -238,7 +265,8 @@ mod tests {
     fn mapping_round_trips() {
         let (corpus, nw) = setup();
         let seeds = any_seeds(&corpus, 8);
-        let sg = SubGraph::build(&corpus, &nw, &seeds, &RepagerConfig::default(), None, &[]).unwrap();
+        let sg =
+            SubGraph::build(&corpus, &nw, &seeds, &RepagerConfig::default(), None, &[]).unwrap();
         for &p in sg.papers().iter().take(50) {
             let local = sg.local_of(p).unwrap();
             assert_eq!(sg.paper_of(local), p);
@@ -270,7 +298,8 @@ mod tests {
     fn unknown_paper_maps_to_none() {
         let (corpus, nw) = setup();
         let seeds = any_seeds(&corpus, 5);
-        let sg = SubGraph::build(&corpus, &nw, &seeds, &RepagerConfig::default(), None, &[]).unwrap();
+        let sg =
+            SubGraph::build(&corpus, &nw, &seeds, &RepagerConfig::default(), None, &[]).unwrap();
         assert!(sg.local_of(PaperId(u32::MAX)).is_none());
         assert!(sg.hop_of(PaperId(u32::MAX)).is_none());
     }

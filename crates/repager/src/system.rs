@@ -1,23 +1,68 @@
 //! The end-to-end RePaGer system (Fig. 6 of the paper).
 //!
-//! [`RePaGer`] wires the five stages together: seed retrieval, weighted
-//! citation graph, sub-graph construction, seed reallocation, and NEWST.  Its
-//! output carries both the structured [`ReadingPath`] (what the web UI of
-//! Section V renders) and a flattened ranked *reading list* (what the
-//! overlap-metric evaluation of Section VI consumes).
+//! [`RePaGer`] is the borrowing facade over the staged pipeline of
+//! [`crate::stages`]: seed retrieval, weighted citation graph, sub-graph
+//! construction, seed reallocation, and NEWST.  Its output carries the
+//! structured [`ReadingPath`] (what the web UI of Section V renders), a
+//! flattened ranked *reading list* (what the overlap-metric evaluation of
+//! Section VI consumes), and per-stage [`StageTimings`].
+//!
+//! For an owned, thread-shareable handle over the same pipeline (plus batch
+//! execution and result caching), see `rpg-service::PathService`.
 
 use crate::config::RepagerConfig;
-use crate::newst::{self, NewstForest};
-use crate::path::{self, ReadingPath};
-use crate::seeds::{reallocate, SeedAllocation};
-use crate::subgraph::SubGraph;
+use crate::newst::NewstForest;
+use crate::path::ReadingPath;
+use crate::seeds::SeedAllocation;
+use crate::stages::StageTimings;
 use crate::variants::Variant;
 use crate::weights::NodeWeights;
 use rpg_corpus::{Corpus, PaperId};
-use rpg_engines::{EngineIndex, Query, ScholarEngine};
+use rpg_engines::{EngineIndex, ScholarEngine};
+use rpg_graph::dijkstra::DijkstraScratch;
 use rpg_graph::pagerank::pagerank_default;
 use rpg_graph::GraphError;
-use std::time::{Duration, Instant};
+
+/// An error serving a reading-path request: either the request's
+/// configuration failed validation, or a graph construction/algorithm step
+/// failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RepagerError {
+    /// The request's [`RepagerConfig`] is invalid.
+    Config(crate::config::ConfigError),
+    /// A graph-layer failure (sub-graph construction, Steiner solve, ...).
+    Graph(GraphError),
+}
+
+impl std::fmt::Display for RepagerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RepagerError::Config(e) => write!(f, "invalid configuration: {e}"),
+            RepagerError::Graph(e) => write!(f, "graph error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RepagerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RepagerError::Config(e) => Some(e),
+            RepagerError::Graph(e) => Some(e),
+        }
+    }
+}
+
+impl From<crate::config::ConfigError> for RepagerError {
+    fn from(e: crate::config::ConfigError) -> Self {
+        RepagerError::Config(e)
+    }
+}
+
+impl From<GraphError> for RepagerError {
+    fn from(e: GraphError) -> Self {
+        RepagerError::Graph(e)
+    }
+}
 
 /// A reading-path generation request.
 #[derive(Debug, Clone)]
@@ -67,8 +112,27 @@ pub struct RepagerOutput {
     pub subgraph_nodes: usize,
     /// Number of edges in the sub-citation graph.
     pub subgraph_edges: usize,
-    /// Wall-clock time spent generating the result.
-    pub elapsed: Duration,
+    /// Per-stage and total wall-clock time spent generating the result.
+    pub timings: StageTimings,
+}
+
+impl RepagerOutput {
+    /// Total wall-clock time of the request (shorthand for
+    /// `timings.total`).
+    pub fn elapsed(&self) -> std::time::Duration {
+        self.timings.total
+    }
+
+    /// Whether two outputs carry the same result (everything except the
+    /// wall-clock timings, which never repeat exactly).
+    pub fn same_result(&self, other: &RepagerOutput) -> bool {
+        self.reading_list == other.reading_list
+            && self.path == other.path
+            && self.forest == other.forest
+            && self.seeds == other.seeds
+            && self.subgraph_nodes == other.subgraph_nodes
+            && self.subgraph_edges == other.subgraph_edges
+    }
 }
 
 /// The RePaGer system bound to a corpus.
@@ -81,18 +145,25 @@ pub struct RePaGer<'c> {
 impl<'c> RePaGer<'c> {
     /// Builds the system: computes global PageRank (Step 2's node weights)
     /// and the seed search engine over the corpus.
-    pub fn build(corpus: &'c Corpus) -> Self {
+    ///
+    /// Errors if the corpus graph rejects the PageRank computation.
+    pub fn build(corpus: &'c Corpus) -> Result<Self, GraphError> {
         let index = EngineIndex::build(corpus);
         Self::with_engine(corpus, ScholarEngine::from_index(index))
     }
 
     /// Builds the system reusing an existing shared engine index (avoids
     /// re-indexing when baselines share the same corpus).
-    pub fn with_engine(corpus: &'c Corpus, scholar: ScholarEngine) -> Self {
-        let pagerank = pagerank_default(corpus.graph())
-            .expect("default PageRank configuration is always valid");
+    ///
+    /// Errors if the corpus graph rejects the PageRank computation.
+    pub fn with_engine(corpus: &'c Corpus, scholar: ScholarEngine) -> Result<Self, GraphError> {
+        let pagerank = pagerank_default(corpus.graph())?;
         let node_weights = NodeWeights::build(corpus, &pagerank);
-        RePaGer { corpus, scholar, node_weights }
+        Ok(RePaGer {
+            corpus,
+            scholar,
+            node_weights,
+        })
     }
 
     /// The corpus the system is bound to.
@@ -110,153 +181,49 @@ impl<'c> RePaGer<'c> {
         &self.scholar
     }
 
-    /// Generates a reading path and reading list for a request.
-    pub fn generate(&self, request: &PathRequest<'_>) -> Result<RepagerOutput, GraphError> {
-        request
-            .config
-            .validate()
-            .map_err(|what| GraphError::InvalidWeight { what })?;
-        let started = Instant::now();
-        let config = request.variant.apply(request.config);
-
-        // Step 1: initial seed papers from the engine.
-        let seed_query = Query {
-            text: request.query,
-            top_k: config.seed_count,
-            max_year: request.max_year,
-            exclude: request.exclude,
-        };
-        let initial_seeds = self.scholar.seed_papers(&seed_query);
-        if initial_seeds.is_empty() {
-            return Ok(RepagerOutput {
-                reading_list: Vec::new(),
-                path: ReadingPath::default(),
-                forest: NewstForest::default(),
-                seeds: SeedAllocation {
-                    initial: Vec::new(),
-                    reallocated: Vec::new(),
-                    cooccurrence: Default::default(),
-                },
-                subgraph_nodes: 0,
-                subgraph_edges: 0,
-                elapsed: started.elapsed(),
-            });
-        }
-
-        // Steps 2+3: weighted sub-citation graph around the seeds.
-        let subgraph = SubGraph::build(
-            self.corpus,
-            &self.node_weights,
-            &initial_seeds,
-            &config,
-            request.max_year,
-            request.exclude,
-        )?;
-
-        // Step 4: seed reallocation by co-occurrence.
-        let allocation = reallocate(self.corpus, &subgraph, &initial_seeds, &config);
-        let terminals = allocation.terminals(request.variant.terminal_selection(), &config);
-
-        // Step 5: NEWST (skipped by the NEWST-C variant).
-        let (forest, reading_path) = if request.variant.runs_steiner() {
-            let forest = newst::solve(&subgraph, &terminals)?;
-            let reading_path = path::assemble(self.corpus, &forest);
-            (forest, reading_path)
-        } else {
-            (NewstForest::default(), ReadingPath::default())
-        };
-
-        let reading_list = self.ranked_reading_list(
-            request,
-            &config,
-            &subgraph,
-            &allocation,
-            &terminals,
-            &forest,
-        );
-
-        Ok(RepagerOutput {
-            reading_list,
-            path: reading_path,
-            forest,
-            seeds: allocation,
-            subgraph_nodes: subgraph.node_count(),
-            subgraph_edges: subgraph.edge_count(),
-            elapsed: started.elapsed(),
-        })
+    /// Generates a reading path and reading list for a request with a fresh
+    /// Dijkstra workspace.
+    pub fn generate(&self, request: &PathRequest<'_>) -> Result<RepagerOutput, RepagerError> {
+        let mut scratch = DijkstraScratch::new();
+        self.generate_with_scratch(request, &mut scratch)
     }
 
-    /// Builds the flattened top-K reading list.
-    ///
-    /// Papers selected by the model (tree papers, or the terminals for
-    /// NEWST-C) come first, ranked by co-occurrence count and then by node
-    /// weight (cheaper = more important).  If the model selected fewer than
-    /// `top_k` papers, the list is padded with the remaining sub-graph
-    /// candidates under the same ranking, so that precision/F1 can be
-    /// evaluated at any K as in Fig. 8.
-    fn ranked_reading_list(
+    /// Generates a reading path reusing a caller-provided Dijkstra workspace
+    /// (the serving layer holds one per worker thread).
+    pub fn generate_with_scratch(
         &self,
         request: &PathRequest<'_>,
-        config: &RepagerConfig,
-        subgraph: &SubGraph,
-        allocation: &SeedAllocation,
-        terminals: &[PaperId],
-        forest: &NewstForest,
-    ) -> Vec<PaperId> {
-        let core: Vec<PaperId> = if request.variant.runs_steiner() {
-            forest.papers()
-        } else {
-            terminals.to_vec()
-        };
-
-        let rank_key = |p: PaperId| {
-            let cooccurrence = allocation.cooccurrence.get(&p).copied().unwrap_or(0);
-            let weight = self.node_weights.node_weight(p, config);
-            (std::cmp::Reverse(cooccurrence), ordered_float(weight), p)
-        };
-
-        let mut ranked_core = core;
-        ranked_core.sort_by_key(|&p| rank_key(p));
-
-        let mut list = ranked_core;
-        // NEWST-C returns the reallocated papers themselves ("due to the
-        // inability of path generation"): it is not padded up to K, which is
-        // why it trades recall (F1) for precision in Table III.  The Steiner
-        // variants pad with the remaining sub-graph candidates so the list
-        // can be evaluated at any K.
-        if request.variant.runs_steiner() && list.len() < request.top_k {
-            let in_list: std::collections::HashSet<PaperId> = list.iter().copied().collect();
-            let mut extension: Vec<PaperId> = subgraph
-                .papers()
-                .iter()
-                .copied()
-                .filter(|p| !in_list.contains(p))
-                .collect();
-            extension.sort_by_key(|&p| rank_key(p));
-            list.extend(extension);
-        }
-        list.truncate(request.top_k);
-        list
+        scratch: &mut DijkstraScratch,
+    ) -> Result<RepagerOutput, RepagerError> {
+        crate::stages::serve_request(
+            self.corpus,
+            &self.scholar,
+            &self.node_weights,
+            request,
+            scratch,
+        )
     }
-}
-
-/// Total order wrapper for finite f64 sort keys.
-fn ordered_float(x: f64) -> u64 {
-    // Finite non-negative weights only; map to sortable bits.
-    debug_assert!(x.is_finite() && x >= 0.0);
-    x.to_bits()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use rpg_corpus::{generate, CorpusConfig, LabelLevel};
+    use std::time::Duration;
 
     fn corpus() -> Corpus {
-        generate(&CorpusConfig { seed: 101, ..CorpusConfig::small() })
+        generate(&CorpusConfig {
+            seed: 101,
+            ..CorpusConfig::small()
+        })
     }
 
-    fn first_survey_request<'a>(_corpus: &'a Corpus, query: &'a str, exclude: &'a [PaperId], year: u16) -> PathRequest<'a> {
+    fn first_survey_request<'a>(
+        _corpus: &'a Corpus,
+        query: &'a str,
+        exclude: &'a [PaperId],
+        year: u16,
+    ) -> PathRequest<'a> {
         PathRequest {
             query,
             top_k: 30,
@@ -270,7 +237,7 @@ mod tests {
     #[test]
     fn generates_a_consistent_reading_path() {
         let c = corpus();
-        let system = RePaGer::build(&c);
+        let system = RePaGer::build(&c).unwrap();
         let survey = c.survey_bank().iter().next().unwrap();
         let exclude = [survey.paper];
         let request = first_survey_request(&c, &survey.query, &exclude, survey.year);
@@ -288,7 +255,7 @@ mod tests {
     #[test]
     fn reading_list_overlaps_ground_truth_better_than_chance() {
         let c = corpus();
-        let system = RePaGer::build(&c);
+        let system = RePaGer::build(&c).unwrap();
         let mut hits = 0usize;
         let mut evaluated = 0usize;
         for survey in c.survey_bank().iter().take(6) {
@@ -297,7 +264,11 @@ mod tests {
             let output = system.generate(&request).unwrap();
             let truth: std::collections::HashSet<_> =
                 survey.label(LabelLevel::AtLeastOne).into_iter().collect();
-            hits += output.reading_list.iter().filter(|p| truth.contains(p)).count();
+            hits += output
+                .reading_list
+                .iter()
+                .filter(|p| truth.contains(p))
+                .count();
             evaluated += 1;
         }
         assert!(evaluated > 0);
@@ -307,18 +278,22 @@ mod tests {
     #[test]
     fn variants_produce_different_lists() {
         let c = corpus();
-        let system = RePaGer::build(&c);
+        let system = RePaGer::build(&c).unwrap();
         let survey = c.survey_bank().iter().next().unwrap();
         let exclude = [survey.paper];
         let mut lists = Vec::new();
-        for variant in [Variant::Newst, Variant::NoReallocation, Variant::CandidatesOnly] {
+        for variant in [
+            Variant::Newst,
+            Variant::NoReallocation,
+            Variant::CandidatesOnly,
+        ] {
             let request = PathRequest {
                 variant,
                 ..first_survey_request(&c, &survey.query, &exclude, survey.year)
             };
             lists.push(system.generate(&request).unwrap().reading_list);
         }
-        assert!(lists.iter().any(|l| l != &lists[0]) || lists[0].is_empty() == false);
+        assert!(lists.iter().any(|l| l != &lists[0]) || !lists[0].is_empty());
         // NEWST-C never produces a path.
         let request = PathRequest {
             variant: Variant::CandidatesOnly,
@@ -332,7 +307,7 @@ mod tests {
     #[test]
     fn top_k_controls_list_length() {
         let c = corpus();
-        let system = RePaGer::build(&c);
+        let system = RePaGer::build(&c).unwrap();
         let survey = c.survey_bank().iter().next().unwrap();
         let exclude = [survey.paper];
         for k in [5usize, 20, 50] {
@@ -343,7 +318,11 @@ mod tests {
             let output = system.generate(&request).unwrap();
             assert!(output.reading_list.len() <= k);
             if output.subgraph_nodes >= k {
-                assert_eq!(output.reading_list.len(), k, "list should be padded up to K");
+                assert_eq!(
+                    output.reading_list.len(),
+                    k,
+                    "list should be padded up to K"
+                );
             }
         }
     }
@@ -351,7 +330,7 @@ mod tests {
     #[test]
     fn nonsense_query_yields_empty_output() {
         let c = corpus();
-        let system = RePaGer::build(&c);
+        let system = RePaGer::build(&c).unwrap();
         let request = PathRequest::new("zzzzz qqqqq xxxxx", 20);
         let output = system.generate(&request).unwrap();
         assert!(output.reading_list.is_empty());
@@ -361,28 +340,49 @@ mod tests {
     #[test]
     fn invalid_config_is_rejected() {
         let c = corpus();
-        let system = RePaGer::build(&c);
+        let system = RePaGer::build(&c).unwrap();
         let survey = c.survey_bank().iter().next().unwrap();
         let request = PathRequest {
-            config: RepagerConfig { seed_count: 0, ..Default::default() },
+            config: RepagerConfig {
+                seed_count: 0,
+                ..Default::default()
+            },
             ..PathRequest::new(&survey.query, 20)
         };
-        assert!(system.generate(&request).is_err());
+        // The typed configuration error survives to the caller.
+        assert!(matches!(
+            system.generate(&request),
+            Err(RepagerError::Config(
+                crate::config::ConfigError::ZeroCount { name: "seed_count" }
+            ))
+        ));
     }
 
     #[test]
-    fn elapsed_time_is_recorded() {
+    fn stage_timings_are_recorded() {
         let c = corpus();
-        let system = RePaGer::build(&c);
+        let system = RePaGer::build(&c).unwrap();
         let survey = c.survey_bank().iter().next().unwrap();
-        let output = system.generate(&PathRequest::new(&survey.query, 20)).unwrap();
-        assert!(output.elapsed > Duration::ZERO);
+        let output = system
+            .generate(&PathRequest::new(&survey.query, 20))
+            .unwrap();
+        assert!(output.timings.total > Duration::ZERO);
+        assert_eq!(output.elapsed(), output.timings.total);
+        // Every stage that ran must have a recorded duration, and the stages
+        // must account for (almost) all of the total.
+        assert!(output.timings.stage_sum() <= output.timings.total);
+        for (name, duration) in output.timings.stages() {
+            assert!(
+                duration > Duration::ZERO,
+                "stage {name} has no recorded time"
+            );
+        }
     }
 
     #[test]
     fn larger_seed_count_does_not_shrink_the_subgraph() {
         let c = corpus();
-        let system = RePaGer::build(&c);
+        let system = RePaGer::build(&c).unwrap();
         let survey = c.survey_bank().iter().next().unwrap();
         let small = system
             .generate(&PathRequest {

@@ -82,8 +82,14 @@ impl Variant {
     /// Applies the variant's weight ablations to a configuration.
     pub fn apply(self, config: RepagerConfig) -> RepagerConfig {
         match self {
-            Variant::NoNodeWeights => RepagerConfig { use_node_weights: false, ..config },
-            Variant::NoEdgeWeights => RepagerConfig { use_edge_weights: false, ..config },
+            Variant::NoNodeWeights => RepagerConfig {
+                use_node_weights: false,
+                ..config
+            },
+            Variant::NoEdgeWeights => RepagerConfig {
+                use_edge_weights: false,
+                ..config
+            },
             _ => config,
         }
     }
@@ -113,11 +119,26 @@ mod tests {
 
     #[test]
     fn terminal_selection_mapping() {
-        assert_eq!(Variant::Newst.terminal_selection(), TerminalSelection::Reallocated);
-        assert_eq!(Variant::NoReallocation.terminal_selection(), TerminalSelection::InitialSeeds);
-        assert_eq!(Variant::Union.terminal_selection(), TerminalSelection::Union);
-        assert_eq!(Variant::Intersection.terminal_selection(), TerminalSelection::Intersection);
-        assert_eq!(Variant::NoNodeWeights.terminal_selection(), TerminalSelection::Reallocated);
+        assert_eq!(
+            Variant::Newst.terminal_selection(),
+            TerminalSelection::Reallocated
+        );
+        assert_eq!(
+            Variant::NoReallocation.terminal_selection(),
+            TerminalSelection::InitialSeeds
+        );
+        assert_eq!(
+            Variant::Union.terminal_selection(),
+            TerminalSelection::Union
+        );
+        assert_eq!(
+            Variant::Intersection.terminal_selection(),
+            TerminalSelection::Intersection
+        );
+        assert_eq!(
+            Variant::NoNodeWeights.terminal_selection(),
+            TerminalSelection::Reallocated
+        );
     }
 
     #[test]

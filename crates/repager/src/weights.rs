@@ -31,19 +31,30 @@ impl NodeWeights {
     /// Builds the node-weight inputs from global PageRank scores and the
     /// corpus venue table.
     pub fn build(corpus: &Corpus, pagerank: &PageRankScores) -> Self {
-        let max_score = pagerank.scores.iter().copied().fold(f64::MIN, f64::max).max(f64::MIN_POSITIVE);
+        let max_score = pagerank
+            .scores
+            .iter()
+            .copied()
+            .fold(f64::MIN, f64::max)
+            .max(f64::MIN_POSITIVE);
         let normalized_pagerank = pagerank.scores.iter().map(|s| s / max_score).collect();
         let venue_scores = corpus
             .papers()
             .iter()
             .map(|p| corpus.venues().venue_score(p.venue))
             .collect();
-        NodeWeights { normalized_pagerank, venue_scores }
+        NodeWeights {
+            normalized_pagerank,
+            venue_scores,
+        }
     }
 
     /// The normalised PageRank score of a paper, in `[0, 1]`.
     pub fn pagerank(&self, paper: PaperId) -> f64 {
-        self.normalized_pagerank.get(paper.index()).copied().unwrap_or(0.0)
+        self.normalized_pagerank
+            .get(paper.index())
+            .copied()
+            .unwrap_or(0.0)
     }
 
     /// The venue score of a paper, in `[0, 1]`.
@@ -106,7 +117,10 @@ mod tests {
     use rpg_graph::pagerank::pagerank_default;
 
     fn setup() -> (Corpus, NodeWeights) {
-        let corpus = generate(&CorpusConfig { seed: 51, ..CorpusConfig::small() });
+        let corpus = generate(&CorpusConfig {
+            seed: 51,
+            ..CorpusConfig::small()
+        });
         let pr = pagerank_default(corpus.graph()).unwrap();
         let weights = NodeWeights::build(&corpus, &pr);
         (corpus, weights)
@@ -133,7 +147,10 @@ mod tests {
 
     #[test]
     fn disabled_edge_weights_are_uniform() {
-        let config = RepagerConfig { use_edge_weights: false, ..Default::default() };
+        let config = RepagerConfig {
+            use_edge_weights: false,
+            ..Default::default()
+        };
         assert_eq!(edge_cost(1, &config), edge_cost(5, &config));
         assert_eq!(edge_cost(3, &config), config.alpha);
     }
@@ -173,7 +190,10 @@ mod tests {
     #[test]
     fn disabled_node_weights_are_zero() {
         let (_corpus, weights) = setup();
-        let config = RepagerConfig { use_node_weights: false, ..Default::default() };
+        let config = RepagerConfig {
+            use_node_weights: false,
+            ..Default::default()
+        };
         assert_eq!(weights.node_weight(PaperId(0), &config), 0.0);
     }
 
@@ -202,9 +222,7 @@ mod tests {
             }
         }
         if let Some((citing, cited)) = multi {
-            assert!(
-                corpus_edge_cost(&corpus, citing, cited, &config) < edge_cost(1, &config)
-            );
+            assert!(corpus_edge_cost(&corpus, citing, cited, &config) < edge_cost(1, &config));
         }
     }
 }

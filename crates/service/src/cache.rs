@@ -1,0 +1,149 @@
+//! A small bounded LRU map for request results.
+//!
+//! Capacity is expected to stay in the hundreds, so eviction scans for the
+//! least-recently-used entry in O(n) instead of maintaining an intrusive
+//! list; the scan is far cheaper than a single query evaluation.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A bounded least-recently-used cache.
+#[derive(Debug)]
+pub struct LruCache<K, V> {
+    capacity: usize,
+    tick: u64,
+    map: HashMap<K, Entry<V>>,
+}
+
+#[derive(Debug)]
+struct Entry<V> {
+    value: V,
+    last_used: u64,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> LruCache<K, V> {
+    /// A cache holding at most `capacity` entries (a capacity of 0 disables
+    /// caching: every insert is dropped).
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            capacity,
+            tick: 0,
+            map: HashMap::with_capacity(capacity.min(1024)),
+        }
+    }
+
+    /// Looks up a key, marking it most-recently-used on a hit.
+    pub fn get(&mut self, key: &K) -> Option<V> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(key).map(|entry| {
+            entry.last_used = tick;
+            entry.value.clone()
+        })
+    }
+
+    /// Inserts a value, evicting the least-recently-used entry when full.
+    pub fn insert(&mut self, key: K, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
+            if let Some(evictee) = self
+                .map
+                .iter()
+                .min_by_key(|(_, entry)| entry.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&evictee);
+            }
+        }
+        self.map.insert(
+            key,
+            Entry {
+                value,
+                last_used: self.tick,
+            },
+        );
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Drops every cached entry.
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_and_miss() {
+        let mut cache: LruCache<u32, String> = LruCache::new(4);
+        assert!(cache.get(&1).is_none());
+        cache.insert(1, "one".to_string());
+        assert_eq!(cache.get(&1).as_deref(), Some("one"));
+        assert!(cache.get(&2).is_none());
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut cache: LruCache<u32, u32> = LruCache::new(2);
+        cache.insert(1, 10);
+        cache.insert(2, 20);
+        // Touch 1 so that 2 becomes the LRU entry.
+        assert_eq!(cache.get(&1), Some(10));
+        cache.insert(3, 30);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(&1), Some(10));
+        assert!(
+            cache.get(&2).is_none(),
+            "LRU entry should have been evicted"
+        );
+        assert_eq!(cache.get(&3), Some(30));
+    }
+
+    #[test]
+    fn reinserting_updates_in_place() {
+        let mut cache: LruCache<u32, u32> = LruCache::new(2);
+        cache.insert(1, 10);
+        cache.insert(2, 20);
+        cache.insert(1, 11);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(&1), Some(11));
+        assert_eq!(cache.get(&2), Some(20));
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut cache: LruCache<u32, u32> = LruCache::new(0);
+        cache.insert(1, 10);
+        assert!(cache.get(&1).is_none());
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn clear_empties_the_cache() {
+        let mut cache: LruCache<u32, u32> = LruCache::new(4);
+        cache.insert(1, 10);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.capacity(), 4);
+    }
+}

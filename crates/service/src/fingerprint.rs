@@ -1,0 +1,142 @@
+//! Cache keys for reading-path requests.
+//!
+//! Two requests that cannot produce different outputs must map to the same
+//! fingerprint: the query text is whitespace-normalised and lowercased (the
+//! tokenizer downstream is case-insensitive), the exclusion set is sorted and
+//! deduplicated, and every configuration field — including the f64 cost
+//! constants, captured by bit pattern — participates in equality and
+//! hashing.
+
+use rpg_corpus::PaperId;
+use rpg_repager::system::PathRequest;
+use rpg_repager::{RepagerConfig, Variant};
+
+/// A hashable identity of a [`PathRequest`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RequestFingerprint {
+    query: String,
+    top_k: usize,
+    max_year: Option<u16>,
+    exclude: Vec<PaperId>,
+    variant: Variant,
+    /// Every `RepagerConfig` field, widened to bit-exact `u64`s.
+    config: [u64; 11],
+}
+
+fn config_bits(config: &RepagerConfig) -> [u64; 11] {
+    [
+        config.alpha.to_bits(),
+        config.beta.to_bits(),
+        config.gamma.to_bits(),
+        config.a.to_bits(),
+        config.b.to_bits(),
+        config.seed_count as u64,
+        u64::from(config.expansion_hops),
+        config.cooccurrence_threshold as u64,
+        config.max_terminals as u64,
+        u64::from(config.use_node_weights),
+        u64::from(config.use_edge_weights),
+    ]
+}
+
+impl RequestFingerprint {
+    /// Computes the fingerprint of a request.
+    pub fn of(request: &PathRequest<'_>) -> Self {
+        let mut normalized = String::with_capacity(request.query.len());
+        for token in request.query.split_whitespace() {
+            if !normalized.is_empty() {
+                normalized.push(' ');
+            }
+            normalized.extend(token.chars().flat_map(char::to_lowercase));
+        }
+        let mut exclude: Vec<PaperId> = request.exclude.to_vec();
+        exclude.sort_unstable();
+        exclude.dedup();
+        RequestFingerprint {
+            query: normalized,
+            top_k: request.top_k,
+            max_year: request.max_year,
+            exclude,
+            variant: request.variant,
+            config: config_bits(&request.config),
+        }
+    }
+
+    /// The normalised query text.
+    pub fn query(&self) -> &str {
+        &self.query
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_request() -> PathRequest<'static> {
+        PathRequest::new("Graph Neural Networks", 20)
+    }
+
+    #[test]
+    fn query_normalisation_folds_case_and_whitespace() {
+        let a = RequestFingerprint::of(&base_request());
+        let b = RequestFingerprint::of(&PathRequest::new("  graph   neural\tnetworks ", 20));
+        assert_eq!(a, b);
+        assert_eq!(a.query(), "graph neural networks");
+    }
+
+    #[test]
+    fn exclude_order_and_duplicates_do_not_matter() {
+        let e1 = [PaperId(3), PaperId(1), PaperId(3)];
+        let e2 = [PaperId(1), PaperId(3)];
+        let a = RequestFingerprint::of(&PathRequest {
+            exclude: &e1,
+            ..base_request()
+        });
+        let b = RequestFingerprint::of(&PathRequest {
+            exclude: &e2,
+            ..base_request()
+        });
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn every_distinguishing_field_changes_the_fingerprint() {
+        let base = RequestFingerprint::of(&base_request());
+        let variants = [
+            RequestFingerprint::of(&PathRequest {
+                top_k: 21,
+                ..base_request()
+            }),
+            RequestFingerprint::of(&PathRequest {
+                max_year: Some(2010),
+                ..base_request()
+            }),
+            RequestFingerprint::of(&PathRequest {
+                variant: Variant::Union,
+                ..base_request()
+            }),
+            RequestFingerprint::of(&PathRequest {
+                exclude: &[PaperId(7)],
+                ..base_request()
+            }),
+            RequestFingerprint::of(&PathRequest {
+                config: RepagerConfig {
+                    alpha: 4.0,
+                    ..Default::default()
+                },
+                ..base_request()
+            }),
+            RequestFingerprint::of(&PathRequest {
+                config: RepagerConfig {
+                    use_edge_weights: false,
+                    ..Default::default()
+                },
+                ..base_request()
+            }),
+            RequestFingerprint::of(&PathRequest::new("other query", 20)),
+        ];
+        for other in &variants {
+            assert_ne!(&base, other);
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Chunked scoped-thread fan-out shared by the serving layer and the
+//! evaluation loop.
+//!
+//! One place owns the chunk-sizing and slot-offset arithmetic so the batch
+//! path and the per-survey evaluation loop cannot drift.
+
+/// Computes `work(state, i)` for every `i in 0..n` over `threads` scoped
+/// worker threads, preserving index order in the returned vector.
+///
+/// The index range is split into contiguous chunks (one per worker); each
+/// worker builds its own `state` once via `init` and reuses it for its whole
+/// chunk — this is how batch execution gives every worker one Dijkstra
+/// scratch. With `threads <= 1` (or `n == 1`) everything runs on the calling
+/// thread.
+pub fn fan_out<T, S, I, W>(n: usize, threads: usize, init: I, work: W) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    W: Fn(&mut S, usize) -> T + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, n);
+    if threads == 1 {
+        let mut state = init();
+        return (0..n).map(|i| work(&mut state, i)).collect();
+    }
+
+    let chunk = n.div_ceil(threads);
+    let mut slots: Vec<Option<T>> = Vec::new();
+    slots.resize_with(n, || None);
+    let chunks: Vec<(usize, &mut [Option<T>])> = slots.chunks_mut(chunk).enumerate().collect();
+    std::thread::scope(|scope| {
+        for (chunk_index, slot) in chunks {
+            let init = &init;
+            let work = &work;
+            scope.spawn(move || {
+                let mut state = init();
+                let start = chunk_index * chunk;
+                for (offset, out) in slot.iter_mut().enumerate() {
+                    *out = Some(work(&mut state, start + offset));
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every fan-out slot is filled by its worker"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_index_order_for_any_thread_count() {
+        for threads in [0, 1, 2, 3, 7, 64] {
+            let out = fan_out(10, threads, || (), |_, i| i * i);
+            assert_eq!(
+                out,
+                (0..10).map(|i| i * i).collect::<Vec<_>>(),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn per_worker_state_is_reused_within_a_chunk() {
+        // Each worker counts how many items it processed; with 2 threads over
+        // 10 items the chunks are 5+5, so every item sees a counter equal to
+        // its offset within the chunk.
+        let offsets = fan_out(
+            10,
+            2,
+            || 0usize,
+            |count, _| {
+                let seen = *count;
+                *count += 1;
+                seen
+            },
+        );
+        assert_eq!(offsets, vec![0, 1, 2, 3, 4, 0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<usize> = fan_out(0, 4, || (), |_, i| i);
+        assert!(out.is_empty());
+    }
+}

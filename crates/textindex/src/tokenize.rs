@@ -19,9 +19,9 @@ pub struct Token {
 
 /// English stop words that carry no topical signal in scholarly titles.
 pub const STOP_WORDS: &[&str] = &[
-    "a", "an", "the", "and", "or", "of", "in", "on", "for", "with", "to", "from", "by", "at",
-    "as", "is", "are", "was", "were", "be", "been", "being", "this", "that", "these", "those",
-    "it", "its", "we", "our", "their", "his", "her", "your", "via", "using", "based", "toward",
+    "a", "an", "the", "and", "or", "of", "in", "on", "for", "with", "to", "from", "by", "at", "as",
+    "is", "are", "was", "were", "be", "been", "being", "this", "that", "these", "those", "it",
+    "its", "we", "our", "their", "his", "her", "your", "via", "using", "based", "toward",
     "towards", "into", "over", "under", "between", "among", "about", "can", "may", "do", "does",
     "not", "no", "new", "novel", "approach", "method", "methods", "paper", "study",
 ];
@@ -38,10 +38,20 @@ pub fn is_stop_word(term: &str) -> bool {
 pub fn stem(term: &str) -> String {
     let mut t = term.to_string();
     // Order matters: longest suffixes first.
-    for (suffix, min_len) in [("ization", 9), ("ational", 9), ("ments", 7), ("ingly", 8),
-        ("ities", 7), ("ing", 6), ("ions", 6), ("ies", 5), ("ers", 5), ("ed", 5), ("es", 5),
-        ("s", 4)]
-    {
+    for (suffix, min_len) in [
+        ("ization", 9),
+        ("ational", 9),
+        ("ments", 7),
+        ("ingly", 8),
+        ("ities", 7),
+        ("ing", 6),
+        ("ions", 6),
+        ("ies", 5),
+        ("ers", 5),
+        ("ed", 5),
+        ("es", 5),
+        ("s", 4),
+    ] {
         if t.len() >= min_len && t.ends_with(suffix) {
             t.truncate(t.len() - suffix.len());
             break;
@@ -63,7 +73,11 @@ pub struct TokenizeOptions {
 
 impl Default for TokenizeOptions {
     fn default() -> Self {
-        TokenizeOptions { remove_stop_words: true, stem: true, min_len: 2 }
+        TokenizeOptions {
+            remove_stop_words: true,
+            stem: true,
+            min_len: 2,
+        }
     }
 }
 
@@ -77,7 +91,11 @@ pub fn tokenize(text: &str) -> Vec<Token> {
 pub fn tokenize_surface(text: &str) -> Vec<Token> {
     tokenize_with(
         text,
-        TokenizeOptions { remove_stop_words: false, stem: false, min_len: 1 },
+        TokenizeOptions {
+            remove_stop_words: false,
+            stem: false,
+            min_len: 1,
+        },
     )
 }
 
@@ -102,7 +120,10 @@ pub fn tokenize_with(text: &str, options: TokenizeOptions) -> Vec<Token> {
             continue;
         }
         let term = if options.stem { stem(&lower) } else { lower };
-        tokens.push(Token { term, position: current_position });
+        tokens.push(Token {
+            term,
+            position: current_position,
+        });
     }
     tokens
 }
@@ -190,14 +211,18 @@ mod tests {
     fn options_disable_stop_word_removal_and_stemming() {
         let tokens = tokenize_with(
             "the networks",
-            TokenizeOptions { remove_stop_words: false, stem: false, min_len: 1 },
+            TokenizeOptions {
+                remove_stop_words: false,
+                stem: false,
+                min_len: 1,
+            },
         );
         let terms: Vec<_> = tokens.iter().map(|t| t.term.as_str()).collect();
         assert_eq!(terms, vec!["the", "networks"]);
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "proptests"))]
 mod proptests {
     use super::*;
     use proptest::prelude::*;

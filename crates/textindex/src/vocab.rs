@@ -56,7 +56,10 @@ impl Vocabulary {
 
     /// Iterates over `(id, term)` pairs in id order.
     pub fn iter(&self) -> impl Iterator<Item = (TermId, &str)> {
-        self.id_to_term.iter().enumerate().map(|(i, t)| (i as TermId, t.as_str()))
+        self.id_to_term
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (i as TermId, t.as_str()))
     }
 }
 
@@ -101,7 +104,7 @@ mod tests {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "proptests"))]
 mod proptests {
     use super::*;
     use proptest::prelude::*;

@@ -8,17 +8,26 @@
 //! ```
 
 use rpg_corpus::LabelLevel;
-use rpg_eval::experiments::{table2_seed_count, table3_ablation, table4_runtime, ExperimentContext};
+use rpg_eval::experiments::{
+    table2_seed_count, table3_ablation, table4_runtime, ExperimentContext,
+};
 use rpg_repro::full_corpus;
 
 fn main() {
     let corpus = full_corpus();
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let ctx = ExperimentContext::new(&corpus, 20, 20, threads);
     println!("evaluating {} surveys\n", ctx.set.len());
 
     // Table II — seed-count sensitivity.
-    let table2 = table2_seed_count::run(&ctx, &[10, 15, 20, 25, 30, 40, 50], 30, LabelLevel::AtLeastOne);
+    let table2 = table2_seed_count::run(
+        &ctx,
+        &[10, 15, 20, 25, 30, 40, 50],
+        30,
+        LabelLevel::AtLeastOne,
+    );
     println!("{}", table2_seed_count::format(&table2));
 
     // Table III — variant ablation.

@@ -18,7 +18,9 @@ use rpg_repro::full_corpus;
 fn main() {
     let started = std::time::Instant::now();
     let corpus = full_corpus();
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let ctx = ExperimentContext::new(&corpus, 20, 24, threads);
     println!(
         "corpus: {} papers, {} citation edges, {} surveys ({} evaluated), {} threads\n",
@@ -29,9 +31,18 @@ fn main() {
         threads
     );
 
-    println!("{}", fig2_overlap::format(&fig2_overlap::run(&ctx, &[30, 50], 24)));
-    println!("{}", fig4_statistics::format(&fig4_statistics::run(&corpus)));
-    println!("{}", fig8_main::format(&fig8_main::run(&ctx, &[20, 25, 30, 35, 40, 45, 50])));
+    println!(
+        "{}",
+        fig2_overlap::format(&fig2_overlap::run(&ctx, &[30, 50], 24))
+    );
+    println!(
+        "{}",
+        fig4_statistics::format(&fig4_statistics::run(&corpus))
+    );
+    println!(
+        "{}",
+        fig8_main::format(&fig8_main::run(&ctx, &[20, 25, 30, 35, 40, 45, 50]))
+    );
     println!(
         "{}",
         table2_seed_count::format(&table2_seed_count::run(
@@ -41,10 +52,16 @@ fn main() {
             LabelLevel::AtLeastOne
         ))
     );
-    println!("{}", table3_ablation::format(&table3_ablation::run(&ctx, 30, LabelLevel::AtLeastOne)));
+    println!(
+        "{}",
+        table3_ablation::format(&table3_ablation::run(&ctx, 30, LabelLevel::AtLeastOne))
+    );
     println!("{}", table4_runtime::format(&table4_runtime::run(&ctx, 24)));
     println!("{}", table5_human::format(&table5_human::run(&ctx, 20, 30)));
-    println!("{}", fig9_case_study::format(&fig9_case_study::run(&ctx, None)));
+    println!(
+        "{}",
+        fig9_case_study::format(&fig9_case_study::run(&ctx, None))
+    );
 
     println!("total evaluation time: {:?}", started.elapsed());
 }

@@ -18,7 +18,9 @@ use rpg_repro::full_corpus;
 
 fn main() {
     let corpus = full_corpus();
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let ctx = ExperimentContext::new(&corpus, 20, 24, threads);
     println!(
         "evaluating {} surveys out of {} in the benchmark\n",
@@ -42,8 +44,15 @@ fn main() {
     println!("top-5 engine results vs. the survey's reference list:");
     let truth = survey.label(rpg_corpus::LabelLevel::AtLeastOne);
     for (rank, paper) in seeds.iter().enumerate() {
-        let title = corpus.paper(*paper).map(|p| p.title.clone()).unwrap_or_default();
-        let marker = if truth.contains(paper) { "IN REFERENCES" } else { "not referenced" };
+        let title = corpus
+            .paper(*paper)
+            .map(|p| p.title.clone())
+            .unwrap_or_default();
+        let marker = if truth.contains(paper) {
+            "IN REFERENCES"
+        } else {
+            "not referenced"
+        };
         println!("  {}. [{marker}] {title}", rank + 1);
     }
 }

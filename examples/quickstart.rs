@@ -13,21 +13,21 @@
 //! ```
 
 use rpg_repager::render::{output_to_text, path_to_dot};
-use rpg_repager::system::{PathRequest, RePaGer};
-use rpg_repro::demo_corpus;
+use rpg_repager::system::PathRequest;
+use rpg_repro::demo_service;
 
 fn main() {
-    // 1. A synthetic scholarly corpus standing in for S2ORC (see DESIGN.md).
-    let corpus = demo_corpus();
+    // 1+2. A synthetic scholarly corpus standing in for S2ORC (see
+    //    DESIGN.md), wrapped in the serving layer (global PageRank + seed
+    //    search engine are built once into shared artifacts).
+    let system = demo_service();
+    let corpus = system.corpus();
     println!(
         "corpus: {} papers, {} citation edges, {} surveys in the benchmark",
         corpus.len(),
         corpus.graph().edge_count(),
         corpus.survey_bank().len()
     );
-
-    // 2. Build the RePaGer system (global PageRank + seed search engine).
-    let system = RePaGer::build(&corpus);
 
     // 3. Ask for a reading path.  The query is the topic of the paper's own
     //    case study; any free-text query works.
@@ -36,7 +36,7 @@ fn main() {
     let output = system.generate(&request).expect("path generation succeeds");
 
     println!("\nquery: {query}");
-    println!("{}", output_to_text(&corpus, &output));
+    println!("{}", output_to_text(corpus, &output));
 
     // 4. The same path as Graphviz DOT (render with `dot -Tpng`).
     let engine_top = system.scholar().seed_papers(&rpg_engines::Query {
@@ -45,7 +45,7 @@ fn main() {
         max_year: None,
         exclude: &[],
     });
-    let dot = path_to_dot(&corpus, &output.path, &engine_top);
+    let dot = path_to_dot(corpus, &output.path, &engine_top);
     println!("--- reading path as DOT (grey = engine result, green = discovered prerequisite) ---");
     println!("{dot}");
 }

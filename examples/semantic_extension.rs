@@ -22,12 +22,15 @@ use rpg_repro::demo_corpus;
 
 fn main() {
     let corpus = demo_corpus();
-    let system = RePaGer::build(&corpus);
+    let system = RePaGer::build(&corpus).unwrap();
     let semantic = SemanticSimilarity::build(&corpus);
     let blend = 2.0;
 
     println!("query-by-query comparison (K = 30, blend = {blend}):\n");
-    println!("{:<44} {:>8} {:>8} {:>8} {:>8} {:>9}", "query", "F1", "F1+sem", "P", "P+sem", "overlap");
+    println!(
+        "{:<44} {:>8} {:>8} {:>8} {:>8} {:>9}",
+        "query", "F1", "F1+sem", "P", "P+sem", "overlap"
+    );
 
     let mut plain_f1 = Vec::new();
     let mut semantic_f1 = Vec::new();
@@ -42,8 +45,8 @@ fn main() {
             variant: Variant::Newst,
         };
         let plain = system.generate(&request).expect("plain NEWST runs");
-        let blended =
-            generate_with_semantics(&system, &request, &semantic, blend).expect("semantic NEWST runs");
+        let blended = generate_with_semantics(&system, &request, &semantic, blend)
+            .expect("semantic NEWST runs");
         if plain.reading_list.is_empty() || blended.reading_list.is_empty() {
             continue;
         }

@@ -23,10 +23,22 @@ fn main() {
     let output = pipeline::run(&corpus, &PipelineConfig::default());
     let report = output.report;
     println!("=== Fig. 3 — dataset construction pipeline ===");
-    println!("collected records (both sources): {}", report.collected_records);
-    println!("distinct collected surveys:       {}", report.collected_surveys);
-    println!("after title deduplication:        {}", report.after_deduplication);
-    println!("after page/parse filtering:       {}", report.after_filtering);
+    println!(
+        "collected records (both sources): {}",
+        report.collected_records
+    );
+    println!(
+        "distinct collected surveys:       {}",
+        report.collected_surveys
+    );
+    println!(
+        "after title deduplication:        {}",
+        report.after_deduplication
+    );
+    println!(
+        "after page/parse filtering:       {}",
+        report.after_filtering
+    );
     println!("final SurveyBank size:            {}", report.processed);
     println!();
 
@@ -37,9 +49,14 @@ fn main() {
     // Fig. 5: a 1,000-paper connected sample of the citation graph.
     let dot = graph_sample_dot(&corpus, 1_000, 42);
     let out_path = std::path::Path::new("target").join("citation_sample.dot");
-    if let Err(err) = std::fs::create_dir_all("target").and_then(|_| std::fs::write(&out_path, &dot)) {
+    if let Err(err) =
+        std::fs::create_dir_all("target").and_then(|_| std::fs::write(&out_path, &dot))
+    {
         eprintln!("could not write {}: {err}", out_path.display());
     } else {
-        println!("Fig. 5 citation-graph sample written to {}", out_path.display());
+        println!(
+            "Fig. 5 citation-graph sample written to {}",
+            out_path.display()
+        );
     }
 }

@@ -13,8 +13,9 @@
 
 use rpg_corpus::{generate, Corpus, CorpusConfig};
 use rpg_repager::render::{output_to_text, path_to_dot};
-use rpg_repager::system::{PathRequest, RePaGer};
+use rpg_repager::system::PathRequest;
 use rpg_repager::{RepagerConfig, Variant};
+use rpg_service::PathService;
 
 /// Parsed command-line options.
 #[derive(Debug, Clone, PartialEq)]
@@ -54,7 +55,10 @@ fn parse_variant(name: &str) -> Result<Variant, String> {
         .find(|v| v.name().eq_ignore_ascii_case(name))
         .ok_or_else(|| {
             let known: Vec<&str> = Variant::ALL.iter().map(|v| v.name()).collect();
-            format!("unknown variant '{name}'; expected one of {}", known.join(", "))
+            format!(
+                "unknown variant '{name}'; expected one of {}",
+                known.join(", ")
+            )
         })
 }
 
@@ -63,7 +67,9 @@ fn parse_args(args: &[String]) -> Result<CliOptions, String> {
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
         let mut value_of = |flag: &str| -> Result<String, String> {
-            iter.next().cloned().ok_or_else(|| format!("{flag} requires a value"))
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} requires a value"))
         };
         match arg.as_str() {
             "--query" | "-q" => options.query = Some(value_of("--query")?),
@@ -117,7 +123,10 @@ fn usage() -> String {
 
 fn build_corpus(scale: CorpusScale) -> Corpus {
     match scale {
-        CorpusScale::Small => generate(&CorpusConfig { seed: 0xDE40, ..CorpusConfig::small() }),
+        CorpusScale::Small => generate(&CorpusConfig {
+            seed: 0xDE40,
+            ..CorpusConfig::small()
+        }),
         CorpusScale::Default => generate(&CorpusConfig::default()),
     }
 }
@@ -140,7 +149,7 @@ fn run(options: &CliOptions) -> Result<String, String> {
     let Some(query) = &options.query else {
         return Err(usage());
     };
-    let system = RePaGer::build(&corpus);
+    let service = PathService::build(corpus).map_err(|e| e.to_string())?;
     let config = RepagerConfig::default().with_seed_count(options.seeds);
     let request = PathRequest {
         query,
@@ -150,23 +159,26 @@ fn run(options: &CliOptions) -> Result<String, String> {
         config,
         variant: options.variant,
     };
-    let output = system.generate(&request).map_err(|e| e.to_string())?;
+    let output = service.generate(&request).map_err(|e| e.to_string())?;
     if output.reading_list.is_empty() {
         return Ok(format!("no papers found for query \"{query}\"\n"));
     }
 
     let mut text = String::new();
-    text.push_str(&format!("query: {query}  (variant {}, {} seeds)\n", options.variant, options.seeds));
-    text.push_str(&output_to_text(&corpus, &output));
+    text.push_str(&format!(
+        "query: {query}  (variant {}, {} seeds)\n",
+        options.variant, options.seeds
+    ));
+    text.push_str(&output_to_text(service.corpus(), &output));
 
     if let Some(dot_path) = &options.dot_path {
-        let engine_top = system.scholar().seed_papers(&rpg_engines::Query {
+        let engine_top = service.scholar().seed_papers(&rpg_engines::Query {
             text: query,
             top_k: options.seeds,
             max_year: None,
             exclude: &[],
         });
-        let dot = path_to_dot(&corpus, &output.path, &engine_top);
+        let dot = path_to_dot(service.corpus(), &output.path, &engine_top);
         std::fs::write(dot_path, dot).map_err(|e| format!("cannot write {dot_path}: {e}"))?;
         text.push_str(&format!("\nDOT written to {dot_path}\n"));
     }
@@ -204,8 +216,17 @@ mod tests {
     #[test]
     fn all_flags_parse() {
         let options = parse_args(&args(&[
-            "-q", "hate speech detection", "-k", "15", "--seeds", "20", "--variant", "newst-u",
-            "--dot", "/tmp/x.dot", "--full-corpus",
+            "-q",
+            "hate speech detection",
+            "-k",
+            "15",
+            "--seeds",
+            "20",
+            "--variant",
+            "newst-u",
+            "--dot",
+            "/tmp/x.dot",
+            "--full-corpus",
         ]))
         .unwrap();
         assert_eq!(options.top_k, 15);
@@ -240,8 +261,17 @@ mod tests {
 
     #[test]
     fn generation_runs_for_a_known_topic() {
-        let options = parse_args(&args(&["--query", "graph neural networks", "--top-k", "10"])).unwrap();
+        let options = parse_args(&args(&[
+            "--query",
+            "graph neural networks",
+            "--top-k",
+            "10",
+        ]))
+        .unwrap();
         let output = run(&options).unwrap();
-        assert!(output.contains("reading path"), "unexpected output: {output}");
+        assert!(
+            output.contains("reading path"),
+            "unexpected output: {output}"
+        );
     }
 }

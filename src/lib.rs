@@ -15,18 +15,32 @@ pub use rpg_engines as engines;
 pub use rpg_eval as eval;
 pub use rpg_graph as graph;
 pub use rpg_repager as repager;
+pub use rpg_service as service;
 pub use rpg_textindex as textindex;
 
 use rpg_corpus::{generate, Corpus, CorpusConfig};
+use rpg_service::PathService;
+use std::sync::Arc;
 
 /// Generates the small demonstration corpus used by the examples and the
 /// integration tests (about 1.2k papers, 50 surveys; deterministic).
-pub fn demo_corpus() -> Corpus {
-    generate(&CorpusConfig { seed: 0xDE40, ..CorpusConfig::small() })
+/// Returned behind an `Arc` so services and experiment contexts share it
+/// without copying.
+pub fn demo_corpus() -> Arc<Corpus> {
+    Arc::new(generate(&CorpusConfig {
+        seed: 0xDE40,
+        ..CorpusConfig::small()
+    }))
 }
 
 /// Generates the full-scale corpus used by the benchmark harness (about 5k
 /// papers, 80+ surveys; deterministic).
-pub fn full_corpus() -> Corpus {
-    generate(&CorpusConfig::default())
+pub fn full_corpus() -> Arc<Corpus> {
+    Arc::new(generate(&CorpusConfig::default()))
+}
+
+/// Builds a [`PathService`] over the demonstration corpus: the one-line way
+/// to serve queries concurrently from examples and tests.
+pub fn demo_service() -> PathService {
+    PathService::build(demo_corpus()).expect("demo corpus artifacts build")
 }

@@ -6,9 +6,10 @@ use rpg_engines::{Query, ScholarEngine, SearchEngine};
 use rpg_eval::metrics::{f1_score, precision};
 use rpg_graph::topo;
 use rpg_repager::render::output_to_text;
-use rpg_repager::system::{PathRequest, RePaGer};
+use rpg_repager::system::PathRequest;
 use rpg_repager::{RepagerConfig, Variant};
 use rpg_repro::demo_corpus;
+use rpg_service::PathService;
 
 #[test]
 fn corpus_engines_and_repager_fit_together() {
@@ -25,7 +26,10 @@ fn corpus_engines_and_repager_fit_together() {
     for survey in corpus.survey_bank().iter() {
         for reference in &survey.references {
             let paper = corpus.paper(reference.paper).expect("reference resolves");
-            assert!(paper.year <= survey.year + 1, "reference newer than the survey");
+            assert!(
+                paper.year <= survey.year + 1,
+                "reference newer than the survey"
+            );
         }
     }
 
@@ -41,7 +45,7 @@ fn corpus_engines_and_repager_fit_together() {
 
     // RePaGer produces a non-trivial, citation-consistent path for a survey
     // query and the flattened list scores above zero against the ground truth.
-    let system = RePaGer::build(&corpus);
+    let system = PathService::build(corpus.clone()).unwrap();
     let survey = corpus.survey_bank().iter().next().unwrap();
     let exclude = [survey.paper];
     let output = system
@@ -67,7 +71,7 @@ fn corpus_engines_and_repager_fit_together() {
 #[test]
 fn repager_beats_a_random_baseline_on_precision() {
     let corpus = demo_corpus();
-    let system = RePaGer::build(&corpus);
+    let system = PathService::build(corpus.clone()).unwrap();
     let mut newst_precisions = Vec::new();
     let mut random_precisions = Vec::new();
 
@@ -130,8 +134,8 @@ fn generation_is_reproducible_across_processes() {
     assert_eq!(sa.query, sb.query);
     assert_eq!(sa.references, sb.references);
 
-    let system_a = RePaGer::build(&a);
-    let system_b = RePaGer::build(&b);
+    let system_a = PathService::build(a.clone()).unwrap();
+    let system_b = PathService::build(b.clone()).unwrap();
     let exclude_a = [sa.paper];
     let exclude_b = [sb.paper];
     let out_a = system_a

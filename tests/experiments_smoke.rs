@@ -26,7 +26,10 @@ fn observation_study_shows_the_expansion_effect() {
 fn statistics_report_matches_the_survey_bank() {
     let corpus = demo_corpus();
     let report = fig4_statistics::run(&corpus);
-    assert_eq!(report.citation_distribution.total(), corpus.survey_bank().len());
+    assert_eq!(
+        report.citation_distribution.total(),
+        corpus.survey_bank().len()
+    );
     assert!(report.summary.avg_survey_references > 5.0);
     assert!(!fig4_statistics::format(&report).is_empty());
 }
@@ -47,7 +50,10 @@ fn main_comparison_produces_the_papers_ordering() {
     assert!(newst > 0.0);
     // The paper's most robust ordering: NEWST clearly above the PageRank
     // re-ranking baseline.
-    assert!(newst > pagerank, "NEWST {newst:.3} vs PageRank {pagerank:.3}");
+    assert!(
+        newst > pagerank,
+        "NEWST {newst:.3} vs PageRank {pagerank:.3}"
+    );
 }
 
 #[test]
@@ -57,7 +63,10 @@ fn seed_count_sweep_and_ablation_run_to_completion() {
 
     let table2 = table2_seed_count::run(&ctx, &[10, 30], 30, LabelLevel::AtLeastOne);
     assert_eq!(table2.rows.len(), 2);
-    assert!(table2.rows.iter().all(|r| r.f1 >= 0.0 && r.precision <= 1.0));
+    assert!(table2
+        .rows
+        .iter()
+        .all(|r| r.f1 >= 0.0 && r.precision <= 1.0));
 
     let table3 = table3_ablation::run(&ctx, 30, LabelLevel::AtLeastOne);
     assert_eq!(table3.rows.len(), 7);
@@ -71,7 +80,11 @@ fn runtime_study_reports_interactive_latencies() {
     let ctx = ExperimentContext::new(&corpus, 15, 5, 2);
     let report = table4_runtime::run(&ctx, 5);
     let avg = report.average.expect("measured at least one query");
-    assert!(avg.millis < 10_000.0, "query latency {:.0}ms is not interactive", avg.millis);
+    assert!(
+        avg.millis < 10_000.0,
+        "query latency {:.0}ms is not interactive",
+        avg.millis
+    );
     assert!(avg.nodes > 0);
 }
 

@@ -14,7 +14,7 @@ use rpg_repro::demo_corpus;
 #[test]
 fn semantic_extension_is_competitive_with_plain_newst() {
     let corpus = demo_corpus();
-    let system = RePaGer::build(&corpus);
+    let system = RePaGer::build(&corpus).unwrap();
     let semantic = SemanticSimilarity::build(&corpus);
 
     let mut plain = Vec::new();

@@ -1,0 +1,310 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde stand-in.
+//!
+//! Implemented directly on top of `proc_macro` (no `syn`/`quote`, which are
+//! unavailable offline). Supports the shapes this workspace uses:
+//!
+//! * structs with named fields,
+//! * tuple structs (newtypes serialise transparently, wider tuples as arrays),
+//! * unit structs,
+//! * enums whose variants all carry no data (serialised as their name).
+//!
+//! Generics and data-carrying enum variants are rejected with a compile
+//! error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What kind of item the derive is attached to.
+enum Shape {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+    UnitEnum(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+fn compile_error(message: &str) -> TokenStream {
+    format!("compile_error!({message:?});").parse().unwrap()
+}
+
+/// Skips attributes (`#[...]`) and visibility (`pub`, `pub(...)`) tokens.
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut tokens = input.into_iter().peekable();
+    let mut keyword = None;
+    while let Some(tt) = tokens.next() {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Attribute: consume the following bracket group.
+                tokens.next();
+            }
+            TokenTree::Ident(id) => {
+                let word = id.to_string();
+                match word.as_str() {
+                    "pub" => {
+                        // Skip an optional restriction group `pub(crate)`.
+                        if let Some(TokenTree::Group(g)) = tokens.peek() {
+                            if g.delimiter() == Delimiter::Parenthesis {
+                                tokens.next();
+                            }
+                        }
+                    }
+                    "struct" | "enum" => {
+                        keyword = Some(word);
+                        break;
+                    }
+                    _ => return Err(format!("unsupported item keyword `{word}`")),
+                }
+            }
+            _ => return Err("unexpected token before item keyword".to_string()),
+        }
+    }
+    let keyword = keyword.ok_or("no struct/enum keyword found")?;
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("missing item name".to_string()),
+    };
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "derive on generic type `{name}` is not supported by the vendored serde"
+            ));
+        }
+    }
+
+    let shape = match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if keyword == "struct" {
+                Shape::Named(named_fields(g.stream())?)
+            } else {
+                Shape::UnitEnum(enum_variants(g.stream())?)
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            if keyword == "enum" {
+                return Err("unexpected parentheses after enum name".to_string());
+            }
+            Shape::Tuple(count_tuple_fields(g.stream()))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+        None if keyword == "struct" => Shape::Unit,
+        _ => return Err(format!("unsupported body for `{name}`")),
+    };
+    Ok(Item { name, shape })
+}
+
+/// Splits a brace group of named fields into field names.
+fn named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        let name = loop {
+            match tokens.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break Some(id.to_string()),
+                Some(other) => return Err(format!("unexpected token `{other}` in field list")),
+                None => break None,
+            }
+        };
+        let Some(name) = name else { break };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => return Err(format!("missing `:` after field `{name}`")),
+        }
+        // Skip the type: consume until a top-level comma (angle-bracket depth
+        // tracked so `HashMap<K, V>` commas don't split the field).
+        let mut angle_depth = 0i32;
+        for tt in tokens.by_ref() {
+            match &tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+/// Counts the comma-separated fields of a tuple struct body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut saw_token = false;
+    let mut angle_depth = 0i32;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                count += 1;
+                saw_token = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_token = true;
+    }
+    if saw_token {
+        count += 1;
+    }
+    count
+}
+
+/// Collects the unit variants of an enum body; errors on data variants.
+fn enum_variants(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                tokens.next();
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => {}
+            TokenTree::Ident(id) => {
+                let variant = id.to_string();
+                if let Some(TokenTree::Group(_)) = tokens.peek() {
+                    return Err(format!(
+                        "variant `{variant}` carries data; the vendored serde only derives unit enums"
+                    ));
+                }
+                // Skip an optional discriminant `= expr`.
+                if let Some(TokenTree::Punct(p)) = tokens.peek() {
+                    if p.as_char() == '=' {
+                        for tt in tokens.by_ref() {
+                            if matches!(&tt, TokenTree::Punct(p) if p.as_char() == ',') {
+                                break;
+                            }
+                        }
+                    }
+                }
+                variants.push(variant);
+            }
+            other => return Err(format!("unexpected token `{other}` in enum body")),
+        }
+    }
+    Ok(variants)
+}
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(message) => return compile_error(&message),
+    };
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "fields.push(({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "let mut fields: Vec<(String, ::serde::value::Value)> = Vec::new();\n\
+                 {pushes}\
+                 ::serde::value::Value::Object(fields)"
+            )
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::value::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::Unit => "::serde::value::Value::Null".to_string(),
+        Shape::UnitEnum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    format!("{name}::{v} => ::serde::value::Value::String({v:?}.to_string()),\n")
+                })
+                .collect();
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::value::Value {{\n{body}\n}}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(message) => return compile_error(&message),
+    };
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!("{f}: ::serde::Deserialize::from_value(v.field_or_null({f:?}))?,\n")
+                })
+                .collect();
+            format!("Ok({name} {{\n{inits}}})")
+        }
+        Shape::Tuple(1) => format!("Ok({name}(::serde::Deserialize::from_value(v)?))"),
+        Shape::Tuple(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "match v {{\n\
+                     ::serde::value::Value::Array(items) if items.len() == {n} => \
+                         Ok({name}({inits})),\n\
+                     other => Err(::serde::value::DeError::expected({expect:?}, other)),\n\
+                 }}",
+                inits = inits.join(", "),
+                expect = format!("{n}-element array"),
+            )
+        }
+        Shape::Unit => format!("{{ let _ = v; Ok({name}) }}"),
+        Shape::UnitEnum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{v:?} => Ok({name}::{v}),\n"))
+                .collect();
+            format!(
+                "match v {{\n\
+                     ::serde::value::Value::String(s) => match s.as_str() {{\n\
+                         {arms}\
+                         other => Err(::serde::value::DeError::new(format!(\
+                             \"unknown {name} variant {{other:?}}\"))),\n\
+                     }},\n\
+                     other => Err(::serde::value::DeError::expected(\"string\", other)),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::value::Value) -> Result<Self, ::serde::value::DeError> {{\n{body}\n}}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
