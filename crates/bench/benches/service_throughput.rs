@@ -7,11 +7,20 @@
 //! through `generate_uncached` (serial loop, one thread) and
 //! `generate_batch_with_threads` (all cores), which is the speedup the
 //! serving layer exists to provide.
+//!
+//! The loopback group drives the same requests end-to-end through the
+//! `rpg-server` HTTP front end (TCP connect + JSON encode/decode + worker
+//! pool), so the protocol overhead over in-process calls is directly
+//! observable — on the hit path (`http_cache_hit`) it is almost pure
+//! overhead, on the miss path (`http_uncached`) it amortises against the
+//! pipeline.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rpg_bench::micro_corpus;
 use rpg_repager::system::PathRequest;
-use rpg_service::{default_threads, PathService};
+use rpg_server::{client, Server, ServerConfig};
+use rpg_service::{default_threads, CorpusRegistry, PathService};
+use std::sync::Arc;
 
 fn service_throughput(c: &mut Criterion) {
     let corpus = micro_corpus();
@@ -89,5 +98,99 @@ fn service_throughput(c: &mut Criterion) {
     );
 }
 
-criterion_group!(benches, service_throughput);
+/// End-to-end over loopback HTTP: the same survey queries through
+/// `rpg-server`, one TCP connection per request (the server's
+/// `Connection: close` model).
+fn http_loopback(c: &mut Criterion) {
+    // One corpus, one artifacts build, shared by both registries (the
+    // second registry has caching disabled to isolate the miss path).
+    let corpus = micro_corpus();
+    let artifacts =
+        rpg_repager::artifacts::CorpusArtifacts::build(corpus.clone()).expect("artifacts build");
+    let registry = Arc::new(CorpusRegistry::new());
+    registry.register_artifacts("default", artifacts.clone());
+    let uncached_registry = Arc::new(CorpusRegistry::with_cache_capacity(0));
+    uncached_registry.register_artifacts("default", artifacts);
+    let server = Server::spawn(
+        registry,
+        ServerConfig {
+            workers: default_threads(),
+            queue_capacity: 64,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server binds");
+    let uncached_server = Server::spawn(
+        uncached_registry,
+        ServerConfig {
+            workers: default_threads(),
+            queue_capacity: 64,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server binds");
+
+    let bodies: Vec<String> = corpus
+        .survey_bank()
+        .iter()
+        .take(12)
+        .map(|s| {
+            format!(
+                r#"{{"query": {:?}, "max_year": {}, "top_k": 30}}"#,
+                s.query, s.year
+            )
+        })
+        .collect();
+    println!(
+        "\nhttp loopback instance: {} survey queries against http://{}",
+        bodies.len(),
+        server.addr()
+    );
+
+    let mut group = c.benchmark_group("http_loopback");
+    group.sample_size(10);
+
+    // Warm the cache so this measures protocol overhead on the hit path.
+    for body in &bodies {
+        let response = client::post_json(server.addr(), "/v1/generate", body).unwrap();
+        assert_eq!(response.status, 200, "{}", response.body);
+    }
+    group.bench_function("http_cache_hit", |b| {
+        let mut next = 0usize;
+        b.iter(|| {
+            let body = &bodies[next % bodies.len()];
+            next += 1;
+            let response = client::post_json(server.addr(), "/v1/generate", body).unwrap();
+            assert_eq!(response.status, 200);
+            response.body.len()
+        })
+    });
+
+    group.bench_function("http_uncached", |b| {
+        let mut next = 0usize;
+        b.iter(|| {
+            let body = &bodies[next % bodies.len()];
+            next += 1;
+            let response = client::post_json(uncached_server.addr(), "/v1/generate", body).unwrap();
+            assert_eq!(response.status, 200);
+            response.body.len()
+        })
+    });
+
+    // One batch request carrying all queries: the server fans out
+    // internally, so this is the HTTP counterpart of `batch_all_cores`.
+    let batch_body = format!(r#"{{"requests": [{}]}}"#, bodies.join(", "));
+    group.bench_function("http_batch_uncached", |b| {
+        b.iter(|| {
+            let response =
+                client::post_json(uncached_server.addr(), "/v1/batch", &batch_body).unwrap();
+            assert_eq!(response.status, 200);
+            response.body.len()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, service_throughput, http_loopback);
 criterion_main!(benches);

@@ -37,6 +37,7 @@ pub mod render;
 pub mod seeds;
 pub mod semantic;
 pub mod stages;
+pub mod stats;
 pub mod subgraph;
 pub mod system;
 pub mod variants;
@@ -46,5 +47,6 @@ pub use artifacts::CorpusArtifacts;
 pub use config::{ConfigError, RepagerConfig};
 pub use path::ReadingPath;
 pub use stages::{Stage, StageContext, StageTimings};
+pub use stats::TimingAggregate;
 pub use system::{RePaGer, RepagerError, RepagerOutput};
 pub use variants::Variant;

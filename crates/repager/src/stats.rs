@@ -1,0 +1,163 @@
+//! Aggregation of per-request [`StageTimings`] into service-level
+//! observability counters.
+//!
+//! One pipeline run yields one `StageTimings`; a serving front end records
+//! thousands. [`TimingAggregate`] folds them into field-wise sums plus a
+//! request count, cheap enough to update under a mutex on every request,
+//! and exposes means for a stats endpoint (`GET /v1/stats` in
+//! `rpg-server`) or an evaluation summary.
+
+use crate::stages::StageTimings;
+use std::time::Duration;
+
+/// Field-wise sums of every recorded [`StageTimings`], plus the number of
+/// requests recorded.
+///
+/// `merge` lets per-worker aggregates be combined without sharing a lock on
+/// the hot path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TimingAggregate {
+    /// Number of pipeline runs recorded.
+    pub requests: u64,
+    /// Sum of each stage duration (and the total) across all runs.
+    pub sums: StageTimings,
+}
+
+impl TimingAggregate {
+    /// An empty aggregate.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one request's timings into the aggregate.
+    pub fn record(&mut self, timings: &StageTimings) {
+        self.requests += 1;
+        self.sums.seed += timings.seed;
+        self.sums.subgraph += timings.subgraph;
+        self.sums.realloc += timings.realloc;
+        self.sums.steiner += timings.steiner;
+        self.sums.render += timings.render;
+        self.sums.total += timings.total;
+    }
+
+    /// Combines another aggregate into this one (e.g. per-worker partials).
+    pub fn merge(&mut self, other: &TimingAggregate) {
+        self.requests += other.requests;
+        self.sums.seed += other.sums.seed;
+        self.sums.subgraph += other.sums.subgraph;
+        self.sums.realloc += other.sums.realloc;
+        self.sums.steiner += other.sums.steiner;
+        self.sums.render += other.sums.render;
+        self.sums.total += other.sums.total;
+    }
+
+    /// Whether any request has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.requests == 0
+    }
+
+    /// The five per-stage duration sums, labelled, in pipeline order.
+    pub fn stage_sums(&self) -> [(&'static str, Duration); 5] {
+        self.sums.stages()
+    }
+
+    /// The field-wise means as a [`StageTimings`] (all zero when nothing
+    /// was recorded), so mean timings can flow through any consumer of
+    /// per-request timings — e.g. the server's single JSON encoder.
+    pub fn means(&self) -> StageTimings {
+        StageTimings {
+            seed: mean(self.sums.seed, self.requests),
+            subgraph: mean(self.sums.subgraph, self.requests),
+            realloc: mean(self.sums.realloc, self.requests),
+            steiner: mean(self.sums.steiner, self.requests),
+            render: mean(self.sums.render, self.requests),
+            total: mean(self.sums.total, self.requests),
+        }
+    }
+
+    /// Mean wall-clock time per request (zero when nothing was recorded).
+    pub fn mean_total(&self) -> Duration {
+        self.means().total
+    }
+
+    /// The five per-stage mean durations, labelled, in pipeline order
+    /// (all zero when nothing was recorded).
+    pub fn mean_stages(&self) -> [(&'static str, Duration); 5] {
+        self.means().stages()
+    }
+}
+
+fn mean(sum: Duration, count: u64) -> Duration {
+    if count == 0 {
+        return Duration::ZERO;
+    }
+    // Duration division takes u32; beyond that many requests the mean of a
+    // saturated window is no longer meaningful anyway, so divide in f64.
+    match u32::try_from(count) {
+        Ok(n) => sum / n,
+        Err(_) => Duration::from_secs_f64(sum.as_secs_f64() / count as f64),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timings(ms: u64) -> StageTimings {
+        StageTimings {
+            seed: Duration::from_millis(ms),
+            subgraph: Duration::from_millis(2 * ms),
+            realloc: Duration::from_millis(3 * ms),
+            steiner: Duration::from_millis(4 * ms),
+            render: Duration::from_millis(5 * ms),
+            total: Duration::from_millis(16 * ms),
+        }
+    }
+
+    #[test]
+    fn record_accumulates_field_wise() {
+        let mut agg = TimingAggregate::new();
+        assert!(agg.is_empty());
+        agg.record(&timings(1));
+        agg.record(&timings(3));
+        assert_eq!(agg.requests, 2);
+        assert_eq!(agg.sums.seed, Duration::from_millis(4));
+        assert_eq!(agg.sums.steiner, Duration::from_millis(16));
+        assert_eq!(agg.sums.total, Duration::from_millis(64));
+    }
+
+    #[test]
+    fn means_divide_by_request_count() {
+        let mut agg = TimingAggregate::new();
+        agg.record(&timings(2));
+        agg.record(&timings(4));
+        assert_eq!(agg.mean_total(), Duration::from_millis(48));
+        let means = agg.mean_stages();
+        assert_eq!(means[0], ("seed", Duration::from_millis(3)));
+        assert_eq!(means[4], ("render", Duration::from_millis(15)));
+    }
+
+    #[test]
+    fn empty_aggregate_reports_zero_means() {
+        let agg = TimingAggregate::new();
+        assert_eq!(agg.mean_total(), Duration::ZERO);
+        for (_, mean) in agg.mean_stages() {
+            assert_eq!(mean, Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_in_one_aggregate() {
+        let mut left = TimingAggregate::new();
+        let mut right = TimingAggregate::new();
+        left.record(&timings(1));
+        right.record(&timings(2));
+        right.record(&timings(5));
+        let mut combined = TimingAggregate::new();
+        for ms in [1, 2, 5] {
+            combined.record(&timings(ms));
+        }
+        left.merge(&right);
+        assert_eq!(left, combined);
+    }
+}

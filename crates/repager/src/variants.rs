@@ -62,6 +62,15 @@ impl Variant {
         }
     }
 
+    /// Parses a variant from its paper-table name, case-insensitively
+    /// (`"newst-c"`, `"NEWST-C"`, ...). The CLI and the HTTP front end share
+    /// this parse so their accepted spellings cannot drift.
+    pub fn from_name(name: &str) -> Option<Variant> {
+        Variant::ALL
+            .into_iter()
+            .find(|v| v.name().eq_ignore_ascii_case(name))
+    }
+
     /// How the terminal set is selected for this variant.
     pub fn terminal_selection(self) -> TerminalSelection {
         match self {
@@ -162,5 +171,15 @@ mod tests {
     #[test]
     fn display_matches_name() {
         assert_eq!(Variant::Union.to_string(), "NEWST-U");
+    }
+
+    #[test]
+    fn from_name_round_trips_every_variant() {
+        for v in Variant::ALL {
+            assert_eq!(Variant::from_name(v.name()), Some(v));
+            assert_eq!(Variant::from_name(&v.name().to_lowercase()), Some(v));
+        }
+        assert_eq!(Variant::from_name("steiner"), None);
+        assert_eq!(Variant::from_name(""), None);
     }
 }

@@ -1,0 +1,311 @@
+//! The JSON API surface: request DTOs and the canonical response encoding.
+//!
+//! [`output_result_value`] is *the* encoding of a pipeline result. The
+//! integration suite drives the same function over a direct
+//! `PathService::generate` output and asserts byte-identical JSON against
+//! the server's `result` field, so the HTTP layer provably adds nothing and
+//! loses nothing.
+//!
+//! Determinism matters here: everything emitted is either an ordered
+//! `Vec`-backed structure or explicitly sorted (the co-occurrence map is a
+//! `HashMap` upstream and is emitted sorted by paper id).
+
+use rpg_corpus::PaperId;
+use rpg_repager::stages::StageTimings;
+use rpg_repager::system::{PathRequest, RepagerOutput};
+use rpg_repager::{RepagerConfig, Variant};
+use serde::value::Value;
+use serde::{Deserialize, Serialize};
+
+/// Default reading-list length when a request omits `top_k`.
+pub const DEFAULT_TOP_K: usize = 30;
+
+/// Hard cap on `/v1/batch` fan-out, so one request body cannot queue
+/// unbounded work behind one worker.
+pub const MAX_BATCH: usize = 256;
+
+/// Body of `POST /v1/generate` (and each element of `POST /v1/batch`).
+///
+/// Only `query` is required; everything else falls back to the service
+/// defaults. `corpus` routes to a registry tenant and defaults to the
+/// server's configured default corpus.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct GenerateRequest {
+    /// The research topic (key phrases joined by spaces).
+    pub query: String,
+    /// Reading-list length (default 30).
+    pub top_k: Option<usize>,
+    /// Only papers published in or before this year.
+    pub max_year: Option<u16>,
+    /// The corpus tenant to query (default corpus when omitted).
+    pub corpus: Option<String>,
+    /// Model variant by paper-table name (`"NEWST"`, `"NEWST-C"`, ...).
+    pub variant: Option<String>,
+    /// Number of initial seed papers.
+    pub seed_count: Option<usize>,
+    /// Paper ids excluded from every stage.
+    pub exclude: Option<Vec<u32>>,
+}
+
+/// Body of `POST /v1/batch`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct BatchRequest {
+    /// The requests to serve; results come back in the same order.
+    pub requests: Vec<GenerateRequest>,
+}
+
+/// A request-level problem discovered while interpreting a DTO.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApiError {
+    /// The HTTP status to answer with.
+    pub status: u16,
+    /// Human-readable explanation, returned as `{"error": ...}`.
+    pub message: String,
+}
+
+impl ApiError {
+    /// A 400 with a message.
+    pub fn bad_request(message: impl Into<String>) -> Self {
+        ApiError {
+            status: 400,
+            message: message.into(),
+        }
+    }
+
+    /// The `{"error": ...}` body for this error.
+    pub fn body(&self) -> String {
+        error_body(&self.message)
+    }
+}
+
+/// Renders `{"error": message}` (shared by every error response).
+pub fn error_body(message: &str) -> String {
+    serde_json::to_string(&Value::Object(vec![(
+        "error".to_string(),
+        Value::String(message.to_string()),
+    )]))
+    .expect("error body serialises")
+}
+
+/// The owned pieces of a validated request that a [`PathRequest`] borrows.
+#[derive(Debug, Clone)]
+pub struct ResolvedRequest {
+    /// The query text.
+    pub query: String,
+    /// Flattened reading-list length.
+    pub top_k: usize,
+    /// Year cut-off.
+    pub max_year: Option<u16>,
+    /// Excluded papers.
+    pub exclude: Vec<PaperId>,
+    /// Model parameters.
+    pub config: RepagerConfig,
+    /// Model variant.
+    pub variant: Variant,
+}
+
+impl ResolvedRequest {
+    /// Validates a DTO into owned request parts.
+    pub fn resolve(dto: &GenerateRequest) -> Result<Self, ApiError> {
+        let variant = match dto.variant.as_deref() {
+            None => Variant::Newst,
+            Some(name) => Variant::from_name(name).ok_or_else(|| {
+                let known: Vec<&str> = Variant::ALL.iter().map(|v| v.name()).collect();
+                ApiError::bad_request(format!(
+                    "unknown variant {name:?}; expected one of {}",
+                    known.join(", ")
+                ))
+            })?,
+        };
+        let mut config = RepagerConfig::default();
+        if let Some(seed_count) = dto.seed_count {
+            config = config.with_seed_count(seed_count);
+        }
+        Ok(ResolvedRequest {
+            query: dto.query.clone(),
+            top_k: dto.top_k.unwrap_or(DEFAULT_TOP_K),
+            max_year: dto.max_year,
+            exclude: dto
+                .exclude
+                .iter()
+                .flatten()
+                .map(|&id| PaperId(id))
+                .collect(),
+            config,
+            variant,
+        })
+    }
+
+    /// The borrowing pipeline request over this resolved data.
+    pub fn as_path_request(&self) -> PathRequest<'_> {
+        PathRequest {
+            query: &self.query,
+            top_k: self.top_k,
+            max_year: self.max_year,
+            exclude: &self.exclude,
+            config: self.config,
+            variant: self.variant,
+        }
+    }
+}
+
+/// The canonical, deterministic JSON encoding of a pipeline result.
+///
+/// Excludes wall-clock timings (they never repeat) so that two runs of the
+/// same request encode to byte-identical JSON.
+pub fn output_result_value(output: &RepagerOutput) -> Value {
+    let mut cooccurrence: Vec<(PaperId, usize)> = output
+        .seeds
+        .cooccurrence
+        .iter()
+        .map(|(&paper, &count)| (paper, count))
+        .collect();
+    cooccurrence.sort_unstable();
+    Value::Object(vec![
+        ("reading_list".to_string(), output.reading_list.to_value()),
+        ("path".to_string(), output.path.to_value()),
+        (
+            "seeds".to_string(),
+            Value::Object(vec![
+                ("initial".to_string(), output.seeds.initial.to_value()),
+                (
+                    "reallocated".to_string(),
+                    output.seeds.reallocated.to_value(),
+                ),
+                (
+                    "cooccurrence".to_string(),
+                    Value::Array(
+                        cooccurrence
+                            .into_iter()
+                            .map(|(paper, count)| {
+                                Value::Object(vec![
+                                    ("paper".to_string(), paper.to_value()),
+                                    ("count".to_string(), Value::Number(count as f64)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ),
+        (
+            "subgraph_nodes".to_string(),
+            Value::Number(output.subgraph_nodes as f64),
+        ),
+        (
+            "subgraph_edges".to_string(),
+            Value::Number(output.subgraph_edges as f64),
+        ),
+    ])
+}
+
+/// Per-stage wall-clock times in integer microseconds.
+pub fn timings_value(timings: &StageTimings) -> Value {
+    let mut fields: Vec<(String, Value)> = timings
+        .stages()
+        .iter()
+        .map(|(name, duration)| {
+            (
+                format!("{name}_us"),
+                Value::Number(duration.as_micros() as f64),
+            )
+        })
+        .collect();
+    fields.push((
+        "total_us".to_string(),
+        Value::Number(timings.total.as_micros() as f64),
+    ));
+    Value::Object(fields)
+}
+
+/// The full `POST /v1/generate` response body.
+pub fn generate_response_value(corpus: &str, output: &RepagerOutput, cached: bool) -> Value {
+    Value::Object(vec![
+        ("corpus".to_string(), Value::String(corpus.to_string())),
+        ("cached".to_string(), Value::Bool(cached)),
+        ("result".to_string(), output_result_value(output)),
+        ("timings".to_string(), timings_value(&output.timings)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_request_parses_with_defaults() {
+        let dto: GenerateRequest =
+            serde_json::from_str(r#"{"query": "graph neural networks"}"#).unwrap();
+        assert_eq!(dto.query, "graph neural networks");
+        assert_eq!(dto.top_k, None);
+        let resolved = ResolvedRequest::resolve(&dto).unwrap();
+        assert_eq!(resolved.top_k, DEFAULT_TOP_K);
+        assert_eq!(resolved.variant, Variant::Newst);
+        assert!(resolved.exclude.is_empty());
+        let request = resolved.as_path_request();
+        assert_eq!(request.query, "graph neural networks");
+    }
+
+    #[test]
+    fn generate_request_parses_every_field() {
+        let dto: GenerateRequest = serde_json::from_str(
+            r#"{"query": "q", "top_k": 7, "max_year": 2015, "corpus": "aux",
+                "variant": "newst-c", "seed_count": 12, "exclude": [3, 9]}"#,
+        )
+        .unwrap();
+        let resolved = ResolvedRequest::resolve(&dto).unwrap();
+        assert_eq!(resolved.top_k, 7);
+        assert_eq!(resolved.max_year, Some(2015));
+        assert_eq!(resolved.variant, Variant::CandidatesOnly);
+        assert_eq!(resolved.config.seed_count, 12);
+        assert_eq!(resolved.exclude, vec![PaperId(3), PaperId(9)]);
+        assert_eq!(dto.corpus.as_deref(), Some("aux"));
+    }
+
+    #[test]
+    fn unknown_variant_is_a_400() {
+        let dto: GenerateRequest =
+            serde_json::from_str(r#"{"query": "q", "variant": "steiner"}"#).unwrap();
+        let err = ResolvedRequest::resolve(&dto).unwrap_err();
+        assert_eq!(err.status, 400);
+        assert!(err.message.contains("steiner"));
+        assert!(err.body().starts_with(r#"{"error":"#));
+    }
+
+    #[test]
+    fn missing_query_fails_to_parse() {
+        assert!(serde_json::from_str::<GenerateRequest>(r#"{"top_k": 5}"#).is_err());
+        assert!(serde_json::from_str::<GenerateRequest>("[]").is_err());
+        assert!(serde_json::from_str::<GenerateRequest>("not json").is_err());
+    }
+
+    #[test]
+    fn batch_request_parses() {
+        let batch: BatchRequest =
+            serde_json::from_str(r#"{"requests": [{"query": "a"}, {"query": "b", "top_k": 3}]}"#)
+                .unwrap();
+        assert_eq!(batch.requests.len(), 2);
+        assert_eq!(batch.requests[1].top_k, Some(3));
+    }
+
+    #[test]
+    fn error_body_is_json() {
+        assert_eq!(
+            error_body("queue full"),
+            r#"{"error":"queue full"}"#.to_string()
+        );
+    }
+
+    #[test]
+    fn timings_render_in_microseconds() {
+        let timings = StageTimings {
+            seed: std::time::Duration::from_micros(10),
+            total: std::time::Duration::from_micros(99),
+            ..Default::default()
+        };
+        let value = timings_value(&timings);
+        assert_eq!(value.get("seed_us").and_then(Value::as_f64), Some(10.0));
+        assert_eq!(value.get("total_us").and_then(Value::as_f64), Some(99.0));
+        assert_eq!(value.get("render_us").and_then(Value::as_f64), Some(0.0));
+    }
+}

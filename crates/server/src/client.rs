@@ -1,0 +1,129 @@
+//! A tiny blocking HTTP client for loopback use: the integration tests,
+//! the throughput bench, and smoke checks all drive the server through
+//! this one code path (one request per connection, mirroring the server's
+//! `Connection: close` policy).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A parsed HTTP response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientResponse {
+    /// The status code.
+    pub status: u16,
+    /// Header name/value pairs; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The body as text.
+    pub body: String,
+}
+
+impl ClientResponse {
+    /// The first header with this (lowercase) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Issues one request and reads the response until the server closes the
+/// connection.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> std::io::Result<ClientResponse> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+    let body = body.unwrap_or("");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    parse_response(&raw)
+}
+
+/// Shorthand for `POST` with a JSON body.
+pub fn post_json(addr: SocketAddr, path: &str, body: &str) -> std::io::Result<ClientResponse> {
+    request(addr, "POST", path, Some(body))
+}
+
+/// Shorthand for a body-less `GET`.
+pub fn get(addr: SocketAddr, path: &str) -> std::io::Result<ClientResponse> {
+    request(addr, "GET", path, None)
+}
+
+fn invalid(reason: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, reason.to_string())
+}
+
+fn parse_response(raw: &[u8]) -> std::io::Result<ClientResponse> {
+    let text = std::str::from_utf8(raw).map_err(|_| invalid("response is not UTF-8"))?;
+    // Skip interim 100 Continue responses.
+    let mut rest = text;
+    loop {
+        let (head, body) = rest
+            .split_once("\r\n\r\n")
+            .ok_or_else(|| invalid("no header terminator"))?;
+        let mut lines = head.split("\r\n");
+        let status_line = lines.next().ok_or_else(|| invalid("empty response"))?;
+        let status: u16 = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| invalid("bad status line"))?;
+        if status == 100 {
+            rest = body;
+            continue;
+        }
+        let headers = lines
+            .filter_map(|line| {
+                line.split_once(':')
+                    .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
+            })
+            .collect();
+        return Ok(ClientResponse {
+            status,
+            headers,
+            body: body.to_string(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_plain_response() {
+        let raw = b"HTTP/1.1 200 OK\r\ncontent-type: application/json\r\n\r\n{\"ok\":true}";
+        let response = parse_response(raw).unwrap();
+        assert_eq!(response.status, 200);
+        assert_eq!(response.header("content-type"), Some("application/json"));
+        assert_eq!(response.body, "{\"ok\":true}");
+    }
+
+    #[test]
+    fn skips_interim_continue() {
+        let raw = b"HTTP/1.1 100 Continue\r\n\r\nHTTP/1.1 503 Service Unavailable\r\nretry-after: 1\r\n\r\n{}";
+        let response = parse_response(raw).unwrap();
+        assert_eq!(response.status, 503);
+        assert_eq!(response.header("retry-after"), Some("1"));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_response(b"not http").is_err());
+        assert!(parse_response(b"HTTP/1.1 banana\r\n\r\n").is_err());
+    }
+}

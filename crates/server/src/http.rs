@@ -1,0 +1,418 @@
+//! A minimal HTTP/1.1 implementation over `std::io` — just enough protocol
+//! for the JSON API: request-line + header parsing with hard size limits,
+//! exact `Content-Length` body reads, `Expect: 100-continue` handling, and
+//! `Connection: close` responses.
+//!
+//! The reader side is generic over [`Read`] so parsing is unit-testable on
+//! byte slices; the server hands it `TcpStream`s with a read timeout set, so
+//! a client that never finishes its request cannot pin a worker forever.
+
+use std::io::{self, Read, Write};
+
+/// Parsing limits enforced before any allocation grows unboundedly.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Maximum bytes of request line + headers.
+    pub max_head_bytes: usize,
+    /// Maximum bytes of body (`Content-Length` above this is rejected).
+    pub max_body_bytes: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_head_bytes: 16 * 1024,
+            max_body_bytes: 1024 * 1024,
+        }
+    }
+}
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The method verb, uppercased as received (`GET`, `POST`, ...).
+    pub method: String,
+    /// The request path without the query string.
+    pub path: String,
+    /// Header name/value pairs; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The raw body bytes (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+    /// Whether bytes beyond `Content-Length` were received (a pipelined
+    /// second request). This server never serves them — the caller must
+    /// drain before closing so the response isn't destroyed by an RST.
+    pub has_excess_bytes: bool,
+}
+
+impl Request {
+    /// The first header with this (lowercase) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// The bytes on the wire are not a well-formed HTTP/1.1 request.
+    Malformed(String),
+    /// Head or declared body size exceeds the configured limits.
+    TooLarge(String),
+    /// The client stopped sending before the request was complete.
+    Incomplete,
+    /// The socket read timed out.
+    Timeout,
+    /// Any other transport failure.
+    Io(io::ErrorKind),
+}
+
+impl HttpError {
+    /// The HTTP status this error maps to.
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::Malformed(_) => 400,
+            HttpError::TooLarge(_) => 413,
+            HttpError::Incomplete => 400,
+            HttpError::Timeout => 408,
+            HttpError::Io(_) => 400,
+        }
+    }
+
+    /// A short human-readable description for the error body.
+    pub fn message(&self) -> String {
+        match self {
+            HttpError::Malformed(what) => format!("malformed request: {what}"),
+            HttpError::TooLarge(what) => format!("request too large: {what}"),
+            HttpError::Incomplete => "connection closed mid-request".to_string(),
+            HttpError::Timeout => "timed out waiting for the request".to_string(),
+            HttpError::Io(kind) => format!("transport error: {kind:?}"),
+        }
+    }
+}
+
+fn io_error(e: io::Error) -> HttpError {
+    match e.kind() {
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => HttpError::Timeout,
+        io::ErrorKind::UnexpectedEof => HttpError::Incomplete,
+        kind => HttpError::Io(kind),
+    }
+}
+
+/// Reads and parses one HTTP/1.1 request.
+///
+/// `on_continue` is called once if the client sent `Expect: 100-continue`
+/// and the head parsed cleanly, so the caller can emit the interim
+/// `100 Continue` response before this function blocks on the body (curl
+/// does this for any body above ~1 KiB).
+pub fn read_request<R: Read>(
+    reader: &mut R,
+    limits: &Limits,
+    mut on_continue: impl FnMut(),
+) -> Result<Request, HttpError> {
+    // Accumulate until the blank line that ends the head.
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            if pos + 4 > limits.max_head_bytes {
+                return Err(HttpError::TooLarge(format!(
+                    "head exceeds {} bytes",
+                    limits.max_head_bytes
+                )));
+            }
+            break pos;
+        }
+        if buf.len() >= limits.max_head_bytes {
+            return Err(HttpError::TooLarge(format!(
+                "head exceeds {} bytes",
+                limits.max_head_bytes
+            )));
+        }
+        let mut chunk = [0u8; 1024];
+        let n = reader.read(&mut chunk).map_err(io_error)?;
+        if n == 0 {
+            return Err(HttpError::Incomplete);
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| HttpError::Malformed("head is not UTF-8".to_string()))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines
+        .next()
+        .ok_or_else(|| HttpError::Malformed("empty request line".to_string()))?;
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty())
+        .ok_or_else(|| HttpError::Malformed("missing method".to_string()))?;
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("missing request target".to_string()))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("missing HTTP version".to_string()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!(
+            "unsupported protocol {version:?}"
+        )));
+    }
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::Malformed(format!("header line {line:?}")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let request_head = Request {
+        method: method.to_string(),
+        path: target.split('?').next().unwrap_or(target).to_string(),
+        headers,
+        body: Vec::new(),
+        has_excess_bytes: false,
+    };
+
+    let content_length = match request_head.header("content-length") {
+        None => 0usize,
+        Some(raw) => raw
+            .parse::<usize>()
+            .map_err(|_| HttpError::Malformed(format!("content-length {raw:?}")))?,
+    };
+    if content_length > limits.max_body_bytes {
+        return Err(HttpError::TooLarge(format!(
+            "body of {content_length} bytes exceeds {} bytes",
+            limits.max_body_bytes
+        )));
+    }
+
+    if request_head
+        .header("expect")
+        .is_some_and(|v| v.eq_ignore_ascii_case("100-continue"))
+        && content_length > 0
+    {
+        on_continue();
+    }
+
+    // Bytes already read past the head are the body prefix.
+    let mut body = buf[head_end + 4..].to_vec();
+    let mut has_excess_bytes = false;
+    if body.len() > content_length {
+        // Trailing pipelined bytes are never served (we always close), but
+        // their existence is reported so the caller drains before closing.
+        body.truncate(content_length);
+        has_excess_bytes = true;
+    }
+    while body.len() < content_length {
+        let mut chunk = vec![0u8; (content_length - body.len()).min(16 * 1024)];
+        let n = reader.read(&mut chunk).map_err(io_error)?;
+        if n == 0 {
+            return Err(HttpError::Incomplete);
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+
+    Ok(Request {
+        body,
+        has_excess_bytes,
+        ..request_head
+    })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// An HTTP response ready to be written to the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Extra headers beyond `Content-Type`/`Content-Length`/`Connection`.
+    pub headers: Vec<(String, String)>,
+    /// The JSON body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response with the given status.
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Self {
+        Response {
+            status,
+            headers: Vec::new(),
+            body: body.into(),
+        }
+    }
+
+    /// Adds an extra header.
+    pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Self {
+        self.headers.push((name.to_string(), value.into()));
+        self
+    }
+
+    /// Serialises the response to the wire. Always closes the connection
+    /// (`Connection: close`), so one TCP connection carries one exchange.
+    pub fn write_to<W: Write>(&self, writer: &mut W) -> io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n",
+            self.status,
+            reason(self.status),
+            self.body.len()
+        );
+        for (name, value) in &self.headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        writer.write_all(head.as_bytes())?;
+        writer.write_all(&self.body)?;
+        writer.flush()
+    }
+}
+
+/// The interim response unblocking an `Expect: 100-continue` client.
+pub fn write_continue<W: Write>(writer: &mut W) -> io::Result<()> {
+    writer.write_all(b"HTTP/1.1 100 Continue\r\n\r\n")?;
+    writer.flush()
+}
+
+/// The canonical reason phrase for the status codes this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(bytes: &[u8]) -> Result<Request, HttpError> {
+        read_request(&mut &bytes[..], &Limits::default(), || {})
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let raw = b"POST /v1/generate?x=1 HTTP/1.1\r\nHost: localhost\r\nContent-Length: 11\r\n\r\nhello world";
+        let request = parse(raw).unwrap();
+        assert_eq!(request.method, "POST");
+        assert_eq!(request.path, "/v1/generate");
+        assert_eq!(request.header("host"), Some("localhost"));
+        assert_eq!(request.body, b"hello world");
+    }
+
+    #[test]
+    fn parses_a_get_without_body() {
+        let request = parse(b"GET /v1/healthz HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(request.method, "GET");
+        assert_eq!(request.path, "/v1/healthz");
+        assert!(request.body.is_empty());
+    }
+
+    #[test]
+    fn header_names_are_case_insensitive() {
+        let request =
+            parse(b"POST / HTTP/1.1\r\ncOnTeNt-LeNgTh: 2\r\nX-Custom:  padded \r\n\r\nok").unwrap();
+        assert_eq!(request.header("content-length"), Some("2"));
+        assert_eq!(request.header("x-custom"), Some("padded"));
+        assert_eq!(request.body, b"ok");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(matches!(
+            parse(b"NOT_HTTP\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse(b"GET / SMTP/9\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\nContent-Length: banana\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_oversized_head_and_body() {
+        let limits = Limits {
+            max_head_bytes: 64,
+            max_body_bytes: 8,
+        };
+        let long_head = format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(128));
+        assert!(matches!(
+            read_request(&mut long_head.as_bytes(), &limits, || {}),
+            Err(HttpError::TooLarge(_))
+        ));
+        let big_body = b"POST / HTTP/1.1\r\nContent-Length: 9999\r\n\r\n";
+        assert!(matches!(
+            read_request(&mut &big_body[..], &limits, || {}),
+            Err(HttpError::TooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn pipelined_bytes_are_truncated_but_reported() {
+        let raw = b"POST /a HTTP/1.1\r\nContent-Length: 2\r\n\r\nokGET /second HTTP/1.1\r\n\r\n";
+        let request = parse(raw).unwrap();
+        assert_eq!(request.body, b"ok");
+        assert!(request.has_excess_bytes, "pipelined tail must be flagged");
+        let exact = parse(b"POST /a HTTP/1.1\r\nContent-Length: 2\r\n\r\nok").unwrap();
+        assert!(!exact.has_excess_bytes);
+    }
+
+    #[test]
+    fn truncated_body_is_incomplete() {
+        let raw = b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort";
+        assert_eq!(parse(raw), Err(HttpError::Incomplete));
+    }
+
+    #[test]
+    fn expect_continue_triggers_the_callback() {
+        let raw = b"POST / HTTP/1.1\r\nExpect: 100-continue\r\nContent-Length: 2\r\n\r\nok";
+        let mut continued = false;
+        let request = read_request(&mut &raw[..], &Limits::default(), || continued = true).unwrap();
+        assert!(continued);
+        assert_eq!(request.body, b"ok");
+    }
+
+    #[test]
+    fn responses_carry_length_and_close() {
+        let mut wire = Vec::new();
+        Response::json(503, r#"{"error":"full"}"#)
+            .with_header("retry-after", "1")
+            .write_to(&mut wire)
+            .unwrap();
+        let text = String::from_utf8(wire).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("content-length: 16\r\n"));
+        assert!(text.contains("connection: close\r\n"));
+        assert!(text.contains("retry-after: 1\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"error\":\"full\"}"));
+    }
+
+    #[test]
+    fn status_reasons_cover_the_emitted_codes() {
+        for status in [200, 400, 404, 405, 408, 413, 500, 503] {
+            assert_ne!(reason(status), "Unknown", "status {status}");
+        }
+    }
+}

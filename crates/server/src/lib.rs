@@ -1,0 +1,187 @@
+//! `rpg-server` — a dependency-free HTTP/1.1 front end over the
+//! `rpg-service` serving layer.
+//!
+//! The paper's end state is an *interactive* reference-paper-generation
+//! service; this crate is the network edge of the reproduction, built on
+//! nothing but `std::net` and the vendored `serde_json`:
+//!
+//! * **fixed worker pool + bounded admission queue** — the acceptor thread
+//!   offers connections to a [`queue::Bounded`] handoff queue; once it is
+//!   full, new arrivals get an immediate `503` with `Retry-After` instead
+//!   of growing memory or latency ([`Server`]);
+//! * **multi-tenant routing** — requests carry an optional `corpus` field
+//!   that routes to a named [`rpg_service::CorpusRegistry`] tenant;
+//! * **JSON endpoints** — `POST /v1/generate`, `POST /v1/batch`,
+//!   `GET /v1/healthz`, and `GET /v1/stats` (cache hit/miss counters,
+//!   per-stage timing aggregates, queue depth);
+//! * **deterministic result encoding** — [`api::output_result_value`] is
+//!   the single encoder for pipeline results, shared with the tests so the
+//!   HTTP surface is provably byte-identical to in-process generation.
+//!
+//! ```no_run
+//! use rpg_server::{Server, ServerConfig};
+//! use rpg_service::CorpusRegistry;
+//! use std::sync::Arc;
+//!
+//! let registry = Arc::new(CorpusRegistry::new());
+//! registry
+//!     .register("default", rpg_corpus::generate(&rpg_corpus::CorpusConfig::small()))
+//!     .unwrap();
+//! let server = Server::spawn(registry, ServerConfig::default()).unwrap();
+//! println!("listening on http://{}", server.addr());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod api;
+pub mod client;
+pub mod http;
+pub mod queue;
+mod serve;
+
+pub use api::{BatchRequest, GenerateRequest};
+pub use serve::{Server, ServerConfig, StatsSnapshot};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpg_service::CorpusRegistry;
+    use serde::value::Value;
+    use std::sync::Arc;
+
+    /// A server over an empty registry: every route is reachable without
+    /// paying for a corpus build, so these tests pin the protocol layer.
+    fn empty_server() -> Server {
+        Server::spawn(
+            Arc::new(CorpusRegistry::new()),
+            ServerConfig {
+                workers: 2,
+                queue_capacity: 8,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("server binds on an ephemeral port")
+    }
+
+    #[test]
+    fn healthz_reports_status_and_shape() {
+        let server = empty_server();
+        let response = client::get(server.addr(), "/v1/healthz").unwrap();
+        assert_eq!(response.status, 200);
+        assert_eq!(response.header("content-type"), Some("application/json"));
+        let value: Value = serde_json::from_str(&response.body).unwrap();
+        assert_eq!(value.get("status").and_then(Value::as_str), Some("ok"));
+        assert_eq!(
+            value.get("corpora").and_then(Value::as_array),
+            Some(&[][..])
+        );
+        assert!(value.get("queue").is_some());
+    }
+
+    #[test]
+    fn stats_expose_queue_cache_and_pipeline_sections() {
+        let server = empty_server();
+        let response = client::get(server.addr(), "/v1/stats").unwrap();
+        assert_eq!(response.status, 200);
+        let value: Value = serde_json::from_str(&response.body).unwrap();
+        for section in ["queue", "connections", "responses", "cache", "pipeline"] {
+            assert!(value.get(section).is_some(), "missing section {section}");
+        }
+        let queue = value.get("queue").unwrap();
+        assert_eq!(queue.get("capacity").and_then(Value::as_f64), Some(8.0));
+    }
+
+    #[test]
+    fn unknown_path_is_404_and_wrong_method_is_405() {
+        let server = empty_server();
+        let missing = client::get(server.addr(), "/v2/nope").unwrap();
+        assert_eq!(missing.status, 404);
+        let wrong = client::get(server.addr(), "/v1/generate").unwrap();
+        assert_eq!(wrong.status, 405);
+        assert_eq!(wrong.header("allow"), Some("POST"));
+        let wrong = client::post_json(server.addr(), "/v1/stats", "{}").unwrap();
+        assert_eq!(wrong.status, 405);
+        assert_eq!(wrong.header("allow"), Some("GET"));
+    }
+
+    #[test]
+    fn malformed_bodies_get_400_and_workers_survive() {
+        let server = empty_server();
+        for bad in ["", "not json", "[1, 2", r#"{"top_k": 5}"#, "{\"query\": 3}"] {
+            let response = client::post_json(server.addr(), "/v1/generate", bad).unwrap();
+            assert_eq!(response.status, 400, "body {bad:?}");
+            let value: Value = serde_json::from_str(&response.body).unwrap();
+            assert!(value.get("error").is_some());
+        }
+        // The pool is still alive and serving.
+        assert_eq!(
+            client::get(server.addr(), "/v1/healthz").unwrap().status,
+            200
+        );
+        let stats = server.stats();
+        assert_eq!(stats.client_errors, 5);
+        assert_eq!(stats.handled, 6);
+    }
+
+    #[test]
+    fn unknown_corpus_is_404() {
+        let server = empty_server();
+        let response = client::post_json(
+            server.addr(),
+            "/v1/generate",
+            r#"{"query": "anything", "corpus": "ghost"}"#,
+        )
+        .unwrap();
+        assert_eq!(response.status, 404);
+        assert!(response.body.contains("ghost"));
+    }
+
+    #[test]
+    fn unknown_variant_is_400() {
+        let server = empty_server();
+        let response = client::post_json(
+            server.addr(),
+            "/v1/generate",
+            r#"{"query": "anything", "variant": "bogus"}"#,
+        )
+        .unwrap();
+        assert_eq!(response.status, 400);
+        assert!(response.body.contains("bogus"));
+    }
+
+    #[test]
+    fn oversized_bodies_are_rejected_not_buffered() {
+        // A 1 KiB body limit and a ~4 KiB body: small enough to sit in the
+        // socket buffer (so the client's write cannot fail before it reads
+        // the response), large enough to trip the limit.
+        let server = Server::spawn(
+            Arc::new(CorpusRegistry::new()),
+            ServerConfig {
+                workers: 1,
+                limits: http::Limits {
+                    max_body_bytes: 1024,
+                    ..http::Limits::default()
+                },
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let big = format!(r#"{{"query": "{}"}}"#, "x".repeat(4 * 1024));
+        let response = client::post_json(server.addr(), "/v1/generate", &big).unwrap();
+        assert_eq!(response.status, 413);
+    }
+
+    #[test]
+    fn shutdown_joins_cleanly_and_is_idempotent() {
+        let mut server = empty_server();
+        let addr = server.addr();
+        assert_eq!(client::get(addr, "/v1/healthz").unwrap().status, 200);
+        server.shutdown();
+        server.shutdown();
+        // The listener is gone: new connections fail (or are dropped
+        // without a response).
+        let after = client::get(addr, "/v1/healthz");
+        assert!(after.is_err() || after.is_ok_and(|r| r.status != 200));
+    }
+}

@@ -1,0 +1,546 @@
+//! The listener, worker pool, and admission control.
+//!
+//! One acceptor thread takes TCP connections off the listener and offers
+//! them to a bounded handoff queue; a fixed pool of worker threads pops
+//! connections, parses one HTTP request each, routes it, and responds.
+//! When the queue is full the acceptor answers `503 Service Unavailable`
+//! with a `Retry-After` hint *immediately* — overload degrades into fast,
+//! explicit rejections instead of growing buffers or latency.
+
+use crate::api::{
+    error_body, generate_response_value, timings_value, ApiError, BatchRequest, GenerateRequest,
+    ResolvedRequest, MAX_BATCH,
+};
+use crate::http::{self, Limits, Request, Response};
+use crate::queue::Bounded;
+use rpg_repager::system::RepagerError;
+use rpg_repager::TimingAggregate;
+use rpg_service::{parallel, CorpusRegistry, RegistryError};
+use serde::value::Value;
+use serde::Deserialize;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Tuning knobs of a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Fixed worker-thread count (minimum 1).
+    pub workers: usize,
+    /// Admission bound: connections queued beyond the workers (minimum 1).
+    /// Arrivals past this bound get an immediate `503`.
+    pub queue_capacity: usize,
+    /// Tenant used when a request omits its `corpus` field.
+    pub default_corpus: String,
+    /// Per-connection socket read/write timeout, so a stalled client
+    /// releases its worker.
+    pub read_timeout: Duration,
+    /// Value of the `Retry-After` header on `503` responses, in seconds.
+    pub retry_after_secs: u32,
+    /// Request size limits.
+    pub limits: Limits,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: rpg_service::default_threads(),
+            queue_capacity: 64,
+            default_corpus: "default".to_string(),
+            read_timeout: Duration::from_secs(10),
+            retry_after_secs: 1,
+            limits: Limits::default(),
+        }
+    }
+}
+
+/// A point-in-time copy of the server's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Connections accepted off the listener.
+    pub accepted: u64,
+    /// Connections rejected with `503` because the queue was full.
+    pub rejected: u64,
+    /// HTTP exchanges completed (any status).
+    pub handled: u64,
+    /// `2xx` responses.
+    pub ok: u64,
+    /// `4xx` responses.
+    pub client_errors: u64,
+    /// `5xx` responses.
+    pub server_errors: u64,
+    /// Aggregated pipeline timings over every fresh (non-cached) run.
+    pub pipeline: TimingAggregate,
+}
+
+#[derive(Default)]
+struct Counters {
+    accepted: AtomicU64,
+    rejected: AtomicU64,
+    handled: AtomicU64,
+    ok: AtomicU64,
+    client_errors: AtomicU64,
+    server_errors: AtomicU64,
+    /// `/v1/batch` requests currently fanning out, used to split the CPU
+    /// budget between them.
+    active_batches: AtomicUsize,
+    timings: Mutex<TimingAggregate>,
+}
+
+struct Shared {
+    registry: Arc<CorpusRegistry>,
+    config: ServerConfig,
+    queue: Bounded<TcpStream>,
+    /// Overflow connections waiting for their `503`. Writing the rejection
+    /// happens off the acceptor thread so a slow overflow client cannot
+    /// stall admission; this queue is bounded too — when even it is full,
+    /// the connection is dropped outright.
+    rejects: Bounded<TcpStream>,
+    shutdown: AtomicBool,
+    counters: Counters,
+}
+
+/// A running HTTP front end over a [`CorpusRegistry`].
+///
+/// Dropping the server shuts it down: the listener stops accepting, queued
+/// connections drain, and every thread is joined.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    rejector: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds the listener and spawns the acceptor and worker threads.
+    pub fn spawn(registry: Arc<CorpusRegistry>, config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let workers = config.workers.max(1);
+        let shared = Arc::new(Shared {
+            registry,
+            queue: Bounded::new(config.queue_capacity),
+            rejects: Bounded::new((config.queue_capacity * 4).clamp(16, 256)),
+            config,
+            shutdown: AtomicBool::new(false),
+            counters: Counters::default(),
+        });
+        let acceptor = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("rpg-accept".to_string())
+                .spawn(move || accept_loop(listener, &shared))?
+        };
+        let rejector = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("rpg-reject".to_string())
+                .spawn(move || rejector_loop(&shared))?
+        };
+        let workers = (0..workers)
+            .map(|i| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("rpg-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+            })
+            .collect::<io::Result<Vec<_>>>()?;
+        Ok(Server {
+            addr,
+            shared,
+            acceptor: Some(acceptor),
+            rejector: Some(rejector),
+            workers,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The registry this server routes to.
+    pub fn registry(&self) -> &Arc<CorpusRegistry> {
+        &self.shared.registry
+    }
+
+    /// Connections currently waiting for a worker.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.depth()
+    }
+
+    /// A copy of the server counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        let counters = &self.shared.counters;
+        StatsSnapshot {
+            accepted: counters.accepted.load(Ordering::Relaxed),
+            rejected: counters.rejected.load(Ordering::Relaxed),
+            handled: counters.handled.load(Ordering::Relaxed),
+            ok: counters.ok.load(Ordering::Relaxed),
+            client_errors: counters.client_errors.load(Ordering::Relaxed),
+            server_errors: counters.server_errors.load(Ordering::Relaxed),
+            pipeline: *counters.timings.lock().unwrap(),
+        }
+    }
+
+    /// Stops accepting, drains queued connections, and joins every thread.
+    /// Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the acceptor's `accept()` with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        self.shared.queue.close();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        self.shared.rejects.close();
+        if let Some(rejector) = self.rejector.take() {
+            let _ = rejector.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: &Shared) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                shared.counters.accepted.fetch_add(1, Ordering::Relaxed);
+                if let Err(stream) = shared.queue.try_push(stream) {
+                    shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                    // Hand the 503 to the rejector thread; if even the
+                    // reject queue is full, drop the connection — admission
+                    // never blocks and never buffers unboundedly.
+                    let _ = shared.rejects.try_push(stream);
+                }
+            }
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                // Transient accept failure. Some of these (EMFILE) persist
+                // until another thread frees a descriptor — back off briefly
+                // instead of busy-spinning the acceptor at 100% CPU.
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+    }
+}
+
+/// Answers the connections the queue would not admit.
+///
+/// The request bytes are never read, so closing immediately after the
+/// write would leave unread data in the receive buffer — on close that
+/// triggers a TCP RST, which can destroy the `503` before the client reads
+/// it. Hence the bounded drain after the write, done here on a dedicated
+/// thread so the acceptor never blocks.
+fn rejector_loop(shared: &Shared) {
+    while let Some(mut stream) = shared.rejects.pop() {
+        let _ = stream.set_write_timeout(Some(Duration::from_millis(200)));
+        let response = Response::json(503, error_body("server is at capacity, retry shortly"))
+            .with_header("retry-after", shared.config.retry_after_secs.to_string());
+        let _ = response.write_to(&mut stream);
+        // Half-close: the FIN lets the client finish reading the response
+        // immediately; the drain then consumes its unread request bytes so
+        // the final close doesn't RST.
+        let _ = stream.shutdown(std::net::Shutdown::Write);
+        drain_bounded(&mut stream);
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some(stream) = shared.queue.pop() {
+        handle_connection(stream, shared);
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+    let _ = stream.set_write_timeout(Some(shared.config.read_timeout));
+    let mut continue_writer = stream.try_clone().ok();
+    let parsed = http::read_request(&mut stream, &shared.config.limits, || {
+        if let Some(writer) = continue_writer.as_mut() {
+            let _ = http::write_continue(writer);
+        }
+    });
+    let (response, unread_input) = match parsed {
+        Err(e) => (Response::json(e.status(), error_body(&e.message())), true),
+        // A panic inside the pipeline must never take the worker thread
+        // down with it — the connection gets a 500 and the worker lives on.
+        Ok(request) => (
+            catch_unwind(AssertUnwindSafe(|| route(&request, shared)))
+                .unwrap_or_else(|_| Response::json(500, error_body("internal error"))),
+            // A pipelined second request leaves unread bytes behind even
+            // though this request parsed fine.
+            request.has_excess_bytes,
+        ),
+    };
+    let counters = &shared.counters;
+    counters.handled.fetch_add(1, Ordering::Relaxed);
+    match response.status {
+        200..=299 => counters.ok.fetch_add(1, Ordering::Relaxed),
+        400..=499 => counters.client_errors.fetch_add(1, Ordering::Relaxed),
+        _ => counters.server_errors.fetch_add(1, Ordering::Relaxed),
+    };
+    let _ = response.write_to(&mut stream);
+    if unread_input {
+        // Unconsumed request bytes remain (failed parse, or a pipelined
+        // second request). Closing with unread bytes in the receive buffer
+        // would send an RST, which can destroy the response before the
+        // client reads it — so half-close and drain a bounded amount until
+        // the client hangs up.
+        let _ = stream.shutdown(std::net::Shutdown::Write);
+        drain_bounded(&mut stream);
+    }
+}
+
+fn drain_bounded(stream: &mut TcpStream) {
+    use std::io::Read;
+    // Both a byte cap and a wall-clock deadline: without the deadline, a
+    // client trickling one byte per (sub-timeout) interval could pin this
+    // thread for as long as the byte cap lasts.
+    let deadline = std::time::Instant::now() + Duration::from_secs(2);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let mut chunk = [0u8; 16 * 1024];
+    let mut drained = 0usize;
+    while drained < 1024 * 1024 && std::time::Instant::now() < deadline {
+        match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => drained += n,
+        }
+    }
+}
+
+fn route(request: &Request, shared: &Shared) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/v1/generate") => handle_generate(request, shared),
+        ("POST", "/v1/batch") => handle_batch(request, shared),
+        ("GET", "/v1/healthz") => handle_healthz(shared),
+        ("GET", "/v1/stats") => handle_stats(shared),
+        (_, "/v1/generate") | (_, "/v1/batch") => {
+            Response::json(405, error_body("method not allowed")).with_header("allow", "POST")
+        }
+        (_, "/v1/healthz") | (_, "/v1/stats") => {
+            Response::json(405, error_body("method not allowed")).with_header("allow", "GET")
+        }
+        _ => Response::json(404, error_body("no such endpoint")),
+    }
+}
+
+fn parse_body<T: Deserialize>(body: &[u8]) -> Result<T, Response> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| Response::json(400, error_body("body is not UTF-8")))?;
+    serde_json::from_str(text)
+        .map_err(|e| Response::json(400, error_body(&format!("invalid request body: {e}"))))
+}
+
+fn registry_error(e: RegistryError) -> ApiError {
+    match e {
+        RegistryError::UnknownCorpus(name) => ApiError {
+            status: 404,
+            message: format!("unknown corpus {name:?}"),
+        },
+        RegistryError::Request(RepagerError::Config(e)) => ApiError {
+            status: 400,
+            message: format!("invalid configuration: {e}"),
+        },
+        RegistryError::Request(RepagerError::Graph(e)) => ApiError {
+            status: 500,
+            message: format!("pipeline failure: {e}"),
+        },
+    }
+}
+
+fn run_generate(dto: &GenerateRequest, shared: &Shared) -> Result<Value, ApiError> {
+    let resolved = ResolvedRequest::resolve(dto)?;
+    let corpus = dto
+        .corpus
+        .as_deref()
+        .unwrap_or(&shared.config.default_corpus);
+    let served = shared
+        .registry
+        .generate(corpus, &resolved.as_path_request())
+        .map_err(registry_error)?;
+    if !served.cached {
+        shared
+            .counters
+            .timings
+            .lock()
+            .unwrap()
+            .record(&served.output.timings);
+    }
+    Ok(generate_response_value(
+        corpus,
+        &served.output,
+        served.cached,
+    ))
+}
+
+fn handle_generate(request: &Request, shared: &Shared) -> Response {
+    let dto: GenerateRequest = match parse_body(&request.body) {
+        Ok(dto) => dto,
+        Err(response) => return response,
+    };
+    match run_generate(&dto, shared) {
+        Ok(value) => json_200(&value),
+        Err(e) => Response::json(e.status, e.body()),
+    }
+}
+
+fn handle_batch(request: &Request, shared: &Shared) -> Response {
+    let batch: BatchRequest = match parse_body(&request.body) {
+        Ok(batch) => batch,
+        Err(response) => return response,
+    };
+    if batch.requests.len() > MAX_BATCH {
+        return Response::json(
+            400,
+            error_body(&format!(
+                "batch of {} exceeds the {MAX_BATCH}-request limit",
+                batch.requests.len()
+            )),
+        );
+    }
+    // Fan the items out over the work-stealing helper; each item routes to
+    // its own tenant and failures stay per-item. The CPU budget is divided
+    // by the number of batches currently in flight: each HTTP worker runs
+    // its own fan-out, and without the division `workers` concurrent
+    // batches would oversubscribe the machine with workers x cores
+    // pipeline threads.
+    struct BatchGuard<'a>(&'a AtomicUsize);
+    impl Drop for BatchGuard<'_> {
+        fn drop(&mut self) {
+            self.0.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+    let active = shared
+        .counters
+        .active_batches
+        .fetch_add(1, Ordering::SeqCst)
+        + 1;
+    let _guard = BatchGuard(&shared.counters.active_batches);
+    let threads = (rpg_service::default_threads() / active)
+        .max(1)
+        .min(batch.requests.len().max(1));
+    let results = parallel::fan_out(
+        batch.requests.len(),
+        threads,
+        || (),
+        |_, i| match run_generate(&batch.requests[i], shared) {
+            Ok(value) => value,
+            Err(e) => Value::Object(vec![
+                ("error".to_string(), Value::String(e.message.clone())),
+                ("status".to_string(), Value::Number(f64::from(e.status))),
+            ]),
+        },
+    );
+    json_200(&Value::Object(vec![(
+        "results".to_string(),
+        Value::Array(results),
+    )]))
+}
+
+fn handle_healthz(shared: &Shared) -> Response {
+    let corpora: Vec<Value> = shared
+        .registry
+        .tenants()
+        .into_iter()
+        .map(Value::String)
+        .collect();
+    json_200(&Value::Object(vec![
+        ("status".to_string(), Value::String("ok".to_string())),
+        ("corpora".to_string(), Value::Array(corpora)),
+        (
+            "workers".to_string(),
+            Value::Number(shared.config.workers.max(1) as f64),
+        ),
+        ("queue".to_string(), queue_value(shared)),
+    ]))
+}
+
+fn handle_stats(shared: &Shared) -> Response {
+    let counters = &shared.counters;
+    let cache = shared.registry.cache_stats();
+    let aggregate = *counters.timings.lock().unwrap();
+    let count = |counter: &AtomicU64| Value::Number(counter.load(Ordering::Relaxed) as f64);
+    json_200(&Value::Object(vec![
+        ("queue".to_string(), queue_value(shared)),
+        (
+            "connections".to_string(),
+            Value::Object(vec![
+                ("accepted".to_string(), count(&counters.accepted)),
+                ("rejected_503".to_string(), count(&counters.rejected)),
+            ]),
+        ),
+        (
+            "responses".to_string(),
+            Value::Object(vec![
+                ("handled".to_string(), count(&counters.handled)),
+                ("ok".to_string(), count(&counters.ok)),
+                ("client_error".to_string(), count(&counters.client_errors)),
+                ("server_error".to_string(), count(&counters.server_errors)),
+            ]),
+        ),
+        (
+            "cache".to_string(),
+            Value::Object(vec![
+                ("hits".to_string(), Value::Number(cache.hits as f64)),
+                ("misses".to_string(), Value::Number(cache.misses as f64)),
+                ("entries".to_string(), Value::Number(cache.entries as f64)),
+                ("capacity".to_string(), Value::Number(cache.capacity as f64)),
+            ]),
+        ),
+        (
+            "pipeline".to_string(),
+            Value::Object(vec![
+                (
+                    "requests".to_string(),
+                    Value::Number(aggregate.requests as f64),
+                ),
+                ("sum".to_string(), timings_value(&aggregate.sums)),
+                ("mean".to_string(), timings_value(&aggregate.means())),
+            ]),
+        ),
+    ]))
+}
+
+fn queue_value(shared: &Shared) -> Value {
+    Value::Object(vec![
+        (
+            "depth".to_string(),
+            Value::Number(shared.queue.depth() as f64),
+        ),
+        (
+            "capacity".to_string(),
+            Value::Number(shared.queue.capacity() as f64),
+        ),
+    ])
+}
+
+fn json_200(value: &Value) -> Response {
+    Response::json(
+        200,
+        serde_json::to_string(value).expect("response serialises"),
+    )
+}

@@ -86,6 +86,20 @@ impl<K: Hash + Eq + Clone, V: Clone> LruCache<K, V> {
     pub fn clear(&mut self) {
         self.map.clear();
     }
+
+    /// Iterates over the cached keys in arbitrary order.
+    pub fn keys(&self) -> impl Iterator<Item = &K> {
+        self.map.keys()
+    }
+
+    /// Keeps only the entries whose key/value pass the predicate.
+    ///
+    /// The multi-tenant registry uses this to invalidate one tenant's
+    /// entries on corpus refresh without disturbing the others; recency
+    /// ranks of the survivors are unchanged.
+    pub fn retain(&mut self, mut keep: impl FnMut(&K, &V) -> bool) {
+        self.map.retain(|key, entry| keep(key, &entry.value));
+    }
 }
 
 #[cfg(test)]
@@ -145,5 +159,81 @@ mod tests {
         cache.clear();
         assert!(cache.is_empty());
         assert_eq!(cache.capacity(), 4);
+    }
+
+    #[test]
+    fn eviction_order_under_interleaved_gets_and_inserts() {
+        let mut cache: LruCache<u32, u32> = LruCache::new(3);
+        cache.insert(1, 10);
+        cache.insert(2, 20);
+        cache.insert(3, 30);
+        // Recency now (oldest first): 1, 2, 3. Touch 1 and 2; 3 becomes LRU.
+        assert_eq!(cache.get(&1), Some(10));
+        assert_eq!(cache.get(&2), Some(20));
+        cache.insert(4, 40); // evicts 3
+        assert!(cache.get(&3).is_none());
+        // Recency: 1, 2, 4. Re-inserting 1 refreshes it; 2 becomes LRU.
+        cache.insert(1, 11);
+        cache.insert(5, 50); // evicts 2
+        assert!(cache.get(&2).is_none());
+        assert_eq!(cache.get(&1), Some(11));
+        assert_eq!(cache.get(&4), Some(40));
+        assert_eq!(cache.get(&5), Some(50));
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn misses_do_not_refresh_recency() {
+        let mut cache: LruCache<u32, u32> = LruCache::new(2);
+        cache.insert(1, 10);
+        cache.insert(2, 20);
+        // A miss on key 1's *value space* must not count as a touch of 1.
+        assert!(cache.get(&99).is_none());
+        assert_eq!(cache.get(&2), Some(20));
+        cache.insert(3, 30); // evicts 1 (oldest real touch)
+        assert!(cache.get(&1).is_none());
+        assert_eq!(cache.get(&2), Some(20));
+    }
+
+    #[test]
+    fn capacity_one_keeps_only_the_latest_entry() {
+        let mut cache: LruCache<u32, u32> = LruCache::new(1);
+        cache.insert(1, 10);
+        assert_eq!(cache.get(&1), Some(10));
+        cache.insert(2, 20);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.get(&1).is_none());
+        assert_eq!(cache.get(&2), Some(20));
+        // Updating the resident key in place must not evict it.
+        cache.insert(2, 21);
+        assert_eq!(cache.get(&2), Some(21));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_never_stores_even_after_many_inserts() {
+        let mut cache: LruCache<u32, u32> = LruCache::new(0);
+        for i in 0..100 {
+            cache.insert(i, i);
+            assert!(cache.is_empty());
+        }
+        assert_eq!(cache.capacity(), 0);
+        assert!(cache.get(&50).is_none());
+    }
+
+    #[test]
+    fn retain_drops_only_matching_entries() {
+        let mut cache: LruCache<u32, u32> = LruCache::new(8);
+        for i in 0..8 {
+            cache.insert(i, i * 10);
+        }
+        cache.retain(|k, _| k % 2 == 0);
+        assert_eq!(cache.len(), 4);
+        for i in 0..8 {
+            assert_eq!(cache.get(&i).is_some(), i % 2 == 0, "key {i}");
+        }
+        // Survivors keep working as normal LRU entries afterwards.
+        cache.insert(9, 90);
+        assert_eq!(cache.get(&9), Some(90));
     }
 }

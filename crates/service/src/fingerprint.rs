@@ -6,6 +6,13 @@
 //! deduplicated, and every configuration field — including the f64 cost
 //! constants, captured by bit pattern — participates in equality and
 //! hashing.
+//!
+//! Fingerprints also carry a **corpus epoch**: a counter the multi-tenant
+//! [`crate::registry::CorpusRegistry`] bumps whenever a tenant's corpus is
+//! refreshed. Identical requests against different corpus generations get
+//! different fingerprints, so a stale cached result can never be served for
+//! a refreshed corpus. Single-corpus callers ([`crate::PathService`]) leave
+//! the epoch at its default of 0.
 
 use rpg_corpus::PaperId;
 use rpg_repager::system::PathRequest;
@@ -21,6 +28,8 @@ pub struct RequestFingerprint {
     variant: Variant,
     /// Every `RepagerConfig` field, widened to bit-exact `u64`s.
     config: [u64; 11],
+    /// Corpus generation the request is bound to (0 outside a registry).
+    epoch: u64,
 }
 
 fn config_bits(config: &RepagerConfig) -> [u64; 11] {
@@ -59,7 +68,20 @@ impl RequestFingerprint {
             exclude,
             variant: request.variant,
             config: config_bits(&request.config),
+            epoch: 0,
         }
+    }
+
+    /// Binds the fingerprint to a corpus generation: the same request under
+    /// a different epoch is a different cache key.
+    pub fn with_epoch(mut self, epoch: u64) -> Self {
+        self.epoch = epoch;
+        self
+    }
+
+    /// The corpus generation this fingerprint is bound to.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// The normalised query text.
@@ -82,6 +104,59 @@ mod tests {
         let b = RequestFingerprint::of(&PathRequest::new("  graph   neural\tnetworks ", 20));
         assert_eq!(a, b);
         assert_eq!(a.query(), "graph neural networks");
+    }
+
+    #[test]
+    fn query_normalisation_handles_mixed_case_and_newlines() {
+        let a = RequestFingerprint::of(&PathRequest::new("GRAPH\nNeural\r\n NETWORKS", 20));
+        let b = RequestFingerprint::of(&base_request());
+        assert_eq!(a, b);
+        // Multi-char lowercase expansions must not merge adjacent tokens.
+        let c = RequestFingerprint::of(&PathRequest::new("İstanbul GRAPHS", 20));
+        assert_eq!(c.query().split(' ').count(), 2);
+    }
+
+    #[test]
+    fn max_year_none_and_some_are_distinct() {
+        let none = RequestFingerprint::of(&base_request());
+        let some = RequestFingerprint::of(&PathRequest {
+            max_year: Some(2020),
+            ..base_request()
+        });
+        let other = RequestFingerprint::of(&PathRequest {
+            max_year: Some(2021),
+            ..base_request()
+        });
+        assert_ne!(none, some);
+        assert_ne!(some, other);
+        assert_eq!(
+            some,
+            RequestFingerprint::of(&PathRequest {
+                max_year: Some(2020),
+                ..base_request()
+            })
+        );
+    }
+
+    #[test]
+    fn epoch_bump_invalidates_the_fingerprint() {
+        let base = RequestFingerprint::of(&base_request());
+        assert_eq!(base.epoch(), 0);
+        let gen1 = RequestFingerprint::of(&base_request()).with_epoch(1);
+        let gen2 = RequestFingerprint::of(&base_request()).with_epoch(2);
+        assert_ne!(base, gen1);
+        assert_ne!(gen1, gen2);
+        assert_eq!(gen1, RequestFingerprint::of(&base_request()).with_epoch(1));
+        assert_eq!(gen2.epoch(), 2);
+        // Epoch participates in hashing too, not just equality.
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let hash = |f: &RequestFingerprint| {
+            let mut h = DefaultHasher::new();
+            f.hash(&mut h);
+            h.finish()
+        };
+        assert_ne!(hash(&gen1), hash(&gen2));
     }
 
     #[test]

@@ -28,9 +28,11 @@
 pub mod cache;
 pub mod fingerprint;
 pub mod parallel;
+pub mod registry;
 
 pub use cache::LruCache;
 pub use fingerprint::RequestFingerprint;
+pub use registry::{CorpusRegistry, RegistryError, Served};
 
 use rpg_corpus::Corpus;
 use rpg_engines::ScholarEngine;
@@ -86,6 +88,13 @@ thread_local! {
     // One Dijkstra workspace per thread: sequential single-request callers
     // (e.g. the evaluation loop) reuse it across every request they make.
     static THREAD_SCRATCH: RefCell<DijkstraScratch> = RefCell::new(DijkstraScratch::new());
+}
+
+/// Runs `f` with this thread's shared Dijkstra workspace (the one
+/// [`PathService::generate`] and the registry's request path reuse across
+/// every request a thread serves).
+pub(crate) fn with_thread_scratch<T>(f: impl FnOnce(&mut DijkstraScratch) -> T) -> T {
+    THREAD_SCRATCH.with(|scratch| f(&mut scratch.borrow_mut()))
 }
 
 impl PathService {

@@ -1,17 +1,22 @@
-//! Chunked scoped-thread fan-out shared by the serving layer and the
+//! Work-stealing scoped-thread fan-out shared by the serving layer and the
 //! evaluation loop.
 //!
-//! One place owns the chunk-sizing and slot-offset arithmetic so the batch
+//! One place owns the scheduling and result-ordering logic so the batch
 //! path and the per-survey evaluation loop cannot drift.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Computes `work(state, i)` for every `i in 0..n` over `threads` scoped
 /// worker threads, preserving index order in the returned vector.
 ///
-/// The index range is split into contiguous chunks (one per worker); each
-/// worker builds its own `state` once via `init` and reuses it for its whole
-/// chunk — this is how batch execution gives every worker one Dijkstra
-/// scratch. With `threads <= 1` (or `n == 1`) everything runs on the calling
-/// thread.
+/// Scheduling is work-stealing: all workers pull the next unclaimed index
+/// from one shared atomic counter, so a skewed workload (one huge query next
+/// to many tiny ones) no longer stalls on the worker that drew the expensive
+/// chunk — the remaining items flow to whichever workers are free. Each
+/// worker builds its own `state` once via `init` and reuses it for every
+/// item it claims — this is how batch execution gives every worker one
+/// Dijkstra scratch. With `threads <= 1` (or `n == 1`) everything runs on
+/// the calling thread.
 pub fn fan_out<T, S, I, W>(n: usize, threads: usize, init: I, work: W) -> Vec<T>
 where
     T: Send,
@@ -27,27 +32,36 @@ where
         return (0..n).map(|i| work(&mut state, i)).collect();
     }
 
-    let chunk = n.div_ceil(threads);
-    let mut slots: Vec<Option<T>> = Vec::new();
-    slots.resize_with(n, || None);
-    let chunks: Vec<(usize, &mut [Option<T>])> = slots.chunks_mut(chunk).enumerate().collect();
+    let next = AtomicUsize::new(0);
+    let mut results: Vec<(usize, T)> = Vec::with_capacity(n);
     std::thread::scope(|scope| {
-        for (chunk_index, slot) in chunks {
-            let init = &init;
-            let work = &work;
-            scope.spawn(move || {
-                let mut state = init();
-                let start = chunk_index * chunk;
-                for (offset, out) in slot.iter_mut().enumerate() {
-                    *out = Some(work(&mut state, start + offset));
-                }
-            });
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let next = &next;
+                let init = &init;
+                let work = &work;
+                scope.spawn(move || {
+                    let mut state = init();
+                    let mut claimed: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        claimed.push((i, work(&mut state, i)));
+                    }
+                    claimed
+                })
+            })
+            .collect();
+        for handle in handles {
+            results.extend(handle.join().expect("fan-out worker panicked"));
         }
     });
-    slots
-        .into_iter()
-        .map(|slot| slot.expect("every fan-out slot is filled by its worker"))
-        .collect()
+    // Workers return disjoint claimed-index sets covering 0..n; sorting by
+    // index restores the input order.
+    results.sort_unstable_by_key(|(i, _)| *i);
+    results.into_iter().map(|(_, value)| value).collect()
 }
 
 #[cfg(test)]
@@ -67,26 +81,84 @@ mod tests {
     }
 
     #[test]
-    fn per_worker_state_is_reused_within_a_chunk() {
-        // Each worker counts how many items it processed; with 2 threads over
-        // 10 items the chunks are 5+5, so every item sees a counter equal to
-        // its offset within the chunk.
-        let offsets = fan_out(
-            10,
-            2,
-            || 0usize,
-            |count, _| {
-                let seen = *count;
-                *count += 1;
-                seen
-            },
+    fn per_worker_state_is_reused_across_stolen_items() {
+        // Each worker's state counts the items it processed. The scheduler is
+        // dynamic, so per-item assignment is nondeterministic — but every
+        // item must see a counter equal to the number of items its worker
+        // already handled, i.e. each worker's counters read 0, 1, 2, ... in
+        // claim order, and the counters across workers partition 0..n.
+        let n = 24;
+        for threads in [1, 2, 4] {
+            let seen = fan_out(
+                n,
+                threads,
+                || 0usize,
+                |count, _| {
+                    let seen = *count;
+                    *count += 1;
+                    seen
+                },
+            );
+            let mut sorted = seen.clone();
+            sorted.sort_unstable();
+            // k workers with c_1 + ... + c_k = n items produce exactly the
+            // multiset {0..c_1} ∪ ... ∪ {0..c_k}: every value v appears once
+            // per worker that processed more than v items.
+            let mut counts = std::collections::HashMap::new();
+            for v in &sorted {
+                *counts.entry(*v).or_insert(0usize) += 1;
+            }
+            let workers_at_zero = counts.get(&0).copied().unwrap_or(0);
+            assert!(
+                (1..=threads.max(1)).contains(&workers_at_zero),
+                "threads={threads}: {workers_at_zero} workers processed items"
+            );
+            for window in sorted.windows(2) {
+                assert!(
+                    window[1] <= window[0] + 1,
+                    "threads={threads}: counter multiset has a gap: {sorted:?}"
+                );
+            }
+            assert_eq!(seen.len(), n);
+        }
+    }
+
+    #[test]
+    fn skewed_workload_is_stolen_by_free_workers() {
+        // Item 0 stalls its worker; with static chunking the first chunk
+        // (half the items) would wait behind it. With work stealing, the
+        // other worker drains everything else meanwhile, so the slow worker
+        // claims at most one more item after the stall.
+        let n = 16;
+        let processed = fan_out(n, 2, Vec::new, |mine: &mut Vec<usize>, i| {
+            if i == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(60));
+            }
+            mine.push(i);
+            mine.len()
+        });
+        assert_eq!(processed.len(), n);
+        // The worker that took item 0 slept through the other worker's
+        // drain; by the time it woke, (almost) everything else was claimed.
+        // processed[0] is that worker's 1-based claim count at item 0 == 1.
+        assert_eq!(processed[0], 1, "item 0 must be its worker's first claim");
+        let max_by_stalled_worker = processed.iter().copied().max().unwrap();
+        assert!(
+            max_by_stalled_worker >= n / 2,
+            "the free worker should have claimed most items: {processed:?}"
         );
-        assert_eq!(offsets, vec![0, 1, 2, 3, 4, 0, 1, 2, 3, 4]);
     }
 
     #[test]
     fn empty_input_yields_empty_output() {
         let out: Vec<usize> = fan_out(0, 4, || (), |_, i| i);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_item_runs_on_the_calling_thread() {
+        let calling = std::thread::current().id();
+        let out = fan_out(1, 8, || (), |_, i| (i, std::thread::current().id()));
+        assert_eq!(out, vec![(0, calling)]);
     }
 }

@@ -1,0 +1,471 @@
+//! Multi-tenant corpus sharding: many named [`CorpusArtifacts`] behind one
+//! `Send + Sync` handle.
+//!
+//! A [`CorpusRegistry`] routes requests to a tenant by corpus name, shares
+//! one bounded result cache across all tenants (keys carry the tenant name,
+//! so identical queries against different corpora never collide), and
+//! supports **refresh**: swapping in a rebuilt corpus for one tenant bumps
+//! that tenant's *epoch* — which participates in every cache key via
+//! [`RequestFingerprint::with_epoch`] — and actively evicts exactly that
+//! tenant's cached results, leaving every other tenant's entries intact.
+
+use crate::cache::LruCache;
+use crate::fingerprint::RequestFingerprint;
+use crate::{CacheStats, DEFAULT_CACHE_CAPACITY};
+use rpg_corpus::Corpus;
+use rpg_graph::GraphError;
+use rpg_repager::artifacts::CorpusArtifacts;
+use rpg_repager::stages::serve_request;
+use rpg_repager::system::{PathRequest, RepagerError, RepagerOutput};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// An error serving a request through the registry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RegistryError {
+    /// The named corpus is not registered.
+    UnknownCorpus(String),
+    /// The tenant was found but the request itself failed.
+    Request(RepagerError),
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::UnknownCorpus(name) => write!(f, "unknown corpus {name:?}"),
+            RegistryError::Request(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RegistryError::UnknownCorpus(_) => None,
+            RegistryError::Request(e) => Some(e),
+        }
+    }
+}
+
+impl From<RepagerError> for RegistryError {
+    fn from(e: RepagerError) -> Self {
+        RegistryError::Request(e)
+    }
+}
+
+/// A served result plus whether it came from the cache.
+#[derive(Debug, Clone)]
+pub struct Served {
+    /// The (shared) output of the pipeline run that answered the request.
+    pub output: Arc<RepagerOutput>,
+    /// Whether the result was answered from the cache. A cached output's
+    /// `timings` describe the run that populated the cache, not this hit.
+    pub cached: bool,
+}
+
+struct Tenant {
+    artifacts: Arc<CorpusArtifacts>,
+    epoch: u64,
+}
+
+/// The cache key: tenant name plus the epoch-bound request fingerprint.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct TenantKey {
+    corpus: String,
+    fingerprint: RequestFingerprint,
+}
+
+/// A thread-shareable registry of named corpora with one shared result
+/// cache.
+pub struct CorpusRegistry {
+    tenants: RwLock<HashMap<String, Tenant>>,
+    cache: Mutex<LruCache<TenantKey, Arc<RepagerOutput>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl CorpusRegistry {
+    /// An empty registry with the default cache capacity.
+    pub fn new() -> Self {
+        Self::with_cache_capacity(DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// An empty registry with an explicit shared-cache capacity
+    /// (0 disables result caching for every tenant).
+    pub fn with_cache_capacity(capacity: usize) -> Self {
+        CorpusRegistry {
+            tenants: RwLock::new(HashMap::new()),
+            cache: Mutex::new(LruCache::new(capacity)),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Registers (or replaces) a corpus under a name, building its
+    /// artifacts. Replacing an existing tenant behaves like
+    /// [`CorpusRegistry::refresh`]: the epoch advances and the tenant's
+    /// cached results are evicted.
+    pub fn register(
+        &self,
+        name: impl Into<String>,
+        corpus: impl Into<Arc<Corpus>>,
+    ) -> Result<(), GraphError> {
+        let artifacts = CorpusArtifacts::build(corpus)?;
+        self.install(name.into(), artifacts);
+        Ok(())
+    }
+
+    /// Registers (or replaces) a tenant from pre-built artifacts.
+    pub fn register_artifacts(&self, name: impl Into<String>, artifacts: Arc<CorpusArtifacts>) {
+        self.install(name.into(), artifacts);
+    }
+
+    /// Swaps in a rebuilt corpus for an existing tenant: bumps the tenant's
+    /// epoch and evicts exactly that tenant's cached results.
+    ///
+    /// Errors with [`RegistryError::UnknownCorpus`] if the tenant does not
+    /// exist (use [`CorpusRegistry::register`] to add tenants), and
+    /// propagates artifact-build failures.
+    pub fn refresh(&self, name: &str, corpus: impl Into<Arc<Corpus>>) -> Result<(), RegistryError> {
+        if !self.contains(name) {
+            return Err(RegistryError::UnknownCorpus(name.to_string()));
+        }
+        let artifacts = CorpusArtifacts::build(corpus)
+            .map_err(|e| RegistryError::Request(RepagerError::Graph(e)))?;
+        self.install(name.to_string(), artifacts);
+        Ok(())
+    }
+
+    fn install(&self, name: String, artifacts: Arc<CorpusArtifacts>) {
+        let replaced = {
+            let mut tenants = self.tenants.write().unwrap();
+            match tenants.get_mut(&name) {
+                Some(tenant) => {
+                    tenant.artifacts = artifacts;
+                    tenant.epoch += 1;
+                    true
+                }
+                None => {
+                    tenants.insert(
+                        name.clone(),
+                        Tenant {
+                            artifacts,
+                            epoch: 0,
+                        },
+                    );
+                    false
+                }
+            }
+        };
+        if replaced {
+            // The epoch bump already makes the old entries unreachable;
+            // evicting them keeps the shared cache from carrying dead
+            // weight until LRU pressure gets around to them.
+            self.cache
+                .lock()
+                .unwrap()
+                .retain(|key, _| key.corpus != name);
+        }
+    }
+
+    /// Removes a tenant and evicts its cached results. Returns whether the
+    /// tenant existed.
+    pub fn remove(&self, name: &str) -> bool {
+        let existed = self.tenants.write().unwrap().remove(name).is_some();
+        if existed {
+            self.cache
+                .lock()
+                .unwrap()
+                .retain(|key, _| key.corpus != name);
+        }
+        existed
+    }
+
+    /// Whether a tenant with this name is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.tenants.read().unwrap().contains_key(name)
+    }
+
+    /// The registered tenant names, sorted.
+    pub fn tenants(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tenants.read().unwrap().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Number of registered tenants.
+    pub fn len(&self) -> usize {
+        self.tenants.read().unwrap().len()
+    }
+
+    /// Whether the registry has no tenants.
+    pub fn is_empty(&self) -> bool {
+        self.tenants.read().unwrap().is_empty()
+    }
+
+    /// The current epoch of a tenant (0 until the first refresh).
+    pub fn epoch(&self, name: &str) -> Option<u64> {
+        self.tenants.read().unwrap().get(name).map(|t| t.epoch)
+    }
+
+    /// The artifacts currently serving a tenant.
+    pub fn artifacts(&self, name: &str) -> Option<Arc<CorpusArtifacts>> {
+        self.tenants
+            .read()
+            .unwrap()
+            .get(name)
+            .map(|t| t.artifacts.clone())
+    }
+
+    /// Serves one request against a named corpus, consulting the shared
+    /// cache first.
+    pub fn generate(
+        &self,
+        corpus: &str,
+        request: &PathRequest<'_>,
+    ) -> Result<Served, RegistryError> {
+        let (artifacts, epoch) = {
+            let tenants = self.tenants.read().unwrap();
+            let tenant = tenants
+                .get(corpus)
+                .ok_or_else(|| RegistryError::UnknownCorpus(corpus.to_string()))?;
+            (tenant.artifacts.clone(), tenant.epoch)
+        };
+        let key = TenantKey {
+            corpus: corpus.to_string(),
+            fingerprint: RequestFingerprint::of(request).with_epoch(epoch),
+        };
+        if let Some(hit) = self.cache.lock().unwrap().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Served {
+                output: hit,
+                cached: true,
+            });
+        }
+        let output = crate::with_thread_scratch(|scratch| {
+            serve_request(
+                artifacts.corpus(),
+                artifacts.scholar(),
+                artifacts.node_weights(),
+                request,
+                scratch,
+            )
+        })?;
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let output = Arc::new(output);
+        // A refresh may have raced the pipeline run: its sweep runs before
+        // this insert, so a result keyed under the old epoch would sit in
+        // the cache unreachable until LRU pressure evicts it. Insert only
+        // if the tenant still serves the epoch the result was computed for,
+        // holding the tenants lock across the insert so a concurrent
+        // refresh cannot slip between the check and the insert (refresh
+        // bumps the epoch under the write lock before it sweeps).
+        {
+            let tenants = self.tenants.read().unwrap();
+            if tenants.get(corpus).is_some_and(|t| t.epoch == epoch) {
+                self.cache.lock().unwrap().insert(key, output.clone());
+            }
+        }
+        Ok(Served {
+            output,
+            cached: false,
+        })
+    }
+
+    /// Cache occupancy and hit/miss counters across all tenants.
+    pub fn cache_stats(&self) -> CacheStats {
+        let cache = self.cache.lock().unwrap();
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: cache.len(),
+            capacity: cache.capacity(),
+        }
+    }
+
+    /// Number of cached results belonging to one tenant.
+    pub fn cached_entries_for(&self, name: &str) -> usize {
+        self.cache
+            .lock()
+            .unwrap()
+            .keys()
+            .filter(|key| key.corpus == name)
+            .count()
+    }
+
+    /// Drops all cached results for every tenant (counters are kept).
+    pub fn clear_cache(&self) {
+        self.cache.lock().unwrap().clear();
+    }
+}
+
+impl Default for CorpusRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpg_corpus::{generate, CorpusConfig};
+
+    fn corpus(seed: u64) -> Corpus {
+        generate(&CorpusConfig {
+            seed,
+            ..CorpusConfig::small()
+        })
+    }
+
+    fn registry_with_two_tenants() -> CorpusRegistry {
+        let registry = CorpusRegistry::new();
+        registry.register("alpha", corpus(0xA)).unwrap();
+        registry.register("beta", corpus(0xB)).unwrap();
+        registry
+    }
+
+    fn first_query(registry: &CorpusRegistry, tenant: &str) -> (String, u16) {
+        let artifacts = registry.artifacts(tenant).unwrap();
+        let survey = artifacts.corpus().survey_bank().iter().next().unwrap();
+        (survey.query.clone(), survey.year)
+    }
+
+    #[test]
+    fn routes_requests_to_the_named_tenant() {
+        let registry = registry_with_two_tenants();
+        assert_eq!(registry.tenants(), ["alpha", "beta"]);
+        let (query, year) = first_query(&registry, "alpha");
+        let request = PathRequest {
+            max_year: Some(year),
+            ..PathRequest::new(&query, 20)
+        };
+        let via_alpha = registry.generate("alpha", &request).unwrap();
+        let via_beta = registry.generate("beta", &request).unwrap();
+        // Same request, different corpora: the alpha corpus knows the
+        // query's topic, and whatever beta returns is computed against its
+        // own graph, not alpha's cached result.
+        assert!(!via_alpha.output.reading_list.is_empty());
+        assert!(!via_alpha.output.same_result(&via_beta.output));
+        assert!(!via_beta.cached);
+    }
+
+    #[test]
+    fn identical_queries_against_different_tenants_do_not_collide() {
+        let registry = registry_with_two_tenants();
+        let (query, year) = first_query(&registry, "alpha");
+        let request = PathRequest {
+            max_year: Some(year),
+            ..PathRequest::new(&query, 20)
+        };
+        registry.generate("alpha", &request).unwrap();
+        registry.generate("beta", &request).unwrap();
+        let stats = registry.cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (0, 2, 2));
+        // Repeats hit per tenant.
+        assert!(registry.generate("alpha", &request).unwrap().cached);
+        assert!(registry.generate("beta", &request).unwrap().cached);
+        assert_eq!(registry.cache_stats().hits, 2);
+    }
+
+    #[test]
+    fn refresh_evicts_only_that_tenants_entries() {
+        let registry = registry_with_two_tenants();
+        let (alpha_query, alpha_year) = first_query(&registry, "alpha");
+        let (beta_query, beta_year) = first_query(&registry, "beta");
+        let alpha_request = PathRequest {
+            max_year: Some(alpha_year),
+            ..PathRequest::new(&alpha_query, 20)
+        };
+        let beta_request = PathRequest {
+            max_year: Some(beta_year),
+            ..PathRequest::new(&beta_query, 20)
+        };
+        registry.generate("alpha", &alpha_request).unwrap();
+        registry.generate("beta", &beta_request).unwrap();
+        assert_eq!(registry.cached_entries_for("alpha"), 1);
+        assert_eq!(registry.cached_entries_for("beta"), 1);
+
+        registry.refresh("alpha", corpus(0xA2)).unwrap();
+        assert_eq!(registry.epoch("alpha"), Some(1));
+        assert_eq!(registry.epoch("beta"), Some(0));
+        assert_eq!(registry.cached_entries_for("alpha"), 0);
+        assert_eq!(registry.cached_entries_for("beta"), 1);
+
+        // Beta still hits; alpha recomputes against the refreshed corpus.
+        assert!(registry.generate("beta", &beta_request).unwrap().cached);
+        assert!(!registry.generate("alpha", &alpha_request).unwrap().cached);
+    }
+
+    #[test]
+    fn refresh_of_unknown_tenant_is_an_error() {
+        let registry = CorpusRegistry::new();
+        assert!(matches!(
+            registry.refresh("ghost", corpus(1)),
+            Err(RegistryError::UnknownCorpus(name)) if name == "ghost"
+        ));
+        assert!(matches!(
+            registry.generate("ghost", &PathRequest::new("anything", 5)),
+            Err(RegistryError::UnknownCorpus(_))
+        ));
+    }
+
+    #[test]
+    fn reregistering_a_tenant_bumps_the_epoch_and_sweeps() {
+        let registry = CorpusRegistry::new();
+        registry.register("solo", corpus(7)).unwrap();
+        let (query, year) = first_query(&registry, "solo");
+        let request = PathRequest {
+            max_year: Some(year),
+            ..PathRequest::new(&query, 20)
+        };
+        registry.generate("solo", &request).unwrap();
+        assert_eq!(registry.cached_entries_for("solo"), 1);
+        registry.register("solo", corpus(8)).unwrap();
+        assert_eq!(registry.epoch("solo"), Some(1));
+        assert_eq!(registry.cached_entries_for("solo"), 0);
+    }
+
+    #[test]
+    fn remove_drops_tenant_and_its_cache_entries() {
+        let registry = registry_with_two_tenants();
+        let (query, year) = first_query(&registry, "alpha");
+        let request = PathRequest {
+            max_year: Some(year),
+            ..PathRequest::new(&query, 20)
+        };
+        registry.generate("alpha", &request).unwrap();
+        assert!(registry.remove("alpha"));
+        assert!(!registry.remove("alpha"));
+        assert_eq!(registry.cached_entries_for("alpha"), 0);
+        assert!(!registry.contains("alpha"));
+        assert_eq!(registry.len(), 1);
+        assert!(matches!(
+            registry.generate("alpha", &request),
+            Err(RegistryError::UnknownCorpus(_))
+        ));
+    }
+
+    #[test]
+    fn registry_is_shareable_across_threads() {
+        let registry = Arc::new(CorpusRegistry::new());
+        registry.register("shared", corpus(3)).unwrap();
+        let (query, year) = first_query(&registry, "shared");
+        let request = PathRequest {
+            max_year: Some(year),
+            ..PathRequest::new(&query, 15)
+        };
+        let reference = registry.generate("shared", &request).unwrap();
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                let registry = registry.clone();
+                let request = request.clone();
+                let expected = reference.output.clone();
+                scope.spawn(move || {
+                    let served = registry.generate("shared", &request).unwrap();
+                    assert!(served.output.same_result(&expected));
+                });
+            }
+        });
+    }
+}

@@ -9,13 +9,20 @@
 //! cargo run --release --bin rpg -- --query "graph neural networks" --top-k 25
 //! cargo run --release --bin rpg -- --list-queries
 //! cargo run --release --bin rpg -- --query "pretrained language models" --dot path.dot
+//! cargo run --release --bin rpg -- serve --addr 127.0.0.1:7878 --workers 4
 //! ```
+//!
+//! The `serve` subcommand exposes the same pipeline over HTTP
+//! (`rpg-server`): a fixed worker pool with a bounded admission queue over
+//! a multi-tenant corpus registry.
 
 use rpg_corpus::{generate, Corpus, CorpusConfig};
 use rpg_repager::render::{output_to_text, path_to_dot};
 use rpg_repager::system::PathRequest;
 use rpg_repager::{RepagerConfig, Variant};
-use rpg_service::PathService;
+use rpg_server::{Server, ServerConfig};
+use rpg_service::{CorpusRegistry, PathService};
+use std::sync::Arc;
 
 /// Parsed command-line options.
 #[derive(Debug, Clone, PartialEq)]
@@ -50,16 +57,13 @@ impl Default for CliOptions {
 }
 
 fn parse_variant(name: &str) -> Result<Variant, String> {
-    Variant::ALL
-        .into_iter()
-        .find(|v| v.name().eq_ignore_ascii_case(name))
-        .ok_or_else(|| {
-            let known: Vec<&str> = Variant::ALL.iter().map(|v| v.name()).collect();
-            format!(
-                "unknown variant '{name}'; expected one of {}",
-                known.join(", ")
-            )
-        })
+    Variant::from_name(name).ok_or_else(|| {
+        let known: Vec<&str> = Variant::ALL.iter().map(|v| v.name()).collect();
+        format!(
+            "unknown variant '{name}'; expected one of {}",
+            known.join(", ")
+        )
+    })
 }
 
 fn parse_args(args: &[String]) -> Result<CliOptions, String> {
@@ -108,6 +112,7 @@ fn usage() -> String {
         "  rpg --query <TEXT> [--top-k N] [--seeds N] [--variant NEWST|NEWST-W|NEWST-U|NEWST-I|NEWST-C|NEWST-N|NEWST-E]",
         "      [--dot FILE] [--full-corpus]",
         "  rpg --list-queries            list the benchmark survey queries",
+        "  rpg serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N] [--full-corpus]",
         "",
         "OPTIONS:",
         "  -q, --query <TEXT>   the research topic to generate a reading path for",
@@ -117,8 +122,109 @@ fn usage() -> String {
         "      --dot <FILE>     also write the path as Graphviz DOT",
         "      --full-corpus    use the ~5k-paper corpus instead of the ~1.2k-paper one",
         "      --list-queries   print the SurveyBank queries of the corpus and exit",
+        "",
+        "SERVE OPTIONS:",
+        "      --addr <A>       bind address (default 127.0.0.1:7878; port 0 = ephemeral)",
+        "      --workers <N>    worker threads (default: one per CPU, capped at 16)",
+        "      --queue <N>      admission queue bound; excess requests get 503 (default 64)",
+        "      --cache <N>      shared result-cache capacity (default 256; 0 disables)",
     ]
     .join("\n")
+}
+
+/// Options of the `serve` subcommand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ServeOptions {
+    addr: String,
+    workers: usize,
+    queue: usize,
+    cache: usize,
+    corpus_scale: CorpusScale,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            addr: "127.0.0.1:7878".to_string(),
+            workers: rpg_service::default_threads(),
+            queue: 64,
+            cache: rpg_service::DEFAULT_CACHE_CAPACITY,
+            corpus_scale: CorpusScale::Small,
+        }
+    }
+}
+
+fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
+    let mut options = ServeOptions::default();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value_of = |flag: &str| -> Result<String, String> {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "--addr" => options.addr = value_of("--addr")?,
+            "--workers" => {
+                options.workers = value_of("--workers")?
+                    .parse()
+                    .map_err(|_| "--workers expects a positive integer".to_string())?;
+            }
+            "--queue" => {
+                options.queue = value_of("--queue")?
+                    .parse()
+                    .map_err(|_| "--queue expects a positive integer".to_string())?;
+            }
+            "--cache" => {
+                options.cache = value_of("--cache")?
+                    .parse()
+                    .map_err(|_| "--cache expects a non-negative integer".to_string())?;
+            }
+            "--full-corpus" => options.corpus_scale = CorpusScale::Default,
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unrecognised argument '{other}'\n{}", usage())),
+        }
+    }
+    if options.workers == 0 {
+        return Err("--workers must be at least 1".to_string());
+    }
+    if options.queue == 0 {
+        return Err("--queue must be at least 1".to_string());
+    }
+    Ok(options)
+}
+
+/// Builds the registry (one `default` tenant at the requested scale) and
+/// binds the server. Split from [`run_serve`] so tests can spawn on an
+/// ephemeral port without blocking.
+fn start_server(options: &ServeOptions) -> Result<Server, String> {
+    let registry = Arc::new(CorpusRegistry::with_cache_capacity(options.cache));
+    registry
+        .register("default", build_corpus(options.corpus_scale))
+        .map_err(|e| format!("cannot build corpus artifacts: {e}"))?;
+    let config = ServerConfig {
+        addr: options.addr.clone(),
+        workers: options.workers,
+        queue_capacity: options.queue,
+        ..ServerConfig::default()
+    };
+    Server::spawn(registry, config).map_err(|e| format!("cannot bind {}: {e}", options.addr))
+}
+
+fn run_serve(options: &ServeOptions) -> Result<(), String> {
+    let server = start_server(options)?;
+    println!(
+        "rpg-server listening on http://{} ({} workers, queue bound {}, cache {})",
+        server.addr(),
+        options.workers,
+        options.queue,
+        options.cache
+    );
+    println!("endpoints: POST /v1/generate · POST /v1/batch · GET /v1/healthz · GET /v1/stats");
+    println!("press Ctrl-C to stop");
+    loop {
+        std::thread::park();
+    }
 }
 
 fn build_corpus(scale: CorpusScale) -> Corpus {
@@ -187,6 +293,13 @@ fn run(options: &CliOptions) -> Result<String, String> {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("serve") {
+        if let Err(message) = parse_serve_args(&args[1..]).and_then(|o| run_serve(&o)) {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+        return;
+    }
     match parse_args(&args).and_then(|options| run(&options)) {
         Ok(text) => print!("{text}"),
         Err(message) => {
@@ -257,6 +370,54 @@ mod tests {
         let options = parse_args(&args(&["--list-queries"])).unwrap();
         let output = run(&options).unwrap();
         assert!(output.contains("benchmark queries"));
+    }
+
+    #[test]
+    fn serve_args_have_sane_defaults() {
+        let options = parse_serve_args(&args(&[])).unwrap();
+        assert_eq!(options.addr, "127.0.0.1:7878");
+        assert_eq!(options.queue, 64);
+        assert_eq!(options.cache, rpg_service::DEFAULT_CACHE_CAPACITY);
+        assert!(options.workers >= 1);
+        assert_eq!(options.corpus_scale, CorpusScale::Small);
+    }
+
+    #[test]
+    fn serve_args_parse_and_validate() {
+        let options = parse_serve_args(&args(&[
+            "--addr",
+            "0.0.0.0:9000",
+            "--workers",
+            "3",
+            "--queue",
+            "5",
+            "--cache",
+            "0",
+            "--full-corpus",
+        ]))
+        .unwrap();
+        assert_eq!(options.addr, "0.0.0.0:9000");
+        assert_eq!(options.workers, 3);
+        assert_eq!(options.queue, 5);
+        assert_eq!(options.cache, 0);
+        assert_eq!(options.corpus_scale, CorpusScale::Default);
+        assert!(parse_serve_args(&args(&["--workers", "0"])).is_err());
+        assert!(parse_serve_args(&args(&["--queue", "0"])).is_err());
+        assert!(parse_serve_args(&args(&["--queue"])).is_err());
+        assert!(parse_serve_args(&args(&["--bogus"])).is_err());
+    }
+
+    #[test]
+    fn serve_starts_and_answers_healthz() {
+        let options = ServeOptions {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            ..ServeOptions::default()
+        };
+        let server = start_server(&options).unwrap();
+        let health = rpg_server::client::get(server.addr(), "/v1/healthz").unwrap();
+        assert_eq!(health.status, 200);
+        assert!(health.body.contains("\"default\""));
     }
 
     #[test]

@@ -1,0 +1,384 @@
+//! Loopback integration tests for the `rpg-server` HTTP front end: byte
+//! identity with in-process generation under concurrent clients, admission
+//! control under overflow, malformed-input resilience, batch routing, and
+//! multi-tenant refresh semantics over the wire.
+
+use rpg_corpus::{generate, CorpusConfig};
+use rpg_repager::system::PathRequest;
+use rpg_repro::demo_corpus;
+use rpg_server::{api, client, Server, ServerConfig};
+use rpg_service::{CorpusRegistry, PathService};
+use serde_json::Value;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A registry serving the demo corpus as the `default` tenant.
+fn demo_registry() -> Arc<CorpusRegistry> {
+    let registry = Arc::new(CorpusRegistry::new());
+    registry.register("default", demo_corpus()).unwrap();
+    registry
+}
+
+fn spawn(registry: Arc<CorpusRegistry>, workers: usize, queue: usize) -> Server {
+    Server::spawn(
+        registry,
+        ServerConfig {
+            workers,
+            queue_capacity: queue,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server binds an ephemeral port")
+}
+
+fn demo_queries(count: usize) -> Vec<(String, u16)> {
+    demo_corpus()
+        .survey_bank()
+        .iter()
+        .take(count)
+        .map(|s| (s.query.clone(), s.year))
+        .collect()
+}
+
+fn generate_body(query: &str, year: u16, top_k: usize) -> String {
+    format!(r#"{{"query": {query:?}, "max_year": {year}, "top_k": {top_k}}}"#)
+}
+
+/// Extracts the `result` subtree of a 200 response and re-renders it with
+/// the same encoder the expectation uses.
+fn result_bytes(body: &str) -> String {
+    let value: Value = serde_json::from_str(body).expect("response body parses");
+    serde_json::to_string(value.get("result").expect("response has a result"))
+        .expect("result re-serialises")
+}
+
+#[test]
+fn concurrent_clients_get_byte_identical_json_to_in_process_generation() {
+    let registry = demo_registry();
+    // The direct service shares the server's artifacts, so any divergence
+    // below is the HTTP layer's fault, not a different corpus build.
+    let direct = PathService::with_artifacts(registry.artifacts("default").unwrap());
+    let server = spawn(registry, 4, 32);
+
+    let queries = demo_queries(4);
+    let expected: Vec<String> = queries
+        .iter()
+        .map(|(query, year)| {
+            let output = direct
+                .generate(&PathRequest {
+                    max_year: Some(*year),
+                    ..PathRequest::new(query, 25)
+                })
+                .unwrap();
+            serde_json::to_string(&api::output_result_value(&output)).unwrap()
+        })
+        .collect();
+
+    std::thread::scope(|scope| {
+        for worker in 0..3 {
+            let queries = &queries;
+            let expected = &expected;
+            let addr = server.addr();
+            scope.spawn(move || {
+                for i in 0..queries.len() {
+                    // Stagger the per-thread order so clients collide on
+                    // different requests.
+                    let pick = (i + worker) % queries.len();
+                    let (query, year) = &queries[pick];
+                    let response =
+                        client::post_json(addr, "/v1/generate", &generate_body(query, *year, 25))
+                            .unwrap();
+                    assert_eq!(response.status, 200, "query {query:?}: {}", response.body);
+                    assert_eq!(
+                        result_bytes(&response.body),
+                        expected[pick],
+                        "client {worker} diverged from in-process output on {query:?}"
+                    );
+                }
+            });
+        }
+    });
+
+    let stats = server.stats();
+    assert_eq!(stats.ok, 12, "3 clients x 4 queries, all served");
+    assert_eq!(stats.rejected, 0);
+    assert!(stats.pipeline.requests >= 4, "fresh runs must be recorded");
+}
+
+#[test]
+fn queue_overflow_gets_503_with_retry_after_and_the_server_recovers() {
+    // One worker, a queue of one: with a stampede of concurrent uncached
+    // requests (cache capacity 0 keeps every request on the slow path), at
+    // most two can be in the system, so the rest must be turned away.
+    let registry = Arc::new(CorpusRegistry::with_cache_capacity(0));
+    registry.register("default", demo_corpus()).unwrap();
+    let server = spawn(registry, 1, 1);
+    let (query, year) = demo_queries(1).remove(0);
+    let body = generate_body(&query, year, 25);
+
+    let clients = 8;
+    let barrier = Arc::new(std::sync::Barrier::new(clients));
+    let mut outcomes = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                let barrier = barrier.clone();
+                let addr = server.addr();
+                let body = &body;
+                scope.spawn(move || {
+                    barrier.wait();
+                    client::post_json(addr, "/v1/generate", body).unwrap()
+                })
+            })
+            .collect();
+        for handle in handles {
+            outcomes.push(handle.join().unwrap());
+        }
+    });
+
+    let ok = outcomes.iter().filter(|r| r.status == 200).count();
+    let rejected = outcomes.iter().filter(|r| r.status == 503).count();
+    assert_eq!(
+        ok + rejected,
+        clients,
+        "unexpected statuses: {:?}",
+        outcomes.iter().map(|r| r.status).collect::<Vec<_>>()
+    );
+    assert!(ok >= 1, "at least the first request must be served");
+    assert!(
+        rejected >= 1,
+        "an 8-deep stampede into a 1+1 system must overflow"
+    );
+    for response in outcomes.iter().filter(|r| r.status == 503) {
+        assert_eq!(response.header("retry-after"), Some("1"));
+        assert!(response.body.contains("capacity"));
+    }
+
+    // Admission control never buffered beyond the bound, nothing died, and
+    // the server keeps serving.
+    assert!(server.queue_depth() <= 1);
+    let after = client::post_json(server.addr(), "/v1/generate", &body).unwrap();
+    assert_eq!(after.status, 200);
+    let stats = server.stats();
+    assert_eq!(stats.rejected as usize, rejected);
+}
+
+#[test]
+fn malformed_bodies_are_400_and_the_same_workers_keep_serving() {
+    let registry = demo_registry();
+    let direct = PathService::with_artifacts(registry.artifacts("default").unwrap());
+    // A single worker: if any malformed request killed it, the follow-up
+    // real request could never be answered.
+    let server = spawn(registry, 1, 8);
+    for bad in [
+        "",
+        "{",
+        "null",
+        r#"{"query": 42}"#,
+        r#"{"requests": "not an array"}"#,
+    ] {
+        let response = client::post_json(server.addr(), "/v1/generate", bad).unwrap();
+        assert_eq!(response.status, 400, "body {bad:?}");
+    }
+
+    let (query, year) = demo_queries(1).remove(0);
+    let response = client::post_json(
+        server.addr(),
+        "/v1/generate",
+        &generate_body(&query, year, 20),
+    )
+    .unwrap();
+    assert_eq!(response.status, 200);
+    let expected = direct
+        .generate(&PathRequest {
+            max_year: Some(year),
+            ..PathRequest::new(&query, 20)
+        })
+        .unwrap();
+    assert_eq!(
+        result_bytes(&response.body),
+        serde_json::to_string(&api::output_result_value(&expected)).unwrap()
+    );
+    let stats = server.stats();
+    assert_eq!(stats.client_errors, 5);
+    assert_eq!(stats.ok, 1);
+}
+
+#[test]
+fn batch_preserves_order_and_isolates_per_item_failures() {
+    let registry = demo_registry();
+    let direct = PathService::with_artifacts(registry.artifacts("default").unwrap());
+    let server = spawn(registry, 2, 16);
+    let queries = demo_queries(2);
+
+    let body = format!(
+        r#"{{"requests": [
+            {{"query": {q0:?}, "max_year": {y0}, "top_k": 15}},
+            {{"query": "anything", "corpus": "ghost"}},
+            {{"query": {q1:?}, "max_year": {y1}, "top_k": 15}}
+        ]}}"#,
+        q0 = queries[0].0,
+        y0 = queries[0].1,
+        q1 = queries[1].0,
+        y1 = queries[1].1,
+    );
+    let response = client::post_json(server.addr(), "/v1/batch", &body).unwrap();
+    assert_eq!(response.status, 200, "{}", response.body);
+    let value: Value = serde_json::from_str(&response.body).unwrap();
+    let results = value
+        .get("results")
+        .and_then(Value::as_array)
+        .expect("batch returns a results array");
+    assert_eq!(results.len(), 3);
+
+    for (slot, (query, year)) in [(0usize, &queries[0]), (2, &queries[1])] {
+        let expected = direct
+            .generate(&PathRequest {
+                max_year: Some(*year),
+                ..PathRequest::new(query, 15)
+            })
+            .unwrap();
+        let got = serde_json::to_string(results[slot].get("result").expect("result")).unwrap();
+        assert_eq!(
+            got,
+            serde_json::to_string(&api::output_result_value(&expected)).unwrap(),
+            "batch slot {slot}"
+        );
+    }
+    let failure = &results[1];
+    assert!(failure.get("error").is_some());
+    assert_eq!(failure.get("status").and_then(Value::as_f64), Some(404.0));
+}
+
+#[test]
+fn stats_endpoint_tracks_cache_queue_and_stage_timings() {
+    let registry = demo_registry();
+    let server = spawn(registry, 2, 16);
+    let (query, year) = demo_queries(1).remove(0);
+    let body = generate_body(&query, year, 20);
+
+    let first = client::post_json(server.addr(), "/v1/generate", &body).unwrap();
+    let second = client::post_json(server.addr(), "/v1/generate", &body).unwrap();
+    assert_eq!((first.status, second.status), (200, 200));
+    let first: Value = serde_json::from_str(&first.body).unwrap();
+    let second: Value = serde_json::from_str(&second.body).unwrap();
+    assert_eq!(first.get("cached").and_then(Value::as_bool), Some(false));
+    assert_eq!(second.get("cached").and_then(Value::as_bool), Some(true));
+
+    let stats = client::get(server.addr(), "/v1/stats").unwrap();
+    assert_eq!(stats.status, 200);
+    let stats: Value = serde_json::from_str(&stats.body).unwrap();
+    let cache = stats.get("cache").expect("cache section");
+    assert_eq!(cache.get("hits").and_then(Value::as_f64), Some(1.0));
+    assert_eq!(cache.get("misses").and_then(Value::as_f64), Some(1.0));
+    assert_eq!(cache.get("entries").and_then(Value::as_f64), Some(1.0));
+    let pipeline = stats.get("pipeline").expect("pipeline section");
+    assert_eq!(pipeline.get("requests").and_then(Value::as_f64), Some(1.0));
+    let mean = pipeline.get("mean").expect("mean timings");
+    assert!(mean.get("total_us").and_then(Value::as_f64).unwrap() > 0.0);
+    for stage in [
+        "seed_us",
+        "subgraph_us",
+        "realloc_us",
+        "steiner_us",
+        "render_us",
+    ] {
+        assert!(
+            mean.get(stage).and_then(Value::as_f64).unwrap() > 0.0,
+            "stage {stage} unrecorded"
+        );
+    }
+    let queue = stats.get("queue").expect("queue section");
+    assert_eq!(queue.get("depth").and_then(Value::as_f64), Some(0.0));
+    assert_eq!(queue.get("capacity").and_then(Value::as_f64), Some(16.0));
+}
+
+#[test]
+fn tenants_are_isolated_and_refresh_evicts_only_one() {
+    let registry = demo_registry();
+    registry
+        .register(
+            "aux",
+            generate(&CorpusConfig {
+                seed: 0xAB,
+                ..CorpusConfig::small()
+            }),
+        )
+        .unwrap();
+    let server = spawn(registry.clone(), 2, 16);
+    let (query, year) = demo_queries(1).remove(0);
+
+    let on = |corpus: &str| {
+        format!(r#"{{"query": {query:?}, "max_year": {year}, "top_k": 20, "corpus": {corpus:?}}}"#)
+    };
+    let via_default = client::post_json(server.addr(), "/v1/generate", &on("default")).unwrap();
+    let via_aux = client::post_json(server.addr(), "/v1/generate", &on("aux")).unwrap();
+    assert_eq!((via_default.status, via_aux.status), (200, 200));
+    assert_ne!(
+        result_bytes(&via_default.body),
+        result_bytes(&via_aux.body),
+        "different corpora must answer differently"
+    );
+
+    // Refresh `aux` through the shared registry handle while the server is
+    // live: only aux's cache entries fall out.
+    assert_eq!(registry.cached_entries_for("default"), 1);
+    assert_eq!(registry.cached_entries_for("aux"), 1);
+    registry
+        .refresh(
+            "aux",
+            generate(&CorpusConfig {
+                seed: 0xAC,
+                ..CorpusConfig::small()
+            }),
+        )
+        .unwrap();
+    assert_eq!(registry.cached_entries_for("default"), 1);
+    assert_eq!(registry.cached_entries_for("aux"), 0);
+
+    let default_again = client::post_json(server.addr(), "/v1/generate", &on("default")).unwrap();
+    let aux_again = client::post_json(server.addr(), "/v1/generate", &on("aux")).unwrap();
+    let default_again: Value = serde_json::from_str(&default_again.body).unwrap();
+    let aux_again: Value = serde_json::from_str(&aux_again.body).unwrap();
+    assert_eq!(
+        default_again.get("cached").and_then(Value::as_bool),
+        Some(true),
+        "the untouched tenant keeps its cache"
+    );
+    assert_eq!(
+        aux_again.get("cached").and_then(Value::as_bool),
+        Some(false),
+        "the refreshed tenant must recompute"
+    );
+}
+
+#[test]
+fn slow_clients_cannot_pin_workers_forever() {
+    let registry = Arc::new(CorpusRegistry::new());
+    registry.register("default", demo_corpus()).unwrap();
+    let server = Server::spawn(
+        registry,
+        ServerConfig {
+            workers: 1,
+            queue_capacity: 4,
+            read_timeout: Duration::from_millis(300),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+
+    // A client that connects and never finishes its request ties up the
+    // only worker until the read timeout fires — after which a healthy
+    // request must get through.
+    use std::io::Write;
+    let mut stalled = std::net::TcpStream::connect(server.addr()).unwrap();
+    stalled
+        .write_all(b"POST /v1/generate HTTP/1.1\r\n")
+        .unwrap();
+    stalled.flush().unwrap();
+    std::thread::sleep(Duration::from_millis(50));
+
+    let health = client::get(server.addr(), "/v1/healthz").unwrap();
+    assert_eq!(health.status, 200);
+    drop(stalled);
+}

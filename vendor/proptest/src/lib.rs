@@ -1,0 +1,495 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The real `proptest` cannot be vendored reasonably (it pulls in a tree of
+//! transitive dependencies), so this shim implements exactly the surface
+//! the workspace's `#[cfg(feature = "proptests")]` modules use:
+//!
+//! * the [`proptest!`] macro with `arg in strategy` bindings and an
+//!   optional `#![proptest_config(ProptestConfig::with_cases(n))]` header;
+//! * integer range strategies (`0u32..15`), string strategies from a small
+//!   regex subset (`"[a-z ]{0,60}"`, groups, `.`), tuple strategies, and
+//!   `prop::collection::vec(element, size_range)`;
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`.
+//!
+//! Differences from real proptest (acceptable for this workspace): no
+//! shrinking — a failing case panics with the seed-derived case index in
+//! the standard assert message, and the deterministic per-test RNG means
+//! the failure reproduces by rerunning the test; strategies are sampled,
+//! not explored, so `cases` controls coverage exactly.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+/// Per-test configuration (only `cases` is supported).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of sampled cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` samples per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut StdRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident $idx:tt),+);)*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A 0, B 1);
+    (A 0, B 1, C 2);
+    (A 0, B 1, C 2, D 3);
+}
+
+/// String strategies: a `&str` pattern is a tiny regex subset.
+///
+/// Supported syntax: literal characters, `.` (printable ASCII), character
+/// classes `[a-z 0-9]` (ranges and single chars, no negation), groups
+/// `( ... )`, and the quantifiers `{m}`, `{m,n}`, `?`, `*`, `+` (the
+/// unbounded ones are capped at 8 repetitions).
+impl Strategy for &str {
+    type Value = String;
+    fn sample(&self, rng: &mut StdRng) -> String {
+        let nodes = regex::parse(self);
+        let mut out = String::new();
+        regex::generate(&nodes, rng, &mut out);
+        out
+    }
+}
+
+mod regex {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    pub(crate) enum Node {
+        Literal(char),
+        Any,
+        Class(Vec<char>),
+        Group(Vec<Quantified>),
+    }
+
+    pub(crate) struct Quantified {
+        node: Node,
+        min: u32,
+        max: u32,
+    }
+
+    /// Cap for `*`, `+` and `?`-style unbounded repetition.
+    const UNBOUNDED_CAP: u32 = 8;
+
+    pub(crate) fn parse(pattern: &str) -> Vec<Quantified> {
+        let mut chars = pattern.chars().peekable();
+        let nodes = parse_seq(&mut chars, pattern, None);
+        assert!(
+            chars.next().is_none(),
+            "unbalanced ')' in pattern {pattern:?}"
+        );
+        nodes
+    }
+
+    fn parse_seq(
+        chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+        pattern: &str,
+        terminator: Option<char>,
+    ) -> Vec<Quantified> {
+        let mut nodes = Vec::new();
+        while let Some(&c) = chars.peek() {
+            if Some(c) == terminator {
+                break;
+            }
+            chars.next();
+            let node = match c {
+                '.' => Node::Any,
+                '[' => Node::Class(parse_class(chars, pattern)),
+                '(' => {
+                    let inner = parse_seq(chars, pattern, Some(')'));
+                    assert_eq!(
+                        chars.next(),
+                        Some(')'),
+                        "unterminated group in pattern {pattern:?}"
+                    );
+                    Node::Group(inner)
+                }
+                '\\' => Node::Literal(
+                    chars
+                        .next()
+                        .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}")),
+                ),
+                other => Node::Literal(other),
+            };
+            let (min, max) = parse_quantifier(chars, pattern);
+            nodes.push(Quantified { node, min, max });
+        }
+        nodes
+    }
+
+    fn parse_class(
+        chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+        pattern: &str,
+    ) -> Vec<char> {
+        let mut members = Vec::new();
+        loop {
+            let c = chars
+                .next()
+                .unwrap_or_else(|| panic!("unterminated class in pattern {pattern:?}"));
+            if c == ']' {
+                break;
+            }
+            if chars.peek() == Some(&'-') {
+                let mut lookahead = chars.clone();
+                lookahead.next();
+                match lookahead.peek() {
+                    Some(&end) if end != ']' => {
+                        chars.next();
+                        chars.next();
+                        assert!(c <= end, "inverted range in class of pattern {pattern:?}");
+                        for member in c..=end {
+                            members.push(member);
+                        }
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+            members.push(c);
+        }
+        assert!(!members.is_empty(), "empty class in pattern {pattern:?}");
+        members
+    }
+
+    fn parse_quantifier(
+        chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+        pattern: &str,
+    ) -> (u32, u32) {
+        match chars.peek() {
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                chars.next();
+                (0, UNBOUNDED_CAP)
+            }
+            Some('+') => {
+                chars.next();
+                (1, UNBOUNDED_CAP)
+            }
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                loop {
+                    match chars.next() {
+                        Some('}') => break,
+                        Some(c) => spec.push(c),
+                        None => panic!("unterminated quantifier in pattern {pattern:?}"),
+                    }
+                }
+                let parse_bound = |s: &str| -> u32 {
+                    s.trim()
+                        .parse()
+                        .unwrap_or_else(|_| panic!("bad quantifier bound {s:?} in {pattern:?}"))
+                };
+                match spec.split_once(',') {
+                    None => {
+                        let n = parse_bound(&spec);
+                        (n, n)
+                    }
+                    Some((min, max)) => (parse_bound(min), parse_bound(max)),
+                }
+            }
+            _ => (1, 1),
+        }
+    }
+
+    /// Printable ASCII plus a few multi-byte characters so `.` exercises
+    /// UTF-8 handling downstream.
+    const ANY_EXTRA: [char; 6] = ['é', 'ß', 'λ', '中', '✓', '𝕏'];
+
+    fn sample_any(rng: &mut StdRng) -> char {
+        // 1-in-16 chance of a non-ASCII character.
+        if rng.gen_range(0u32..16) == 0 {
+            ANY_EXTRA[rng.gen_range(0usize..ANY_EXTRA.len())]
+        } else {
+            char::from(rng.gen_range(0x20u8..0x7F))
+        }
+    }
+
+    pub(crate) fn generate(nodes: &[Quantified], rng: &mut StdRng, out: &mut String) {
+        for quantified in nodes {
+            let count = if quantified.min == quantified.max {
+                quantified.min
+            } else {
+                rng.gen_range(quantified.min..=quantified.max)
+            };
+            for _ in 0..count {
+                match &quantified.node {
+                    Node::Literal(c) => out.push(*c),
+                    Node::Any => out.push(sample_any(rng)),
+                    Node::Class(members) => {
+                        out.push(members[rng.gen_range(0usize..members.len())]);
+                    }
+                    Node::Group(inner) => generate(inner, rng, out),
+                }
+            }
+        }
+    }
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// A strategy producing `Vec`s of an element strategy, with a length
+    /// drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `vec(element, 1..20)`: vectors of 1 to 19 sampled elements.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(!size.is_empty(), "empty size range for vec strategy");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Builds the deterministic RNG for one test case.
+///
+/// Seeded from the test name and case index, so every run of a test
+/// explores the same inputs (reproducible failures) while different tests
+/// explore different streams.
+pub fn test_rng(test_name: &str, case: u32) -> StdRng {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+    let mut hasher = DefaultHasher::new();
+    test_name.hash(&mut hasher);
+    StdRng::seed_from_u64(hasher.finish() ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+}
+
+/// The glob-import surface the gated test modules use:
+/// `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+        Strategy,
+    };
+
+    /// The `prop::` namespace (`prop::collection::vec`).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Declares property tests: each `arg in strategy` binding is sampled per
+/// case, and the body runs once per case.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(config = $config; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(config = $crate::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr; $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                for __proptest_case in 0..config.cases {
+                    let mut __proptest_rng = $crate::test_rng(stringify!($name), __proptest_case);
+                    $(let $arg = $crate::Strategy::sample(&($strategy), &mut __proptest_rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+///
+/// Expands to a `continue` of the per-case loop, so it must be used at the
+/// top level of the property body (which is how this workspace uses it),
+/// not inside a nested loop.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            continue;
+        }
+    };
+}
+
+/// Property-test assertion (no shrinking: delegates to `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Property-test equality assertion (delegates to `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Property-test inequality assertion (delegates to `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_sample_within_bounds() {
+        let mut rng = crate::test_rng("ranges", 0);
+        for _ in 0..200 {
+            let x = (3u32..17).sample(&mut rng);
+            assert!((3..17).contains(&x));
+            let y = (0usize..=5).sample(&mut rng);
+            assert!(y <= 5);
+        }
+    }
+
+    #[test]
+    fn string_patterns_match_their_own_grammar() {
+        let mut rng = crate::test_rng("strings", 1);
+        for _ in 0..100 {
+            let word = "[a-z]{3,8}".sample(&mut rng);
+            assert!((3..=8).contains(&word.chars().count()), "{word:?}");
+            assert!(word.chars().all(|c| c.is_ascii_lowercase()));
+
+            let phrase = "[a-z]{3,6}( [a-z]{3,6}){0,2}".sample(&mut rng);
+            let words: Vec<&str> = phrase.split(' ').collect();
+            assert!((1..=3).contains(&words.len()), "{phrase:?}");
+            for word in words {
+                assert!((3..=6).contains(&word.len()), "{phrase:?}");
+            }
+
+            let spaced = "[a-z ]{0,10}".sample(&mut rng);
+            assert!(spaced.chars().count() <= 10);
+            assert!(spaced.chars().all(|c| c == ' ' || c.is_ascii_lowercase()));
+
+            let anything = ".{0,20}".sample(&mut rng);
+            assert!(anything.chars().count() <= 20);
+        }
+    }
+
+    #[test]
+    fn vec_and_tuple_strategies_compose() {
+        let mut rng = crate::test_rng("vecs", 2);
+        for _ in 0..100 {
+            let pairs = prop::collection::vec((0u32..10, 0u32..10), 1..5).sample(&mut rng);
+            assert!((1..=4).contains(&pairs.len()));
+            for (a, b) in pairs {
+                assert!(a < 10 && b < 10);
+            }
+            let triple = (0u8..2, 5i32..6, 0usize..100).sample(&mut rng);
+            assert!(triple.0 < 2);
+            assert_eq!(triple.1, 5);
+        }
+    }
+
+    #[test]
+    fn rng_streams_are_deterministic_per_test_and_case() {
+        use rand::Rng;
+        let a: u64 = crate::test_rng("t", 0).gen();
+        let b: u64 = crate::test_rng("t", 0).gen();
+        let c: u64 = crate::test_rng("t", 1).gen();
+        let d: u64 = crate::test_rng("u", 0).gen();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        /// The macro itself: bindings, config, and assertions all wire up.
+        #[test]
+        fn macro_samples_and_asserts(a in 0u32..50, b in 0u32..50, s in "[a-c]{1,4}") {
+            prop_assert!(a < 50 && b < 50);
+            prop_assert_eq!(a + b, b + a);
+            prop_assert_ne!(s.len(), 0);
+        }
+    }
+}
