@@ -13,7 +13,9 @@
 //! pool), so the protocol overhead over in-process calls is directly
 //! observable — on the hit path (`http_cache_hit`) it is almost pure
 //! overhead, on the miss path (`http_uncached`) it amortises against the
-//! pipeline.
+//! pipeline. The `http_cache_hit_persistent` variant reuses one keep-alive
+//! connection for every request, isolating the per-exchange TCP setup cost
+//! that the close-per-exchange path (`http_cache_hit`) pays each time.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rpg_bench::micro_corpus;
@@ -99,8 +101,9 @@ fn service_throughput(c: &mut Criterion) {
 }
 
 /// End-to-end over loopback HTTP: the same survey queries through
-/// `rpg-server`, one TCP connection per request (the server's
-/// `Connection: close` model).
+/// `rpg-server`, both one TCP connection per request (the old
+/// `Connection: close` model, still available to clients that ask for it)
+/// and many requests per persistent keep-alive connection.
 fn http_loopback(c: &mut Criterion) {
     // One corpus, one artifacts build, shared by both registries (the
     // second registry has caching disabled to isolate the miss path).
@@ -116,6 +119,11 @@ fn http_loopback(c: &mut Criterion) {
         ServerConfig {
             workers: default_threads(),
             queue_capacity: 64,
+            // Criterion decides the iteration counts and pauses between
+            // samples, so the persistent variant must not trip the
+            // per-connection budget or the idle reaper mid-measurement.
+            max_requests_per_connection: usize::MAX,
+            idle_timeout: std::time::Duration::from_secs(300),
             ..ServerConfig::default()
         },
     )
@@ -166,6 +174,20 @@ fn http_loopback(c: &mut Criterion) {
         })
     });
 
+    // The same cache-hit workload over pooled persistent connections: the
+    // delta to `http_cache_hit` is the per-request connection setup.
+    let pool = client::Pool::new(server.addr());
+    group.bench_function("http_cache_hit_persistent", |b| {
+        let mut next = 0usize;
+        b.iter(|| {
+            let body = &bodies[next % bodies.len()];
+            next += 1;
+            let response = pool.post_json("/v1/generate", body).unwrap();
+            assert_eq!(response.status, 200);
+            response.body.len()
+        })
+    });
+
     group.bench_function("http_uncached", |b| {
         let mut next = 0usize;
         b.iter(|| {
@@ -190,6 +212,31 @@ fn http_loopback(c: &mut Criterion) {
     });
 
     group.finish();
+
+    // A quick self-check outside the timed region: on the cache-hit path a
+    // persistent connection skips the TCP setup every close-per-exchange
+    // request pays (informational, not an assertion, so a loaded CI box
+    // cannot flake the bench run).
+    let rounds = 200usize;
+    let close_started = std::time::Instant::now();
+    for i in 0..rounds {
+        let body = &bodies[i % bodies.len()];
+        let response = client::post_json(server.addr(), "/v1/generate", body).unwrap();
+        assert_eq!(response.status, 200);
+    }
+    let close_per_exchange = close_started.elapsed();
+    let mut conn = client::Conn::connect(server.addr()).expect("persistent connection opens");
+    let persistent_started = std::time::Instant::now();
+    for i in 0..rounds {
+        let body = &bodies[i % bodies.len()];
+        let response = conn.post_json("/v1/generate", body).unwrap();
+        assert_eq!(response.status, 200);
+    }
+    let persistent = persistent_started.elapsed();
+    println!(
+        "cache-hit x{rounds}: close-per-exchange {close_per_exchange:?}; persistent {persistent:?} ({:.2}x)",
+        close_per_exchange.as_secs_f64() / persistent.as_secs_f64().max(1e-9),
+    );
 }
 
 criterion_group!(benches, service_throughput, http_loopback);

@@ -1,10 +1,17 @@
 //! A tiny blocking HTTP client for loopback use: the integration tests,
 //! the throughput bench, and smoke checks all drive the server through
-//! this one code path (one request per connection, mirroring the server's
-//! `Connection: close` policy).
+//! this code path.
+//!
+//! Two modes mirror the server's two connection policies: the free
+//! functions ([`request`], [`post_json`], [`get`]) are one-shot — they send
+//! `Connection: close` and read to end-of-stream — while [`Conn`] holds a
+//! persistent keep-alive connection and frames responses by
+//! `Content-Length`, so many exchanges ride one TCP connection. [`Pool`]
+//! keeps idle `Conn`s for reuse across call sites.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::sync::Mutex;
 use std::time::Duration;
 
 /// A parsed HTTP response.
@@ -26,10 +33,17 @@ impl ClientResponse {
             .find(|(k, _)| k == name)
             .map(|(_, v)| v.as_str())
     }
+
+    /// Whether the server announced it will close the connection after
+    /// this exchange.
+    pub fn closes_connection(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
 }
 
-/// Issues one request and reads the response until the server closes the
-/// connection.
+/// Issues one request on a fresh connection (`Connection: close`) and reads
+/// the response until the server hangs up.
 pub fn request(
     addr: SocketAddr,
     method: &str,
@@ -39,18 +53,10 @@ pub fn request(
     let mut stream = TcpStream::connect(addr)?;
     stream.set_read_timeout(Some(Duration::from_secs(30)))?;
     stream.set_write_timeout(Some(Duration::from_secs(30)))?;
-    let body = body.unwrap_or("");
-    let head = format!(
-        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\n\r\n",
-        body.len()
-    );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
-    stream.flush()?;
-
-    let mut raw = Vec::new();
-    stream.read_to_end(&mut raw)?;
-    parse_response(&raw)
+    let _ = stream.set_nodelay(true);
+    write_request(&mut stream, addr, method, path, body, false)?;
+    let mut buf = Vec::new();
+    read_response(&mut stream, &mut buf)
 }
 
 /// Shorthand for `POST` with a JSON body.
@@ -63,18 +69,219 @@ pub fn get(addr: SocketAddr, path: &str) -> std::io::Result<ClientResponse> {
     request(addr, "GET", path, None)
 }
 
+fn write_request<W: Write>(
+    writer: &mut W,
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let body = body.unwrap_or("");
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    // One write for head + body: a second small segment on a keep-alive
+    // socket can sit in Nagle's buffer until the server's delayed ACK.
+    let mut wire = format!(
+        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\nconnection: {connection}\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    wire.extend_from_slice(body.as_bytes());
+    writer.write_all(&wire)?;
+    writer.flush()
+}
+
+/// A persistent keep-alive connection serving many sequential exchanges.
+///
+/// Responses are framed by `Content-Length`, so the connection stays usable
+/// after each one; bytes past the current response (from a pipelined read)
+/// stay buffered for the next.
+pub struct Conn {
+    addr: SocketAddr,
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl Conn {
+    /// Opens a persistent connection to the server.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Conn> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+        // Request + response per exchange are each one small write; Nagle
+        // would serialise them against the peer's delayed ACK (~40ms).
+        stream.set_nodelay(true)?;
+        Ok(Conn {
+            addr,
+            stream,
+            buf: Vec::new(),
+        })
+    }
+
+    /// The address this connection is bound to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Issues one request on the persistent connection.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> std::io::Result<ClientResponse> {
+        write_request(&mut self.stream, self.addr, method, path, body, true)?;
+        read_response(&mut self.stream, &mut self.buf)
+    }
+
+    /// Shorthand for `POST` with a JSON body.
+    pub fn post_json(&mut self, path: &str, body: &str) -> std::io::Result<ClientResponse> {
+        self.request("POST", path, Some(body))
+    }
+
+    /// Shorthand for a body-less `GET`.
+    pub fn get(&mut self, path: &str) -> std::io::Result<ClientResponse> {
+        self.request("GET", path, None)
+    }
+}
+
+/// A pool of idle persistent connections to one server.
+///
+/// `request` reuses an idle connection when one exists, reconnecting
+/// transparently when the pooled one has gone stale (e.g. the server's
+/// idle timeout closed it between exchanges).
+pub struct Pool {
+    addr: SocketAddr,
+    idle: Mutex<Vec<Conn>>,
+}
+
+impl Pool {
+    /// An empty pool for the given server address.
+    pub fn new(addr: SocketAddr) -> Pool {
+        Pool {
+            addr,
+            idle: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Issues a request over a pooled connection, returning the connection
+    /// to the pool afterwards unless the server announced a close.
+    pub fn request(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> std::io::Result<ClientResponse> {
+        let pooled = self.idle.lock().unwrap().pop();
+        let (mut conn, fresh) = match pooled {
+            Some(conn) => (conn, false),
+            None => (Conn::connect(self.addr)?, true),
+        };
+        let result = conn.request(method, path, body);
+        let result = match result {
+            Ok(response) => Ok(response),
+            // A stale pooled connection fails on reuse (the server closed
+            // it while idle); retry once on a fresh one — but only for
+            // failures where the server cannot have processed the request
+            // (closed/reset before a response byte). A timeout means the
+            // request may be executing: retrying would run it twice.
+            Err(e) if !fresh && is_stale_connection(&e) => {
+                conn = Conn::connect(self.addr)?;
+                conn.request(method, path, body)
+            }
+            Err(e) => Err(e),
+        };
+        if let Ok(response) = &result {
+            if !response.closes_connection() {
+                self.idle.lock().unwrap().push(conn);
+            }
+        }
+        result
+    }
+
+    /// Shorthand for `POST` with a JSON body.
+    pub fn post_json(&self, path: &str, body: &str) -> std::io::Result<ClientResponse> {
+        self.request("POST", path, Some(body))
+    }
+
+    /// Shorthand for a body-less `GET`.
+    pub fn get(&self, path: &str) -> std::io::Result<ClientResponse> {
+        self.request("GET", path, None)
+    }
+
+    /// Idle connections currently pooled.
+    pub fn idle_connections(&self) -> usize {
+        self.idle.lock().unwrap().len()
+    }
+}
+
 fn invalid(reason: &str) -> std::io::Error {
     std::io::Error::new(std::io::ErrorKind::InvalidData, reason.to_string())
 }
 
-fn parse_response(raw: &[u8]) -> std::io::Result<ClientResponse> {
-    let text = std::str::from_utf8(raw).map_err(|_| invalid("response is not UTF-8"))?;
-    // Skip interim 100 Continue responses.
-    let mut rest = text;
+/// The error kinds a dead-but-pooled connection produces when reused:
+/// either the write hits the closed socket, or the read sees the server's
+/// FIN/RST before any response byte. Anything else (timeouts above all)
+/// means the request may have reached the server.
+fn is_stale_connection(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::BrokenPipe
+            | std::io::ErrorKind::NotConnected
+            | std::io::ErrorKind::UnexpectedEof
+    )
+}
+
+/// Finds `\r\n\r\n`, only scanning bytes past `*scanned` (minus a 3-byte
+/// overlap for terminators split across reads) — same incremental pattern
+/// as the server-side parser, so a trickled head costs O(n), not O(n²).
+fn find_head_end(buf: &[u8], scanned: &mut usize) -> Option<usize> {
+    let from = scanned.saturating_sub(3);
+    match buf[from..].windows(4).position(|w| w == b"\r\n\r\n") {
+        Some(pos) => Some(from + pos),
+        None => {
+            *scanned = buf.len();
+            None
+        }
+    }
+}
+
+/// Reads exactly one HTTP response off `reader`, carrying excess bytes in
+/// `buf` across calls (the persistent-connection case). Interim
+/// `100 Continue` responses are skipped. Bodies are framed by
+/// `Content-Length` when present, end-of-stream otherwise.
+pub fn read_response<R: Read>(
+    reader: &mut R,
+    buf: &mut Vec<u8>,
+) -> std::io::Result<ClientResponse> {
     loop {
-        let (head, body) = rest
-            .split_once("\r\n\r\n")
-            .ok_or_else(|| invalid("no header terminator"))?;
+        // Accumulate the head.
+        let mut scanned = 0usize;
+        let head_end = loop {
+            if let Some(pos) = find_head_end(buf, &mut scanned) {
+                break pos;
+            }
+            let mut chunk = [0u8; 4096];
+            let n = reader.read(&mut chunk)?;
+            if n == 0 {
+                // Zero response bytes = the peer closed before seeing the
+                // request (a stale pooled connection); a partial head means
+                // it died mid-response, which is a different failure.
+                return Err(if buf.is_empty() {
+                    std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "connection closed before response head",
+                    )
+                } else {
+                    invalid("connection closed mid-head")
+                });
+            }
+            buf.extend_from_slice(&chunk[..n]);
+        };
+        let head = std::str::from_utf8(&buf[..head_end])
+            .map_err(|_| invalid("response head is not UTF-8"))?;
         let mut lines = head.split("\r\n");
         let status_line = lines.next().ok_or_else(|| invalid("empty response"))?;
         let status: u16 = status_line
@@ -82,20 +289,46 @@ fn parse_response(raw: &[u8]) -> std::io::Result<ClientResponse> {
             .nth(1)
             .and_then(|s| s.parse().ok())
             .ok_or_else(|| invalid("bad status line"))?;
-        if status == 100 {
-            rest = body;
-            continue;
-        }
-        let headers = lines
+        let headers: Vec<(String, String)> = lines
             .filter_map(|line| {
                 line.split_once(':')
                     .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
             })
             .collect();
+        buf.drain(..head_end + 4);
+        if status == 100 {
+            continue;
+        }
+
+        let content_length: Option<usize> = headers
+            .iter()
+            .find(|(k, _)| k == "content-length")
+            .and_then(|(_, v)| v.parse().ok());
+        let body = match content_length {
+            Some(length) => {
+                while buf.len() < length {
+                    let mut chunk = [0u8; 16 * 1024];
+                    let n = reader.read(&mut chunk)?;
+                    if n == 0 {
+                        return Err(invalid("connection closed mid-body"));
+                    }
+                    buf.extend_from_slice(&chunk[..n]);
+                }
+                buf.drain(..length).collect::<Vec<u8>>()
+            }
+            None => {
+                // No framing: the body runs to end-of-stream (one-shot
+                // connections only).
+                let mut rest = std::mem::take(buf);
+                reader.read_to_end(&mut rest)?;
+                rest
+            }
+        };
+        let body = String::from_utf8(body).map_err(|_| invalid("response body is not UTF-8"))?;
         return Ok(ClientResponse {
             status,
             headers,
-            body: body.to_string(),
+            body,
         });
     }
 }
@@ -104,10 +337,15 @@ fn parse_response(raw: &[u8]) -> std::io::Result<ClientResponse> {
 mod tests {
     use super::*;
 
+    fn parse(raw: &[u8]) -> std::io::Result<ClientResponse> {
+        let mut buf = Vec::new();
+        read_response(&mut &raw[..], &mut buf)
+    }
+
     #[test]
     fn parses_a_plain_response() {
         let raw = b"HTTP/1.1 200 OK\r\ncontent-type: application/json\r\n\r\n{\"ok\":true}";
-        let response = parse_response(raw).unwrap();
+        let response = parse(raw).unwrap();
         assert_eq!(response.status, 200);
         assert_eq!(response.header("content-type"), Some("application/json"));
         assert_eq!(response.body, "{\"ok\":true}");
@@ -116,14 +354,36 @@ mod tests {
     #[test]
     fn skips_interim_continue() {
         let raw = b"HTTP/1.1 100 Continue\r\n\r\nHTTP/1.1 503 Service Unavailable\r\nretry-after: 1\r\n\r\n{}";
-        let response = parse_response(raw).unwrap();
+        let response = parse(raw).unwrap();
         assert_eq!(response.status, 503);
         assert_eq!(response.header("retry-after"), Some("1"));
+        assert!(!response.closes_connection());
+    }
+
+    #[test]
+    fn frames_by_content_length_and_keeps_the_tail() {
+        let raw = b"HTTP/1.1 200 OK\r\ncontent-length: 2\r\nconnection: keep-alive\r\n\r\n{}HTTP/1.1 404 Not Found\r\ncontent-length: 4\r\n\r\nnope";
+        let mut buf = Vec::new();
+        let mut reader = &raw[..];
+        let first = read_response(&mut reader, &mut buf).unwrap();
+        assert_eq!(first.status, 200);
+        assert_eq!(first.body, "{}");
+        assert!(!first.closes_connection());
+        let second = read_response(&mut reader, &mut buf).unwrap();
+        assert_eq!(second.status, 404);
+        assert_eq!(second.body, "nope");
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn close_announcement_is_visible() {
+        let raw = b"HTTP/1.1 200 OK\r\ncontent-length: 2\r\nconnection: close\r\n\r\n{}";
+        assert!(parse(raw).unwrap().closes_connection());
     }
 
     #[test]
     fn rejects_garbage() {
-        assert!(parse_response(b"not http").is_err());
-        assert!(parse_response(b"HTTP/1.1 banana\r\n\r\n").is_err());
+        assert!(parse(b"not http").is_err());
+        assert!(parse(b"HTTP/1.1 banana\r\n\r\n").is_err());
     }
 }

@@ -1,7 +1,16 @@
 //! A minimal HTTP/1.1 implementation over `std::io` — just enough protocol
 //! for the JSON API: request-line + header parsing with hard size limits,
 //! exact `Content-Length` body reads, `Expect: 100-continue` handling, and
-//! `Connection: close` responses.
+//! persistent (keep-alive) connections.
+//!
+//! [`RequestReader`] owns the per-connection buffer: bytes read past the end
+//! of one request (a pipelined second request) stay buffered and become the
+//! prefix of the next parse instead of being discarded, which is what makes
+//! multi-exchange connections safe. Because connections persist, the parser
+//! is strict about framing: `Transfer-Encoding` is rejected outright (`501`)
+//! and duplicate `Content-Length` headers are a `400` — both are classic
+//! request-smuggling vectors once a connection carries more than one
+//! request.
 //!
 //! The reader side is generic over [`Read`] so parsing is unit-testable on
 //! byte slices; the server hands it `TcpStream`s with a read timeout set, so
@@ -38,10 +47,10 @@ pub struct Request {
     pub headers: Vec<(String, String)>,
     /// The raw body bytes (empty when no `Content-Length`).
     pub body: Vec<u8>,
-    /// Whether bytes beyond `Content-Length` were received (a pipelined
-    /// second request). This server never serves them — the caller must
-    /// drain before closing so the response isn't destroyed by an RST.
-    pub has_excess_bytes: bool,
+    /// Whether the client wants the connection kept open after this
+    /// exchange: the HTTP/1.1 default unless `Connection: close`, opt-in
+    /// via `Connection: keep-alive` on HTTP/1.0.
+    pub keep_alive: bool,
 }
 
 impl Request {
@@ -61,6 +70,9 @@ pub enum HttpError {
     Malformed(String),
     /// Head or declared body size exceeds the configured limits.
     TooLarge(String),
+    /// The request uses a protocol feature this server does not implement
+    /// (`Transfer-Encoding`), answered with `501`.
+    Unsupported(String),
     /// The client stopped sending before the request was complete.
     Incomplete,
     /// The socket read timed out.
@@ -75,6 +87,7 @@ impl HttpError {
         match self {
             HttpError::Malformed(_) => 400,
             HttpError::TooLarge(_) => 413,
+            HttpError::Unsupported(_) => 501,
             HttpError::Incomplete => 400,
             HttpError::Timeout => 408,
             HttpError::Io(_) => 400,
@@ -86,6 +99,7 @@ impl HttpError {
         match self {
             HttpError::Malformed(what) => format!("malformed request: {what}"),
             HttpError::TooLarge(what) => format!("request too large: {what}"),
+            HttpError::Unsupported(what) => format!("not implemented: {what}"),
             HttpError::Incomplete => "connection closed mid-request".to_string(),
             HttpError::Timeout => "timed out waiting for the request".to_string(),
             HttpError::Io(kind) => format!("transport error: {kind:?}"),
@@ -101,133 +115,231 @@ fn io_error(e: io::Error) -> HttpError {
     }
 }
 
-/// Reads and parses one HTTP/1.1 request.
+/// Reads HTTP/1.1 requests off one connection, retaining excess bytes.
 ///
-/// `on_continue` is called once if the client sent `Expect: 100-continue`
-/// and the head parsed cleanly, so the caller can emit the interim
-/// `100 Continue` response before this function blocks on the body (curl
-/// does this for any body above ~1 KiB).
-pub fn read_request<R: Read>(
-    reader: &mut R,
-    limits: &Limits,
-    mut on_continue: impl FnMut(),
-) -> Result<Request, HttpError> {
-    // Accumulate until the blank line that ends the head.
-    let mut buf: Vec<u8> = Vec::with_capacity(1024);
-    let head_end = loop {
-        if let Some(pos) = find_head_end(&buf) {
-            if pos + 4 > limits.max_head_bytes {
+/// One `RequestReader` lives as long as its connection. Each call to
+/// [`RequestReader::read_request`] consumes exactly one request's bytes from
+/// the internal buffer; anything beyond it (a pipelined next request) stays
+/// buffered and is parsed first on the following call, so back-to-back
+/// requests are served without losing a byte.
+pub struct RequestReader<R> {
+    reader: R,
+    buf: Vec<u8>,
+}
+
+impl<R: Read> RequestReader<R> {
+    /// A reader with an empty buffer over a fresh connection.
+    pub fn new(reader: R) -> Self {
+        RequestReader {
+            reader,
+            buf: Vec::with_capacity(1024),
+        }
+    }
+
+    /// A shared reference to the underlying transport (e.g. to `peek` it).
+    pub fn get_ref(&self) -> &R {
+        &self.reader
+    }
+
+    /// Whether bytes of a next request are already buffered.
+    pub fn has_buffered(&self) -> bool {
+        !self.buf.is_empty()
+    }
+
+    /// Reads and parses the next request on the connection.
+    ///
+    /// `on_continue` is called once if the client sent
+    /// `Expect: 100-continue` and the head parsed cleanly, so the caller can
+    /// emit the interim `100 Continue` response before this function blocks
+    /// on the body (curl does this for any body above ~1 KiB).
+    ///
+    /// After an error the buffer state is unspecified — request framing is
+    /// lost, so the caller must close the connection.
+    pub fn read_request(
+        &mut self,
+        limits: &Limits,
+        mut on_continue: impl FnMut(),
+    ) -> Result<Request, HttpError> {
+        // Accumulate until the blank line that ends the head. `scanned`
+        // tracks how far the terminator search has already looked, so each
+        // read only scans the new tail (minus a 3-byte overlap for a
+        // terminator split across reads) instead of rescanning the whole
+        // buffer — O(n) total on slow-trickle heads instead of O(n²).
+        let mut scanned = 0usize;
+        let head_end = loop {
+            if let Some(pos) = find_head_end(&self.buf, &mut scanned) {
+                if pos + 4 > limits.max_head_bytes {
+                    return Err(HttpError::TooLarge(format!(
+                        "head exceeds {} bytes",
+                        limits.max_head_bytes
+                    )));
+                }
+                break pos;
+            }
+            if self.buf.len() >= limits.max_head_bytes {
                 return Err(HttpError::TooLarge(format!(
                     "head exceeds {} bytes",
                     limits.max_head_bytes
                 )));
             }
-            break pos;
-        }
-        if buf.len() >= limits.max_head_bytes {
-            return Err(HttpError::TooLarge(format!(
-                "head exceeds {} bytes",
-                limits.max_head_bytes
+            let mut chunk = [0u8; 1024];
+            let n = self.reader.read(&mut chunk).map_err(io_error)?;
+            if n == 0 {
+                return Err(HttpError::Incomplete);
+            }
+            self.buf.extend_from_slice(&chunk[..n]);
+        };
+
+        let head = std::str::from_utf8(&self.buf[..head_end])
+            .map_err(|_| HttpError::Malformed("head is not UTF-8".to_string()))?;
+        let mut lines = head.split("\r\n");
+        let request_line = lines
+            .next()
+            .ok_or_else(|| HttpError::Malformed("empty request line".to_string()))?;
+        let mut parts = request_line.split(' ');
+        let method = parts
+            .next()
+            .filter(|m| !m.is_empty())
+            .ok_or_else(|| HttpError::Malformed("missing method".to_string()))?;
+        let target = parts
+            .next()
+            .ok_or_else(|| HttpError::Malformed("missing request target".to_string()))?;
+        let version = parts
+            .next()
+            .ok_or_else(|| HttpError::Malformed("missing HTTP version".to_string()))?;
+        if !version.starts_with("HTTP/1.") {
+            return Err(HttpError::Malformed(format!(
+                "unsupported protocol {version:?}"
             )));
         }
-        let mut chunk = [0u8; 1024];
-        let n = reader.read(&mut chunk).map_err(io_error)?;
-        if n == 0 {
-            return Err(HttpError::Incomplete);
-        }
-        buf.extend_from_slice(&chunk[..n]);
-    };
 
-    let head = std::str::from_utf8(&buf[..head_end])
-        .map_err(|_| HttpError::Malformed("head is not UTF-8".to_string()))?;
-    let mut lines = head.split("\r\n");
-    let request_line = lines
-        .next()
-        .ok_or_else(|| HttpError::Malformed("empty request line".to_string()))?;
-    let mut parts = request_line.split(' ');
-    let method = parts
-        .next()
-        .filter(|m| !m.is_empty())
-        .ok_or_else(|| HttpError::Malformed("missing method".to_string()))?;
-    let target = parts
-        .next()
-        .ok_or_else(|| HttpError::Malformed("missing request target".to_string()))?;
-    let version = parts
-        .next()
-        .ok_or_else(|| HttpError::Malformed("missing HTTP version".to_string()))?;
-    if !version.starts_with("HTTP/1.") {
-        return Err(HttpError::Malformed(format!(
-            "unsupported protocol {version:?}"
-        )));
-    }
-
-    let mut headers = Vec::new();
-    for line in lines {
-        if line.is_empty() {
-            continue;
+        let mut headers = Vec::new();
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let Some((name, value)) = line.split_once(':') else {
+                return Err(HttpError::Malformed(format!("header line {line:?}")));
+            };
+            // RFC 7230: no whitespace is allowed between the header name
+            // and the colon, and a leading space would be an (obsolete,
+            // dangerous) folded continuation. Trimming either into a valid
+            // name is how "Content-Length : 5" smuggling variants slip
+            // past one parser and not the next — reject instead.
+            if name.is_empty() || name.contains(|c: char| c.is_ascii_whitespace()) {
+                return Err(HttpError::Malformed(format!(
+                    "whitespace in header name {name:?}"
+                )));
+            }
+            headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
         }
-        let Some((name, value)) = line.split_once(':') else {
-            return Err(HttpError::Malformed(format!("header line {line:?}")));
+
+        // With persistent connections, mis-framing a body desyncs every
+        // request after it (request smuggling), so framing headers are
+        // policed strictly: no Transfer-Encoding of any kind, and at most
+        // one Content-Length header.
+        if let Some(encoding) = headers
+            .iter()
+            .find(|(k, _)| k == "transfer-encoding")
+            .map(|(_, v)| v.clone())
+        {
+            return Err(HttpError::Unsupported(format!(
+                "transfer-encoding {encoding:?} is not supported; send a content-length body"
+            )));
+        }
+        let mut content_lengths = headers.iter().filter(|(k, _)| k == "content-length");
+        let content_length = match (content_lengths.next(), content_lengths.next()) {
+            (None, _) => 0usize,
+            (Some(_), Some(_)) => {
+                return Err(HttpError::Malformed(
+                    "multiple content-length headers".to_string(),
+                ));
+            }
+            // Digits only: `usize::from_str` would also accept "+5", which
+            // a peer proxy may frame differently (desync vector).
+            (Some((_, raw)), None) => raw
+                .parse::<usize>()
+                .ok()
+                .filter(|_| !raw.is_empty() && raw.bytes().all(|b| b.is_ascii_digit()))
+                .ok_or_else(|| HttpError::Malformed(format!("content-length {raw:?}")))?,
         };
-        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
-    }
-
-    let request_head = Request {
-        method: method.to_string(),
-        path: target.split('?').next().unwrap_or(target).to_string(),
-        headers,
-        body: Vec::new(),
-        has_excess_bytes: false,
-    };
-
-    let content_length = match request_head.header("content-length") {
-        None => 0usize,
-        Some(raw) => raw
-            .parse::<usize>()
-            .map_err(|_| HttpError::Malformed(format!("content-length {raw:?}")))?,
-    };
-    if content_length > limits.max_body_bytes {
-        return Err(HttpError::TooLarge(format!(
-            "body of {content_length} bytes exceeds {} bytes",
-            limits.max_body_bytes
-        )));
-    }
-
-    if request_head
-        .header("expect")
-        .is_some_and(|v| v.eq_ignore_ascii_case("100-continue"))
-        && content_length > 0
-    {
-        on_continue();
-    }
-
-    // Bytes already read past the head are the body prefix.
-    let mut body = buf[head_end + 4..].to_vec();
-    let mut has_excess_bytes = false;
-    if body.len() > content_length {
-        // Trailing pipelined bytes are never served (we always close), but
-        // their existence is reported so the caller drains before closing.
-        body.truncate(content_length);
-        has_excess_bytes = true;
-    }
-    while body.len() < content_length {
-        let mut chunk = vec![0u8; (content_length - body.len()).min(16 * 1024)];
-        let n = reader.read(&mut chunk).map_err(io_error)?;
-        if n == 0 {
-            return Err(HttpError::Incomplete);
+        if content_length > limits.max_body_bytes {
+            return Err(HttpError::TooLarge(format!(
+                "body of {content_length} bytes exceeds {} bytes",
+                limits.max_body_bytes
+            )));
         }
-        body.extend_from_slice(&chunk[..n]);
-    }
 
-    Ok(Request {
-        body,
-        has_excess_bytes,
-        ..request_head
-    })
+        let request_head = Request {
+            method: method.to_string(),
+            path: target.split('?').next().unwrap_or(target).to_string(),
+            keep_alive: wants_keep_alive(version, &headers),
+            headers,
+            body: Vec::new(),
+        };
+
+        if request_head
+            .header("expect")
+            .is_some_and(|v| v.eq_ignore_ascii_case("100-continue"))
+            && content_length > 0
+        {
+            on_continue();
+        }
+
+        // Pull the rest of the body into the buffer, then split off exactly
+        // this request's bytes; anything beyond stays buffered for the next
+        // call.
+        let body_end = head_end + 4 + content_length;
+        while self.buf.len() < body_end {
+            let mut chunk = vec![0u8; (body_end - self.buf.len()).min(16 * 1024)];
+            let n = self.reader.read(&mut chunk).map_err(io_error)?;
+            if n == 0 {
+                return Err(HttpError::Incomplete);
+            }
+            self.buf.extend_from_slice(&chunk[..n]);
+        }
+        let body = self.buf[head_end + 4..body_end].to_vec();
+        self.buf.drain(..body_end);
+
+        Ok(Request {
+            body,
+            ..request_head
+        })
+    }
 }
 
-fn find_head_end(buf: &[u8]) -> Option<usize> {
-    buf.windows(4).position(|w| w == b"\r\n\r\n")
+/// Whether the request asks for the connection to persist: HTTP/1.1
+/// defaults to keep-alive unless `Connection: close`; HTTP/1.0 requires an
+/// explicit `Connection: keep-alive`.
+fn wants_keep_alive(version: &str, headers: &[(String, String)]) -> bool {
+    let mut saw_keep_alive = false;
+    let tokens = headers
+        .iter()
+        .filter(|(k, _)| k == "connection")
+        .flat_map(|(_, v)| v.split(','))
+        .map(str::trim);
+    for token in tokens {
+        // `close` anywhere in the list wins over `keep-alive`.
+        if token.eq_ignore_ascii_case("close") {
+            return false;
+        }
+        saw_keep_alive |= token.eq_ignore_ascii_case("keep-alive");
+    }
+    saw_keep_alive || version != "HTTP/1.0"
+}
+
+/// Finds `\r\n\r\n` in `buf`, only scanning bytes past `*scanned` (minus a
+/// 3-byte overlap for terminators split across reads). Advances `*scanned`
+/// when nothing is found so the next call skips what this one covered.
+fn find_head_end(buf: &[u8], scanned: &mut usize) -> Option<usize> {
+    let from = scanned.saturating_sub(3);
+    match buf[from..].windows(4).position(|w| w == b"\r\n\r\n") {
+        Some(pos) => Some(from + pos),
+        None => {
+            *scanned = buf.len();
+            None
+        }
+    }
 }
 
 /// An HTTP response ready to be written to the wire.
@@ -257,24 +369,32 @@ impl Response {
         self
     }
 
-    /// Serialises the response to the wire. Always closes the connection
-    /// (`Connection: close`), so one TCP connection carries one exchange.
-    pub fn write_to<W: Write>(&self, writer: &mut W) -> io::Result<()> {
-        let mut head = format!(
-            "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n",
+    /// Serialises the response to the wire. `keep_alive` selects the
+    /// `Connection` header: `keep-alive` promises the server will serve
+    /// another request on this connection, `close` that it will hang up
+    /// after this exchange.
+    ///
+    /// Head and body go out in a single `write` call: two small writes on a
+    /// persistent socket are two TCP segments, and Nagle holding the second
+    /// until the peer's delayed ACK costs ~40ms per exchange.
+    pub fn write_to<W: Write>(&self, writer: &mut W, keep_alive: bool) -> io::Result<()> {
+        let connection = if keep_alive { "keep-alive" } else { "close" };
+        let mut wire = format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {connection}\r\n",
             self.status,
             reason(self.status),
             self.body.len()
-        );
+        )
+        .into_bytes();
         for (name, value) in &self.headers {
-            head.push_str(name);
-            head.push_str(": ");
-            head.push_str(value);
-            head.push_str("\r\n");
+            wire.extend_from_slice(name.as_bytes());
+            wire.extend_from_slice(b": ");
+            wire.extend_from_slice(value.as_bytes());
+            wire.extend_from_slice(b"\r\n");
         }
-        head.push_str("\r\n");
-        writer.write_all(head.as_bytes())?;
-        writer.write_all(&self.body)?;
+        wire.extend_from_slice(b"\r\n");
+        wire.extend_from_slice(&self.body);
+        writer.write_all(&wire)?;
         writer.flush()
     }
 }
@@ -294,7 +414,9 @@ pub fn reason(status: u16) -> &'static str {
         405 => "Method Not Allowed",
         408 => "Request Timeout",
         413 => "Payload Too Large",
+        429 => "Too Many Requests",
         500 => "Internal Server Error",
+        501 => "Not Implemented",
         503 => "Service Unavailable",
         _ => "Unknown",
     }
@@ -305,7 +427,7 @@ mod tests {
     use super::*;
 
     fn parse(bytes: &[u8]) -> Result<Request, HttpError> {
-        read_request(&mut &bytes[..], &Limits::default(), || {})
+        RequestReader::new(bytes).read_request(&Limits::default(), || {})
     }
 
     #[test]
@@ -352,6 +474,77 @@ mod tests {
     }
 
     #[test]
+    fn rejects_transfer_encoding_as_unimplemented() {
+        let raw = b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n0\r\n\r\n";
+        let err = parse(raw).unwrap_err();
+        assert!(matches!(err, HttpError::Unsupported(_)), "{err:?}");
+        assert_eq!(err.status(), 501);
+        assert!(err.message().contains("chunked"));
+        // Any transfer-encoding is refused, not just chunked.
+        let gzip = parse(b"POST / HTTP/1.1\r\nTransfer-Encoding: gzip\r\n\r\n").unwrap_err();
+        assert_eq!(gzip.status(), 501);
+    }
+
+    #[test]
+    fn rejects_duplicate_content_length() {
+        // Conflicting lengths are the classic desync payload...
+        let conflicting = b"POST / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 40\r\n\r\nok";
+        let err = parse(conflicting).unwrap_err();
+        assert!(matches!(err, HttpError::Malformed(_)), "{err:?}");
+        assert_eq!(err.status(), 400);
+        // ...but even agreeing duplicates are refused: a sender that emits
+        // two is already outside the spec.
+        let agreeing = b"POST / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 2\r\n\r\nok";
+        assert_eq!(parse(agreeing).unwrap_err().status(), 400);
+    }
+
+    #[test]
+    fn rejects_nonconformant_framing_spellings() {
+        // Whitespace before the colon must not be trimmed into a valid
+        // framing header ("Content-Length : 5" smuggling variant)...
+        let spaced = b"POST / HTTP/1.1\r\nContent-Length : 2\r\n\r\nok";
+        assert_eq!(parse(spaced).unwrap_err().status(), 400);
+        // ...nor may a folded continuation line start a new header...
+        let folded = b"POST / HTTP/1.1\r\nX-A: 1\r\n Content-Length: 2\r\n\r\nok";
+        assert_eq!(parse(folded).unwrap_err().status(), 400);
+        // ...and the length value is digits only (no "+5", no empty).
+        for raw in [
+            &b"POST / HTTP/1.1\r\nContent-Length: +2\r\n\r\nok"[..],
+            &b"POST / HTTP/1.1\r\nContent-Length:\r\n\r\n"[..],
+        ] {
+            assert_eq!(parse(raw).unwrap_err().status(), 400, "{raw:?}");
+        }
+    }
+
+    #[test]
+    fn keep_alive_follows_version_and_connection_header() {
+        assert!(parse(b"GET / HTTP/1.1\r\n\r\n").unwrap().keep_alive);
+        assert!(!parse(b"GET / HTTP/1.0\r\n\r\n").unwrap().keep_alive);
+        assert!(
+            !parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+                .unwrap()
+                .keep_alive
+        );
+        assert!(
+            parse(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+                .unwrap()
+                .keep_alive
+        );
+        assert!(
+            !parse(b"GET / HTTP/1.1\r\nConnection: Close\r\n\r\n")
+                .unwrap()
+                .keep_alive,
+            "connection tokens are case-insensitive"
+        );
+        assert!(
+            !parse(b"GET / HTTP/1.1\r\nConnection: keep-alive, close\r\n\r\n")
+                .unwrap()
+                .keep_alive,
+            "close anywhere in the token list wins"
+        );
+    }
+
+    #[test]
     fn rejects_oversized_head_and_body() {
         let limits = Limits {
             max_head_bytes: 64,
@@ -359,24 +552,73 @@ mod tests {
         };
         let long_head = format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(128));
         assert!(matches!(
-            read_request(&mut long_head.as_bytes(), &limits, || {}),
+            RequestReader::new(long_head.as_bytes()).read_request(&limits, || {}),
             Err(HttpError::TooLarge(_))
         ));
         let big_body = b"POST / HTTP/1.1\r\nContent-Length: 9999\r\n\r\n";
         assert!(matches!(
-            read_request(&mut &big_body[..], &limits, || {}),
+            RequestReader::new(&big_body[..]).read_request(&limits, || {}),
             Err(HttpError::TooLarge(_))
         ));
     }
 
     #[test]
-    fn pipelined_bytes_are_truncated_but_reported() {
+    fn pipelined_bytes_become_the_next_request() {
         let raw = b"POST /a HTTP/1.1\r\nContent-Length: 2\r\n\r\nokGET /second HTTP/1.1\r\n\r\n";
-        let request = parse(raw).unwrap();
-        assert_eq!(request.body, b"ok");
-        assert!(request.has_excess_bytes, "pipelined tail must be flagged");
-        let exact = parse(b"POST /a HTTP/1.1\r\nContent-Length: 2\r\n\r\nok").unwrap();
-        assert!(!exact.has_excess_bytes);
+        let mut reader = RequestReader::new(&raw[..]);
+        let first = reader.read_request(&Limits::default(), || {}).unwrap();
+        assert_eq!(first.body, b"ok");
+        assert!(reader.has_buffered(), "pipelined tail must be retained");
+        let second = reader.read_request(&Limits::default(), || {}).unwrap();
+        assert_eq!(second.method, "GET");
+        assert_eq!(second.path, "/second");
+        assert!(!reader.has_buffered());
+    }
+
+    #[test]
+    fn three_pipelined_requests_parse_back_to_back() {
+        let raw: Vec<u8> = [
+            &b"POST /a HTTP/1.1\r\nContent-Length: 3\r\n\r\none"[..],
+            &b"GET /b HTTP/1.1\r\n\r\n"[..],
+            &b"POST /c HTTP/1.1\r\nContent-Length: 5\r\n\r\nthree"[..],
+        ]
+        .concat();
+        let mut reader = RequestReader::new(&raw[..]);
+        let limits = Limits::default();
+        let bodies: Vec<Vec<u8>> = (0..3)
+            .map(|_| reader.read_request(&limits, || {}).unwrap().body)
+            .collect();
+        assert_eq!(bodies, vec![b"one".to_vec(), Vec::new(), b"three".to_vec()]);
+        assert!(matches!(
+            reader.read_request(&limits, || {}),
+            Err(HttpError::Incomplete)
+        ));
+    }
+
+    /// A reader that yields one byte per `read`, the worst case for the
+    /// incremental head-terminator scan.
+    struct Trickle<'a>(&'a [u8]);
+    impl Read for Trickle<'_> {
+        fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+            match self.0.split_first() {
+                None => Ok(0),
+                Some((&byte, rest)) => {
+                    out[0] = byte;
+                    self.0 = rest;
+                    Ok(1)
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trickled_requests_parse_byte_by_byte() {
+        let raw = b"POST /slow HTTP/1.1\r\nContent-Length: 5\r\nX-Pad: abcdef\r\n\r\nhello";
+        let request = RequestReader::new(Trickle(raw))
+            .read_request(&Limits::default(), || {})
+            .unwrap();
+        assert_eq!(request.path, "/slow");
+        assert_eq!(request.body, b"hello");
     }
 
     #[test]
@@ -389,17 +631,19 @@ mod tests {
     fn expect_continue_triggers_the_callback() {
         let raw = b"POST / HTTP/1.1\r\nExpect: 100-continue\r\nContent-Length: 2\r\n\r\nok";
         let mut continued = false;
-        let request = read_request(&mut &raw[..], &Limits::default(), || continued = true).unwrap();
+        let request = RequestReader::new(&raw[..])
+            .read_request(&Limits::default(), || continued = true)
+            .unwrap();
         assert!(continued);
         assert_eq!(request.body, b"ok");
     }
 
     #[test]
-    fn responses_carry_length_and_close() {
+    fn responses_carry_length_and_connection_mode() {
         let mut wire = Vec::new();
         Response::json(503, r#"{"error":"full"}"#)
             .with_header("retry-after", "1")
-            .write_to(&mut wire)
+            .write_to(&mut wire, false)
             .unwrap();
         let text = String::from_utf8(wire).unwrap();
         assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
@@ -407,11 +651,16 @@ mod tests {
         assert!(text.contains("connection: close\r\n"));
         assert!(text.contains("retry-after: 1\r\n"));
         assert!(text.ends_with("\r\n\r\n{\"error\":\"full\"}"));
+
+        let mut wire = Vec::new();
+        Response::json(200, "{}").write_to(&mut wire, true).unwrap();
+        let text = String::from_utf8(wire).unwrap();
+        assert!(text.contains("connection: keep-alive\r\n"));
     }
 
     #[test]
     fn status_reasons_cover_the_emitted_codes() {
-        for status in [200, 400, 404, 405, 408, 413, 500, 503] {
+        for status in [200, 400, 404, 405, 408, 413, 429, 500, 501, 503] {
             assert_ne!(reason(status), "Unknown", "status {status}");
         }
     }

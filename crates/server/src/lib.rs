@@ -5,10 +5,16 @@
 //! service; this crate is the network edge of the reproduction, built on
 //! nothing but `std::net` and the vendored `serde_json`:
 //!
-//! * **fixed worker pool + bounded admission queue** — the acceptor thread
-//!   offers connections to a [`queue::Bounded`] handoff queue; once it is
-//!   full, new arrivals get an immediate `503` with `Retry-After` instead
-//!   of growing memory or latency ([`Server`]);
+//! * **persistent connections** — each socket is served by a connection
+//!   driver running a keep-alive exchange loop over a persistent parse
+//!   buffer ([`http::RequestReader`]): pipelined bytes carry over between
+//!   requests, with an idle timeout and a per-connection request budget;
+//! * **per-tenant fair admission** — parsed requests are classified by
+//!   their `corpus` tenant and offered to a weighted deficit-round-robin
+//!   [`queue::FairQueue`] in front of the compute pool: a tenant that
+//!   fills its own sub-queue gets `429 Too Many Requests` while everyone
+//!   else keeps flowing, connection overflow at the acceptor and a full
+//!   global queue stay an immediate `503` with `Retry-After` ([`Server`]);
 //! * **multi-tenant routing** — requests carry an optional `corpus` field
 //!   that routes to a named [`rpg_service::CorpusRegistry`] tenant;
 //! * **JSON endpoints** — `POST /v1/generate`, `POST /v1/batch`,

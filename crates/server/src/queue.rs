@@ -1,10 +1,17 @@
-//! A bounded multi-producer/multi-consumer handoff queue built on
-//! `Mutex` + `Condvar` — the admission-control heart of the server.
+//! The admission-control queues of the server, built on `Mutex` + `Condvar`.
 //!
-//! `try_push` never blocks and never grows the queue past its bound: when
+//! [`Bounded`] is a plain bounded multi-producer/multi-consumer handoff:
+//! `try_push` never blocks and never grows the queue past its bound — when
 //! the queue is full the item comes straight back to the caller, which is
-//! what lets the acceptor turn overload into an immediate `503` instead of
-//! unbounded buffering. `pop` blocks until an item or close arrives.
+//! what lets the acceptor turn connection overload into an immediate `503`
+//! instead of unbounded buffering.
+//!
+//! [`FairQueue`] is the request-level admission heart: one bounded sub-queue
+//! per tenant, drained in deficit-round-robin order so that a stampede from
+//! one tenant fills only its own sub-queue (its overflow becomes a `429`)
+//! while every other tenant's requests keep flowing at their weighted share.
+//! A global bound on top caps total queued work regardless of how many
+//! tenants are active.
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
@@ -12,6 +19,7 @@ use std::sync::{Condvar, Mutex};
 struct State<T> {
     items: VecDeque<T>,
     closed: bool,
+    waiters: usize,
 }
 
 /// A bounded blocking queue that rejects instead of buffering past its
@@ -30,6 +38,7 @@ impl<T> Bounded<T> {
             state: Mutex::new(State {
                 items: VecDeque::with_capacity(capacity.min(1024)),
                 closed: false,
+                waiters: 0,
             }),
             ready: Condvar::new(),
             capacity,
@@ -60,7 +69,9 @@ impl<T> Bounded<T> {
             if state.closed {
                 return None;
             }
+            state.waiters += 1;
             state = self.ready.wait(state).unwrap();
+            state.waiters -= 1;
         }
     }
 
@@ -76,9 +87,233 @@ impl<T> Bounded<T> {
         self.state.lock().unwrap().items.len()
     }
 
+    /// Consumers currently blocked in [`Bounded::pop`]. Lets tests (and
+    /// shutdown diagnostics) observe "everyone is parked" deterministically
+    /// instead of sleeping and hoping.
+    pub fn waiting_consumers(&self) -> usize {
+        self.state.lock().unwrap().waiters
+    }
+
     /// The admission bound.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+}
+
+/// Why [`FairQueue::try_push`] handed the item back.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Rejection<T> {
+    /// The queue is closed; nothing is admitted any more.
+    Closed(T),
+    /// The global bound across all tenants is reached.
+    QueueFull(T),
+    /// This tenant's own sub-queue is full — other tenants still have room.
+    TenantFull(T),
+}
+
+impl<T> Rejection<T> {
+    /// The rejected item, whatever the reason.
+    pub fn into_inner(self) -> T {
+        match self {
+            Rejection::Closed(item) | Rejection::QueueFull(item) | Rejection::TenantFull(item) => {
+                item
+            }
+        }
+    }
+}
+
+struct SubQueue<T> {
+    name: String,
+    items: VecDeque<T>,
+    /// Deficit-round-robin credit: how many items this tenant may still pop
+    /// in the current service round.
+    deficit: u64,
+    weight: u64,
+}
+
+struct FairState<T> {
+    subs: Vec<SubQueue<T>>,
+    /// Indices of sub-queues with items, in service order.
+    active: VecDeque<usize>,
+    total: usize,
+    closed: bool,
+    waiters: usize,
+}
+
+/// A bounded blocking queue with per-tenant sub-queues drained in weighted
+/// deficit-round-robin order.
+///
+/// Each tenant gets its own bound (`tenant_capacity`): overflowing it
+/// rejects with [`Rejection::TenantFull`] without touching anyone else's
+/// budget. The global bound caps the sum of all sub-queues. Consumers pop
+/// in DRR order — a tenant with weight 2 drains twice as fast as a weight-1
+/// tenant when both are backlogged, and an idle tenant's unused share costs
+/// nothing.
+pub struct FairQueue<T> {
+    state: Mutex<FairState<T>>,
+    ready: Condvar,
+    capacity: usize,
+    tenant_capacity: usize,
+    weights: Vec<(String, u64)>,
+}
+
+impl<T> FairQueue<T> {
+    /// A queue admitting at most `capacity` items in total and
+    /// `tenant_capacity` per tenant (both minimum 1); every tenant weighs 1.
+    pub fn new(capacity: usize, tenant_capacity: usize) -> Self {
+        Self::with_weights(capacity, tenant_capacity, Vec::new())
+    }
+
+    /// Like [`FairQueue::new`] with explicit per-tenant weights; tenants
+    /// not listed weigh 1. A weight of 0 is bumped to 1 — a tenant can be
+    /// de-prioritised, never starved.
+    pub fn with_weights(
+        capacity: usize,
+        tenant_capacity: usize,
+        weights: Vec<(String, u64)>,
+    ) -> Self {
+        FairQueue {
+            state: Mutex::new(FairState {
+                subs: Vec::new(),
+                active: VecDeque::new(),
+                total: 0,
+                closed: false,
+                waiters: 0,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+            tenant_capacity: tenant_capacity.max(1),
+            weights,
+        }
+    }
+
+    fn weight_for(&self, tenant: &str) -> u64 {
+        self.weights
+            .iter()
+            .find(|(name, _)| name == tenant)
+            .map(|&(_, weight)| weight.max(1))
+            .unwrap_or(1)
+    }
+
+    /// Enqueues under `tenant` without blocking; hands the item back with
+    /// the rejection reason when it cannot be admitted.
+    pub fn try_push(&self, tenant: &str, item: T) -> Result<(), Rejection<T>> {
+        let mut state = self.state.lock().unwrap();
+        if state.closed {
+            return Err(Rejection::Closed(item));
+        }
+        if state.total >= self.capacity {
+            return Err(Rejection::QueueFull(item));
+        }
+        let idx = match state.subs.iter().position(|sub| sub.name == tenant) {
+            Some(idx) => idx,
+            None => {
+                state.subs.push(SubQueue {
+                    name: tenant.to_string(),
+                    items: VecDeque::new(),
+                    deficit: 0,
+                    weight: self.weight_for(tenant),
+                });
+                state.subs.len() - 1
+            }
+        };
+        if state.subs[idx].items.len() >= self.tenant_capacity {
+            return Err(Rejection::TenantFull(item));
+        }
+        let was_empty = state.subs[idx].items.is_empty();
+        state.subs[idx].items.push_back(item);
+        state.total += 1;
+        if was_empty {
+            state.active.push_back(idx);
+        }
+        drop(state);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until an item is available and returns the next one in
+    /// deficit-round-robin order; `None` once the queue is closed and
+    /// drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            if state.total > 0 {
+                let st = &mut *state;
+                let idx = *st
+                    .active
+                    .front()
+                    .expect("non-empty queue has an active tenant");
+                let sub = &mut st.subs[idx];
+                if sub.deficit == 0 {
+                    // A fresh service round for this tenant.
+                    sub.deficit = sub.weight;
+                }
+                let item = sub.items.pop_front().expect("active tenant has items");
+                sub.deficit -= 1;
+                if sub.items.is_empty() {
+                    // An emptied tenant leaves the rotation and forfeits its
+                    // leftover credit (classic DRR: deficit resets when the
+                    // queue goes idle, so credit cannot be hoarded).
+                    sub.deficit = 0;
+                    st.active.pop_front();
+                } else if sub.deficit == 0 {
+                    let idx = st.active.pop_front().expect("front exists");
+                    st.active.push_back(idx);
+                }
+                st.total -= 1;
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state.waiters += 1;
+            state = self.ready.wait(state).unwrap();
+            state.waiters -= 1;
+        }
+    }
+
+    /// Closes the queue: pending items still drain, new pushes are
+    /// rejected, and blocked consumers wake up.
+    pub fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Total items currently queued across every tenant.
+    pub fn depth(&self) -> usize {
+        self.state.lock().unwrap().total
+    }
+
+    /// Queued items per tenant, for every tenant seen so far, in
+    /// first-seen order.
+    pub fn tenant_depths(&self) -> Vec<(String, usize)> {
+        self.state
+            .lock()
+            .unwrap()
+            .subs
+            .iter()
+            .map(|sub| (sub.name.clone(), sub.items.len()))
+            .collect()
+    }
+
+    /// Consumers currently blocked in [`FairQueue::pop`].
+    pub fn waiting_consumers(&self) -> usize {
+        self.state.lock().unwrap().waiters
+    }
+
+    /// The global admission bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The per-tenant admission bound.
+    pub fn tenant_capacity(&self) -> usize {
+        self.tenant_capacity
+    }
+
+    /// The DRR weight a tenant is (or would be) served with.
+    pub fn weight(&self, tenant: &str) -> u64 {
+        self.weight_for(tenant)
     }
 }
 
@@ -137,8 +372,12 @@ mod tests {
                 std::thread::spawn(move || queue.pop())
             })
             .collect();
-        // Give consumers a moment to block, then close.
-        std::thread::sleep(std::time::Duration::from_millis(20));
+        // Deterministic hand-off: wait until every consumer is provably
+        // parked inside `pop` before closing, instead of sleeping and
+        // racing the scheduler.
+        while queue.waiting_consumers() < 3 {
+            std::thread::yield_now();
+        }
         queue.close();
         for handle in handles {
             assert_eq!(handle.join().unwrap(), None);
@@ -179,5 +418,123 @@ mod tests {
         let mut sorted = got.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fair_queue_alternates_between_backlogged_tenants() {
+        let queue: FairQueue<&'static str> = FairQueue::new(16, 8);
+        for item in ["a1", "a2", "a3"] {
+            queue.try_push("a", item).unwrap();
+        }
+        for item in ["b1", "b2", "b3"] {
+            queue.try_push("b", item).unwrap();
+        }
+        let order: Vec<&str> = (0..6).map(|_| queue.pop().unwrap()).collect();
+        assert_eq!(
+            order,
+            vec!["a1", "b1", "a2", "b2", "a3", "b3"],
+            "equal weights must interleave round-robin, not FIFO"
+        );
+    }
+
+    #[test]
+    fn fair_queue_honours_weights() {
+        let queue: FairQueue<&'static str> =
+            FairQueue::with_weights(32, 16, vec![("heavy".to_string(), 2)]);
+        for i in 0..6 {
+            queue
+                .try_push("heavy", ["h1", "h2", "h3", "h4", "h5", "h6"][i])
+                .unwrap();
+            queue
+                .try_push("light", ["l1", "l2", "l3", "l4", "l5", "l6"][i])
+                .unwrap();
+        }
+        let order: Vec<&str> = (0..9).map(|_| queue.pop().unwrap()).collect();
+        // Weight 2 vs 1: the heavy tenant drains two items per round.
+        assert_eq!(
+            order,
+            vec!["h1", "h2", "l1", "h3", "h4", "l2", "h5", "h6", "l3"]
+        );
+    }
+
+    #[test]
+    fn tenant_bound_rejects_only_that_tenant() {
+        let queue: FairQueue<u32> = FairQueue::new(16, 2);
+        queue.try_push("noisy", 1).unwrap();
+        queue.try_push("noisy", 2).unwrap();
+        assert!(matches!(
+            queue.try_push("noisy", 3),
+            Err(Rejection::TenantFull(3))
+        ));
+        // The quiet tenant is untouched by the noisy tenant's overflow.
+        queue.try_push("quiet", 10).unwrap();
+        assert_eq!(queue.depth(), 3);
+        assert_eq!(
+            queue.tenant_depths(),
+            vec![("noisy".to_string(), 2), ("quiet".to_string(), 1)]
+        );
+    }
+
+    #[test]
+    fn global_bound_caps_the_sum_of_tenants() {
+        let queue: FairQueue<u32> = FairQueue::new(3, 2);
+        queue.try_push("a", 1).unwrap();
+        queue.try_push("a", 2).unwrap();
+        queue.try_push("b", 3).unwrap();
+        assert!(matches!(
+            queue.try_push("b", 4),
+            Err(Rejection::QueueFull(4))
+        ));
+        assert_eq!(queue.pop(), Some(1));
+        queue.try_push("b", 4).unwrap();
+    }
+
+    #[test]
+    fn idle_tenants_cost_nothing_and_deficit_is_not_hoarded() {
+        let queue: FairQueue<u32> = FairQueue::with_weights(16, 8, vec![("a".to_string(), 4)]);
+        // "a" drains completely; its leftover credit must not let it jump
+        // the queue when it comes back later.
+        queue.try_push("a", 1).unwrap();
+        assert_eq!(queue.pop(), Some(1));
+        queue.try_push("b", 2).unwrap();
+        queue.try_push("a", 3).unwrap();
+        assert_eq!(queue.pop(), Some(2), "b was first in the rotation");
+        assert_eq!(queue.pop(), Some(3));
+    }
+
+    #[test]
+    fn fair_close_drains_then_stops() {
+        let queue: FairQueue<u32> = FairQueue::new(8, 8);
+        queue.try_push("a", 1).unwrap();
+        queue.close();
+        assert!(matches!(queue.try_push("a", 2), Err(Rejection::Closed(2))));
+        assert_eq!(queue.pop(), Some(1));
+        assert_eq!(queue.pop(), None);
+    }
+
+    #[test]
+    fn fair_close_wakes_blocked_consumers() {
+        let queue: Arc<FairQueue<u32>> = Arc::new(FairQueue::new(8, 8));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let queue = queue.clone();
+                std::thread::spawn(move || queue.pop())
+            })
+            .collect();
+        while queue.waiting_consumers() < 2 {
+            std::thread::yield_now();
+        }
+        queue.close();
+        for handle in handles {
+            assert_eq!(handle.join().unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn rejection_hands_the_item_back() {
+        let queue: FairQueue<String> = FairQueue::new(1, 1);
+        queue.try_push("a", "kept".to_string()).unwrap();
+        let back = queue.try_push("a", "mine".to_string()).unwrap_err();
+        assert_eq!(back.into_inner(), "mine");
     }
 }

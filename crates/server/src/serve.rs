@@ -1,18 +1,29 @@
-//! The listener, worker pool, and admission control.
+//! The listener, connection drivers, compute pool, and admission control.
 //!
-//! One acceptor thread takes TCP connections off the listener and offers
-//! them to a bounded handoff queue; a fixed pool of worker threads pops
-//! connections, parses one HTTP request each, routes it, and responds.
-//! When the queue is full the acceptor answers `503 Service Unavailable`
-//! with a `Retry-After` hint *immediately* — overload degrades into fast,
-//! explicit rejections instead of growing buffers or latency.
+//! Connections flow through two stages. One acceptor thread takes TCP
+//! connections off the listener and offers them to a bounded handoff queue;
+//! a pool of *connection drivers* pops them and runs the HTTP/1.1 exchange
+//! loop — up to `max_requests_per_connection` requests per socket with an
+//! idle timeout between them, each parsed from a persistent buffer so
+//! pipelined bytes carry over. Cheap endpoints (`/v1/healthz`, `/v1/stats`,
+//! routing errors) are answered by the driver itself; pipeline work is
+//! classified by tenant and offered to a weighted per-tenant
+//! [`FairQueue`], drained in deficit-round-robin order by a fixed pool of
+//! *compute workers*.
+//!
+//! Overload degrades into fast, explicit rejections instead of growing
+//! buffers or latency — and it degrades per tenant: a connection stampede
+//! gets an immediate `503 Service Unavailable` off the acceptor, a tenant
+//! that fills its own sub-queue gets `429 Too Many Requests` while every
+//! other tenant keeps being served, and only a full *global* request queue
+//! turns into a `503` for everyone.
 
 use crate::api::{
     error_body, generate_response_value, timings_value, ApiError, BatchRequest, GenerateRequest,
     ResolvedRequest, MAX_BATCH,
 };
-use crate::http::{self, Limits, Request, Response};
-use crate::queue::Bounded;
+use crate::http::{self, Limits, Request, RequestReader, Response};
+use crate::queue::{Bounded, FairQueue, Rejection};
 use rpg_repager::system::RepagerError;
 use rpg_repager::TimingAggregate;
 use rpg_service::{parallel, CorpusRegistry, RegistryError};
@@ -22,26 +33,49 @@ use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Tuning knobs of a [`Server`].
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Bind address; port 0 picks an ephemeral port.
     pub addr: String,
-    /// Fixed worker-thread count (minimum 1).
+    /// Compute-worker threads draining the request queue (minimum 1).
     pub workers: usize,
-    /// Admission bound: connections queued beyond the workers (minimum 1).
-    /// Arrivals past this bound get an immediate `503`.
+    /// Connection-driver threads running the per-socket exchange loops.
+    /// `0` derives a default from `workers`.
+    pub io_workers: usize,
+    /// Global admission bound, applied both to connections waiting for a
+    /// driver and to requests queued for compute. Arrivals past the
+    /// connection bound get an immediate `503`.
     pub queue_capacity: usize,
+    /// Per-tenant request-queue bound: a tenant stampede past this gets
+    /// `429 Too Many Requests` without crowding out other tenants. Queue
+    /// depth can never exceed the number of connection drivers (each has
+    /// at most one request in flight), so keep this *below* the driver
+    /// count or the throttle can never engage.
+    pub tenant_queue_capacity: usize,
+    /// Deficit-round-robin weights per tenant name; unlisted tenants weigh
+    /// 1. A weight-2 tenant drains twice as fast when backlogged.
+    pub tenant_weights: Vec<(String, u64)>,
     /// Tenant used when a request omits its `corpus` field.
     pub default_corpus: String,
-    /// Per-connection socket read/write timeout, so a stalled client
-    /// releases its worker.
+    /// Whether to honour HTTP keep-alive. When `false` every response is
+    /// `Connection: close` (the pre-persistent behaviour).
+    pub keep_alive: bool,
+    /// Exchanges served per connection before the server closes it, so one
+    /// immortal socket cannot pin a driver forever (minimum 1).
+    pub max_requests_per_connection: usize,
+    /// How long a driver waits for the next request on an idle persistent
+    /// connection before closing it.
+    pub idle_timeout: Duration,
+    /// Per-connection socket read/write timeout *within* a request, so a
+    /// stalled client releases its driver.
     pub read_timeout: Duration,
-    /// Value of the `Retry-After` header on `503` responses, in seconds.
+    /// Value of the `Retry-After` header on `503`/`429` responses, in
+    /// seconds.
     pub retry_after_secs: u32,
     /// Request size limits.
     pub limits: Limits,
@@ -52,11 +86,37 @@ impl Default for ServerConfig {
         ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             workers: rpg_service::default_threads(),
+            io_workers: 0,
             queue_capacity: 64,
+            tenant_queue_capacity: 8,
+            tenant_weights: Vec::new(),
             default_corpus: "default".to_string(),
+            keep_alive: true,
+            max_requests_per_connection: 100,
+            idle_timeout: Duration::from_secs(5),
             read_timeout: Duration::from_secs(10),
             retry_after_secs: 1,
             limits: Limits::default(),
+        }
+    }
+}
+
+impl ServerConfig {
+    /// The connection-driver pool size after resolving the `0 = auto`
+    /// default: enough drivers to keep the compute pool fed even while
+    /// some hold idle keep-alive connections, and more than the per-tenant
+    /// queue bound so the `429` throttle is actually reachable (queue depth
+    /// is capped by the number of drivers, each with at most one request in
+    /// flight). The hard cap of 256 threads means tenant bounds beyond
+    /// ~250 — or an explicit `io_workers` at or below the tenant bound —
+    /// degrade the per-tenant `429` into the global connection `503`.
+    fn driver_count(&self) -> usize {
+        if self.io_workers > 0 {
+            self.io_workers
+        } else {
+            (self.workers.max(1) * 2)
+                .max(self.tenant_queue_capacity.saturating_add(4))
+                .clamp(2, 256)
         }
     }
 }
@@ -66,8 +126,12 @@ impl Default for ServerConfig {
 pub struct StatsSnapshot {
     /// Connections accepted off the listener.
     pub accepted: u64,
-    /// Connections rejected with `503` because the queue was full.
+    /// Requests rejected with `503` (connection overflow at the acceptor,
+    /// or a full global request queue).
     pub rejected: u64,
+    /// Requests rejected with `429` because their tenant's sub-queue was
+    /// full.
+    pub throttled: u64,
     /// HTTP exchanges completed (any status).
     pub handled: u64,
     /// `2xx` responses.
@@ -84,6 +148,7 @@ pub struct StatsSnapshot {
 struct Counters {
     accepted: AtomicU64,
     rejected: AtomicU64,
+    throttled: AtomicU64,
     handled: AtomicU64,
     ok: AtomicU64,
     client_errors: AtomicU64,
@@ -94,15 +159,35 @@ struct Counters {
     timings: Mutex<TimingAggregate>,
 }
 
+/// Pipeline work classified by tenant, queued for the compute pool. A
+/// generate request travels in resolved form (corpus name + validated
+/// parameters) so the driver-side validation is not repeated on the worker.
+enum Work {
+    Generate(String, ResolvedRequest),
+    Batch(BatchRequest),
+}
+
+/// The reply side is a rendezvous channel: the driver parks on the receiver
+/// while a compute worker runs the pipeline. If a `Job` is ever dropped
+/// unfulfilled, the disconnected sender wakes the driver with an error
+/// instead of parking it forever.
+struct Job {
+    work: Work,
+    reply: mpsc::SyncSender<Response>,
+}
+
 struct Shared {
     registry: Arc<CorpusRegistry>,
     config: ServerConfig,
-    queue: Bounded<TcpStream>,
+    /// Accepted connections waiting for a driver.
+    conns: Bounded<TcpStream>,
     /// Overflow connections waiting for their `503`. Writing the rejection
     /// happens off the acceptor thread so a slow overflow client cannot
     /// stall admission; this queue is bounded too — when even it is full,
     /// the connection is dropped outright.
     rejects: Bounded<TcpStream>,
+    /// Parsed pipeline requests, per-tenant bounded, drained in DRR order.
+    requests: FairQueue<Job>,
     shutdown: AtomicBool,
     counters: Counters,
 }
@@ -116,19 +201,27 @@ pub struct Server {
     shared: Arc<Shared>,
     acceptor: Option<JoinHandle<()>>,
     rejector: Option<JoinHandle<()>>,
+    drivers: Vec<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
 impl Server {
-    /// Binds the listener and spawns the acceptor and worker threads.
+    /// Binds the listener and spawns the acceptor, driver, and compute
+    /// threads.
     pub fn spawn(registry: Arc<CorpusRegistry>, config: ServerConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let workers = config.workers.max(1);
+        let drivers = config.driver_count();
         let shared = Arc::new(Shared {
             registry,
-            queue: Bounded::new(config.queue_capacity),
+            conns: Bounded::new(config.queue_capacity),
             rejects: Bounded::new((config.queue_capacity * 4).clamp(16, 256)),
+            requests: FairQueue::with_weights(
+                config.queue_capacity,
+                config.tenant_queue_capacity,
+                config.tenant_weights.clone(),
+            ),
             config,
             shutdown: AtomicBool::new(false),
             counters: Counters::default(),
@@ -145,12 +238,20 @@ impl Server {
                 .name("rpg-reject".to_string())
                 .spawn(move || rejector_loop(&shared))?
         };
+        let drivers = (0..drivers)
+            .map(|i| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("rpg-conn-{i}"))
+                    .spawn(move || driver_loop(&shared))
+            })
+            .collect::<io::Result<Vec<_>>>()?;
         let workers = (0..workers)
             .map(|i| {
                 let shared = shared.clone();
                 std::thread::Builder::new()
                     .name(format!("rpg-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || compute_loop(&shared))
             })
             .collect::<io::Result<Vec<_>>>()?;
         Ok(Server {
@@ -158,6 +259,7 @@ impl Server {
             shared,
             acceptor: Some(acceptor),
             rejector: Some(rejector),
+            drivers,
             workers,
         })
     }
@@ -172,9 +274,19 @@ impl Server {
         &self.shared.registry
     }
 
-    /// Connections currently waiting for a worker.
+    /// Connections currently waiting for a driver.
     pub fn queue_depth(&self) -> usize {
-        self.shared.queue.depth()
+        self.shared.conns.depth()
+    }
+
+    /// Pipeline requests currently queued for compute, across all tenants.
+    pub fn request_depth(&self) -> usize {
+        self.shared.requests.depth()
+    }
+
+    /// Queued requests per tenant seen so far.
+    pub fn tenant_depths(&self) -> Vec<(String, usize)> {
+        self.shared.requests.tenant_depths()
     }
 
     /// A copy of the server counters.
@@ -183,6 +295,7 @@ impl Server {
         StatsSnapshot {
             accepted: counters.accepted.load(Ordering::Relaxed),
             rejected: counters.rejected.load(Ordering::Relaxed),
+            throttled: counters.throttled.load(Ordering::Relaxed),
             handled: counters.handled.load(Ordering::Relaxed),
             ok: counters.ok.load(Ordering::Relaxed),
             client_errors: counters.client_errors.load(Ordering::Relaxed),
@@ -191,7 +304,7 @@ impl Server {
         }
     }
 
-    /// Stops accepting, drains queued connections, and joins every thread.
+    /// Stops accepting, drains queued work, and joins every thread.
     /// Idempotent; also runs on drop.
     pub fn shutdown(&mut self) {
         if self.shared.shutdown.swap(true, Ordering::SeqCst) {
@@ -202,7 +315,14 @@ impl Server {
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
         }
-        self.shared.queue.close();
+        // Drivers must drain before the compute pool closes: a driver may
+        // be parked on a reply channel that only a live compute worker can
+        // fulfill.
+        self.shared.conns.close();
+        for driver in self.drivers.drain(..) {
+            let _ = driver.join();
+        }
+        self.shared.requests.close();
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
@@ -227,7 +347,7 @@ fn accept_loop(listener: TcpListener, shared: &Shared) {
                     break;
                 }
                 shared.counters.accepted.fetch_add(1, Ordering::Relaxed);
-                if let Err(stream) = shared.queue.try_push(stream) {
+                if let Err(stream) = shared.conns.try_push(stream) {
                     shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
                     // Hand the 503 to the rejector thread; if even the
                     // reject queue is full, drop the connection — admission
@@ -256,75 +376,163 @@ fn accept_loop(listener: TcpListener, shared: &Shared) {
 /// it. Hence the bounded drain after the write, done here on a dedicated
 /// thread so the acceptor never blocks.
 fn rejector_loop(shared: &Shared) {
-    while let Some(mut stream) = shared.rejects.pop() {
+    while let Some(stream) = shared.rejects.pop() {
         let _ = stream.set_write_timeout(Some(Duration::from_millis(200)));
         let response = Response::json(503, error_body("server is at capacity, retry shortly"))
             .with_header("retry-after", shared.config.retry_after_secs.to_string());
-        let _ = response.write_to(&mut stream);
+        let _ = response.write_to(&mut &stream, false);
         // Half-close: the FIN lets the client finish reading the response
         // immediately; the drain then consumes its unread request bytes so
         // the final close doesn't RST.
         let _ = stream.shutdown(std::net::Shutdown::Write);
-        drain_bounded(&mut stream);
+        drain_bounded(&stream);
     }
 }
 
-fn worker_loop(shared: &Shared) {
-    while let Some(stream) = shared.queue.pop() {
+fn driver_loop(shared: &Shared) {
+    while let Some(stream) = shared.conns.pop() {
         handle_connection(stream, shared);
     }
 }
 
-fn handle_connection(mut stream: TcpStream, shared: &Shared) {
-    let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
-    let _ = stream.set_write_timeout(Some(shared.config.read_timeout));
-    let mut continue_writer = stream.try_clone().ok();
-    let parsed = http::read_request(&mut stream, &shared.config.limits, || {
-        if let Some(writer) = continue_writer.as_mut() {
-            let _ = http::write_continue(writer);
+/// What the idle wait between requests on a persistent connection saw.
+enum IdleWait {
+    /// Bytes arrived; go parse a request.
+    Ready,
+    /// Nothing arrived within the idle timeout.
+    TimedOut,
+    /// The peer closed (or the socket failed).
+    Gone,
+    /// The server is shutting down.
+    Shutdown,
+}
+
+/// Waits for the next request's first byte without consuming it, in short
+/// slices so shutdown stays responsive. `peek` keeps the byte in the kernel
+/// buffer for the parser.
+fn wait_for_data(stream: &TcpStream, shared: &Shared, idle: Duration) -> IdleWait {
+    let deadline = Instant::now() + idle;
+    let mut probe = [0u8; 1];
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return IdleWait::Shutdown;
         }
-    });
-    let (response, unread_input) = match parsed {
-        Err(e) => (Response::json(e.status(), error_body(&e.message())), true),
-        // A panic inside the pipeline must never take the worker thread
-        // down with it — the connection gets a 500 and the worker lives on.
-        Ok(request) => (
-            catch_unwind(AssertUnwindSafe(|| route(&request, shared)))
-                .unwrap_or_else(|_| Response::json(500, error_body("internal error"))),
-            // A pipelined second request leaves unread bytes behind even
-            // though this request parsed fine.
-            request.has_excess_bytes,
-        ),
-    };
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return IdleWait::TimedOut;
+        }
+        let slice = remaining
+            .min(Duration::from_millis(100))
+            .max(Duration::from_millis(1));
+        if stream.set_read_timeout(Some(slice)).is_err() {
+            return IdleWait::Gone;
+        }
+        match stream.peek(&mut probe) {
+            Ok(0) => return IdleWait::Gone,
+            Ok(_) => return IdleWait::Ready,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) => {}
+            Err(_) => return IdleWait::Gone,
+        }
+    }
+}
+
+/// Runs the multi-exchange loop on one connection: parse a request from the
+/// persistent buffer, respond, and keep going while both sides want
+/// keep-alive and the per-connection request budget lasts.
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    let config = &shared.config;
+    let _ = stream.set_write_timeout(Some(config.read_timeout));
+    // Responses are small and latency-bound: never let Nagle hold one back
+    // waiting for a delayed ACK on a persistent connection.
+    let _ = stream.set_nodelay(true);
+    // Reads and writes both go through `&TcpStream`, so the reader's buffer
+    // and the response writer share the socket without a `try_clone`.
+    let mut reader = RequestReader::new(&stream);
+    let max_requests = config.max_requests_per_connection.max(1);
+    let mut served = 0usize;
+    loop {
+        // Between requests the connection is idle: wait for the first byte
+        // of the next request (or give up) before arming the stricter
+        // in-request read timeout. Pipelined bytes skip the wait entirely.
+        if !reader.has_buffered() {
+            match wait_for_data(&stream, shared, config.idle_timeout) {
+                IdleWait::Ready => {}
+                IdleWait::TimedOut | IdleWait::Gone | IdleWait::Shutdown => return,
+            }
+        }
+        let _ = stream.set_read_timeout(Some(config.read_timeout));
+        let parsed = reader.read_request(&config.limits, || {
+            let _ = http::write_continue(&mut &stream);
+        });
+        let request = match parsed {
+            Ok(request) => request,
+            Err(e) => {
+                // Framing is lost after a parse error, so the connection
+                // always closes — which is also what keeps the conformance
+                // rejections (`501` Transfer-Encoding, duplicate
+                // Content-Length `400`) smuggling-proof.
+                let response = Response::json(e.status(), error_body(&e.message()));
+                record_response(shared, response.status);
+                let _ = response.write_to(&mut &stream, false);
+                close_draining(&stream);
+                return;
+            }
+        };
+        served += 1;
+        let keep_alive = config.keep_alive
+            && request.keep_alive
+            && served < max_requests
+            && !shared.shutdown.load(Ordering::SeqCst);
+        // A panic inside the pipeline must never take a thread down with
+        // it — compute workers guard their side; this guards the driver's
+        // inline routes.
+        let response = catch_unwind(AssertUnwindSafe(|| respond(&request, shared)))
+            .unwrap_or_else(|_| Response::json(500, error_body("internal error")));
+        record_response(shared, response.status);
+        let written = response.write_to(&mut &stream, keep_alive);
+        if !keep_alive || written.is_err() {
+            // Drain unconditionally: pipelined bytes may sit in the kernel
+            // receive buffer without having reached the parse buffer yet,
+            // and closing with unread bytes triggers an RST that can
+            // destroy the final response in flight.
+            close_draining(&stream);
+            return;
+        }
+    }
+}
+
+fn record_response(shared: &Shared, status: u16) {
     let counters = &shared.counters;
     counters.handled.fetch_add(1, Ordering::Relaxed);
-    match response.status {
+    match status {
         200..=299 => counters.ok.fetch_add(1, Ordering::Relaxed),
         400..=499 => counters.client_errors.fetch_add(1, Ordering::Relaxed),
         _ => counters.server_errors.fetch_add(1, Ordering::Relaxed),
     };
-    let _ = response.write_to(&mut stream);
-    if unread_input {
-        // Unconsumed request bytes remain (failed parse, or a pipelined
-        // second request). Closing with unread bytes in the receive buffer
-        // would send an RST, which can destroy the response before the
-        // client reads it — so half-close and drain a bounded amount until
-        // the client hangs up.
-        let _ = stream.shutdown(std::net::Shutdown::Write);
-        drain_bounded(&mut stream);
-    }
 }
 
-fn drain_bounded(stream: &mut TcpStream) {
+/// Half-closes, then drains a bounded amount so the final close does not
+/// RST a response the client has not read yet.
+fn close_draining(stream: &TcpStream) {
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    drain_bounded(stream);
+}
+
+fn drain_bounded(stream: &TcpStream) {
     use std::io::Read;
     // Both a byte cap and a wall-clock deadline: without the deadline, a
     // client trickling one byte per (sub-timeout) interval could pin this
     // thread for as long as the byte cap lasts.
-    let deadline = std::time::Instant::now() + Duration::from_secs(2);
+    let deadline = Instant::now() + Duration::from_secs(2);
     let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
     let mut chunk = [0u8; 16 * 1024];
     let mut drained = 0usize;
-    while drained < 1024 * 1024 && std::time::Instant::now() < deadline {
+    let mut stream = stream;
+    while drained < 1024 * 1024 && Instant::now() < deadline {
         match stream.read(&mut chunk) {
             Ok(0) | Err(_) => break,
             Ok(n) => drained += n,
@@ -332,10 +540,12 @@ fn drain_bounded(stream: &mut TcpStream) {
     }
 }
 
-fn route(request: &Request, shared: &Shared) -> Response {
+/// Routes one request: cheap endpoints inline on the driver, pipeline work
+/// through the per-tenant fair queue.
+fn respond(request: &Request, shared: &Shared) -> Response {
     match (request.method.as_str(), request.path.as_str()) {
-        ("POST", "/v1/generate") => handle_generate(request, shared),
-        ("POST", "/v1/batch") => handle_batch(request, shared),
+        ("POST", "/v1/generate") => admit_generate(request, shared),
+        ("POST", "/v1/batch") => admit_batch(request, shared),
         ("GET", "/v1/healthz") => handle_healthz(shared),
         ("GET", "/v1/stats") => handle_stats(shared),
         (_, "/v1/generate") | (_, "/v1/batch") => {
@@ -355,6 +565,107 @@ fn parse_body<T: Deserialize>(body: &[u8]) -> Result<T, Response> {
         .map_err(|e| Response::json(400, error_body(&format!("invalid request body: {e}"))))
 }
 
+/// Validates a generate request on the driver (cheap), then queues it under
+/// its tenant. Request-level errors never consume queue budget.
+fn admit_generate(request: &Request, shared: &Shared) -> Response {
+    let dto: GenerateRequest = match parse_body(&request.body) {
+        Ok(dto) => dto,
+        Err(response) => return response,
+    };
+    // Resolve before the corpus check so a bad variant is a 400 even for
+    // an unknown corpus; the resolved form rides the job to the compute
+    // worker so validation happens exactly once.
+    let resolved = match ResolvedRequest::resolve(&dto) {
+        Ok(resolved) => resolved,
+        Err(e) => return Response::json(e.status, e.body()),
+    };
+    let tenant = dto.tenant(&shared.config.default_corpus);
+    if !shared.registry.contains(tenant) {
+        let e = registry_error(RegistryError::UnknownCorpus(tenant.to_string()));
+        return Response::json(e.status, e.body());
+    }
+    let tenant = tenant.to_string();
+    let work = Work::Generate(tenant.clone(), resolved);
+    submit(shared, &tenant, work)
+}
+
+/// Queues a batch under the corpus all its items agree on (per-item corpus
+/// routing — and per-item failure — still happens in the compute worker).
+fn admit_batch(request: &Request, shared: &Shared) -> Response {
+    let batch: BatchRequest = match parse_body(&request.body) {
+        Ok(batch) => batch,
+        Err(response) => return response,
+    };
+    if batch.requests.len() > MAX_BATCH {
+        return Response::json(
+            400,
+            error_body(&format!(
+                "batch of {} exceeds the {MAX_BATCH}-request limit",
+                batch.requests.len()
+            )),
+        );
+    }
+    let tenant = batch.tenant(&shared.config.default_corpus);
+    // An unknown first corpus falls back to the default tenant's budget so
+    // admission tenants stay bounded by the registry; the per-item 404
+    // surfaces from the compute worker as usual.
+    let tenant = if shared.registry.contains(tenant) {
+        tenant.to_string()
+    } else {
+        shared.config.default_corpus.clone()
+    };
+    submit(shared, &tenant, Work::Batch(batch))
+}
+
+/// Offers work to the fair queue and parks until a compute worker answers;
+/// turns per-tenant overflow into `429` and global overflow into `503`.
+fn submit(shared: &Shared, tenant: &str, work: Work) -> Response {
+    let (reply, response) = mpsc::sync_channel(1);
+    let job = Job { work, reply };
+    let retry_after = shared.config.retry_after_secs.to_string();
+    match shared.requests.try_push(tenant, job) {
+        Ok(()) => response
+            .recv()
+            .unwrap_or_else(|_| Response::json(500, error_body("request was dropped"))),
+        Err(Rejection::TenantFull(_)) => {
+            shared.counters.throttled.fetch_add(1, Ordering::Relaxed);
+            Response::json(
+                429,
+                error_body(&format!("tenant {tenant:?} is at capacity, retry shortly")),
+            )
+            .with_header("retry-after", retry_after)
+        }
+        Err(Rejection::QueueFull(_)) => {
+            shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            Response::json(503, error_body("server is at capacity, retry shortly"))
+                .with_header("retry-after", retry_after)
+        }
+        Err(Rejection::Closed(_)) => Response::json(503, error_body("server is shutting down")),
+    }
+}
+
+fn compute_loop(shared: &Shared) {
+    while let Some(job) = shared.requests.pop() {
+        // A panic inside the pipeline must never take the worker thread
+        // down with it — the request gets a 500 and the worker lives on.
+        let response = catch_unwind(AssertUnwindSafe(|| execute(&job.work, shared)))
+            .unwrap_or_else(|_| Response::json(500, error_body("internal error")));
+        // The rendezvous slot always has room (one send per job); a
+        // disconnected driver just discards the response.
+        let _ = job.reply.send(response);
+    }
+}
+
+fn execute(work: &Work, shared: &Shared) -> Response {
+    match work {
+        Work::Generate(corpus, resolved) => match run_resolved(corpus, resolved, shared) {
+            Ok(value) => json_200(&value),
+            Err(e) => Response::json(e.status, e.body()),
+        },
+        Work::Batch(batch) => run_batch(batch, shared),
+    }
+}
+
 fn registry_error(e: RegistryError) -> ApiError {
     match e {
         RegistryError::UnknownCorpus(name) => ApiError {
@@ -372,12 +683,18 @@ fn registry_error(e: RegistryError) -> ApiError {
     }
 }
 
+/// Validates a DTO and runs it — the per-item path of `/v1/batch`.
 fn run_generate(dto: &GenerateRequest, shared: &Shared) -> Result<Value, ApiError> {
     let resolved = ResolvedRequest::resolve(dto)?;
-    let corpus = dto
-        .corpus
-        .as_deref()
-        .unwrap_or(&shared.config.default_corpus);
+    run_resolved(dto.tenant(&shared.config.default_corpus), &resolved, shared)
+}
+
+/// Runs an already-validated request against its corpus.
+fn run_resolved(
+    corpus: &str,
+    resolved: &ResolvedRequest,
+    shared: &Shared,
+) -> Result<Value, ApiError> {
     let served = shared
         .registry
         .generate(corpus, &resolved.as_path_request())
@@ -397,35 +714,11 @@ fn run_generate(dto: &GenerateRequest, shared: &Shared) -> Result<Value, ApiErro
     ))
 }
 
-fn handle_generate(request: &Request, shared: &Shared) -> Response {
-    let dto: GenerateRequest = match parse_body(&request.body) {
-        Ok(dto) => dto,
-        Err(response) => return response,
-    };
-    match run_generate(&dto, shared) {
-        Ok(value) => json_200(&value),
-        Err(e) => Response::json(e.status, e.body()),
-    }
-}
-
-fn handle_batch(request: &Request, shared: &Shared) -> Response {
-    let batch: BatchRequest = match parse_body(&request.body) {
-        Ok(batch) => batch,
-        Err(response) => return response,
-    };
-    if batch.requests.len() > MAX_BATCH {
-        return Response::json(
-            400,
-            error_body(&format!(
-                "batch of {} exceeds the {MAX_BATCH}-request limit",
-                batch.requests.len()
-            )),
-        );
-    }
+fn run_batch(batch: &BatchRequest, shared: &Shared) -> Response {
     // Fan the items out over the work-stealing helper; each item routes to
     // its own tenant and failures stay per-item. The CPU budget is divided
-    // by the number of batches currently in flight: each HTTP worker runs
-    // its own fan-out, and without the division `workers` concurrent
+    // by the number of batches currently in flight: each compute worker
+    // runs its own fan-out, and without the division `workers` concurrent
     // batches would oversubscribe the machine with workers x cores
     // pipeline threads.
     struct BatchGuard<'a>(&'a AtomicUsize);
@@ -525,16 +818,40 @@ fn handle_stats(shared: &Shared) -> Response {
     ]))
 }
 
+/// The request-queue section of `/v1/stats` and `/v1/healthz`: global
+/// depth/bound, the `429` counter, and one entry per tenant seen so far
+/// with its depth, bound, and DRR weight.
 fn queue_value(shared: &Shared) -> Value {
+    let requests = &shared.requests;
+    let tenants: Vec<(String, Value)> = requests
+        .tenant_depths()
+        .into_iter()
+        .map(|(name, depth)| {
+            let weight = requests.weight(&name);
+            (
+                name,
+                Value::Object(vec![
+                    ("depth".to_string(), Value::Number(depth as f64)),
+                    (
+                        "capacity".to_string(),
+                        Value::Number(requests.tenant_capacity() as f64),
+                    ),
+                    ("weight".to_string(), Value::Number(weight as f64)),
+                ]),
+            )
+        })
+        .collect();
     Value::Object(vec![
-        (
-            "depth".to_string(),
-            Value::Number(shared.queue.depth() as f64),
-        ),
+        ("depth".to_string(), Value::Number(requests.depth() as f64)),
         (
             "capacity".to_string(),
-            Value::Number(shared.queue.capacity() as f64),
+            Value::Number(requests.capacity() as f64),
         ),
+        (
+            "throttled_429".to_string(),
+            Value::Number(shared.counters.throttled.load(Ordering::Relaxed) as f64),
+        ),
+        ("tenants".to_string(), Value::Object(tenants)),
     ])
 }
 

@@ -113,6 +113,8 @@ fn usage() -> String {
         "      [--dot FILE] [--full-corpus]",
         "  rpg --list-queries            list the benchmark survey queries",
         "  rpg serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N] [--full-corpus]",
+        "            [--keep-alive on|off] [--max-requests-per-conn N] [--idle-timeout-ms N]",
+        "            [--tenant-queue N] [--tenant-weight NAME=W]...",
         "",
         "OPTIONS:",
         "  -q, --query <TEXT>   the research topic to generate a reading path for",
@@ -128,6 +130,11 @@ fn usage() -> String {
         "      --workers <N>    worker threads (default: one per CPU, capped at 16)",
         "      --queue <N>      admission queue bound; excess requests get 503 (default 64)",
         "      --cache <N>      shared result-cache capacity (default 256; 0 disables)",
+        "      --keep-alive <on|off>         serve many requests per connection (default on)",
+        "      --max-requests-per-conn <N>   exchanges served per connection (default 100)",
+        "      --idle-timeout-ms <N>         close idle keep-alive connections after N ms (default 5000)",
+        "      --tenant-queue <N>            per-tenant queue bound; overflow gets 429 (default 8)",
+        "      --tenant-weight <NAME=W>      DRR weight for a tenant, repeatable (default 1)",
     ]
     .join("\n")
 }
@@ -139,16 +146,27 @@ struct ServeOptions {
     workers: usize,
     queue: usize,
     cache: usize,
+    keep_alive: bool,
+    max_requests_per_conn: usize,
+    idle_timeout_ms: u64,
+    tenant_queue: usize,
+    tenant_weights: Vec<(String, u64)>,
     corpus_scale: CorpusScale,
 }
 
 impl Default for ServeOptions {
     fn default() -> Self {
+        let defaults = ServerConfig::default();
         ServeOptions {
             addr: "127.0.0.1:7878".to_string(),
             workers: rpg_service::default_threads(),
             queue: 64,
             cache: rpg_service::DEFAULT_CACHE_CAPACITY,
+            keep_alive: defaults.keep_alive,
+            max_requests_per_conn: defaults.max_requests_per_connection,
+            idle_timeout_ms: defaults.idle_timeout.as_millis() as u64,
+            tenant_queue: defaults.tenant_queue_capacity,
+            tenant_weights: Vec::new(),
             corpus_scale: CorpusScale::Small,
         }
     }
@@ -180,6 +198,40 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
                     .parse()
                     .map_err(|_| "--cache expects a non-negative integer".to_string())?;
             }
+            "--keep-alive" => {
+                options.keep_alive = match value_of("--keep-alive")?.as_str() {
+                    "on" | "true" | "1" => true,
+                    "off" | "false" | "0" => false,
+                    other => return Err(format!("--keep-alive expects on|off, got '{other}'")),
+                };
+            }
+            "--max-requests-per-conn" => {
+                options.max_requests_per_conn =
+                    value_of("--max-requests-per-conn")?.parse().map_err(|_| {
+                        "--max-requests-per-conn expects a positive integer".to_string()
+                    })?;
+            }
+            "--idle-timeout-ms" => {
+                options.idle_timeout_ms = value_of("--idle-timeout-ms")?
+                    .parse()
+                    .map_err(|_| "--idle-timeout-ms expects a positive integer".to_string())?;
+            }
+            "--tenant-queue" => {
+                options.tenant_queue = value_of("--tenant-queue")?
+                    .parse()
+                    .map_err(|_| "--tenant-queue expects a positive integer".to_string())?;
+            }
+            "--tenant-weight" => {
+                let spec = value_of("--tenant-weight")?;
+                let (name, weight) = spec
+                    .split_once('=')
+                    .ok_or_else(|| format!("--tenant-weight expects NAME=W, got '{spec}'"))?;
+                let weight: u64 =
+                    weight.parse().ok().filter(|&w| w >= 1).ok_or_else(|| {
+                        format!("--tenant-weight weight must be >= 1 in '{spec}'")
+                    })?;
+                options.tenant_weights.push((name.to_string(), weight));
+            }
             "--full-corpus" => options.corpus_scale = CorpusScale::Default,
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unrecognised argument '{other}'\n{}", usage())),
@@ -190,6 +242,15 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
     }
     if options.queue == 0 {
         return Err("--queue must be at least 1".to_string());
+    }
+    if options.max_requests_per_conn == 0 {
+        return Err("--max-requests-per-conn must be at least 1".to_string());
+    }
+    if options.idle_timeout_ms == 0 {
+        return Err("--idle-timeout-ms must be at least 1".to_string());
+    }
+    if options.tenant_queue == 0 {
+        return Err("--tenant-queue must be at least 1".to_string());
     }
     Ok(options)
 }
@@ -206,6 +267,11 @@ fn start_server(options: &ServeOptions) -> Result<Server, String> {
         addr: options.addr.clone(),
         workers: options.workers,
         queue_capacity: options.queue,
+        keep_alive: options.keep_alive,
+        max_requests_per_connection: options.max_requests_per_conn,
+        idle_timeout: std::time::Duration::from_millis(options.idle_timeout_ms),
+        tenant_queue_capacity: options.tenant_queue,
+        tenant_weights: options.tenant_weights.clone(),
         ..ServerConfig::default()
     };
     Server::spawn(registry, config).map_err(|e| format!("cannot bind {}: {e}", options.addr))
@@ -214,11 +280,13 @@ fn start_server(options: &ServeOptions) -> Result<Server, String> {
 fn run_serve(options: &ServeOptions) -> Result<(), String> {
     let server = start_server(options)?;
     println!(
-        "rpg-server listening on http://{} ({} workers, queue bound {}, cache {})",
+        "rpg-server listening on http://{} ({} workers, queue bound {}, tenant bound {}, cache {}, keep-alive {})",
         server.addr(),
         options.workers,
         options.queue,
-        options.cache
+        options.tenant_queue,
+        options.cache,
+        if options.keep_alive { "on" } else { "off" },
     );
     println!("endpoints: POST /v1/generate · POST /v1/batch · GET /v1/healthz · GET /v1/stats");
     println!("press Ctrl-C to stop");
@@ -379,6 +447,11 @@ mod tests {
         assert_eq!(options.queue, 64);
         assert_eq!(options.cache, rpg_service::DEFAULT_CACHE_CAPACITY);
         assert!(options.workers >= 1);
+        assert!(options.keep_alive, "keep-alive defaults on");
+        assert!(options.max_requests_per_conn >= 1);
+        assert!(options.idle_timeout_ms >= 1);
+        assert!(options.tenant_queue >= 1);
+        assert!(options.tenant_weights.is_empty());
         assert_eq!(options.corpus_scale, CorpusScale::Small);
     }
 
@@ -393,6 +466,18 @@ mod tests {
             "5",
             "--cache",
             "0",
+            "--keep-alive",
+            "off",
+            "--max-requests-per-conn",
+            "7",
+            "--idle-timeout-ms",
+            "1500",
+            "--tenant-queue",
+            "4",
+            "--tenant-weight",
+            "gold=4",
+            "--tenant-weight",
+            "silver=2",
             "--full-corpus",
         ]))
         .unwrap();
@@ -400,10 +485,24 @@ mod tests {
         assert_eq!(options.workers, 3);
         assert_eq!(options.queue, 5);
         assert_eq!(options.cache, 0);
+        assert!(!options.keep_alive);
+        assert_eq!(options.max_requests_per_conn, 7);
+        assert_eq!(options.idle_timeout_ms, 1500);
+        assert_eq!(options.tenant_queue, 4);
+        assert_eq!(
+            options.tenant_weights,
+            vec![("gold".to_string(), 4), ("silver".to_string(), 2)]
+        );
         assert_eq!(options.corpus_scale, CorpusScale::Default);
         assert!(parse_serve_args(&args(&["--workers", "0"])).is_err());
         assert!(parse_serve_args(&args(&["--queue", "0"])).is_err());
         assert!(parse_serve_args(&args(&["--queue"])).is_err());
+        assert!(parse_serve_args(&args(&["--keep-alive", "maybe"])).is_err());
+        assert!(parse_serve_args(&args(&["--max-requests-per-conn", "0"])).is_err());
+        assert!(parse_serve_args(&args(&["--idle-timeout-ms", "0"])).is_err());
+        assert!(parse_serve_args(&args(&["--tenant-queue", "0"])).is_err());
+        assert!(parse_serve_args(&args(&["--tenant-weight", "gold"])).is_err());
+        assert!(parse_serve_args(&args(&["--tenant-weight", "gold=0"])).is_err());
         assert!(parse_serve_args(&args(&["--bogus"])).is_err());
     }
 

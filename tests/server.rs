@@ -1,7 +1,9 @@
 //! Loopback integration tests for the `rpg-server` HTTP front end: byte
-//! identity with in-process generation under concurrent clients, admission
-//! control under overflow, malformed-input resilience, batch routing, and
-//! multi-tenant refresh semantics over the wire.
+//! identity with in-process generation under concurrent clients (one-shot
+//! and keep-alive), pipelining from the retained connection buffer,
+//! admission control under overflow (global `503` and per-tenant `429`),
+//! HTTP/1.1 conformance rejections, malformed-input resilience, batch
+//! routing, and multi-tenant refresh semantics over the wire.
 
 use rpg_corpus::{generate, CorpusConfig};
 use rpg_repager::system::PathRequest;
@@ -350,6 +352,313 @@ fn tenants_are_isolated_and_refresh_evicts_only_one() {
         Some(false),
         "the refreshed tenant must recompute"
     );
+}
+
+/// The canonical JSON a direct in-process run of this query produces.
+fn expected_result(direct: &PathService, query: &str, year: u16, top_k: usize) -> String {
+    let output = direct
+        .generate(&PathRequest {
+            max_year: Some(year),
+            ..PathRequest::new(query, top_k)
+        })
+        .unwrap();
+    serde_json::to_string(&api::output_result_value(&output)).unwrap()
+}
+
+#[test]
+fn keep_alive_serves_sequential_requests_on_one_connection() {
+    let registry = demo_registry();
+    let direct = PathService::with_artifacts(registry.artifacts("default").unwrap());
+    let server = spawn(registry, 2, 16);
+
+    let queries = demo_queries(3);
+    let mut conn = client::Conn::connect(server.addr()).expect("persistent connection opens");
+    // Four exchanges (three distinct queries plus a repeat) ride one TCP
+    // connection, each byte-identical to the in-process pipeline.
+    for (query, year) in queries.iter().chain(queries.first()) {
+        let response = conn
+            .post_json("/v1/generate", &generate_body(query, *year, 25))
+            .expect("keep-alive exchange succeeds");
+        assert_eq!(response.status, 200, "query {query:?}: {}", response.body);
+        assert_eq!(
+            response.header("connection"),
+            Some("keep-alive"),
+            "the server must promise to keep serving this connection"
+        );
+        assert_eq!(
+            result_bytes(&response.body),
+            expected_result(&direct, query, *year, 25),
+            "keep-alive exchange diverged on {query:?}"
+        );
+    }
+
+    let stats = server.stats();
+    assert_eq!(stats.ok, 4);
+    assert_eq!(
+        stats.accepted, 1,
+        "four exchanges must share one accepted connection"
+    );
+}
+
+#[test]
+fn pipelined_second_request_is_served_from_the_retained_buffer() {
+    use std::io::Write;
+    let registry = demo_registry();
+    let direct = PathService::with_artifacts(registry.artifacts("default").unwrap());
+    let server = spawn(registry, 2, 16);
+    let queries = demo_queries(2);
+
+    // Both requests go out in a single write before any response is read:
+    // the bytes of the second arrive while the server parses the first, so
+    // serving it correctly requires the retained per-connection buffer.
+    let wire: String = queries
+        .iter()
+        .map(|(query, year)| {
+            let body = generate_body(query, *year, 20);
+            format!(
+                "POST /v1/generate HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\n\r\n{body}",
+                body.len()
+            )
+        })
+        .collect();
+    let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream.write_all(wire.as_bytes()).unwrap();
+    stream.flush().unwrap();
+
+    let mut buf = Vec::new();
+    for (query, year) in &queries {
+        let response = client::read_response(&mut stream, &mut buf).unwrap();
+        assert_eq!(response.status, 200, "query {query:?}: {}", response.body);
+        assert_eq!(
+            result_bytes(&response.body),
+            expected_result(&direct, query, *year, 20),
+            "pipelined response diverged on {query:?}"
+        );
+    }
+    assert_eq!(server.stats().accepted, 1);
+}
+
+#[test]
+fn idle_keep_alive_connections_are_closed_by_the_server() {
+    let registry = demo_registry();
+    let server = Server::spawn(
+        registry,
+        ServerConfig {
+            workers: 1,
+            idle_timeout: Duration::from_millis(150),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+
+    let mut conn = client::Conn::connect(server.addr()).unwrap();
+    let first = conn.get("/v1/healthz").unwrap();
+    assert_eq!(first.status, 200);
+    assert_eq!(first.header("connection"), Some("keep-alive"));
+
+    // Stay silent past the idle timeout: the server hangs up, so the next
+    // exchange on this connection cannot complete.
+    std::thread::sleep(Duration::from_millis(600));
+    assert!(
+        conn.get("/v1/healthz").is_err(),
+        "an idle-closed connection must not serve another exchange"
+    );
+}
+
+#[test]
+fn connection_request_budget_is_honoured() {
+    let registry = demo_registry();
+    let server = Server::spawn(
+        registry,
+        ServerConfig {
+            workers: 1,
+            max_requests_per_connection: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+
+    let mut conn = client::Conn::connect(server.addr()).unwrap();
+    let first = conn.get("/v1/healthz").unwrap();
+    assert_eq!(first.header("connection"), Some("keep-alive"));
+    let second = conn.get("/v1/healthz").unwrap();
+    assert!(
+        second.closes_connection(),
+        "the budget-exhausting exchange must announce the close"
+    );
+    assert!(
+        conn.get("/v1/healthz").is_err(),
+        "the connection is gone after its request budget"
+    );
+    // A fresh connection serves again: the budget is per-connection state.
+    assert_eq!(
+        client::get(server.addr(), "/v1/healthz").unwrap().status,
+        200
+    );
+}
+
+#[test]
+fn transfer_encoding_and_duplicate_content_length_are_rejected() {
+    use std::io::Write;
+    let registry = demo_registry();
+    let server = spawn(registry, 1, 8);
+
+    // A chunked body must be refused outright (501), not silently read as
+    // an empty body — under keep-alive the unread chunk bytes would parse
+    // as a smuggled second request.
+    let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream
+        .write_all(
+            b"POST /v1/generate HTTP/1.1\r\nhost: t\r\ntransfer-encoding: chunked\r\n\r\n\
+              2\r\n{}\r\n0\r\n\r\n",
+        )
+        .unwrap();
+    let response = client::read_response(&mut stream, &mut Vec::new()).unwrap();
+    assert_eq!(response.status, 501, "{}", response.body);
+    assert!(response.closes_connection(), "framing is lost: must close");
+    assert!(response.body.contains("transfer-encoding"));
+
+    // Conflicting Content-Length headers are the classic desync payload.
+    let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream
+        .write_all(
+            b"POST /v1/generate HTTP/1.1\r\nhost: t\r\ncontent-length: 2\r\ncontent-length: 40\r\n\r\n{}",
+        )
+        .unwrap();
+    let response = client::read_response(&mut stream, &mut Vec::new()).unwrap();
+    assert_eq!(response.status, 400, "{}", response.body);
+    assert!(response.closes_connection());
+
+    // The server survives both rejections.
+    assert_eq!(
+        client::get(server.addr(), "/v1/healthz").unwrap().status,
+        200
+    );
+}
+
+#[test]
+fn noisy_tenant_is_throttled_while_quiet_tenant_completes_everything() {
+    // Two tenants over the same artifacts; no result cache, so every
+    // request costs a full pipeline run on the single compute worker. The
+    // per-tenant bound is tiny: the noisy stampede overflows its own
+    // sub-queue (429) while the quiet tenant — one request in flight at a
+    // time — must never be rejected.
+    let registry = Arc::new(CorpusRegistry::with_cache_capacity(0));
+    registry.register("noisy", demo_corpus()).unwrap();
+    registry.register_artifacts("quiet", registry.artifacts("noisy").unwrap());
+    let server = Server::spawn(
+        registry,
+        ServerConfig {
+            workers: 1,
+            io_workers: 12,
+            queue_capacity: 16,
+            tenant_queue_capacity: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+
+    let (query, year) = demo_queries(1).remove(0);
+    let body_for = |corpus: &str| {
+        format!(r#"{{"query": {query:?}, "max_year": {year}, "top_k": 20, "corpus": {corpus:?}}}"#)
+    };
+    let noisy_body = body_for("noisy");
+    let quiet_body = body_for("quiet");
+
+    let noisy_clients = 6;
+    let requests_each = 6;
+    let barrier = Arc::new(std::sync::Barrier::new(noisy_clients + 1));
+    let (noisy_outcomes, quiet_outcomes) = std::thread::scope(|scope| {
+        let noisy_handles: Vec<_> = (0..noisy_clients)
+            .map(|_| {
+                let barrier = barrier.clone();
+                let addr = server.addr();
+                let body = &noisy_body;
+                scope.spawn(move || {
+                    let mut conn = client::Conn::connect(addr).unwrap();
+                    barrier.wait();
+                    (0..requests_each)
+                        .map(|_| {
+                            let response = conn.post_json("/v1/generate", body).unwrap();
+                            if response.status == 429 {
+                                assert_eq!(response.header("retry-after"), Some("1"));
+                                assert!(response.body.contains("noisy"));
+                            }
+                            response.status
+                        })
+                        .collect::<Vec<u16>>()
+                })
+            })
+            .collect();
+        let quiet_handle = {
+            let barrier = barrier.clone();
+            let addr = server.addr();
+            let body = &quiet_body;
+            scope.spawn(move || {
+                let mut conn = client::Conn::connect(addr).unwrap();
+                barrier.wait();
+                (0..5)
+                    .map(|_| conn.post_json("/v1/generate", body).unwrap().status)
+                    .collect::<Vec<u16>>()
+            })
+        };
+        let noisy: Vec<u16> = noisy_handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        (noisy, quiet_handle.join().unwrap())
+    });
+
+    assert_eq!(
+        quiet_outcomes,
+        vec![200; 5],
+        "the quiet tenant must complete every request"
+    );
+    assert!(
+        noisy_outcomes.iter().all(|&s| s == 200 || s == 429),
+        "unexpected noisy statuses: {noisy_outcomes:?}"
+    );
+    let throttled = noisy_outcomes.iter().filter(|&&s| s == 429).count();
+    assert!(
+        throttled >= 1,
+        "a {noisy_clients}-client stampede into a bound of 2 must overflow: {noisy_outcomes:?}"
+    );
+    assert!(
+        noisy_outcomes.iter().filter(|&&s| s == 200).count() >= 1,
+        "throttling must shed load, not blackhole the tenant"
+    );
+
+    let stats = server.stats();
+    assert_eq!(stats.throttled as usize, throttled);
+    assert_eq!(stats.rejected, 0, "nothing hit the global 503 path");
+
+    // The wire-visible stats expose the per-tenant queues and the 429
+    // counter.
+    let stats_response = client::get(server.addr(), "/v1/stats").unwrap();
+    let value: Value = serde_json::from_str(&stats_response.body).unwrap();
+    let queue = value.get("queue").expect("queue section");
+    assert_eq!(
+        queue.get("throttled_429").and_then(Value::as_f64),
+        Some(throttled as f64)
+    );
+    let tenants = queue.get("tenants").expect("per-tenant section");
+    for tenant in ["noisy", "quiet"] {
+        let entry = tenants
+            .get(tenant)
+            .unwrap_or_else(|| panic!("tenant {tenant} missing"));
+        assert_eq!(entry.get("depth").and_then(Value::as_f64), Some(0.0));
+        assert_eq!(entry.get("capacity").and_then(Value::as_f64), Some(2.0));
+        assert_eq!(entry.get("weight").and_then(Value::as_f64), Some(1.0));
+    }
 }
 
 #[test]
