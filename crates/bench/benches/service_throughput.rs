@@ -188,6 +188,26 @@ fn http_loopback(c: &mut Criterion) {
         })
     });
 
+    // The same exchange while 256 idle keep-alive connections sit parked
+    // on the event loops: the delta to `http_cache_hit_persistent` is what
+    // an idle connection costs the active path (under the poll-based
+    // loops it should be noise — idle sockets are slot-table entries, not
+    // threads).
+    let parked: Vec<client::Conn> = (0..256)
+        .map(|_| client::Conn::connect(server.addr()).expect("parked connection opens"))
+        .collect();
+    group.bench_function("http_cache_hit_with_256_idle_conns", |b| {
+        let mut next = 0usize;
+        b.iter(|| {
+            let body = &bodies[next % bodies.len()];
+            next += 1;
+            let response = pool.post_json("/v1/generate", body).unwrap();
+            assert_eq!(response.status, 200);
+            response.body.len()
+        })
+    });
+    drop(parked);
+
     group.bench_function("http_uncached", |b| {
         let mut next = 0usize;
         b.iter(|| {

@@ -3,7 +3,7 @@
 //! exact `Content-Length` body reads, `Expect: 100-continue` handling, and
 //! persistent (keep-alive) connections.
 //!
-//! [`RequestReader`] owns the per-connection buffer: bytes read past the end
+//! [`RequestBuffer`] owns the per-connection buffer: bytes read past the end
 //! of one request (a pipelined second request) stay buffered and become the
 //! prefix of the next parse instead of being discarded, which is what makes
 //! multi-exchange connections safe. Because connections persist, the parser
@@ -12,9 +12,14 @@
 //! request-smuggling vectors once a connection carries more than one
 //! request.
 //!
-//! The reader side is generic over [`Read`] so parsing is unit-testable on
-//! byte slices; the server hands it `TcpStream`s with a read timeout set, so
-//! a client that never finishes its request cannot pin a worker forever.
+//! The parser is a *push* parser: [`RequestBuffer::try_parse`] consumes a
+//! complete request from whatever bytes have arrived so far and otherwise
+//! reports how far it got ([`Parse::NeedHead`] / [`Parse::NeedBody`]) without
+//! blocking, which is what the event-driven connection loop needs — under
+//! `poll` every request arrives in arbitrary fragments. [`RequestReader`]
+//! wraps a buffer plus any [`Read`] into the blocking pull API the
+//! in-process client and the unit tests use; both paths share every byte of
+//! parsing logic.
 
 use std::io::{self, Read, Write};
 
@@ -115,79 +120,131 @@ fn io_error(e: io::Error) -> HttpError {
     }
 }
 
-/// Reads HTTP/1.1 requests off one connection, retaining excess bytes.
-///
-/// One `RequestReader` lives as long as its connection. Each call to
-/// [`RequestReader::read_request`] consumes exactly one request's bytes from
-/// the internal buffer; anything beyond it (a pipelined next request) stays
-/// buffered and is parsed first on the following call, so back-to-back
-/// requests are served without losing a byte.
-pub struct RequestReader<R> {
-    reader: R,
-    buf: Vec<u8>,
+/// How far [`RequestBuffer::try_parse`] got with the bytes available.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Parse {
+    /// A complete request was parsed and its bytes consumed from the
+    /// buffer; pipelined bytes after it stay buffered.
+    Complete(Request),
+    /// The blank line ending the head has not arrived yet.
+    NeedHead,
+    /// The head is complete and valid but the `Content-Length` body is
+    /// still short.
+    NeedBody,
 }
 
-impl<R: Read> RequestReader<R> {
-    /// A reader with an empty buffer over a fresh connection.
-    pub fn new(reader: R) -> Self {
-        RequestReader {
-            reader,
+/// The incremental per-connection parse buffer.
+///
+/// One `RequestBuffer` lives as long as its connection. Bytes are appended
+/// (via [`RequestBuffer::read_from`]) as the transport delivers them;
+/// [`RequestBuffer::try_parse`] consumes exactly one request's bytes when a
+/// full request is present, and anything beyond it (a pipelined next
+/// request) stays buffered and is parsed first on the following call, so
+/// back-to-back requests are served without losing a byte. Nothing ever
+/// blocks: a short buffer is reported as [`Parse::NeedHead`] or
+/// [`Parse::NeedBody`], which is what lets the event-driven connection
+/// state machine ride directly on this type.
+#[derive(Debug, Default)]
+pub struct RequestBuffer {
+    buf: Vec<u8>,
+    /// How far the head-terminator search has already looked, so each new
+    /// fragment only scans the fresh tail (minus a 3-byte overlap for a
+    /// terminator split across reads) — O(n) total on slow-trickle heads
+    /// instead of O(n²).
+    scanned: usize,
+    /// Whether `on_continue` already fired for the request currently being
+    /// accumulated (the interim `100 Continue` must be sent at most once).
+    continue_signalled: bool,
+    /// A head that parsed cleanly while its body was still short, so a
+    /// trickling body costs the head parse exactly once instead of once
+    /// per arriving fragment.
+    pending: Option<PendingBody>,
+}
+
+/// A fully parsed head awaiting the rest of its `Content-Length` body.
+#[derive(Debug)]
+struct PendingBody {
+    head: Request,
+    /// Offset of the first body byte in `buf`.
+    body_start: usize,
+    /// Offset one past the last body byte in `buf`.
+    body_end: usize,
+}
+
+impl RequestBuffer {
+    /// An empty buffer for a fresh connection.
+    pub fn new() -> Self {
+        RequestBuffer {
             buf: Vec::with_capacity(1024),
+            scanned: 0,
+            continue_signalled: false,
+            pending: None,
         }
     }
 
-    /// A shared reference to the underlying transport (e.g. to `peek` it).
-    pub fn get_ref(&self) -> &R {
-        &self.reader
-    }
-
-    /// Whether bytes of a next request are already buffered.
+    /// Whether bytes of a (possibly partial) next request are buffered.
     pub fn has_buffered(&self) -> bool {
         !self.buf.is_empty()
     }
 
-    /// Reads and parses the next request on the connection.
+    /// Bytes currently buffered.
+    pub fn buffered_len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Appends one transport read to the buffer. Returns the byte count
+    /// (`0` means end-of-stream); `WouldBlock` from a nonblocking source
+    /// passes through untouched.
+    pub fn read_from<R: Read>(&mut self, reader: &mut R) -> io::Result<usize> {
+        let mut chunk = [0u8; 16 * 1024];
+        let n = reader.read(&mut chunk)?;
+        self.buf.extend_from_slice(&chunk[..n]);
+        Ok(n)
+    }
+
+    /// Attempts to parse one request from the buffered bytes.
     ///
-    /// `on_continue` is called once if the client sent
-    /// `Expect: 100-continue` and the head parsed cleanly, so the caller can
-    /// emit the interim `100 Continue` response before this function blocks
-    /// on the body (curl does this for any body above ~1 KiB).
+    /// `on_continue` is called at most once per request, when the head has
+    /// parsed cleanly and announces `Expect: 100-continue` with a non-empty
+    /// body, so the caller can emit the interim `100 Continue` response
+    /// before the client commits the body (curl does this for any body
+    /// above ~1 KiB).
     ///
     /// After an error the buffer state is unspecified — request framing is
     /// lost, so the caller must close the connection.
-    pub fn read_request(
+    pub fn try_parse(
         &mut self,
         limits: &Limits,
         mut on_continue: impl FnMut(),
-    ) -> Result<Request, HttpError> {
-        // Accumulate until the blank line that ends the head. `scanned`
-        // tracks how far the terminator search has already looked, so each
-        // read only scans the new tail (minus a 3-byte overlap for a
-        // terminator split across reads) instead of rescanning the whole
-        // buffer — O(n) total on slow-trickle heads instead of O(n²).
-        let mut scanned = 0usize;
-        let head_end = loop {
-            if let Some(pos) = find_head_end(&self.buf, &mut scanned) {
+    ) -> Result<Parse, HttpError> {
+        // A head already parsed on an earlier call: only the body-length
+        // check remains.
+        if let Some(pending) = self.pending.take() {
+            if self.buf.len() < pending.body_end {
+                self.pending = Some(pending);
+                return Ok(Parse::NeedBody);
+            }
+            return Ok(self.complete(pending));
+        }
+        let head_end = match find_head_end(&self.buf, &mut self.scanned) {
+            Some(pos) => {
                 if pos + 4 > limits.max_head_bytes {
                     return Err(HttpError::TooLarge(format!(
                         "head exceeds {} bytes",
                         limits.max_head_bytes
                     )));
                 }
-                break pos;
+                pos
             }
-            if self.buf.len() >= limits.max_head_bytes {
-                return Err(HttpError::TooLarge(format!(
-                    "head exceeds {} bytes",
-                    limits.max_head_bytes
-                )));
+            None => {
+                if self.buf.len() >= limits.max_head_bytes {
+                    return Err(HttpError::TooLarge(format!(
+                        "head exceeds {} bytes",
+                        limits.max_head_bytes
+                    )));
+                }
+                return Ok(Parse::NeedHead);
             }
-            let mut chunk = [0u8; 1024];
-            let n = self.reader.read(&mut chunk).map_err(io_error)?;
-            if n == 0 {
-                return Err(HttpError::Incomplete);
-            }
-            self.buf.extend_from_slice(&chunk[..n]);
         };
 
         let head = std::str::from_utf8(&self.buf[..head_end])
@@ -278,33 +335,92 @@ impl<R: Read> RequestReader<R> {
             body: Vec::new(),
         };
 
-        if request_head
-            .header("expect")
-            .is_some_and(|v| v.eq_ignore_ascii_case("100-continue"))
+        if !self.continue_signalled
+            && request_head
+                .header("expect")
+                .is_some_and(|v| v.eq_ignore_ascii_case("100-continue"))
             && content_length > 0
         {
+            self.continue_signalled = true;
             on_continue();
         }
 
-        // Pull the rest of the body into the buffer, then split off exactly
-        // this request's bytes; anything beyond stays buffered for the next
-        // call.
-        let body_end = head_end + 4 + content_length;
-        while self.buf.len() < body_end {
-            let mut chunk = vec![0u8; (body_end - self.buf.len()).min(16 * 1024)];
-            let n = self.reader.read(&mut chunk).map_err(io_error)?;
+        // Split off exactly this request's bytes once the whole body is
+        // here; anything beyond stays buffered for the next call.
+        let pending = PendingBody {
+            head: request_head,
+            body_start: head_end + 4,
+            body_end: head_end + 4 + content_length,
+        };
+        if self.buf.len() < pending.body_end {
+            self.pending = Some(pending);
+            return Ok(Parse::NeedBody);
+        }
+        Ok(self.complete(pending))
+    }
+
+    /// Consumes a request whose body is fully buffered and resets the
+    /// per-request parse state.
+    fn complete(&mut self, pending: PendingBody) -> Parse {
+        let body = self.buf[pending.body_start..pending.body_end].to_vec();
+        self.buf.drain(..pending.body_end);
+        // Connections are long-lived: without this, one near-limit body
+        // would pin its buffer capacity for the connection's lifetime.
+        if self.buf.capacity() > 64 * 1024 {
+            self.buf.shrink_to(64 * 1024);
+        }
+        self.scanned = 0;
+        self.continue_signalled = false;
+        Parse::Complete(Request {
+            body,
+            ..pending.head
+        })
+    }
+}
+
+/// Reads HTTP/1.1 requests off one blocking connection, retaining excess
+/// bytes — the pull-API wrapper over [`RequestBuffer`] used by unit tests
+/// and blocking callers. Each call to [`RequestReader::read_request`]
+/// consumes exactly one request's bytes from the internal buffer.
+pub struct RequestReader<R> {
+    reader: R,
+    buf: RequestBuffer,
+}
+
+impl<R: Read> RequestReader<R> {
+    /// A reader with an empty buffer over a fresh connection.
+    pub fn new(reader: R) -> Self {
+        RequestReader {
+            reader,
+            buf: RequestBuffer::new(),
+        }
+    }
+
+    /// Whether bytes of a next request are already buffered.
+    pub fn has_buffered(&self) -> bool {
+        self.buf.has_buffered()
+    }
+
+    /// Reads and parses the next request on the connection, blocking until
+    /// the transport has delivered a complete one.
+    ///
+    /// `on_continue` is forwarded to [`RequestBuffer::try_parse`]. After an
+    /// error the buffer state is unspecified — request framing is lost, so
+    /// the caller must close the connection.
+    pub fn read_request(
+        &mut self,
+        limits: &Limits,
+        mut on_continue: impl FnMut(),
+    ) -> Result<Request, HttpError> {
+        loop {
+            if let Parse::Complete(request) = self.buf.try_parse(limits, &mut on_continue)? {
+                return Ok(request);
+            }
+            let n = self.buf.read_from(&mut self.reader).map_err(io_error)?;
             if n == 0 {
                 return Err(HttpError::Incomplete);
             }
-            self.buf.extend_from_slice(&chunk[..n]);
         }
-        let body = self.buf[head_end + 4..body_end].to_vec();
-        self.buf.drain(..body_end);
-
-        Ok(Request {
-            body,
-            ..request_head
-        })
     }
 }
 
@@ -369,15 +485,18 @@ impl Response {
         self
     }
 
-    /// Serialises the response to the wire. `keep_alive` selects the
-    /// `Connection` header: `keep-alive` promises the server will serve
-    /// another request on this connection, `close` that it will hang up
-    /// after this exchange.
+    /// Serialises the full wire form (status line, headers, body) into one
+    /// byte vector. `keep_alive` selects the `Connection` header:
+    /// `keep-alive` promises the server will serve another request on this
+    /// connection, `close` that it will hang up after this exchange.
     ///
-    /// Head and body go out in a single `write` call: two small writes on a
-    /// persistent socket are two TCP segments, and Nagle holding the second
-    /// until the peer's delayed ACK costs ~40ms per exchange.
-    pub fn write_to<W: Write>(&self, writer: &mut W, keep_alive: bool) -> io::Result<()> {
+    /// Producing one buffer (instead of writing piecewise) serves two
+    /// masters: blocking callers emit it in a single `write` call — two
+    /// small writes on a persistent socket are two TCP segments, and Nagle
+    /// holding the second until the peer's delayed ACK costs ~40ms per
+    /// exchange — and the event loop can write it incrementally across
+    /// `POLLOUT` readiness without re-serialising after a partial write.
+    pub fn to_bytes(&self, keep_alive: bool) -> Vec<u8> {
         let connection = if keep_alive { "keep-alive" } else { "close" };
         let mut wire = format!(
             "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {connection}\r\n",
@@ -394,16 +513,18 @@ impl Response {
         }
         wire.extend_from_slice(b"\r\n");
         wire.extend_from_slice(&self.body);
-        writer.write_all(&wire)?;
+        wire
+    }
+
+    /// Writes the response to a blocking transport in one call.
+    pub fn write_to<W: Write>(&self, writer: &mut W, keep_alive: bool) -> io::Result<()> {
+        writer.write_all(&self.to_bytes(keep_alive))?;
         writer.flush()
     }
 }
 
 /// The interim response unblocking an `Expect: 100-continue` client.
-pub fn write_continue<W: Write>(writer: &mut W) -> io::Result<()> {
-    writer.write_all(b"HTTP/1.1 100 Continue\r\n\r\n")?;
-    writer.flush()
-}
+pub const CONTINUE: &[u8] = b"HTTP/1.1 100 Continue\r\n\r\n";
 
 /// The canonical reason phrase for the status codes this server emits.
 pub fn reason(status: u16) -> &'static str {
@@ -622,6 +743,56 @@ mod tests {
     }
 
     #[test]
+    fn push_parser_reports_phase_and_completes_across_fragments() {
+        let raw = b"POST /frag HTTP/1.1\r\nContent-Length: 4\r\n\r\nbody";
+        let mut buf = RequestBuffer::new();
+        let limits = Limits::default();
+        // Feed byte by byte: the parser must report NeedHead until the blank
+        // line, NeedBody until the final body byte, and consume exactly one
+        // request when it completes.
+        let head_len = raw.len() - 4;
+        for (i, &byte) in raw.iter().enumerate() {
+            buf.read_from(&mut &[byte][..]).unwrap();
+            let parsed = buf.try_parse(&limits, || {}).unwrap();
+            if i + 1 < head_len {
+                assert_eq!(parsed, Parse::NeedHead, "byte {i}");
+            } else if i + 1 < raw.len() {
+                assert_eq!(parsed, Parse::NeedBody, "byte {i}");
+            } else {
+                let Parse::Complete(request) = parsed else {
+                    panic!("expected completion at byte {i}, got {parsed:?}");
+                };
+                assert_eq!(request.path, "/frag");
+                assert_eq!(request.body, b"body");
+            }
+        }
+        assert!(!buf.has_buffered());
+    }
+
+    #[test]
+    fn push_parser_signals_continue_exactly_once() {
+        let head = b"POST / HTTP/1.1\r\nExpect: 100-continue\r\nContent-Length: 2\r\n\r\n";
+        let mut buf = RequestBuffer::new();
+        let limits = Limits::default();
+        let mut continues = 0;
+        buf.read_from(&mut &head[..]).unwrap();
+        // Body missing: head parse fires the callback...
+        assert_eq!(
+            buf.try_parse(&limits, || continues += 1).unwrap(),
+            Parse::NeedBody
+        );
+        // ...and repeated polls of the still-short body must not re-fire it.
+        assert_eq!(
+            buf.try_parse(&limits, || continues += 1).unwrap(),
+            Parse::NeedBody
+        );
+        buf.read_from(&mut &b"ok"[..]).unwrap();
+        let parsed = buf.try_parse(&limits, || continues += 1).unwrap();
+        assert!(matches!(parsed, Parse::Complete(ref r) if r.body == b"ok"));
+        assert_eq!(continues, 1);
+    }
+
+    #[test]
     fn truncated_body_is_incomplete() {
         let raw = b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort";
         assert_eq!(parse(raw), Err(HttpError::Incomplete));
@@ -662,6 +833,157 @@ mod tests {
     fn status_reasons_cover_the_emitted_codes() {
         for status in [200, 400, 404, 405, 408, 413, 429, 500, 501, 503] {
             assert_ne!(reason(status), "Unknown", "status {status}");
+        }
+    }
+}
+
+#[cfg(all(test, feature = "proptests"))]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// A reader delivering `data` in caller-chosen fragment sizes, cycling
+    /// through `sizes` — the adversarial transport: every split point the
+    /// strategy can express, including mid-`\r\n\r\n` and mid-body.
+    struct Fragmented<'a> {
+        data: &'a [u8],
+        sizes: &'a [usize],
+        next: usize,
+    }
+
+    impl Read for Fragmented<'_> {
+        fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+            if self.data.is_empty() {
+                return Ok(0);
+            }
+            let size = if self.sizes.is_empty() {
+                out.len()
+            } else {
+                let size = self.sizes[self.next % self.sizes.len()].max(1);
+                self.next += 1;
+                size
+            };
+            let n = size.min(out.len()).min(self.data.len());
+            out[..n].copy_from_slice(&self.data[..n]);
+            self.data = &self.data[n..];
+            Ok(n)
+        }
+    }
+
+    const METHODS: [&str; 3] = ["GET", "POST", "PUT"];
+
+    /// One valid request on the wire: arbitrary method/path/padding header
+    /// and an arbitrary *byte* body (it may contain `\r\n\r\n`, partial
+    /// request lines, anything — framing is by `Content-Length` alone).
+    fn wire_request(method: &str, path: &str, pad: &str, body: &[u8]) -> Vec<u8> {
+        let mut wire = format!(
+            "{method} /{path} HTTP/1.1\r\nhost: prop\r\nx-pad: {pad}\r\ncontent-length: {}\r\n\r\n",
+            body.len()
+        )
+        .into_bytes();
+        wire.extend_from_slice(body);
+        wire
+    }
+
+    /// Parses requests until the stream errors out; returns the sequence
+    /// and the terminal error.
+    fn parse_all(reader: impl Read) -> (Vec<Request>, HttpError) {
+        let mut reader = RequestReader::new(reader);
+        let mut requests = Vec::new();
+        loop {
+            match reader.read_request(&Limits::default(), || {}) {
+                Ok(request) => requests.push(request),
+                Err(e) => return (requests, e),
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(192))]
+
+        /// Byte-level fragmentation is invisible: however a valid pipelined
+        /// request stream is split across transport reads, the parsed
+        /// `Request` sequence is identical to one-shot delivery, and both
+        /// deliveries end cleanly at end-of-stream.
+        #[test]
+        fn any_fragmentation_parses_identically_to_one_shot(
+            specs in prop::collection::vec(
+                (
+                    0usize..3,
+                    "[a-z]{1,12}",
+                    "[a-z ]{0,16}",
+                    prop::collection::vec(0u8..=255u8, 0..96),
+                ),
+                1..5,
+            ),
+            sizes in prop::collection::vec(1usize..40, 0..24),
+        ) {
+            let wire: Vec<u8> = specs
+                .iter()
+                .flat_map(|(m, path, pad, body)| wire_request(METHODS[*m], path, pad, body))
+                .collect();
+
+            let (oneshot, oneshot_end) = parse_all(&wire[..]);
+            prop_assert_eq!(oneshot.len(), specs.len(), "one-shot must parse every request");
+            prop_assert_eq!(oneshot_end, HttpError::Incomplete);
+            for (request, (m, path, _, body)) in oneshot.iter().zip(&specs) {
+                prop_assert_eq!(&request.method, METHODS[*m]);
+                prop_assert_eq!(&request.path, &format!("/{path}"));
+                prop_assert_eq!(&request.body, body);
+            }
+
+            let (fragmented, fragmented_end) = parse_all(Fragmented {
+                data: &wire,
+                sizes: &sizes,
+                next: 0,
+            });
+            prop_assert_eq!(&fragmented, &oneshot, "fragmentation changed the parse");
+            prop_assert_eq!(fragmented_end, HttpError::Incomplete);
+        }
+
+        /// The smuggling rejections are split-proof: a request bearing any
+        /// `Transfer-Encoding` is a `501` and a duplicate/conflicting
+        /// `Content-Length` is a `400`, no matter how the bytes fragment —
+        /// no split may let the request parse as valid.
+        #[test]
+        fn smuggling_rejections_hold_under_any_split(
+            which in 0usize..4,
+            path in "[a-z]{1,10}",
+            body in prop::collection::vec(0u8..=255u8, 0..64),
+            sizes in prop::collection::vec(1usize..24, 0..16),
+        ) {
+            let (poison, expected_status) = match which {
+                0 => ("transfer-encoding: chunked\r\n".to_string(), 501),
+                1 => ("transfer-encoding: gzip\r\n".to_string(), 501),
+                // Conflicting and even agreeing duplicates are refused.
+                2 => ("content-length: 9999\r\n".to_string(), 400),
+                _ => (format!("content-length: {}\r\n", body.len()), 400),
+            };
+            let mut wire = format!(
+                "POST /{path} HTTP/1.1\r\nhost: prop\r\n{poison}content-length: {}\r\n\r\n",
+                body.len()
+            )
+            .into_bytes();
+            wire.extend_from_slice(&body);
+
+            let mut reader = RequestReader::new(Fragmented {
+                data: &wire,
+                sizes: &sizes,
+                next: 0,
+            });
+            match reader.read_request(&Limits::default(), || {}) {
+                Ok(request) => prop_assert!(
+                    false,
+                    "smuggling-shaped request parsed as valid: {request:?}"
+                ),
+                Err(e) => prop_assert_eq!(
+                    e.status(),
+                    expected_status,
+                    "wrong rejection for poison header {:?}: {:?}",
+                    poison,
+                    e
+                ),
+            }
         }
     }
 }

@@ -5,10 +5,17 @@
 //! service; this crate is the network edge of the reproduction, built on
 //! nothing but `std::net` and the vendored `serde_json`:
 //!
-//! * **persistent connections** — each socket is served by a connection
-//!   driver running a keep-alive exchange loop over a persistent parse
-//!   buffer ([`http::RequestReader`]): pipelined bytes carry over between
-//!   requests, with an idle timeout and a per-connection request budget;
+//! * **event-driven connections** — a fixed pool of event-loop threads
+//!   multiplexes every socket over `poll(2)` (wrapped std-only in `sys`),
+//!   so an open connection costs slot-table state, not a thread; each
+//!   connection is a state machine over the incremental
+//!   [`http::RequestBuffer`] push parser, with idle and per-request read
+//!   deadlines enforced by the poll timeout and compute replies delivered
+//!   back to the owning loop through a self-pipe wake fd;
+//! * **persistent connections** — each socket serves a keep-alive
+//!   exchange sequence over a persistent parse buffer: pipelined bytes
+//!   carry over between requests, with an idle timeout and a
+//!   per-connection request budget;
 //! * **per-tenant fair admission** — parsed requests are classified by
 //!   their `corpus` tenant and offered to a weighted deficit-round-robin
 //!   [`queue::FairQueue`] in front of the compute pool: a tenant that
@@ -18,8 +25,10 @@
 //! * **multi-tenant routing** — requests carry an optional `corpus` field
 //!   that routes to a named [`rpg_service::CorpusRegistry`] tenant;
 //! * **JSON endpoints** — `POST /v1/generate`, `POST /v1/batch`,
-//!   `GET /v1/healthz`, and `GET /v1/stats` (cache hit/miss counters,
-//!   per-stage timing aggregates, queue depth);
+//!   `POST /v1/corpora/:name/refresh` (rebuild one tenant, evicting
+//!   exactly its cached results), `GET /v1/healthz`, and `GET /v1/stats`
+//!   (cache hit/miss counters, per-stage timing aggregates, queue depth,
+//!   connection gauges);
 //! * **deterministic result encoding** — [`api::output_result_value`] is
 //!   the single encoder for pipeline results, shared with the tests so the
 //!   HTTP surface is provably byte-identical to in-process generation.
@@ -38,13 +47,17 @@
 //! ```
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// `unsafe` is confined to `sys`, the FFI shim over poll(2)/pipe(2) that the
+// event-driven connection layer rides on (the workspace has no libc crate);
+// everywhere else it stays an error.
+#![deny(unsafe_code)]
 
 pub mod api;
 pub mod client;
 pub mod http;
 pub mod queue;
 mod serve;
+mod sys;
 
 pub use api::{BatchRequest, GenerateRequest};
 pub use serve::{Server, ServerConfig, StatsSnapshot};

@@ -1,39 +1,60 @@
-//! The listener, connection drivers, compute pool, and admission control.
+//! The listener, event-driven connection layer, compute pool, and admission
+//! control.
 //!
-//! Connections flow through two stages. One acceptor thread takes TCP
-//! connections off the listener and offers them to a bounded handoff queue;
-//! a pool of *connection drivers* pops them and runs the HTTP/1.1 exchange
-//! loop — up to `max_requests_per_connection` requests per socket with an
-//! idle timeout between them, each parsed from a persistent buffer so
-//! pipelined bytes carry over. Cheap endpoints (`/v1/healthz`, `/v1/stats`,
-//! routing errors) are answered by the driver itself; pipeline work is
-//! classified by tenant and offered to a weighted per-tenant
-//! [`FairQueue`], drained in deficit-round-robin order by a fixed pool of
-//! *compute workers*.
+//! Connections are served by a fixed pool of *event-loop driver threads*,
+//! each owning a `poll(2)` set of nonblocking sockets — an open connection
+//! costs a few hundred bytes of state in a loop's slot table, not a thread,
+//! so thousands of mostly-idle keep-alive connections ride on a handful of
+//! threads. One acceptor thread takes TCP connections off the listener,
+//! enforces the `max_connections` bound (overflow gets an immediate `503`
+//! off a dedicated rejector thread), and deals admitted sockets round-robin
+//! to the loops through a wake-pipe-signalled inbox.
+//!
+//! Each connection is a state machine over the incremental
+//! [`http::RequestBuffer`] parser:
+//!
+//! ```text
+//! Idle → ReadingHead → ReadingBody → ComputeInFlight → Writing ─┐
+//!  ↑                        (inline routes skip the queue)      │
+//!  └──────────── keep-alive, budget remaining ──────────────────┤
+//!                                                           Draining → closed
+//! ```
+//!
+//! Idle and per-request read deadlines are enforced by the loop's poll
+//! timeout (no timer threads, no peek slices); cheap endpoints
+//! (`/v1/healthz`, `/v1/stats`, routing errors) are answered inline on the
+//! loop, while pipeline work is classified by tenant and offered to the
+//! weighted per-tenant [`FairQueue`], drained in deficit-round-robin order
+//! by a fixed pool of *compute workers*. A worker's reply travels back to
+//! the owning loop through its inbox plus a self-pipe wake, so the loop
+//! never blocks on compute and a connection awaiting its response costs no
+//! thread anywhere.
 //!
 //! Overload degrades into fast, explicit rejections instead of growing
 //! buffers or latency — and it degrades per tenant: a connection stampede
-//! gets an immediate `503 Service Unavailable` off the acceptor, a tenant
-//! that fills its own sub-queue gets `429 Too Many Requests` while every
-//! other tenant keeps being served, and only a full *global* request queue
-//! turns into a `503` for everyone.
+//! past `max_connections` gets an immediate `503 Service Unavailable` off
+//! the acceptor, a tenant that fills its own sub-queue gets `429 Too Many
+//! Requests` while every other tenant keeps being served, and only a full
+//! *global* request queue turns into a `503` for everyone.
 
 use crate::api::{
     error_body, generate_response_value, timings_value, ApiError, BatchRequest, GenerateRequest,
     ResolvedRequest, MAX_BATCH,
 };
-use crate::http::{self, Limits, Request, RequestReader, Response};
+use crate::http::{self, Limits, Parse, Request, RequestBuffer, Response};
 use crate::queue::{Bounded, FairQueue, Rejection};
+use crate::sys::{self, PollFd, WakePipe, POLLERR, POLLHUP, POLLIN, POLLNVAL, POLLOUT};
 use rpg_repager::system::RepagerError;
 use rpg_repager::TimingAggregate;
 use rpg_service::{parallel, CorpusRegistry, RegistryError};
 use serde::value::Value;
 use serde::Deserialize;
-use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -44,18 +65,21 @@ pub struct ServerConfig {
     pub addr: String,
     /// Compute-worker threads draining the request queue (minimum 1).
     pub workers: usize,
-    /// Connection-driver threads running the per-socket exchange loops.
-    /// `0` derives a default from `workers`.
-    pub io_workers: usize,
-    /// Global admission bound, applied both to connections waiting for a
-    /// driver and to requests queued for compute. Arrivals past the
-    /// connection bound get an immediate `503`.
+    /// Event-loop driver threads, each multiplexing its share of the open
+    /// connections over one `poll` set. `0` derives a small default from
+    /// `workers` — connections no longer cost threads, so a handful of
+    /// loops serves thousands of sockets.
+    pub drivers: usize,
+    /// Open-connection bound across all loops. Arrivals past it get an
+    /// immediate `503` off the acceptor.
+    pub max_connections: usize,
+    /// Global request-queue bound across every tenant; overflow gets `503`.
     pub queue_capacity: usize,
     /// Per-tenant request-queue bound: a tenant stampede past this gets
     /// `429 Too Many Requests` without crowding out other tenants. Queue
-    /// depth can never exceed the number of connection drivers (each has
-    /// at most one request in flight), so keep this *below* the driver
-    /// count or the throttle can never engage.
+    /// depth is fed by every open connection (each can have one request in
+    /// flight), so under the event loop the throttle engages whenever a
+    /// tenant keeps more than this many requests outstanding.
     pub tenant_queue_capacity: usize,
     /// Deficit-round-robin weights per tenant name; unlisted tenants weigh
     /// 1. A weight-2 tenant drains twice as fast when backlogged.
@@ -66,13 +90,17 @@ pub struct ServerConfig {
     /// `Connection: close` (the pre-persistent behaviour).
     pub keep_alive: bool,
     /// Exchanges served per connection before the server closes it, so one
-    /// immortal socket cannot pin a driver forever (minimum 1).
+    /// immortal socket cannot hold its slot forever (minimum 1).
     pub max_requests_per_connection: usize,
-    /// How long a driver waits for the next request on an idle persistent
-    /// connection before closing it.
+    /// How long a connection may sit idle between requests before its loop
+    /// closes it.
     pub idle_timeout: Duration,
-    /// Per-connection socket read/write timeout *within* a request, so a
-    /// stalled client releases its driver.
+    /// Per-request wall-clock deadline: once the first byte of a request
+    /// arrives, the whole head+body must follow within this long or the
+    /// connection gets a `408` and a close — a slowloris trickling one
+    /// byte per interval cannot reset it. On the response side it is the
+    /// zero-progress bound: a reader that accepts no bytes for this long
+    /// is cut off, while a slow-but-moving one keeps its connection.
     pub read_timeout: Duration,
     /// Value of the `Retry-After` header on `503`/`429` responses, in
     /// seconds.
@@ -86,7 +114,8 @@ impl Default for ServerConfig {
         ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             workers: rpg_service::default_threads(),
-            io_workers: 0,
+            drivers: 0,
+            max_connections: 1024,
             queue_capacity: 64,
             tenant_queue_capacity: 8,
             tenant_weights: Vec::new(),
@@ -102,21 +131,14 @@ impl Default for ServerConfig {
 }
 
 impl ServerConfig {
-    /// The connection-driver pool size after resolving the `0 = auto`
-    /// default: enough drivers to keep the compute pool fed even while
-    /// some hold idle keep-alive connections, and more than the per-tenant
-    /// queue bound so the `429` throttle is actually reachable (queue depth
-    /// is capped by the number of drivers, each with at most one request in
-    /// flight). The hard cap of 256 threads means tenant bounds beyond
-    /// ~250 — or an explicit `io_workers` at or below the tenant bound —
-    /// degrade the per-tenant `429` into the global connection `503`.
+    /// The event-loop pool size after resolving the `0 = auto` default.
+    /// Loops multiplex, so the default stays small: one loop per four
+    /// compute workers, between 1 and 4.
     fn driver_count(&self) -> usize {
-        if self.io_workers > 0 {
-            self.io_workers
+        if self.drivers > 0 {
+            self.drivers
         } else {
-            (self.workers.max(1) * 2)
-                .max(self.tenant_queue_capacity.saturating_add(4))
-                .clamp(2, 256)
+            (self.workers.max(1) / 4).clamp(1, 4)
         }
     }
 }
@@ -126,6 +148,8 @@ impl ServerConfig {
 pub struct StatsSnapshot {
     /// Connections accepted off the listener.
     pub accepted: u64,
+    /// Connections currently open (admitted and not yet closed).
+    pub open_connections: u64,
     /// Requests rejected with `503` (connection overflow at the acceptor,
     /// or a full global request queue).
     pub rejected: u64,
@@ -165,22 +189,87 @@ struct Counters {
 enum Work {
     Generate(String, ResolvedRequest),
     Batch(BatchRequest),
+    /// Rebuild one tenant's artifacts from its current corpus (the
+    /// `/v1/corpora/:name/refresh` endpoint) — artifact builds are
+    /// CPU-heavy, so they ride the compute queue like any pipeline run,
+    /// billed to the tenant being refreshed.
+    Refresh(String),
 }
 
-/// The reply side is a rendezvous channel: the driver parks on the receiver
-/// while a compute worker runs the pipeline. If a `Job` is ever dropped
-/// unfulfilled, the disconnected sender wakes the driver with an error
-/// instead of parking it forever.
+/// The address a compute worker posts its response back to: the owning
+/// event loop's inbox plus that loop's wake pipe. If a `Job` is ever
+/// dropped unfulfilled, the `Drop` impl posts an error response instead,
+/// so the connection can never be stranded in `ComputeInFlight`.
+struct Reply {
+    target: Option<(Arc<LoopShared>, usize)>,
+}
+
+impl Reply {
+    fn new(to: Arc<LoopShared>, token: usize) -> Reply {
+        Reply {
+            target: Some((to, token)),
+        }
+    }
+
+    fn send(mut self, response: Response) {
+        if let Some((to, token)) = self.target.take() {
+            to.push_reply(token, response);
+        }
+    }
+
+    /// Disarms the reply (used when admission hands the job back): the
+    /// rejection is answered inline, so nothing must be posted later.
+    fn cancel(mut self) {
+        self.target = None;
+    }
+}
+
+impl Drop for Reply {
+    fn drop(&mut self) {
+        if let Some((to, token)) = self.target.take() {
+            to.push_reply(
+                token,
+                Response::json(500, error_body("request was dropped")),
+            );
+        }
+    }
+}
+
 struct Job {
     work: Work,
-    reply: mpsc::SyncSender<Response>,
+    reply: Reply,
+}
+
+/// What the acceptor and the compute workers hand to an event loop.
+#[derive(Default)]
+struct Inbox {
+    conns: Vec<TcpStream>,
+    replies: Vec<(usize, Response)>,
+}
+
+/// One event loop's mailbox: an inbox of new connections and finished
+/// compute replies, plus the self-pipe that kicks the loop out of `poll`
+/// whenever either arrives.
+struct LoopShared {
+    wake: WakePipe,
+    inbox: Mutex<Inbox>,
+}
+
+impl LoopShared {
+    fn push_conn(&self, stream: TcpStream) {
+        self.inbox.lock().unwrap().conns.push(stream);
+        self.wake.wake();
+    }
+
+    fn push_reply(&self, token: usize, response: Response) {
+        self.inbox.lock().unwrap().replies.push((token, response));
+        self.wake.wake();
+    }
 }
 
 struct Shared {
     registry: Arc<CorpusRegistry>,
     config: ServerConfig,
-    /// Accepted connections waiting for a driver.
-    conns: Bounded<TcpStream>,
     /// Overflow connections waiting for their `503`. Writing the rejection
     /// happens off the acceptor thread so a slow overflow client cannot
     /// stall admission; this queue is bounded too — when even it is full,
@@ -188,14 +277,18 @@ struct Shared {
     rejects: Bounded<TcpStream>,
     /// Parsed pipeline requests, per-tenant bounded, drained in DRR order.
     requests: FairQueue<Job>,
+    /// The event loops, indexed by the acceptor's round-robin.
+    loops: Vec<Arc<LoopShared>>,
+    /// Connections admitted and not yet closed, across all loops.
+    open_connections: AtomicUsize,
     shutdown: AtomicBool,
     counters: Counters,
 }
 
 /// A running HTTP front end over a [`CorpusRegistry`].
 ///
-/// Dropping the server shuts it down: the listener stops accepting, queued
-/// connections drain, and every thread is joined.
+/// Dropping the server shuts it down: the listener stops accepting, open
+/// connections finish their in-flight exchange, and every thread is joined.
 pub struct Server {
     addr: SocketAddr,
     shared: Arc<Shared>,
@@ -206,23 +299,32 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds the listener and spawns the acceptor, driver, and compute
+    /// Binds the listener and spawns the acceptor, event-loop, and compute
     /// threads.
     pub fn spawn(registry: Arc<CorpusRegistry>, config: ServerConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let workers = config.workers.max(1);
-        let drivers = config.driver_count();
+        let driver_count = config.driver_count();
+        let loops = (0..driver_count)
+            .map(|_| {
+                Ok(Arc::new(LoopShared {
+                    wake: WakePipe::new()?,
+                    inbox: Mutex::new(Inbox::default()),
+                }))
+            })
+            .collect::<io::Result<Vec<_>>>()?;
         let shared = Arc::new(Shared {
             registry,
-            conns: Bounded::new(config.queue_capacity),
             rejects: Bounded::new((config.queue_capacity * 4).clamp(16, 256)),
             requests: FairQueue::with_weights(
                 config.queue_capacity,
                 config.tenant_queue_capacity,
                 config.tenant_weights.clone(),
             ),
+            loops,
             config,
+            open_connections: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
             counters: Counters::default(),
         });
@@ -238,12 +340,15 @@ impl Server {
                 .name("rpg-reject".to_string())
                 .spawn(move || rejector_loop(&shared))?
         };
-        let drivers = (0..drivers)
+        let drivers = (0..driver_count)
             .map(|i| {
                 let shared = shared.clone();
                 std::thread::Builder::new()
-                    .name(format!("rpg-conn-{i}"))
-                    .spawn(move || driver_loop(&shared))
+                    .name(format!("rpg-loop-{i}"))
+                    .spawn(move || {
+                        let me = shared.loops[i].clone();
+                        event_loop(&shared, &me);
+                    })
             })
             .collect::<io::Result<Vec<_>>>()?;
         let workers = (0..workers)
@@ -274,9 +379,15 @@ impl Server {
         &self.shared.registry
     }
 
-    /// Connections currently waiting for a driver.
-    pub fn queue_depth(&self) -> usize {
-        self.shared.conns.depth()
+    /// Connections currently open across all event loops.
+    pub fn open_connections(&self) -> usize {
+        self.shared.open_connections.load(Ordering::SeqCst)
+    }
+
+    /// Event-loop driver threads serving all connections — fixed at spawn,
+    /// independent of how many connections are open.
+    pub fn driver_threads(&self) -> usize {
+        self.drivers.len()
     }
 
     /// Pipeline requests currently queued for compute, across all tenants.
@@ -294,6 +405,7 @@ impl Server {
         let counters = &self.shared.counters;
         StatsSnapshot {
             accepted: counters.accepted.load(Ordering::Relaxed),
+            open_connections: self.open_connections() as u64,
             rejected: counters.rejected.load(Ordering::Relaxed),
             throttled: counters.throttled.load(Ordering::Relaxed),
             handled: counters.handled.load(Ordering::Relaxed),
@@ -304,7 +416,7 @@ impl Server {
         }
     }
 
-    /// Stops accepting, drains queued work, and joins every thread.
+    /// Stops accepting, drains in-flight work, and joins every thread.
     /// Idempotent; also runs on drop.
     pub fn shutdown(&mut self) {
         if self.shared.shutdown.swap(true, Ordering::SeqCst) {
@@ -315,10 +427,12 @@ impl Server {
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
         }
-        // Drivers must drain before the compute pool closes: a driver may
-        // be parked on a reply channel that only a live compute worker can
-        // fulfill.
-        self.shared.conns.close();
+        // Event loops drain before the compute pool closes: a connection in
+        // `ComputeInFlight` exits its loop only once a live compute worker
+        // has posted its reply.
+        for loop_shared in &self.shared.loops {
+            loop_shared.wake.wake();
+        }
         for driver in self.drivers.drain(..) {
             let _ = driver.join();
         }
@@ -340,6 +454,9 @@ impl Drop for Server {
 }
 
 fn accept_loop(listener: TcpListener, shared: &Shared) {
+    // Round-robin target; the acceptor is single-threaded, so a local
+    // counter suffices.
+    let mut next = 0usize;
     loop {
         match listener.accept() {
             Ok((stream, _peer)) => {
@@ -347,13 +464,18 @@ fn accept_loop(listener: TcpListener, shared: &Shared) {
                     break;
                 }
                 shared.counters.accepted.fetch_add(1, Ordering::Relaxed);
-                if let Err(stream) = shared.conns.try_push(stream) {
+                if shared.open_connections.load(Ordering::SeqCst) >= shared.config.max_connections {
                     shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
                     // Hand the 503 to the rejector thread; if even the
                     // reject queue is full, drop the connection — admission
                     // never blocks and never buffers unboundedly.
                     let _ = shared.rejects.try_push(stream);
+                    continue;
                 }
+                shared.open_connections.fetch_add(1, Ordering::SeqCst);
+                let target = &shared.loops[next % shared.loops.len()];
+                next = next.wrapping_add(1);
+                target.push_conn(stream);
             }
             Err(_) => {
                 if shared.shutdown.load(Ordering::SeqCst) {
@@ -368,7 +490,7 @@ fn accept_loop(listener: TcpListener, shared: &Shared) {
     }
 }
 
-/// Answers the connections the queue would not admit.
+/// Answers the connections the acceptor would not admit.
 ///
 /// The request bytes are never read, so closing immediately after the
 /// write would leave unread data in the receive buffer — on close that
@@ -384,124 +506,529 @@ fn rejector_loop(shared: &Shared) {
         // Half-close: the FIN lets the client finish reading the response
         // immediately; the drain then consumes its unread request bytes so
         // the final close doesn't RST.
-        let _ = stream.shutdown(std::net::Shutdown::Write);
+        let _ = stream.shutdown(Shutdown::Write);
         drain_bounded(&stream);
     }
 }
 
-fn driver_loop(shared: &Shared) {
-    while let Some(stream) = shared.conns.pop() {
-        handle_connection(stream, shared);
+fn drain_bounded(stream: &TcpStream) {
+    // Both a byte cap and a wall-clock deadline: without the deadline, a
+    // client trickling one byte per (sub-timeout) interval could pin this
+    // thread for as long as the byte cap lasts.
+    let deadline = Instant::now() + Duration::from_secs(2);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let mut chunk = [0u8; 16 * 1024];
+    let mut drained = 0usize;
+    let mut stream = stream;
+    while drained < DRAIN_BYTE_CAP && Instant::now() < deadline {
+        match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => drained += n,
+        }
     }
 }
 
-/// What the idle wait between requests on a persistent connection saw.
-enum IdleWait {
-    /// Bytes arrived; go parse a request.
-    Ready,
-    /// Nothing arrived within the idle timeout.
-    TimedOut,
-    /// The peer closed (or the socket failed).
-    Gone,
-    /// The server is shutting down.
-    Shutdown,
+/// How many bytes a closing connection will read-and-discard so the final
+/// close does not RST a response still in flight.
+const DRAIN_BYTE_CAP: usize = 1024 * 1024;
+
+/// How long a closing connection stays in `Draining` waiting for the
+/// peer's FIN before giving up.
+const DRAIN_DEADLINE: Duration = Duration::from_secs(2);
+
+/// The per-connection state machine phase (see the module docs for the
+/// transition diagram).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Between requests on a persistent connection; the idle deadline runs.
+    Idle,
+    /// The first bytes of a request arrived; the head terminator has not.
+    ReadingHead,
+    /// The head parsed cleanly; the `Content-Length` body is still short.
+    ReadingBody,
+    /// A request was admitted to the compute queue; the connection holds
+    /// no poll interest and waits for the worker's reply via the wake
+    /// pipe.
+    ComputeInFlight,
+    /// A response is being written; `POLLOUT` drives progress.
+    Writing,
+    /// The final response is written and the write side half-closed; reads
+    /// are discarded until FIN so the close cannot RST the response.
+    Draining,
 }
 
-/// Waits for the next request's first byte without consuming it, in short
-/// slices so shutdown stays responsive. `peek` keeps the byte in the kernel
-/// buffer for the parser.
-fn wait_for_data(stream: &TcpStream, shared: &Shared, idle: Duration) -> IdleWait {
-    let deadline = Instant::now() + idle;
-    let mut probe = [0u8; 1];
+/// Whether a connection survives the event that was just processed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Flow {
+    Keep,
+    Close,
+}
+
+struct Connection {
+    stream: TcpStream,
+    parse: RequestBuffer,
+    phase: Phase,
+    /// The phase's deadline (`None` only in `ComputeInFlight`); the loop's
+    /// poll timeout is the minimum over these.
+    deadline: Option<Instant>,
+    /// Requests parsed on this connection, against the per-connection
+    /// budget.
+    served: usize,
+    /// Bytes queued for the wire (interim `100 Continue`s and the current
+    /// response) with the write cursor — partial writes resume here on the
+    /// next `POLLOUT`.
+    out: Vec<u8>,
+    out_pos: usize,
+    /// The keep-alive decision made when the current request was parsed;
+    /// applied once its response fully drains.
+    keep_alive_after: bool,
+    /// Bytes discarded so far in `Draining`.
+    drained: usize,
+}
+
+impl Connection {
+    fn new(stream: TcpStream, now: Instant, idle_timeout: Duration) -> Connection {
+        Connection {
+            stream,
+            parse: RequestBuffer::new(),
+            phase: Phase::Idle,
+            deadline: Some(now + idle_timeout),
+            served: 0,
+            out: Vec::new(),
+            out_pos: 0,
+            keep_alive_after: false,
+            drained: 0,
+        }
+    }
+
+    fn out_pending(&self) -> bool {
+        self.out_pos < self.out.len()
+    }
+
+    /// The poll interest for the current phase; `None` keeps the
+    /// connection out of the poll set entirely.
+    fn interest(&self) -> Option<i16> {
+        match self.phase {
+            Phase::Idle | Phase::ReadingHead | Phase::ReadingBody => {
+                // Reading phases may still owe the client an interim
+                // `100 Continue` that did not fit the socket buffer.
+                let events = if self.out_pending() {
+                    POLLIN | POLLOUT
+                } else {
+                    POLLIN
+                };
+                Some(events)
+            }
+            Phase::Writing => Some(POLLOUT),
+            Phase::Draining => Some(POLLIN),
+            Phase::ComputeInFlight => None,
+        }
+    }
+
+    /// Writes as much pending output as the socket accepts. `Ok(true)`
+    /// means the buffer fully drained.
+    fn flush_out(&mut self) -> io::Result<bool> {
+        while self.out_pos < self.out.len() {
+            match (&self.stream).write(&self.out[self.out_pos..]) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => self.out_pos += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) => return Err(e),
+            }
+        }
+        self.out.clear();
+        self.out_pos = 0;
+        // Connections are long-lived under the event loop: without this, an
+        // idle socket would pin the allocation of its largest past response
+        // (batch responses reach hundreds of KB) for its whole lifetime.
+        if self.out.capacity() > 64 * 1024 {
+            self.out = Vec::new();
+        }
+        Ok(true)
+    }
+
+    /// Queues a response behind any pending interim bytes and enters
+    /// `Writing` (the caller's `advance` drives the flush).
+    fn start_response(
+        &mut self,
+        response: &Response,
+        keep_alive: bool,
+        now: Instant,
+        shared: &Shared,
+    ) {
+        if self.out.is_empty() {
+            // The common case (no interim bytes pending): take the wire
+            // buffer as-is instead of copying it.
+            self.out = response.to_bytes(keep_alive);
+            self.out_pos = 0;
+        } else {
+            self.out.extend_from_slice(&response.to_bytes(keep_alive));
+        }
+        self.keep_alive_after = keep_alive;
+        self.phase = Phase::Writing;
+        self.deadline = Some(now + shared.config.read_timeout);
+    }
+}
+
+fn event_loop(shared: &Shared, me: &Arc<LoopShared>) {
+    let mut slots: Vec<Option<Connection>> = Vec::new();
+    let mut pollfds: Vec<PollFd> = Vec::new();
+    let mut poll_tokens: Vec<usize> = Vec::new();
     loop {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            return IdleWait::Shutdown;
+        let shutting_down = shared.shutdown.load(Ordering::SeqCst);
+        // 1. Harvest the inbox: new connections and finished compute
+        // replies.
+        let (new_conns, replies) = {
+            let mut inbox = me.inbox.lock().unwrap();
+            (
+                std::mem::take(&mut inbox.conns),
+                std::mem::take(&mut inbox.replies),
+            )
+        };
+        let now = Instant::now();
+        for stream in new_conns {
+            if shutting_down {
+                shared.open_connections.fetch_sub(1, Ordering::SeqCst);
+                continue;
+            }
+            register(&mut slots, stream, now, shared);
         }
-        let remaining = deadline.saturating_duration_since(Instant::now());
-        if remaining.is_zero() {
-            return IdleWait::TimedOut;
+        for (token, response) in replies {
+            if let Some(conn) = slots.get_mut(token).and_then(Option::as_mut) {
+                // Honour the keep-alive decision made at parse time, unless
+                // the server started draining in the meantime.
+                let keep_alive = conn.keep_alive_after && !shutting_down;
+                record_response(shared, response.status);
+                conn.start_response(&response, keep_alive, now, shared);
+                if advance(conn, shared, me, token, now) == Flow::Close {
+                    close_slot(&mut slots, token, shared);
+                }
+            }
         }
-        let slice = remaining
-            .min(Duration::from_millis(100))
-            .max(Duration::from_millis(1));
-        if stream.set_read_timeout(Some(slice)).is_err() {
-            return IdleWait::Gone;
+        // 2. On shutdown, connections with no response in flight close
+        // immediately; `ComputeInFlight` and `Writing` finish their
+        // exchange, `Draining` finishes its bounded drain.
+        if shutting_down {
+            for token in 0..slots.len() {
+                let closable = matches!(
+                    slots[token].as_ref().map(|c| c.phase),
+                    Some(Phase::Idle | Phase::ReadingHead | Phase::ReadingBody)
+                );
+                if closable {
+                    close_slot(&mut slots, token, shared);
+                }
+            }
+            if slots.iter().all(Option::is_none) {
+                return;
+            }
         }
-        match stream.peek(&mut probe) {
-            Ok(0) => return IdleWait::Gone,
-            Ok(_) => return IdleWait::Ready,
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-                ) => {}
-            Err(_) => return IdleWait::Gone,
+        // 3. Build the poll set: the wake pipe plus every connection with
+        // an interest.
+        pollfds.clear();
+        poll_tokens.clear();
+        pollfds.push(PollFd::new(me.wake.read_fd(), POLLIN));
+        let mut next_deadline: Option<Instant> = None;
+        for (token, slot) in slots.iter().enumerate() {
+            let Some(conn) = slot.as_ref() else { continue };
+            if let Some(events) = conn.interest() {
+                pollfds.push(PollFd::new(conn.stream.as_raw_fd(), events));
+                poll_tokens.push(token);
+            }
+            if let Some(deadline) = conn.deadline {
+                next_deadline =
+                    Some(next_deadline.map_or(deadline, |current| current.min(deadline)));
+            }
+        }
+        // 4. Sleep until the earliest deadline, capped defensively so a
+        // lost wake can never park the loop for long.
+        let now = Instant::now();
+        let timeout = next_deadline
+            .map(|deadline| deadline.saturating_duration_since(now))
+            .unwrap_or(Duration::from_millis(500))
+            .min(Duration::from_millis(500));
+        if sys::poll_fds(&mut pollfds, Some(timeout)).is_err() {
+            // EINVAL et al. are programming errors; treated as a timeout
+            // tick so the loop stays alive (deadlines still fire).
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        if pollfds[0].has(POLLIN) {
+            me.wake.drain();
+        }
+        // 5. Dispatch readiness per connection.
+        let now = Instant::now();
+        for (pollfd, &token) in pollfds[1..].iter().zip(&poll_tokens) {
+            let Some(conn) = slots.get_mut(token).and_then(Option::as_mut) else {
+                continue;
+            };
+            if pollfd.has(POLLERR | POLLNVAL) {
+                close_slot(&mut slots, token, shared);
+                continue;
+            }
+            if pollfd.has(POLLIN | POLLOUT | POLLHUP)
+                && handle_ready(conn, pollfd, shared, me, token, now) == Flow::Close
+            {
+                close_slot(&mut slots, token, shared);
+            }
+        }
+        // 6. Enforce deadlines.
+        let now = Instant::now();
+        for token in 0..slots.len() {
+            let expired = slots[token]
+                .as_ref()
+                .is_some_and(|conn| conn.deadline.is_some_and(|deadline| deadline <= now));
+            if !expired {
+                continue;
+            }
+            let conn = slots[token].as_mut().expect("expired slot is live");
+            if expire(conn, shared, me, token, now) == Flow::Close {
+                close_slot(&mut slots, token, shared);
+            }
         }
     }
 }
 
-/// Runs the multi-exchange loop on one connection: parse a request from the
-/// persistent buffer, respond, and keep going while both sides want
-/// keep-alive and the per-connection request budget lasts.
-fn handle_connection(stream: TcpStream, shared: &Shared) {
-    let config = &shared.config;
-    let _ = stream.set_write_timeout(Some(config.read_timeout));
+fn register(slots: &mut Vec<Option<Connection>>, stream: TcpStream, now: Instant, shared: &Shared) {
+    if stream.set_nonblocking(true).is_err() {
+        shared.open_connections.fetch_sub(1, Ordering::SeqCst);
+        return;
+    }
     // Responses are small and latency-bound: never let Nagle hold one back
     // waiting for a delayed ACK on a persistent connection.
     let _ = stream.set_nodelay(true);
-    // Reads and writes both go through `&TcpStream`, so the reader's buffer
-    // and the response writer share the socket without a `try_clone`.
-    let mut reader = RequestReader::new(&stream);
-    let max_requests = config.max_requests_per_connection.max(1);
-    let mut served = 0usize;
+    let conn = Connection::new(stream, now, shared.config.idle_timeout);
+    match slots.iter_mut().find(|slot| slot.is_none()) {
+        Some(slot) => *slot = Some(conn),
+        None => slots.push(Some(conn)),
+    }
+}
+
+fn close_slot(slots: &mut [Option<Connection>], token: usize, shared: &Shared) {
+    if slots[token].take().is_some() {
+        shared.open_connections.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Feeds one readiness event into a connection and advances its state
+/// machine as far as the buffered bytes allow.
+fn handle_ready(
+    conn: &mut Connection,
+    pollfd: &PollFd,
+    shared: &Shared,
+    me: &Arc<LoopShared>,
+    token: usize,
+    now: Instant,
+) -> Flow {
+    if pollfd.has(POLLIN | POLLHUP)
+        && matches!(
+            conn.phase,
+            Phase::Idle | Phase::ReadingHead | Phase::ReadingBody
+        )
+    {
+        // Consume what the kernel has buffered in one tick instead of one
+        // 16 KiB chunk per poll round — a large body would otherwise pay a
+        // full poll-set rebuild per chunk. The iteration cap keeps one
+        // fire-hosing client from monopolising the loop; leftover bytes
+        // re-report as readable on the next (immediate) poll.
+        let mut peer_eof = false;
+        for _ in 0..16 {
+            match conn.parse.read_from(&mut &conn.stream) {
+                Ok(0) => {
+                    peer_eof = true;
+                    break;
+                }
+                Ok(_) => {}
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(_) => return Flow::Close,
+            }
+        }
+        if peer_eof {
+            // The peer's data and FIN may land in the same readiness
+            // batch (write-then-shutdown is a legal client pattern), so
+            // any fully buffered requests are served *first*; only what
+            // remains after parsing counts as truncation.
+            let flow = advance(conn, shared, me, token, now);
+            if flow == Flow::Close
+                || !matches!(
+                    conn.phase,
+                    Phase::Idle | Phase::ReadingHead | Phase::ReadingBody
+                )
+            {
+                // A response is in flight (or the connection is closing);
+                // the still-readable EOF is re-observed on a later tick.
+                return flow;
+            }
+            if conn.phase == Phase::Idle && !conn.parse.has_buffered() {
+                // Clean goodbye between requests.
+                return Flow::Close;
+            }
+            // A partial request was truncated mid-stream: tell the peer
+            // why before closing — it may have half-closed and still be
+            // reading (matching the blocking parser's `Incomplete`).
+            let e = http::HttpError::Incomplete;
+            let response = Response::json(e.status(), error_body(&e.message()));
+            record_response(shared, response.status);
+            conn.start_response(&response, false, now, shared);
+        }
+    }
+    advance(conn, shared, me, token, now)
+}
+
+/// Runs the state machine until it needs more I/O readiness, more compute,
+/// or decides to close. This is the only place phases transition.
+fn advance(
+    conn: &mut Connection,
+    shared: &Shared,
+    me: &Arc<LoopShared>,
+    token: usize,
+    now: Instant,
+) -> Flow {
     loop {
-        // Between requests the connection is idle: wait for the first byte
-        // of the next request (or give up) before arming the stricter
-        // in-request read timeout. Pipelined bytes skip the wait entirely.
-        if !reader.has_buffered() {
-            match wait_for_data(&stream, shared, config.idle_timeout) {
-                IdleWait::Ready => {}
-                IdleWait::TimedOut | IdleWait::Gone | IdleWait::Shutdown => return,
+        match conn.phase {
+            Phase::Idle | Phase::ReadingHead | Phase::ReadingBody => {
+                // An interim `100 Continue` may still be queued; push it
+                // while the socket allows.
+                if conn.out_pending() && conn.flush_out().is_err() {
+                    return Flow::Close;
+                }
+                let mut wants_continue = false;
+                match conn
+                    .parse
+                    .try_parse(&shared.config.limits, || wants_continue = true)
+                {
+                    Ok(Parse::Complete(request)) => {
+                        if wants_continue {
+                            conn.out.extend_from_slice(http::CONTINUE);
+                        }
+                        if handle_request(conn, &request, shared, me, token, now) == Flow::Close {
+                            return Flow::Close;
+                        }
+                        // `ComputeInFlight` waits for the worker; `Writing`
+                        // loops back in to flush.
+                        if conn.phase == Phase::ComputeInFlight {
+                            return Flow::Keep;
+                        }
+                    }
+                    Ok(Parse::NeedHead) => {
+                        if conn.phase == Phase::Idle && conn.parse.has_buffered() {
+                            // First bytes of a new request: the per-request
+                            // read deadline starts now.
+                            conn.phase = Phase::ReadingHead;
+                            conn.deadline = Some(now + shared.config.read_timeout);
+                        }
+                        return Flow::Keep;
+                    }
+                    Ok(Parse::NeedBody) => {
+                        if wants_continue {
+                            conn.out.extend_from_slice(http::CONTINUE);
+                            if conn.flush_out().is_err() {
+                                return Flow::Close;
+                            }
+                        }
+                        if conn.phase == Phase::Idle {
+                            // Head arrived in one gulp off an idle socket.
+                            conn.deadline = Some(now + shared.config.read_timeout);
+                        }
+                        conn.phase = Phase::ReadingBody;
+                        return Flow::Keep;
+                    }
+                    Err(e) => {
+                        // Framing is lost after a parse error, so the
+                        // connection always closes — which is also what
+                        // keeps the conformance rejections (`501`
+                        // Transfer-Encoding, duplicate Content-Length
+                        // `400`) smuggling-proof.
+                        let response = Response::json(e.status(), error_body(&e.message()));
+                        record_response(shared, response.status);
+                        conn.start_response(&response, false, now, shared);
+                    }
+                }
             }
-        }
-        let _ = stream.set_read_timeout(Some(config.read_timeout));
-        let parsed = reader.read_request(&config.limits, || {
-            let _ = http::write_continue(&mut &stream);
-        });
-        let request = match parsed {
-            Ok(request) => request,
-            Err(e) => {
-                // Framing is lost after a parse error, so the connection
-                // always closes — which is also what keeps the conformance
-                // rejections (`501` Transfer-Encoding, duplicate
-                // Content-Length `400`) smuggling-proof.
-                let response = Response::json(e.status(), error_body(&e.message()));
-                record_response(shared, response.status);
-                let _ = response.write_to(&mut &stream, false);
-                close_draining(&stream);
-                return;
+            Phase::Writing => {
+                let progress_mark = conn.out_pos;
+                match conn.flush_out() {
+                    Err(_) => return Flow::Close,
+                    Ok(false) => {
+                        // The deadline is progress-based, like the old
+                        // per-write socket timeout: a slow-but-moving
+                        // reader of a large response gets a fresh window
+                        // with every accepted chunk, while a fully stalled
+                        // one is still cut off after `read_timeout`.
+                        if conn.out_pos > progress_mark {
+                            conn.deadline = Some(now + shared.config.read_timeout);
+                        }
+                        return Flow::Keep;
+                    }
+                    Ok(true) => {
+                        if conn.keep_alive_after && !shared.shutdown.load(Ordering::SeqCst) {
+                            conn.phase = Phase::Idle;
+                            conn.deadline = Some(now + shared.config.idle_timeout);
+                            // Pipelined bytes already buffered parse
+                            // without waiting for the socket: loop
+                            // straight back in.
+                        } else {
+                            // Half-close, then discard whatever the client
+                            // still sends: closing with unread bytes in
+                            // the kernel buffer triggers an RST that can
+                            // destroy the final response in flight.
+                            let _ = conn.stream.shutdown(Shutdown::Write);
+                            conn.phase = Phase::Draining;
+                            conn.deadline = Some(now + DRAIN_DEADLINE);
+                            conn.drained = 0;
+                            return Flow::Keep;
+                        }
+                    }
+                }
             }
-        };
-        served += 1;
-        let keep_alive = config.keep_alive
-            && request.keep_alive
-            && served < max_requests
-            && !shared.shutdown.load(Ordering::SeqCst);
-        // A panic inside the pipeline must never take a thread down with
-        // it — compute workers guard their side; this guards the driver's
-        // inline routes.
-        let response = catch_unwind(AssertUnwindSafe(|| respond(&request, shared)))
-            .unwrap_or_else(|_| Response::json(500, error_body("internal error")));
-        record_response(shared, response.status);
-        let written = response.write_to(&mut &stream, keep_alive);
-        if !keep_alive || written.is_err() {
-            // Drain unconditionally: pipelined bytes may sit in the kernel
-            // receive buffer without having reached the parse buffer yet,
-            // and closing with unread bytes triggers an RST that can
-            // destroy the final response in flight.
-            close_draining(&stream);
-            return;
+            Phase::Draining => {
+                let mut chunk = [0u8; 16 * 1024];
+                loop {
+                    match (&conn.stream).read(&mut chunk) {
+                        Ok(0) => return Flow::Close,
+                        Ok(n) => {
+                            conn.drained += n;
+                            if conn.drained >= DRAIN_BYTE_CAP {
+                                return Flow::Close;
+                            }
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Flow::Keep,
+                        Err(_) => return Flow::Close,
+                    }
+                }
+            }
+            Phase::ComputeInFlight => return Flow::Keep,
         }
+    }
+}
+
+/// Handles a phase deadline firing.
+fn expire(
+    conn: &mut Connection,
+    shared: &Shared,
+    me: &Arc<LoopShared>,
+    token: usize,
+    now: Instant,
+) -> Flow {
+    match conn.phase {
+        // An idle keep-alive connection that outlived its welcome closes
+        // silently, exactly like the blocking driver's idle wait did.
+        Phase::Idle => Flow::Close,
+        // Mid-request the client gets told why before the close: the whole
+        // request must arrive within the read deadline, however slowly it
+        // trickles.
+        Phase::ReadingHead | Phase::ReadingBody => {
+            let e = http::HttpError::Timeout;
+            let response = Response::json(e.status(), error_body(&e.message()));
+            record_response(shared, response.status);
+            conn.start_response(&response, false, now, shared);
+            advance(conn, shared, me, token, now)
+        }
+        // A peer too slow to take its response (or its FIN) forfeits the
+        // courtesy drain.
+        Phase::Writing | Phase::Draining => Flow::Close,
+        Phase::ComputeInFlight => Flow::Keep,
     }
 }
 
@@ -515,47 +1042,89 @@ fn record_response(shared: &Shared, status: u16) {
     };
 }
 
-/// Half-closes, then drains a bounded amount so the final close does not
-/// RST a response the client has not read yet.
-fn close_draining(stream: &TcpStream) {
-    let _ = stream.shutdown(std::net::Shutdown::Write);
-    drain_bounded(stream);
-}
-
-fn drain_bounded(stream: &TcpStream) {
-    use std::io::Read;
-    // Both a byte cap and a wall-clock deadline: without the deadline, a
-    // client trickling one byte per (sub-timeout) interval could pin this
-    // thread for as long as the byte cap lasts.
-    let deadline = Instant::now() + Duration::from_secs(2);
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
-    let mut chunk = [0u8; 16 * 1024];
-    let mut drained = 0usize;
-    let mut stream = stream;
-    while drained < 1024 * 1024 && Instant::now() < deadline {
-        match stream.read(&mut chunk) {
-            Ok(0) | Err(_) => break,
-            Ok(n) => drained += n,
+/// Parses one request's routing outcome: answered inline on the loop, or
+/// admitted to the compute queue with the reply addressed back here.
+fn handle_request(
+    conn: &mut Connection,
+    request: &Request,
+    shared: &Shared,
+    me: &Arc<LoopShared>,
+    token: usize,
+    now: Instant,
+) -> Flow {
+    conn.served += 1;
+    let config = &shared.config;
+    let keep_alive = config.keep_alive
+        && request.keep_alive
+        && conn.served < config.max_requests_per_connection.max(1)
+        && !shared.shutdown.load(Ordering::SeqCst);
+    conn.keep_alive_after = keep_alive;
+    // A panic inside a handler must never take the event loop down with
+    // it — compute workers guard their side; this guards the loop's inline
+    // routes.
+    let routed = catch_unwind(AssertUnwindSafe(|| route(request, shared, me, token)))
+        .unwrap_or_else(|_| Routed::Inline(Response::json(500, error_body("internal error"))));
+    match routed {
+        Routed::Inline(response) => {
+            record_response(shared, response.status);
+            conn.start_response(&response, keep_alive, now, shared);
+            Flow::Keep
+        }
+        Routed::Queued => {
+            conn.phase = Phase::ComputeInFlight;
+            conn.deadline = None;
+            Flow::Keep
         }
     }
 }
 
-/// Routes one request: cheap endpoints inline on the driver, pipeline work
+/// Where a request went after routing.
+enum Routed {
+    /// Answered on the event loop without touching the compute pool.
+    Inline(Response),
+    /// Admitted to the fair queue; a compute worker will post the reply.
+    Queued,
+}
+
+/// Routes one request: cheap endpoints inline on the loop, pipeline work
 /// through the per-tenant fair queue.
-fn respond(request: &Request, shared: &Shared) -> Response {
+fn route(request: &Request, shared: &Shared, me: &Arc<LoopShared>, token: usize) -> Routed {
     match (request.method.as_str(), request.path.as_str()) {
-        ("POST", "/v1/generate") => admit_generate(request, shared),
-        ("POST", "/v1/batch") => admit_batch(request, shared),
-        ("GET", "/v1/healthz") => handle_healthz(shared),
-        ("GET", "/v1/stats") => handle_stats(shared),
-        (_, "/v1/generate") | (_, "/v1/batch") => {
-            Response::json(405, error_body("method not allowed")).with_header("allow", "POST")
+        ("POST", "/v1/generate") => admit_generate(request, shared, me, token),
+        ("POST", "/v1/batch") => admit_batch(request, shared, me, token),
+        ("GET", "/v1/healthz") => Routed::Inline(handle_healthz(shared)),
+        ("GET", "/v1/stats") => Routed::Inline(handle_stats(shared)),
+        (method, path) => {
+            if let Some(tenant) = refresh_target(path) {
+                return if method == "POST" {
+                    admit_refresh(tenant, shared, me, token)
+                } else {
+                    Routed::Inline(
+                        Response::json(405, error_body("method not allowed"))
+                            .with_header("allow", "POST"),
+                    )
+                };
+            }
+            Routed::Inline(match (method, path) {
+                (_, "/v1/generate") | (_, "/v1/batch") => {
+                    Response::json(405, error_body("method not allowed"))
+                        .with_header("allow", "POST")
+                }
+                (_, "/v1/healthz") | (_, "/v1/stats") => {
+                    Response::json(405, error_body("method not allowed"))
+                        .with_header("allow", "GET")
+                }
+                _ => Response::json(404, error_body("no such endpoint")),
+            })
         }
-        (_, "/v1/healthz") | (_, "/v1/stats") => {
-            Response::json(405, error_body("method not allowed")).with_header("allow", "GET")
-        }
-        _ => Response::json(404, error_body("no such endpoint")),
     }
+}
+
+/// The tenant named by a `/v1/corpora/:name/refresh` path, if this is one.
+fn refresh_target(path: &str) -> Option<&str> {
+    path.strip_prefix("/v1/corpora/")
+        .and_then(|rest| rest.strip_suffix("/refresh"))
+        .filter(|name| !name.is_empty() && !name.contains('/'))
 }
 
 fn parse_body<T: Deserialize>(body: &[u8]) -> Result<T, Response> {
@@ -565,45 +1134,50 @@ fn parse_body<T: Deserialize>(body: &[u8]) -> Result<T, Response> {
         .map_err(|e| Response::json(400, error_body(&format!("invalid request body: {e}"))))
 }
 
-/// Validates a generate request on the driver (cheap), then queues it under
+/// Validates a generate request on the loop (cheap), then queues it under
 /// its tenant. Request-level errors never consume queue budget.
-fn admit_generate(request: &Request, shared: &Shared) -> Response {
+fn admit_generate(
+    request: &Request,
+    shared: &Shared,
+    me: &Arc<LoopShared>,
+    token: usize,
+) -> Routed {
     let dto: GenerateRequest = match parse_body(&request.body) {
         Ok(dto) => dto,
-        Err(response) => return response,
+        Err(response) => return Routed::Inline(response),
     };
     // Resolve before the corpus check so a bad variant is a 400 even for
     // an unknown corpus; the resolved form rides the job to the compute
     // worker so validation happens exactly once.
     let resolved = match ResolvedRequest::resolve(&dto) {
         Ok(resolved) => resolved,
-        Err(e) => return Response::json(e.status, e.body()),
+        Err(e) => return Routed::Inline(Response::json(e.status, e.body())),
     };
     let tenant = dto.tenant(&shared.config.default_corpus);
     if !shared.registry.contains(tenant) {
         let e = registry_error(RegistryError::UnknownCorpus(tenant.to_string()));
-        return Response::json(e.status, e.body());
+        return Routed::Inline(Response::json(e.status, e.body()));
     }
     let tenant = tenant.to_string();
     let work = Work::Generate(tenant.clone(), resolved);
-    submit(shared, &tenant, work)
+    submit(shared, &tenant, work, me, token)
 }
 
 /// Queues a batch under the corpus all its items agree on (per-item corpus
 /// routing — and per-item failure — still happens in the compute worker).
-fn admit_batch(request: &Request, shared: &Shared) -> Response {
+fn admit_batch(request: &Request, shared: &Shared, me: &Arc<LoopShared>, token: usize) -> Routed {
     let batch: BatchRequest = match parse_body(&request.body) {
         Ok(batch) => batch,
-        Err(response) => return response,
+        Err(response) => return Routed::Inline(response),
     };
     if batch.requests.len() > MAX_BATCH {
-        return Response::json(
+        return Routed::Inline(Response::json(
             400,
             error_body(&format!(
                 "batch of {} exceeds the {MAX_BATCH}-request limit",
                 batch.requests.len()
             )),
-        );
+        ));
     }
     let tenant = batch.tenant(&shared.config.default_corpus);
     // An unknown first corpus falls back to the default tenant's budget so
@@ -614,33 +1188,54 @@ fn admit_batch(request: &Request, shared: &Shared) -> Response {
     } else {
         shared.config.default_corpus.clone()
     };
-    submit(shared, &tenant, Work::Batch(batch))
+    submit(shared, &tenant, Work::Batch(batch), me, token)
 }
 
-/// Offers work to the fair queue and parks until a compute worker answers;
-/// turns per-tenant overflow into `429` and global overflow into `503`.
-fn submit(shared: &Shared, tenant: &str, work: Work) -> Response {
-    let (reply, response) = mpsc::sync_channel(1);
-    let job = Job { work, reply };
+/// Queues an artifact rebuild for one tenant, billed to that tenant.
+fn admit_refresh(tenant: &str, shared: &Shared, me: &Arc<LoopShared>, token: usize) -> Routed {
+    if !shared.registry.contains(tenant) {
+        let e = registry_error(RegistryError::UnknownCorpus(tenant.to_string()));
+        return Routed::Inline(Response::json(e.status, e.body()));
+    }
+    let tenant = tenant.to_string();
+    let work = Work::Refresh(tenant.clone());
+    submit(shared, &tenant, work, me, token)
+}
+
+/// Offers work to the fair queue; turns per-tenant overflow into `429` and
+/// global overflow into `503`, both answered inline without a reply ever
+/// being owed.
+fn submit(shared: &Shared, tenant: &str, work: Work, me: &Arc<LoopShared>, token: usize) -> Routed {
+    let job = Job {
+        work,
+        reply: Reply::new(me.clone(), token),
+    };
     let retry_after = shared.config.retry_after_secs.to_string();
     match shared.requests.try_push(tenant, job) {
-        Ok(()) => response
-            .recv()
-            .unwrap_or_else(|_| Response::json(500, error_body("request was dropped"))),
-        Err(Rejection::TenantFull(_)) => {
+        Ok(()) => Routed::Queued,
+        Err(Rejection::TenantFull(job)) => {
+            job.reply.cancel();
             shared.counters.throttled.fetch_add(1, Ordering::Relaxed);
-            Response::json(
-                429,
-                error_body(&format!("tenant {tenant:?} is at capacity, retry shortly")),
+            Routed::Inline(
+                Response::json(
+                    429,
+                    error_body(&format!("tenant {tenant:?} is at capacity, retry shortly")),
+                )
+                .with_header("retry-after", retry_after),
             )
-            .with_header("retry-after", retry_after)
         }
-        Err(Rejection::QueueFull(_)) => {
+        Err(Rejection::QueueFull(job)) => {
+            job.reply.cancel();
             shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
-            Response::json(503, error_body("server is at capacity, retry shortly"))
-                .with_header("retry-after", retry_after)
+            Routed::Inline(
+                Response::json(503, error_body("server is at capacity, retry shortly"))
+                    .with_header("retry-after", retry_after),
+            )
         }
-        Err(Rejection::Closed(_)) => Response::json(503, error_body("server is shutting down")),
+        Err(Rejection::Closed(job)) => {
+            job.reply.cancel();
+            Routed::Inline(Response::json(503, error_body("server is shutting down")))
+        }
     }
 }
 
@@ -650,9 +1245,7 @@ fn compute_loop(shared: &Shared) {
         // down with it — the request gets a 500 and the worker lives on.
         let response = catch_unwind(AssertUnwindSafe(|| execute(&job.work, shared)))
             .unwrap_or_else(|_| Response::json(500, error_body("internal error")));
-        // The rendezvous slot always has room (one send per job); a
-        // disconnected driver just discards the response.
-        let _ = job.reply.send(response);
+        job.reply.send(response);
     }
 }
 
@@ -663,6 +1256,17 @@ fn execute(work: &Work, shared: &Shared) -> Response {
             Err(e) => Response::json(e.status, e.body()),
         },
         Work::Batch(batch) => run_batch(batch, shared),
+        Work::Refresh(tenant) => match shared.registry.refresh_in_place(tenant) {
+            Ok(epoch) => json_200(&Value::Object(vec![
+                ("corpus".to_string(), Value::String(tenant.clone())),
+                ("epoch".to_string(), Value::Number(epoch as f64)),
+                ("refreshed".to_string(), Value::Bool(true)),
+            ])),
+            Err(e) => {
+                let e = registry_error(e);
+                Response::json(e.status, e.body())
+            }
+        },
     }
 }
 
@@ -783,6 +1387,18 @@ fn handle_stats(shared: &Shared) -> Response {
             "connections".to_string(),
             Value::Object(vec![
                 ("accepted".to_string(), count(&counters.accepted)),
+                (
+                    "open".to_string(),
+                    Value::Number(shared.open_connections.load(Ordering::SeqCst) as f64),
+                ),
+                (
+                    "drivers".to_string(),
+                    Value::Number(shared.loops.len() as f64),
+                ),
+                (
+                    "max".to_string(),
+                    Value::Number(shared.config.max_connections as f64),
+                ),
                 ("rejected_503".to_string(), count(&counters.rejected)),
             ]),
         ),

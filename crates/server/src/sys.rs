@@ -1,0 +1,271 @@
+//! Thin, std-only wrappers over the two OS primitives the event-driven
+//! connection layer needs: `poll(2)` readiness multiplexing and a self-pipe
+//! wake channel.
+//!
+//! The workspace builds with no external crates, so instead of `libc` or
+//! `mio` the handful of syscalls used here are declared directly via
+//! `extern "C"` against the platform's C library — this module is the one
+//! place in the crate allowed to contain `unsafe`, and every unsafe block
+//! is a plain FFI call with arguments derived from slices and fixed-size
+//! arrays owned by the caller.
+//!
+//! [`poll_fds`] blocks one event-loop thread on an arbitrary set of file
+//! descriptors with a millisecond deadline; [`WakePipe`] is the classic
+//! self-pipe trick — any thread writes a byte to wake the loop out of
+//! `poll`, and the loop drains the pipe on wake so the next write wakes it
+//! again. Both ends are nonblocking: a full pipe means a wake is already
+//! pending, which is exactly the semantic we want.
+#![allow(unsafe_code)]
+
+use std::ffi::{c_int, c_void};
+use std::io;
+use std::os::unix::io::RawFd;
+use std::time::Duration;
+
+/// One entry of a `poll(2)` set — layout-compatible with `struct pollfd`.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct PollFd {
+    /// The file descriptor to watch (negative entries are ignored by the
+    /// kernel).
+    pub fd: RawFd,
+    /// Requested events ([`POLLIN`] / [`POLLOUT`]).
+    pub events: i16,
+    /// Returned events (may also carry [`POLLERR`] / [`POLLHUP`] /
+    /// [`POLLNVAL`], which need not be requested).
+    pub revents: i16,
+}
+
+impl PollFd {
+    /// An entry watching `fd` for `events`.
+    pub fn new(fd: RawFd, events: i16) -> PollFd {
+        PollFd {
+            fd,
+            events,
+            revents: 0,
+        }
+    }
+
+    /// Whether any of `mask`'s bits came back in `revents`.
+    pub fn has(&self, mask: i16) -> bool {
+        self.revents & mask != 0
+    }
+}
+
+/// Data may be read without blocking.
+pub const POLLIN: i16 = 0x001;
+/// Data may be written without blocking.
+pub const POLLOUT: i16 = 0x004;
+/// An error condition on the descriptor (always reported, never requested).
+pub const POLLERR: i16 = 0x008;
+/// The peer hung up (always reported, never requested).
+pub const POLLHUP: i16 = 0x010;
+/// The descriptor is not open (always reported, never requested).
+pub const POLLNVAL: i16 = 0x020;
+
+#[cfg(target_os = "linux")]
+type NfdsT = std::ffi::c_ulong;
+#[cfg(not(target_os = "linux"))]
+type NfdsT = std::ffi::c_uint;
+
+const F_GETFL: c_int = 3;
+const F_SETFL: c_int = 4;
+#[cfg(target_os = "linux")]
+const O_NONBLOCK: c_int = 0o4000;
+#[cfg(not(target_os = "linux"))]
+const O_NONBLOCK: c_int = 0x0004;
+
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: NfdsT, timeout: c_int) -> c_int;
+    fn pipe(fds: *mut c_int) -> c_int;
+    // fcntl(2) is variadic in C; declaring it with a fixed third argument
+    // would be undefined behaviour on ABIs where variadic and fixed calls
+    // differ (Apple's AAPCS64 passes varargs on the stack), so the
+    // declaration stays honestly variadic.
+    fn fcntl(fd: c_int, cmd: c_int, ...) -> c_int;
+    fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+    fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+    fn close(fd: c_int) -> c_int;
+}
+
+/// Blocks until at least one descriptor in `fds` is ready, the timeout
+/// elapses (`Ok(0)`), or a signal interrupts the wait (also `Ok(0)` — the
+/// caller's loop re-derives its deadline every tick, so a spurious early
+/// return is harmless). `None` waits indefinitely.
+///
+/// Sub-millisecond timeouts round *up*, so a deadline a few microseconds
+/// away cannot degenerate into a zero-timeout busy spin.
+pub fn poll_fds(fds: &mut [PollFd], timeout: Option<Duration>) -> io::Result<usize> {
+    let timeout_ms: c_int = match timeout {
+        None => -1,
+        Some(d) => d.as_micros().div_ceil(1000).min(c_int::MAX as u128) as c_int,
+    };
+    // SAFETY: `fds` is a live, exclusively borrowed slice of `#[repr(C)]`
+    // pollfd-compatible entries; the kernel writes only within its bounds.
+    let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as NfdsT, timeout_ms) };
+    if rc < 0 {
+        let e = io::Error::last_os_error();
+        if e.kind() == io::ErrorKind::Interrupted {
+            return Ok(0);
+        }
+        return Err(e);
+    }
+    Ok(rc as usize)
+}
+
+fn set_nonblocking(fd: RawFd) -> io::Result<()> {
+    // SAFETY: plain fcntl on a descriptor this process just created; F_GETFL
+    // reads no variadic argument.
+    let flags = unsafe { fcntl(fd, F_GETFL) };
+    if flags < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    // SAFETY: as above; F_SETFL reads one `int` vararg (int promotes
+    // through C varargs unchanged).
+    if unsafe { fcntl(fd, F_SETFL, flags | O_NONBLOCK) } < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(())
+}
+
+/// A nonblocking self-pipe: the read end sits in an event loop's `poll`
+/// set, and [`WakePipe::wake`] from any thread makes that `poll` return.
+///
+/// Wakes coalesce by design — once the pipe holds a byte, further wakes are
+/// free no-ops (`EAGAIN` on a full pipe still means "a wake is pending"),
+/// and the loop's [`WakePipe::drain`] resets it for the next round.
+#[derive(Debug)]
+pub struct WakePipe {
+    read_fd: RawFd,
+    write_fd: RawFd,
+}
+
+impl WakePipe {
+    /// Creates the pipe with both ends nonblocking.
+    pub fn new() -> io::Result<WakePipe> {
+        let mut fds = [0 as c_int; 2];
+        // SAFETY: `fds` is a stack array of exactly the two slots pipe(2)
+        // fills.
+        if unsafe { pipe(fds.as_mut_ptr()) } != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        let wake = WakePipe {
+            read_fd: fds[0],
+            write_fd: fds[1],
+        };
+        set_nonblocking(wake.read_fd)?;
+        set_nonblocking(wake.write_fd)?;
+        Ok(wake)
+    }
+
+    /// The descriptor to register for [`POLLIN`] in a poll set.
+    pub fn read_fd(&self) -> RawFd {
+        self.read_fd
+    }
+
+    /// Makes the owning loop's `poll` return. Never blocks: a full pipe
+    /// means a wake is already pending and the write is dropped.
+    pub fn wake(&self) {
+        let byte = 1u8;
+        // SAFETY: one-byte write from a live stack buffer to our own fd.
+        let _ = unsafe { write(self.write_fd, (&raw const byte).cast::<c_void>(), 1) };
+    }
+
+    /// Consumes all pending wake bytes so the next [`WakePipe::wake`]
+    /// triggers `poll` again.
+    pub fn drain(&self) {
+        let mut buf = [0u8; 64];
+        loop {
+            // SAFETY: reads into a live stack buffer of the stated length.
+            let n = unsafe { read(self.read_fd, buf.as_mut_ptr().cast::<c_void>(), buf.len()) };
+            if n <= 0 {
+                break;
+            }
+        }
+    }
+}
+
+impl Drop for WakePipe {
+    fn drop(&mut self) {
+        // SAFETY: closing descriptors this struct owns exclusively.
+        unsafe {
+            close(self.read_fd);
+            close(self.write_fd);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    #[test]
+    fn wake_makes_poll_return_and_drain_resets() {
+        let wake = WakePipe::new().unwrap();
+        let mut fds = [PollFd::new(wake.read_fd(), POLLIN)];
+        // Nothing pending: poll times out.
+        let n = poll_fds(&mut fds, Some(Duration::from_millis(10))).unwrap();
+        assert_eq!(n, 0);
+        assert!(!fds[0].has(POLLIN));
+        // A wake (or several — they coalesce) makes the read end readable.
+        wake.wake();
+        wake.wake();
+        let n = poll_fds(&mut fds, Some(Duration::from_millis(1000))).unwrap();
+        assert_eq!(n, 1);
+        assert!(fds[0].has(POLLIN));
+        // Draining resets it.
+        wake.drain();
+        fds[0].revents = 0;
+        let n = poll_fds(&mut fds, Some(Duration::from_millis(10))).unwrap();
+        assert_eq!(n, 0, "drained pipe must not stay readable");
+    }
+
+    #[test]
+    fn wake_from_another_thread_interrupts_a_long_poll() {
+        let wake = std::sync::Arc::new(WakePipe::new().unwrap());
+        let waker = wake.clone();
+        let started = Instant::now();
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            waker.wake();
+        });
+        let mut fds = [PollFd::new(wake.read_fd(), POLLIN)];
+        let n = poll_fds(&mut fds, Some(Duration::from_secs(10))).unwrap();
+        assert_eq!(n, 1);
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "poll must return on the wake, not the timeout"
+        );
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn poll_timeout_rounds_subms_up_instead_of_spinning() {
+        let wake = WakePipe::new().unwrap();
+        let mut fds = [PollFd::new(wake.read_fd(), POLLIN)];
+        let started = Instant::now();
+        let n = poll_fds(&mut fds, Some(Duration::from_micros(100))).unwrap();
+        assert_eq!(n, 0);
+        // 100µs rounds up to 1ms; mostly this asserts the call returned
+        // (zero would have been legal too, but the round-up avoids a hot
+        // spin when an event loop's deadline is microseconds away).
+        assert!(started.elapsed() >= Duration::from_micros(100));
+    }
+
+    #[test]
+    fn wake_never_blocks_even_when_the_pipe_is_full() {
+        let wake = WakePipe::new().unwrap();
+        // A pipe holds ~64KiB; far more wakes than that must all return
+        // immediately (the surplus is dropped, a wake stays pending).
+        for _ in 0..100_000 {
+            wake.wake();
+        }
+        let mut fds = [PollFd::new(wake.read_fd(), POLLIN)];
+        assert_eq!(
+            poll_fds(&mut fds, Some(Duration::from_millis(10))).unwrap(),
+            1
+        );
+        wake.drain();
+    }
+}

@@ -137,6 +137,52 @@ impl CorpusRegistry {
         Ok(())
     }
 
+    /// Rebuilds a tenant's artifacts from the corpus it already serves —
+    /// what the HTTP `POST /v1/corpora/:name/refresh` endpoint rides on
+    /// when no replacement corpus is shipped. Epoch-bump and cache-eviction
+    /// semantics are exactly those of [`CorpusRegistry::refresh`]; returns
+    /// the tenant's current epoch afterwards.
+    ///
+    /// The rebuild is epoch-guarded: if a concurrent [`refresh`] (or
+    /// re-register) swapped in a *different* corpus while this rebuild ran,
+    /// the stale in-place result is discarded instead of silently
+    /// overwriting the newer corpus — the fresher refresh already bumped
+    /// the epoch and swept the cache, so dropping the stale artifacts is
+    /// the correct no-op.
+    ///
+    /// [`refresh`]: CorpusRegistry::refresh
+    pub fn refresh_in_place(&self, name: &str) -> Result<u64, RegistryError> {
+        let (artifacts, epoch) = {
+            let tenants = self.tenants.read().unwrap();
+            let tenant = tenants
+                .get(name)
+                .ok_or_else(|| RegistryError::UnknownCorpus(name.to_string()))?;
+            (tenant.artifacts.clone(), tenant.epoch)
+        };
+        let rebuilt = CorpusArtifacts::build(artifacts.corpus_arc())
+            .map_err(|e| RegistryError::Request(RepagerError::Graph(e)))?;
+        let (new_epoch, installed) = {
+            let mut tenants = self.tenants.write().unwrap();
+            match tenants.get_mut(name) {
+                None => return Err(RegistryError::UnknownCorpus(name.to_string())),
+                // Lost to a fresher refresh mid-rebuild: keep its corpus.
+                Some(tenant) if tenant.epoch != epoch => (tenant.epoch, false),
+                Some(tenant) => {
+                    tenant.artifacts = rebuilt;
+                    tenant.epoch += 1;
+                    (tenant.epoch, true)
+                }
+            }
+        };
+        if installed {
+            self.cache
+                .lock()
+                .unwrap()
+                .retain(|key, _| key.corpus != name);
+        }
+        Ok(new_epoch)
+    }
+
     fn install(&self, name: String, artifacts: Arc<CorpusArtifacts>) {
         let replaced = {
             let mut tenants = self.tenants.write().unwrap();
@@ -395,6 +441,39 @@ mod tests {
         // Beta still hits; alpha recomputes against the refreshed corpus.
         assert!(registry.generate("beta", &beta_request).unwrap().cached);
         assert!(!registry.generate("alpha", &alpha_request).unwrap().cached);
+    }
+
+    #[test]
+    fn refresh_in_place_bumps_the_epoch_and_evicts_only_that_tenant() {
+        let registry = registry_with_two_tenants();
+        let (alpha_query, alpha_year) = first_query(&registry, "alpha");
+        let (beta_query, beta_year) = first_query(&registry, "beta");
+        let alpha_request = PathRequest {
+            max_year: Some(alpha_year),
+            ..PathRequest::new(&alpha_query, 20)
+        };
+        let beta_request = PathRequest {
+            max_year: Some(beta_year),
+            ..PathRequest::new(&beta_query, 20)
+        };
+        let before = registry.generate("alpha", &alpha_request).unwrap();
+        registry.generate("beta", &beta_request).unwrap();
+
+        assert_eq!(registry.refresh_in_place("alpha").unwrap(), 1);
+        assert_eq!(registry.epoch("alpha"), Some(1));
+        assert_eq!(registry.cached_entries_for("alpha"), 0);
+        assert_eq!(registry.cached_entries_for("beta"), 1);
+
+        // The rebuilt artifacts serve the same corpus, so the recomputed
+        // answer matches the pre-refresh one — but it is a recomputation.
+        let after = registry.generate("alpha", &alpha_request).unwrap();
+        assert!(!after.cached);
+        assert!(after.output.same_result(&before.output));
+
+        assert!(matches!(
+            registry.refresh_in_place("ghost"),
+            Err(RegistryError::UnknownCorpus(name)) if name == "ghost"
+        ));
     }
 
     #[test]

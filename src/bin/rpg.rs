@@ -112,9 +112,10 @@ fn usage() -> String {
         "  rpg --query <TEXT> [--top-k N] [--seeds N] [--variant NEWST|NEWST-W|NEWST-U|NEWST-I|NEWST-C|NEWST-N|NEWST-E]",
         "      [--dot FILE] [--full-corpus]",
         "  rpg --list-queries            list the benchmark survey queries",
-        "  rpg serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N] [--full-corpus]",
-        "            [--keep-alive on|off] [--max-requests-per-conn N] [--idle-timeout-ms N]",
-        "            [--tenant-queue N] [--tenant-weight NAME=W]...",
+        "  rpg serve [--addr HOST:PORT] [--workers N] [--drivers N] [--queue N] [--cache N]",
+        "            [--max-connections N] [--keep-alive on|off] [--max-requests-per-conn N]",
+        "            [--idle-timeout-ms N] [--tenant-queue N] [--tenant-weight NAME=W]...",
+        "            [--full-corpus]",
         "",
         "OPTIONS:",
         "  -q, --query <TEXT>   the research topic to generate a reading path for",
@@ -127,8 +128,10 @@ fn usage() -> String {
         "",
         "SERVE OPTIONS:",
         "      --addr <A>       bind address (default 127.0.0.1:7878; port 0 = ephemeral)",
-        "      --workers <N>    worker threads (default: one per CPU, capped at 16)",
-        "      --queue <N>      admission queue bound; excess requests get 503 (default 64)",
+        "      --workers <N>    compute worker threads (default: one per CPU, capped at 16)",
+        "      --drivers <N>    event-loop threads multiplexing all connections (default: auto, small)",
+        "      --queue <N>      request queue bound; excess requests get 503 (default 64)",
+        "      --max-connections <N>         open-connection bound; excess connections get 503 (default 1024)",
         "      --cache <N>      shared result-cache capacity (default 256; 0 disables)",
         "      --keep-alive <on|off>         serve many requests per connection (default on)",
         "      --max-requests-per-conn <N>   exchanges served per connection (default 100)",
@@ -144,6 +147,8 @@ fn usage() -> String {
 struct ServeOptions {
     addr: String,
     workers: usize,
+    drivers: usize,
+    max_connections: usize,
     queue: usize,
     cache: usize,
     keep_alive: bool,
@@ -160,6 +165,8 @@ impl Default for ServeOptions {
         ServeOptions {
             addr: "127.0.0.1:7878".to_string(),
             workers: rpg_service::default_threads(),
+            drivers: defaults.drivers,
+            max_connections: defaults.max_connections,
             queue: 64,
             cache: rpg_service::DEFAULT_CACHE_CAPACITY,
             keep_alive: defaults.keep_alive,
@@ -187,6 +194,20 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
                 options.workers = value_of("--workers")?
                     .parse()
                     .map_err(|_| "--workers expects a positive integer".to_string())?;
+            }
+            "--drivers" => {
+                // 0 is not accepted on the flag: the auto default is opted
+                // into by omitting it, not by passing zero.
+                options.drivers = value_of("--drivers")?
+                    .parse()
+                    .ok()
+                    .filter(|&d: &usize| d >= 1)
+                    .ok_or_else(|| "--drivers expects a positive integer".to_string())?;
+            }
+            "--max-connections" => {
+                options.max_connections = value_of("--max-connections")?
+                    .parse()
+                    .map_err(|_| "--max-connections expects a positive integer".to_string())?;
             }
             "--queue" => {
                 options.queue = value_of("--queue")?
@@ -240,6 +261,9 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
     if options.workers == 0 {
         return Err("--workers must be at least 1".to_string());
     }
+    if options.max_connections == 0 {
+        return Err("--max-connections must be at least 1".to_string());
+    }
     if options.queue == 0 {
         return Err("--queue must be at least 1".to_string());
     }
@@ -266,6 +290,8 @@ fn start_server(options: &ServeOptions) -> Result<Server, String> {
     let config = ServerConfig {
         addr: options.addr.clone(),
         workers: options.workers,
+        drivers: options.drivers,
+        max_connections: options.max_connections,
         queue_capacity: options.queue,
         keep_alive: options.keep_alive,
         max_requests_per_connection: options.max_requests_per_conn,
@@ -280,9 +306,11 @@ fn start_server(options: &ServeOptions) -> Result<Server, String> {
 fn run_serve(options: &ServeOptions) -> Result<(), String> {
     let server = start_server(options)?;
     println!(
-        "rpg-server listening on http://{} ({} workers, queue bound {}, tenant bound {}, cache {}, keep-alive {})",
+        "rpg-server listening on http://{} ({} workers, {} event loops, {} max connections, queue bound {}, tenant bound {}, cache {}, keep-alive {})",
         server.addr(),
         options.workers,
+        server.driver_threads(),
+        options.max_connections,
         options.queue,
         options.tenant_queue,
         options.cache,
@@ -444,6 +472,8 @@ mod tests {
     fn serve_args_have_sane_defaults() {
         let options = parse_serve_args(&args(&[])).unwrap();
         assert_eq!(options.addr, "127.0.0.1:7878");
+        assert_eq!(options.drivers, 0, "0 = auto-size the event-loop pool");
+        assert!(options.max_connections >= 1);
         assert_eq!(options.queue, 64);
         assert_eq!(options.cache, rpg_service::DEFAULT_CACHE_CAPACITY);
         assert!(options.workers >= 1);
@@ -462,6 +492,10 @@ mod tests {
             "0.0.0.0:9000",
             "--workers",
             "3",
+            "--drivers",
+            "2",
+            "--max-connections",
+            "2048",
             "--queue",
             "5",
             "--cache",
@@ -483,6 +517,8 @@ mod tests {
         .unwrap();
         assert_eq!(options.addr, "0.0.0.0:9000");
         assert_eq!(options.workers, 3);
+        assert_eq!(options.drivers, 2);
+        assert_eq!(options.max_connections, 2048);
         assert_eq!(options.queue, 5);
         assert_eq!(options.cache, 0);
         assert!(!options.keep_alive);
@@ -495,6 +531,8 @@ mod tests {
         );
         assert_eq!(options.corpus_scale, CorpusScale::Default);
         assert!(parse_serve_args(&args(&["--workers", "0"])).is_err());
+        assert!(parse_serve_args(&args(&["--drivers", "0"])).is_err());
+        assert!(parse_serve_args(&args(&["--max-connections", "0"])).is_err());
         assert!(parse_serve_args(&args(&["--queue", "0"])).is_err());
         assert!(parse_serve_args(&args(&["--queue"])).is_err());
         assert!(parse_serve_args(&args(&["--keep-alive", "maybe"])).is_err());

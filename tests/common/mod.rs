@@ -1,0 +1,159 @@
+//! The shared server harness for the loopback integration suites: spawn an
+//! [`rpg_server::Server`] on an ephemeral port, wait until it provably
+//! answers end-to-end, and guard shutdown on drop — so no test re-rolls the
+//! registry/config/ready-wait boilerplate, and every test's counters start
+//! from a clean baseline.
+//!
+//! The keep-alive connection mode is taken from the `RPG_TEST_KEEP_ALIVE`
+//! environment variable (`off` disables it; anything else, including
+//! absence, enables it), which is how CI runs the whole suite in a
+//! keep-alive on/off matrix. Tests that assert keep-alive (or close-mode)
+//! semantics specifically must pin `config.keep_alive` themselves instead
+//! of inheriting the ambient mode.
+
+// Each integration-test binary compiles its own copy of this module and
+// uses a different subset of it.
+#![allow(dead_code)]
+
+use rpg_repro::demo_corpus;
+use rpg_server::{client, Server, ServerConfig, StatsSnapshot};
+use rpg_service::CorpusRegistry;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Whether this run serves keep-alive connections (see the module docs).
+pub fn keep_alive_mode() -> bool {
+    !std::env::var("RPG_TEST_KEEP_ALIVE").is_ok_and(|v| v.eq_ignore_ascii_case("off"))
+}
+
+/// The suite-wide base configuration: an ephemeral port and the ambient
+/// keep-alive mode. Everything else stays at the server's defaults.
+pub fn base_config() -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        keep_alive: keep_alive_mode(),
+        ..ServerConfig::default()
+    }
+}
+
+/// A registry serving the demo corpus as the `default` tenant.
+pub fn demo_registry() -> Arc<CorpusRegistry> {
+    let registry = Arc::new(CorpusRegistry::new());
+    registry.register("default", demo_corpus()).unwrap();
+    registry
+}
+
+/// Like [`demo_registry`] with result caching disabled, so every request
+/// pays a full pipeline run (what the overload tests need).
+pub fn demo_registry_without_cache() -> Arc<CorpusRegistry> {
+    let registry = Arc::new(CorpusRegistry::with_cache_capacity(0));
+    registry.register("default", demo_corpus()).unwrap();
+    registry
+}
+
+/// The first `count` benchmark queries of the demo corpus, with their
+/// publication years.
+pub fn demo_queries(count: usize) -> Vec<(String, u16)> {
+    demo_corpus()
+        .survey_bank()
+        .iter()
+        .take(count)
+        .map(|s| (s.query.clone(), s.year))
+        .collect()
+}
+
+/// The JSON body of a `/v1/generate` request.
+pub fn generate_body(query: &str, year: u16, top_k: usize) -> String {
+    format!(r#"{{"query": {query:?}, "max_year": {year}, "top_k": {top_k}}}"#)
+}
+
+/// A running server plus the counter baseline its readiness probe left
+/// behind. Dropping it shuts the server down and joins every thread — the
+/// guard half of the harness.
+pub struct TestServer {
+    server: Server,
+    baseline: StatsSnapshot,
+}
+
+impl TestServer {
+    /// Counters since the server became ready, with the readiness probe's
+    /// own exchange subtracted out — tests assert absolute counts as if
+    /// the probe never happened.
+    pub fn stats(&self) -> StatsSnapshot {
+        let raw = self.server.stats();
+        StatsSnapshot {
+            accepted: raw.accepted.saturating_sub(self.baseline.accepted),
+            open_connections: raw.open_connections,
+            rejected: raw.rejected.saturating_sub(self.baseline.rejected),
+            throttled: raw.throttled.saturating_sub(self.baseline.throttled),
+            handled: raw.handled.saturating_sub(self.baseline.handled),
+            ok: raw.ok.saturating_sub(self.baseline.ok),
+            client_errors: raw
+                .client_errors
+                .saturating_sub(self.baseline.client_errors),
+            server_errors: raw
+                .server_errors
+                .saturating_sub(self.baseline.server_errors),
+            pipeline: raw.pipeline,
+        }
+    }
+}
+
+impl std::ops::Deref for TestServer {
+    type Target = Server;
+    fn deref(&self) -> &Server {
+        &self.server
+    }
+}
+
+impl std::ops::DerefMut for TestServer {
+    fn deref_mut(&mut self) -> &mut Server {
+        &mut self.server
+    }
+}
+
+/// Spawns a server over `registry` with [`base_config`] tweaked by
+/// `configure`, and blocks until it provably serves: a `/v1/healthz` probe
+/// must answer 200 end-to-end and the probe connection must be fully
+/// closed again (so open-connection gauges start at zero).
+pub fn spawn_with(
+    registry: Arc<CorpusRegistry>,
+    configure: impl FnOnce(&mut ServerConfig),
+) -> TestServer {
+    let mut config = base_config();
+    configure(&mut config);
+    let server = Server::spawn(registry, config).expect("server binds an ephemeral port");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match client::get(server.addr(), "/v1/healthz") {
+            Ok(response) if response.status == 200 => break,
+            _ if Instant::now() < deadline => std::thread::sleep(Duration::from_millis(5)),
+            Ok(response) => panic!(
+                "server never became ready: last healthz {}",
+                response.status
+            ),
+            Err(e) => panic!("server never became ready: {e}"),
+        }
+    }
+    // The probe was a `Connection: close` exchange; wait for the server to
+    // finish tearing its connection down so tests observing the open gauge
+    // (or thread/connection counts) see a quiescent server.
+    while server.open_connections() > 0 {
+        assert!(
+            Instant::now() < deadline,
+            "readiness probe connection never closed"
+        );
+        std::thread::yield_now();
+    }
+    let baseline = server.stats();
+    TestServer { server, baseline }
+}
+
+/// The common spawn shape: `workers` compute threads and a global request
+/// queue bound, everything else default.
+pub fn spawn(registry: Arc<CorpusRegistry>, workers: usize, queue: usize) -> TestServer {
+    spawn_with(registry, |config| {
+        config.workers = workers;
+        config.queue_capacity = queue;
+    })
+}

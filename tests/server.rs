@@ -3,48 +3,25 @@
 //! and keep-alive), pipelining from the retained connection buffer,
 //! admission control under overflow (global `503` and per-tenant `429`),
 //! HTTP/1.1 conformance rejections, malformed-input resilience, batch
-//! routing, and multi-tenant refresh semantics over the wire.
+//! routing, the corpus refresh endpoint, and multi-tenant refresh semantics
+//! over the wire.
+//!
+//! Server spawning, readiness, and shutdown ride the shared harness in
+//! `tests/common`; the ambient keep-alive mode comes from
+//! `RPG_TEST_KEEP_ALIVE` (CI runs both), and tests that assert
+//! keep-alive-specific behaviour pin the mode explicitly.
 
+mod common;
+
+use common::{demo_queries, demo_registry, generate_body, spawn, spawn_with};
 use rpg_corpus::{generate, CorpusConfig};
 use rpg_repager::system::PathRequest;
 use rpg_repro::demo_corpus;
-use rpg_server::{api, client, Server, ServerConfig};
+use rpg_server::{api, client};
 use rpg_service::{CorpusRegistry, PathService};
 use serde_json::Value;
 use std::sync::Arc;
 use std::time::Duration;
-
-/// A registry serving the demo corpus as the `default` tenant.
-fn demo_registry() -> Arc<CorpusRegistry> {
-    let registry = Arc::new(CorpusRegistry::new());
-    registry.register("default", demo_corpus()).unwrap();
-    registry
-}
-
-fn spawn(registry: Arc<CorpusRegistry>, workers: usize, queue: usize) -> Server {
-    Server::spawn(
-        registry,
-        ServerConfig {
-            workers,
-            queue_capacity: queue,
-            ..ServerConfig::default()
-        },
-    )
-    .expect("server binds an ephemeral port")
-}
-
-fn demo_queries(count: usize) -> Vec<(String, u16)> {
-    demo_corpus()
-        .survey_bank()
-        .iter()
-        .take(count)
-        .map(|s| (s.query.clone(), s.year))
-        .collect()
-}
-
-fn generate_body(query: &str, year: u16, top_k: usize) -> String {
-    format!(r#"{{"query": {query:?}, "max_year": {year}, "top_k": {top_k}}}"#)
-}
 
 /// Extracts the `result` subtree of a 200 response and re-renders it with
 /// the same encoder the expectation uses.
@@ -52,6 +29,17 @@ fn result_bytes(body: &str) -> String {
     let value: Value = serde_json::from_str(body).expect("response body parses");
     serde_json::to_string(value.get("result").expect("response has a result"))
         .expect("result re-serialises")
+}
+
+/// The canonical JSON a direct in-process run of this query produces.
+fn expected_result(direct: &PathService, query: &str, year: u16, top_k: usize) -> String {
+    let output = direct
+        .generate(&PathRequest {
+            max_year: Some(year),
+            ..PathRequest::new(query, top_k)
+        })
+        .unwrap();
+    serde_json::to_string(&api::output_result_value(&output)).unwrap()
 }
 
 #[test]
@@ -65,15 +53,7 @@ fn concurrent_clients_get_byte_identical_json_to_in_process_generation() {
     let queries = demo_queries(4);
     let expected: Vec<String> = queries
         .iter()
-        .map(|(query, year)| {
-            let output = direct
-                .generate(&PathRequest {
-                    max_year: Some(*year),
-                    ..PathRequest::new(query, 25)
-                })
-                .unwrap();
-            serde_json::to_string(&api::output_result_value(&output)).unwrap()
-        })
+        .map(|(query, year)| expected_result(&direct, query, *year, 25))
         .collect();
 
     std::thread::scope(|scope| {
@@ -109,12 +89,11 @@ fn concurrent_clients_get_byte_identical_json_to_in_process_generation() {
 
 #[test]
 fn queue_overflow_gets_503_with_retry_after_and_the_server_recovers() {
-    // One worker, a queue of one: with a stampede of concurrent uncached
-    // requests (cache capacity 0 keeps every request on the slow path), at
-    // most two can be in the system, so the rest must be turned away.
-    let registry = Arc::new(CorpusRegistry::with_cache_capacity(0));
-    registry.register("default", demo_corpus()).unwrap();
-    let server = spawn(registry, 1, 1);
+    // One worker, a global request queue of one: with a stampede of
+    // concurrent uncached requests (cache capacity 0 keeps every request
+    // on the slow path), at most two can be in the system, so the rest
+    // must be turned away.
+    let server = spawn(common::demo_registry_without_cache(), 1, 1);
     let (query, year) = demo_queries(1).remove(0);
     let body = generate_body(&query, year, 25);
 
@@ -158,7 +137,7 @@ fn queue_overflow_gets_503_with_retry_after_and_the_server_recovers() {
 
     // Admission control never buffered beyond the bound, nothing died, and
     // the server keeps serving.
-    assert!(server.queue_depth() <= 1);
+    assert!(server.request_depth() <= 1);
     let after = client::post_json(server.addr(), "/v1/generate", &body).unwrap();
     assert_eq!(after.status, 200);
     let stats = server.stats();
@@ -191,15 +170,9 @@ fn malformed_bodies_are_400_and_the_same_workers_keep_serving() {
     )
     .unwrap();
     assert_eq!(response.status, 200);
-    let expected = direct
-        .generate(&PathRequest {
-            max_year: Some(year),
-            ..PathRequest::new(&query, 20)
-        })
-        .unwrap();
     assert_eq!(
         result_bytes(&response.body),
-        serde_json::to_string(&api::output_result_value(&expected)).unwrap()
+        expected_result(&direct, &query, year, 20)
     );
     let stats = server.stats();
     assert_eq!(stats.client_errors, 5);
@@ -234,16 +207,10 @@ fn batch_preserves_order_and_isolates_per_item_failures() {
     assert_eq!(results.len(), 3);
 
     for (slot, (query, year)) in [(0usize, &queries[0]), (2, &queries[1])] {
-        let expected = direct
-            .generate(&PathRequest {
-                max_year: Some(*year),
-                ..PathRequest::new(query, 15)
-            })
-            .unwrap();
         let got = serde_json::to_string(results[slot].get("result").expect("result")).unwrap();
         assert_eq!(
             got,
-            serde_json::to_string(&api::output_result_value(&expected)).unwrap(),
+            expected_result(&direct, query, *year, 15),
             "batch slot {slot}"
         );
     }
@@ -253,7 +220,7 @@ fn batch_preserves_order_and_isolates_per_item_failures() {
 }
 
 #[test]
-fn stats_endpoint_tracks_cache_queue_and_stage_timings() {
+fn stats_endpoint_tracks_cache_queue_connections_and_stage_timings() {
     let registry = demo_registry();
     let server = spawn(registry, 2, 16);
     let (query, year) = demo_queries(1).remove(0);
@@ -293,6 +260,18 @@ fn stats_endpoint_tracks_cache_queue_and_stage_timings() {
     let queue = stats.get("queue").expect("queue section");
     assert_eq!(queue.get("depth").and_then(Value::as_f64), Some(0.0));
     assert_eq!(queue.get("capacity").and_then(Value::as_f64), Some(16.0));
+    // The event-driven connection layer reports its gauges on the wire.
+    let connections = stats.get("connections").expect("connections section");
+    for gauge in ["accepted", "open", "drivers", "max", "rejected_503"] {
+        assert!(
+            connections.get(gauge).and_then(Value::as_f64).is_some(),
+            "connections.{gauge} missing"
+        );
+    }
+    assert!(
+        connections.get("drivers").and_then(Value::as_f64).unwrap() >= 1.0,
+        "at least one event loop must be reported"
+    );
 }
 
 #[test]
@@ -354,22 +333,66 @@ fn tenants_are_isolated_and_refresh_evicts_only_one() {
     );
 }
 
-/// The canonical JSON a direct in-process run of this query produces.
-fn expected_result(direct: &PathService, query: &str, year: u16, top_k: usize) -> String {
-    let output = direct
-        .generate(&PathRequest {
-            max_year: Some(year),
-            ..PathRequest::new(query, top_k)
-        })
-        .unwrap();
-    serde_json::to_string(&api::output_result_value(&output)).unwrap()
+#[test]
+fn refresh_endpoint_evicts_exactly_that_tenants_cached_results() {
+    let registry = demo_registry();
+    registry.register_artifacts("aux", registry.artifacts("default").unwrap());
+    let server = spawn(registry.clone(), 2, 16);
+    let (query, year) = demo_queries(1).remove(0);
+    let on = |corpus: &str| {
+        format!(r#"{{"query": {query:?}, "max_year": {year}, "top_k": 20, "corpus": {corpus:?}}}"#)
+    };
+
+    // Prime both tenants' cache entries over the wire.
+    for corpus in ["default", "aux"] {
+        let response = client::post_json(server.addr(), "/v1/generate", &on(corpus)).unwrap();
+        assert_eq!(response.status, 200, "{}", response.body);
+    }
+    assert_eq!(registry.cached_entries_for("default"), 1);
+    assert_eq!(registry.cached_entries_for("aux"), 1);
+
+    // Refresh one tenant over HTTP: exactly its entries fall out.
+    let refreshed = client::post_json(server.addr(), "/v1/corpora/aux/refresh", "").unwrap();
+    assert_eq!(refreshed.status, 200, "{}", refreshed.body);
+    let value: Value = serde_json::from_str(&refreshed.body).unwrap();
+    assert_eq!(value.get("corpus").and_then(Value::as_str), Some("aux"));
+    assert_eq!(value.get("epoch").and_then(Value::as_f64), Some(1.0));
+    assert_eq!(registry.cached_entries_for("default"), 1);
+    assert_eq!(registry.cached_entries_for("aux"), 0);
+
+    // The wire-visible consequence: the untouched tenant still answers
+    // from cache, the refreshed one recomputes.
+    let default_again = client::post_json(server.addr(), "/v1/generate", &on("default")).unwrap();
+    let aux_again = client::post_json(server.addr(), "/v1/generate", &on("aux")).unwrap();
+    let default_again: Value = serde_json::from_str(&default_again.body).unwrap();
+    let aux_again: Value = serde_json::from_str(&aux_again.body).unwrap();
+    assert_eq!(
+        default_again.get("cached").and_then(Value::as_bool),
+        Some(true)
+    );
+    assert_eq!(
+        aux_again.get("cached").and_then(Value::as_bool),
+        Some(false)
+    );
+
+    // Unknown tenants are a 404; the refresh route is POST-only.
+    let ghost = client::post_json(server.addr(), "/v1/corpora/ghost/refresh", "").unwrap();
+    assert_eq!(ghost.status, 404);
+    assert!(ghost.body.contains("ghost"));
+    let wrong_method = client::get(server.addr(), "/v1/corpora/aux/refresh").unwrap();
+    assert_eq!(wrong_method.status, 405);
+    assert_eq!(wrong_method.header("allow"), Some("POST"));
 }
 
 #[test]
 fn keep_alive_serves_sequential_requests_on_one_connection() {
     let registry = demo_registry();
     let direct = PathService::with_artifacts(registry.artifacts("default").unwrap());
-    let server = spawn(registry, 2, 16);
+    let server = spawn_with(registry, |config| {
+        config.workers = 2;
+        config.queue_capacity = 16;
+        config.keep_alive = true;
+    });
 
     let queries = demo_queries(3);
     let mut conn = client::Conn::connect(server.addr()).expect("persistent connection opens");
@@ -405,7 +428,11 @@ fn pipelined_second_request_is_served_from_the_retained_buffer() {
     use std::io::Write;
     let registry = demo_registry();
     let direct = PathService::with_artifacts(registry.artifacts("default").unwrap());
-    let server = spawn(registry, 2, 16);
+    let server = spawn_with(registry, |config| {
+        config.workers = 2;
+        config.queue_capacity = 16;
+        config.keep_alive = true;
+    });
     let queries = demo_queries(2);
 
     // Both requests go out in a single write before any response is read:
@@ -443,16 +470,11 @@ fn pipelined_second_request_is_served_from_the_retained_buffer() {
 
 #[test]
 fn idle_keep_alive_connections_are_closed_by_the_server() {
-    let registry = demo_registry();
-    let server = Server::spawn(
-        registry,
-        ServerConfig {
-            workers: 1,
-            idle_timeout: Duration::from_millis(150),
-            ..ServerConfig::default()
-        },
-    )
-    .unwrap();
+    let server = spawn_with(demo_registry(), |config| {
+        config.workers = 1;
+        config.keep_alive = true;
+        config.idle_timeout = Duration::from_millis(150);
+    });
 
     let mut conn = client::Conn::connect(server.addr()).unwrap();
     let first = conn.get("/v1/healthz").unwrap();
@@ -470,16 +492,11 @@ fn idle_keep_alive_connections_are_closed_by_the_server() {
 
 #[test]
 fn connection_request_budget_is_honoured() {
-    let registry = demo_registry();
-    let server = Server::spawn(
-        registry,
-        ServerConfig {
-            workers: 1,
-            max_requests_per_connection: 2,
-            ..ServerConfig::default()
-        },
-    )
-    .unwrap();
+    let server = spawn_with(demo_registry(), |config| {
+        config.workers = 1;
+        config.keep_alive = true;
+        config.max_requests_per_connection = 2;
+    });
 
     let mut conn = client::Conn::connect(server.addr()).unwrap();
     let first = conn.get("/v1/healthz").unwrap();
@@ -503,8 +520,7 @@ fn connection_request_budget_is_honoured() {
 #[test]
 fn transfer_encoding_and_duplicate_content_length_are_rejected() {
     use std::io::Write;
-    let registry = demo_registry();
-    let server = spawn(registry, 1, 8);
+    let server = spawn(demo_registry(), 1, 8);
 
     // A chunked body must be refused outright (501), not silently read as
     // an empty body — under keep-alive the unread chunk bytes would parse
@@ -551,21 +567,19 @@ fn noisy_tenant_is_throttled_while_quiet_tenant_completes_everything() {
     // request costs a full pipeline run on the single compute worker. The
     // per-tenant bound is tiny: the noisy stampede overflows its own
     // sub-queue (429) while the quiet tenant — one request in flight at a
-    // time — must never be rejected.
+    // time — must never be rejected. Two event loops carry all the
+    // connections; the loops never block on compute, so a small fixed
+    // driver pool is enough for any client count.
     let registry = Arc::new(CorpusRegistry::with_cache_capacity(0));
     registry.register("noisy", demo_corpus()).unwrap();
     registry.register_artifacts("quiet", registry.artifacts("noisy").unwrap());
-    let server = Server::spawn(
-        registry,
-        ServerConfig {
-            workers: 1,
-            io_workers: 12,
-            queue_capacity: 16,
-            tenant_queue_capacity: 2,
-            ..ServerConfig::default()
-        },
-    )
-    .unwrap();
+    let server = spawn_with(registry, |config| {
+        config.workers = 1;
+        config.drivers = 2;
+        config.queue_capacity = 16;
+        config.tenant_queue_capacity = 2;
+        config.keep_alive = true;
+    });
 
     let (query, year) = demo_queries(1).remove(0);
     let body_for = |corpus: &str| {
@@ -662,23 +676,17 @@ fn noisy_tenant_is_throttled_while_quiet_tenant_completes_everything() {
 }
 
 #[test]
-fn slow_clients_cannot_pin_workers_forever() {
-    let registry = Arc::new(CorpusRegistry::new());
-    registry.register("default", demo_corpus()).unwrap();
-    let server = Server::spawn(
-        registry,
-        ServerConfig {
-            workers: 1,
-            queue_capacity: 4,
-            read_timeout: Duration::from_millis(300),
-            ..ServerConfig::default()
-        },
-    )
-    .unwrap();
+fn slow_clients_cannot_pin_the_server() {
+    let server = spawn_with(demo_registry(), |config| {
+        config.workers = 1;
+        config.queue_capacity = 4;
+        config.read_timeout = Duration::from_millis(300);
+    });
 
-    // A client that connects and never finishes its request ties up the
-    // only worker until the read timeout fires — after which a healthy
-    // request must get through.
+    // A client that connects and never finishes its request used to tie up
+    // a driver thread; under the event loop it ties up nothing — a healthy
+    // request gets through immediately, and the stalled connection is
+    // closed once its per-request read deadline fires.
     use std::io::Write;
     let mut stalled = std::net::TcpStream::connect(server.addr()).unwrap();
     stalled
@@ -689,5 +697,60 @@ fn slow_clients_cannot_pin_workers_forever() {
 
     let health = client::get(server.addr(), "/v1/healthz").unwrap();
     assert_eq!(health.status, 200);
+
+    // The deadline fires with a 408 so the slow client learns why.
+    stalled
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let timeout = client::read_response(&mut stalled, &mut Vec::new()).unwrap();
+    assert_eq!(timeout.status, 408);
+    assert!(timeout.closes_connection());
     drop(stalled);
+}
+
+#[test]
+fn write_then_half_close_still_gets_served() {
+    // A legal client pattern: write the complete request (or several,
+    // pipelined), shutdown the write side, then read. Data and FIN can
+    // land in the same readiness batch, and the buffered requests must be
+    // served before end-of-stream is interpreted as truncation. Serving
+    // the *second* pipelined request requires keep-alive, so the mode is
+    // pinned.
+    use std::io::Write;
+    let server = spawn_with(demo_registry(), |config| {
+        config.workers = 1;
+        config.queue_capacity = 8;
+        config.keep_alive = true;
+    });
+    for attempt in 0..20 {
+        let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        let one = "GET /v1/healthz HTTP/1.1\r\nhost: t\r\n\r\n";
+        stream.write_all([one, one].concat().as_bytes()).unwrap();
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut buf = Vec::new();
+        for exchange in 0..2 {
+            let response = client::read_response(&mut stream, &mut buf)
+                .unwrap_or_else(|e| panic!("attempt {attempt} exchange {exchange}: {e}"));
+            assert_eq!(
+                response.status, 200,
+                "attempt {attempt} exchange {exchange}: {}",
+                response.body
+            );
+        }
+    }
+    // A genuinely truncated request still earns its 400.
+    let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream
+        .write_all(b"POST /v1/generate HTTP/1.1\r\ncontent-length: 10\r\n\r\nshort")
+        .unwrap();
+    stream.shutdown(std::net::Shutdown::Write).unwrap();
+    let truncated = client::read_response(&mut stream, &mut Vec::new()).unwrap();
+    assert_eq!(truncated.status, 400);
+    assert!(truncated.closes_connection());
 }
