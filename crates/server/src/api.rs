@@ -79,6 +79,16 @@ impl BatchRequest {
     }
 }
 
+/// Body of `PATCH /v1/admin/tenants/:name`: the runtime-retunable knobs of
+/// one tenant's fair-queue lane. Omitted fields are left unchanged.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TenantPatch {
+    /// New deficit-round-robin weight (≥ 1).
+    pub weight: Option<u64>,
+    /// New per-tenant admission-queue bound (≥ 1).
+    pub queue: Option<usize>,
+}
+
 /// A request-level problem discovered while interpreting a DTO.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ApiError {
@@ -101,6 +111,17 @@ impl ApiError {
     pub fn body(&self) -> String {
         error_body(&self.message)
     }
+}
+
+/// The per-item error encoding inside a `/v1/batch` response: items that
+/// fail (validation, unknown corpus, per-tenant throttling) carry an
+/// `error`/`status` object in their result slot while the surrounding
+/// batch still answers `200`.
+pub fn item_error_value(status: u16, message: &str) -> Value {
+    Value::Object(vec![
+        ("error".to_string(), Value::String(message.to_string())),
+        ("status".to_string(), Value::Number(f64::from(status))),
+    ])
 }
 
 /// Renders `{"error": message}` (shared by every error response).

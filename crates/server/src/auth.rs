@@ -1,0 +1,189 @@
+//! Bearer-key authentication: mapping `Authorization: Bearer <key>` to a
+//! tenant principal.
+//!
+//! With `--auth on`, tenant identity stops being the self-declared `corpus`
+//! field: admission is billed to the tenant the presented key belongs to, a
+//! request naming some *other* tenant's corpus is a `403`, and the admin
+//! endpoints (corpus lifecycle, tenant retuning, manifest reload) require a
+//! key from the manifest's `admin_keys` set — no key at all is a `401`.
+//! The table is swapped atomically on manifest reload and edited in place
+//! by `PUT`/`DELETE /v1/corpora/:name`, so key changes take effect live.
+
+use rpg_service::Manifest;
+use std::collections::{HashMap, HashSet};
+
+/// Who a request is, after checking its bearer key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Principal {
+    /// No key, or a key the table does not know.
+    Anonymous,
+    /// A key belonging to this tenant.
+    Tenant(String),
+    /// A key from the admin set.
+    Admin,
+}
+
+/// The key → principal mapping of a running server.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AuthTable {
+    /// Bearer key → owning tenant.
+    tenant_keys: HashMap<String, String>,
+    admin_keys: HashSet<String>,
+}
+
+impl AuthTable {
+    /// An empty table: every request resolves to [`Principal::Anonymous`].
+    pub fn new() -> AuthTable {
+        AuthTable::default()
+    }
+
+    /// The table a manifest describes: each tenant's `api_keys` plus the
+    /// manifest's `admin_keys`. (Manifest validation already guarantees no
+    /// key is claimed twice.)
+    pub fn from_manifest(manifest: &Manifest) -> AuthTable {
+        let mut table = AuthTable::new();
+        for key in manifest.admin() {
+            table.admin_keys.insert(key.clone());
+        }
+        for (name, config) in manifest.tenants_sorted() {
+            table.grant_tenant(name, config.keys());
+        }
+        table
+    }
+
+    /// Replaces one tenant's key set (used by `PUT /v1/corpora/:name`).
+    /// Keys already claimed by the admin set or another tenant are skipped
+    /// rather than stolen.
+    pub fn grant_tenant(&mut self, tenant: &str, keys: &[String]) {
+        self.revoke_tenant(tenant);
+        for key in keys {
+            if key.is_empty() || self.admin_keys.contains(key) {
+                continue;
+            }
+            self.tenant_keys
+                .entry(key.clone())
+                .or_insert_with(|| tenant.to_string());
+        }
+    }
+
+    /// Drops every key belonging to one tenant (used by
+    /// `DELETE /v1/corpora/:name`).
+    pub fn revoke_tenant(&mut self, tenant: &str) {
+        self.tenant_keys.retain(|_, owner| owner != tenant);
+    }
+
+    /// Resolves a bearer token to its principal.
+    pub fn principal(&self, bearer: Option<&str>) -> Principal {
+        let Some(key) = bearer else {
+            return Principal::Anonymous;
+        };
+        if self.admin_keys.contains(key) {
+            return Principal::Admin;
+        }
+        match self.tenant_keys.get(key) {
+            Some(tenant) => Principal::Tenant(tenant.clone()),
+            None => Principal::Anonymous,
+        }
+    }
+
+    /// Number of tenant keys currently granted.
+    pub fn tenant_key_count(&self) -> usize {
+        self.tenant_keys.len()
+    }
+}
+
+/// Extracts the token of an `Authorization: Bearer <token>` header value
+/// (scheme case-insensitive, surrounding whitespace ignored). Any other
+/// scheme — or a bare token — is `None`.
+pub fn bearer_token(authorization: Option<&str>) -> Option<&str> {
+    let value = authorization?.trim();
+    let (scheme, token) = value.split_once(char::is_whitespace)?;
+    if !scheme.eq_ignore_ascii_case("bearer") {
+        return None;
+    }
+    let token = token.trim();
+    (!token.is_empty()).then_some(token)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_table() -> AuthTable {
+        let manifest = Manifest::from_json(
+            r#"{
+                "admin_keys": ["root"],
+                "tenants": {
+                    "alpha": {"corpus": {"seed": 1}, "api_keys": ["ka1", "ka2"]},
+                    "beta": {"corpus": {"seed": 2}, "api_keys": ["kb"]}
+                }
+            }"#,
+        )
+        .unwrap();
+        AuthTable::from_manifest(&manifest)
+    }
+
+    #[test]
+    fn keys_resolve_to_their_principals() {
+        let table = demo_table();
+        assert_eq!(table.principal(Some("root")), Principal::Admin);
+        assert_eq!(
+            table.principal(Some("ka1")),
+            Principal::Tenant("alpha".to_string())
+        );
+        assert_eq!(
+            table.principal(Some("ka2")),
+            Principal::Tenant("alpha".to_string())
+        );
+        assert_eq!(
+            table.principal(Some("kb")),
+            Principal::Tenant("beta".to_string())
+        );
+        assert_eq!(table.principal(Some("nope")), Principal::Anonymous);
+        assert_eq!(table.principal(None), Principal::Anonymous);
+    }
+
+    #[test]
+    fn grant_and_revoke_edit_one_tenant() {
+        let mut table = demo_table();
+        table.grant_tenant("alpha", &["fresh".to_string()]);
+        assert_eq!(table.principal(Some("ka1")), Principal::Anonymous);
+        assert_eq!(
+            table.principal(Some("fresh")),
+            Principal::Tenant("alpha".to_string())
+        );
+        assert_eq!(
+            table.principal(Some("kb")),
+            Principal::Tenant("beta".to_string()),
+            "other tenants' keys are untouched"
+        );
+        table.revoke_tenant("beta");
+        assert_eq!(table.principal(Some("kb")), Principal::Anonymous);
+        assert_eq!(table.principal(Some("root")), Principal::Admin);
+    }
+
+    #[test]
+    fn grants_never_steal_claimed_keys() {
+        let mut table = demo_table();
+        table.grant_tenant(
+            "thief",
+            &["root".to_string(), "kb".to_string(), String::new()],
+        );
+        assert_eq!(table.principal(Some("root")), Principal::Admin);
+        assert_eq!(
+            table.principal(Some("kb")),
+            Principal::Tenant("beta".to_string())
+        );
+    }
+
+    #[test]
+    fn bearer_tokens_parse_strictly() {
+        assert_eq!(bearer_token(Some("Bearer abc")), Some("abc"));
+        assert_eq!(bearer_token(Some("bearer  abc ")), Some("abc"));
+        assert_eq!(bearer_token(Some("BEARER x")), Some("x"));
+        assert_eq!(bearer_token(Some("Basic abc")), None);
+        assert_eq!(bearer_token(Some("Bearer ")), None);
+        assert_eq!(bearer_token(Some("abc")), None);
+        assert_eq!(bearer_token(None), None);
+    }
+}

@@ -50,11 +50,23 @@ pub fn request(
     path: &str,
     body: Option<&str>,
 ) -> std::io::Result<ClientResponse> {
+    request_with(addr, method, path, body, &[])
+}
+
+/// Like [`request`] with extra headers (e.g. an `authorization` bearer
+/// key).
+pub fn request_with(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    headers: &[(&str, &str)],
+) -> std::io::Result<ClientResponse> {
     let mut stream = TcpStream::connect(addr)?;
     stream.set_read_timeout(Some(Duration::from_secs(30)))?;
     stream.set_write_timeout(Some(Duration::from_secs(30)))?;
     let _ = stream.set_nodelay(true);
-    write_request(&mut stream, addr, method, path, body, false)?;
+    write_request(&mut stream, addr, method, path, body, false, headers)?;
     let mut buf = Vec::new();
     read_response(&mut stream, &mut buf)
 }
@@ -69,6 +81,12 @@ pub fn get(addr: SocketAddr, path: &str) -> std::io::Result<ClientResponse> {
     request(addr, "GET", path, None)
 }
 
+/// The header pair carrying a bearer key, for the `headers` parameter of
+/// the `*_with` request functions.
+pub fn bearer(key: &str) -> (String, String) {
+    ("authorization".to_string(), format!("Bearer {key}"))
+}
+
 fn write_request<W: Write>(
     writer: &mut W,
     addr: SocketAddr,
@@ -76,16 +94,24 @@ fn write_request<W: Write>(
     path: &str,
     body: Option<&str>,
     keep_alive: bool,
+    headers: &[(&str, &str)],
 ) -> std::io::Result<()> {
     let body = body.unwrap_or("");
     let connection = if keep_alive { "keep-alive" } else { "close" };
     // One write for head + body: a second small segment on a keep-alive
     // socket can sit in Nagle's buffer until the server's delayed ACK.
-    let mut wire = format!(
-        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\nconnection: {connection}\r\n\r\n",
+    let mut head = format!(
+        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\nconnection: {connection}\r\n",
         body.len()
-    )
-    .into_bytes();
+    );
+    for (name, value) in headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    let mut wire = head.into_bytes();
     wire.extend_from_slice(body.as_bytes());
     writer.write_all(&wire)?;
     writer.flush()
@@ -130,7 +156,26 @@ impl Conn {
         path: &str,
         body: Option<&str>,
     ) -> std::io::Result<ClientResponse> {
-        write_request(&mut self.stream, self.addr, method, path, body, true)?;
+        self.request_with(method, path, body, &[])
+    }
+
+    /// Like [`Conn::request`] with extra headers.
+    pub fn request_with(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        headers: &[(&str, &str)],
+    ) -> std::io::Result<ClientResponse> {
+        write_request(
+            &mut self.stream,
+            self.addr,
+            method,
+            path,
+            body,
+            true,
+            headers,
+        )?;
         read_response(&mut self.stream, &mut self.buf)
     }
 

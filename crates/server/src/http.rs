@@ -531,9 +531,12 @@ pub fn reason(status: u16) -> &'static str {
     match status {
         200 => "OK",
         400 => "Bad Request",
+        401 => "Unauthorized",
+        403 => "Forbidden",
         404 => "Not Found",
         405 => "Method Not Allowed",
         408 => "Request Timeout",
+        409 => "Conflict",
         413 => "Payload Too Large",
         429 => "Too Many Requests",
         500 => "Internal Server Error",
@@ -831,7 +834,9 @@ mod tests {
 
     #[test]
     fn status_reasons_cover_the_emitted_codes() {
-        for status in [200, 400, 404, 405, 408, 413, 429, 500, 501, 503] {
+        for status in [
+            200, 400, 401, 403, 404, 405, 408, 409, 413, 429, 500, 501, 503,
+        ] {
             assert_ne!(reason(status), "Unknown", "status {status}");
         }
     }

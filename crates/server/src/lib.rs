@@ -23,8 +23,20 @@
 //!   else keeps flowing, connection overflow at the acceptor and a full
 //!   global queue stay an immediate `503` with `Retry-After` ([`Server`]);
 //! * **multi-tenant routing** — requests carry an optional `corpus` field
-//!   that routes to a named [`rpg_service::CorpusRegistry`] tenant;
-//! * **JSON endpoints** — `POST /v1/generate`, `POST /v1/batch`,
+//!   that routes to a named [`rpg_service::CorpusRegistry`] tenant; with
+//!   authentication on, the `Authorization: Bearer` key decides the tenant
+//!   instead ([`auth`]), admission is billed to it, and cross-tenant calls
+//!   are `403`;
+//! * **wire-operable control plane** — `GET /v1/corpora` (tenant listing:
+//!   admin keys see every tenant, a tenant key sees only its own row),
+//!   `PUT /v1/corpora/:name` (build a corpus from a shipped spec and
+//!   atomically swap it in), `DELETE /v1/corpora/:name`,
+//!   `PATCH /v1/admin/tenants/:name` (retune a live tenant's DRR
+//!   weight/bound), and `POST /v1/admin/reload` (diff-apply the manifest
+//!   file) — every mutating endpoint admin-key-gated when auth is on,
+//!   with corpus builds on the compute pool so event loops never block;
+//! * **JSON endpoints** — `POST /v1/generate`, `POST /v1/batch` (items
+//!   admitted and billed per tenant, overflow becomes per-item `429`s),
 //!   `POST /v1/corpora/:name/refresh` (rebuild one tenant, evicting
 //!   exactly its cached results), `GET /v1/healthz`, and `GET /v1/stats`
 //!   (cache hit/miss counters, per-stage timing aggregates, queue depth,
@@ -53,6 +65,7 @@
 #![deny(unsafe_code)]
 
 pub mod api;
+pub mod auth;
 pub mod client;
 pub mod http;
 pub mod queue;
@@ -60,7 +73,9 @@ mod serve;
 mod sys;
 
 pub use api::{BatchRequest, GenerateRequest};
+pub use auth::{AuthTable, Principal};
 pub use serve::{Server, ServerConfig, StatsSnapshot};
+pub use sys::{install_sighup, sighup_pending};
 
 #[cfg(test)]
 mod tests {

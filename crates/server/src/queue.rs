@@ -13,7 +13,7 @@
 //! A global bound on top caps total queued work regardless of how many
 //! tenants are active.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::{Condvar, Mutex};
 
 struct State<T> {
@@ -129,6 +129,10 @@ struct SubQueue<T> {
     /// in the current service round.
     deficit: u64,
     weight: u64,
+    /// A retired lane drains its queued items at its current weight, then
+    /// disappears — retiring never drops work, and a push under the same
+    /// tenant name revives the lane.
+    retired: bool,
 }
 
 struct FairState<T> {
@@ -138,6 +142,30 @@ struct FairState<T> {
     total: usize,
     closed: bool,
     waiters: usize,
+    /// Per-tenant DRR weight overrides (unlisted tenants weigh 1). Inside
+    /// the state so weights are retunable at runtime without racing pushes.
+    weights: HashMap<String, u64>,
+    /// Per-tenant bound overrides (unlisted tenants use the queue-wide
+    /// `tenant_capacity`).
+    bounds: HashMap<String, usize>,
+}
+
+impl<T> FairState<T> {
+    fn weight_for(&self, tenant: &str) -> u64 {
+        self.weights.get(tenant).copied().unwrap_or(1).max(1)
+    }
+
+    /// Removes sub-queue `idx` and renumbers the service rotation (every
+    /// index past it shifts down by one).
+    fn remove_sub(&mut self, idx: usize) {
+        self.subs.remove(idx);
+        self.active.retain(|&i| i != idx);
+        for i in self.active.iter_mut() {
+            if *i > idx {
+                *i -= 1;
+            }
+        }
+    }
 }
 
 /// A bounded blocking queue with per-tenant sub-queues drained in weighted
@@ -154,7 +182,6 @@ pub struct FairQueue<T> {
     ready: Condvar,
     capacity: usize,
     tenant_capacity: usize,
-    weights: Vec<(String, u64)>,
 }
 
 impl<T> FairQueue<T> {
@@ -179,20 +206,16 @@ impl<T> FairQueue<T> {
                 total: 0,
                 closed: false,
                 waiters: 0,
+                weights: weights
+                    .into_iter()
+                    .map(|(name, weight)| (name, weight.max(1)))
+                    .collect(),
+                bounds: HashMap::new(),
             }),
             ready: Condvar::new(),
             capacity: capacity.max(1),
             tenant_capacity: tenant_capacity.max(1),
-            weights,
         }
-    }
-
-    fn weight_for(&self, tenant: &str) -> u64 {
-        self.weights
-            .iter()
-            .find(|(name, _)| name == tenant)
-            .map(|&(_, weight)| weight.max(1))
-            .unwrap_or(1)
     }
 
     /// Enqueues under `tenant` without blocking; hands the item back with
@@ -208,18 +231,27 @@ impl<T> FairQueue<T> {
         let idx = match state.subs.iter().position(|sub| sub.name == tenant) {
             Some(idx) => idx,
             None => {
+                let weight = state.weight_for(tenant);
                 state.subs.push(SubQueue {
                     name: tenant.to_string(),
                     items: VecDeque::new(),
                     deficit: 0,
-                    weight: self.weight_for(tenant),
+                    weight,
+                    retired: false,
                 });
                 state.subs.len() - 1
             }
         };
-        if state.subs[idx].items.len() >= self.tenant_capacity {
+        let bound = state
+            .bounds
+            .get(tenant)
+            .copied()
+            .unwrap_or(self.tenant_capacity);
+        if state.subs[idx].items.len() >= bound {
             return Err(Rejection::TenantFull(item));
         }
+        // A push revives a retired lane: the tenant is evidently back.
+        state.subs[idx].retired = false;
         let was_empty = state.subs[idx].items.is_empty();
         state.subs[idx].items.push_back(item);
         state.total += 1;
@@ -229,6 +261,47 @@ impl<T> FairQueue<T> {
         drop(state);
         self.ready.notify_one();
         Ok(())
+    }
+
+    /// Retunes a tenant's DRR weight at runtime (0 is bumped to 1). Takes
+    /// effect on the tenant's next service round — queued work is never
+    /// reordered or dropped.
+    pub fn set_weight(&self, tenant: &str, weight: u64) {
+        let weight = weight.max(1);
+        let mut state = self.state.lock().unwrap();
+        state.weights.insert(tenant.to_string(), weight);
+        if let Some(sub) = state.subs.iter_mut().find(|sub| sub.name == tenant) {
+            sub.weight = weight;
+            // A shrunk weight must not leave stale credit from the old
+            // weight's service round.
+            sub.deficit = sub.deficit.min(weight);
+        }
+    }
+
+    /// Resizes one tenant's admission bound at runtime (0 is bumped to 1).
+    /// Shrinking below the current depth drops nothing: queued items keep
+    /// draining, and new pushes are rejected until the lane is back under
+    /// its bound.
+    pub fn set_tenant_bound(&self, tenant: &str, bound: usize) {
+        let mut state = self.state.lock().unwrap();
+        state.bounds.insert(tenant.to_string(), bound.max(1));
+    }
+
+    /// Retires a tenant lane: its weight/bound overrides are forgotten and
+    /// the lane disappears — immediately when empty, otherwise as soon as
+    /// its queued items have drained (work is never dropped). A later push
+    /// under the same name starts a fresh default-tuned lane.
+    pub fn retire(&self, tenant: &str) {
+        let mut state = self.state.lock().unwrap();
+        state.weights.remove(tenant);
+        state.bounds.remove(tenant);
+        if let Some(idx) = state.subs.iter().position(|sub| sub.name == tenant) {
+            if state.subs[idx].items.is_empty() {
+                state.remove_sub(idx);
+            } else {
+                state.subs[idx].retired = true;
+            }
+        }
     }
 
     /// Blocks until an item is available and returns the next one in
@@ -255,7 +328,12 @@ impl<T> FairQueue<T> {
                     // leftover credit (classic DRR: deficit resets when the
                     // queue goes idle, so credit cannot be hoarded).
                     sub.deficit = 0;
+                    let retired = sub.retired;
                     st.active.pop_front();
+                    if retired {
+                        // A retired lane vanishes once its work has drained.
+                        st.remove_sub(idx);
+                    }
                 } else if sub.deficit == 0 {
                     let idx = st.active.pop_front().expect("front exists");
                     st.active.push_back(idx);
@@ -306,14 +384,25 @@ impl<T> FairQueue<T> {
         self.capacity
     }
 
-    /// The per-tenant admission bound.
+    /// The default per-tenant admission bound (tenants without an override).
     pub fn tenant_capacity(&self) -> usize {
         self.tenant_capacity
     }
 
+    /// The admission bound currently in force for one tenant.
+    pub fn tenant_bound(&self, tenant: &str) -> usize {
+        self.state
+            .lock()
+            .unwrap()
+            .bounds
+            .get(tenant)
+            .copied()
+            .unwrap_or(self.tenant_capacity)
+    }
+
     /// The DRR weight a tenant is (or would be) served with.
     pub fn weight(&self, tenant: &str) -> u64 {
-        self.weight_for(tenant)
+        self.state.lock().unwrap().weight_for(tenant)
     }
 }
 
@@ -528,6 +617,98 @@ mod tests {
         for handle in handles {
             assert_eq!(handle.join().unwrap(), None);
         }
+    }
+
+    #[test]
+    fn weight_retune_changes_drain_order_without_dropping_work() {
+        let queue: FairQueue<&'static str> = FairQueue::new(32, 16);
+        for i in 0..4 {
+            queue.try_push("a", ["a1", "a2", "a3", "a4"][i]).unwrap();
+            queue.try_push("b", ["b1", "b2", "b3", "b4"][i]).unwrap();
+        }
+        // Equal weights for the first round...
+        assert_eq!(queue.pop(), Some("a1"));
+        assert_eq!(queue.pop(), Some("b1"));
+        // ...then "a" is retuned to weight 3 mid-backlog: from its next
+        // service round it drains three per turn.
+        queue.set_weight("a", 3);
+        assert_eq!(queue.weight("a"), 3);
+        let rest: Vec<&str> = (0..6).map(|_| queue.pop().unwrap()).collect();
+        assert_eq!(rest, vec!["a2", "a3", "a4", "b2", "b3", "b4"]);
+    }
+
+    #[test]
+    fn zero_weight_retune_is_bumped_to_one() {
+        let queue: FairQueue<u32> = FairQueue::new(8, 8);
+        queue.set_weight("a", 0);
+        assert_eq!(queue.weight("a"), 1);
+    }
+
+    #[test]
+    fn tenant_bound_resize_applies_immediately_and_never_drops() {
+        let queue: FairQueue<u32> = FairQueue::new(32, 2);
+        queue.try_push("a", 1).unwrap();
+        queue.try_push("a", 2).unwrap();
+        assert!(matches!(
+            queue.try_push("a", 3),
+            Err(Rejection::TenantFull(3))
+        ));
+        // Growing the bound admits more...
+        queue.set_tenant_bound("a", 4);
+        assert_eq!(queue.tenant_bound("a"), 4);
+        queue.try_push("a", 3).unwrap();
+        queue.try_push("a", 4).unwrap();
+        assert!(matches!(
+            queue.try_push("a", 5),
+            Err(Rejection::TenantFull(5))
+        ));
+        // ...and shrinking below the current depth keeps the queued work
+        // while rejecting new arrivals until it drains.
+        queue.set_tenant_bound("a", 1);
+        assert_eq!(queue.depth(), 4, "resize must not drop queued items");
+        assert!(matches!(
+            queue.try_push("a", 6),
+            Err(Rejection::TenantFull(6))
+        ));
+        for expected in 1..=4 {
+            assert_eq!(queue.pop(), Some(expected));
+        }
+        queue.try_push("a", 6).unwrap();
+        // Other tenants stay on the default bound.
+        assert_eq!(queue.tenant_bound("b"), 2);
+    }
+
+    #[test]
+    fn retired_lane_drains_then_disappears_and_can_come_back() {
+        let queue: FairQueue<u32> = FairQueue::with_weights(16, 8, vec![("a".to_string(), 4)]);
+        queue.try_push("a", 1).unwrap();
+        queue.try_push("a", 2).unwrap();
+        queue.retire("a");
+        // Queued work survives retirement...
+        assert_eq!(queue.pop(), Some(1));
+        assert_eq!(queue.pop(), Some(2));
+        // ...and once drained the lane is gone from the depth listing.
+        assert!(queue.tenant_depths().iter().all(|(name, _)| name != "a"));
+        // A comeback push starts a fresh lane with default tuning.
+        queue.try_push("a", 3).unwrap();
+        assert_eq!(queue.weight("a"), 1, "retire forgets the old weight");
+        assert_eq!(queue.pop(), Some(3));
+
+        // Retiring an empty lane removes it immediately, and renumbers the
+        // rotation of the lanes after it correctly.
+        let queue: FairQueue<u32> = FairQueue::new(16, 8);
+        queue.try_push("x", 1).unwrap();
+        queue.try_push("y", 2).unwrap();
+        assert_eq!(queue.pop(), Some(1));
+        queue.retire("x");
+        assert_eq!(
+            queue.tenant_depths(),
+            vec![("y".to_string(), 1)],
+            "empty retired lane is removed at once"
+        );
+        queue.try_push("z", 3).unwrap();
+        assert_eq!(queue.pop(), Some(2));
+        assert_eq!(queue.pop(), Some(3));
     }
 
     #[test]

@@ -38,15 +38,18 @@
 //! *global* request queue turns into a `503` for everyone.
 
 use crate::api::{
-    error_body, generate_response_value, timings_value, ApiError, BatchRequest, GenerateRequest,
-    ResolvedRequest, MAX_BATCH,
+    error_body, generate_response_value, item_error_value, timings_value, ApiError, BatchRequest,
+    GenerateRequest, ResolvedRequest, TenantPatch, MAX_BATCH,
 };
+use crate::auth::{bearer_token, AuthTable, Principal};
 use crate::http::{self, Limits, Parse, Request, RequestBuffer, Response};
 use crate::queue::{Bounded, FairQueue, Rejection};
 use crate::sys::{self, PollFd, WakePipe, POLLERR, POLLHUP, POLLIN, POLLNVAL, POLLOUT};
 use rpg_repager::system::RepagerError;
 use rpg_repager::TimingAggregate;
-use rpg_service::{parallel, CorpusRegistry, RegistryError};
+use rpg_service::{
+    valid_tenant_name, CorpusRegistry, Manifest, ManifestDiff, RegistryError, TenantConfig,
+};
 use serde::value::Value;
 use serde::Deserialize;
 use std::io::{self, Read, Write};
@@ -54,9 +57,13 @@ use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::os::unix::io::AsRawFd;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// The admission lane control-plane work (manifest reloads) is billed to —
+/// reserved by tenant-name validation, so no real tenant can sit in it.
+const ADMIN_LANE: &str = "__admin";
 
 /// Tuning knobs of a [`Server`].
 #[derive(Debug, Clone)]
@@ -107,6 +114,23 @@ pub struct ServerConfig {
     pub retry_after_secs: u32,
     /// Request size limits.
     pub limits: Limits,
+    /// Whether requests must authenticate: `true` maps
+    /// `Authorization: Bearer <key>` to a tenant principal, bills
+    /// admission to it, rejects cross-tenant generates with `403` and
+    /// guards the admin endpoints with `401`/`403`. `false` keeps the
+    /// self-declared `corpus` field authoritative and leaves the admin
+    /// endpoints open.
+    pub auth_enabled: bool,
+    /// The initial key table (usually [`AuthTable::from_manifest`]);
+    /// swapped live by manifest reloads and edited by `PUT`/`DELETE`.
+    pub auth: AuthTable,
+    /// Per-tenant admission-bound overrides applied at spawn (manifest
+    /// `queue` fields); retunable later via `PATCH /v1/admin/tenants`.
+    pub tenant_bounds: Vec<(String, usize)>,
+    /// Where `POST /v1/admin/reload` (and the CLI's `SIGHUP` handler)
+    /// re-reads the manifest from. `None` disables wire-triggered reloads
+    /// with a `409`.
+    pub manifest_path: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -126,6 +150,10 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_secs(10),
             retry_after_secs: 1,
             limits: Limits::default(),
+            auth_enabled: false,
+            auth: AuthTable::new(),
+            tenant_bounds: Vec::new(),
+            manifest_path: None,
         }
     }
 }
@@ -140,6 +168,24 @@ impl ServerConfig {
         } else {
             (self.workers.max(1) / 4).clamp(1, 4)
         }
+    }
+
+    /// Folds a manifest's server-side tuning into the config: per-tenant
+    /// DRR weights and queue bounds, and the key table. (The corpus side —
+    /// building the tenants — is [`CorpusRegistry::apply_manifest`]'s job.)
+    pub fn with_manifest(mut self, manifest: &Manifest) -> ServerConfig {
+        self.tenant_weights = manifest
+            .tenants_sorted()
+            .iter()
+            .filter_map(|(name, config)| config.weight.map(|w| (name.to_string(), w)))
+            .collect();
+        self.tenant_bounds = manifest
+            .tenants_sorted()
+            .iter()
+            .filter_map(|(name, config)| config.queue.map(|q| (name.to_string(), q)))
+            .collect();
+        self.auth = AuthTable::from_manifest(manifest);
+        self
     }
 }
 
@@ -177,9 +223,6 @@ struct Counters {
     ok: AtomicU64,
     client_errors: AtomicU64,
     server_errors: AtomicU64,
-    /// `/v1/batch` requests currently fanning out, used to split the CPU
-    /// budget between them.
-    active_batches: AtomicUsize,
     timings: Mutex<TimingAggregate>,
 }
 
@@ -188,12 +231,32 @@ struct Counters {
 /// parameters) so the driver-side validation is not repeated on the worker.
 enum Work {
     Generate(String, ResolvedRequest),
-    Batch(BatchRequest),
+    /// One item of a `/v1/batch` request: each item is admitted (and
+    /// billed) under its own tenant, so a mixed-corpus batch consumes each
+    /// tenant's budget separately and overflow turns into *per-item* `429`s
+    /// inside the batch response instead of rejecting the whole batch. The
+    /// ticket routes the item's result slot back to the shared assembly.
+    BatchItem {
+        ticket: BatchTicket,
+        corpus: String,
+        resolved: ResolvedRequest,
+    },
     /// Rebuild one tenant's artifacts from its current corpus (the
     /// `/v1/corpora/:name/refresh` endpoint) — artifact builds are
     /// CPU-heavy, so they ride the compute queue like any pipeline run,
     /// billed to the tenant being refreshed.
     Refresh(String),
+    /// Build a corpus from a wire-shipped spec and atomically swap it in
+    /// under `name` (the `PUT /v1/corpora/:name` endpoint), billed to that
+    /// tenant's lane.
+    Put {
+        name: String,
+        config: Box<TenantConfig>,
+    },
+    /// Re-read the manifest file and apply it (the `POST /v1/admin/reload`
+    /// endpoint). Corpus builds are CPU-heavy, so the whole apply rides the
+    /// compute pool — the event loops never block on it.
+    Reload,
 }
 
 /// The address a compute worker posts its response back to: the owning
@@ -237,7 +300,87 @@ impl Drop for Reply {
 
 struct Job {
     work: Work,
-    reply: Reply,
+    /// Where the response goes. Batch-item jobs carry `None`: their shared
+    /// [`BatchAssembly`] owns the one reply for the whole batch.
+    reply: Option<Reply>,
+    /// Set by the owning event loop when the client hangs up while this
+    /// work is queued or running (`POLLHUP`/`POLLERR` observed in
+    /// `ComputeInFlight`): the compute worker skips the pipeline run
+    /// because nobody can receive the result.
+    cancelled: Arc<AtomicBool>,
+}
+
+/// The shared result collector of one `/v1/batch` request: per-item admission
+/// means the items complete independently (across compute workers, or
+/// instantly at admission for rejected items), and whichever fill lands last
+/// assembles the ordered `results` array and posts the batch's single reply.
+struct BatchAssembly {
+    slots: Mutex<Vec<Option<Value>>>,
+    remaining: AtomicUsize,
+    reply: Mutex<Option<Reply>>,
+}
+
+impl BatchAssembly {
+    fn new(items: usize, reply: Reply) -> Arc<BatchAssembly> {
+        Arc::new(BatchAssembly {
+            slots: Mutex::new(vec![None; items]),
+            remaining: AtomicUsize::new(items),
+            reply: Mutex::new(Some(reply)),
+        })
+    }
+
+    /// A ticket filling slot `index`; dropping it unfilled records an
+    /// error, so a dropped job can never strand the batch.
+    fn ticket(self: &Arc<BatchAssembly>, index: usize) -> BatchTicket {
+        BatchTicket {
+            assembly: self.clone(),
+            index,
+            filled: false,
+        }
+    }
+
+    fn fill(&self, index: usize, value: Value) {
+        {
+            let mut slots = self.slots.lock().unwrap();
+            debug_assert!(slots[index].is_none(), "batch slot filled twice");
+            slots[index] = Some(value);
+        }
+        if self.remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
+            let results: Vec<Value> = std::mem::take(&mut *self.slots.lock().unwrap())
+                .into_iter()
+                .map(|slot| slot.unwrap_or_else(|| item_error_value(500, "request was dropped")))
+                .collect();
+            if let Some(reply) = self.reply.lock().unwrap().take() {
+                reply.send(json_200(&Value::Object(vec![(
+                    "results".to_string(),
+                    Value::Array(results),
+                )])));
+            }
+        }
+    }
+}
+
+/// One batch item's claim on its result slot.
+struct BatchTicket {
+    assembly: Arc<BatchAssembly>,
+    index: usize,
+    filled: bool,
+}
+
+impl BatchTicket {
+    fn fill(mut self, value: Value) {
+        self.filled = true;
+        self.assembly.fill(self.index, value);
+    }
+}
+
+impl Drop for BatchTicket {
+    fn drop(&mut self) {
+        if !self.filled {
+            self.assembly
+                .fill(self.index, item_error_value(500, "request was dropped"));
+        }
+    }
 }
 
 /// What the acceptor and the compute workers hand to an event loop.
@@ -277,6 +420,9 @@ struct Shared {
     rejects: Bounded<TcpStream>,
     /// Parsed pipeline requests, per-tenant bounded, drained in DRR order.
     requests: FairQueue<Job>,
+    /// The live key table; swapped by manifest reloads, edited by
+    /// `PUT`/`DELETE`. Only consulted when `config.auth_enabled`.
+    auth: RwLock<AuthTable>,
     /// The event loops, indexed by the acceptor's round-robin.
     loops: Vec<Arc<LoopShared>>,
     /// Connections admitted and not yet closed, across all loops.
@@ -314,14 +460,19 @@ impl Server {
                 }))
             })
             .collect::<io::Result<Vec<_>>>()?;
+        let requests = FairQueue::with_weights(
+            config.queue_capacity,
+            config.tenant_queue_capacity,
+            config.tenant_weights.clone(),
+        );
+        for (tenant, bound) in &config.tenant_bounds {
+            requests.set_tenant_bound(tenant, *bound);
+        }
         let shared = Arc::new(Shared {
             registry,
             rejects: Bounded::new((config.queue_capacity * 4).clamp(16, 256)),
-            requests: FairQueue::with_weights(
-                config.queue_capacity,
-                config.tenant_queue_capacity,
-                config.tenant_weights.clone(),
-            ),
+            requests,
+            auth: RwLock::new(config.auth.clone()),
             loops,
             config,
             open_connections: AtomicUsize::new(0),
@@ -414,6 +565,19 @@ impl Server {
             server_errors: counters.server_errors.load(Ordering::Relaxed),
             pipeline: *counters.timings.lock().unwrap(),
         }
+    }
+
+    /// Applies a validated manifest to the *running* server: the registry's
+    /// tenant set is diffed (create/replace/remove with epoch bumps and
+    /// exact-tenant cache eviction), fair-queue weights and bounds are
+    /// retuned, removed tenants' queue lanes retire once drained, and the
+    /// key table is swapped — all without dropping a connection. This is
+    /// what `SIGHUP` and `POST /v1/admin/reload` ride on.
+    ///
+    /// Corpus builds happen on the calling thread; call it from a worker
+    /// or the CLI's supervisor loop, not from an event loop.
+    pub fn apply_manifest(&self, manifest: &Manifest) -> Result<ManifestDiff, String> {
+        apply_manifest_to(&self.shared, manifest)
     }
 
     /// Stops accepting, drains in-flight work, and joins every thread.
@@ -584,6 +748,14 @@ struct Connection {
     keep_alive_after: bool,
     /// Bytes discarded so far in `Draining`.
     drained: usize,
+    /// Set when `POLLHUP`/`POLLERR` fires in `ComputeInFlight`: the client
+    /// is gone, so the pending reply is dropped (and the slot closed) when
+    /// it arrives instead of attempting a doomed write.
+    abandoned: bool,
+    /// Cancellation flag shared with the compute job(s) of the in-flight
+    /// request; flipped when the client hangs up so queued work is skipped
+    /// before it runs.
+    cancel: Option<Arc<AtomicBool>>,
 }
 
 impl Connection {
@@ -598,6 +770,8 @@ impl Connection {
             out_pos: 0,
             keep_alive_after: false,
             drained: 0,
+            abandoned: false,
+            cancel: None,
         }
     }
 
@@ -621,7 +795,13 @@ impl Connection {
             }
             Phase::Writing => Some(POLLOUT),
             Phase::Draining => Some(POLLIN),
-            Phase::ComputeInFlight => None,
+            // Awaiting compute, the connection wants no I/O — but an
+            // `events == 0` entry still reports `POLLHUP`/`POLLERR`, which
+            // is how a mid-compute client hangup is noticed and the work
+            // cancelled instead of computed into a doomed write. Once
+            // abandoned, the fd leaves the set (hangup is level-triggered
+            // and would re-report every tick).
+            Phase::ComputeInFlight => (!self.abandoned).then_some(0),
         }
     }
 
@@ -696,6 +876,15 @@ fn event_loop(shared: &Shared, me: &Arc<LoopShared>) {
         }
         for (token, response) in replies {
             if let Some(conn) = slots.get_mut(token).and_then(Option::as_mut) {
+                conn.cancel = None;
+                if conn.abandoned {
+                    // The client hung up mid-compute; the reply has nowhere
+                    // to go — drop it and free the slot (which stayed
+                    // reserved so the reply could not be misdelivered to a
+                    // successor connection).
+                    close_slot(&mut slots, token, shared);
+                    continue;
+                }
                 // Honour the keep-alive decision made at parse time, unless
                 // the server started draining in the meantime.
                 let keep_alive = conn.keep_alive_after && !shutting_down;
@@ -761,6 +950,19 @@ fn event_loop(shared: &Shared, me: &Arc<LoopShared>) {
             let Some(conn) = slots.get_mut(token).and_then(Option::as_mut) else {
                 continue;
             };
+            if conn.phase == Phase::ComputeInFlight {
+                // The slot must outlive the pending reply (closing it would
+                // let a successor connection receive this one's response),
+                // so a hangup only *marks* the connection and cancels its
+                // queued work; the reply's arrival frees the slot.
+                if pollfd.has(POLLHUP | POLLERR | POLLNVAL) {
+                    conn.abandoned = true;
+                    if let Some(cancel) = &conn.cancel {
+                        cancel.store(true, Ordering::SeqCst);
+                    }
+                }
+                continue;
+            }
             if pollfd.has(POLLERR | POLLNVAL) {
                 close_slot(&mut slots, token, shared);
                 continue;
@@ -1059,11 +1261,17 @@ fn handle_request(
         && conn.served < config.max_requests_per_connection.max(1)
         && !shared.shutdown.load(Ordering::SeqCst);
     conn.keep_alive_after = keep_alive;
+    // One cancellation flag per queued exchange, shared with every compute
+    // job the request spawns: a mid-compute hangup flips it so the work is
+    // skipped before it runs.
+    let cancel = Arc::new(AtomicBool::new(false));
     // A panic inside a handler must never take the event loop down with
     // it — compute workers guard their side; this guards the loop's inline
     // routes.
-    let routed = catch_unwind(AssertUnwindSafe(|| route(request, shared, me, token)))
-        .unwrap_or_else(|_| Routed::Inline(Response::json(500, error_body("internal error"))));
+    let routed = catch_unwind(AssertUnwindSafe(|| {
+        route(request, shared, me, token, &cancel)
+    }))
+    .unwrap_or_else(|_| Routed::Inline(Response::json(500, error_body("internal error"))));
     match routed {
         Routed::Inline(response) => {
             record_response(shared, response.status);
@@ -1071,8 +1279,18 @@ fn handle_request(
             Flow::Keep
         }
         Routed::Queued => {
+            // Push any pending interim `100 Continue` now: the connection
+            // holds no write interest while compute runs, and the client
+            // deserves the interim response before the wait, not bundled
+            // with the final one. A write failure here is the hangup case —
+            // `POLLHUP`/`POLLERR` watching picks it up next tick.
+            if conn.out_pending() {
+                let _ = conn.flush_out();
+            }
             conn.phase = Phase::ComputeInFlight;
             conn.deadline = None;
+            conn.abandoned = false;
+            conn.cancel = Some(cancel);
             Flow::Keep
         }
     }
@@ -1086,31 +1304,110 @@ enum Routed {
     Queued,
 }
 
+/// The authenticated identity of one request, or `None` when the server
+/// runs with auth off (legacy self-declared tenancy).
+fn authenticate(request: &Request, shared: &Shared) -> Option<Principal> {
+    if !shared.config.auth_enabled {
+        return None;
+    }
+    let bearer = bearer_token(request.header("authorization"));
+    Some(shared.auth.read().unwrap().principal(bearer))
+}
+
+/// The `401` for requests that present no (valid) key while auth is on.
+fn unauthorized() -> Response {
+    Response::json(401, error_body("missing or invalid bearer key"))
+        .with_header("www-authenticate", "Bearer")
+}
+
+/// Rejects non-admin principals: `401` for anonymous callers, `403` for
+/// tenant keys (authenticated, but not entitled to the control plane).
+/// `None` means the caller may proceed.
+fn require_admin(principal: &Option<Principal>) -> Option<Response> {
+    match principal {
+        None | Some(Principal::Admin) => None,
+        Some(Principal::Anonymous) => Some(unauthorized()),
+        Some(Principal::Tenant(_)) => Some(Response::json(
+            403,
+            error_body("admin key required for this endpoint"),
+        )),
+    }
+}
+
+/// Rejects anonymous callers; any tenant or admin key passes. `None` means
+/// the caller may proceed.
+fn require_key(principal: &Option<Principal>) -> Option<Response> {
+    match principal {
+        Some(Principal::Anonymous) => Some(unauthorized()),
+        _ => None,
+    }
+}
+
 /// Routes one request: cheap endpoints inline on the loop, pipeline work
-/// through the per-tenant fair queue.
-fn route(request: &Request, shared: &Shared, me: &Arc<LoopShared>, token: usize) -> Routed {
+/// through the per-tenant fair queue. `cancel` rides along on queued work
+/// so a client hangup can void it before it runs.
+fn route(
+    request: &Request,
+    shared: &Shared,
+    me: &Arc<LoopShared>,
+    token: usize,
+    cancel: &Arc<AtomicBool>,
+) -> Routed {
+    let principal = authenticate(request, shared);
     match (request.method.as_str(), request.path.as_str()) {
-        ("POST", "/v1/generate") => admit_generate(request, shared, me, token),
-        ("POST", "/v1/batch") => admit_batch(request, shared, me, token),
+        ("POST", "/v1/generate") => admit_generate(request, &principal, shared, me, token, cancel),
+        ("POST", "/v1/batch") => admit_batch(request, &principal, shared, me, token, cancel),
         ("GET", "/v1/healthz") => Routed::Inline(handle_healthz(shared)),
         ("GET", "/v1/stats") => Routed::Inline(handle_stats(shared)),
+        ("GET", "/v1/corpora") => Routed::Inline(
+            require_key(&principal).unwrap_or_else(|| handle_corpora_list(shared, &principal)),
+        ),
+        ("POST", "/v1/admin/reload") => match require_admin(&principal) {
+            Some(rejection) => Routed::Inline(rejection),
+            None => admit_reload(shared, me, token, cancel),
+        },
         (method, path) => {
-            if let Some(tenant) = refresh_target(path) {
-                return if method == "POST" {
-                    admit_refresh(tenant, shared, me, token)
+            if let Some(tenant) = admin_tenant_target(path) {
+                return Routed::Inline(if method == "PATCH" {
+                    require_admin(&principal)
+                        .unwrap_or_else(|| handle_tenant_patch(tenant, &request.body, shared))
                 } else {
-                    Routed::Inline(
+                    Response::json(405, error_body("method not allowed"))
+                        .with_header("allow", "PATCH")
+                });
+            }
+            if let Some(tenant) = refresh_target(path) {
+                return match require_admin(&principal) {
+                    Some(rejection) => Routed::Inline(rejection),
+                    None if method == "POST" => admit_refresh(tenant, shared, me, token, cancel),
+                    None => Routed::Inline(
                         Response::json(405, error_body("method not allowed"))
                             .with_header("allow", "POST"),
-                    )
+                    ),
+                };
+            }
+            if let Some(tenant) = corpus_target(path) {
+                return match method {
+                    "PUT" => match require_admin(&principal) {
+                        Some(rejection) => Routed::Inline(rejection),
+                        None => admit_put(tenant, &request.body, shared, me, token, cancel),
+                    },
+                    "DELETE" => Routed::Inline(
+                        require_admin(&principal)
+                            .unwrap_or_else(|| handle_corpus_delete(tenant, shared)),
+                    ),
+                    _ => Routed::Inline(
+                        Response::json(405, error_body("method not allowed"))
+                            .with_header("allow", "PUT, DELETE"),
+                    ),
                 };
             }
             Routed::Inline(match (method, path) {
-                (_, "/v1/generate") | (_, "/v1/batch") => {
+                (_, "/v1/generate") | (_, "/v1/batch") | (_, "/v1/admin/reload") => {
                     Response::json(405, error_body("method not allowed"))
                         .with_header("allow", "POST")
                 }
-                (_, "/v1/healthz") | (_, "/v1/stats") => {
+                (_, "/v1/healthz") | (_, "/v1/stats") | (_, "/v1/corpora") => {
                     Response::json(405, error_body("method not allowed"))
                         .with_header("allow", "GET")
                 }
@@ -1127,6 +1424,18 @@ fn refresh_target(path: &str) -> Option<&str> {
         .filter(|name| !name.is_empty() && !name.contains('/'))
 }
 
+/// The tenant named by a bare `/v1/corpora/:name` path, if this is one.
+fn corpus_target(path: &str) -> Option<&str> {
+    path.strip_prefix("/v1/corpora/")
+        .filter(|name| !name.is_empty() && !name.contains('/'))
+}
+
+/// The tenant named by a `/v1/admin/tenants/:name` path, if this is one.
+fn admin_tenant_target(path: &str) -> Option<&str> {
+    path.strip_prefix("/v1/admin/tenants/")
+        .filter(|name| !name.is_empty() && !name.contains('/'))
+}
+
 fn parse_body<T: Deserialize>(body: &[u8]) -> Result<T, Response> {
     let text = std::str::from_utf8(body)
         .map_err(|_| Response::json(400, error_body("body is not UTF-8")))?;
@@ -1134,13 +1443,48 @@ fn parse_body<T: Deserialize>(body: &[u8]) -> Result<T, Response> {
         .map_err(|e| Response::json(400, error_body(&format!("invalid request body: {e}"))))
 }
 
+/// How one request (or batch item) resolves to the tenant it is billed to.
+enum Billing {
+    /// Admit under this tenant.
+    Tenant(String),
+    /// Reject with this status/message (cross-tenant `403`, anonymous
+    /// `401`).
+    Reject(u16, String),
+}
+
+/// The tenant a request naming `corpus` is billed to, under the given
+/// principal. With auth off the self-declared field stays authoritative;
+/// with auth on a tenant key bills itself (its own corpus name is the only
+/// one it may also spell out), and an admin key may target any corpus.
+fn billing_tenant(corpus: Option<&str>, principal: &Option<Principal>, shared: &Shared) -> Billing {
+    match principal {
+        None => Billing::Tenant(corpus.unwrap_or(&shared.config.default_corpus).to_string()),
+        Some(Principal::Admin) => {
+            Billing::Tenant(corpus.unwrap_or(&shared.config.default_corpus).to_string())
+        }
+        Some(Principal::Tenant(own)) => match corpus {
+            Some(named) if named != own => Billing::Reject(
+                403,
+                format!("key for tenant {own:?} cannot access corpus {named:?}"),
+            ),
+            _ => Billing::Tenant(own.clone()),
+        },
+        Some(Principal::Anonymous) => {
+            Billing::Reject(401, "missing or invalid bearer key".to_string())
+        }
+    }
+}
+
 /// Validates a generate request on the loop (cheap), then queues it under
-/// its tenant. Request-level errors never consume queue budget.
+/// its (authenticated) tenant. Request-level errors never consume queue
+/// budget.
 fn admit_generate(
     request: &Request,
+    principal: &Option<Principal>,
     shared: &Shared,
     me: &Arc<LoopShared>,
     token: usize,
+    cancel: &Arc<AtomicBool>,
 ) -> Routed {
     let dto: GenerateRequest = match parse_body(&request.body) {
         Ok(dto) => dto,
@@ -1149,23 +1493,46 @@ fn admit_generate(
     // Resolve before the corpus check so a bad variant is a 400 even for
     // an unknown corpus; the resolved form rides the job to the compute
     // worker so validation happens exactly once.
-    let resolved = match ResolvedRequest::resolve(&dto) {
+    let mut resolved = match ResolvedRequest::resolve(&dto) {
         Ok(resolved) => resolved,
         Err(e) => return Routed::Inline(Response::json(e.status, e.body())),
     };
-    let tenant = dto.tenant(&shared.config.default_corpus);
-    if !shared.registry.contains(tenant) {
-        let e = registry_error(RegistryError::UnknownCorpus(tenant.to_string()));
+    let tenant = match billing_tenant(dto.corpus.as_deref(), principal, shared) {
+        Billing::Tenant(tenant) => tenant,
+        Billing::Reject(401, _) => return Routed::Inline(unauthorized()),
+        Billing::Reject(status, message) => {
+            return Routed::Inline(Response::json(status, error_body(&message)))
+        }
+    };
+    if !shared.registry.contains(&tenant) {
+        let e = registry_error(RegistryError::UnknownCorpus(tenant));
         return Routed::Inline(Response::json(e.status, e.body()));
     }
-    let tenant = tenant.to_string();
+    // A tenant may declare a default variant (manifest `variant` field);
+    // it applies only when the request does not choose one itself.
+    if dto.variant.is_none() {
+        if let Some(variant) = shared.registry.default_variant(&tenant) {
+            resolved.variant = variant;
+        }
+    }
     let work = Work::Generate(tenant.clone(), resolved);
-    submit(shared, &tenant, work, me, token)
+    submit(shared, &tenant, work, me, token, cancel)
 }
 
-/// Queues a batch under the corpus all its items agree on (per-item corpus
-/// routing — and per-item failure — still happens in the compute worker).
-fn admit_batch(request: &Request, shared: &Shared, me: &Arc<LoopShared>, token: usize) -> Routed {
+/// Admits a batch *per item*: every item is validated on the loop, billed
+/// to its own (authenticated) tenant, and queued as its own fair-queue
+/// entry — so a mixed-corpus batch draws on each tenant's budget
+/// separately, and a tenant at capacity costs exactly its own items a
+/// per-item `429` inside the `200` batch response instead of sinking the
+/// whole batch.
+fn admit_batch(
+    request: &Request,
+    principal: &Option<Principal>,
+    shared: &Shared,
+    me: &Arc<LoopShared>,
+    token: usize,
+    cancel: &Arc<AtomicBool>,
+) -> Routed {
     let batch: BatchRequest = match parse_body(&request.body) {
         Ok(batch) => batch,
         Err(response) => return Routed::Inline(response),
@@ -1179,42 +1546,208 @@ fn admit_batch(request: &Request, shared: &Shared, me: &Arc<LoopShared>, token: 
             )),
         ));
     }
-    let tenant = batch.tenant(&shared.config.default_corpus);
-    // An unknown first corpus falls back to the default tenant's budget so
-    // admission tenants stay bounded by the registry; the per-item 404
-    // surfaces from the compute worker as usual.
-    let tenant = if shared.registry.contains(tenant) {
-        tenant.to_string()
-    } else {
-        shared.config.default_corpus.clone()
-    };
-    submit(shared, &tenant, Work::Batch(batch), me, token)
+    if batch.requests.is_empty() {
+        return Routed::Inline(json_200(&Value::Object(vec![(
+            "results".to_string(),
+            Value::Array(Vec::new()),
+        )])));
+    }
+    // An anonymous caller is a request-level 401, not 256 item errors.
+    if matches!(principal, Some(Principal::Anonymous)) {
+        return Routed::Inline(unauthorized());
+    }
+    let assembly = BatchAssembly::new(batch.requests.len(), Reply::new(me.clone(), token));
+    let retry_after = shared.config.retry_after_secs;
+    for (index, dto) in batch.requests.iter().enumerate() {
+        let ticket = assembly.ticket(index);
+        let mut resolved = match ResolvedRequest::resolve(dto) {
+            Ok(resolved) => resolved,
+            Err(e) => {
+                ticket.fill(item_error_value(e.status, &e.message));
+                continue;
+            }
+        };
+        let tenant = match billing_tenant(dto.corpus.as_deref(), principal, shared) {
+            Billing::Tenant(tenant) => tenant,
+            Billing::Reject(status, message) => {
+                ticket.fill(item_error_value(status, &message));
+                continue;
+            }
+        };
+        if !shared.registry.contains(&tenant) {
+            ticket.fill(item_error_value(404, &format!("unknown corpus {tenant:?}")));
+            continue;
+        }
+        if dto.variant.is_none() {
+            if let Some(variant) = shared.registry.default_variant(&tenant) {
+                resolved.variant = variant;
+            }
+        }
+        let job = Job {
+            work: Work::BatchItem {
+                ticket,
+                corpus: tenant.clone(),
+                resolved,
+            },
+            reply: None,
+            cancelled: cancel.clone(),
+        };
+        match shared.requests.try_push(&tenant, job) {
+            Ok(()) => {}
+            Err(rejection) => {
+                let (status, message) = match &rejection {
+                    Rejection::TenantFull(_) => {
+                        shared.counters.throttled.fetch_add(1, Ordering::Relaxed);
+                        (
+                            429,
+                            format!("tenant {tenant:?} is at capacity, retry after {retry_after}s"),
+                        )
+                    }
+                    Rejection::QueueFull(_) => {
+                        shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                        (503, "server is at capacity, retry shortly".to_string())
+                    }
+                    Rejection::Closed(_) => (503, "server is shutting down".to_string()),
+                };
+                let job = rejection.into_inner();
+                if let Work::BatchItem { ticket, .. } = job.work {
+                    ticket.fill(item_error_value(status, &message));
+                }
+            }
+        }
+    }
+    // The assembly owns the batch's reply; once the last item fills (which
+    // may already have happened, if everything was rejected inline) the
+    // assembled response travels the normal reply path.
+    Routed::Queued
 }
 
 /// Queues an artifact rebuild for one tenant, billed to that tenant.
-fn admit_refresh(tenant: &str, shared: &Shared, me: &Arc<LoopShared>, token: usize) -> Routed {
+fn admit_refresh(
+    tenant: &str,
+    shared: &Shared,
+    me: &Arc<LoopShared>,
+    token: usize,
+    cancel: &Arc<AtomicBool>,
+) -> Routed {
     if !shared.registry.contains(tenant) {
         let e = registry_error(RegistryError::UnknownCorpus(tenant.to_string()));
         return Routed::Inline(Response::json(e.status, e.body()));
     }
     let tenant = tenant.to_string();
     let work = Work::Refresh(tenant.clone());
-    submit(shared, &tenant, work, me, token)
+    submit(shared, &tenant, work, me, token, cancel)
+}
+
+/// Queues a corpus-spec build-and-swap for one tenant (`PUT`), billed to
+/// that tenant's lane (which the push creates for a brand-new tenant).
+fn admit_put(
+    tenant: &str,
+    body: &[u8],
+    shared: &Shared,
+    me: &Arc<LoopShared>,
+    token: usize,
+    cancel: &Arc<AtomicBool>,
+) -> Routed {
+    if !valid_tenant_name(tenant) {
+        return Routed::Inline(Response::json(
+            400,
+            error_body(&format!("invalid tenant name {tenant:?}")),
+        ));
+    }
+    let config: TenantConfig = match parse_body(body) {
+        Ok(config) => config,
+        Err(response) => return Routed::Inline(response),
+    };
+    // Cheap validation on the loop; the build itself runs on a worker.
+    if let Err(e) = config
+        .corpus_spec()
+        .and_then(|spec| spec.corpus_config().map(|_| ()))
+        .and_then(|()| config.default_variant().map(|_| ()))
+    {
+        return Routed::Inline(Response::json(400, error_body(&e.to_string())));
+    }
+    if config.weight == Some(0) || config.queue == Some(0) {
+        return Routed::Inline(Response::json(
+            400,
+            error_body("weight and queue must be at least 1"),
+        ));
+    }
+    // Key rules match manifest validation: the wire path must not accept
+    // (and then silently drop) keys the manifest would reject — an empty
+    // key, or one already claimed by the admin set or another tenant.
+    if shared.config.auth_enabled {
+        let table = shared.auth.read().unwrap();
+        for key in config.keys() {
+            if key.is_empty() {
+                return Routed::Inline(Response::json(
+                    400,
+                    error_body("api keys must be non-empty"),
+                ));
+            }
+            match table.principal(Some(key)) {
+                Principal::Admin => {
+                    return Routed::Inline(Response::json(
+                        400,
+                        error_body(&format!("api key {key:?} is already an admin key")),
+                    ));
+                }
+                Principal::Tenant(owner) if owner != tenant => {
+                    return Routed::Inline(Response::json(
+                        400,
+                        error_body(&format!(
+                            "api key {key:?} is already claimed by tenant {owner:?}"
+                        )),
+                    ));
+                }
+                _ => {}
+            }
+        }
+    }
+    let work = Work::Put {
+        name: tenant.to_string(),
+        config: Box::new(config),
+    };
+    submit(shared, tenant, work, me, token, cancel)
+}
+
+/// Queues a manifest re-read-and-apply, billed to the reserved admin lane.
+fn admit_reload(
+    shared: &Shared,
+    me: &Arc<LoopShared>,
+    token: usize,
+    cancel: &Arc<AtomicBool>,
+) -> Routed {
+    if shared.config.manifest_path.is_none() {
+        return Routed::Inline(Response::json(
+            409,
+            error_body("server was started without --manifest; nothing to reload"),
+        ));
+    }
+    submit(shared, ADMIN_LANE, Work::Reload, me, token, cancel)
 }
 
 /// Offers work to the fair queue; turns per-tenant overflow into `429` and
 /// global overflow into `503`, both answered inline without a reply ever
 /// being owed.
-fn submit(shared: &Shared, tenant: &str, work: Work, me: &Arc<LoopShared>, token: usize) -> Routed {
+fn submit(
+    shared: &Shared,
+    tenant: &str,
+    work: Work,
+    me: &Arc<LoopShared>,
+    token: usize,
+    cancel: &Arc<AtomicBool>,
+) -> Routed {
     let job = Job {
         work,
-        reply: Reply::new(me.clone(), token),
+        reply: Some(Reply::new(me.clone(), token)),
+        cancelled: cancel.clone(),
     };
     let retry_after = shared.config.retry_after_secs.to_string();
     match shared.requests.try_push(tenant, job) {
         Ok(()) => Routed::Queued,
         Err(Rejection::TenantFull(job)) => {
-            job.reply.cancel();
+            cancel_reply(job);
             shared.counters.throttled.fetch_add(1, Ordering::Relaxed);
             Routed::Inline(
                 Response::json(
@@ -1225,7 +1758,7 @@ fn submit(shared: &Shared, tenant: &str, work: Work, me: &Arc<LoopShared>, token
             )
         }
         Err(Rejection::QueueFull(job)) => {
-            job.reply.cancel();
+            cancel_reply(job);
             shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
             Routed::Inline(
                 Response::json(503, error_body("server is at capacity, retry shortly"))
@@ -1233,19 +1766,70 @@ fn submit(shared: &Shared, tenant: &str, work: Work, me: &Arc<LoopShared>, token
             )
         }
         Err(Rejection::Closed(job)) => {
-            job.reply.cancel();
+            cancel_reply(job);
             Routed::Inline(Response::json(503, error_body("server is shutting down")))
         }
     }
 }
 
+/// Disarms the reply of a job the queue handed back: its rejection is
+/// answered inline, so nothing may be posted later.
+fn cancel_reply(job: Job) {
+    if let Some(reply) = job.reply {
+        reply.cancel();
+    }
+}
+
 fn compute_loop(shared: &Shared) {
     while let Some(job) = shared.requests.pop() {
-        // A panic inside the pipeline must never take the worker thread
-        // down with it — the request gets a 500 and the worker lives on.
-        let response = catch_unwind(AssertUnwindSafe(|| execute(&job.work, shared)))
-            .unwrap_or_else(|_| Response::json(500, error_body("internal error")));
-        job.reply.send(response);
+        let Job {
+            work,
+            reply,
+            cancelled,
+        } = job;
+        let abandoned = cancelled.load(Ordering::SeqCst);
+        match work {
+            Work::BatchItem {
+                ticket,
+                corpus,
+                resolved,
+            } => {
+                if abandoned {
+                    // Nobody can read the result; skip the pipeline run.
+                    ticket.fill(item_error_value(500, "client disconnected"));
+                    continue;
+                }
+                // A panic inside the pipeline must never take the worker
+                // thread down with it — the item gets an error slot and the
+                // worker lives on.
+                let value = catch_unwind(AssertUnwindSafe(|| {
+                    run_resolved(&corpus, &resolved, shared)
+                }))
+                .unwrap_or_else(|_| {
+                    Err(ApiError {
+                        status: 500,
+                        message: "internal error".to_string(),
+                    })
+                });
+                ticket.fill(match value {
+                    Ok(value) => value,
+                    Err(e) => item_error_value(e.status, &e.message),
+                });
+            }
+            work => {
+                let reply = reply.expect("non-batch work carries a reply");
+                if abandoned {
+                    // The reply is still delivered so the owning loop can
+                    // free the connection's slot; the bytes are never
+                    // written because the slot is marked abandoned.
+                    reply.send(Response::json(500, error_body("client disconnected")));
+                    continue;
+                }
+                let response = catch_unwind(AssertUnwindSafe(|| execute(&work, shared)))
+                    .unwrap_or_else(|_| Response::json(500, error_body("internal error")));
+                reply.send(response);
+            }
+        }
     }
 }
 
@@ -1255,7 +1839,7 @@ fn execute(work: &Work, shared: &Shared) -> Response {
             Ok(value) => json_200(&value),
             Err(e) => Response::json(e.status, e.body()),
         },
-        Work::Batch(batch) => run_batch(batch, shared),
+        Work::BatchItem { .. } => unreachable!("batch items are executed by compute_loop"),
         Work::Refresh(tenant) => match shared.registry.refresh_in_place(tenant) {
             Ok(epoch) => json_200(&Value::Object(vec![
                 ("corpus".to_string(), Value::String(tenant.clone())),
@@ -1267,7 +1851,89 @@ fn execute(work: &Work, shared: &Shared) -> Response {
                 Response::json(e.status, e.body())
             }
         },
+        Work::Put { name, config } => {
+            let created = !shared.registry.contains(name);
+            match shared.registry.register_spec(name.clone(), config) {
+                Ok(epoch) => {
+                    apply_tenant_tuning(shared, name, config);
+                    json_200(&Value::Object(vec![
+                        ("corpus".to_string(), Value::String(name.clone())),
+                        ("epoch".to_string(), Value::Number(epoch as f64)),
+                        ("created".to_string(), Value::Bool(created)),
+                    ]))
+                }
+                Err(e) => Response::json(400, error_body(&format!("invalid corpus spec: {e}"))),
+            }
+        }
+        Work::Reload => {
+            let path = shared
+                .config
+                .manifest_path
+                .as_deref()
+                .expect("reload admitted only with a manifest path");
+            match std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {path}: {e}"))
+                .and_then(|text| {
+                    Manifest::from_json(&text).map_err(|e| format!("invalid manifest {path}: {e}"))
+                })
+                .and_then(|manifest| apply_manifest_to(shared, &manifest))
+            {
+                Ok(diff) => json_200(&diff_value(&diff)),
+                Err(message) => Response::json(400, error_body(&message)),
+            }
+        }
     }
+}
+
+/// Applies a manifest tenant's server-side tuning (queue weight/bound,
+/// bearer keys) to the running server.
+fn apply_tenant_tuning(shared: &Shared, name: &str, config: &TenantConfig) {
+    shared.requests.set_weight(name, config.weight.unwrap_or(1));
+    shared.requests.set_tenant_bound(
+        name,
+        config.queue.unwrap_or(shared.config.tenant_queue_capacity),
+    );
+    if shared.config.auth_enabled {
+        shared
+            .auth
+            .write()
+            .unwrap()
+            .grant_tenant(name, config.keys());
+    }
+}
+
+/// Applies a whole manifest to a running server: the registry's tenant set
+/// first (create/replace/remove — the CPU-heavy part), then queue tuning
+/// (removed tenants' lanes retire once drained) and a key-table swap.
+fn apply_manifest_to(shared: &Shared, manifest: &Manifest) -> Result<ManifestDiff, String> {
+    let diff = shared
+        .registry
+        .apply_manifest(manifest)
+        .map_err(|e| e.to_string())?;
+    for (name, config) in manifest.tenants_sorted() {
+        shared.requests.set_weight(name, config.weight.unwrap_or(1));
+        shared.requests.set_tenant_bound(
+            name,
+            config.queue.unwrap_or(shared.config.tenant_queue_capacity),
+        );
+    }
+    for name in &diff.removed {
+        shared.requests.retire(name);
+    }
+    *shared.auth.write().unwrap() = AuthTable::from_manifest(manifest);
+    Ok(diff)
+}
+
+/// The JSON rendering of a [`ManifestDiff`] (the `/v1/admin/reload`
+/// response body).
+fn diff_value(diff: &ManifestDiff) -> Value {
+    let names = |list: &[String]| Value::Array(list.iter().cloned().map(Value::String).collect());
+    Value::Object(vec![
+        ("created".to_string(), names(&diff.created)),
+        ("replaced".to_string(), names(&diff.replaced)),
+        ("removed".to_string(), names(&diff.removed)),
+        ("unchanged".to_string(), names(&diff.unchanged)),
+    ])
 }
 
 fn registry_error(e: RegistryError) -> ApiError {
@@ -1285,12 +1951,6 @@ fn registry_error(e: RegistryError) -> ApiError {
             message: format!("pipeline failure: {e}"),
         },
     }
-}
-
-/// Validates a DTO and runs it — the per-item path of `/v1/batch`.
-fn run_generate(dto: &GenerateRequest, shared: &Shared) -> Result<Value, ApiError> {
-    let resolved = ResolvedRequest::resolve(dto)?;
-    run_resolved(dto.tenant(&shared.config.default_corpus), &resolved, shared)
 }
 
 /// Runs an already-validated request against its corpus.
@@ -1318,44 +1978,108 @@ fn run_resolved(
     ))
 }
 
-fn run_batch(batch: &BatchRequest, shared: &Shared) -> Response {
-    // Fan the items out over the work-stealing helper; each item routes to
-    // its own tenant and failures stay per-item. The CPU budget is divided
-    // by the number of batches currently in flight: each compute worker
-    // runs its own fan-out, and without the division `workers` concurrent
-    // batches would oversubscribe the machine with workers x cores
-    // pipeline threads.
-    struct BatchGuard<'a>(&'a AtomicUsize);
-    impl Drop for BatchGuard<'_> {
-        fn drop(&mut self) {
-            self.0.fetch_sub(1, Ordering::SeqCst);
-        }
-    }
-    let active = shared
-        .counters
-        .active_batches
-        .fetch_add(1, Ordering::SeqCst)
-        + 1;
-    let _guard = BatchGuard(&shared.counters.active_batches);
-    let threads = (rpg_service::default_threads() / active)
-        .max(1)
-        .min(batch.requests.len().max(1));
-    let results = parallel::fan_out(
-        batch.requests.len(),
-        threads,
-        || (),
-        |_, i| match run_generate(&batch.requests[i], shared) {
-            Ok(value) => value,
-            Err(e) => Value::Object(vec![
-                ("error".to_string(), Value::String(e.message.clone())),
-                ("status".to_string(), Value::Number(f64::from(e.status))),
-            ]),
-        },
-    );
+/// `GET /v1/corpora`: the control-plane listing — epoch, corpus spec (when
+/// known), cache occupancy and queue tuning per tenant. An admin key (or
+/// auth-off) sees every tenant; a tenant key sees only its own row, so one
+/// tenant's corpus recipe and tuning are never disclosed to another.
+fn handle_corpora_list(shared: &Shared, principal: &Option<Principal>) -> Response {
+    let own = match principal {
+        Some(Principal::Tenant(name)) => Some(name.as_str()),
+        _ => None,
+    };
+    let corpora: Vec<Value> = shared
+        .registry
+        .overview()
+        .into_iter()
+        .filter(|row| own.is_none_or(|own| row.name == own))
+        .map(|row| {
+            let spec = match &row.spec {
+                Some(spec) => serde::Serialize::to_value(spec),
+                None => Value::Null,
+            };
+            Value::Object(vec![
+                ("name".to_string(), Value::String(row.name.clone())),
+                ("epoch".to_string(), Value::Number(row.epoch as f64)),
+                ("corpus".to_string(), spec),
+                (
+                    "cached_entries".to_string(),
+                    Value::Number(row.cached_entries as f64),
+                ),
+                (
+                    "cache_share".to_string(),
+                    row.cache_share
+                        .map_or(Value::Null, |share| Value::Number(share as f64)),
+                ),
+                (
+                    "weight".to_string(),
+                    Value::Number(shared.requests.weight(&row.name) as f64),
+                ),
+                (
+                    "queue".to_string(),
+                    Value::Number(shared.requests.tenant_bound(&row.name) as f64),
+                ),
+            ])
+        })
+        .collect();
     json_200(&Value::Object(vec![(
-        "results".to_string(),
-        Value::Array(results),
+        "corpora".to_string(),
+        Value::Array(corpora),
     )]))
+}
+
+/// `DELETE /v1/corpora/:name`: removes the tenant, evicts its cache
+/// entries, retires its queue lane (draining queued work first) and
+/// revokes its keys. Subsequent generates against it are `404`s.
+fn handle_corpus_delete(tenant: &str, shared: &Shared) -> Response {
+    if !shared.registry.remove(tenant) {
+        return Response::json(404, error_body(&format!("unknown corpus {tenant:?}")));
+    }
+    shared.requests.retire(tenant);
+    if shared.config.auth_enabled {
+        shared.auth.write().unwrap().revoke_tenant(tenant);
+    }
+    json_200(&Value::Object(vec![
+        ("corpus".to_string(), Value::String(tenant.to_string())),
+        ("removed".to_string(), Value::Bool(true)),
+    ]))
+}
+
+/// `PATCH /v1/admin/tenants/:name`: retunes a live tenant's DRR weight
+/// and/or queue bound without touching queued work.
+fn handle_tenant_patch(tenant: &str, body: &[u8], shared: &Shared) -> Response {
+    let patch: TenantPatch = match parse_body(body) {
+        Ok(patch) => patch,
+        Err(response) => return response,
+    };
+    if !shared.registry.contains(tenant) {
+        return Response::json(404, error_body(&format!("unknown corpus {tenant:?}")));
+    }
+    if patch.weight == Some(0) || patch.queue == Some(0) {
+        return Response::json(400, error_body("weight and queue must be at least 1"));
+    }
+    if patch.weight.is_none() && patch.queue.is_none() {
+        return Response::json(
+            400,
+            error_body("nothing to change: set weight and/or queue"),
+        );
+    }
+    if let Some(weight) = patch.weight {
+        shared.requests.set_weight(tenant, weight);
+    }
+    if let Some(bound) = patch.queue {
+        shared.requests.set_tenant_bound(tenant, bound);
+    }
+    json_200(&Value::Object(vec![
+        ("tenant".to_string(), Value::String(tenant.to_string())),
+        (
+            "weight".to_string(),
+            Value::Number(shared.requests.weight(tenant) as f64),
+        ),
+        (
+            "queue".to_string(),
+            Value::Number(shared.requests.tenant_bound(tenant) as f64),
+        ),
+    ]))
 }
 
 fn handle_healthz(shared: &Shared) -> Response {
@@ -1444,14 +2168,12 @@ fn queue_value(shared: &Shared) -> Value {
         .into_iter()
         .map(|(name, depth)| {
             let weight = requests.weight(&name);
+            let capacity = requests.tenant_bound(&name);
             (
                 name,
                 Value::Object(vec![
                     ("depth".to_string(), Value::Number(depth as f64)),
-                    (
-                        "capacity".to_string(),
-                        Value::Number(requests.tenant_capacity() as f64),
-                    ),
+                    ("capacity".to_string(), Value::Number(capacity as f64)),
                     ("weight".to_string(), Value::Number(weight as f64)),
                 ]),
             )

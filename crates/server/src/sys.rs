@@ -20,6 +20,7 @@
 use std::ffi::{c_int, c_void};
 use std::io;
 use std::os::unix::io::RawFd;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
 /// One entry of a `poll(2)` set — layout-compatible with `struct pollfd`.
@@ -75,9 +76,18 @@ const O_NONBLOCK: c_int = 0o4000;
 #[cfg(not(target_os = "linux"))]
 const O_NONBLOCK: c_int = 0x0004;
 
+/// `SIGHUP` — the conventional "reload your configuration" signal.
+const SIGHUP: c_int = 1;
+/// `signal(2)`'s error return.
+const SIG_ERR: usize = usize::MAX;
+
 extern "C" {
     fn poll(fds: *mut PollFd, nfds: NfdsT, timeout: c_int) -> c_int;
     fn pipe(fds: *mut c_int) -> c_int;
+    // The handler is passed as a plain address: the only handler ever
+    // installed is `sighup_flag_handler` below, whose ABI matches what the
+    // kernel calls.
+    fn signal(signum: c_int, handler: usize) -> usize;
     // fcntl(2) is variadic in C; declaring it with a fixed third argument
     // would be undefined behaviour on ABIs where variadic and fixed calls
     // differ (Apple's AAPCS64 passes varargs on the stack), so the
@@ -86,6 +96,8 @@ extern "C" {
     fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
     fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
     fn close(fd: c_int) -> c_int;
+    #[cfg(test)]
+    fn raise(signum: c_int) -> c_int;
 }
 
 /// Blocks until at least one descriptor in `fds` is ready, the timeout
@@ -111,6 +123,33 @@ pub fn poll_fds(fds: &mut [PollFd], timeout: Option<Duration>) -> io::Result<usi
         return Err(e);
     }
     Ok(rc as usize)
+}
+
+/// Set by the `SIGHUP` handler, consumed by [`sighup_pending`].
+static SIGHUP_PENDING: AtomicBool = AtomicBool::new(false);
+
+/// The installed `SIGHUP` handler: setting a relaxed atomic flag is on the
+/// short list of things that are async-signal-safe.
+extern "C" fn sighup_flag_handler(_signum: c_int) {
+    SIGHUP_PENDING.store(true, Ordering::Relaxed);
+}
+
+/// Installs a `SIGHUP` handler that records the signal in a flag instead of
+/// killing the process (the default disposition). Poll the flag with
+/// [`sighup_pending`] — the `rpg serve` loop does, and re-applies its
+/// tenant manifest when it fires.
+pub fn install_sighup() -> io::Result<()> {
+    // SAFETY: installs a handler that only writes one static atomic; the
+    // function address is a valid `extern "C" fn(c_int)`.
+    if unsafe { signal(SIGHUP, sighup_flag_handler as *const () as usize) } == SIG_ERR {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(())
+}
+
+/// Whether a `SIGHUP` arrived since the last call; reading clears the flag.
+pub fn sighup_pending() -> bool {
+    SIGHUP_PENDING.swap(false, Ordering::Relaxed)
 }
 
 fn set_nonblocking(fd: RawFd) -> io::Result<()> {
@@ -238,6 +277,17 @@ mod tests {
             "poll must return on the wake, not the timeout"
         );
         handle.join().unwrap();
+    }
+
+    #[test]
+    fn sighup_sets_the_flag_once_per_delivery() {
+        install_sighup().unwrap();
+        assert!(!sighup_pending(), "no signal yet");
+        // SAFETY: raising a signal this process just installed a
+        // flag-setting handler for.
+        assert_eq!(unsafe { raise(SIGHUP) }, 0);
+        assert!(sighup_pending(), "the delivered SIGHUP must be observed");
+        assert!(!sighup_pending(), "reading the flag clears it");
     }
 
     #[test]

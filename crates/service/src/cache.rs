@@ -92,6 +92,22 @@ impl<K: Hash + Eq + Clone, V: Clone> LruCache<K, V> {
         self.map.keys()
     }
 
+    /// Evicts the least-recently-used entry among those whose key passes
+    /// the predicate, returning the evicted key (`None` when nothing
+    /// matches). The multi-tenant registry uses this to enforce per-tenant
+    /// cache shares: a tenant over its share evicts its own LRU entry, not
+    /// another tenant's.
+    pub fn evict_lru_where(&mut self, mut pred: impl FnMut(&K) -> bool) -> Option<K> {
+        let key = self
+            .map
+            .iter()
+            .filter(|(key, _)| pred(key))
+            .min_by_key(|(_, entry)| entry.last_used)
+            .map(|(key, _)| key.clone())?;
+        self.map.remove(&key);
+        Some(key)
+    }
+
     /// Keeps only the entries whose key/value pass the predicate.
     ///
     /// The multi-tenant registry uses this to invalidate one tenant's

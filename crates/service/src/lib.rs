@@ -27,12 +27,16 @@
 
 pub mod cache;
 pub mod fingerprint;
+pub mod manifest;
 pub mod parallel;
 pub mod registry;
 
 pub use cache::LruCache;
 pub use fingerprint::RequestFingerprint;
-pub use registry::{CorpusRegistry, RegistryError, Served};
+pub use manifest::{
+    valid_tenant_name, CorpusSpec, Manifest, ManifestDiff, ManifestError, TenantConfig,
+};
+pub use registry::{CorpusRegistry, RegistryError, Served, TenantOverview};
 
 use rpg_corpus::Corpus;
 use rpg_engines::ScholarEngine;

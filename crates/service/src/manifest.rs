@@ -1,0 +1,500 @@
+//! Declarative tenant manifests: the control-plane description of *which*
+//! corpora a multi-tenant server serves and *how* each tenant is treated.
+//!
+//! A [`Manifest`] is parsed from a JSON file and maps tenant names to a
+//! [`TenantConfig`]: the corpus recipe ([`CorpusSpec`] — seed, scale and
+//! optional size override, enough to rebuild the corpus deterministically),
+//! a default model variant, the tenant's fair-queue bound and DRR weight,
+//! an optional cache share, and the API keys that authenticate as this
+//! tenant. The server-side pieces (queue weights, auth keys) are consumed
+//! by `rpg-server`; the corpus lifecycle lives here:
+//! [`CorpusRegistry::apply_manifest`] diffs the manifest against the
+//! registry's current tenants and creates, replaces or removes exactly the
+//! tenants whose corpus spec changed — replacement bumps the tenant's epoch
+//! and evicts exactly that tenant's cache entries, and tenants whose spec
+//! is unchanged are left serving their existing artifacts.
+//!
+//! ```json
+//! {
+//!   "admin_keys": ["admin-secret"],
+//!   "tenants": {
+//!     "alpha": {
+//!       "corpus": {"seed": 10, "scale": "small"},
+//!       "weight": 2,
+//!       "queue": 16,
+//!       "api_keys": ["alpha-key"]
+//!     },
+//!     "beta": {
+//!       "corpus": {"seed": 11, "scale": "small", "papers_per_topic": 40},
+//!       "variant": "NEWST-C",
+//!       "cache_share": 32,
+//!       "api_keys": ["beta-key"]
+//!     }
+//!   }
+//! }
+//! ```
+//!
+//! [`CorpusRegistry::apply_manifest`]: crate::CorpusRegistry::apply_manifest
+
+use rpg_corpus::{generate, Corpus, CorpusConfig};
+use rpg_repager::Variant;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The corpus scale a [`CorpusSpec`] starts from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorpusScale {
+    /// `CorpusConfig::small()` — the ~1.2k-paper demo corpus.
+    Small,
+    /// `CorpusConfig::default()` — the ~5k-paper benchmark corpus.
+    Full,
+}
+
+impl CorpusScale {
+    /// Parses the manifest spelling (`"small"` / `"full"`, with
+    /// `"default"` accepted as an alias for full).
+    pub fn from_name(name: &str) -> Option<CorpusScale> {
+        match name.to_ascii_lowercase().as_str() {
+            "small" => Some(CorpusScale::Small),
+            "full" | "default" => Some(CorpusScale::Full),
+            _ => None,
+        }
+    }
+
+    /// The canonical manifest spelling.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CorpusScale::Small => "small",
+            CorpusScale::Full => "full",
+        }
+    }
+}
+
+/// A deterministic corpus recipe: everything needed to (re)build one
+/// tenant's corpus. Two tenants with equal specs serve identical corpora,
+/// which is what lets [`CorpusRegistry::apply_manifest`] skip rebuilding
+/// tenants whose spec did not change.
+///
+/// [`CorpusRegistry::apply_manifest`]: crate::CorpusRegistry::apply_manifest
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CorpusSpec {
+    /// RNG seed; the corpus is a pure function of the spec.
+    pub seed: u64,
+    /// Corpus scale (`"small"` or `"full"`); small when omitted.
+    pub scale: Option<String>,
+    /// Overrides the base number of papers per topic.
+    pub papers_per_topic: Option<usize>,
+}
+
+impl CorpusSpec {
+    /// A small-scale spec with just a seed.
+    pub fn small(seed: u64) -> CorpusSpec {
+        CorpusSpec {
+            seed,
+            scale: None,
+            papers_per_topic: None,
+        }
+    }
+
+    /// The parsed scale; errors on an unknown spelling.
+    pub fn corpus_scale(&self) -> Result<CorpusScale, ManifestError> {
+        match &self.scale {
+            None => Ok(CorpusScale::Small),
+            Some(name) => CorpusScale::from_name(name).ok_or_else(|| {
+                ManifestError::new(format!(
+                    "unknown corpus scale {name:?}; expected \"small\" or \"full\""
+                ))
+            }),
+        }
+    }
+
+    /// The full generator configuration this spec describes.
+    pub fn corpus_config(&self) -> Result<CorpusConfig, ManifestError> {
+        let base = match self.corpus_scale()? {
+            CorpusScale::Small => CorpusConfig::small(),
+            CorpusScale::Full => CorpusConfig::default(),
+        };
+        let mut config = CorpusConfig {
+            seed: self.seed,
+            ..base
+        };
+        if let Some(papers) = self.papers_per_topic {
+            if papers == 0 {
+                return Err(ManifestError::new("papers_per_topic must be at least 1"));
+            }
+            config.papers_per_topic = papers;
+        }
+        Ok(config)
+    }
+
+    /// Generates the corpus this spec describes (CPU-heavy; callers run it
+    /// off any latency-sensitive thread).
+    pub fn build_corpus(&self) -> Result<Corpus, ManifestError> {
+        Ok(generate(&self.corpus_config()?))
+    }
+}
+
+/// Everything a manifest says about one tenant (the tenant's name is the
+/// key it sits under in [`Manifest::tenants`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct TenantConfig {
+    /// The corpus this tenant serves. Required.
+    pub corpus: Option<CorpusSpec>,
+    /// Default model variant for requests that omit one (paper-table name,
+    /// e.g. `"NEWST-C"`); the service default when omitted.
+    pub variant: Option<String>,
+    /// Deficit-round-robin weight (≥ 1); 1 when omitted.
+    pub weight: Option<u64>,
+    /// Per-tenant admission-queue bound (≥ 1); the server default when
+    /// omitted.
+    pub queue: Option<usize>,
+    /// Maximum result-cache entries this tenant may occupy in the shared
+    /// cache; unlimited (plain LRU pressure) when omitted.
+    pub cache_share: Option<usize>,
+    /// Bearer keys that authenticate as this tenant.
+    pub api_keys: Option<Vec<String>>,
+}
+
+impl TenantConfig {
+    /// A minimal config serving `spec` with no keys and default tuning.
+    pub fn for_spec(spec: CorpusSpec) -> TenantConfig {
+        TenantConfig {
+            corpus: Some(spec),
+            ..TenantConfig::default()
+        }
+    }
+
+    /// The corpus spec; errors when the manifest omitted it.
+    pub fn corpus_spec(&self) -> Result<&CorpusSpec, ManifestError> {
+        self.corpus
+            .as_ref()
+            .ok_or_else(|| ManifestError::new("tenant is missing its \"corpus\" spec"))
+    }
+
+    /// The parsed default variant, if configured.
+    pub fn default_variant(&self) -> Result<Option<Variant>, ManifestError> {
+        match self.variant.as_deref() {
+            None => Ok(None),
+            Some(name) => Variant::from_name(name).map(Some).ok_or_else(|| {
+                let known: Vec<&str> = Variant::ALL.iter().map(|v| v.name()).collect();
+                ManifestError::new(format!(
+                    "unknown variant {name:?}; expected one of {}",
+                    known.join(", ")
+                ))
+            }),
+        }
+    }
+
+    /// The bearer keys, empty when omitted.
+    pub fn keys(&self) -> &[String] {
+        self.api_keys.as_deref().unwrap_or(&[])
+    }
+}
+
+/// A parsed, validated tenant manifest.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Manifest {
+    /// Bearer keys accepted for the admin endpoints.
+    pub admin_keys: Option<Vec<String>>,
+    /// Tenant name → tenant configuration.
+    pub tenants: Option<HashMap<String, TenantConfig>>,
+}
+
+impl Manifest {
+    /// Parses and validates a manifest from JSON text.
+    pub fn from_json(text: &str) -> Result<Manifest, ManifestError> {
+        let manifest: Manifest = serde_json::from_str(text)
+            .map_err(|e| ManifestError::new(format!("invalid manifest JSON: {e}")))?;
+        manifest.validate()?;
+        Ok(manifest)
+    }
+
+    /// The admin keys, empty when omitted.
+    pub fn admin(&self) -> &[String] {
+        self.admin_keys.as_deref().unwrap_or(&[])
+    }
+
+    /// Tenant name → config, sorted by name so application order (and any
+    /// error reported out of it) is deterministic.
+    pub fn tenants_sorted(&self) -> Vec<(&str, &TenantConfig)> {
+        let mut tenants: Vec<(&str, &TenantConfig)> = self
+            .tenants
+            .iter()
+            .flatten()
+            .map(|(name, config)| (name.as_str(), config))
+            .collect();
+        tenants.sort_by_key(|&(name, _)| name);
+        tenants
+    }
+
+    /// The configuration of one tenant.
+    pub fn tenant(&self, name: &str) -> Option<&TenantConfig> {
+        self.tenants.as_ref()?.get(name)
+    }
+
+    /// Checks every cross-field rule a JSON-shaped manifest can still get
+    /// wrong: tenant names must be usable in URLs and queue lanes, weights
+    /// and bounds must be positive, corpus specs must parse, and no bearer
+    /// key may be ambiguous (shared between tenants, or between a tenant
+    /// and the admin set).
+    pub fn validate(&self) -> Result<(), ManifestError> {
+        let mut seen_keys: HashMap<&str, String> = HashMap::new();
+        for key in self.admin() {
+            if key.is_empty() {
+                return Err(ManifestError::new("admin keys must be non-empty"));
+            }
+            seen_keys.insert(key, "admin".to_string());
+        }
+        for (name, config) in self.tenants_sorted() {
+            if !valid_tenant_name(name) {
+                return Err(ManifestError::new(format!(
+                    "invalid tenant name {name:?}: names are non-empty, contain no \
+                     whitespace or '/', and may not start with \"__\""
+                )));
+            }
+            let spec = config
+                .corpus_spec()
+                .map_err(|e| e.for_tenant(name))?
+                .clone();
+            spec.corpus_config().map_err(|e| e.for_tenant(name))?;
+            config.default_variant().map_err(|e| e.for_tenant(name))?;
+            if config.weight == Some(0) {
+                return Err(ManifestError::new(format!(
+                    "tenant {name:?}: weight must be at least 1"
+                )));
+            }
+            if config.queue == Some(0) {
+                return Err(ManifestError::new(format!(
+                    "tenant {name:?}: queue bound must be at least 1"
+                )));
+            }
+            for key in config.keys() {
+                if key.is_empty() {
+                    return Err(ManifestError::new(format!(
+                        "tenant {name:?}: api keys must be non-empty"
+                    )));
+                }
+                if let Some(owner) = seen_keys.insert(key, name.to_string()) {
+                    return Err(ManifestError::new(format!(
+                        "api key {key:?} is claimed by both {owner:?} and {name:?}"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Whether `name` may name a tenant: non-empty, no whitespace, `/` or
+/// control characters (names appear in URL paths and queue lanes), and not
+/// the reserved `__` prefix (internal admission lanes). The same rule
+/// gates manifest tenants and wire-side `PUT /v1/corpora/:name`.
+pub fn valid_tenant_name(name: &str) -> bool {
+    !name.is_empty()
+        && !name.starts_with("__")
+        && !name
+            .chars()
+            .any(|c| c.is_ascii_whitespace() || c == '/' || c.is_ascii_control())
+}
+
+/// What [`CorpusRegistry::apply_manifest`] did to each tenant, sorted by
+/// name within each bucket.
+///
+/// [`CorpusRegistry::apply_manifest`]: crate::CorpusRegistry::apply_manifest
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ManifestDiff {
+    /// Tenants that did not exist and were built and registered.
+    pub created: Vec<String>,
+    /// Tenants whose corpus spec changed: rebuilt, epoch-bumped, and their
+    /// cache entries evicted.
+    pub replaced: Vec<String>,
+    /// Tenants present in the registry but absent from the manifest:
+    /// removed, cache entries evicted.
+    pub removed: Vec<String>,
+    /// Tenants whose corpus spec matched; artifacts and cache untouched
+    /// (tuning fields like `cache_share` are still re-applied).
+    pub unchanged: Vec<String>,
+}
+
+impl ManifestDiff {
+    /// Whether the apply changed any tenant's artifacts or membership.
+    pub fn is_noop(&self) -> bool {
+        self.created.is_empty() && self.replaced.is_empty() && self.removed.is_empty()
+    }
+}
+
+/// A manifest that does not describe a servable tenant set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestError {
+    message: String,
+}
+
+impl ManifestError {
+    pub(crate) fn new(message: impl Into<String>) -> ManifestError {
+        ManifestError {
+            message: message.into(),
+        }
+    }
+
+    fn for_tenant(self, name: &str) -> ManifestError {
+        ManifestError::new(format!("tenant {name:?}: {}", self.message))
+    }
+}
+
+impl std::fmt::Display for ManifestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for ManifestError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_json() -> String {
+        r#"{
+            "admin_keys": ["root-key"],
+            "tenants": {
+                "alpha": {
+                    "corpus": {"seed": 10, "scale": "small"},
+                    "weight": 2,
+                    "queue": 16,
+                    "api_keys": ["alpha-key"]
+                },
+                "beta": {
+                    "corpus": {"seed": 11, "papers_per_topic": 30},
+                    "variant": "NEWST-C",
+                    "cache_share": 4,
+                    "api_keys": ["beta-key-1", "beta-key-2"]
+                }
+            }
+        }"#
+        .to_string()
+    }
+
+    #[test]
+    fn parses_and_round_trips() {
+        let manifest = Manifest::from_json(&demo_json()).unwrap();
+        assert_eq!(manifest.admin(), ["root-key"]);
+        let names: Vec<&str> = manifest
+            .tenants_sorted()
+            .iter()
+            .map(|&(name, _)| name)
+            .collect();
+        assert_eq!(names, ["alpha", "beta"]);
+        let alpha = manifest.tenant("alpha").unwrap();
+        assert_eq!(alpha.corpus_spec().unwrap().seed, 10);
+        assert_eq!(alpha.weight, Some(2));
+        assert_eq!(alpha.queue, Some(16));
+        let beta = manifest.tenant("beta").unwrap();
+        assert_eq!(
+            beta.default_variant().unwrap(),
+            Some(Variant::CandidatesOnly)
+        );
+        assert_eq!(beta.cache_share, Some(4));
+        assert_eq!(beta.keys().len(), 2);
+        // Serialise → parse yields the same manifest.
+        let text = serde_json::to_string(&manifest).unwrap();
+        assert_eq!(Manifest::from_json(&text).unwrap(), manifest);
+    }
+
+    #[test]
+    fn corpus_spec_builds_the_configured_scale() {
+        let spec = CorpusSpec {
+            seed: 7,
+            scale: Some("full".to_string()),
+            papers_per_topic: Some(33),
+        };
+        let config = spec.corpus_config().unwrap();
+        assert_eq!(config.seed, 7);
+        assert_eq!(config.papers_per_topic, 33);
+        assert_eq!(
+            CorpusSpec::small(7)
+                .corpus_config()
+                .unwrap()
+                .papers_per_topic,
+            CorpusConfig::small().papers_per_topic
+        );
+        // "default" is an accepted alias for full.
+        assert_eq!(CorpusScale::from_name("default"), Some(CorpusScale::Full));
+        assert!(CorpusSpec {
+            scale: Some("tiny".to_string()),
+            ..CorpusSpec::small(1)
+        }
+        .corpus_config()
+        .is_err());
+    }
+
+    #[test]
+    fn identical_specs_build_identical_corpora() {
+        let a = CorpusSpec::small(0xA11CE).build_corpus().unwrap();
+        let b = CorpusSpec::small(0xA11CE).build_corpus().unwrap();
+        assert_eq!(a.papers().len(), b.papers().len());
+        assert_eq!(
+            a.survey_bank().iter().next().unwrap().query,
+            b.survey_bank().iter().next().unwrap().query
+        );
+    }
+
+    #[test]
+    fn validation_rejects_broken_manifests() {
+        for (json, what) in [
+            (r#"{"tenants": {"a": {}}}"#, "missing corpus spec"),
+            (
+                r#"{"tenants": {"a": {"corpus": {"seed": 1, "scale": "huge"}}}}"#,
+                "unknown scale",
+            ),
+            (
+                r#"{"tenants": {"a": {"corpus": {"seed": 1}, "weight": 0}}}"#,
+                "zero weight",
+            ),
+            (
+                r#"{"tenants": {"a": {"corpus": {"seed": 1}, "queue": 0}}}"#,
+                "zero queue bound",
+            ),
+            (
+                r#"{"tenants": {"a": {"corpus": {"seed": 1}, "variant": "bogus"}}}"#,
+                "unknown variant",
+            ),
+            (
+                r#"{"tenants": {"a": {"corpus": {"seed": 1}, "api_keys": [""]}}}"#,
+                "empty api key",
+            ),
+            (
+                r#"{"tenants": {"__x": {"corpus": {"seed": 1}}}}"#,
+                "reserved name",
+            ),
+            (
+                r#"{"tenants": {"a b": {"corpus": {"seed": 1}}}}"#,
+                "whitespace in name",
+            ),
+            (
+                r#"{"tenants": {"a/b": {"corpus": {"seed": 1}}}}"#,
+                "slash in name",
+            ),
+            (
+                r#"{"tenants": {
+                    "a": {"corpus": {"seed": 1}, "api_keys": ["k"]},
+                    "b": {"corpus": {"seed": 2}, "api_keys": ["k"]}}}"#,
+                "duplicate key across tenants",
+            ),
+            (
+                r#"{"admin_keys": ["k"],
+                    "tenants": {"a": {"corpus": {"seed": 1}, "api_keys": ["k"]}}}"#,
+                "key shared with admin",
+            ),
+            ("not json", "syntax error"),
+        ] {
+            assert!(Manifest::from_json(json).is_err(), "accepted: {what}");
+        }
+    }
+
+    #[test]
+    fn empty_manifest_is_valid() {
+        let manifest = Manifest::from_json("{}").unwrap();
+        assert!(manifest.tenants_sorted().is_empty());
+        assert!(manifest.admin().is_empty());
+    }
+}

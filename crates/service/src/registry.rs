@@ -11,13 +11,15 @@
 
 use crate::cache::LruCache;
 use crate::fingerprint::RequestFingerprint;
+use crate::manifest::{CorpusSpec, Manifest, ManifestDiff, ManifestError, TenantConfig};
 use crate::{CacheStats, DEFAULT_CACHE_CAPACITY};
 use rpg_corpus::Corpus;
 use rpg_graph::GraphError;
 use rpg_repager::artifacts::CorpusArtifacts;
 use rpg_repager::stages::serve_request;
 use rpg_repager::system::{PathRequest, RepagerError, RepagerOutput};
-use std::collections::HashMap;
+use rpg_repager::Variant;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
@@ -67,6 +69,32 @@ pub struct Served {
 struct Tenant {
     artifacts: Arc<CorpusArtifacts>,
     epoch: u64,
+    /// The declarative recipe the corpus was built from, when the tenant
+    /// came from a manifest or a wire-side corpus spec — what
+    /// [`CorpusRegistry::apply_manifest`] diffs against. `None` for tenants
+    /// registered from a raw corpus.
+    spec: Option<CorpusSpec>,
+    /// Maximum shared-cache entries this tenant may occupy (`None` =
+    /// limited only by global LRU pressure).
+    cache_share: Option<usize>,
+    /// Model variant served when a request omits one.
+    default_variant: Option<Variant>,
+}
+
+/// One row of [`CorpusRegistry::overview`]: the control-plane view of a
+/// tenant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantOverview {
+    /// The tenant name.
+    pub name: String,
+    /// Current corpus epoch (bumps on every refresh/replace).
+    pub epoch: u64,
+    /// The corpus spec, when the tenant was built from one.
+    pub spec: Option<CorpusSpec>,
+    /// Cached results currently held for this tenant.
+    pub cached_entries: usize,
+    /// The tenant's cache share, when bounded.
+    pub cache_share: Option<usize>,
 }
 
 /// The cache key: tenant name plus the epoch-bound request fingerprint.
@@ -112,13 +140,173 @@ impl CorpusRegistry {
         corpus: impl Into<Arc<Corpus>>,
     ) -> Result<(), GraphError> {
         let artifacts = CorpusArtifacts::build(corpus)?;
-        self.install(name.into(), artifacts);
+        self.install(name.into(), artifacts, None);
         Ok(())
     }
 
     /// Registers (or replaces) a tenant from pre-built artifacts.
     pub fn register_artifacts(&self, name: impl Into<String>, artifacts: Arc<CorpusArtifacts>) {
-        self.install(name.into(), artifacts);
+        self.install(name.into(), artifacts, None);
+    }
+
+    /// Registers (or replaces) a tenant from a declarative
+    /// [`TenantConfig`]: the corpus is generated from the config's spec,
+    /// artifacts are built, and the spec plus tuning fields (cache share,
+    /// default variant) are recorded on the tenant — the building block of
+    /// both [`CorpusRegistry::apply_manifest`] and the wire-side
+    /// `PUT /v1/corpora/:name`. Replacement semantics match
+    /// [`CorpusRegistry::refresh`]: epoch bump and exact-tenant cache
+    /// eviction.
+    ///
+    /// The corpus generation and artifact build are CPU-heavy and run
+    /// without holding any registry lock, so concurrent serving continues
+    /// until the final atomic swap.
+    pub fn register_spec(
+        &self,
+        name: impl Into<String>,
+        config: &TenantConfig,
+    ) -> Result<u64, ManifestError> {
+        let name = name.into();
+        let spec = config.corpus_spec()?.clone();
+        let default_variant = config.default_variant()?;
+        let corpus = spec.build_corpus()?;
+        let artifacts = CorpusArtifacts::build(corpus)
+            .map_err(|e| ManifestError::new(format!("artifact build failed: {e}")))?;
+        self.install(name.clone(), artifacts, Some(spec));
+        {
+            let mut tenants = self.tenants.write().unwrap();
+            if let Some(tenant) = tenants.get_mut(&name) {
+                tenant.cache_share = config.cache_share;
+                tenant.default_variant = default_variant;
+            }
+        }
+        Ok(self.epoch(&name).unwrap_or(0))
+    }
+
+    /// Applies a validated [`Manifest`] with a diff against the current
+    /// tenant set: tenants new to the manifest are built and registered,
+    /// tenants whose [`CorpusSpec`] changed are rebuilt and atomically
+    /// swapped (epoch bump, exact-tenant cache eviction), tenants absent
+    /// from the manifest are removed, and tenants with an unchanged spec
+    /// keep their artifacts and cache while their tuning fields are
+    /// re-applied. The manifest is authoritative: tenants registered
+    /// outside it (including via `PUT`) are removed by the next apply.
+    ///
+    /// All corpus/artifact builds happen before anything is swapped, with
+    /// no registry lock held — a failing build leaves the registry exactly
+    /// as it was, and the event loops of a server sharing this registry
+    /// never block on the builds.
+    pub fn apply_manifest(&self, manifest: &Manifest) -> Result<ManifestDiff, ManifestError> {
+        manifest.validate()?;
+        // Phase 1: classify every manifest tenant against the current spec
+        // snapshot.
+        let current: HashMap<String, Option<CorpusSpec>> = {
+            let tenants = self.tenants.read().unwrap();
+            tenants
+                .iter()
+                .map(|(name, tenant)| (name.clone(), tenant.spec.clone()))
+                .collect()
+        };
+        let mut diff = ManifestDiff::default();
+        for (name, config) in manifest.tenants_sorted() {
+            let spec = config.corpus_spec()?;
+            match current.get(name) {
+                Some(Some(existing)) if existing == spec => diff.unchanged.push(name.to_string()),
+                Some(_) => diff.replaced.push(name.to_string()),
+                None => diff.created.push(name.to_string()),
+            }
+        }
+        diff.removed = current
+            .keys()
+            .filter(|name| manifest.tenant(name).is_none())
+            .cloned()
+            .collect();
+        diff.removed.sort();
+        // Phase 2: build everything that changed, before touching the
+        // registry — an error here leaves the tenant set untouched.
+        let mut built: Vec<(String, Arc<CorpusArtifacts>)> = Vec::new();
+        for name in diff.created.iter().chain(&diff.replaced) {
+            let config = manifest.tenant(name).expect("classified tenant is listed");
+            let corpus = config
+                .corpus_spec()?
+                .build_corpus()
+                .map_err(|e| ManifestError::new(format!("tenant {name:?}: {e}")))?;
+            let artifacts = CorpusArtifacts::build(corpus).map_err(|e| {
+                ManifestError::new(format!("tenant {name:?}: artifact build failed: {e}"))
+            })?;
+            built.push((name.clone(), artifacts));
+        }
+        // Phase 3: commit under one write lock — epochs bump before the
+        // cache sweep below, so the epoch-guarded insert in `generate`
+        // cannot resurrect a pre-swap result.
+        let mut vanished_unchanged: Vec<String> = Vec::new();
+        {
+            let mut tenants = self.tenants.write().unwrap();
+            for (name, artifacts) in built {
+                let config = manifest.tenant(&name).expect("built tenant is listed");
+                let spec = Some(config.corpus_spec()?.clone());
+                let default_variant = config.default_variant()?;
+                match tenants.get_mut(&name) {
+                    Some(tenant) => {
+                        tenant.artifacts = artifacts;
+                        tenant.epoch += 1;
+                        tenant.spec = spec;
+                        tenant.cache_share = config.cache_share;
+                        tenant.default_variant = default_variant;
+                    }
+                    None => {
+                        tenants.insert(
+                            name,
+                            Tenant {
+                                artifacts,
+                                epoch: 0,
+                                spec,
+                                cache_share: config.cache_share,
+                                default_variant,
+                            },
+                        );
+                    }
+                }
+            }
+            for name in &diff.unchanged {
+                let config = manifest.tenant(name).expect("unchanged tenant is listed");
+                match tenants.get_mut(name) {
+                    Some(tenant) => {
+                        tenant.cache_share = config.cache_share;
+                        tenant.default_variant = config.default_variant()?;
+                    }
+                    // Removed concurrently (a DELETE raced the unlocked
+                    // builds of phase 2): the manifest still lists it, so
+                    // it must come back — rebuilt below, after the lock.
+                    None => vanished_unchanged.push(name.clone()),
+                }
+            }
+            for name in &diff.removed {
+                tenants.remove(name);
+            }
+        }
+        // Phase 4: evict exactly the cache entries of tenants whose corpus
+        // went away or changed.
+        let swept: HashSet<&String> = diff.replaced.iter().chain(&diff.removed).collect();
+        if !swept.is_empty() {
+            self.cache
+                .lock()
+                .unwrap()
+                .retain(|key, _| !swept.contains(&key.corpus));
+        }
+        // Phase 5: re-create manifest tenants that a concurrent removal
+        // made vanish between the phase-1 snapshot and the commit; the
+        // manifest is authoritative, so they are rebuilt rather than
+        // silently skipped.
+        for name in vanished_unchanged {
+            let config = manifest.tenant(&name).expect("unchanged tenant is listed");
+            self.register_spec(&name, config)
+                .map_err(|e| ManifestError::new(format!("tenant {name:?}: {e}")))?;
+            diff.unchanged.retain(|n| n != &name);
+            diff.created.push(name);
+        }
+        diff.created.sort();
+        Ok(diff)
     }
 
     /// Swaps in a rebuilt corpus for an existing tenant: bumps the tenant's
@@ -133,7 +321,7 @@ impl CorpusRegistry {
         }
         let artifacts = CorpusArtifacts::build(corpus)
             .map_err(|e| RegistryError::Request(RepagerError::Graph(e)))?;
-        self.install(name.to_string(), artifacts);
+        self.install(name.to_string(), artifacts, None);
         Ok(())
     }
 
@@ -183,13 +371,17 @@ impl CorpusRegistry {
         Ok(new_epoch)
     }
 
-    fn install(&self, name: String, artifacts: Arc<CorpusArtifacts>) {
+    fn install(&self, name: String, artifacts: Arc<CorpusArtifacts>, spec: Option<CorpusSpec>) {
         let replaced = {
             let mut tenants = self.tenants.write().unwrap();
             match tenants.get_mut(&name) {
                 Some(tenant) => {
                     tenant.artifacts = artifacts;
                     tenant.epoch += 1;
+                    // The corpus is whatever was just swapped in: a stale
+                    // spec must not make a later manifest apply believe the
+                    // old recipe still serves.
+                    tenant.spec = spec;
                     true
                 }
                 None => {
@@ -198,6 +390,9 @@ impl CorpusRegistry {
                         Tenant {
                             artifacts,
                             epoch: 0,
+                            spec,
+                            cache_share: None,
+                            default_variant: None,
                         },
                     );
                     false
@@ -264,6 +459,64 @@ impl CorpusRegistry {
             .map(|t| t.artifacts.clone())
     }
 
+    /// The corpus spec a tenant was built from, when it has one.
+    pub fn spec(&self, name: &str) -> Option<CorpusSpec> {
+        self.tenants
+            .read()
+            .unwrap()
+            .get(name)
+            .and_then(|t| t.spec.clone())
+    }
+
+    /// The model variant served when a request against this tenant omits
+    /// one (`None` = the service-wide default).
+    pub fn default_variant(&self, name: &str) -> Option<Variant> {
+        self.tenants
+            .read()
+            .unwrap()
+            .get(name)
+            .and_then(|t| t.default_variant)
+    }
+
+    /// Sets (or clears) a tenant's cache share. Returns whether the tenant
+    /// exists; shrinking a share does not evict until the tenant's next
+    /// cache insert.
+    pub fn set_cache_share(&self, name: &str, share: Option<usize>) -> bool {
+        match self.tenants.write().unwrap().get_mut(name) {
+            Some(tenant) => {
+                tenant.cache_share = share;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The control-plane view of every tenant, sorted by name — what
+    /// `GET /v1/corpora` serves.
+    pub fn overview(&self) -> Vec<TenantOverview> {
+        let mut rows: Vec<TenantOverview> = {
+            let tenants = self.tenants.read().unwrap();
+            tenants
+                .iter()
+                .map(|(name, tenant)| TenantOverview {
+                    name: name.clone(),
+                    epoch: tenant.epoch,
+                    spec: tenant.spec.clone(),
+                    cached_entries: 0,
+                    cache_share: tenant.cache_share,
+                })
+                .collect()
+        };
+        {
+            let cache = self.cache.lock().unwrap();
+            for row in &mut rows {
+                row.cached_entries = cache.keys().filter(|key| key.corpus == row.name).count();
+            }
+        }
+        rows.sort_by(|a, b| a.name.cmp(&b.name));
+        rows
+    }
+
     /// Serves one request against a named corpus, consulting the shared
     /// cache first.
     pub fn generate(
@@ -309,8 +562,20 @@ impl CorpusRegistry {
         // bumps the epoch under the write lock before it sweeps).
         {
             let tenants = self.tenants.read().unwrap();
-            if tenants.get(corpus).is_some_and(|t| t.epoch == epoch) {
-                self.cache.lock().unwrap().insert(key, output.clone());
+            if let Some(tenant) = tenants.get(corpus).filter(|t| t.epoch == epoch) {
+                let mut cache = self.cache.lock().unwrap();
+                cache.insert(key, output.clone());
+                // A bounded cache share caps how much of the shared cache
+                // one tenant may occupy: past it, the tenant evicts its
+                // *own* least-recently-used entry instead of squeezing the
+                // others.
+                if let Some(share) = tenant.cache_share {
+                    while cache.keys().filter(|key| key.corpus == corpus).count() > share {
+                        if cache.evict_lru_where(|key| key.corpus == corpus).is_none() {
+                            break;
+                        }
+                    }
+                }
             }
         }
         Ok(Served {
@@ -523,6 +788,177 @@ mod tests {
             registry.generate("alpha", &request),
             Err(RegistryError::UnknownCorpus(_))
         ));
+    }
+
+    fn spec_manifest(tenants: &[(&str, u64)]) -> Manifest {
+        let map: HashMap<String, TenantConfig> = tenants
+            .iter()
+            .map(|&(name, seed)| {
+                (
+                    name.to_string(),
+                    TenantConfig::for_spec(CorpusSpec {
+                        seed,
+                        scale: None,
+                        papers_per_topic: Some(20),
+                    }),
+                )
+            })
+            .collect();
+        Manifest {
+            admin_keys: None,
+            tenants: Some(map),
+        }
+    }
+
+    fn cache_one(registry: &CorpusRegistry, tenant: &str) {
+        let (query, year) = first_query(registry, tenant);
+        let request = PathRequest {
+            max_year: Some(year),
+            ..PathRequest::new(&query, 10)
+        };
+        registry.generate(tenant, &request).unwrap();
+    }
+
+    #[test]
+    fn apply_manifest_creates_replaces_and_removes_by_spec_diff() {
+        let registry = CorpusRegistry::new();
+        let diff = registry
+            .apply_manifest(&spec_manifest(&[("alpha", 1), ("beta", 2)]))
+            .unwrap();
+        assert_eq!(diff.created, ["alpha", "beta"]);
+        assert!(!diff.is_noop());
+        assert_eq!(registry.tenants(), ["alpha", "beta"]);
+        assert_eq!(registry.spec("alpha").unwrap().seed, 1);
+
+        cache_one(&registry, "alpha");
+        cache_one(&registry, "beta");
+
+        // Same manifest again: nothing rebuilt, cache intact.
+        let diff = registry
+            .apply_manifest(&spec_manifest(&[("alpha", 1), ("beta", 2)]))
+            .unwrap();
+        assert!(diff.is_noop(), "{diff:?}");
+        assert_eq!(diff.unchanged, ["alpha", "beta"]);
+        assert_eq!(registry.cached_entries_for("alpha"), 1);
+        assert_eq!(registry.cached_entries_for("beta"), 1);
+
+        // New seed for alpha: replaced, epoch bumped, only alpha's cache
+        // swept; beta untouched.
+        let diff = registry
+            .apply_manifest(&spec_manifest(&[("alpha", 9), ("beta", 2)]))
+            .unwrap();
+        assert_eq!(diff.replaced, ["alpha"]);
+        assert_eq!(diff.unchanged, ["beta"]);
+        assert_eq!(registry.epoch("alpha"), Some(1));
+        assert_eq!(registry.epoch("beta"), Some(0));
+        assert_eq!(registry.cached_entries_for("alpha"), 0);
+        assert_eq!(registry.cached_entries_for("beta"), 1);
+
+        // Beta dropped from the manifest: removed with its cache entries.
+        let diff = registry
+            .apply_manifest(&spec_manifest(&[("alpha", 9)]))
+            .unwrap();
+        assert_eq!(diff.removed, ["beta"]);
+        assert!(!registry.contains("beta"));
+        assert_eq!(registry.cached_entries_for("beta"), 0);
+        assert_eq!(registry.tenants(), ["alpha"]);
+    }
+
+    #[test]
+    fn apply_manifest_replaces_tenants_registered_without_a_spec() {
+        let registry = CorpusRegistry::new();
+        registry.register("alpha", corpus(0xA)).unwrap();
+        cache_one(&registry, "alpha");
+        // A raw-registered tenant has no spec, so a manifest naming it must
+        // rebuild it (the recipes cannot be proven equal).
+        let diff = registry
+            .apply_manifest(&spec_manifest(&[("alpha", 1)]))
+            .unwrap();
+        assert_eq!(diff.replaced, ["alpha"]);
+        assert_eq!(registry.epoch("alpha"), Some(1));
+        assert_eq!(registry.cached_entries_for("alpha"), 0);
+        assert_eq!(registry.spec("alpha").unwrap().seed, 1);
+    }
+
+    #[test]
+    fn apply_manifest_rejects_invalid_manifests_without_touching_tenants() {
+        let registry = CorpusRegistry::new();
+        registry.register("keep", corpus(3)).unwrap();
+        let mut manifest = spec_manifest(&[("bad", 1)]);
+        manifest
+            .tenants
+            .as_mut()
+            .unwrap()
+            .get_mut("bad")
+            .unwrap()
+            .weight = Some(0);
+        assert!(registry.apply_manifest(&manifest).is_err());
+        assert_eq!(registry.tenants(), ["keep"], "failed apply must be atomic");
+    }
+
+    #[test]
+    fn register_spec_records_tuning_and_replaces_like_refresh() {
+        let registry = CorpusRegistry::new();
+        let mut config = TenantConfig::for_spec(CorpusSpec {
+            seed: 5,
+            scale: None,
+            papers_per_topic: Some(20),
+        });
+        config.variant = Some("NEWST-C".to_string());
+        config.cache_share = Some(1);
+        assert_eq!(registry.register_spec("solo", &config).unwrap(), 0);
+        assert_eq!(
+            registry.default_variant("solo"),
+            Some(Variant::CandidatesOnly)
+        );
+        assert_eq!(registry.spec("solo").unwrap().seed, 5);
+        // Replacing via a new spec bumps the epoch.
+        config.corpus.as_mut().unwrap().seed = 6;
+        assert_eq!(registry.register_spec("solo", &config).unwrap(), 1);
+        let overview = registry.overview();
+        assert_eq!(overview.len(), 1);
+        assert_eq!(overview[0].name, "solo");
+        assert_eq!(overview[0].epoch, 1);
+        assert_eq!(overview[0].cache_share, Some(1));
+        assert_eq!(overview[0].spec.as_ref().unwrap().seed, 6);
+    }
+
+    #[test]
+    fn cache_share_caps_one_tenants_entries_only() {
+        let registry = CorpusRegistry::new();
+        registry.register("alpha", corpus(0xA)).unwrap();
+        registry.register("beta", corpus(0xB)).unwrap();
+        assert!(registry.set_cache_share("alpha", Some(1)));
+        assert!(!registry.set_cache_share("ghost", Some(1)));
+        let artifacts = registry.artifacts("alpha").unwrap();
+        let queries: Vec<(String, u16)> = artifacts
+            .corpus()
+            .survey_bank()
+            .iter()
+            .take(3)
+            .map(|s| (s.query.clone(), s.year))
+            .collect();
+        for (query, year) in &queries {
+            let request = PathRequest {
+                max_year: Some(*year),
+                ..PathRequest::new(query, 10)
+            };
+            registry.generate("alpha", &request).unwrap();
+        }
+        cache_one(&registry, "beta");
+        assert_eq!(
+            registry.cached_entries_for("alpha"),
+            1,
+            "share of 1 keeps only the most recent entry"
+        );
+        assert_eq!(registry.cached_entries_for("beta"), 1);
+        // The survivor is the most recent query: it still hits.
+        let (query, year) = &queries[2];
+        let request = PathRequest {
+            max_year: Some(*year),
+            ..PathRequest::new(query, 10)
+        };
+        assert!(registry.generate("alpha", &request).unwrap().cached);
     }
 
     #[test]

@@ -21,7 +21,7 @@ use rpg_repager::render::{output_to_text, path_to_dot};
 use rpg_repager::system::PathRequest;
 use rpg_repager::{RepagerConfig, Variant};
 use rpg_server::{Server, ServerConfig};
-use rpg_service::{CorpusRegistry, PathService};
+use rpg_service::{CorpusRegistry, Manifest, PathService};
 use std::sync::Arc;
 
 /// Parsed command-line options.
@@ -115,7 +115,7 @@ fn usage() -> String {
         "  rpg serve [--addr HOST:PORT] [--workers N] [--drivers N] [--queue N] [--cache N]",
         "            [--max-connections N] [--keep-alive on|off] [--max-requests-per-conn N]",
         "            [--idle-timeout-ms N] [--tenant-queue N] [--tenant-weight NAME=W]...",
-        "            [--full-corpus]",
+        "            [--manifest FILE] [--auth on|off] [--full-corpus]",
         "",
         "OPTIONS:",
         "  -q, --query <TEXT>   the research topic to generate a reading path for",
@@ -138,6 +138,13 @@ fn usage() -> String {
         "      --idle-timeout-ms <N>         close idle keep-alive connections after N ms (default 5000)",
         "      --tenant-queue <N>            per-tenant queue bound; overflow gets 429 (default 8)",
         "      --tenant-weight <NAME=W>      DRR weight for a tenant, repeatable (default 1)",
+        "      --manifest <FILE>             JSON tenant manifest (name -> corpus spec, weight,",
+        "                                    queue bound, cache share, api keys); replaces the",
+        "                                    implicit single 'default' tenant. SIGHUP or",
+        "                                    POST /v1/admin/reload re-applies it live.",
+        "      --auth <on|off>               require bearer keys from the manifest (default off);",
+        "                                    admission is billed to the authenticated tenant and",
+        "                                    admin endpoints require an admin key",
     ]
     .join("\n")
 }
@@ -156,6 +163,8 @@ struct ServeOptions {
     idle_timeout_ms: u64,
     tenant_queue: usize,
     tenant_weights: Vec<(String, u64)>,
+    manifest: Option<String>,
+    auth: bool,
     corpus_scale: CorpusScale,
 }
 
@@ -174,6 +183,8 @@ impl Default for ServeOptions {
             idle_timeout_ms: defaults.idle_timeout.as_millis() as u64,
             tenant_queue: defaults.tenant_queue_capacity,
             tenant_weights: Vec::new(),
+            manifest: None,
+            auth: false,
             corpus_scale: CorpusScale::Small,
         }
     }
@@ -253,10 +264,30 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
                     })?;
                 options.tenant_weights.push((name.to_string(), weight));
             }
+            "--manifest" => options.manifest = Some(value_of("--manifest")?),
+            "--auth" => {
+                options.auth = match value_of("--auth")?.as_str() {
+                    "on" | "true" | "1" => true,
+                    "off" | "false" | "0" => false,
+                    other => return Err(format!("--auth expects on|off, got '{other}'")),
+                };
+            }
             "--full-corpus" => options.corpus_scale = CorpusScale::Default,
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unrecognised argument '{other}'\n{}", usage())),
         }
+    }
+    if options.auth && options.manifest.is_none() {
+        return Err(
+            "--auth on requires --manifest (bearer keys come from the manifest)".to_string(),
+        );
+    }
+    if options.manifest.is_some() && !options.tenant_weights.is_empty() {
+        return Err(
+            "--tenant-weight conflicts with --manifest: per-tenant weights come from the \
+             manifest's `weight` fields (reload to retune, or PATCH /v1/admin/tenants/:name)"
+                .to_string(),
+        );
     }
     if options.workers == 0 {
         return Err("--workers must be at least 1".to_string());
@@ -279,15 +310,20 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
     Ok(options)
 }
 
-/// Builds the registry (one `default` tenant at the requested scale) and
-/// binds the server. Split from [`run_serve`] so tests can spawn on an
-/// ephemeral port without blocking.
+/// Reads and validates the manifest file named by `--manifest`.
+fn load_manifest(path: &str) -> Result<Manifest, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read manifest {path}: {e}"))?;
+    Manifest::from_json(&text).map_err(|e| format!("invalid manifest {path}: {e}"))
+}
+
+/// Builds the registry — the manifest's tenants when one is given, or the
+/// implicit single `default` tenant at the requested scale — and binds the
+/// server. Split from [`run_serve`] so tests can spawn on an ephemeral
+/// port without blocking.
 fn start_server(options: &ServeOptions) -> Result<Server, String> {
     let registry = Arc::new(CorpusRegistry::with_cache_capacity(options.cache));
-    registry
-        .register("default", build_corpus(options.corpus_scale))
-        .map_err(|e| format!("cannot build corpus artifacts: {e}"))?;
-    let config = ServerConfig {
+    let mut config = ServerConfig {
         addr: options.addr.clone(),
         workers: options.workers,
         drivers: options.drivers,
@@ -298,15 +334,31 @@ fn start_server(options: &ServeOptions) -> Result<Server, String> {
         idle_timeout: std::time::Duration::from_millis(options.idle_timeout_ms),
         tenant_queue_capacity: options.tenant_queue,
         tenant_weights: options.tenant_weights.clone(),
+        auth_enabled: options.auth,
+        manifest_path: options.manifest.clone(),
         ..ServerConfig::default()
     };
+    match &options.manifest {
+        Some(path) => {
+            let manifest = load_manifest(path)?;
+            registry
+                .apply_manifest(&manifest)
+                .map_err(|e| format!("cannot build manifest tenants: {e}"))?;
+            config = config.with_manifest(&manifest);
+        }
+        None => {
+            registry
+                .register("default", build_corpus(options.corpus_scale))
+                .map_err(|e| format!("cannot build corpus artifacts: {e}"))?;
+        }
+    }
     Server::spawn(registry, config).map_err(|e| format!("cannot bind {}: {e}", options.addr))
 }
 
 fn run_serve(options: &ServeOptions) -> Result<(), String> {
     let server = start_server(options)?;
     println!(
-        "rpg-server listening on http://{} ({} workers, {} event loops, {} max connections, queue bound {}, tenant bound {}, cache {}, keep-alive {})",
+        "rpg-server listening on http://{} ({} workers, {} event loops, {} max connections, queue bound {}, tenant bound {}, cache {}, keep-alive {}, auth {})",
         server.addr(),
         options.workers,
         server.driver_threads(),
@@ -315,11 +367,38 @@ fn run_serve(options: &ServeOptions) -> Result<(), String> {
         options.tenant_queue,
         options.cache,
         if options.keep_alive { "on" } else { "off" },
+        if options.auth { "on" } else { "off" },
     );
-    println!("endpoints: POST /v1/generate · POST /v1/batch · GET /v1/healthz · GET /v1/stats");
-    println!("press Ctrl-C to stop");
-    loop {
-        std::thread::park();
+    println!(
+        "endpoints: POST /v1/generate · POST /v1/batch · GET /v1/healthz · GET /v1/stats · GET /v1/corpora · PUT|DELETE /v1/corpora/:name · PATCH /v1/admin/tenants/:name · POST /v1/admin/reload"
+    );
+    match &options.manifest {
+        Some(path) => {
+            println!("tenants: {}", server.registry().tenants().join(", "));
+            println!("press Ctrl-C to stop; SIGHUP (or POST /v1/admin/reload) re-applies {path}");
+            rpg_server::install_sighup().map_err(|e| format!("cannot install SIGHUP: {e}"))?;
+            loop {
+                std::thread::sleep(std::time::Duration::from_millis(200));
+                if rpg_server::sighup_pending() {
+                    match load_manifest(path).and_then(|m| server.apply_manifest(&m)) {
+                        Ok(diff) => println!(
+                            "manifest re-applied: {} created, {} replaced, {} removed, {} unchanged",
+                            diff.created.len(),
+                            diff.replaced.len(),
+                            diff.removed.len(),
+                            diff.unchanged.len(),
+                        ),
+                        Err(e) => eprintln!("manifest reload failed (still serving): {e}"),
+                    }
+                }
+            }
+        }
+        None => {
+            println!("press Ctrl-C to stop");
+            loop {
+                std::thread::park();
+            }
+        }
     }
 }
 
@@ -542,6 +621,75 @@ mod tests {
         assert!(parse_serve_args(&args(&["--tenant-weight", "gold"])).is_err());
         assert!(parse_serve_args(&args(&["--tenant-weight", "gold=0"])).is_err());
         assert!(parse_serve_args(&args(&["--bogus"])).is_err());
+    }
+
+    #[test]
+    fn serve_manifest_and_auth_flags_parse_and_validate() {
+        let options =
+            parse_serve_args(&args(&["--manifest", "/tmp/m.json", "--auth", "on"])).unwrap();
+        assert_eq!(options.manifest.as_deref(), Some("/tmp/m.json"));
+        assert!(options.auth);
+        let plain = parse_serve_args(&args(&["--manifest", "/tmp/m.json"])).unwrap();
+        assert!(!plain.auth, "auth defaults off");
+        assert!(
+            parse_serve_args(&args(&["--auth", "on"])).is_err(),
+            "--auth on without --manifest has no key source"
+        );
+        assert!(parse_serve_args(&args(&["--auth", "maybe", "--manifest", "x"])).is_err());
+        assert!(parse_serve_args(&args(&["--manifest"])).is_err());
+        assert!(
+            parse_serve_args(&args(&["--manifest", "x", "--tenant-weight", "a=2"])).is_err(),
+            "weights come from the manifest when one is given — no silent flag discard"
+        );
+    }
+
+    #[test]
+    fn serve_starts_from_a_manifest_and_enforces_auth() {
+        let path =
+            std::env::temp_dir().join(format!("rpg-cli-manifest-{}.json", std::process::id()));
+        std::fs::write(
+            &path,
+            r#"{
+                "admin_keys": ["root-key"],
+                "tenants": {
+                    "alpha": {
+                        "corpus": {"seed": 21, "papers_per_topic": 20},
+                        "api_keys": ["alpha-key"]
+                    }
+                }
+            }"#,
+        )
+        .unwrap();
+        let options = ServeOptions {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            manifest: Some(path.to_string_lossy().into_owned()),
+            auth: true,
+            ..ServeOptions::default()
+        };
+        let server = start_server(&options).unwrap();
+        let health = rpg_server::client::get(server.addr(), "/v1/healthz").unwrap();
+        assert_eq!(health.status, 200);
+        assert!(health.body.contains("\"alpha\""));
+        assert!(
+            !health.body.contains("\"default\""),
+            "manifest replaces the implicit tenant"
+        );
+        // The control plane is key-gated.
+        let listing = rpg_server::client::get(server.addr(), "/v1/corpora").unwrap();
+        assert_eq!(listing.status, 401);
+        let bearer = rpg_server::client::bearer("alpha-key");
+        let listing = rpg_server::client::request_with(
+            server.addr(),
+            "GET",
+            "/v1/corpora",
+            None,
+            &[(&bearer.0, &bearer.1)],
+        )
+        .unwrap();
+        assert_eq!(listing.status, 200);
+        assert!(listing.body.contains("\"alpha\""));
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -16,8 +16,10 @@
 #![allow(dead_code)]
 
 use rpg_repro::demo_corpus;
-use rpg_server::{client, Server, ServerConfig, StatsSnapshot};
-use rpg_service::CorpusRegistry;
+use rpg_server::client::{self, ClientResponse};
+use rpg_server::{Server, ServerConfig, StatsSnapshot};
+use rpg_service::{CorpusRegistry, Manifest};
+use std::net::SocketAddr;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -156,4 +158,100 @@ pub fn spawn(registry: Arc<CorpusRegistry>, workers: usize, queue: usize) -> Tes
         config.workers = workers;
         config.queue_capacity = queue;
     })
+}
+
+/// The admin bearer key of [`demo_manifest`].
+pub const ADMIN_KEY: &str = "root-key";
+/// Tenant `alpha`'s bearer key in [`demo_manifest`].
+pub const ALPHA_KEY: &str = "alpha-key";
+/// Tenant `beta`'s bearer key in [`demo_manifest`].
+pub const BETA_KEY: &str = "beta-key";
+
+/// The control-plane test fixture: two small-corpus tenants with distinct
+/// keys (weights 1 and 2) plus an admin key.
+pub fn demo_manifest_json() -> String {
+    r#"{
+        "admin_keys": ["root-key"],
+        "tenants": {
+            "alpha": {
+                "corpus": {"seed": 161, "scale": "small"},
+                "weight": 1,
+                "api_keys": ["alpha-key"]
+            },
+            "beta": {
+                "corpus": {"seed": 178, "scale": "small"},
+                "weight": 2,
+                "api_keys": ["beta-key"]
+            }
+        }
+    }"#
+    .to_string()
+}
+
+/// The parsed [`demo_manifest_json`].
+pub fn demo_manifest() -> Manifest {
+    Manifest::from_json(&demo_manifest_json()).expect("fixture manifest is valid")
+}
+
+/// Spawns an authenticated (`--auth on` equivalent) server over the
+/// [`demo_manifest`] tenants, with `configure` applied on top.
+pub fn spawn_manifest_server(configure: impl FnOnce(&mut ServerConfig)) -> TestServer {
+    let manifest = demo_manifest();
+    let registry = Arc::new(CorpusRegistry::new());
+    registry
+        .apply_manifest(&manifest)
+        .expect("fixture tenants build");
+    spawn_with(registry, |config| {
+        *config = config.clone().with_manifest(&manifest);
+        config.auth_enabled = true;
+        configure(config);
+    })
+}
+
+/// One request with a bearer key on a fresh connection.
+pub fn request_with_key(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    key: Option<&str>,
+) -> std::io::Result<ClientResponse> {
+    match key {
+        Some(key) => {
+            let (name, value) = client::bearer(key);
+            client::request_with(addr, method, path, body, &[(&name, &value)])
+        }
+        None => client::request_with(addr, method, path, body, &[]),
+    }
+}
+
+/// `GET` with a bearer key.
+pub fn get_with_key(addr: SocketAddr, path: &str, key: &str) -> std::io::Result<ClientResponse> {
+    request_with_key(addr, "GET", path, None, Some(key))
+}
+
+/// `POST` JSON with a bearer key.
+pub fn post_json_with_key(
+    addr: SocketAddr,
+    path: &str,
+    body: &str,
+    key: &str,
+) -> std::io::Result<ClientResponse> {
+    request_with_key(addr, "POST", path, Some(body), Some(key))
+}
+
+/// The first benchmark query of the corpus a fixture tenant serves,
+/// straight from the live registry.
+pub fn tenant_query(server: &Server, tenant: &str) -> (String, u16) {
+    let artifacts = server
+        .registry()
+        .artifacts(tenant)
+        .unwrap_or_else(|| panic!("tenant {tenant} is registered"));
+    let survey = artifacts
+        .corpus()
+        .survey_bank()
+        .iter()
+        .next()
+        .expect("fixture corpus has surveys");
+    (survey.query.clone(), survey.year)
 }

@@ -1,0 +1,862 @@
+//! Control-plane integration suite: tenant manifests, the authenticated
+//! admin API, wire-operable corpus lifecycle (`PUT`/`DELETE`/reload), live
+//! fair-queue retuning, per-item batch billing, and mid-compute hangup
+//! cancellation — all over real TCP against one server, with no restarts.
+//!
+//! Every server here runs with `--auth on` semantics (bearer keys from the
+//! `tests/common` manifest fixture), so CI exercising this suite in both
+//! keep-alive modes is what keeps the authenticated path covered.
+
+mod common;
+
+use common::{
+    demo_manifest_json, demo_registry_without_cache, get_with_key, post_json_with_key,
+    request_with_key, spawn_manifest_server, spawn_with, tenant_query, TestServer, ADMIN_KEY,
+    ALPHA_KEY, BETA_KEY,
+};
+use rpg_server::client;
+use rpg_service::{CorpusRegistry, Manifest};
+use serde_json::Value;
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn parse(body: &str) -> Value {
+    serde_json::from_str(body).expect("response body is JSON")
+}
+
+/// A generate body against an explicit corpus.
+fn gen_body(query: &str, year: u16, corpus: Option<&str>) -> String {
+    match corpus {
+        Some(corpus) => {
+            format!(
+                r#"{{"query": {query:?}, "max_year": {year}, "top_k": 10, "corpus": {corpus:?}}}"#
+            )
+        }
+        None => format!(r#"{{"query": {query:?}, "max_year": {year}, "top_k": 10}}"#),
+    }
+}
+
+/// A deliberately expensive generate body (hundreds of seeds) used to hold
+/// a compute worker busy while the test stages queue state behind it.
+fn slow_body(query: &str, corpus: &str) -> String {
+    format!(r#"{{"query": {query:?}, "top_k": 40, "seed_count": 400, "corpus": {corpus:?}}}"#)
+}
+
+/// Waits until the single compute worker provably holds the plug request:
+/// the tenant's lane exists (the plug was admitted), the queue is empty
+/// (the worker popped it), and nothing has completed yet.
+fn wait_worker_busy(server: &TestServer, tenant: &str) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let lane_exists = server
+            .tenant_depths()
+            .iter()
+            .any(|(name, _)| name == tenant);
+        if lane_exists && server.request_depth() == 0 && server.stats().handled == 0 {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "worker never picked up the plug request"
+        );
+        std::thread::yield_now();
+    }
+}
+
+#[test]
+fn manifest_round_trip_parse_apply_listing_matches() {
+    let server = spawn_manifest_server(|_| {});
+    // The tenants the manifest declares are the tenants the server serves.
+    let health = client::get(server.addr(), "/v1/healthz").unwrap();
+    assert_eq!(health.status, 200);
+    let corpora = parse(&health.body);
+    let names: Vec<&str> = corpora
+        .get("corpora")
+        .and_then(Value::as_array)
+        .unwrap()
+        .iter()
+        .filter_map(Value::as_str)
+        .collect();
+    assert_eq!(names, ["alpha", "beta"]);
+
+    // The control-plane listing round-trips the manifest's specs and
+    // tuning: seeds, epochs, weights.
+    let listing = get_with_key(server.addr(), "/v1/corpora", ADMIN_KEY).unwrap();
+    assert_eq!(listing.status, 200);
+    let manifest = Manifest::from_json(&demo_manifest_json()).unwrap();
+    let rows = parse(&listing.body);
+    let rows = rows.get("corpora").and_then(Value::as_array).unwrap();
+    assert_eq!(rows.len(), 2);
+    for row in rows {
+        let name = row.get("name").and_then(Value::as_str).unwrap();
+        let spec = manifest.tenant(name).unwrap().corpus.as_ref().unwrap();
+        assert_eq!(
+            row.get("corpus")
+                .and_then(|c| c.get("seed"))
+                .and_then(Value::as_f64),
+            Some(spec.seed as f64),
+            "listing spec matches the manifest for {name}"
+        );
+        assert_eq!(row.get("epoch").and_then(Value::as_f64), Some(0.0));
+        let expected_weight = manifest.tenant(name).unwrap().weight.unwrap_or(1);
+        assert_eq!(
+            row.get("weight").and_then(Value::as_f64),
+            Some(expected_weight as f64)
+        );
+    }
+    // A tenant key may read the listing too, but sees only its own row —
+    // one tenant's corpus recipe and tuning are not another's business.
+    let scoped = get_with_key(server.addr(), "/v1/corpora", ALPHA_KEY).unwrap();
+    assert_eq!(scoped.status, 200);
+    let scoped = parse(&scoped.body);
+    let scoped = scoped.get("corpora").and_then(Value::as_array).unwrap();
+    assert_eq!(scoped.len(), 1);
+    assert_eq!(scoped[0].get("name").and_then(Value::as_str), Some("alpha"));
+}
+
+#[test]
+fn auth_matrix_401_403_over_tcp() {
+    let server = spawn_manifest_server(|_| {});
+    let addr = server.addr();
+    let (query, year) = tenant_query(&server, "alpha");
+    let alpha_body = gen_body(&query, year, Some("alpha"));
+
+    // Unauthenticated and unknown-key generates are 401 with a challenge.
+    for key in [None, Some("wrong-key")] {
+        let response =
+            request_with_key(addr, "POST", "/v1/generate", Some(&alpha_body), key).unwrap();
+        assert_eq!(response.status, 401, "key {key:?}");
+        assert_eq!(response.header("www-authenticate"), Some("Bearer"));
+    }
+    // A tenant key generating against *another* tenant's corpus is 403.
+    let cross = post_json_with_key(addr, "/v1/generate", &alpha_body, BETA_KEY).unwrap();
+    assert_eq!(cross.status, 403);
+    // Its own corpus — named or defaulted — is 200, billed to itself.
+    let own = post_json_with_key(addr, "/v1/generate", &alpha_body, ALPHA_KEY).unwrap();
+    assert_eq!(own.status, 200);
+    assert_eq!(
+        parse(&own.body).get("corpus").and_then(Value::as_str),
+        Some("alpha")
+    );
+    let defaulted = post_json_with_key(
+        addr,
+        "/v1/generate",
+        &gen_body(&query, year, None),
+        ALPHA_KEY,
+    )
+    .unwrap();
+    assert_eq!(defaulted.status, 200);
+    assert_eq!(
+        parse(&defaulted.body).get("corpus").and_then(Value::as_str),
+        Some("alpha"),
+        "an authenticated request without a corpus field defaults to its own tenant"
+    );
+    // The admin key may target any tenant.
+    assert_eq!(
+        post_json_with_key(addr, "/v1/generate", &alpha_body, ADMIN_KEY)
+            .unwrap()
+            .status,
+        200
+    );
+    // An anonymous batch is a request-level 401.
+    assert_eq!(
+        client::post_json(addr, "/v1/batch", r#"{"requests": [{"query": "x"}]}"#)
+            .unwrap()
+            .status,
+        401
+    );
+
+    // Admin endpoints: anonymous → 401, tenant key → 403, across every verb.
+    let admin_calls: Vec<(&str, &str, Option<&str>)> = vec![
+        ("PUT", "/v1/corpora/new", Some("{}")),
+        ("DELETE", "/v1/corpora/alpha", None),
+        ("POST", "/v1/corpora/alpha/refresh", None),
+        ("PATCH", "/v1/admin/tenants/alpha", Some(r#"{"weight": 2}"#)),
+        ("POST", "/v1/admin/reload", None),
+    ];
+    for (method, path, body) in &admin_calls {
+        let anonymous = request_with_key(addr, method, path, *body, None).unwrap();
+        assert_eq!(anonymous.status, 401, "{method} {path} anonymous");
+        let tenant = request_with_key(addr, method, path, *body, Some(ALPHA_KEY)).unwrap();
+        assert_eq!(tenant.status, 403, "{method} {path} with a tenant key");
+    }
+    // The corpora listing requires *some* key.
+    assert_eq!(client::get(addr, "/v1/corpora").unwrap().status, 401);
+    // Health and stats stay open for probes.
+    assert_eq!(client::get(addr, "/v1/healthz").unwrap().status, 200);
+    assert_eq!(client::get(addr, "/v1/stats").unwrap().status, 200);
+    // Auth rejections never consumed queue budget or broke the server.
+    assert_eq!(server.request_depth(), 0);
+}
+
+#[test]
+fn lifecycle_put_generate_patch_delete_without_restart() {
+    // The acceptance flow: a manifest-booted, authenticated server gains a
+    // third corpus over the wire, serves it, retunes a tenant, and removes
+    // a tenant — one server, no restarts.
+    let server = spawn_manifest_server(|config| {
+        config.workers = 2;
+    });
+    let addr = server.addr();
+
+    // PUT a brand-new corpus spec (with its own key) and build it.
+    let gamma_spec = r#"{
+        "corpus": {"seed": 193, "scale": "small"},
+        "weight": 3,
+        "queue": 16,
+        "api_keys": ["gamma-key"]
+    }"#;
+    let put = request_with_key(
+        addr,
+        "PUT",
+        "/v1/corpora/gamma",
+        Some(gamma_spec),
+        Some(ADMIN_KEY),
+    )
+    .unwrap();
+    assert_eq!(put.status, 200, "{}", put.body);
+    let put_value = parse(&put.body);
+    assert_eq!(
+        put_value.get("created").and_then(Value::as_bool),
+        Some(true)
+    );
+    assert_eq!(put_value.get("epoch").and_then(Value::as_f64), Some(0.0));
+
+    // A PUT that tries to claim another tenant's (or the admin) key is a
+    // 400 — the wire path enforces the same key rules as the manifest
+    // instead of silently dropping the conflicting grant.
+    for stolen in ["beta-key", "root-key", ""] {
+        let body =
+            format!(r#"{{"corpus": {{"seed": 5, "scale": "small"}}, "api_keys": [{stolen:?}]}}"#);
+        let conflict = request_with_key(
+            addr,
+            "PUT",
+            "/v1/corpora/thief",
+            Some(&body),
+            Some(ADMIN_KEY),
+        )
+        .unwrap();
+        assert_eq!(conflict.status, 400, "key {stolen:?} must not be claimable");
+    }
+
+    // Generate against it with its freshly granted key.
+    let (query, year) = tenant_query(&server, "gamma");
+    let generated = post_json_with_key(
+        addr,
+        "/v1/generate",
+        &gen_body(&query, year, Some("gamma")),
+        "gamma-key",
+    )
+    .unwrap();
+    assert_eq!(generated.status, 200, "{}", generated.body);
+    let generated = parse(&generated.body);
+    assert_eq!(
+        generated.get("corpus").and_then(Value::as_str),
+        Some("gamma")
+    );
+    assert!(
+        !generated
+            .get("result")
+            .and_then(|r| r.get("reading_list"))
+            .and_then(Value::as_array)
+            .unwrap()
+            .is_empty(),
+        "the PUT corpus actually serves"
+    );
+
+    // The listing now shows three tenants with gamma's tuning applied.
+    let listing = parse(&get_with_key(addr, "/v1/corpora", ADMIN_KEY).unwrap().body);
+    let rows = listing.get("corpora").and_then(Value::as_array).unwrap();
+    let names: Vec<&str> = rows
+        .iter()
+        .filter_map(|r| r.get("name").and_then(Value::as_str))
+        .collect();
+    assert_eq!(names, ["alpha", "beta", "gamma"]);
+    let gamma_row = &rows[2];
+    assert_eq!(gamma_row.get("weight").and_then(Value::as_f64), Some(3.0));
+    assert_eq!(gamma_row.get("queue").and_then(Value::as_f64), Some(16.0));
+
+    // Re-PUT with a different seed: replacement, not creation — the epoch
+    // bumps so stale cache entries can never resurface.
+    let replaced = request_with_key(
+        addr,
+        "PUT",
+        "/v1/corpora/gamma",
+        Some(r#"{"corpus": {"seed": 194, "scale": "small"}, "api_keys": ["gamma-key"]}"#),
+        Some(ADMIN_KEY),
+    )
+    .unwrap();
+    assert_eq!(replaced.status, 200);
+    let replaced = parse(&replaced.body);
+    assert_eq!(
+        replaced.get("created").and_then(Value::as_bool),
+        Some(false)
+    );
+    assert_eq!(replaced.get("epoch").and_then(Value::as_f64), Some(1.0));
+
+    // PATCH a live tenant's weight and bound; the change is visible
+    // immediately in the listing (behavioural DRR coverage lives in the
+    // fair-queue unit suite and the retune-under-load test below).
+    let patch = request_with_key(
+        addr,
+        "PATCH",
+        "/v1/admin/tenants/beta",
+        Some(r#"{"weight": 5, "queue": 11}"#),
+        Some(ADMIN_KEY),
+    )
+    .unwrap();
+    assert_eq!(patch.status, 200);
+    let patched = parse(&patch.body);
+    assert_eq!(patched.get("weight").and_then(Value::as_f64), Some(5.0));
+    assert_eq!(patched.get("queue").and_then(Value::as_f64), Some(11.0));
+    let listing = parse(&get_with_key(addr, "/v1/corpora", ADMIN_KEY).unwrap().body);
+    let beta_row = &listing.get("corpora").and_then(Value::as_array).unwrap()[1];
+    assert_eq!(beta_row.get("weight").and_then(Value::as_f64), Some(5.0));
+    assert_eq!(beta_row.get("queue").and_then(Value::as_f64), Some(11.0));
+    // Patching an unknown tenant is a 404; garbage tuning is a 400.
+    assert_eq!(
+        request_with_key(
+            addr,
+            "PATCH",
+            "/v1/admin/tenants/ghost",
+            Some(r#"{"weight": 2}"#),
+            Some(ADMIN_KEY)
+        )
+        .unwrap()
+        .status,
+        404
+    );
+    assert_eq!(
+        request_with_key(
+            addr,
+            "PATCH",
+            "/v1/admin/tenants/beta",
+            Some(r#"{"weight": 0}"#),
+            Some(ADMIN_KEY)
+        )
+        .unwrap()
+        .status,
+        400
+    );
+
+    // DELETE the tenant: subsequent generates are 404 (admin) and its key
+    // is revoked outright (401).
+    let deleted =
+        request_with_key(addr, "DELETE", "/v1/corpora/gamma", None, Some(ADMIN_KEY)).unwrap();
+    assert_eq!(deleted.status, 200);
+    assert_eq!(
+        request_with_key(addr, "DELETE", "/v1/corpora/gamma", None, Some(ADMIN_KEY))
+            .unwrap()
+            .status,
+        404,
+        "double delete"
+    );
+    let after = post_json_with_key(
+        addr,
+        "/v1/generate",
+        &gen_body(&query, year, Some("gamma")),
+        ADMIN_KEY,
+    )
+    .unwrap();
+    assert_eq!(after.status, 404);
+    let revoked = post_json_with_key(
+        addr,
+        "/v1/generate",
+        &gen_body(&query, year, Some("gamma")),
+        "gamma-key",
+    )
+    .unwrap();
+    assert_eq!(revoked.status, 401, "deleted tenant's key is revoked");
+    // alpha and beta were never disturbed.
+    let (alpha_query, alpha_year) = tenant_query(&server, "alpha");
+    assert_eq!(
+        post_json_with_key(
+            addr,
+            "/v1/generate",
+            &gen_body(&alpha_query, alpha_year, None),
+            ALPHA_KEY
+        )
+        .unwrap()
+        .status,
+        200
+    );
+}
+
+#[test]
+fn put_replace_evicts_exactly_the_replaced_tenants_cache() {
+    let server = spawn_manifest_server(|_| {});
+    let addr = server.addr();
+    let (alpha_query, alpha_year) = tenant_query(&server, "alpha");
+    let (beta_query, beta_year) = tenant_query(&server, "beta");
+    let alpha_body = gen_body(&alpha_query, alpha_year, Some("alpha"));
+    let beta_body = gen_body(&beta_query, beta_year, Some("beta"));
+
+    // Populate both tenants' cache entries over the wire.
+    for (body, key) in [(&alpha_body, ALPHA_KEY), (&beta_body, BETA_KEY)] {
+        let first = post_json_with_key(addr, "/v1/generate", body, key).unwrap();
+        assert_eq!(first.status, 200);
+        assert_eq!(
+            parse(&first.body).get("cached").and_then(Value::as_bool),
+            Some(false)
+        );
+        let repeat = post_json_with_key(addr, "/v1/generate", body, key).unwrap();
+        assert_eq!(
+            parse(&repeat.body).get("cached").and_then(Value::as_bool),
+            Some(true)
+        );
+    }
+
+    // Replace alpha's corpus via PUT.
+    let put = request_with_key(
+        addr,
+        "PUT",
+        "/v1/corpora/alpha",
+        Some(r#"{"corpus": {"seed": 9161, "scale": "small"}, "api_keys": ["alpha-key"]}"#),
+        Some(ADMIN_KEY),
+    )
+    .unwrap();
+    assert_eq!(put.status, 200, "{}", put.body);
+
+    // Exactly alpha's entries are gone: the listing says so, beta still
+    // hits its cache, and alpha recomputes against the new corpus.
+    let listing = parse(&get_with_key(addr, "/v1/corpora", ADMIN_KEY).unwrap().body);
+    let rows = listing.get("corpora").and_then(Value::as_array).unwrap();
+    assert_eq!(rows[0].get("name").and_then(Value::as_str), Some("alpha"));
+    assert_eq!(
+        rows[0].get("cached_entries").and_then(Value::as_f64),
+        Some(0.0)
+    );
+    assert_eq!(rows[0].get("epoch").and_then(Value::as_f64), Some(1.0));
+    assert_eq!(rows[1].get("name").and_then(Value::as_str), Some("beta"));
+    assert_eq!(
+        rows[1].get("cached_entries").and_then(Value::as_f64),
+        Some(1.0)
+    );
+    let beta_hit = post_json_with_key(addr, "/v1/generate", &beta_body, BETA_KEY).unwrap();
+    assert_eq!(
+        parse(&beta_hit.body).get("cached").and_then(Value::as_bool),
+        Some(true)
+    );
+    let alpha_fresh = post_json_with_key(addr, "/v1/generate", &alpha_body, ALPHA_KEY).unwrap();
+    assert_eq!(alpha_fresh.status, 200);
+    assert_eq!(
+        parse(&alpha_fresh.body)
+            .get("cached")
+            .and_then(Value::as_bool),
+        Some(false),
+        "the replaced corpus must not serve pre-replacement results"
+    );
+}
+
+#[test]
+fn live_weight_retune_shifts_the_drr_share_under_load() {
+    // One compute worker, four parked requests per tenant. The manifest
+    // gives beta weight 2 and alpha weight 1, so beta's backlog would
+    // normally drain first; a live PATCH raising alpha to weight 6 must
+    // flip that — alpha's last response lands before beta's.
+    let server = spawn_manifest_server(|config| {
+        config.workers = 1;
+        config.queue_capacity = 64;
+    });
+    let addr = server.addr();
+
+    // Distinct queries per request so the result cache never short-circuits
+    // the pipeline.
+    let alpha_queries: Vec<(String, u16)> = {
+        let artifacts = server.registry().artifacts("alpha").unwrap();
+        artifacts
+            .corpus()
+            .survey_bank()
+            .iter()
+            .take(4)
+            .map(|s| (s.query.clone(), s.year))
+            .collect()
+    };
+    let beta_queries: Vec<(String, u16)> = {
+        let artifacts = server.registry().artifacts("beta").unwrap();
+        artifacts
+            .corpus()
+            .survey_bank()
+            .iter()
+            .take(4)
+            .map(|s| (s.query.clone(), s.year))
+            .collect()
+    };
+
+    // Plug the worker so the eight requests park in the queue while the
+    // retune happens.
+    let plug = {
+        let (query, _) = alpha_queries[0].clone();
+        std::thread::spawn(move || {
+            let response =
+                post_json_with_key(addr, "/v1/generate", &slow_body(&query, "alpha"), ALPHA_KEY);
+            assert_eq!(response.unwrap().status, 200);
+        })
+    };
+    wait_worker_busy(&server, "alpha");
+
+    // Retune alpha while the server is under load.
+    let patch = request_with_key(
+        addr,
+        "PATCH",
+        "/v1/admin/tenants/alpha",
+        Some(r#"{"weight": 6}"#),
+        Some(ADMIN_KEY),
+    )
+    .unwrap();
+    assert_eq!(patch.status, 200);
+
+    // Park 4 + 4 requests (interleaved submission), each recording when its
+    // response arrived.
+    let mut handles = Vec::new();
+    for i in 0..4 {
+        for (tenant, key, queries) in [
+            ("alpha", ALPHA_KEY, &alpha_queries),
+            ("beta", BETA_KEY, &beta_queries),
+        ] {
+            let (query, year) = queries[i].clone();
+            let body = gen_body(&query, year, Some(tenant));
+            let key = key.to_string();
+            let tenant = tenant.to_string();
+            handles.push(std::thread::spawn(move || {
+                let response = post_json_with_key(addr, "/v1/generate", &body, &key).unwrap();
+                assert_eq!(response.status, 200, "{tenant}: {}", response.body);
+                (tenant, Instant::now())
+            }));
+        }
+    }
+    let completions: Vec<(String, Instant)> =
+        handles.into_iter().map(|h| h.join().unwrap()).collect();
+    plug.join().unwrap();
+
+    let last = |tenant: &str| {
+        completions
+            .iter()
+            .filter(|(name, _)| name == tenant)
+            .map(|&(_, at)| at)
+            .max()
+            .unwrap()
+    };
+    assert!(
+        last("alpha") < last("beta"),
+        "after the live retune (alpha 6 vs beta 2), alpha's backlog must drain first"
+    );
+    // The retuned weight is what the stats report, too.
+    let stats = parse(&client::get(addr, "/v1/stats").unwrap().body);
+    let alpha_weight = stats
+        .get("queue")
+        .and_then(|q| q.get("tenants"))
+        .and_then(|t| t.get("alpha"))
+        .and_then(|a| a.get("weight"))
+        .and_then(Value::as_f64);
+    assert_eq!(alpha_weight, Some(6.0));
+}
+
+#[test]
+fn batch_items_bill_their_own_tenants_with_partial_429s() {
+    // Part 1 (no load): per-item routing and per-item failures under auth.
+    let server = spawn_manifest_server(|_| {});
+    let addr = server.addr();
+    let (alpha_query, alpha_year) = tenant_query(&server, "alpha");
+    let (beta_query, beta_year) = tenant_query(&server, "beta");
+    let batch = format!(
+        r#"{{"requests": [
+            {{"query": {alpha_query:?}, "max_year": {alpha_year}, "top_k": 5, "corpus": "alpha"}},
+            {{"query": {beta_query:?}, "max_year": {beta_year}, "top_k": 5, "corpus": "beta"}},
+            {{"query": "x", "corpus": "ghost"}},
+            {{"query": "x", "variant": "bogus"}}
+        ]}}"#
+    );
+    // Admin: mixed-corpus batch runs each item against its own tenant.
+    let response = post_json_with_key(addr, "/v1/batch", &batch, ADMIN_KEY).unwrap();
+    assert_eq!(response.status, 200, "{}", response.body);
+    let results = parse(&response.body);
+    let results = results.get("results").and_then(Value::as_array).unwrap();
+    assert_eq!(results.len(), 4);
+    assert_eq!(
+        results[0].get("corpus").and_then(Value::as_str),
+        Some("alpha")
+    );
+    assert_eq!(
+        results[1].get("corpus").and_then(Value::as_str),
+        Some("beta")
+    );
+    assert_eq!(
+        results[2].get("status").and_then(Value::as_f64),
+        Some(404.0)
+    );
+    assert_eq!(
+        results[3].get("status").and_then(Value::as_f64),
+        Some(400.0)
+    );
+    // A tenant key: items naming other tenants fail per-item with 403, its
+    // own items still run.
+    let response = post_json_with_key(addr, "/v1/batch", &batch, ALPHA_KEY).unwrap();
+    assert_eq!(response.status, 200);
+    let results = parse(&response.body);
+    let results = results.get("results").and_then(Value::as_array).unwrap();
+    assert_eq!(
+        results[0].get("corpus").and_then(Value::as_str),
+        Some("alpha")
+    );
+    assert_eq!(
+        results[1].get("status").and_then(Value::as_f64),
+        Some(403.0)
+    );
+
+    // Part 2 (under load): a tenant at its queue bound loses exactly the
+    // overflow items to per-item 429s — the batch itself still answers 200.
+    let server = spawn_with(demo_registry_without_cache(), |config| {
+        config.workers = 1;
+        config.tenant_queue_capacity = 1;
+        config.queue_capacity = 32;
+    });
+    let addr = server.addr();
+    let queries = common::demo_queries(2);
+    let (plug_query, _) = queries[0].clone();
+    let plug = std::thread::spawn(move || {
+        let response = client::post_json(addr, "/v1/generate", &slow_body(&plug_query, "default"));
+        assert_eq!(response.unwrap().status, 200);
+    });
+    wait_worker_busy(&server, "default");
+    // Four same-tenant items against a bound of 1, admitted in one loop
+    // while the worker is provably busy: exactly one fits, three throttle.
+    let (query, year) = queries[1].clone();
+    let item = gen_body(&query, year, None);
+    let burst = format!(r#"{{"requests": [{item}, {item}, {item}, {item}]}}"#);
+    let response = client::post_json(addr, "/v1/batch", &burst).unwrap();
+    assert_eq!(
+        response.status, 200,
+        "partial throttling keeps the batch a 200"
+    );
+    let results = parse(&response.body);
+    let results = results.get("results").and_then(Value::as_array).unwrap();
+    let throttled: Vec<&Value> = results
+        .iter()
+        .filter(|r| r.get("status").and_then(Value::as_f64) == Some(429.0))
+        .collect();
+    let served = results
+        .iter()
+        .filter(|r| r.get("corpus").and_then(Value::as_str) == Some("default"))
+        .count();
+    assert_eq!(
+        throttled.len(),
+        3,
+        "bound 1 admits exactly one of four items"
+    );
+    assert_eq!(served, 1);
+    assert!(
+        throttled[0]
+            .get("error")
+            .and_then(Value::as_str)
+            .unwrap()
+            .contains("capacity"),
+        "throttled items say why"
+    );
+    plug.join().unwrap();
+    let stats = server.stats();
+    assert_eq!(stats.throttled, 3, "per-item 429s are counted per item");
+}
+
+#[test]
+fn mid_compute_hangup_cancels_queued_work() {
+    // PR 4 follow-up: a connection in `ComputeInFlight` stays in the poll
+    // set watching for POLLHUP/POLLERR. A client that aborts mid-compute
+    // (RST — here provoked by closing with the server's unread interim
+    // `100 Continue` in its receive buffer) must have its queued work
+    // cancelled before it runs, and the reply dropped without a write.
+    let server = spawn_with(demo_registry_without_cache(), |config| {
+        config.workers = 1;
+    });
+    let addr = server.addr();
+    let queries = common::demo_queries(2);
+
+    // Plug the single worker.
+    let (plug_query, _) = queries[0].clone();
+    let plug = std::thread::spawn(move || {
+        let response = client::post_json(addr, "/v1/generate", &slow_body(&plug_query, "default"));
+        assert_eq!(response.unwrap().status, 200);
+    });
+    wait_worker_busy(&server, "default");
+
+    // A raw client sends a full request (asking for `100 Continue`), waits
+    // until it is queued behind the plug, then vanishes.
+    let (query, year) = queries[1].clone();
+    let body = gen_body(&query, year, None);
+    let mut stream = TcpStream::connect(addr).unwrap();
+    let head = format!(
+        "POST /v1/generate HTTP/1.1\r\nhost: t\r\nexpect: 100-continue\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).unwrap();
+    stream.flush().unwrap();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.request_depth() == 0 {
+        assert!(Instant::now() < deadline, "request never queued");
+        std::thread::yield_now();
+    }
+    // Close without reading: the unread `100 Continue` turns the close
+    // into an RST, which is what POLLHUP/POLLERR watching detects.
+    drop(stream);
+
+    // The plug finishes; the abandoned job is skipped (not computed) and
+    // its connection slot drains away.
+    plug.join().unwrap();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.open_connections() > 0 {
+        assert!(
+            Instant::now() < deadline,
+            "abandoned connection never closed: {} open",
+            server.open_connections()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let stats = server.stats();
+    assert_eq!(
+        stats.pipeline.requests, 1,
+        "only the plug ran the pipeline — the abandoned request was cancelled before compute"
+    );
+    assert_eq!(stats.server_errors, 0, "no doomed write, no 5xx");
+    // The server is unharmed.
+    assert_eq!(client::get(addr, "/v1/healthz").unwrap().status, 200);
+}
+
+#[test]
+fn reload_applies_the_manifest_live_and_atomically() {
+    // A server whose manifest lives in a file: reload is a no-op until the
+    // file changes, then applies exactly the diff — created tenants start
+    // serving with their keys, removed tenants 404 and their keys die.
+    let path = std::env::temp_dir().join(format!(
+        "rpg-control-plane-manifest-{}-{:?}.json",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::write(&path, demo_manifest_json()).unwrap();
+    let manifest = Manifest::from_json(&demo_manifest_json()).unwrap();
+    let registry = Arc::new(CorpusRegistry::new());
+    registry.apply_manifest(&manifest).unwrap();
+    let manifest_path = path.to_string_lossy().into_owned();
+    let server = spawn_with(registry, move |config| {
+        *config = config.clone().with_manifest(&manifest);
+        config.auth_enabled = true;
+        config.manifest_path = Some(manifest_path);
+    });
+    let addr = server.addr();
+
+    // Unchanged file → no-op diff.
+    let noop = request_with_key(addr, "POST", "/v1/admin/reload", None, Some(ADMIN_KEY)).unwrap();
+    assert_eq!(noop.status, 200, "{}", noop.body);
+    let diff = parse(&noop.body);
+    assert_eq!(diff.get("created").and_then(Value::as_array), Some(&[][..]));
+    assert_eq!(diff.get("removed").and_then(Value::as_array), Some(&[][..]));
+    assert_eq!(
+        diff.get("unchanged")
+            .and_then(Value::as_array)
+            .map(<[Value]>::len),
+        Some(2)
+    );
+
+    // Rewrite: alpha reseeded, beta gone, gamma new.
+    std::fs::write(
+        &path,
+        r#"{
+            "admin_keys": ["root-key"],
+            "tenants": {
+                "alpha": {
+                    "corpus": {"seed": 9161, "scale": "small"},
+                    "api_keys": ["alpha-key"]
+                },
+                "gamma": {
+                    "corpus": {"seed": 193, "scale": "small"},
+                    "api_keys": ["gamma-key"]
+                }
+            }
+        }"#,
+    )
+    .unwrap();
+    let reloaded =
+        request_with_key(addr, "POST", "/v1/admin/reload", None, Some(ADMIN_KEY)).unwrap();
+    assert_eq!(reloaded.status, 200, "{}", reloaded.body);
+    let diff = parse(&reloaded.body);
+    let names = |key: &str| -> Vec<String> {
+        diff.get(key)
+            .and_then(Value::as_array)
+            .unwrap()
+            .iter()
+            .filter_map(Value::as_str)
+            .map(str::to_string)
+            .collect()
+    };
+    assert_eq!(names("created"), ["gamma"]);
+    assert_eq!(names("replaced"), ["alpha"]);
+    assert_eq!(names("removed"), ["beta"]);
+
+    // The new tenant serves with its manifest key; the removed one is gone
+    // and its key is dead.
+    let (query, year) = tenant_query(&server, "gamma");
+    assert_eq!(
+        post_json_with_key(
+            addr,
+            "/v1/generate",
+            &gen_body(&query, year, Some("gamma")),
+            "gamma-key"
+        )
+        .unwrap()
+        .status,
+        200
+    );
+    assert_eq!(
+        post_json_with_key(
+            addr,
+            "/v1/generate",
+            &gen_body(&query, year, Some("beta")),
+            ADMIN_KEY
+        )
+        .unwrap()
+        .status,
+        404
+    );
+    assert_eq!(
+        post_json_with_key(
+            addr,
+            "/v1/generate",
+            &gen_body(&query, year, Some("beta")),
+            BETA_KEY
+        )
+        .unwrap()
+        .status,
+        401,
+        "a removed tenant's key no longer authenticates"
+    );
+
+    // A broken manifest file fails the reload and changes nothing.
+    std::fs::write(&path, "{ not json").unwrap();
+    let broken = request_with_key(addr, "POST", "/v1/admin/reload", None, Some(ADMIN_KEY)).unwrap();
+    assert_eq!(broken.status, 400);
+    assert_eq!(
+        post_json_with_key(
+            addr,
+            "/v1/generate",
+            &gen_body(&query, year, Some("gamma")),
+            "gamma-key"
+        )
+        .unwrap()
+        .status,
+        200,
+        "a failed reload leaves the tenant set serving"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn reload_without_a_manifest_is_a_409() {
+    // An auth-off server spawned without a manifest path has nothing to
+    // reload; the endpoint says so instead of guessing.
+    let server = spawn_with(common::demo_registry(), |config| {
+        config.workers = 1;
+    });
+    let response = client::request(server.addr(), "POST", "/v1/admin/reload", None).unwrap();
+    assert_eq!(response.status, 409);
+}

@@ -1,0 +1,70 @@
+//! Shim-level parse benchmark: pins the cost of deserialising the kind of
+//! large request body the HTTP server sees, so a regression back to the
+//! quadratic per-char string loop (a ~400 KB body used to take ~2 s; the
+//! byte-slice scanner parses it in single-digit milliseconds) is caught at
+//! the shim, not three layers up in an HTTP latency mystery.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use serde_json::Value;
+
+/// A ~440 KB generate-shaped body: one long query string (the string
+/// parser's hot path) plus a wide numeric `exclude` array (the
+/// number/array hot path).
+fn large_body() -> String {
+    let query = "graph neural networks ".repeat(10_000);
+    let exclude: Vec<String> = (0..35_000).map(|i| i.to_string()).collect();
+    format!(
+        r#"{{"query": "{query}", "top_k": 30, "max_year": 2020, "exclude": [{}]}}"#,
+        exclude.join(",")
+    )
+}
+
+/// The same body with escapes sprinkled through the string, so the
+/// slow(er) path — literal runs interleaved with escape handling — is
+/// pinned too.
+fn escaped_body() -> String {
+    let query = "graph \\\"neural\\\" networks\\n".repeat(10_000);
+    format!(r#"{{"query": "{query}", "top_k": 30}}"#)
+}
+
+fn json_parse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("json_parse");
+    group.sample_size(10);
+
+    let body = large_body();
+    println!("large body: {} bytes", body.len());
+    group.bench_function("large_body_440kb", |b| {
+        b.iter(|| {
+            let value: Value = serde_json::from_str(black_box(&body)).unwrap();
+            black_box(value)
+        })
+    });
+
+    let escaped = escaped_body();
+    println!("escaped body: {} bytes", escaped.len());
+    group.bench_function("escaped_string_270kb", |b| {
+        b.iter(|| {
+            let value: Value = serde_json::from_str(black_box(&escaped)).unwrap();
+            black_box(value)
+        })
+    });
+
+    group.finish();
+
+    // Self-check outside the timed region: the 440 KB body must parse well
+    // under the 200 ms budget the serving layer assumes (the quadratic
+    // parser took ~2 s). Generous 10x headroom over the budget would still
+    // fail the old code by an order of magnitude.
+    let started = std::time::Instant::now();
+    let value: Value = serde_json::from_str(&body).unwrap();
+    let elapsed = started.elapsed();
+    black_box(value);
+    println!("one-shot large-body parse: {elapsed:?}");
+    assert!(
+        elapsed < std::time::Duration::from_millis(200),
+        "large-body parse regressed to {elapsed:?} (budget 200ms)"
+    );
+}
+
+criterion_group!(benches, json_parse);
+criterion_main!(benches);
