@@ -7,7 +7,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use rpg_bench::{bench_threads, micro_corpus, BENCH_SURVEY_LIMIT};
 use rpg_eval::experiments::ExperimentContext;
 use rpg_graph::pagerank::pagerank_default;
-use rpg_graph::steiner::steiner_tree;
+use rpg_graph::steiner::{reference::steiner_tree_reference, steiner_tree, SteinerScratch};
 use rpg_graph::{dijkstra, mst};
 use rpg_repager::seeds::{reallocate, TerminalSelection};
 use rpg_repager::subgraph::SubGraph;
@@ -55,9 +55,34 @@ fn micro(c: &mut Criterion) {
         local_terminals.len()
     );
 
+    // Cold scratch: every iteration pays the kernel's buffer growth, the
+    // configuration a one-shot caller sees.
     group.bench_function("steiner_tree_kmb", |b| {
         b.iter(|| {
             steiner_tree(&subgraph.weighted, &local_terminals)
+                .unwrap()
+                .node_count()
+        })
+    });
+    // Warm reused scratch: the serving layer's steady state, where the
+    // whole kernel runs without heap allocation.
+    let mut scratch = SteinerScratch::new();
+    group.bench_function("steiner_tree_kmb_warm_scratch", |b| {
+        b.iter(|| {
+            rpg_graph::steiner::steiner_tree_with(
+                &subgraph.weighted,
+                &local_terminals,
+                &mut scratch,
+            )
+            .unwrap()
+            .node_count()
+        })
+    });
+    // The verbatim pre-rewrite kernel, the "before" of the BENCH_*.json
+    // trajectory: full K² witness materialisation and HashMap pruning.
+    group.bench_function("steiner_tree_kmb_reference", |b| {
+        b.iter(|| {
+            steiner_tree_reference(&subgraph.weighted, &local_terminals)
                 .unwrap()
                 .node_count()
         })

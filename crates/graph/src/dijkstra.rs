@@ -84,8 +84,13 @@ pub struct DijkstraScratch {
     prev: Vec<Option<NodeId>>,
     settled: Vec<bool>,
     stamp: Vec<u32>,
+    /// Marks the targets of the current [`single_source_to_targets_into`]
+    /// run (`target_stamp[i] == generation`), so the search can stop as soon
+    /// as every target is settled.
+    target_stamp: Vec<u32>,
     generation: u32,
     heap: BinaryHeap<HeapEntry>,
+    grow_events: u64,
 }
 
 impl DijkstraScratch {
@@ -103,11 +108,21 @@ impl DijkstraScratch {
 
     fn grow(&mut self, n: usize) {
         if self.dist.len() < n {
+            self.grow_events += 1;
             self.dist.resize(n, f64::INFINITY);
             self.prev.resize(n, None);
             self.settled.resize(n, false);
             self.stamp.resize(n, 0);
+            self.target_stamp.resize(n, 0);
         }
+    }
+
+    /// Number of times the per-node buffers had to grow (i.e. allocate) since
+    /// the scratch was created.  A steady-state serving loop should see this
+    /// stay flat across requests — every run after warm-up reuses the
+    /// existing buffers.
+    pub fn grow_events(&self) -> u64 {
+        self.grow_events
     }
 
     /// Starts a new run over a graph with `n` nodes: grows the buffers if
@@ -118,6 +133,7 @@ impl DijkstraScratch {
         if self.generation == u32::MAX {
             // Stamp wrap-around: reset everything once every 2^32 runs.
             self.stamp.fill(0);
+            self.target_stamp.fill(0);
             self.generation = 0;
         }
         self.generation += 1;
@@ -201,18 +217,100 @@ pub fn single_source_into(
             continue;
         }
         scratch.settled[node_index] = true;
+        // Entering a neighbour from `node`: pay the edge, plus `node`'s
+        // weight if `node` is an interior vertex (i.e. not the source).
+        let interior_weight = if node == source {
+            0.0
+        } else {
+            graph.node_weight(node)
+        };
         for &(next, edge_cost) in graph.neighbors(node) {
             let next_index = next.index();
             if scratch.is_current(next_index) && scratch.settled[next_index] {
                 continue;
             }
-            // Entering `next` from `node`: pay the edge, plus `node`'s weight
-            // if `node` is an interior vertex (i.e. not the source).
-            let interior_weight = if node == source {
-                0.0
-            } else {
-                graph.node_weight(node)
-            };
+            let candidate = cost + edge_cost + interior_weight;
+            if candidate < scratch.dist(next) {
+                scratch.set_dist(next_index, candidate, Some(node));
+                scratch.heap.push(HeapEntry {
+                    cost: candidate,
+                    node: next,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Like [`single_source_into`], but stops as soon as every node of `targets`
+/// has been settled instead of exhausting the whole graph.
+///
+/// Settled distances are final under Dijkstra's invariant, so
+/// [`DijkstraScratch::dist`], [`DijkstraScratch::predecessor`] and
+/// [`DijkstraScratch::path_to`] report exactly the same values for every
+/// target (and for every node on a shortest path to a target) as a full
+/// [`single_source_into`] run would.  Distances of nodes that were not yet
+/// settled when the search stopped are left unspecified and must not be read.
+///
+/// This is the workhorse of the KMB metric-closure step: the K terminals of
+/// a Steiner instance are typically clustered in a small region of the
+/// sub-graph, so stopping at the last settled terminal skips most of the
+/// graph.  If some target is unreachable the search degenerates to a full
+/// run and simply returns — callers detect disconnection from the distance
+/// array (`dist(target).is_infinite()`) without materializing any path.
+pub fn single_source_to_targets_into(
+    graph: &WeightedGraph,
+    source: NodeId,
+    targets: &[NodeId],
+    scratch: &mut DijkstraScratch,
+) -> Result<(), GraphError> {
+    graph.check_node(source)?;
+    for &t in targets {
+        graph.check_node(t)?;
+    }
+    scratch.begin_run(graph.node_count());
+    let mut remaining = 0usize;
+    for &t in targets {
+        let i = t.index();
+        if scratch.target_stamp[i] != scratch.generation {
+            scratch.target_stamp[i] = scratch.generation;
+            remaining += 1;
+        }
+    }
+    scratch.set_dist(source.index(), 0.0, None);
+    if remaining == 0 {
+        // No targets: nothing to settle beyond the source itself.
+        return Ok(());
+    }
+    scratch.heap.push(HeapEntry {
+        cost: 0.0,
+        node: source,
+    });
+
+    while let Some(HeapEntry { cost, node }) = scratch.heap.pop() {
+        let node_index = node.index();
+        if scratch.settled[node_index] {
+            continue;
+        }
+        scratch.settled[node_index] = true;
+        if scratch.target_stamp[node_index] == scratch.generation {
+            // Unmark so duplicate heap entries cannot double-count.
+            scratch.target_stamp[node_index] = scratch.generation - 1;
+            remaining -= 1;
+            if remaining == 0 {
+                return Ok(());
+            }
+        }
+        let interior_weight = if node == source {
+            0.0
+        } else {
+            graph.node_weight(node)
+        };
+        for &(next, edge_cost) in graph.neighbors(node) {
+            let next_index = next.index();
+            if scratch.is_current(next_index) && scratch.settled[next_index] {
+                continue;
+            }
             let candidate = cost + edge_cost + interior_weight;
             if candidate < scratch.dist(next) {
                 scratch.set_dist(next_index, candidate, Some(node));

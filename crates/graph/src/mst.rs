@@ -17,6 +17,12 @@ pub struct UnionFind {
     components: usize,
 }
 
+impl Default for UnionFind {
+    fn default() -> Self {
+        UnionFind::new(0)
+    }
+}
+
 impl UnionFind {
     /// Creates a union-find with `n` singleton sets.
     pub fn new(n: usize) -> Self {
@@ -25,6 +31,16 @@ impl UnionFind {
             rank: vec![0; n],
             components: n,
         }
+    }
+
+    /// Re-initialises to `n` singleton sets, reusing the existing buffers
+    /// (no allocation when `n` fits the current capacity).
+    pub fn reset(&mut self, n: usize) {
+        self.parent.clear();
+        self.parent.extend(0..n as u32);
+        self.rank.clear();
+        self.rank.resize(n, 0);
+        self.components = n;
     }
 
     /// Number of elements.

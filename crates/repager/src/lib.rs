@@ -34,6 +34,7 @@ pub mod config;
 pub mod newst;
 pub mod path;
 pub mod render;
+pub mod scratch;
 pub mod seeds;
 pub mod semantic;
 pub mod stages;
@@ -46,7 +47,8 @@ pub mod weights;
 pub use artifacts::CorpusArtifacts;
 pub use config::{ConfigError, RepagerConfig};
 pub use path::ReadingPath;
-pub use stages::{Stage, StageContext, StageTimings};
+pub use scratch::PipelineScratch;
+pub use stages::{Stage, StageContext, StageCounters, StageTimings};
 pub use stats::TimingAggregate;
 pub use system::{RePaGer, RepagerError, RepagerOutput};
 pub use variants::Variant;

@@ -12,6 +12,7 @@
 //! paper permits: "for the case of multiple citation paths … we will assign
 //! all paths").
 
+use crate::scratch::PipelineScratch;
 use crate::subgraph::SubGraph;
 use rpg_corpus::PaperId;
 use rpg_graph::components::weighted_components;
@@ -102,22 +103,24 @@ impl NewstForest {
 /// Terminals missing from the sub-graph are reported in
 /// [`NewstForest::dropped_terminals`]; terminals in different components each
 /// get their own tree.  An empty usable-terminal set yields an empty forest.
-/// Thin wrapper over [`solve_with`] with a fresh Dijkstra scratch.
+/// Thin wrapper over [`solve_with`] with a fresh pipeline scratch.
 pub fn solve(subgraph: &SubGraph, terminals: &[PaperId]) -> Result<NewstForest, GraphError> {
-    let mut scratch = rpg_graph::dijkstra::DijkstraScratch::new();
+    let mut scratch = PipelineScratch::new();
     solve_with(subgraph, terminals, &mut scratch)
 }
 
-/// [`solve`] with a caller-provided [`rpg_graph::dijkstra::DijkstraScratch`],
-/// so the per-component KMB runs (and the service layer's repeated requests)
-/// reuse one Dijkstra workspace.
+/// [`solve`] with a caller-provided [`PipelineScratch`], so the
+/// per-component KMB runs (and the service layer's repeated requests) reuse
+/// one Steiner workspace — the Dijkstra buffers, the closure path store and
+/// the pruning pass's stamped vectors.
 pub fn solve_with(
     subgraph: &SubGraph,
     terminals: &[PaperId],
-    scratch: &mut rpg_graph::dijkstra::DijkstraScratch,
+    scratch: &mut PipelineScratch,
 ) -> Result<NewstForest, GraphError> {
     let mut dropped = Vec::new();
-    let mut local_terminals = Vec::new();
+    let mut local_terminals = std::mem::take(&mut scratch.local_terminals);
+    local_terminals.clear();
     for &t in terminals {
         match subgraph.local_of(t) {
             Some(local) => local_terminals.push(local),
@@ -125,6 +128,7 @@ pub fn solve_with(
         }
     }
     if local_terminals.is_empty() {
+        scratch.local_terminals = local_terminals;
         return Ok(NewstForest {
             trees: Vec::new(),
             dropped_terminals: dropped,
@@ -141,13 +145,14 @@ pub fn solve_with(
             .or_default()
             .push(local);
     }
+    scratch.local_terminals = local_terminals;
 
     let mut trees = Vec::with_capacity(per_component.len());
     let mut groups: Vec<_> = per_component.into_iter().collect();
     // Deterministic order: largest terminal group first, then by label.
     groups.sort_by(|a, b| b.1.len().cmp(&a.1.len()).then(a.0.cmp(&b.0)));
     for (_, group) in groups {
-        let tree = steiner_tree_with(&subgraph.weighted, &group, scratch)?;
+        let tree = steiner_tree_with(&subgraph.weighted, &group, scratch.steiner_mut())?;
         trees.push(PaperTree {
             papers: subgraph.to_papers(&tree.nodes),
             edges: tree

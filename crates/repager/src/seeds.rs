@@ -9,6 +9,7 @@
 //! compulsory terminals of the Steiner optimisation.
 
 use crate::config::RepagerConfig;
+use crate::scratch::PipelineScratch;
 use crate::subgraph::SubGraph;
 use rpg_corpus::{Corpus, PaperId};
 use serde::{Deserialize, Serialize};
@@ -69,18 +70,47 @@ impl SeedAllocation {
 
 /// Computes the co-occurrence count of every paper in the sub-graph: the
 /// number of *initial seeds* whose reference list contains it.
+/// Thin wrapper over [`cooccurrence_counts_with`] with a fresh scratch.
 pub fn cooccurrence_counts(
     corpus: &Corpus,
     subgraph: &SubGraph,
     initial_seeds: &[PaperId],
 ) -> HashMap<PaperId, usize> {
-    let mut counts: HashMap<PaperId, usize> = HashMap::new();
+    let mut scratch = PipelineScratch::new();
+    cooccurrence_counts_with(corpus, subgraph, initial_seeds, &mut scratch)
+}
+
+/// [`cooccurrence_counts`] counting into the scratch's generation-stamped
+/// dense counters (indexed by sub-graph local node id) instead of growing a
+/// `HashMap` entry by entry; only the final result — which the caller keeps
+/// in the [`SeedAllocation`] — is materialised as a map, sized exactly.
+pub fn cooccurrence_counts_with(
+    corpus: &Corpus,
+    subgraph: &SubGraph,
+    initial_seeds: &[PaperId],
+    scratch: &mut PipelineScratch,
+) -> HashMap<PaperId, usize> {
+    scratch.begin_cooc(subgraph.node_count());
+    let gen = scratch.cooc_gen;
     for &seed in initial_seeds {
         for reference in corpus.references_of(seed) {
-            if subgraph.local_of(reference.cited).is_some() {
-                *counts.entry(reference.cited).or_insert(0) += 1;
+            if let Some(local) = subgraph.local_of(reference.cited) {
+                let i = local.index();
+                if scratch.cooc_stamp[i] != gen {
+                    scratch.cooc_stamp[i] = gen;
+                    scratch.cooc_count[i] = 0;
+                    scratch.touched.push(local);
+                }
+                scratch.cooc_count[i] += 1;
             }
         }
+    }
+    let mut counts: HashMap<PaperId, usize> = HashMap::with_capacity(scratch.touched.len());
+    for &local in &scratch.touched {
+        counts.insert(
+            subgraph.paper_of(local),
+            scratch.cooc_count[local.index()] as usize,
+        );
     }
     counts
 }
@@ -93,13 +123,30 @@ pub fn cooccurrence_counts(
 /// 1 so the Steiner stage always has a non-trivial terminal set to work with
 /// (a behaviour needed for sparse queries; the initial seeds themselves are
 /// the final fallback).
+/// Thin wrapper over [`reallocate_with`] with a fresh scratch.
 pub fn reallocate(
     corpus: &Corpus,
     subgraph: &SubGraph,
     initial_seeds: &[PaperId],
     config: &RepagerConfig,
 ) -> SeedAllocation {
-    let counts = cooccurrence_counts(corpus, subgraph, initial_seeds);
+    let mut scratch = PipelineScratch::new();
+    reallocate_with(corpus, subgraph, initial_seeds, config, &mut scratch)
+}
+
+/// [`reallocate`] with a caller-provided [`PipelineScratch`]: co-occurrence
+/// counting reuses the scratch's dense stamped counters, and every
+/// threshold relaxation or seed fallback taken is recorded in the scratch's
+/// retry counter (surfaced as `realloc_retries` in
+/// [`crate::stages::StageCounters`]).
+pub fn reallocate_with(
+    corpus: &Corpus,
+    subgraph: &SubGraph,
+    initial_seeds: &[PaperId],
+    config: &RepagerConfig,
+    scratch: &mut PipelineScratch,
+) -> SeedAllocation {
+    let counts = cooccurrence_counts_with(corpus, subgraph, initial_seeds, scratch);
 
     let select = |threshold: usize| -> Vec<PaperId> {
         let mut selected: Vec<(PaperId, usize)> = counts
@@ -113,11 +160,13 @@ pub fn reallocate(
 
     let mut reallocated = select(config.cooccurrence_threshold);
     if reallocated.len() < 2 && config.cooccurrence_threshold > 1 {
+        scratch.realloc_retries += 1;
         reallocated = select(1);
     }
     if reallocated.is_empty() {
         // Degenerate sub-graph (e.g. seeds with no references inside it):
         // fall back to the initial seeds that made it into the sub-graph.
+        scratch.realloc_retries += 1;
         reallocated = initial_seeds
             .iter()
             .copied()

@@ -5,8 +5,9 @@
 //! step — [`SeedStage`] → [`SubgraphStage`] → [`ReallocStage`] →
 //! [`SteinerStage`] → [`RenderStage`] — driven by [`run_pipeline`], which
 //! times every stage into a [`StageTimings`] so per-request hot spots are
-//! observable, and threads a shared [`DijkstraScratch`] through the Steiner
-//! stage so the KMB heuristic's K single-source runs reuse one workspace.
+//! observable, and threads a shared [`PipelineScratch`] through the realloc
+//! and Steiner stages so the co-occurrence counting and the KMB heuristic's
+//! K single-source runs reuse one per-worker workspace.
 //!
 //! The stages borrow the corpus artifacts through a [`StageContext`]; both
 //! the borrowing [`crate::system::RePaGer`] facade and the owned
@@ -15,16 +16,77 @@
 use crate::config::RepagerConfig;
 use crate::newst::{self, NewstForest};
 use crate::path::{self, ReadingPath};
-use crate::seeds::{reallocate, SeedAllocation};
+use crate::scratch::PipelineScratch;
+use crate::seeds::{reallocate_with, SeedAllocation};
 use crate::subgraph::SubGraph;
 use crate::system::{PathRequest, RepagerError, RepagerOutput};
 use crate::weights::NodeWeights;
 use rpg_corpus::{Corpus, PaperId};
 use rpg_engines::{Query, ScholarEngine};
-use rpg_graph::dijkstra::DijkstraScratch;
 use rpg_graph::GraphError;
 use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
+
+/// Work counters of one pipeline run, recorded alongside the stage
+/// durations.
+///
+/// They come from the before/after difference of the worker's
+/// [`PipelineScratch::counters`] snapshot, so they attribute exactly the
+/// work (and the buffer growth) this request caused.  On a warmed-up
+/// worker, `scratch_allocations` is 0 for every request — the observable
+/// form of the allocation-free kernel claim.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageCounters {
+    /// KMB solves run by the Steiner stage (one per terminal component).
+    pub steiner_runs: u64,
+    /// Closure witness paths actually expanded (K−1 per solve).
+    pub steiner_paths_expanded: u64,
+    /// Closure terminal pairs whose witness paths were never materialised.
+    pub steiner_paths_skipped: u64,
+    /// Non-terminal leaves pruned from the Steiner trees.
+    pub steiner_pruned_leaves: u64,
+    /// Scratch-buffer growth (heap allocation) events across all stages.
+    pub scratch_allocations: u64,
+    /// Seed-reallocation threshold relaxations / seed fallbacks taken.
+    pub realloc_retries: u64,
+}
+
+impl StageCounters {
+    /// Field-wise difference (`self - earlier`) between two cumulative
+    /// snapshots.
+    pub fn since(&self, earlier: &StageCounters) -> StageCounters {
+        StageCounters {
+            steiner_runs: self.steiner_runs - earlier.steiner_runs,
+            steiner_paths_expanded: self.steiner_paths_expanded - earlier.steiner_paths_expanded,
+            steiner_paths_skipped: self.steiner_paths_skipped - earlier.steiner_paths_skipped,
+            steiner_pruned_leaves: self.steiner_pruned_leaves - earlier.steiner_pruned_leaves,
+            scratch_allocations: self.scratch_allocations - earlier.scratch_allocations,
+            realloc_retries: self.realloc_retries - earlier.realloc_retries,
+        }
+    }
+
+    /// Field-wise sum, for service-level aggregation.
+    pub fn add(&mut self, other: &StageCounters) {
+        self.steiner_runs += other.steiner_runs;
+        self.steiner_paths_expanded += other.steiner_paths_expanded;
+        self.steiner_paths_skipped += other.steiner_paths_skipped;
+        self.steiner_pruned_leaves += other.steiner_pruned_leaves;
+        self.scratch_allocations += other.scratch_allocations;
+        self.realloc_retries += other.realloc_retries;
+    }
+
+    /// The counters, labelled, in a stable reporting order.
+    pub fn fields(&self) -> [(&'static str, u64); 6] {
+        [
+            ("steiner_runs", self.steiner_runs),
+            ("steiner_paths_expanded", self.steiner_paths_expanded),
+            ("steiner_paths_skipped", self.steiner_paths_skipped),
+            ("steiner_pruned_leaves", self.steiner_pruned_leaves),
+            ("scratch_allocations", self.scratch_allocations),
+            ("realloc_retries", self.realloc_retries),
+        ]
+    }
+}
 
 /// Wall-clock time of each pipeline stage of one request, plus the total.
 ///
@@ -45,6 +107,9 @@ pub struct StageTimings {
     pub render: Duration,
     /// End-to-end wall-clock time of the request.
     pub total: Duration,
+    /// Work counters of the run (Steiner solves, lazy-path bookkeeping,
+    /// scratch allocations, realloc retries).
+    pub counters: StageCounters,
 }
 
 impl StageTimings {
@@ -79,8 +144,8 @@ pub struct StageContext<'a> {
     pub request: &'a PathRequest<'a>,
     /// The request's configuration with the variant's ablations applied.
     pub config: RepagerConfig,
-    /// Reusable Dijkstra workspace for the Steiner stage.
-    pub scratch: &'a mut DijkstraScratch,
+    /// Reusable per-worker workspace for the realloc and Steiner stages.
+    pub scratch: &'a mut PipelineScratch,
 }
 
 /// One step of the pipeline: consumes the previous stage's output, produces
@@ -186,7 +251,7 @@ impl Stage for ReallocStage {
         input: SubgraphStageOutput,
     ) -> Result<ReallocStageOutput, GraphError> {
         let SubgraphStageOutput { seeds, subgraph } = input;
-        let allocation = reallocate(cx.corpus, &subgraph, &seeds, &cx.config);
+        let allocation = reallocate_with(cx.corpus, &subgraph, &seeds, &cx.config, cx.scratch);
         let terminals = allocation.terminals(cx.request.variant.terminal_selection(), &cx.config);
         Ok(ReallocStageOutput {
             subgraph,
@@ -360,7 +425,7 @@ pub fn serve_request(
     scholar: &ScholarEngine,
     node_weights: &NodeWeights,
     request: &PathRequest<'_>,
-    scratch: &mut DijkstraScratch,
+    scratch: &mut PipelineScratch,
 ) -> Result<RepagerOutput, RepagerError> {
     request.config.validate()?;
     let mut cx = StageContext {
@@ -382,6 +447,7 @@ pub fn serve_request(
 pub fn run_pipeline(cx: &mut StageContext<'_>) -> Result<RepagerOutput, GraphError> {
     let started = Instant::now();
     let mut timings = StageTimings::default();
+    let counters_before = cx.scratch.counters();
 
     let seeds = timed(&mut timings.seed, || SeedStage.run(cx, ()))?;
     if seeds.is_empty() {
@@ -408,6 +474,7 @@ pub fn run_pipeline(cx: &mut StageContext<'_>) -> Result<RepagerOutput, GraphErr
     let steiner = timed(&mut timings.steiner, || SteinerStage.run(cx, realloc))?;
     let mut output = timed(&mut timings.render, || RenderStage.run(cx, steiner))?;
 
+    timings.counters = cx.scratch.counters().since(&counters_before);
     timings.total = started.elapsed();
     output.timings = timings;
     Ok(output)
@@ -438,8 +505,40 @@ mod tests {
             steiner: Duration::from_millis(4),
             render: Duration::from_millis(5),
             total: Duration::from_millis(16),
+            counters: StageCounters::default(),
         };
         assert_eq!(timings.stage_sum(), Duration::from_millis(15));
         assert!(timings.stage_sum() <= timings.total);
+    }
+
+    #[test]
+    fn counter_snapshots_diff_and_sum_field_wise() {
+        let a = StageCounters {
+            steiner_runs: 3,
+            steiner_paths_expanded: 6,
+            steiner_paths_skipped: 9,
+            steiner_pruned_leaves: 12,
+            scratch_allocations: 15,
+            realloc_retries: 1,
+        };
+        let b = StageCounters {
+            steiner_runs: 5,
+            steiner_paths_expanded: 10,
+            steiner_paths_skipped: 15,
+            steiner_pruned_leaves: 20,
+            scratch_allocations: 15,
+            realloc_retries: 2,
+        };
+        let delta = b.since(&a);
+        assert_eq!(delta.steiner_runs, 2);
+        assert_eq!(delta.scratch_allocations, 0);
+        assert_eq!(delta.realloc_retries, 1);
+        let mut sum = a;
+        sum.add(&delta);
+        assert_eq!(sum, b);
+        let labels: Vec<&str> = b.fields().iter().map(|(n, _)| *n).collect();
+        assert_eq!(labels.len(), 6);
+        assert!(labels.contains(&"steiner_runs"));
+        assert!(labels.contains(&"scratch_allocations"));
     }
 }

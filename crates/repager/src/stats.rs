@@ -38,6 +38,7 @@ impl TimingAggregate {
         self.sums.steiner += timings.steiner;
         self.sums.render += timings.render;
         self.sums.total += timings.total;
+        self.sums.counters.add(&timings.counters);
     }
 
     /// Combines another aggregate into this one (e.g. per-worker partials).
@@ -49,6 +50,7 @@ impl TimingAggregate {
         self.sums.steiner += other.sums.steiner;
         self.sums.render += other.sums.render;
         self.sums.total += other.sums.total;
+        self.sums.counters.add(&other.sums.counters);
     }
 
     /// Whether any request has been recorded.
@@ -72,6 +74,22 @@ impl TimingAggregate {
             steiner: mean(self.sums.steiner, self.requests),
             render: mean(self.sums.render, self.requests),
             total: mean(self.sums.total, self.requests),
+            counters: self.mean_counters(),
+        }
+    }
+
+    /// Field-wise integer means of the work counters (all zero when nothing
+    /// was recorded).
+    fn mean_counters(&self) -> crate::stages::StageCounters {
+        let c = &self.sums.counters;
+        let div = |x: u64| x.checked_div(self.requests).unwrap_or(0);
+        crate::stages::StageCounters {
+            steiner_runs: div(c.steiner_runs),
+            steiner_paths_expanded: div(c.steiner_paths_expanded),
+            steiner_paths_skipped: div(c.steiner_paths_skipped),
+            steiner_pruned_leaves: div(c.steiner_pruned_leaves),
+            scratch_allocations: div(c.scratch_allocations),
+            realloc_retries: div(c.realloc_retries),
         }
     }
 
@@ -111,7 +129,27 @@ mod tests {
             steiner: Duration::from_millis(4 * ms),
             render: Duration::from_millis(5 * ms),
             total: Duration::from_millis(16 * ms),
+            counters: crate::stages::StageCounters {
+                steiner_runs: ms,
+                steiner_paths_expanded: 2 * ms,
+                steiner_paths_skipped: 3 * ms,
+                steiner_pruned_leaves: 4 * ms,
+                scratch_allocations: 5 * ms,
+                realloc_retries: ms,
+            },
         }
+    }
+
+    #[test]
+    fn counters_aggregate_and_average() {
+        let mut agg = TimingAggregate::new();
+        agg.record(&timings(2));
+        agg.record(&timings(4));
+        assert_eq!(agg.sums.counters.steiner_runs, 6);
+        assert_eq!(agg.sums.counters.scratch_allocations, 30);
+        let means = agg.means();
+        assert_eq!(means.counters.steiner_runs, 3);
+        assert_eq!(means.counters.steiner_paths_expanded, 6);
     }
 
     #[test]

@@ -147,7 +147,17 @@ impl SubGraph {
     /// Translates a set of corpus papers into local nodes, silently dropping
     /// papers that are not part of the sub-graph.
     pub fn to_local(&self, papers: &[PaperId]) -> Vec<NodeId> {
-        papers.iter().filter_map(|&p| self.local_of(p)).collect()
+        let mut out = Vec::with_capacity(papers.len());
+        self.to_local_into(papers, &mut out);
+        out
+    }
+
+    /// [`SubGraph::to_local`] appending into a caller-provided buffer, so
+    /// per-request translation on the hot path can reuse a scratch-owned
+    /// vector instead of allocating (the buffer is cleared first).
+    pub fn to_local_into(&self, papers: &[PaperId], out: &mut Vec<NodeId>) {
+        out.clear();
+        out.extend(papers.iter().filter_map(|&p| self.local_of(p)));
     }
 
     /// Translates local nodes back into corpus papers.

@@ -13,13 +13,13 @@
 use crate::config::RepagerConfig;
 use crate::newst::NewstForest;
 use crate::path::ReadingPath;
+use crate::scratch::PipelineScratch;
 use crate::seeds::SeedAllocation;
 use crate::stages::StageTimings;
 use crate::variants::Variant;
 use crate::weights::NodeWeights;
 use rpg_corpus::{Corpus, PaperId};
 use rpg_engines::{EngineIndex, ScholarEngine};
-use rpg_graph::dijkstra::DijkstraScratch;
 use rpg_graph::pagerank::pagerank_default;
 use rpg_graph::GraphError;
 
@@ -182,18 +182,18 @@ impl<'c> RePaGer<'c> {
     }
 
     /// Generates a reading path and reading list for a request with a fresh
-    /// Dijkstra workspace.
+    /// pipeline workspace.
     pub fn generate(&self, request: &PathRequest<'_>) -> Result<RepagerOutput, RepagerError> {
-        let mut scratch = DijkstraScratch::new();
+        let mut scratch = PipelineScratch::new();
         self.generate_with_scratch(request, &mut scratch)
     }
 
-    /// Generates a reading path reusing a caller-provided Dijkstra workspace
+    /// Generates a reading path reusing a caller-provided pipeline workspace
     /// (the serving layer holds one per worker thread).
     pub fn generate_with_scratch(
         &self,
         request: &PathRequest<'_>,
-        scratch: &mut DijkstraScratch,
+        scratch: &mut PipelineScratch,
     ) -> Result<RepagerOutput, RepagerError> {
         crate::stages::serve_request(
             self.corpus,

@@ -245,7 +245,9 @@ pub fn output_result_value(output: &RepagerOutput) -> Value {
     ])
 }
 
-/// Per-stage wall-clock times in integer microseconds.
+/// Per-stage wall-clock times in integer microseconds, plus the run's work
+/// counters (Steiner solves, lazy-path bookkeeping, scratch allocations,
+/// realloc retries) under a nested `counters` object.
 pub fn timings_value(timings: &StageTimings) -> Value {
     let mut fields: Vec<(String, Value)> = timings
         .stages()
@@ -260,6 +262,17 @@ pub fn timings_value(timings: &StageTimings) -> Value {
     fields.push((
         "total_us".to_string(),
         Value::Number(timings.total.as_micros() as f64),
+    ));
+    fields.push((
+        "counters".to_string(),
+        Value::Object(
+            timings
+                .counters
+                .fields()
+                .iter()
+                .map(|&(name, value)| (name.to_string(), Value::Number(value as f64)))
+                .collect(),
+        ),
     ));
     Value::Object(fields)
 }
@@ -377,5 +390,33 @@ mod tests {
         assert_eq!(value.get("seed_us").and_then(Value::as_f64), Some(10.0));
         assert_eq!(value.get("total_us").and_then(Value::as_f64), Some(99.0));
         assert_eq!(value.get("render_us").and_then(Value::as_f64), Some(0.0));
+    }
+
+    #[test]
+    fn timings_carry_work_counters() {
+        let timings = StageTimings {
+            counters: rpg_repager::StageCounters {
+                steiner_runs: 2,
+                steiner_paths_skipped: 7,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let value = timings_value(&timings);
+        let counters = value.get("counters").expect("counters object present");
+        assert_eq!(
+            counters.get("steiner_runs").and_then(Value::as_f64),
+            Some(2.0)
+        );
+        assert_eq!(
+            counters
+                .get("steiner_paths_skipped")
+                .and_then(Value::as_f64),
+            Some(7.0)
+        );
+        assert_eq!(
+            counters.get("scratch_allocations").and_then(Value::as_f64),
+            Some(0.0)
+        );
     }
 }

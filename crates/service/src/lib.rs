@@ -40,9 +40,9 @@ pub use registry::{CorpusRegistry, RegistryError, Served, TenantOverview};
 
 use rpg_corpus::Corpus;
 use rpg_engines::ScholarEngine;
-use rpg_graph::dijkstra::DijkstraScratch;
 use rpg_graph::GraphError;
 use rpg_repager::artifacts::CorpusArtifacts;
+use rpg_repager::scratch::PipelineScratch;
 use rpg_repager::stages::serve_request;
 use rpg_repager::system::{PathRequest, RepagerError, RepagerOutput};
 use rpg_repager::weights::NodeWeights;
@@ -89,15 +89,15 @@ impl Clone for PathService {
 }
 
 thread_local! {
-    // One Dijkstra workspace per thread: sequential single-request callers
+    // One pipeline workspace per thread: sequential single-request callers
     // (e.g. the evaluation loop) reuse it across every request they make.
-    static THREAD_SCRATCH: RefCell<DijkstraScratch> = RefCell::new(DijkstraScratch::new());
+    static THREAD_SCRATCH: RefCell<PipelineScratch> = RefCell::new(PipelineScratch::new());
 }
 
-/// Runs `f` with this thread's shared Dijkstra workspace (the one
+/// Runs `f` with this thread's shared pipeline workspace (the one
 /// [`PathService::generate`] and the registry's request path reuse across
 /// every request a thread serves).
-pub(crate) fn with_thread_scratch<T>(f: impl FnOnce(&mut DijkstraScratch) -> T) -> T {
+pub(crate) fn with_thread_scratch<T>(f: impl FnOnce(&mut PipelineScratch) -> T) -> T {
     THREAD_SCRATCH.with(|scratch| f(&mut scratch.borrow_mut()))
 }
 
@@ -164,7 +164,7 @@ impl PathService {
     fn generate_cached_with_scratch(
         &self,
         request: &PathRequest<'_>,
-        scratch: &mut DijkstraScratch,
+        scratch: &mut PipelineScratch,
     ) -> Result<RepagerOutput, RepagerError> {
         let fingerprint = RequestFingerprint::of(request);
         if let Some(hit) = self.cache.lock().unwrap().get(&fingerprint) {
@@ -183,7 +183,7 @@ impl PathService {
     fn run_request(
         &self,
         request: &PathRequest<'_>,
-        scratch: &mut DijkstraScratch,
+        scratch: &mut PipelineScratch,
     ) -> Result<RepagerOutput, RepagerError> {
         serve_request(
             self.artifacts.corpus(),
@@ -205,7 +205,7 @@ impl PathService {
     }
 
     /// Serves a batch over an explicit number of worker threads. Each worker
-    /// owns one [`DijkstraScratch`] for its whole chunk of requests, and all
+    /// owns one [`PipelineScratch`] for its whole chunk of requests, and all
     /// workers share the service's result cache.
     pub fn generate_batch_with_threads(
         &self,
@@ -215,7 +215,7 @@ impl PathService {
         parallel::fan_out(
             requests.len(),
             threads,
-            DijkstraScratch::new,
+            PipelineScratch::new,
             |scratch, i| self.generate_cached_with_scratch(&requests[i], scratch),
         )
     }

@@ -257,6 +257,36 @@ fn stats_endpoint_tracks_cache_queue_connections_and_stage_timings() {
             "stage {stage} unrecorded"
         );
     }
+    // The steiner/realloc work counters of the fresh run are aggregated and
+    // exposed alongside the timings (sum and mean carry the same fields).
+    for section in ["sum", "mean"] {
+        let counters = pipeline
+            .get(section)
+            .and_then(|t| t.get("counters"))
+            .unwrap_or_else(|| panic!("pipeline.{section}.counters missing"));
+        for field in [
+            "steiner_runs",
+            "steiner_paths_expanded",
+            "steiner_paths_skipped",
+            "steiner_pruned_leaves",
+            "scratch_allocations",
+            "realloc_retries",
+        ] {
+            assert!(
+                counters.get(field).and_then(Value::as_f64).is_some(),
+                "pipeline.{section}.counters.{field} missing"
+            );
+        }
+    }
+    let sum_counters = pipeline.get("sum").unwrap().get("counters").unwrap();
+    assert!(
+        sum_counters
+            .get("steiner_runs")
+            .and_then(Value::as_f64)
+            .unwrap()
+            >= 1.0,
+        "the fresh run must have recorded at least one KMB solve"
+    );
     let queue = stats.get("queue").expect("queue section");
     assert_eq!(queue.get("depth").and_then(Value::as_f64), Some(0.0));
     assert_eq!(queue.get("capacity").and_then(Value::as_f64), Some(16.0));
