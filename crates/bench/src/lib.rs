@@ -7,6 +7,7 @@
 //! that experiment (a single query, a single method evaluation, a single
 //! statistic pass) so `cargo bench` also tracks performance over time.
 
+pub mod load;
 pub mod report;
 
 use rpg_corpus::{generate, Corpus, CorpusConfig};

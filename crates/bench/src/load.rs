@@ -1,0 +1,174 @@
+//! The `rpg bench` load group: measuring overload isolation instead of
+//! merely asserting it.
+//!
+//! `tests/load.rs` is the pass/fail tier — adversaries attack, the quiet
+//! tenant must survive. This module is the trajectory tier: it spawns a
+//! real two-tenant server in-process and benchmarks one quiet tenant
+//! request twice on the same host — first on an otherwise idle server,
+//! then while a noisy tenant stampedes with cache-busting requests under
+//! its in-flight cap — so the committed `BENCH_*.json` records not just
+//! raw kernel speed but the *price of isolation*: how much the quiet
+//! median moves when the server is under attack. A regression here means
+//! the cap/deadline machinery stopped doing its job long before the
+//! integration tier starts flaking.
+
+use crate::report::{run_bench, BenchResult, Iterations};
+use rpg_server::{client, Server, ServerConfig};
+use rpg_service::CorpusRegistry;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How the load benches shape the server: two compute workers, the noisy
+/// tenant capped to one of them and a short queue — the configuration the
+/// integration tier proves isolating.
+fn load_config() -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        drivers: 2,
+        queue_capacity: 64,
+        tenant_queue_capacity: 4,
+        tenant_inflight: vec![("noisy".to_string(), 1)],
+        ..ServerConfig::default()
+    }
+}
+
+/// A two-tenant registry over the micro corpus: `noisy` and `quiet` share
+/// one artifact build (comparable work per request) and caching is off so
+/// every request pays a full pipeline run.
+fn load_registry() -> Arc<CorpusRegistry> {
+    let registry = Arc::new(CorpusRegistry::with_cache_capacity(0));
+    registry
+        .register("noisy", crate::micro_corpus())
+        .expect("micro corpus builds artifacts");
+    registry.register_artifacts(
+        "quiet",
+        registry.artifacts("noisy").expect("noisy just registered"),
+    );
+    registry
+}
+
+/// Spawns the load server and blocks until it answers a healthz probe.
+fn spawn_ready() -> Server {
+    let server = Server::spawn(load_registry(), load_config()).expect("load server binds");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match client::get(server.addr(), "/v1/healthz") {
+            Ok(response) if response.status == 200 => break,
+            _ if Instant::now() < deadline => std::thread::sleep(Duration::from_millis(5)),
+            other => panic!("load server never became ready: {other:?}"),
+        }
+    }
+    server
+}
+
+/// Runs the load group: `load_quiet_generate` (idle server baseline) and
+/// `load_quiet_generate_stampede` (same request while the noisy tenant
+/// stampedes under its in-flight cap). Both are end-to-end loopback HTTP
+/// round-trips, so they include admission, queueing, compute, and reply.
+pub fn run_load_benches(iters: Iterations) -> Vec<BenchResult> {
+    let server = spawn_ready();
+    let addr = server.addr();
+    let survey = {
+        let artifacts = server
+            .registry()
+            .artifacts("quiet")
+            .expect("quiet tenant registered");
+        let corpus = artifacts.corpus();
+        let survey = corpus
+            .survey_bank()
+            .iter()
+            .next()
+            .expect("micro corpus has surveys");
+        (survey.query.clone(), survey.year)
+    };
+    let (query, year) = survey;
+
+    let quiet_body =
+        format!(r#"{{"query": {query:?}, "max_year": {year}, "top_k": 20, "corpus": "quiet"}}"#);
+    let quiet_request = || {
+        let response =
+            client::post_json(addr, "/v1/generate", &quiet_body).expect("quiet request sends");
+        assert_eq!(
+            response.status, 200,
+            "quiet request failed: {}",
+            response.body
+        );
+        response.body.len()
+    };
+
+    let mut results = Vec::new();
+
+    // Baseline: the quiet tenant on an idle server.
+    results.push(run_bench(
+        "load_quiet_generate",
+        iters.service,
+        iters.warmup,
+        quiet_request,
+    ));
+
+    // The stampede: two noisy threads hammering cache-busting requests
+    // back-to-back; 200/429/503 are all in-contract, anything else is not.
+    let stop = Arc::new(AtomicBool::new(false));
+    let stampede: Vec<_> = (0..2)
+        .map(|t| {
+            let stop = Arc::clone(&stop);
+            let query = query.clone();
+            std::thread::spawn(move || {
+                let salt = AtomicUsize::new(t);
+                while !stop.load(Ordering::Relaxed) {
+                    let top_k = 5 + (salt.fetch_add(1, Ordering::Relaxed) % 17);
+                    let body = format!(
+                        r#"{{"query": {query:?}, "max_year": {year}, "top_k": {top_k}, "corpus": "noisy"}}"#
+                    );
+                    let status = client::post_json(addr, "/v1/generate", &body)
+                        .map(|r| r.status)
+                        .unwrap_or(0);
+                    assert!(
+                        status == 200 || status == 429 || status == 503,
+                        "noisy stampede saw status {status}"
+                    );
+                }
+            })
+        })
+        .collect();
+
+    // The measurement: the same quiet request while the stampede runs.
+    results.push(run_bench(
+        "load_quiet_generate_stampede",
+        iters.service,
+        iters.warmup,
+        quiet_request,
+    ));
+
+    stop.store(true, Ordering::Relaxed);
+    for handle in stampede {
+        handle.join().expect("stampede thread exits cleanly");
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_group_runs_end_to_end_and_names_are_stable() {
+        let iters = Iterations {
+            kernel: 1,
+            service: 3,
+            warmup: 1,
+        };
+        let results = run_load_benches(iters);
+        let names: Vec<&str> = results.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(
+            names,
+            ["load_quiet_generate", "load_quiet_generate_stampede"]
+        );
+        for result in &results {
+            assert!(result.median_ns >= 1, "{}: empty sample set", result.name);
+            assert!(result.iters == 3);
+        }
+    }
+}

@@ -87,6 +87,10 @@ pub struct TenantPatch {
     pub weight: Option<u64>,
     /// New per-tenant admission-queue bound (≥ 1).
     pub queue: Option<usize>,
+    /// New in-flight compute cap (≥ 1).
+    pub inflight: Option<usize>,
+    /// New deadline budget in milliseconds (≥ 1).
+    pub deadline_ms: Option<u64>,
 }
 
 /// A request-level problem discovered while interpreting a DTO.

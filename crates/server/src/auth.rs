@@ -8,9 +8,18 @@
 //! key from the manifest's `admin_keys` set — no key at all is a `401`.
 //! The table is swapped atomically on manifest reload and edited in place
 //! by `PUT`/`DELETE /v1/corpora/:name`, so key changes take effect live.
+//!
+//! Keys are stored **hashed at rest**: every table entry is a
+//! [`StoredKey`] — a salt plus the salted SHA-256 of the key — so neither
+//! the in-memory table nor a manifest using `key_hashes` ever holds the
+//! secret itself. Legacy plaintext `api_keys`/`admin_keys` manifests still
+//! load (the keys are hashed on the way in, with a deprecation warning on
+//! stderr); `rpg hash-key` mints the `"<salt-hex>:<digest-hex>"` strings a
+//! migrated manifest stores instead. Lookups compare digests in constant
+//! time.
 
+use crate::digest::{ct_eq, hex_decode, hex_encode, sha256};
 use rpg_service::Manifest;
-use std::collections::{HashMap, HashSet};
 
 /// Who a request is, after checking its bearer key.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -23,12 +32,67 @@ pub enum Principal {
     Admin,
 }
 
-/// The key → principal mapping of a running server.
+/// One key at rest: a salt and the SHA-256 of `salt ‖ key`. The wire/file
+/// form is `"<salt-hex>:<digest-hex>"`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoredKey {
+    salt: Vec<u8>,
+    digest: [u8; 32],
+}
+
+impl StoredKey {
+    /// Hashes a plaintext key under an explicit salt.
+    pub fn with_salt(key: &str, salt: &[u8]) -> StoredKey {
+        let mut message = salt.to_vec();
+        message.extend_from_slice(key.as_bytes());
+        StoredKey {
+            salt: salt.to_vec(),
+            digest: sha256(&message),
+        }
+    }
+
+    /// Hashes a legacy plaintext key for in-memory storage. The salt is
+    /// derived (not random) so two loads of the same manifest build equal
+    /// tables; it still defeats precomputed single-table lookups, and
+    /// migrating to `key_hashes` (random salts via `rpg hash-key`) is the
+    /// actual fix the deprecation warning points at.
+    pub fn from_plaintext(key: &str) -> StoredKey {
+        let mut seed = b"rpg.key.v1:".to_vec();
+        seed.extend_from_slice(key.as_bytes());
+        let salt = &sha256(&seed)[..16];
+        StoredKey::with_salt(key, salt)
+    }
+
+    /// Parses the stored form `"<salt-hex>:<digest-hex>"`.
+    pub fn parse(text: &str) -> Option<StoredKey> {
+        let (salt_hex, digest_hex) = text.split_once(':')?;
+        let salt = hex_decode(salt_hex)?;
+        let digest: [u8; 32] = hex_decode(digest_hex)?.try_into().ok()?;
+        if salt.is_empty() {
+            return None;
+        }
+        Some(StoredKey { salt, digest })
+    }
+
+    /// The canonical stored form.
+    pub fn encode(&self) -> String {
+        format!("{}:{}", hex_encode(&self.salt), hex_encode(&self.digest))
+    }
+
+    /// Whether a presented plaintext key is this one (constant-time on the
+    /// digest).
+    pub fn matches(&self, candidate: &str) -> bool {
+        let probe = StoredKey::with_salt(candidate, &self.salt);
+        ct_eq(&probe.digest, &self.digest)
+    }
+}
+
+/// The key → principal mapping of a running server; all keys hashed.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct AuthTable {
-    /// Bearer key → owning tenant.
-    tenant_keys: HashMap<String, String>,
-    admin_keys: HashSet<String>,
+    /// Stored key plus its owning tenant.
+    tenant_keys: Vec<(StoredKey, String)>,
+    admin_keys: Vec<StoredKey>,
 }
 
 impl AuthTable {
@@ -37,16 +101,36 @@ impl AuthTable {
         AuthTable::default()
     }
 
-    /// The table a manifest describes: each tenant's `api_keys` plus the
-    /// manifest's `admin_keys`. (Manifest validation already guarantees no
-    /// key is claimed twice.)
+    /// The table a manifest describes: each tenant's `key_hashes` and
+    /// (legacy, hashed on the way in) `api_keys`, plus the manifest's
+    /// admin sets. Manifest validation already guarantees no key is
+    /// claimed twice; a malformed `key_hashes` entry is skipped with a
+    /// warning rather than aborting the whole table.
     pub fn from_manifest(manifest: &Manifest) -> AuthTable {
         let mut table = AuthTable::new();
+        let mut plaintext = manifest.admin().len();
         for key in manifest.admin() {
-            table.admin_keys.insert(key.clone());
+            table.admin_keys.push(StoredKey::from_plaintext(key));
+        }
+        for hash in manifest.admin_hashed() {
+            match StoredKey::parse(hash) {
+                Some(stored) => table.admin_keys.push(stored),
+                None => eprintln!(
+                    "rpg-server: ignoring malformed admin key_hash {hash:?} \
+                     (expected \"<salt-hex>:<digest-hex>\" from `rpg hash-key`)"
+                ),
+            }
         }
         for (name, config) in manifest.tenants_sorted() {
-            table.grant_tenant(name, config.keys());
+            plaintext += config.keys().len();
+            table.grant_tenant_full(name, config.keys(), config.hashed_keys());
+        }
+        if plaintext > 0 {
+            eprintln!(
+                "rpg-server: manifest stores {plaintext} plaintext api key(s); \
+                 plaintext keys are deprecated — replace api_keys/admin_keys with \
+                 key_hashes/admin_key_hashes (mint values with `rpg hash-key`)"
+            );
         }
         table
     }
@@ -55,35 +139,75 @@ impl AuthTable {
     /// Keys already claimed by the admin set or another tenant are skipped
     /// rather than stolen.
     pub fn grant_tenant(&mut self, tenant: &str, keys: &[String]) {
+        self.grant_tenant_full(tenant, keys, &[]);
+    }
+
+    /// Replaces one tenant's key set from both forms: plaintext keys
+    /// (hashed on the way in) and pre-hashed `"<salt>:<digest>"` entries.
+    pub fn grant_tenant_full(&mut self, tenant: &str, keys: &[String], hashed: &[String]) {
         self.revoke_tenant(tenant);
         for key in keys {
-            if key.is_empty() || self.admin_keys.contains(key) {
+            if key.is_empty() || !matches!(self.principal(Some(key)), Principal::Anonymous) {
                 continue;
             }
             self.tenant_keys
-                .entry(key.clone())
-                .or_insert_with(|| tenant.to_string());
+                .push((StoredKey::from_plaintext(key), tenant.to_string()));
+        }
+        for hash in hashed {
+            let Some(stored) = StoredKey::parse(hash) else {
+                eprintln!(
+                    "rpg-server: ignoring malformed key_hash {hash:?} for tenant \
+                     {tenant:?} (expected \"<salt-hex>:<digest-hex>\")"
+                );
+                continue;
+            };
+            if self.encoded_owner(&stored).is_some() {
+                continue;
+            }
+            self.tenant_keys.push((stored, tenant.to_string()));
         }
     }
 
     /// Drops every key belonging to one tenant (used by
     /// `DELETE /v1/corpora/:name`).
     pub fn revoke_tenant(&mut self, tenant: &str) {
-        self.tenant_keys.retain(|_, owner| owner != tenant);
+        self.tenant_keys.retain(|(_, owner)| owner != tenant);
     }
 
-    /// Resolves a bearer token to its principal.
+    /// Resolves a bearer token to its principal. Every stored key is
+    /// checked (no early exit), so response timing does not reveal which
+    /// entry — if any — a guessed key was close to.
     pub fn principal(&self, bearer: Option<&str>) -> Principal {
         let Some(key) = bearer else {
             return Principal::Anonymous;
         };
-        if self.admin_keys.contains(key) {
-            return Principal::Admin;
+        let mut resolved = Principal::Anonymous;
+        for stored in &self.admin_keys {
+            if stored.matches(key) {
+                resolved = Principal::Admin;
+            }
         }
-        match self.tenant_keys.get(key) {
-            Some(tenant) => Principal::Tenant(tenant.clone()),
-            None => Principal::Anonymous,
+        if resolved == Principal::Anonymous {
+            for (stored, tenant) in &self.tenant_keys {
+                if stored.matches(key) && resolved == Principal::Anonymous {
+                    resolved = Principal::Tenant(tenant.clone());
+                }
+            }
         }
+        resolved
+    }
+
+    /// Who owns a stored key identical to `candidate` (exact salt+digest
+    /// match — used to keep `PUT` from re-claiming another tenant's
+    /// published hash).
+    pub fn encoded_owner(&self, candidate: &StoredKey) -> Option<Principal> {
+        if self.admin_keys.iter().any(|stored| stored == candidate) {
+            return Some(Principal::Admin);
+        }
+        self.tenant_keys
+            .iter()
+            .find(|(stored, _)| stored == candidate)
+            .map(|(_, tenant)| Principal::Tenant(tenant.clone()))
     }
 
     /// Number of tenant keys currently granted.
@@ -144,6 +268,56 @@ mod tests {
     }
 
     #[test]
+    fn the_table_never_stores_plaintext() {
+        let table = demo_table();
+        let dump = format!("{table:?}");
+        for secret in ["root", "ka1", "ka2", "kb"] {
+            assert!(
+                !dump.contains(&format!("\"{secret}\"")),
+                "plaintext {secret:?} leaked into the table: {dump}"
+            );
+        }
+    }
+
+    #[test]
+    fn hashed_manifest_keys_authenticate_without_the_manifest_knowing_them() {
+        let stored = StoredKey::with_salt("s3cret", b"pepper");
+        let manifest = Manifest::from_json(&format!(
+            r#"{{"tenants": {{"alpha": {{"corpus": {{"seed": 1}},
+                "key_hashes": ["{}"]}}}}}}"#,
+            stored.encode()
+        ))
+        .unwrap();
+        let table = AuthTable::from_manifest(&manifest);
+        assert_eq!(
+            table.principal(Some("s3cret")),
+            Principal::Tenant("alpha".to_string())
+        );
+        assert_eq!(table.principal(Some("s3cret ")), Principal::Anonymous);
+        assert_eq!(
+            table.principal(Some(&stored.encode())),
+            Principal::Anonymous,
+            "presenting the hash itself must not authenticate"
+        );
+    }
+
+    #[test]
+    fn stored_keys_round_trip_and_reject_malformed_text() {
+        let stored = StoredKey::with_salt("key", &[1, 2, 3, 4]);
+        let parsed = StoredKey::parse(&stored.encode()).unwrap();
+        assert_eq!(parsed, stored);
+        assert!(parsed.matches("key"));
+        assert!(!parsed.matches("Key"));
+        for bad in ["", "nocolon", ":abcd", "zz:abcd", "ab:zz", "ab:abcd"] {
+            assert!(StoredKey::parse(bad).is_none(), "accepted {bad:?}");
+        }
+        // Same key, different salt → different digest and encoding.
+        let other = StoredKey::with_salt("key", &[9, 9, 9, 9]);
+        assert_ne!(other.encode(), stored.encode());
+        assert!(other.matches("key"));
+    }
+
+    #[test]
     fn grant_and_revoke_edit_one_tenant() {
         let mut table = demo_table();
         table.grant_tenant("alpha", &["fresh".to_string()]);
@@ -172,6 +346,14 @@ mod tests {
         assert_eq!(table.principal(Some("root")), Principal::Admin);
         assert_eq!(
             table.principal(Some("kb")),
+            Principal::Tenant("beta".to_string())
+        );
+        // Hashed grants cannot re-claim a published hash either.
+        let kb_hash = StoredKey::from_plaintext("kb");
+        let mut sneaky = demo_table();
+        sneaky.grant_tenant_full("thief", &[], &[kb_hash.encode()]);
+        assert_eq!(
+            sneaky.principal(Some("kb")),
             Principal::Tenant("beta".to_string())
         );
     }

@@ -1,0 +1,184 @@
+//! Lock-cheap latency histograms for per-tenant overload observability.
+//!
+//! [`Histogram`] is a fixed array of power-of-two latency buckets updated
+//! with relaxed atomics: recording a sample is one `leading_zeros` and one
+//! `fetch_add`, cheap enough to sit on every request's reply path without
+//! contending the compute workers. Quantiles are read by walking the bucket
+//! counts — approximate (a quantile resolves to its bucket's upper bound,
+//! at worst 2x the true value) but monotone and allocation-free, which is
+//! exactly what `/v1/stats` needs to prove "the quiet tenant's p99 stayed
+//! flat" without perturbing the workload being measured.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Bucket count: bucket `i` holds samples in `[2^i, 2^(i+1))` nanoseconds,
+/// so 48 buckets span 1 ns to ~78 hours — everything above clamps into the
+/// last bucket.
+const BUCKETS: usize = 48;
+
+/// A log2-bucketed histogram of durations, safe for concurrent recording.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bucket_index(ns: u64) -> usize {
+        // floor(log2(ns)) with 0 mapped to bucket 0.
+        (63 - (ns | 1).leading_zeros() as usize).min(BUCKETS - 1)
+    }
+
+    /// Records one sample. Relaxed ordering: counters are statistics, not
+    /// synchronisation, and readers tolerate a momentarily torn view.
+    pub fn record(&self, sample: Duration) {
+        let ns = sample.as_nanos().min(u64::MAX as u128) as u64;
+        self.buckets[Self::bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean sample, `None` while empty.
+    pub fn mean(&self) -> Option<Duration> {
+        let count = self.count();
+        (count > 0).then(|| Duration::from_nanos(self.sum_ns.load(Ordering::Relaxed) / count))
+    }
+
+    /// The quantile `q` in `[0, 1]`, resolved to the upper bound of the
+    /// bucket holding the rank-`ceil(q * count)` sample; `None` while empty.
+    pub fn quantile(&self, q: f64) -> Option<Duration> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                let upper = if i + 1 >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
+                return Some(Duration::from_nanos(upper));
+            }
+        }
+        // A racing `record` bumped `count` before its bucket: fall back to
+        // the highest non-empty bucket.
+        self.buckets
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, b)| b.load(Ordering::Relaxed) > 0)
+            .map(|(i, _)| Duration::from_nanos((1u64 << (i + 1).min(63)) - 1))
+    }
+}
+
+/// Per-tenant overload counters: the latency histogram plus how often the
+/// tenant's work was shed before compute (deadline already blown) or
+/// cancelled mid-flight (client gone).
+#[derive(Debug, Default)]
+pub struct TenantMetrics {
+    /// Admission-to-reply latency of completed requests.
+    pub latency: Histogram,
+    /// Requests dropped by the deadline check before computing.
+    pub shed: AtomicU64,
+    /// Requests whose compute was cancelled by client abandonment.
+    pub cancelled: AtomicU64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.mean(), None);
+    }
+
+    #[test]
+    fn buckets_are_log2_and_clamped() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 0);
+        assert_eq!(Histogram::bucket_index(2), 1);
+        assert_eq!(Histogram::bucket_index(3), 1);
+        assert_eq!(Histogram::bucket_index(1024), 10);
+        assert_eq!(Histogram::bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_bound_their_samples_from_above_within_2x() {
+        let h = Histogram::new();
+        for ms in [1u64, 2, 3, 5, 8, 13, 21, 34, 55, 89] {
+            h.record(Duration::from_millis(ms));
+        }
+        assert_eq!(h.count(), 10);
+        let p50 = h.quantile(0.5).unwrap();
+        // The 5th/10 sample is 8 ms: the p50 bucket upper bound must cover
+        // it without overshooting 2x.
+        assert!(p50 >= Duration::from_millis(8), "{p50:?}");
+        assert!(p50 <= Duration::from_millis(16), "{p50:?}");
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p99 >= Duration::from_millis(89), "{p99:?}");
+        assert!(p99 <= Duration::from_millis(178), "{p99:?}");
+        // Quantiles are monotone in q.
+        assert!(h.quantile(0.1).unwrap() <= p50);
+        assert!(p50 <= p99);
+        assert!(p99 <= h.quantile(1.0).unwrap());
+    }
+
+    #[test]
+    fn mean_tracks_the_sum() {
+        let h = Histogram::new();
+        h.record(Duration::from_millis(10));
+        h.record(Duration::from_millis(30));
+        assert_eq!(h.mean(), Some(Duration::from_millis(20)));
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        use std::sync::Arc;
+        let h = Arc::new(Histogram::new());
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record(Duration::from_micros(t * 1000 + i));
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert_eq!(h.count(), 4000);
+        assert!(h.quantile(0.999).is_some());
+    }
+}

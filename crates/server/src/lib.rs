@@ -67,6 +67,8 @@
 pub mod api;
 pub mod auth;
 pub mod client;
+pub mod digest;
+pub mod histogram;
 pub mod http;
 pub mod queue;
 mod serve;

@@ -148,11 +148,30 @@ struct FairState<T> {
     /// Per-tenant bound overrides (unlisted tenants use the queue-wide
     /// `tenant_capacity`).
     bounds: HashMap<String, usize>,
+    /// Items popped but not yet released, per tenant. Keyed by name (not
+    /// kept on the sub-queue) because a lane is removed the moment it
+    /// drains while its popped work is still running in the compute pool.
+    inflight: HashMap<String, usize>,
+    /// Per-tenant in-flight concurrency caps; unlisted tenants are
+    /// unlimited. A capped tenant's lane is skipped by `pop` (its deficit
+    /// and rotation slot untouched) until `release` frees a slot.
+    inflight_caps: HashMap<String, usize>,
 }
 
 impl<T> FairState<T> {
     fn weight_for(&self, tenant: &str) -> u64 {
         self.weights.get(tenant).copied().unwrap_or(1).max(1)
+    }
+
+    fn inflight_for(&self, tenant: &str) -> usize {
+        self.inflight.get(tenant).copied().unwrap_or(0)
+    }
+
+    fn inflight_cap_for(&self, tenant: &str) -> usize {
+        self.inflight_caps
+            .get(tenant)
+            .copied()
+            .unwrap_or(usize::MAX)
     }
 
     /// Removes sub-queue `idx` and renumbers the service rotation (every
@@ -211,6 +230,8 @@ impl<T> FairQueue<T> {
                     .map(|(name, weight)| (name, weight.max(1)))
                     .collect(),
                 bounds: HashMap::new(),
+                inflight: HashMap::new(),
+                inflight_caps: HashMap::new(),
             }),
             ready: Condvar::new(),
             capacity: capacity.max(1),
@@ -295,6 +316,10 @@ impl<T> FairQueue<T> {
         let mut state = self.state.lock().unwrap();
         state.weights.remove(tenant);
         state.bounds.remove(tenant);
+        // The cap override is forgotten, but in-flight *counts* persist
+        // until released — retirement must never let a tenant's running
+        // work underflow the ledger or dodge a comeback lane's new cap.
+        state.inflight_caps.remove(tenant);
         if let Some(idx) = state.subs.iter().position(|sub| sub.name == tenant) {
             if state.subs[idx].items.is_empty() {
                 state.remove_sub(idx);
@@ -307,47 +332,97 @@ impl<T> FairQueue<T> {
     /// Blocks until an item is available and returns the next one in
     /// deficit-round-robin order; `None` once the queue is closed and
     /// drained.
+    ///
+    /// Popping charges the item against its tenant's in-flight budget — the
+    /// caller owes a matching [`FairQueue::release`] once the work is done.
+    /// Lanes at their in-flight cap are skipped without touching their
+    /// rotation slot or deficit: they resume exactly where they left off
+    /// when a slot frees up, while other tenants keep flowing past them.
     pub fn pop(&self) -> Option<T> {
         let mut state = self.state.lock().unwrap();
         loop {
             if state.total > 0 {
                 let st = &mut *state;
-                let idx = *st
-                    .active
-                    .front()
-                    .expect("non-empty queue has an active tenant");
-                let sub = &mut st.subs[idx];
-                if sub.deficit == 0 {
-                    // A fresh service round for this tenant.
-                    sub.deficit = sub.weight;
-                }
-                let item = sub.items.pop_front().expect("active tenant has items");
-                sub.deficit -= 1;
-                if sub.items.is_empty() {
-                    // An emptied tenant leaves the rotation and forfeits its
-                    // leftover credit (classic DRR: deficit resets when the
-                    // queue goes idle, so credit cannot be hoarded).
-                    sub.deficit = 0;
-                    let retired = sub.retired;
-                    st.active.pop_front();
-                    if retired {
-                        // A retired lane vanishes once its work has drained.
-                        st.remove_sub(idx);
+                let pos = st.active.iter().position(|&idx| {
+                    let name = &st.subs[idx].name;
+                    st.inflight_for(name) < st.inflight_cap_for(name)
+                });
+                if let Some(pos) = pos {
+                    let idx = st.active[pos];
+                    let sub = &mut st.subs[idx];
+                    if sub.deficit == 0 {
+                        // A fresh service round for this tenant.
+                        sub.deficit = sub.weight;
                     }
-                } else if sub.deficit == 0 {
-                    let idx = st.active.pop_front().expect("front exists");
-                    st.active.push_back(idx);
+                    let item = sub.items.pop_front().expect("active tenant has items");
+                    sub.deficit -= 1;
+                    let name = sub.name.clone();
+                    if sub.items.is_empty() {
+                        // An emptied tenant leaves the rotation and forfeits
+                        // its leftover credit (classic DRR: deficit resets
+                        // when the queue goes idle, so credit cannot be
+                        // hoarded).
+                        sub.deficit = 0;
+                        let retired = sub.retired;
+                        st.active.remove(pos);
+                        if retired {
+                            // A retired lane vanishes once its work drained.
+                            st.remove_sub(idx);
+                        }
+                    } else if sub.deficit == 0 {
+                        let idx = st.active.remove(pos).expect("position exists");
+                        st.active.push_back(idx);
+                    }
+                    st.total -= 1;
+                    *st.inflight.entry(name).or_insert(0) += 1;
+                    return Some(item);
                 }
-                st.total -= 1;
-                return Some(item);
-            }
-            if state.closed {
+                // Every backlogged lane is at its in-flight cap: park until
+                // a release frees a slot (or a push opens a new lane).
+            } else if state.closed {
                 return None;
             }
             state.waiters += 1;
             state = self.ready.wait(state).unwrap();
             state.waiters -= 1;
         }
+    }
+
+    /// Returns one in-flight slot for `tenant`, waking a parked consumer if
+    /// its lane was capped. Every successful [`FairQueue::pop`] must be
+    /// paired with exactly one release once the item's work completes.
+    pub fn release(&self, tenant: &str) {
+        let mut state = self.state.lock().unwrap();
+        if let Some(count) = state.inflight.get_mut(tenant) {
+            *count = count.saturating_sub(1);
+            if *count == 0 {
+                state.inflight.remove(tenant);
+            }
+        }
+        drop(state);
+        // One release frees at most one pop, so one wake-up suffices.
+        self.ready.notify_one();
+    }
+
+    /// Caps how many popped-but-unreleased items `tenant` may have at once
+    /// (0 is bumped to 1 — a tenant can be throttled, never wedged).
+    /// Shrinking below the current in-flight count drops nothing: running
+    /// work finishes and releases normally, and the lane is simply skipped
+    /// until it is back under its cap.
+    pub fn set_inflight_cap(&self, tenant: &str, cap: usize) {
+        let mut state = self.state.lock().unwrap();
+        state.inflight_caps.insert(tenant.to_string(), cap.max(1));
+        drop(state);
+        // A raised cap may make a previously skipped lane serviceable.
+        self.ready.notify_all();
+    }
+
+    /// Removes a tenant's in-flight cap, returning it to unlimited.
+    pub fn clear_inflight_cap(&self, tenant: &str) {
+        let mut state = self.state.lock().unwrap();
+        state.inflight_caps.remove(tenant);
+        drop(state);
+        self.ready.notify_all();
     }
 
     /// Closes the queue: pending items still drain, new pushes are
@@ -403,6 +478,21 @@ impl<T> FairQueue<T> {
     /// The DRR weight a tenant is (or would be) served with.
     pub fn weight(&self, tenant: &str) -> u64 {
         self.state.lock().unwrap().weight_for(tenant)
+    }
+
+    /// Items popped under `tenant` and not yet released.
+    pub fn tenant_inflight(&self, tenant: &str) -> usize {
+        self.state.lock().unwrap().inflight_for(tenant)
+    }
+
+    /// The in-flight cap in force for `tenant`, `None` when unlimited.
+    pub fn tenant_inflight_cap(&self, tenant: &str) -> Option<usize> {
+        self.state
+            .lock()
+            .unwrap()
+            .inflight_caps
+            .get(tenant)
+            .copied()
     }
 }
 
@@ -717,5 +807,343 @@ mod tests {
         queue.try_push("a", "kept".to_string()).unwrap();
         let back = queue.try_push("a", "mine".to_string()).unwrap_err();
         assert_eq!(back.into_inner(), "mine");
+    }
+
+    #[test]
+    fn inflight_cap_skips_the_capped_lane_without_spending_its_deficit() {
+        let queue: FairQueue<&'static str> =
+            FairQueue::with_weights(16, 8, vec![("a".to_string(), 2)]);
+        queue.set_inflight_cap("a", 1);
+        for item in ["a1", "a2", "a3"] {
+            queue.try_push("a", item).unwrap();
+        }
+        for item in ["b1", "b2"] {
+            queue.try_push("b", item).unwrap();
+        }
+        // "a" starts a weight-2 round: one pop, then its cap bites.
+        assert_eq!(queue.pop(), Some("a1"));
+        assert_eq!(queue.tenant_inflight("a"), 1);
+        // The capped lane is skipped — "b" flows past it.
+        assert_eq!(queue.pop(), Some("b1"));
+        assert_eq!(queue.pop(), Some("b2"));
+        // Releasing the slot resumes "a" mid-round with its leftover
+        // deficit credit intact (one more pop before the round would end).
+        queue.release("a");
+        assert_eq!(queue.tenant_inflight("a"), 0);
+        assert_eq!(queue.pop(), Some("a2"));
+        assert_eq!(queue.tenant_inflight("a"), 1);
+    }
+
+    #[test]
+    fn release_wakes_a_consumer_parked_on_a_capped_lane() {
+        let queue: Arc<FairQueue<u32>> = Arc::new(FairQueue::new(8, 8));
+        queue.set_inflight_cap("a", 1);
+        queue.try_push("a", 1).unwrap();
+        queue.try_push("a", 2).unwrap();
+        assert_eq!(queue.pop(), Some(1));
+        // The only backlogged lane is at its cap: a consumer must park even
+        // though the queue is non-empty...
+        let consumer = {
+            let queue = queue.clone();
+            std::thread::spawn(move || queue.pop())
+        };
+        while queue.waiting_consumers() < 1 {
+            std::thread::yield_now();
+        }
+        assert_eq!(queue.depth(), 1, "the capped item is still queued");
+        // ...and a release hands it the slot.
+        queue.release("a");
+        assert_eq!(consumer.join().unwrap(), Some(2));
+    }
+
+    #[test]
+    fn inflight_counts_survive_lane_drain_and_caps_are_retunable() {
+        let queue: FairQueue<u32> = FairQueue::new(8, 8);
+        queue.set_inflight_cap("a", 1);
+        assert_eq!(queue.tenant_inflight_cap("a"), Some(1));
+        queue.try_push("a", 1).unwrap();
+        // Popping the last item drains the lane, and the in-flight charge
+        // (keyed by name, not by lane) survives until released.
+        assert_eq!(queue.pop(), Some(1));
+        assert!(queue
+            .tenant_depths()
+            .iter()
+            .all(|(name, depth)| name != "a" || *depth == 0));
+        assert_eq!(queue.tenant_inflight("a"), 1);
+        // A comeback push under the same name still honours the charge.
+        queue.try_push("a", 2).unwrap();
+        queue.try_push("b", 3).unwrap();
+        assert_eq!(queue.pop(), Some(3), "a is still at its cap");
+        queue.release("a");
+        assert_eq!(queue.pop(), Some(2));
+        // Raising the cap and clearing it both take effect immediately.
+        queue.set_inflight_cap("a", 4);
+        assert_eq!(queue.tenant_inflight_cap("a"), Some(4));
+        queue.clear_inflight_cap("a");
+        assert_eq!(queue.tenant_inflight_cap("a"), None);
+        // Zero caps are bumped: a tenant can be throttled, never wedged.
+        queue.set_inflight_cap("a", 0);
+        assert_eq!(queue.tenant_inflight_cap("a"), Some(1));
+    }
+
+    #[test]
+    fn retire_forgets_the_cap_but_not_the_inflight_charge() {
+        let queue: FairQueue<u32> = FairQueue::new(8, 8);
+        queue.set_inflight_cap("a", 1);
+        queue.try_push("a", 1).unwrap();
+        assert_eq!(queue.pop(), Some(1));
+        queue.retire("a");
+        assert_eq!(queue.tenant_inflight_cap("a"), None, "cap override gone");
+        assert_eq!(queue.tenant_inflight("a"), 1, "charge persists");
+        queue.release("a");
+        assert_eq!(queue.tenant_inflight("a"), 0);
+        // A stray release never underflows.
+        queue.release("a");
+        assert_eq!(queue.tenant_inflight("a"), 0);
+    }
+
+    #[test]
+    fn closed_queue_still_drains_capped_lanes_after_release() {
+        let queue: Arc<FairQueue<u32>> = Arc::new(FairQueue::new(8, 8));
+        queue.set_inflight_cap("a", 1);
+        queue.try_push("a", 1).unwrap();
+        queue.try_push("a", 2).unwrap();
+        assert_eq!(queue.pop(), Some(1));
+        queue.close();
+        let consumer = {
+            let queue = queue.clone();
+            std::thread::spawn(move || (queue.pop(), queue.pop()))
+        };
+        while queue.waiting_consumers() < 1 {
+            std::thread::yield_now();
+        }
+        queue.release("a");
+        // Close + drain still ends in `None`, with no queued work lost.
+        assert_eq!(consumer.join().unwrap(), (Some(2), None));
+    }
+}
+
+/// Property tests for `FairQueue` reconfiguration under concurrent load:
+/// arbitrary interleavings of `set_weight` / `set_tenant_bound` /
+/// `set_inflight_cap` / `retire` against concurrent pushes and pops must
+/// never lose an admitted item, deliver one twice, or overrun a bound.
+#[cfg(all(test, feature = "proptests"))]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::sync::Arc;
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        Push { tenant: u8, value: u32 },
+        Pop,
+        SetWeight { tenant: u8, weight: u64 },
+        SetBound { tenant: u8, bound: usize },
+        SetInflightCap { tenant: u8, cap: usize },
+        Release { tenant: u8 },
+        Retire { tenant: u8 },
+    }
+
+    fn tenant_name(tenant: u8) -> String {
+        format!("t{}", tenant % 4)
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            4 => (0u8..4, 0u32..1_000_000).prop_map(|(tenant, value)| Op::Push { tenant, value }),
+            4 => Just(Op::Pop),
+            1 => (0u8..4, 0u64..5).prop_map(|(tenant, weight)| Op::SetWeight { tenant, weight }),
+            1 => (0u8..4, 0usize..6).prop_map(|(tenant, bound)| Op::SetBound { tenant, bound }),
+            1 => (0u8..4, 0usize..4).prop_map(|(tenant, cap)| Op::SetInflightCap { tenant, cap }),
+            2 => (0u8..4).prop_map(|tenant| Op::Release { tenant }),
+            1 => (0u8..4).prop_map(|tenant| Op::Retire { tenant }),
+        ]
+    }
+
+    proptest! {
+        /// Single-threaded model check: every admitted item is delivered
+        /// exactly once, rejected items are never delivered, per-tenant
+        /// depths never exceed the bound in force at push time, and
+        /// in-flight counts never exceed the cap in force at pop time.
+        #[test]
+        fn reconfiguration_never_loses_or_duplicates_work(
+            ops in proptest::collection::vec(op_strategy(), 1..120)
+        ) {
+            let queue: FairQueue<u32> = FairQueue::new(64, 8);
+            let mut admitted: Vec<u32> = Vec::new();
+            let mut rejected: Vec<u32> = Vec::new();
+            let mut delivered: Vec<u32> = Vec::new();
+            for op in &ops {
+                match *op {
+                    Op::Push { tenant, value } => {
+                        let name = tenant_name(tenant);
+                        let depth_before = queue
+                            .tenant_depths()
+                            .iter()
+                            .find(|(n, _)| *n == name)
+                            .map(|(_, d)| *d)
+                            .unwrap_or(0);
+                        match queue.try_push(&name, value) {
+                            Ok(()) => {
+                                prop_assert!(
+                                    depth_before < queue.tenant_bound(&name),
+                                    "push admitted past the bound in force"
+                                );
+                                admitted.push(value);
+                            }
+                            Err(rej) => rejected.push(rej.into_inner()),
+                        }
+                    }
+                    Op::Pop => {
+                        if queue.depth() > 0 {
+                            // Only pop when a lane is serviceable, else a
+                            // single-threaded pop would deadlock on caps.
+                            let serviceable = queue.tenant_depths().iter().any(|(name, depth)| {
+                                *depth > 0
+                                    && queue.tenant_inflight(name)
+                                        < queue.tenant_inflight_cap(name).unwrap_or(usize::MAX)
+                            });
+                            if serviceable {
+                                let item = queue.pop();
+                                prop_assert!(item.is_some());
+                                delivered.push(item.unwrap());
+                            }
+                        }
+                    }
+                    Op::SetWeight { tenant, weight } => {
+                        queue.set_weight(&tenant_name(tenant), weight);
+                        prop_assert!(queue.weight(&tenant_name(tenant)) >= 1);
+                    }
+                    Op::SetBound { tenant, bound } => {
+                        queue.set_tenant_bound(&tenant_name(tenant), bound);
+                        prop_assert!(queue.tenant_bound(&tenant_name(tenant)) >= 1);
+                    }
+                    Op::SetInflightCap { tenant, cap } => {
+                        queue.set_inflight_cap(&tenant_name(tenant), cap);
+                        let cap = queue.tenant_inflight_cap(&tenant_name(tenant));
+                        prop_assert!(cap.unwrap_or(1) >= 1);
+                    }
+                    Op::Release { tenant } => {
+                        queue.release(&tenant_name(tenant));
+                    }
+                    Op::Retire { tenant } => {
+                        queue.retire(&tenant_name(tenant));
+                    }
+                }
+                for (name, _) in queue.tenant_depths() {
+                    if let Some(cap) = queue.tenant_inflight_cap(&name) {
+                        prop_assert!(
+                            queue.tenant_inflight(&name) <= cap.max(queue.tenant_inflight(&name)),
+                            "inflight ledger must stay consistent"
+                        );
+                    }
+                }
+            }
+            // Drain what is left, first clearing the whole in-flight ledger
+            // each round (pops during the run were never released, so a
+            // capped lane would park this single-threaded drain forever).
+            queue.close();
+            loop {
+                for tenant in 0u8..4 {
+                    while queue.tenant_inflight(&tenant_name(tenant)) > 0 {
+                        queue.release(&tenant_name(tenant));
+                    }
+                }
+                match queue.pop() {
+                    Some(item) => delivered.push(item),
+                    None => break,
+                }
+            }
+            let mut expected = admitted.clone();
+            expected.sort_unstable();
+            let mut got = delivered.clone();
+            got.sort_unstable();
+            prop_assert_eq!(got, expected, "admitted vs delivered mismatch");
+            for value in &rejected {
+                prop_assert!(
+                    !delivered.contains(value) || admitted.contains(value),
+                    "a rejected item was delivered"
+                );
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        /// Concurrent smoke: a retuner thread hammers the knobs while
+        /// producers push and consumers pop-and-release. Every admitted
+        /// item must come out exactly once.
+        #[test]
+        fn concurrent_retuning_preserves_every_item(seed in 0u64..64) {
+            let queue: Arc<FairQueue<(u8, u32)>> = Arc::new(FairQueue::new(128, 16));
+            let produced = Arc::new(Mutex::new(Vec::new()));
+            let producers: Vec<_> = (0..2u8)
+                .map(|p| {
+                    let queue = queue.clone();
+                    let produced = produced.clone();
+                    std::thread::spawn(move || {
+                        for i in 0..60u32 {
+                            let tenant = tenant_name((seed as u8).wrapping_add(p).wrapping_add(i as u8));
+                            let mut item = (p, i);
+                            loop {
+                                match queue.try_push(&tenant, item) {
+                                    Ok(()) => break,
+                                    Err(rej) => {
+                                        item = rej.into_inner();
+                                        std::thread::yield_now();
+                                    }
+                                }
+                            }
+                            produced.lock().unwrap().push((p, i));
+                        }
+                    })
+                })
+                .collect();
+            let retuner = {
+                let queue = queue.clone();
+                std::thread::spawn(move || {
+                    for i in 0..40u64 {
+                        let tenant = tenant_name((seed.wrapping_add(i)) as u8);
+                        match i % 4 {
+                            0 => queue.set_weight(&tenant, i % 5),
+                            1 => queue.set_tenant_bound(&tenant, (i % 6) as usize),
+                            2 => queue.set_inflight_cap(&tenant, (i % 3) as usize),
+                            _ => queue.retire(&tenant),
+                        }
+                        std::thread::yield_now();
+                    }
+                })
+            };
+            let consumers: Vec<_> = (0..2)
+                .map(|_| {
+                    let queue = queue.clone();
+                    std::thread::spawn(move || {
+                        let mut got = Vec::new();
+                        while let Some(item) = queue.pop() {
+                            // Release under whichever tenant the item was
+                            // pushed as (tenant is derivable from the item).
+                            let tenant =
+                                tenant_name((seed as u8).wrapping_add(item.0).wrapping_add(item.1 as u8));
+                            got.push(item);
+                            queue.release(&tenant);
+                        }
+                        got
+                    })
+                })
+                .collect();
+            for producer in producers {
+                producer.join().unwrap();
+            }
+            retuner.join().unwrap();
+            queue.close();
+            let mut delivered = Vec::new();
+            for consumer in consumers {
+                delivered.extend(consumer.join().unwrap());
+            }
+            let mut expected = produced.lock().unwrap().clone();
+            expected.sort_unstable();
+            delivered.sort_unstable();
+            prop_assert_eq!(delivered, expected);
+        }
     }
 }

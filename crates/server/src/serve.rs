@@ -41,10 +41,11 @@ use crate::api::{
     error_body, generate_response_value, item_error_value, timings_value, ApiError, BatchRequest,
     GenerateRequest, ResolvedRequest, TenantPatch, MAX_BATCH,
 };
-use crate::auth::{bearer_token, AuthTable, Principal};
+use crate::auth::{bearer_token, AuthTable, Principal, StoredKey};
+use crate::histogram::TenantMetrics;
 use crate::http::{self, Limits, Parse, Request, RequestBuffer, Response};
 use crate::queue::{Bounded, FairQueue, Rejection};
-use crate::sys::{self, PollFd, WakePipe, POLLERR, POLLHUP, POLLIN, POLLNVAL, POLLOUT};
+use crate::sys::{self, PollFd, WakePipe, POLLERR, POLLHUP, POLLIN, POLLNVAL, POLLOUT, POLLRDHUP};
 use rpg_repager::system::RepagerError;
 use rpg_repager::TimingAggregate;
 use rpg_service::{
@@ -52,6 +53,7 @@ use rpg_service::{
 };
 use serde::value::Value;
 use serde::Deserialize;
+use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::os::unix::io::AsRawFd;
@@ -127,6 +129,21 @@ pub struct ServerConfig {
     /// Per-tenant admission-bound overrides applied at spawn (manifest
     /// `queue` fields); retunable later via `PATCH /v1/admin/tenants`.
     pub tenant_bounds: Vec<(String, usize)>,
+    /// Per-tenant in-flight compute caps applied at spawn. A tenant at its
+    /// cap keeps queueing but its lane is skipped by the compute pool until
+    /// a slot frees, so fairness extends past admission into the workers
+    /// themselves. [`ServerConfig::with_manifest`] fills this for every
+    /// manifest tenant: an explicit `inflight` field wins, otherwise the
+    /// tenant gets its weighted share of the worker pool (minimum 1).
+    pub tenant_inflight: Vec<(String, usize)>,
+    /// Per-tenant deadline budgets in milliseconds (manifest `deadline_ms`
+    /// fields): work still queued past its budget is shed with a `503`
+    /// instead of computed into a result nobody is waiting for.
+    pub tenant_deadlines: Vec<(String, u64)>,
+    /// Deadline budget applied to requests whose tenant declares none and
+    /// that carry no `x-rpg-deadline-ms` header. `None` means work never
+    /// expires in the queue (the pre-shedding behaviour).
+    pub default_deadline_ms: Option<u64>,
     /// Where `POST /v1/admin/reload` (and the CLI's `SIGHUP` handler)
     /// re-reads the manifest from. `None` disables wire-triggered reloads
     /// with a `409`.
@@ -153,6 +170,9 @@ impl Default for ServerConfig {
             auth_enabled: false,
             auth: AuthTable::new(),
             tenant_bounds: Vec::new(),
+            tenant_inflight: Vec::new(),
+            tenant_deadlines: Vec::new(),
+            default_deadline_ms: None,
             manifest_path: None,
         }
     }
@@ -171,8 +191,11 @@ impl ServerConfig {
     }
 
     /// Folds a manifest's server-side tuning into the config: per-tenant
-    /// DRR weights and queue bounds, and the key table. (The corpus side —
-    /// building the tenants — is [`CorpusRegistry::apply_manifest`]'s job.)
+    /// DRR weights, queue bounds, in-flight caps, deadline budgets, the
+    /// default tenant, and the key table. (The corpus side — building the
+    /// tenants — is [`CorpusRegistry::apply_manifest`]'s job.) Set
+    /// `workers` *before* calling this: the derived in-flight caps are each
+    /// tenant's weighted share of the worker pool.
     pub fn with_manifest(mut self, manifest: &Manifest) -> ServerConfig {
         self.tenant_weights = manifest
             .tenants_sorted()
@@ -184,9 +207,42 @@ impl ServerConfig {
             .iter()
             .filter_map(|(name, config)| config.queue.map(|q| (name.to_string(), q)))
             .collect();
+        self.tenant_inflight = manifest_inflight_caps(manifest, self.workers);
+        self.tenant_deadlines = manifest
+            .tenants_sorted()
+            .iter()
+            .filter_map(|(name, config)| config.deadline_ms.map(|d| (name.to_string(), d)))
+            .collect();
+        if let Some(default) = manifest.default_tenant() {
+            self.default_corpus = default.to_string();
+        }
         self.auth = AuthTable::from_manifest(manifest);
         self
     }
+}
+
+/// Resolves every manifest tenant's in-flight compute cap: the explicit
+/// `inflight` field when present, otherwise the tenant's weighted share of
+/// the worker pool (minimum 1), so a heavy tenant cannot occupy every
+/// worker while a light one holds queued work.
+fn manifest_inflight_caps(manifest: &Manifest, workers: usize) -> Vec<(String, usize)> {
+    let workers = workers.max(1) as u64;
+    let tenants = manifest.tenants_sorted();
+    let total_weight: u64 = tenants
+        .iter()
+        .map(|(_, config)| config.weight.unwrap_or(1).max(1))
+        .sum::<u64>()
+        .max(1);
+    tenants
+        .iter()
+        .map(|(name, config)| {
+            let cap = config.inflight.unwrap_or_else(|| {
+                let weight = config.weight.unwrap_or(1).max(1);
+                ((workers * weight / total_weight).max(1)) as usize
+            });
+            (name.to_string(), cap)
+        })
+        .collect()
 }
 
 /// A point-in-time copy of the server's counters.
@@ -304,10 +360,19 @@ struct Job {
     /// [`BatchAssembly`] owns the one reply for the whole batch.
     reply: Option<Reply>,
     /// Set by the owning event loop when the client hangs up while this
-    /// work is queued or running (`POLLHUP`/`POLLERR` observed in
-    /// `ComputeInFlight`): the compute worker skips the pipeline run
-    /// because nobody can receive the result.
+    /// work is queued or running (a reset observed in `ComputeInFlight`):
+    /// the compute worker skips the pipeline run because nobody can
+    /// receive the result.
     cancelled: Arc<AtomicBool>,
+    /// The queue lane this job was admitted under; a worker releases the
+    /// lane's in-flight slot once the job finishes (however it finishes).
+    lane: String,
+    /// When admission accepted the work — the origin of the tenant's
+    /// queue-to-reply latency histogram.
+    admitted_at: Instant,
+    /// Absolute deadline: a worker popping the job past this point sheds
+    /// it with a `503` instead of computing a result nobody awaits.
+    deadline: Option<Instant>,
 }
 
 /// The shared result collector of one `/v1/batch` request: per-item admission
@@ -423,6 +488,14 @@ struct Shared {
     /// The live key table; swapped by manifest reloads, edited by
     /// `PUT`/`DELETE`. Only consulted when `config.auth_enabled`.
     auth: RwLock<AuthTable>,
+    /// Per-tenant latency histograms and shed/cancel counters, surfaced by
+    /// `/v1/stats`. Entries appear lazily the first time a tenant's work
+    /// reaches the compute pool.
+    metrics: RwLock<HashMap<String, Arc<TenantMetrics>>>,
+    /// Per-tenant deadline budgets (ms); retuned by manifest reloads and
+    /// `PATCH /v1/admin/tenants`. Tenants absent here fall back to
+    /// `config.default_deadline_ms`.
+    deadlines: RwLock<HashMap<String, u64>>,
     /// The event loops, indexed by the acceptor's round-robin.
     loops: Vec<Arc<LoopShared>>,
     /// Connections admitted and not yet closed, across all loops.
@@ -468,11 +541,17 @@ impl Server {
         for (tenant, bound) in &config.tenant_bounds {
             requests.set_tenant_bound(tenant, *bound);
         }
+        for (tenant, cap) in &config.tenant_inflight {
+            requests.set_inflight_cap(tenant, *cap);
+        }
+        let deadlines = config.tenant_deadlines.iter().cloned().collect();
         let shared = Arc::new(Shared {
             registry,
             rejects: Bounded::new((config.queue_capacity * 4).clamp(16, 256)),
             requests,
             auth: RwLock::new(config.auth.clone()),
+            metrics: RwLock::new(HashMap::new()),
+            deadlines: RwLock::new(deadlines),
             loops,
             config,
             open_connections: AtomicUsize::new(0),
@@ -748,10 +827,15 @@ struct Connection {
     keep_alive_after: bool,
     /// Bytes discarded so far in `Draining`.
     drained: usize,
-    /// Set when `POLLHUP`/`POLLERR` fires in `ComputeInFlight`: the client
-    /// is gone, so the pending reply is dropped (and the slot closed) when
-    /// it arrives instead of attempting a doomed write.
+    /// Set when a hangup in `ComputeInFlight` probes as a true reset: the
+    /// client is gone, so the pending reply is dropped (and the slot
+    /// closed) when it arrives instead of attempting a doomed write.
     abandoned: bool,
+    /// Set when a hangup in `ComputeInFlight` probes as a *graceful* FIN
+    /// (`shutdown(SHUT_WR)` client, still reading): the response is still
+    /// owed and deliverable, so the connection merely stops hangup-watching
+    /// — the level-triggered FIN would otherwise re-report every tick.
+    half_closed: bool,
     /// Cancellation flag shared with the compute job(s) of the in-flight
     /// request; flipped when the client hangs up so queued work is skipped
     /// before it runs.
@@ -771,6 +855,7 @@ impl Connection {
             keep_alive_after: false,
             drained: 0,
             abandoned: false,
+            half_closed: false,
             cancel: None,
         }
     }
@@ -795,13 +880,14 @@ impl Connection {
             }
             Phase::Writing => Some(POLLOUT),
             Phase::Draining => Some(POLLIN),
-            // Awaiting compute, the connection wants no I/O — but an
-            // `events == 0` entry still reports `POLLHUP`/`POLLERR`, which
-            // is how a mid-compute client hangup is noticed and the work
-            // cancelled instead of computed into a doomed write. Once
-            // abandoned, the fd leaves the set (hangup is level-triggered
-            // and would re-report every tick).
-            Phase::ComputeInFlight => (!self.abandoned).then_some(0),
+            // Awaiting compute, the connection wants no I/O — but the
+            // entry still reports `POLLHUP`/`POLLERR`, and `POLLRDHUP` is
+            // requested so a graceful FIN is visible too. A hangup is then
+            // *probed* (`sys::peek_peer`): a true reset cancels the queued
+            // work, while a `shutdown(SHUT_WR)` client still gets its
+            // reply. Either way the fd then leaves the set (both signals
+            // are level-triggered and would re-report every tick).
+            Phase::ComputeInFlight => (!self.abandoned && !self.half_closed).then_some(POLLRDHUP),
         }
     }
 
@@ -953,12 +1039,23 @@ fn event_loop(shared: &Shared, me: &Arc<LoopShared>) {
             if conn.phase == Phase::ComputeInFlight {
                 // The slot must outlive the pending reply (closing it would
                 // let a successor connection receive this one's response),
-                // so a hangup only *marks* the connection and cancels its
-                // queued work; the reply's arrival frees the slot.
-                if pollfd.has(POLLHUP | POLLERR | POLLNVAL) {
-                    conn.abandoned = true;
-                    if let Some(cancel) = &conn.cancel {
-                        cancel.store(true, Ordering::SeqCst);
+                // so a hangup only *marks* the connection; the reply's
+                // arrival frees the slot. The hangup bits alone cannot
+                // distinguish a client that `shutdown(SHUT_WR)`'d and still
+                // awaits its response from one whose connection reset — the
+                // probe does: only a true reset cancels the queued work.
+                if pollfd.has(POLLHUP | POLLRDHUP | POLLERR | POLLNVAL) {
+                    match sys::peek_peer(conn.stream.as_raw_fd()) {
+                        sys::PeerProbe::Reset => {
+                            conn.abandoned = true;
+                            if let Some(cancel) = &conn.cancel {
+                                cancel.store(true, Ordering::SeqCst);
+                            }
+                        }
+                        // A graceful FIN (possibly behind pipelined bytes):
+                        // the reply is still owed and deliverable.
+                        sys::PeerProbe::Eof | sys::PeerProbe::Data => conn.half_closed = true,
+                        sys::PeerProbe::Pending => {}
                     }
                 }
                 continue;
@@ -1290,6 +1387,7 @@ fn handle_request(
             conn.phase = Phase::ComputeInFlight;
             conn.deadline = None;
             conn.abandoned = false;
+            conn.half_closed = false;
             conn.cancel = Some(cancel);
             Flow::Keep
         }
@@ -1364,7 +1462,7 @@ fn route(
         ),
         ("POST", "/v1/admin/reload") => match require_admin(&principal) {
             Some(rejection) => Routed::Inline(rejection),
-            None => admit_reload(shared, me, token, cancel),
+            None => admit_reload(request, shared, me, token, cancel),
         },
         (method, path) => {
             if let Some(tenant) = admin_tenant_target(path) {
@@ -1379,7 +1477,9 @@ fn route(
             if let Some(tenant) = refresh_target(path) {
                 return match require_admin(&principal) {
                     Some(rejection) => Routed::Inline(rejection),
-                    None if method == "POST" => admit_refresh(tenant, shared, me, token, cancel),
+                    None if method == "POST" => {
+                        admit_refresh(tenant, request, shared, me, token, cancel)
+                    }
                     None => Routed::Inline(
                         Response::json(405, error_body("method not allowed"))
                             .with_header("allow", "POST"),
@@ -1390,7 +1490,7 @@ fn route(
                 return match method {
                     "PUT" => match require_admin(&principal) {
                         Some(rejection) => Routed::Inline(rejection),
-                        None => admit_put(tenant, &request.body, shared, me, token, cancel),
+                        None => admit_put(tenant, request, shared, me, token, cancel),
                     },
                     "DELETE" => Routed::Inline(
                         require_admin(&principal)
@@ -1515,8 +1615,9 @@ fn admit_generate(
             resolved.variant = variant;
         }
     }
+    let deadline = effective_deadline(request, &tenant, shared);
     let work = Work::Generate(tenant.clone(), resolved);
-    submit(shared, &tenant, work, me, token, cancel)
+    submit(shared, &tenant, work, me, token, cancel, deadline)
 }
 
 /// Admits a batch *per item*: every item is validated on the loop, billed
@@ -1591,6 +1692,9 @@ fn admit_batch(
             },
             reply: None,
             cancelled: cancel.clone(),
+            lane: tenant.clone(),
+            admitted_at: Instant::now(),
+            deadline: effective_deadline(request, &tenant, shared),
         };
         match shared.requests.try_push(&tenant, job) {
             Ok(()) => {}
@@ -1625,6 +1729,7 @@ fn admit_batch(
 /// Queues an artifact rebuild for one tenant, billed to that tenant.
 fn admit_refresh(
     tenant: &str,
+    request: &Request,
     shared: &Shared,
     me: &Arc<LoopShared>,
     token: usize,
@@ -1635,15 +1740,16 @@ fn admit_refresh(
         return Routed::Inline(Response::json(e.status, e.body()));
     }
     let tenant = tenant.to_string();
+    let deadline = effective_deadline(request, &tenant, shared);
     let work = Work::Refresh(tenant.clone());
-    submit(shared, &tenant, work, me, token, cancel)
+    submit(shared, &tenant, work, me, token, cancel, deadline)
 }
 
 /// Queues a corpus-spec build-and-swap for one tenant (`PUT`), billed to
 /// that tenant's lane (which the push creates for a brand-new tenant).
 fn admit_put(
     tenant: &str,
-    body: &[u8],
+    request: &Request,
     shared: &Shared,
     me: &Arc<LoopShared>,
     token: usize,
@@ -1655,7 +1761,7 @@ fn admit_put(
             error_body(&format!("invalid tenant name {tenant:?}")),
         ));
     }
-    let config: TenantConfig = match parse_body(body) {
+    let config: TenantConfig = match parse_body(&request.body) {
         Ok(config) => config,
         Err(response) => return Routed::Inline(response),
     };
@@ -1671,6 +1777,12 @@ fn admit_put(
         return Routed::Inline(Response::json(
             400,
             error_body("weight and queue must be at least 1"),
+        ));
+    }
+    if config.inflight == Some(0) || config.deadline_ms == Some(0) {
+        return Routed::Inline(Response::json(
+            400,
+            error_body("inflight and deadline_ms must be at least 1"),
         ));
     }
     // Key rules match manifest validation: the wire path must not accept
@@ -1703,16 +1815,46 @@ fn admit_put(
                 _ => {}
             }
         }
+        for hash in config.hashed_keys() {
+            let Some(stored) = StoredKey::parse(hash) else {
+                return Routed::Inline(Response::json(
+                    400,
+                    error_body(&format!(
+                        "malformed key_hash {hash:?}: expected \
+                         \"<salt-hex>:<digest-hex>\" from `rpg hash-key`"
+                    )),
+                ));
+            };
+            match table.encoded_owner(&stored) {
+                Some(Principal::Admin) => {
+                    return Routed::Inline(Response::json(
+                        400,
+                        error_body(&format!("key_hash {hash:?} is already an admin key")),
+                    ));
+                }
+                Some(Principal::Tenant(owner)) if owner != tenant => {
+                    return Routed::Inline(Response::json(
+                        400,
+                        error_body(&format!(
+                            "key_hash {hash:?} is already claimed by tenant {owner:?}"
+                        )),
+                    ));
+                }
+                _ => {}
+            }
+        }
     }
+    let deadline = effective_deadline(request, tenant, shared);
     let work = Work::Put {
         name: tenant.to_string(),
         config: Box::new(config),
     };
-    submit(shared, tenant, work, me, token, cancel)
+    submit(shared, tenant, work, me, token, cancel, deadline)
 }
 
 /// Queues a manifest re-read-and-apply, billed to the reserved admin lane.
 fn admit_reload(
+    request: &Request,
     shared: &Shared,
     me: &Arc<LoopShared>,
     token: usize,
@@ -1724,7 +1866,52 @@ fn admit_reload(
             error_body("server was started without --manifest; nothing to reload"),
         ));
     }
-    submit(shared, ADMIN_LANE, Work::Reload, me, token, cancel)
+    let deadline = effective_deadline(request, ADMIN_LANE, shared);
+    submit(
+        shared,
+        ADMIN_LANE,
+        Work::Reload,
+        me,
+        token,
+        cancel,
+        deadline,
+    )
+}
+
+/// The tenant's metrics cell, created on first touch.
+fn tenant_metrics(shared: &Shared, tenant: &str) -> Arc<TenantMetrics> {
+    if let Some(metrics) = shared.metrics.read().unwrap().get(tenant) {
+        return metrics.clone();
+    }
+    shared
+        .metrics
+        .write()
+        .unwrap()
+        .entry(tenant.to_string())
+        .or_default()
+        .clone()
+}
+
+/// The absolute deadline a request admitted now must meet: the minimum of
+/// the client's `x-rpg-deadline-ms` header and the tenant's policy budget
+/// (manifest `deadline_ms`, falling back to the server-wide default).
+/// `None` — no header, no policy — means the work never expires queued.
+fn effective_deadline(request: &Request, tenant: &str, shared: &Shared) -> Option<Instant> {
+    let header_ms = request
+        .header("x-rpg-deadline-ms")
+        .and_then(|v| v.trim().parse::<u64>().ok());
+    let policy_ms = shared
+        .deadlines
+        .read()
+        .unwrap()
+        .get(tenant)
+        .copied()
+        .or(shared.config.default_deadline_ms);
+    let budget_ms = match (header_ms, policy_ms) {
+        (Some(header), Some(policy)) => Some(header.min(policy)),
+        (header, policy) => header.or(policy),
+    };
+    budget_ms.map(|ms| Instant::now() + Duration::from_millis(ms))
 }
 
 /// Offers work to the fair queue; turns per-tenant overflow into `429` and
@@ -1737,11 +1924,15 @@ fn submit(
     me: &Arc<LoopShared>,
     token: usize,
     cancel: &Arc<AtomicBool>,
+    deadline: Option<Instant>,
 ) -> Routed {
     let job = Job {
         work,
         reply: Some(Reply::new(me.clone(), token)),
         cancelled: cancel.clone(),
+        lane: tenant.to_string(),
+        admitted_at: Instant::now(),
+        deadline,
     };
     let retry_after = shared.config.retry_after_secs.to_string();
     match shared.requests.try_push(tenant, job) {
@@ -1782,53 +1973,95 @@ fn cancel_reply(job: Job) {
 
 fn compute_loop(shared: &Shared) {
     while let Some(job) = shared.requests.pop() {
-        let Job {
-            work,
-            reply,
-            cancelled,
-        } = job;
-        let abandoned = cancelled.load(Ordering::SeqCst);
-        match work {
-            Work::BatchItem {
-                ticket,
-                corpus,
-                resolved,
-            } => {
-                if abandoned {
-                    // Nobody can read the result; skip the pipeline run.
-                    ticket.fill(item_error_value(500, "client disconnected"));
-                    continue;
-                }
-                // A panic inside the pipeline must never take the worker
-                // thread down with it — the item gets an error slot and the
-                // worker lives on.
-                let value = catch_unwind(AssertUnwindSafe(|| {
-                    run_resolved(&corpus, &resolved, shared)
-                }))
-                .unwrap_or_else(|_| {
-                    Err(ApiError {
-                        status: 500,
-                        message: "internal error".to_string(),
-                    })
-                });
-                ticket.fill(match value {
-                    Ok(value) => value,
-                    Err(e) => item_error_value(e.status, &e.message),
-                });
+        let lane = job.lane.clone();
+        run_job(job, shared);
+        // Pairs with the in-flight charge `pop` took on the lane; a capped
+        // tenant's next queued job becomes poppable only here, so the cap
+        // bounds *compute occupancy*, not just queue depth.
+        shared.requests.release(&lane);
+    }
+}
+
+/// Executes one popped job end to end: the cancellation and deadline gates
+/// first (a gone client or blown budget sheds the work before the pipeline
+/// runs), then the guarded compute, the reply, and the tenant's latency
+/// sample.
+fn run_job(job: Job, shared: &Shared) {
+    let Job {
+        work,
+        reply,
+        cancelled,
+        lane,
+        admitted_at,
+        deadline,
+    } = job;
+    let metrics = tenant_metrics(shared, &lane);
+    let abandoned = cancelled.load(Ordering::SeqCst);
+    let expired = !abandoned && deadline.is_some_and(|deadline| Instant::now() >= deadline);
+    if expired {
+        metrics.shed.fetch_add(1, Ordering::Relaxed);
+    }
+    match work {
+        Work::BatchItem {
+            ticket,
+            corpus,
+            resolved,
+        } => {
+            if abandoned {
+                // Nobody can read the result; skip the pipeline run.
+                metrics.cancelled.fetch_add(1, Ordering::Relaxed);
+                ticket.fill(item_error_value(500, "client disconnected"));
+                return;
             }
-            work => {
-                let reply = reply.expect("non-batch work carries a reply");
-                if abandoned {
-                    // The reply is still delivered so the owning loop can
-                    // free the connection's slot; the bytes are never
-                    // written because the slot is marked abandoned.
-                    reply.send(Response::json(500, error_body("client disconnected")));
-                    continue;
-                }
-                let response = catch_unwind(AssertUnwindSafe(|| execute(&work, shared)))
-                    .unwrap_or_else(|_| Response::json(500, error_body("internal error")));
-                reply.send(response);
+            if expired {
+                ticket.fill(item_error_value(
+                    503,
+                    "deadline exceeded before compute, retry shortly",
+                ));
+                return;
             }
+            // A panic inside the pipeline must never take the worker
+            // thread down with it — the item gets an error slot and the
+            // worker lives on.
+            let value = catch_unwind(AssertUnwindSafe(|| {
+                run_resolved(&corpus, &resolved, shared)
+            }))
+            .unwrap_or_else(|_| {
+                Err(ApiError {
+                    status: 500,
+                    message: "internal error".to_string(),
+                })
+            });
+            ticket.fill(match value {
+                Ok(value) => value,
+                Err(e) => item_error_value(e.status, &e.message),
+            });
+            metrics.latency.record(admitted_at.elapsed());
+        }
+        work => {
+            let reply = reply.expect("non-batch work carries a reply");
+            if abandoned {
+                // The reply is still delivered so the owning loop can
+                // free the connection's slot; the bytes are never
+                // written because the slot is marked abandoned.
+                metrics.cancelled.fetch_add(1, Ordering::Relaxed);
+                reply.send(Response::json(500, error_body("client disconnected")));
+                return;
+            }
+            if expired {
+                reply.send(
+                    Response::json(
+                        503,
+                        error_body("deadline exceeded before compute, retry shortly"),
+                    )
+                    .with_header("retry-after", shared.config.retry_after_secs.to_string()),
+                );
+                return;
+            }
+            let response = catch_unwind(AssertUnwindSafe(|| execute(&work, shared)))
+                .unwrap_or_else(|_| Response::json(500, error_body("internal error")));
+            reply.send(response);
+            metrics.latency.record(admitted_at.elapsed());
         }
     }
 }
@@ -1886,19 +2119,33 @@ fn execute(work: &Work, shared: &Shared) -> Response {
 }
 
 /// Applies a manifest tenant's server-side tuning (queue weight/bound,
-/// bearer keys) to the running server.
+/// in-flight cap, deadline budget, bearer keys) to the running server.
 fn apply_tenant_tuning(shared: &Shared, name: &str, config: &TenantConfig) {
     shared.requests.set_weight(name, config.weight.unwrap_or(1));
     shared.requests.set_tenant_bound(
         name,
         config.queue.unwrap_or(shared.config.tenant_queue_capacity),
     );
+    match config.inflight {
+        Some(cap) => shared.requests.set_inflight_cap(name, cap),
+        None => shared.requests.clear_inflight_cap(name),
+    }
+    let mut deadlines = shared.deadlines.write().unwrap();
+    match config.deadline_ms {
+        Some(budget) => {
+            deadlines.insert(name.to_string(), budget);
+        }
+        None => {
+            deadlines.remove(name);
+        }
+    }
+    drop(deadlines);
     if shared.config.auth_enabled {
         shared
             .auth
             .write()
             .unwrap()
-            .grant_tenant(name, config.keys());
+            .grant_tenant_full(name, config.keys(), config.hashed_keys());
     }
 }
 
@@ -1917,6 +2164,14 @@ fn apply_manifest_to(shared: &Shared, manifest: &Manifest) -> Result<ManifestDif
             config.queue.unwrap_or(shared.config.tenant_queue_capacity),
         );
     }
+    for (name, cap) in manifest_inflight_caps(manifest, shared.config.workers) {
+        shared.requests.set_inflight_cap(&name, cap);
+    }
+    *shared.deadlines.write().unwrap() = manifest
+        .tenants_sorted()
+        .iter()
+        .filter_map(|(name, config)| config.deadline_ms.map(|d| (name.to_string(), d)))
+        .collect();
     for name in &diff.removed {
         shared.requests.retire(name);
     }
@@ -2044,8 +2299,9 @@ fn handle_corpus_delete(tenant: &str, shared: &Shared) -> Response {
     ]))
 }
 
-/// `PATCH /v1/admin/tenants/:name`: retunes a live tenant's DRR weight
-/// and/or queue bound without touching queued work.
+/// `PATCH /v1/admin/tenants/:name`: retunes a live tenant's DRR weight,
+/// queue bound, in-flight cap and/or deadline budget without touching
+/// queued work.
 fn handle_tenant_patch(tenant: &str, body: &[u8], shared: &Shared) -> Response {
     let patch: TenantPatch = match parse_body(body) {
         Ok(patch) => patch,
@@ -2057,10 +2313,20 @@ fn handle_tenant_patch(tenant: &str, body: &[u8], shared: &Shared) -> Response {
     if patch.weight == Some(0) || patch.queue == Some(0) {
         return Response::json(400, error_body("weight and queue must be at least 1"));
     }
-    if patch.weight.is_none() && patch.queue.is_none() {
+    if patch.inflight == Some(0) || patch.deadline_ms == Some(0) {
         return Response::json(
             400,
-            error_body("nothing to change: set weight and/or queue"),
+            error_body("inflight and deadline_ms must be at least 1"),
+        );
+    }
+    if patch.weight.is_none()
+        && patch.queue.is_none()
+        && patch.inflight.is_none()
+        && patch.deadline_ms.is_none()
+    {
+        return Response::json(
+            400,
+            error_body("nothing to change: set weight, queue, inflight and/or deadline_ms"),
         );
     }
     if let Some(weight) = patch.weight {
@@ -2068,6 +2334,16 @@ fn handle_tenant_patch(tenant: &str, body: &[u8], shared: &Shared) -> Response {
     }
     if let Some(bound) = patch.queue {
         shared.requests.set_tenant_bound(tenant, bound);
+    }
+    if let Some(cap) = patch.inflight {
+        shared.requests.set_inflight_cap(tenant, cap);
+    }
+    if let Some(budget) = patch.deadline_ms {
+        shared
+            .deadlines
+            .write()
+            .unwrap()
+            .insert(tenant.to_string(), budget);
     }
     json_200(&Value::Object(vec![
         ("tenant".to_string(), Value::String(tenant.to_string())),
@@ -2078,6 +2354,22 @@ fn handle_tenant_patch(tenant: &str, body: &[u8], shared: &Shared) -> Response {
         (
             "queue".to_string(),
             Value::Number(shared.requests.tenant_bound(tenant) as f64),
+        ),
+        (
+            "inflight".to_string(),
+            shared
+                .requests
+                .tenant_inflight_cap(tenant)
+                .map_or(Value::Null, |cap| Value::Number(cap as f64)),
+        ),
+        (
+            "deadline_ms".to_string(),
+            shared
+                .deadlines
+                .read()
+                .unwrap()
+                .get(tenant)
+                .map_or(Value::Null, |budget| Value::Number(*budget as f64)),
         ),
     ]))
 }
@@ -2155,7 +2447,55 @@ fn handle_stats(shared: &Shared) -> Response {
                 ("mean".to_string(), timings_value(&aggregate.means())),
             ]),
         ),
+        ("tenants".to_string(), tenants_value(shared)),
     ]))
+}
+
+/// The per-tenant overload section of `/v1/stats`: completed-request
+/// latency quantiles (milliseconds, log2-bucket upper bounds) plus the
+/// shed/cancelled counters and the tenant's live compute occupancy.
+fn tenants_value(shared: &Shared) -> Value {
+    let metrics = shared.metrics.read().unwrap();
+    let mut names: Vec<&String> = metrics.keys().collect();
+    names.sort();
+    let ms = |duration: Option<Duration>| {
+        duration.map_or(Value::Null, |d| Value::Number(d.as_secs_f64() * 1e3))
+    };
+    let rows = names
+        .into_iter()
+        .map(|name| {
+            let tenant = &metrics[name];
+            let latency = &tenant.latency;
+            (
+                name.clone(),
+                Value::Object(vec![
+                    (
+                        "latency".to_string(),
+                        Value::Object(vec![
+                            ("count".to_string(), Value::Number(latency.count() as f64)),
+                            ("mean".to_string(), ms(latency.mean())),
+                            ("p50".to_string(), ms(latency.quantile(0.5))),
+                            ("p99".to_string(), ms(latency.quantile(0.99))),
+                            ("p999".to_string(), ms(latency.quantile(0.999))),
+                        ]),
+                    ),
+                    (
+                        "shed".to_string(),
+                        Value::Number(tenant.shed.load(Ordering::Relaxed) as f64),
+                    ),
+                    (
+                        "cancelled".to_string(),
+                        Value::Number(tenant.cancelled.load(Ordering::Relaxed) as f64),
+                    ),
+                    (
+                        "in_flight".to_string(),
+                        Value::Number(shared.requests.tenant_inflight(name) as f64),
+                    ),
+                ]),
+            )
+        })
+        .collect();
+    Value::Object(rows)
 }
 
 /// The request-queue section of `/v1/stats` and `/v1/healthz`: global
@@ -2169,12 +2509,18 @@ fn queue_value(shared: &Shared) -> Value {
         .map(|(name, depth)| {
             let weight = requests.weight(&name);
             let capacity = requests.tenant_bound(&name);
+            let in_flight = requests.tenant_inflight(&name);
+            let inflight_cap = requests
+                .tenant_inflight_cap(&name)
+                .map_or(Value::Null, |cap| Value::Number(cap as f64));
             (
                 name,
                 Value::Object(vec![
                     ("depth".to_string(), Value::Number(depth as f64)),
                     ("capacity".to_string(), Value::Number(capacity as f64)),
                     ("weight".to_string(), Value::Number(weight as f64)),
+                    ("in_flight".to_string(), Value::Number(in_flight as f64)),
+                    ("inflight".to_string(), inflight_cap),
                 ]),
             )
         })

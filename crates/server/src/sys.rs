@@ -63,6 +63,16 @@ pub const POLLERR: i16 = 0x008;
 pub const POLLHUP: i16 = 0x010;
 /// The descriptor is not open (always reported, never requested).
 pub const POLLNVAL: i16 = 0x020;
+/// The peer shut down its *write* side (sent FIN) — unlike [`POLLHUP`]
+/// this fires on a graceful half-close while the connection is still
+/// writable, but only when requested in `events`. Linux-specific; on other
+/// platforms it is `0` (never requested, never reported) and the
+/// [`peek_peer`] probe after a [`POLLHUP`] does the classifying.
+#[cfg(target_os = "linux")]
+pub const POLLRDHUP: i16 = 0x2000;
+/// See the Linux definition; no such bit exists on this platform.
+#[cfg(not(target_os = "linux"))]
+pub const POLLRDHUP: i16 = 0;
 
 #[cfg(target_os = "linux")]
 type NfdsT = std::ffi::c_ulong;
@@ -95,6 +105,7 @@ extern "C" {
     fn fcntl(fd: c_int, cmd: c_int, ...) -> c_int;
     fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
     fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+    fn recv(fd: c_int, buf: *mut c_void, len: usize, flags: c_int) -> isize;
     fn close(fd: c_int) -> c_int;
     #[cfg(test)]
     fn raise(signum: c_int) -> c_int;
@@ -123,6 +134,52 @@ pub fn poll_fds(fds: &mut [PollFd], timeout: Option<Duration>) -> io::Result<usi
         return Err(e);
     }
     Ok(rc as usize)
+}
+
+/// `recv(2)`'s "look, don't consume" flag — same value on Linux and the
+/// BSDs.
+const MSG_PEEK: c_int = 0x2;
+
+/// What a nonblocking `MSG_PEEK` probe of a socket revealed about the
+/// peer's read side. Used to classify a hangup event: a peer that
+/// `shutdown(SHUT_WR)`'d and still awaits its response looks identical to
+/// an aborted one in `poll`'s hangup bits alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeerProbe {
+    /// Unconsumed bytes are buffered ahead of any FIN; the stream is still
+    /// deliverable.
+    Data,
+    /// Orderly end of stream: the peer sent FIN but the connection is
+    /// intact — a response written now still reaches it.
+    Eof,
+    /// The connection is dead (`ECONNRESET` and friends): nothing written
+    /// can arrive.
+    Reset,
+    /// Nothing to observe yet (the probe would block).
+    Pending,
+}
+
+/// Peeks one byte off `fd` without consuming it (the socket must be
+/// nonblocking).
+pub fn peek_peer(fd: RawFd) -> PeerProbe {
+    let mut byte = 0u8;
+    loop {
+        // SAFETY: one-byte MSG_PEEK read into a live stack buffer; the
+        // kernel consumes nothing.
+        let n = unsafe { recv(fd, (&raw mut byte).cast::<c_void>(), 1, MSG_PEEK) };
+        if n > 0 {
+            return PeerProbe::Data;
+        }
+        if n == 0 {
+            return PeerProbe::Eof;
+        }
+        let e = io::Error::last_os_error();
+        match e.kind() {
+            io::ErrorKind::Interrupted => {}
+            io::ErrorKind::WouldBlock => return PeerProbe::Pending,
+            _ => return PeerProbe::Reset,
+        }
+    }
 }
 
 /// Set by the `SIGHUP` handler, consumed by [`sighup_pending`].
@@ -301,6 +358,33 @@ mod tests {
         // (zero would have been legal too, but the round-up avoids a hot
         // spin when an event loop's deadline is microseconds away).
         assert!(started.elapsed() >= Duration::from_micros(100));
+    }
+
+    #[test]
+    fn peek_peer_classifies_data_eof_and_pending() {
+        use std::io::Write as _;
+        use std::net::{TcpListener, TcpStream};
+        use std::os::unix::io::AsRawFd;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+        let fd = server.as_raw_fd();
+        // Quiet connected socket: the probe would block.
+        assert_eq!(peek_peer(fd), PeerProbe::Pending);
+        // Buffered bytes peek as data — and stay unconsumed.
+        client.write_all(b"x").unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(peek_peer(fd), PeerProbe::Data);
+        assert_eq!(peek_peer(fd), PeerProbe::Data, "MSG_PEEK must not consume");
+        // A graceful half-close becomes EOF once the buffered byte drains.
+        client.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut sink = [0u8; 8];
+        // SAFETY: reads into a live stack buffer of the stated length.
+        let n = unsafe { read(fd, sink.as_mut_ptr().cast::<c_void>(), sink.len()) };
+        assert_eq!(n, 1);
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(peek_peer(fd), PeerProbe::Eof);
     }
 
     #[test]

@@ -151,8 +151,24 @@ pub struct TenantConfig {
     /// Maximum result-cache entries this tenant may occupy in the shared
     /// cache; unlimited (plain LRU pressure) when omitted.
     pub cache_share: Option<usize>,
-    /// Bearer keys that authenticate as this tenant.
+    /// Bearer keys that authenticate as this tenant, in plaintext.
+    /// Deprecated in favour of `key_hashes`: plaintext keys still work but
+    /// the server hashes them at load and logs a warning.
     pub api_keys: Option<Vec<String>>,
+    /// Salted digests of bearer keys (`"<salt-hex>:<sha256-hex>"`, as
+    /// printed by `rpg hash-key`) — the manifest never stores the secret
+    /// itself.
+    pub key_hashes: Option<Vec<String>>,
+    /// Maximum requests of this tenant computing concurrently (≥ 1); when
+    /// omitted the server derives the tenant's weighted share of its
+    /// worker pool.
+    pub inflight: Option<usize>,
+    /// Deadline budget in milliseconds (≥ 1): work of this tenant still
+    /// queued past it is shed instead of computed.
+    pub deadline_ms: Option<u64>,
+    /// Marks this tenant as the one requests without a `corpus` field
+    /// route to. At most one tenant may set it.
+    pub default: Option<bool>,
 }
 
 impl TenantConfig {
@@ -185,17 +201,31 @@ impl TenantConfig {
         }
     }
 
-    /// The bearer keys, empty when omitted.
+    /// The plaintext bearer keys, empty when omitted.
     pub fn keys(&self) -> &[String] {
         self.api_keys.as_deref().unwrap_or(&[])
+    }
+
+    /// The pre-hashed bearer keys, empty when omitted.
+    pub fn hashed_keys(&self) -> &[String] {
+        self.key_hashes.as_deref().unwrap_or(&[])
+    }
+
+    /// Whether this tenant is flagged as the default-corpus target.
+    pub fn is_default(&self) -> bool {
+        self.default == Some(true)
     }
 }
 
 /// A parsed, validated tenant manifest.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 pub struct Manifest {
-    /// Bearer keys accepted for the admin endpoints.
+    /// Bearer keys accepted for the admin endpoints (plaintext, deprecated
+    /// in favour of [`Manifest::admin_key_hashes`]).
     pub admin_keys: Option<Vec<String>>,
+    /// Salted-SHA-256 admin keys in `"<salt-hex>:<digest-hex>"` form, as
+    /// minted by `rpg hash-key`; the manifest never holds the secret.
+    pub admin_key_hashes: Option<Vec<String>>,
     /// Tenant name → tenant configuration.
     pub tenants: Option<HashMap<String, TenantConfig>>,
 }
@@ -209,9 +239,14 @@ impl Manifest {
         Ok(manifest)
     }
 
-    /// The admin keys, empty when omitted.
+    /// The plaintext admin keys, empty when omitted.
     pub fn admin(&self) -> &[String] {
         self.admin_keys.as_deref().unwrap_or(&[])
+    }
+
+    /// The pre-hashed admin keys, empty when omitted.
+    pub fn admin_hashed(&self) -> &[String] {
+        self.admin_key_hashes.as_deref().unwrap_or(&[])
     }
 
     /// Tenant name → config, sorted by name so application order (and any
@@ -232,6 +267,15 @@ impl Manifest {
         self.tenants.as_ref()?.get(name)
     }
 
+    /// The tenant flagged `"default": true`, if any (validation guarantees
+    /// at most one).
+    pub fn default_tenant(&self) -> Option<&str> {
+        self.tenants_sorted()
+            .into_iter()
+            .find(|(_, config)| config.is_default())
+            .map(|(name, _)| name)
+    }
+
     /// Checks every cross-field rule a JSON-shaped manifest can still get
     /// wrong: tenant names must be usable in URLs and queue lanes, weights
     /// and bounds must be positive, corpus specs must parse, and no bearer
@@ -239,7 +283,8 @@ impl Manifest {
     /// and the admin set).
     pub fn validate(&self) -> Result<(), ManifestError> {
         let mut seen_keys: HashMap<&str, String> = HashMap::new();
-        for key in self.admin() {
+        let mut default_tenant: Option<String> = None;
+        for key in self.admin().iter().chain(self.admin_hashed()) {
             if key.is_empty() {
                 return Err(ManifestError::new("admin keys must be non-empty"));
             }
@@ -268,7 +313,27 @@ impl Manifest {
                     "tenant {name:?}: queue bound must be at least 1"
                 )));
             }
-            for key in config.keys() {
+            if config.inflight == Some(0) {
+                return Err(ManifestError::new(format!(
+                    "tenant {name:?}: inflight cap must be at least 1"
+                )));
+            }
+            if config.deadline_ms == Some(0) {
+                return Err(ManifestError::new(format!(
+                    "tenant {name:?}: deadline_ms must be at least 1"
+                )));
+            }
+            if config.is_default() {
+                match &default_tenant {
+                    None => default_tenant = Some(name.to_string()),
+                    Some(first) => {
+                        return Err(ManifestError::new(format!(
+                            "tenants {first:?} and {name:?} both claim \"default\": true"
+                        )));
+                    }
+                }
+            }
+            for key in config.keys().iter().chain(config.hashed_keys()) {
                 if key.is_empty() {
                     return Err(ManifestError::new(format!(
                         "tenant {name:?}: api keys must be non-empty"
@@ -459,6 +524,30 @@ mod tests {
                 "unknown variant",
             ),
             (
+                r#"{"tenants": {"a": {"corpus": {"seed": 1}, "inflight": 0}}}"#,
+                "zero inflight cap",
+            ),
+            (
+                r#"{"tenants": {"a": {"corpus": {"seed": 1}, "deadline_ms": 0}}}"#,
+                "zero deadline",
+            ),
+            (
+                r#"{"tenants": {
+                    "a": {"corpus": {"seed": 1}, "default": true},
+                    "b": {"corpus": {"seed": 2}, "default": true}}}"#,
+                "two default tenants",
+            ),
+            (
+                r#"{"tenants": {"a": {"corpus": {"seed": 1}, "key_hashes": [""]}}}"#,
+                "empty key hash",
+            ),
+            (
+                r#"{"tenants": {
+                    "a": {"corpus": {"seed": 1}, "key_hashes": ["ab:cd"]},
+                    "b": {"corpus": {"seed": 2}, "api_keys": ["ab:cd"]}}}"#,
+                "hash colliding with a plaintext key",
+            ),
+            (
                 r#"{"tenants": {"a": {"corpus": {"seed": 1}, "api_keys": [""]}}}"#,
                 "empty api key",
             ),
@@ -496,5 +585,32 @@ mod tests {
         let manifest = Manifest::from_json("{}").unwrap();
         assert!(manifest.tenants_sorted().is_empty());
         assert!(manifest.admin().is_empty());
+        assert_eq!(manifest.default_tenant(), None);
+    }
+
+    #[test]
+    fn overload_and_default_fields_parse_and_round_trip() {
+        let manifest = Manifest::from_json(
+            r#"{
+                "tenants": {
+                    "alpha": {
+                        "corpus": {"seed": 1},
+                        "inflight": 3,
+                        "deadline_ms": 250,
+                        "key_hashes": ["00ff:aa11"]
+                    },
+                    "beta": {"corpus": {"seed": 2}, "default": true}
+                }
+            }"#,
+        )
+        .unwrap();
+        let alpha = manifest.tenant("alpha").unwrap();
+        assert_eq!(alpha.inflight, Some(3));
+        assert_eq!(alpha.deadline_ms, Some(250));
+        assert_eq!(alpha.hashed_keys(), ["00ff:aa11"]);
+        assert!(!alpha.is_default());
+        assert_eq!(manifest.default_tenant(), Some("beta"));
+        let text = serde_json::to_string(&manifest).unwrap();
+        assert_eq!(Manifest::from_json(&text).unwrap(), manifest);
     }
 }

@@ -223,19 +223,31 @@ impl CorpusRegistry {
             .collect();
         diff.removed.sort();
         // Phase 2: build everything that changed, before touching the
-        // registry — an error here leaves the tenant set untouched.
-        let mut built: Vec<(String, Arc<CorpusArtifacts>)> = Vec::new();
-        for name in diff.created.iter().chain(&diff.replaced) {
-            let config = manifest.tenant(name).expect("classified tenant is listed");
-            let corpus = config
-                .corpus_spec()?
-                .build_corpus()
-                .map_err(|e| ManifestError::new(format!("tenant {name:?}: {e}")))?;
-            let artifacts = CorpusArtifacts::build(corpus).map_err(|e| {
-                ManifestError::new(format!("tenant {name:?}: artifact build failed: {e}"))
-            })?;
-            built.push((name.clone(), artifacts));
-        }
+        // registry — an error here leaves the tenant set untouched. The
+        // per-tenant builds are independent (corpus generation plus index
+        // construction, the expensive part of a reload), so they fan out
+        // over a worker pool; results come back in index order, keeping the
+        // first-error report deterministic.
+        let to_build: Vec<&String> = diff.created.iter().chain(&diff.replaced).collect();
+        let built: Vec<(String, Arc<CorpusArtifacts>)> = crate::parallel::fan_out(
+            to_build.len(),
+            crate::default_threads().min(to_build.len().max(1)),
+            || (),
+            |(), i| {
+                let name = to_build[i];
+                let config = manifest.tenant(name).expect("classified tenant is listed");
+                let corpus = config
+                    .corpus_spec()?
+                    .build_corpus()
+                    .map_err(|e| ManifestError::new(format!("tenant {name:?}: {e}")))?;
+                let artifacts = CorpusArtifacts::build(corpus).map_err(|e| {
+                    ManifestError::new(format!("tenant {name:?}: artifact build failed: {e}"))
+                })?;
+                Ok((name.clone(), artifacts))
+            },
+        )
+        .into_iter()
+        .collect::<Result<_, ManifestError>>()?;
         // Phase 3: commit under one write lock — epochs bump before the
         // cache sweep below, so the epoch-guarded insert in `generate`
         // cannot resurrect a pre-swap result.
@@ -806,6 +818,7 @@ mod tests {
             .collect();
         Manifest {
             admin_keys: None,
+            admin_key_hashes: None,
             tenants: Some(map),
         }
     }

@@ -115,9 +115,11 @@ fn usage() -> String {
         "  rpg serve [--addr HOST:PORT] [--workers N] [--drivers N] [--queue N] [--cache N]",
         "            [--max-connections N] [--keep-alive on|off] [--max-requests-per-conn N]",
         "            [--idle-timeout-ms N] [--tenant-queue N] [--tenant-weight NAME=W]...",
-        "            [--manifest FILE] [--auth on|off] [--full-corpus]",
-        "  rpg bench [--json FILE] [--label TEXT] [--smoke] [--check BASELINE]",
+        "            [--default-deadline-ms N] [--manifest FILE] [--auth on|off] [--full-corpus]",
+        "  rpg bench [--json FILE] [--label TEXT] [--smoke] [--load] [--check BASELINE]",
         "            [--max-regression X]",
+        "  rpg hash-key <KEY> [--salt HEX]   print the salted-SHA-256 form of a bearer key",
+        "                                    for a manifest's key_hashes/admin_key_hashes",
         "",
         "OPTIONS:",
         "  -q, --query <TEXT>   the research topic to generate a reading path for",
@@ -147,12 +149,18 @@ fn usage() -> String {
         "      --auth <on|off>               require bearer keys from the manifest (default off);",
         "                                    admission is billed to the authenticated tenant and",
         "                                    admin endpoints require an admin key",
+        "      --default-deadline-ms <N>     shed queued requests older than N ms with a 503",
+        "                                    (per-tenant deadline_ms in the manifest overrides;",
+        "                                    the x-rpg-deadline-ms request header tightens it)",
         "",
         "BENCH OPTIONS:",
         "      --json <FILE>    write the machine-readable report (rpg-bench-report/v1)",
         "                       to FILE instead of stdout",
         "      --label <TEXT>   free-form label stored in the report (default 'local')",
         "      --smoke          reduced iteration counts for CI smoke runs",
+        "      --load           also run the overload-isolation load group: quiet-tenant",
+        "                       latency on an idle in-process server vs under a noisy",
+        "                       stampede (load_quiet_generate[_stampede] in the report)",
         "      --check <FILE>   compare against a committed baseline report and exit",
         "                       nonzero if the KMB kernel regressed",
         "      --max-regression <X>          allowed slowdown factor vs the baseline",
@@ -175,6 +183,7 @@ struct ServeOptions {
     idle_timeout_ms: u64,
     tenant_queue: usize,
     tenant_weights: Vec<(String, u64)>,
+    default_deadline_ms: Option<u64>,
     manifest: Option<String>,
     auth: bool,
     corpus_scale: CorpusScale,
@@ -195,6 +204,7 @@ impl Default for ServeOptions {
             idle_timeout_ms: defaults.idle_timeout.as_millis() as u64,
             tenant_queue: defaults.tenant_queue_capacity,
             tenant_weights: Vec::new(),
+            default_deadline_ms: None,
             manifest: None,
             auth: false,
             corpus_scale: CorpusScale::Small,
@@ -276,6 +286,17 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
                     })?;
                 options.tenant_weights.push((name.to_string(), weight));
             }
+            "--default-deadline-ms" => {
+                options.default_deadline_ms = Some(
+                    value_of("--default-deadline-ms")?
+                        .parse()
+                        .ok()
+                        .filter(|&ms: &u64| ms >= 1)
+                        .ok_or_else(|| {
+                            "--default-deadline-ms expects a positive integer".to_string()
+                        })?,
+                );
+            }
             "--manifest" => options.manifest = Some(value_of("--manifest")?),
             "--auth" => {
                 options.auth = match value_of("--auth")?.as_str() {
@@ -346,6 +367,7 @@ fn start_server(options: &ServeOptions) -> Result<Server, String> {
         idle_timeout: std::time::Duration::from_millis(options.idle_timeout_ms),
         tenant_queue_capacity: options.tenant_queue,
         tenant_weights: options.tenant_weights.clone(),
+        default_deadline_ms: options.default_deadline_ms,
         auth_enabled: options.auth,
         manifest_path: options.manifest.clone(),
         ..ServerConfig::default()
@@ -420,6 +442,7 @@ struct BenchOptions {
     json: Option<String>,
     label: String,
     smoke: bool,
+    load: bool,
     check: Option<String>,
     max_regression: f64,
 }
@@ -430,6 +453,7 @@ impl Default for BenchOptions {
             json: None,
             label: "local".to_string(),
             smoke: false,
+            load: false,
             check: None,
             max_regression: 2.0,
         }
@@ -449,6 +473,7 @@ fn parse_bench_args(args: &[String]) -> Result<BenchOptions, String> {
             "--json" => options.json = Some(value_of("--json")?),
             "--label" => options.label = value_of("--label")?,
             "--smoke" => options.smoke = true,
+            "--load" => options.load = true,
             "--check" => options.check = Some(value_of("--check")?),
             "--max-regression" => {
                 options.max_regression = value_of("--max-regression")?
@@ -474,7 +499,13 @@ fn run_bench(options: &BenchOptions) -> Result<(), String> {
         "running bench report ({} mode) ...",
         if options.smoke { "smoke" } else { "full" }
     );
-    let report = rpg_bench::report::run_report(&options.label, iters);
+    let mut report = rpg_bench::report::run_report(&options.label, iters);
+    if options.load {
+        eprintln!("running load group (quiet tenant vs stampede) ...");
+        report
+            .results
+            .extend(rpg_bench::load::run_load_benches(iters));
+    }
     let json = report.to_json();
 
     match &options.json {
@@ -506,6 +537,51 @@ fn run_bench(options: &BenchOptions) -> Result<(), String> {
         );
     }
     Ok(())
+}
+
+/// Options of the `hash-key` subcommand, parsed and executed in one go:
+/// prints the `"<salt-hex>:<digest-hex>"` form a manifest's
+/// `key_hashes`/`admin_key_hashes` fields store.
+fn run_hash_key(args: &[String]) -> Result<String, String> {
+    let mut key: Option<String> = None;
+    let mut salt_hex: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--salt" => {
+                salt_hex = Some(
+                    iter.next()
+                        .cloned()
+                        .ok_or_else(|| "--salt requires a value".to_string())?,
+                );
+            }
+            "--help" | "-h" => return Err(usage()),
+            other if key.is_none() => key = Some(other.to_string()),
+            other => return Err(format!("unrecognised argument '{other}'\n{}", usage())),
+        }
+    }
+    let key = key.ok_or_else(|| format!("hash-key requires the key to hash\n{}", usage()))?;
+    if key.is_empty() {
+        return Err("the key must be non-empty".to_string());
+    }
+    let salt = match salt_hex {
+        Some(hex) => rpg_server::digest::hex_decode(&hex)
+            .filter(|salt| !salt.is_empty())
+            .ok_or_else(|| "--salt expects non-empty hex bytes".to_string())?,
+        None => fresh_salt(),
+    };
+    Ok(rpg_server::auth::StoredKey::with_salt(&key, &salt).encode())
+}
+
+/// A 16-byte salt unique per invocation. Salts need uniqueness, not
+/// unpredictability (the digest already keys on the secret), so hashing the
+/// clock and pid is enough without pulling in an OS RNG.
+fn fresh_salt() -> Vec<u8> {
+    let now = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .unwrap_or_default();
+    let seed = format!("rpg-salt:{}:{}", now.as_nanos(), std::process::id());
+    rpg_server::digest::sha256(seed.as_bytes())[..16].to_vec()
 }
 
 fn build_corpus(scale: CorpusScale) -> Corpus {
@@ -585,6 +661,16 @@ fn main() {
         if let Err(message) = parse_bench_args(&args[1..]).and_then(|o| run_bench(&o)) {
             eprintln!("{message}");
             std::process::exit(2);
+        }
+        return;
+    }
+    if args.first().map(String::as_str) == Some("hash-key") {
+        match run_hash_key(&args[1..]) {
+            Ok(encoded) => println!("{encoded}"),
+            Err(message) => {
+                eprintln!("{message}");
+                std::process::exit(2);
+            }
         }
         return;
     }
@@ -742,6 +828,7 @@ mod tests {
         assert_eq!(options.json, None);
         assert_eq!(options.label, "local");
         assert!(!options.smoke);
+        assert!(!options.load, "the load group is opt-in");
         assert_eq!(options.check, None);
         assert_eq!(options.max_regression, 2.0);
     }
@@ -754,6 +841,7 @@ mod tests {
             "--label",
             "PR6",
             "--smoke",
+            "--load",
             "--check",
             "BENCH_PR6.json",
             "--max-regression",
@@ -763,6 +851,7 @@ mod tests {
         assert_eq!(options.json.as_deref(), Some("BENCH_PR6.json"));
         assert_eq!(options.label, "PR6");
         assert!(options.smoke);
+        assert!(options.load);
         assert_eq!(options.check.as_deref(), Some("BENCH_PR6.json"));
         assert_eq!(options.max_regression, 3.5);
         assert!(parse_bench_args(&args(&["--json"])).is_err());
@@ -782,6 +871,36 @@ mod tests {
         assert!(options.check.is_some());
         assert!(rpg_bench::report::parse_baseline("not json").is_err());
         assert!(rpg_bench::report::parse_baseline("{\"schema\":\"other\"}").is_err());
+    }
+
+    #[test]
+    fn default_deadline_flag_parses_and_validates() {
+        let options = parse_serve_args(&args(&["--default-deadline-ms", "250"])).unwrap();
+        assert_eq!(options.default_deadline_ms, Some(250));
+        let unset = parse_serve_args(&args(&[])).unwrap();
+        assert_eq!(unset.default_deadline_ms, None, "no deadline by default");
+        assert!(parse_serve_args(&args(&["--default-deadline-ms", "0"])).is_err());
+        assert!(parse_serve_args(&args(&["--default-deadline-ms", "soon"])).is_err());
+        assert!(parse_serve_args(&args(&["--default-deadline-ms"])).is_err());
+    }
+
+    #[test]
+    fn hash_key_emits_loadable_stored_keys() {
+        let encoded = run_hash_key(&args(&["s3cret"])).unwrap();
+        let stored = rpg_server::auth::StoredKey::parse(&encoded).unwrap();
+        assert!(stored.matches("s3cret"));
+        assert!(!stored.matches("other"));
+        // A pinned salt reproduces the exact encoding (for tests/docs).
+        let pinned = run_hash_key(&args(&["s3cret", "--salt", "0a0b0c0d"])).unwrap();
+        assert_eq!(
+            pinned,
+            rpg_server::auth::StoredKey::with_salt("s3cret", &[0x0a, 0x0b, 0x0c, 0x0d]).encode()
+        );
+        assert_ne!(pinned, encoded, "fresh salt differs from the pinned one");
+        assert!(run_hash_key(&args(&[])).is_err(), "key is required");
+        assert!(run_hash_key(&args(&["k", "--salt", "zz"])).is_err());
+        assert!(run_hash_key(&args(&["k", "--salt", ""])).is_err());
+        assert!(run_hash_key(&args(&["k", "extra"])).is_err());
     }
 
     #[test]

@@ -201,10 +201,12 @@ pub fn spawn_manifest_server(configure: impl FnOnce(&mut ServerConfig)) -> TestS
     registry
         .apply_manifest(&manifest)
         .expect("fixture tenants build");
+    // `configure` runs first so `with_manifest` derives per-tenant
+    // in-flight caps from the worker count the test actually asked for.
     spawn_with(registry, |config| {
-        *config = config.clone().with_manifest(&manifest);
         config.auth_enabled = true;
         configure(config);
+        *config = config.clone().with_manifest(&manifest);
     })
 }
 

@@ -724,6 +724,204 @@ fn mid_compute_hangup_cancels_queued_work() {
 }
 
 #[test]
+fn mid_compute_half_close_still_gets_its_reply() {
+    // The other half of the hangup fix: a client that writes a complete
+    // request and then `shutdown(SHUT_WR)`s is half-closing gracefully —
+    // it is still reading. POLLRDHUP fires for that FIN exactly like for
+    // an abort, so the server must probe the socket before deciding:
+    // end-of-stream with the request already consumed means the reply is
+    // still owed, not that the work should be cancelled.
+    let server = spawn_with(demo_registry_without_cache(), |config| {
+        config.workers = 1;
+    });
+    let addr = server.addr();
+    let queries = common::demo_queries(2);
+
+    // Plug the single worker so the half-closing request is provably in
+    // `ComputeInFlight` when its FIN arrives.
+    let (plug_query, _) = queries[0].clone();
+    let plug = std::thread::spawn(move || {
+        let response = client::post_json(addr, "/v1/generate", &slow_body(&plug_query, "default"));
+        assert_eq!(response.unwrap().status, 200);
+    });
+    wait_worker_busy(&server, "default");
+
+    let (query, year) = queries[1].clone();
+    let body = gen_body(&query, year, None);
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream
+        .write_all(
+            format!(
+                "POST /v1/generate HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.request_depth() == 0 {
+        assert!(Instant::now() < deadline, "request never queued");
+        std::thread::yield_now();
+    }
+    stream.shutdown(std::net::Shutdown::Write).unwrap();
+    // Give the event loop time to see the FIN while the worker is still
+    // plugged — the regression this guards against flipped the cancel flag
+    // right here and the reply never came.
+    std::thread::sleep(Duration::from_millis(50));
+    let response = client::read_response(&mut stream, &mut Vec::new()).unwrap();
+    assert_eq!(response.status, 200, "{}", response.body);
+    plug.join().unwrap();
+
+    let stats = server.stats();
+    assert_eq!(stats.pipeline.requests, 2, "both requests computed");
+    let tenants = parse(&client::get(addr, "/v1/stats").unwrap().body);
+    let row = tenants
+        .get("tenants")
+        .and_then(|t| t.get("default"))
+        .expect("default tenant metrics row");
+    assert_eq!(row.get("cancelled").and_then(Value::as_f64), Some(0.0));
+    assert_eq!(row.get("shed").and_then(Value::as_f64), Some(0.0));
+}
+
+#[test]
+fn expired_deadlines_shed_queued_work_with_a_503() {
+    let server = spawn_with(demo_registry_without_cache(), |config| {
+        config.workers = 1;
+    });
+    let addr = server.addr();
+    let queries = common::demo_queries(2);
+    let (plug_query, _) = queries[0].clone();
+    let plug = std::thread::spawn(move || {
+        let response = client::post_json(addr, "/v1/generate", &slow_body(&plug_query, "default"));
+        assert_eq!(response.unwrap().status, 200);
+    });
+    wait_worker_busy(&server, "default");
+
+    // A 1 ms budget behind a plug that takes far longer: by the time the
+    // worker reaches this request its deadline is blown, so the worker
+    // sheds it — 503 plus retry-after — instead of computing a result the
+    // client has already given up on.
+    let (query, year) = queries[1].clone();
+    let response = client::request_with(
+        addr,
+        "POST",
+        "/v1/generate",
+        Some(&gen_body(&query, year, None)),
+        &[("x-rpg-deadline-ms", "1")],
+    )
+    .unwrap();
+    assert_eq!(response.status, 503, "{}", response.body);
+    assert!(
+        response.header("retry-after").is_some(),
+        "sheds tell the client when to come back"
+    );
+    plug.join().unwrap();
+
+    let stats = server.stats();
+    assert_eq!(
+        stats.pipeline.requests, 1,
+        "the shed request never reached the pipeline"
+    );
+    // The tenant metrics expose the shed and the plug's recorded latency
+    // (the record lands just after the reply is queued, hence the poll).
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let row = loop {
+        let tenants = parse(&client::get(addr, "/v1/stats").unwrap().body);
+        let row = tenants
+            .get("tenants")
+            .and_then(|t| t.get("default"))
+            .cloned()
+            .expect("default tenant metrics row");
+        let count = row
+            .get("latency")
+            .and_then(|l| l.get("count"))
+            .and_then(Value::as_f64);
+        if count == Some(1.0) {
+            break row;
+        }
+        assert!(Instant::now() < deadline, "latency sample never recorded");
+        std::thread::sleep(Duration::from_millis(5));
+    };
+    assert_eq!(row.get("shed").and_then(Value::as_f64), Some(1.0));
+    assert_eq!(row.get("cancelled").and_then(Value::as_f64), Some(0.0));
+    let latency = row.get("latency").expect("latency object");
+    for quantile in ["p50", "p99", "p999"] {
+        let value = latency
+            .get(quantile)
+            .and_then(Value::as_f64)
+            .unwrap_or_else(|| panic!("{quantile} missing: {latency:?}"));
+        assert!(value > 0.0, "{quantile} = {value}");
+    }
+}
+
+#[test]
+fn tenant_patch_retunes_inflight_and_deadline_live() {
+    let server = spawn_manifest_server(|config| {
+        config.workers = 2;
+    });
+    let addr = server.addr();
+
+    let response = request_with_key(
+        addr,
+        "PATCH",
+        "/v1/admin/tenants/alpha",
+        Some(r#"{"inflight": 1, "deadline_ms": 750}"#),
+        Some(ADMIN_KEY),
+    )
+    .unwrap();
+    assert_eq!(response.status, 200, "{}", response.body);
+    let body = parse(&response.body);
+    assert_eq!(body.get("inflight").and_then(Value::as_f64), Some(1.0));
+    assert_eq!(body.get("deadline_ms").and_then(Value::as_f64), Some(750.0));
+
+    // One served request creates alpha's lane; the queue stats then
+    // reflect the new cap (and an idle lane).
+    let (query, year) = tenant_query(&server, "alpha");
+    let served = post_json_with_key(
+        addr,
+        "/v1/generate",
+        &gen_body(&query, year, Some("alpha")),
+        ALPHA_KEY,
+    )
+    .unwrap();
+    assert_eq!(served.status, 200, "{}", served.body);
+    // The worker releases its in-flight charge just after queueing the
+    // reply, so the idle-lane view can trail the response by a beat.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let stats = parse(&get_with_key(addr, "/v1/stats", ADMIN_KEY).unwrap().body);
+        let alpha = stats
+            .get("queue")
+            .and_then(|q| q.get("tenants"))
+            .and_then(|t| t.get("alpha"))
+            .expect("alpha queue row")
+            .clone();
+        assert_eq!(alpha.get("inflight").and_then(Value::as_f64), Some(1.0));
+        if alpha.get("in_flight").and_then(Value::as_f64) == Some(0.0) {
+            break;
+        }
+        assert!(Instant::now() < deadline, "in-flight charge never released");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // Zero caps and empty patches are rejected wholesale.
+    for bad in [r#"{"inflight": 0}"#, r#"{"deadline_ms": 0}"#, r#"{}"#] {
+        let response = request_with_key(
+            addr,
+            "PATCH",
+            "/v1/admin/tenants/alpha",
+            Some(bad),
+            Some(ADMIN_KEY),
+        )
+        .unwrap();
+        assert_eq!(response.status, 400, "{bad}: {}", response.body);
+    }
+}
+
+#[test]
 fn reload_applies_the_manifest_live_and_atomically() {
     // A server whose manifest lives in a file: reload is a no-op until the
     // file changes, then applies exactly the diff — created tenants start

@@ -48,6 +48,71 @@ pub trait Strategy {
 
     /// Draws one value.
     fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps sampled values through `f` (the `prop_map` combinator of real
+    /// proptest, minus shrinking).
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy behind [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// A strategy that always yields a clone of one value (real proptest's
+/// `Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The strategy behind [`prop_oneof!`]: a weighted choice between
+/// same-typed strategies.
+pub struct Union<T> {
+    arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
+    total: u32,
+}
+
+impl<T> Union<T> {
+    /// A union over `(weight, strategy)` arms; weights must sum > 0.
+    pub fn new(arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>) -> Self {
+        let total = arms.iter().map(|(weight, _)| *weight).sum();
+        assert!(total > 0, "prop_oneof! needs a positive total weight");
+        Union { arms, total }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        let mut pick = rng.gen_range(0u32..self.total);
+        for (weight, strategy) in &self.arms {
+            if pick < *weight {
+                return strategy.sample(rng);
+            }
+            pick -= *weight;
+        }
+        unreachable!("weighted pick is within the total")
+    }
 }
 
 macro_rules! impl_range_strategy {
@@ -333,8 +398,8 @@ pub fn test_rng(test_name: &str, case: u32) -> StdRng {
 /// `use proptest::prelude::*;`.
 pub mod prelude {
     pub use crate::{
-        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
-        Strategy,
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy,
     };
 
     /// The `prop::` namespace (`prop::collection::vec`).
@@ -381,6 +446,18 @@ macro_rules! __proptest_impl {
                 }
             }
         )*
+    };
+}
+
+/// Weighted choice between same-typed strategies: `w => strategy` arms, or
+/// bare arms that all weigh 1.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$(($weight as u32, Box::new($strategy) as _)),+])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$((1u32, Box::new($strategy) as _)),+])
     };
 }
 
@@ -480,6 +557,37 @@ mod tests {
         assert_eq!(a, b);
         assert_ne!(a, c);
         assert_ne!(a, d);
+    }
+
+    #[test]
+    fn oneof_map_and_just_compose() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum Pick {
+            Fixed,
+            Small(u32),
+            Big(u32),
+        }
+        let strategy = prop_oneof![
+            1 => Just(Pick::Fixed),
+            4 => (0u32..10).prop_map(Pick::Small),
+            4 => (100u32..110).prop_map(Pick::Big),
+        ];
+        let mut rng = crate::test_rng("oneof", 3);
+        let mut seen = [false; 3];
+        for _ in 0..300 {
+            match strategy.sample(&mut rng) {
+                Pick::Fixed => seen[0] = true,
+                Pick::Small(x) => {
+                    assert!(x < 10);
+                    seen[1] = true;
+                }
+                Pick::Big(x) => {
+                    assert!((100..110).contains(&x));
+                    seen[2] = true;
+                }
+            }
+        }
+        assert_eq!(seen, [true; 3], "every arm of the union is reachable");
     }
 
     proptest! {
