@@ -17,6 +17,12 @@
 //! instance — so every report carries its own before/after pair and the
 //! `--check` gate can assert the rewrite stays ahead *on the same host*,
 //! independent of how fast the machine running CI happens to be.
+//!
+//! The PR 8 I/O-layer rewrite gets the same treatment: the
+//! `serve_healthz_idle256_{poll,epoll}` pair measures one loopback HTTP
+//! exchange while 256 idle keep-alive connections sit registered on the
+//! event loops, once per readiness backend — the committed report shows
+//! what moving the interest set into the kernel buys on the same host.
 
 use crate::micro_corpus;
 use rpg_corpus::Corpus;
@@ -30,9 +36,11 @@ use rpg_repager::subgraph::SubGraph;
 use rpg_repager::system::PathRequest;
 use rpg_repager::weights::NodeWeights;
 use rpg_repager::RepagerConfig;
-use rpg_service::PathService;
+use rpg_server::{client, IoBackendChoice, Server, ServerConfig};
+use rpg_service::{CorpusRegistry, PathService};
 use serde::value::Value;
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Schema identifier embedded in every report.
 pub const SCHEMA: &str = "rpg-bench-report/v1";
@@ -369,6 +377,8 @@ pub fn run_report(label: &str, iters: Iterations) -> BenchReport {
         },
     ));
 
+    run_idle_exchange_benches(iters, &mut results);
+
     BenchReport {
         label: label.to_string(),
         host_cores: std::thread::available_parallelism()
@@ -376,6 +386,88 @@ pub fn run_report(label: &str, iters: Iterations) -> BenchReport {
             .unwrap_or(1),
         instance: instance.shape,
         results,
+    }
+}
+
+/// Idle keep-alive connections held open while the per-backend exchange
+/// benches run — enough registered descriptors that a readiness backend
+/// paying O(registered) per wait (`poll`) shows it in the median, while an
+/// O(ready) backend (`epoll`) stays flat.
+const IDLE_CONNS: usize = 256;
+
+/// The readiness backends this host offers, in report order.
+pub fn available_backends() -> Vec<IoBackendChoice> {
+    let mut backends = vec![IoBackendChoice::Poll];
+    if cfg!(target_os = "linux") {
+        backends.push(IoBackendChoice::Epoll);
+    }
+    backends
+}
+
+/// The `serve_healthz_idle256_{poll,epoll}` benches: spawn a real loopback
+/// server per backend, park [`IDLE_CONNS`] keep-alive connections on its
+/// event loops, and measure one `/v1/healthz` round-trip on a separate
+/// probe connection. The pair in one report is the I/O-layer analogue of
+/// the KMB rewrite pair — the same exchange, before/after backend, same
+/// host — so a committed report carries its own evidence of what moving
+/// the interest set into the kernel buys under idle-connection load.
+fn run_idle_exchange_benches(iters: Iterations, results: &mut Vec<BenchResult>) {
+    for backend in available_backends() {
+        let config = ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 1,
+            drivers: 2,
+            keep_alive: true,
+            max_connections: IDLE_CONNS + 64,
+            idle_timeout: Duration::from_secs(600),
+            io_backend: backend,
+            ..ServerConfig::default()
+        };
+        // An empty registry: `/v1/healthz` is answered inline on the event
+        // loops, so the bench isolates the readiness layer from pipeline
+        // cost.
+        let server =
+            Server::spawn(Arc::new(CorpusRegistry::new()), config).expect("bench server binds");
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            match client::get(server.addr(), "/v1/healthz") {
+                Ok(response) if response.status == 200 => break,
+                _ if Instant::now() < deadline => std::thread::sleep(Duration::from_millis(5)),
+                other => panic!("bench server never became ready: {other:?}"),
+            }
+        }
+
+        // One exchange per idle connection proves each is accepted and
+        // registered with the poller (not parked in the listen backlog)
+        // before the measurement starts.
+        let mut idle: Vec<client::Conn> = (0..IDLE_CONNS)
+            .map(|i| {
+                client::Conn::connect(server.addr())
+                    .unwrap_or_else(|e| panic!("idle connection {i} failed to open: {e}"))
+            })
+            .collect();
+        for (i, conn) in idle.iter_mut().enumerate() {
+            let response = conn
+                .get("/v1/healthz")
+                .unwrap_or_else(|e| panic!("idle connection {i} failed its exchange: {e}"));
+            assert_eq!(response.status, 200, "idle connection {i}");
+        }
+
+        let mut probe = client::Conn::connect(server.addr()).expect("probe connection opens");
+        results.push(run_bench(
+            &format!(
+                "serve_healthz_idle{IDLE_CONNS}_{}",
+                backend.resolve().as_str()
+            ),
+            iters.service,
+            iters.warmup,
+            || {
+                let response = probe.get("/v1/healthz").expect("probe exchange");
+                assert_eq!(response.status, 200);
+                response.body.len()
+            },
+        ));
+        drop(idle);
     }
 }
 
@@ -575,15 +667,22 @@ mod tests {
             warmup: 1,
         };
         let report = run_report("unit", iters);
-        for name in [
-            "steiner_tree_kmb",
-            "steiner_tree_kmb_reference",
-            "dijkstra_single_source",
-            "dijkstra_to_targets",
-            "minimum_spanning_forest",
-            "service_generate_uncached",
-            "service_generate_cache_hit",
-        ] {
+        let mut expected = vec![
+            "steiner_tree_kmb".to_string(),
+            "steiner_tree_kmb_reference".to_string(),
+            "dijkstra_single_source".to_string(),
+            "dijkstra_to_targets".to_string(),
+            "minimum_spanning_forest".to_string(),
+            "service_generate_uncached".to_string(),
+            "service_generate_cache_hit".to_string(),
+        ];
+        for backend in available_backends() {
+            expected.push(format!(
+                "serve_healthz_idle{IDLE_CONNS}_{}",
+                backend.resolve().as_str()
+            ));
+        }
+        for name in &expected {
             assert!(report.result(name).is_some(), "bench {name} missing");
         }
         assert!(report.kmb_speedup().is_some());

@@ -19,6 +19,7 @@
 use crate::stages::StageCounters;
 use rpg_graph::steiner::SteinerScratch;
 use rpg_graph::NodeId;
+use std::time::Instant;
 
 /// Reusable buffers + cumulative work counters for one serving worker.
 ///
@@ -39,6 +40,13 @@ pub struct PipelineScratch {
     pub(crate) touched: Vec<NodeId>,
     pub(crate) realloc_retries: u64,
     pub(crate) grow_events: u64,
+    /// Cooperative wall-clock budget for the *current* request: the
+    /// pipeline checks it between stages and sheds mid-compute once it
+    /// passes. Carried here rather than on the request so every
+    /// [`PathRequest`](crate::system::PathRequest) construction site stays
+    /// untouched; callers set it per request via
+    /// [`PipelineScratch::set_deadline`].
+    deadline: Option<Instant>,
 }
 
 impl PipelineScratch {
@@ -51,6 +59,20 @@ impl PipelineScratch {
     /// directly (e.g. the bench harness).
     pub fn steiner_mut(&mut self) -> &mut SteinerScratch {
         &mut self.steiner
+    }
+
+    /// Arms (or, with `None`, clears) the cooperative deadline the next
+    /// pipeline run checks between stages. The deadline does not reset
+    /// itself: a caller serving many requests through one scratch sets it
+    /// per request.
+    pub fn set_deadline(&mut self, deadline: Option<Instant>) {
+        self.deadline = deadline;
+    }
+
+    /// Whether the armed deadline (if any) has passed.
+    pub(crate) fn deadline_expired(&self) -> bool {
+        self.deadline
+            .is_some_and(|deadline| Instant::now() >= deadline)
     }
 
     /// Cumulative pipeline work counters (never reset); diff two snapshots

@@ -436,7 +436,20 @@ pub fn serve_request(
         config: request.variant.apply(request.config),
         scratch,
     };
-    Ok(run_pipeline(&mut cx)?)
+    run_pipeline(&mut cx)
+}
+
+/// Returns [`RepagerError::DeadlineExceeded`] once the scratch's armed
+/// cooperative deadline has passed — called between stages so a request
+/// whose budget blew mid-compute sheds its remaining stages instead of
+/// finishing work nobody will wait for. Stage boundaries are the natural
+/// granularity: the stages themselves stay oblivious, and the heavy steps
+/// (sub-graph build, Steiner solve) are each bracketed by a check.
+fn deadline_gate(cx: &StageContext<'_>) -> Result<(), RepagerError> {
+    if cx.scratch.deadline_expired() {
+        return Err(RepagerError::DeadlineExceeded);
+    }
+    Ok(())
 }
 
 /// Drives the five stages for one request, recording per-stage timings.
@@ -444,7 +457,7 @@ pub fn serve_request(
 /// Validation of the request's configuration is the caller's responsibility
 /// (both facades validate before building the [`StageContext`], so the
 /// context always carries an applied, valid configuration).
-pub fn run_pipeline(cx: &mut StageContext<'_>) -> Result<RepagerOutput, GraphError> {
+pub fn run_pipeline(cx: &mut StageContext<'_>) -> Result<RepagerOutput, RepagerError> {
     let started = Instant::now();
     let mut timings = StageTimings::default();
     let counters_before = cx.scratch.counters();
@@ -469,9 +482,13 @@ pub fn run_pipeline(cx: &mut StageContext<'_>) -> Result<RepagerOutput, GraphErr
         });
     }
 
+    deadline_gate(cx)?;
     let subgraph = timed(&mut timings.subgraph, || SubgraphStage.run(cx, seeds))?;
+    deadline_gate(cx)?;
     let realloc = timed(&mut timings.realloc, || ReallocStage.run(cx, subgraph))?;
+    deadline_gate(cx)?;
     let steiner = timed(&mut timings.steiner, || SteinerStage.run(cx, realloc))?;
+    deadline_gate(cx)?;
     let mut output = timed(&mut timings.render, || RenderStage.run(cx, steiner))?;
 
     timings.counters = cx.scratch.counters().since(&counters_before);

@@ -32,6 +32,10 @@ pub enum RepagerError {
     Config(crate::config::ConfigError),
     /// A graph-layer failure (sub-graph construction, Steiner solve, ...).
     Graph(GraphError),
+    /// The request's cooperative wall-clock budget (armed via
+    /// [`PipelineScratch::set_deadline`](crate::scratch::PipelineScratch::set_deadline))
+    /// expired between pipeline stages; the remaining stages were shed.
+    DeadlineExceeded,
 }
 
 impl std::fmt::Display for RepagerError {
@@ -39,6 +43,9 @@ impl std::fmt::Display for RepagerError {
         match self {
             RepagerError::Config(e) => write!(f, "invalid configuration: {e}"),
             RepagerError::Graph(e) => write!(f, "graph error: {e}"),
+            RepagerError::DeadlineExceeded => {
+                write!(f, "deadline exceeded between pipeline stages")
+            }
         }
     }
 }
@@ -48,6 +55,7 @@ impl std::error::Error for RepagerError {
         match self {
             RepagerError::Config(e) => Some(e),
             RepagerError::Graph(e) => Some(e),
+            RepagerError::DeadlineExceeded => None,
         }
     }
 }

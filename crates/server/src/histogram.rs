@@ -98,14 +98,21 @@ impl Histogram {
 }
 
 /// Per-tenant overload counters: the latency histogram plus how often the
-/// tenant's work was shed before compute (deadline already blown) or
-/// cancelled mid-flight (client gone).
+/// tenant's work was shed by a deadline (blown before compute, or
+/// mid-compute between pipeline stages) or cancelled mid-flight (client
+/// gone).
 #[derive(Debug, Default)]
 pub struct TenantMetrics {
     /// Admission-to-reply latency of completed requests.
     pub latency: Histogram,
-    /// Requests dropped by the deadline check before computing.
+    /// Requests dropped by a deadline check — before compute or between
+    /// pipeline stages (every mid-compute shed also counts here, so this
+    /// stays the tenant's total).
     pub shed: AtomicU64,
+    /// The subset of `shed` whose deadline blew *mid-compute*: the
+    /// pipeline had already started and dropped its remaining stages at an
+    /// inter-stage check.
+    pub shed_mid_compute: AtomicU64,
     /// Requests whose compute was cancelled by client abandonment.
     pub cancelled: AtomicU64,
 }

@@ -497,6 +497,14 @@ impl Response {
     /// exchange — and the event loop can write it incrementally across
     /// `POLLOUT` readiness without re-serialising after a partial write.
     pub fn to_bytes(&self, keep_alive: bool) -> Vec<u8> {
+        let mut wire = self.head_bytes(keep_alive);
+        wire.extend_from_slice(&self.body);
+        wire
+    }
+
+    /// Serialises the head alone — status line through the blank line —
+    /// with `Content-Length` still describing the (unserialised) body.
+    fn head_bytes(&self, keep_alive: bool) -> Vec<u8> {
         let connection = if keep_alive { "keep-alive" } else { "close" };
         let mut wire = format!(
             "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {connection}\r\n",
@@ -512,7 +520,6 @@ impl Response {
             wire.extend_from_slice(b"\r\n");
         }
         wire.extend_from_slice(b"\r\n");
-        wire.extend_from_slice(&self.body);
         wire
     }
 
@@ -520,6 +527,101 @@ impl Response {
     pub fn write_to<W: Write>(&self, writer: &mut W, keep_alive: bool) -> io::Result<()> {
         writer.write_all(&self.to_bytes(keep_alive))?;
         writer.flush()
+    }
+}
+
+/// Streams a [`Response`] onto a nonblocking socket in bounded chunks.
+///
+/// The event loop's write path used to serialise the whole response into
+/// one contiguous buffer ([`Response::to_bytes`]) before the first byte
+/// hit the wire — a large body (batch results, corpus listings, future
+/// exports) therefore existed twice: once as the body `Vec` and once
+/// inside the wire buffer, held for the connection's entire `Writing`
+/// phase. An emitter keeps the body exactly where the encoder left it and
+/// offers the wire form as a cursor over `head ++ body`: each
+/// [`ResponseEmitter::next_chunk`] is at most the configured chunk size,
+/// and [`ResponseEmitter::advance`] moves the cursor by however much the
+/// socket accepted, so a partial write resumes mid-chunk on the next
+/// writability event without re-serialising anything.
+///
+/// Responses small enough that head + body fit inside one chunk are
+/// coalesced into a single buffer at construction (still O(chunk) memory):
+/// the common cache-hit exchange stays one `write(2)` — one TCP segment —
+/// exactly as the whole-buffer path produced.
+#[derive(Debug)]
+pub struct ResponseEmitter {
+    /// The serialised head; for coalesced small responses, head + body.
+    head: Vec<u8>,
+    /// The body, untouched from the encoder (empty when coalesced).
+    body: Vec<u8>,
+    /// Absolute cursor over `head ++ body`.
+    pos: usize,
+    /// Upper bound on the slice [`ResponseEmitter::next_chunk`] offers.
+    chunk: usize,
+}
+
+impl ResponseEmitter {
+    /// The default emission granularity: large enough that syscall count
+    /// stays low, small enough that a connection's write state is bounded.
+    pub const DEFAULT_CHUNK: usize = 16 * 1024;
+
+    /// An emitter over `response`'s wire form (consuming it — the body is
+    /// moved, never copied) with the default chunk size.
+    pub fn new(response: Response, keep_alive: bool) -> ResponseEmitter {
+        ResponseEmitter::with_chunk_size(response, keep_alive, ResponseEmitter::DEFAULT_CHUNK)
+    }
+
+    /// As [`ResponseEmitter::new`] with an explicit chunk size (tests use
+    /// tiny chunks to exercise resumption).
+    pub fn with_chunk_size(response: Response, keep_alive: bool, chunk: usize) -> ResponseEmitter {
+        let chunk = chunk.max(1);
+        let mut head = response.head_bytes(keep_alive);
+        let mut body = response.body;
+        if head.len() + body.len() <= chunk {
+            head.append(&mut body);
+        }
+        ResponseEmitter {
+            head,
+            body,
+            pos: 0,
+            chunk,
+        }
+    }
+
+    /// Total wire length (head + body).
+    pub fn total_len(&self) -> usize {
+        self.head.len() + self.body.len()
+    }
+
+    /// Bytes not yet accepted by the socket.
+    pub fn remaining(&self) -> usize {
+        self.total_len() - self.pos
+    }
+
+    /// Whether every byte has been emitted.
+    pub fn is_done(&self) -> bool {
+        self.pos >= self.total_len()
+    }
+
+    /// The next bounded slice to offer the socket: at most the chunk size,
+    /// never spanning the head/body seam (each part is already contiguous).
+    /// `None` once the response is fully emitted.
+    pub fn next_chunk(&self) -> Option<&[u8]> {
+        if self.pos < self.head.len() {
+            let end = self.head.len().min(self.pos + self.chunk);
+            return Some(&self.head[self.pos..end]);
+        }
+        let body_pos = self.pos - self.head.len();
+        if body_pos < self.body.len() {
+            let end = self.body.len().min(body_pos + self.chunk);
+            return Some(&self.body[body_pos..end]);
+        }
+        None
+    }
+
+    /// Records that the socket accepted `n` bytes of the offered chunk.
+    pub fn advance(&mut self, n: usize) {
+        self.pos = (self.pos + n).min(self.total_len());
     }
 }
 
@@ -830,6 +932,70 @@ mod tests {
         Response::json(200, "{}").write_to(&mut wire, true).unwrap();
         let text = String::from_utf8(wire).unwrap();
         assert!(text.contains("connection: keep-alive\r\n"));
+    }
+
+    #[test]
+    fn emitter_chunks_reassemble_to_the_whole_buffer_form() {
+        // A body far larger than the chunk size, with an extra header.
+        let body = "x".repeat(10_000);
+        let response = Response::json(200, body.clone()).with_header("retry-after", "1");
+        let expected = response.to_bytes(true);
+        let mut emitter = ResponseEmitter::with_chunk_size(response, true, 512);
+        assert_eq!(emitter.total_len(), expected.len());
+        let mut reassembled = Vec::new();
+        while let Some(chunk) = emitter.next_chunk() {
+            assert!(!chunk.is_empty());
+            assert!(
+                chunk.len() <= 512,
+                "chunk of {} exceeds the bound",
+                chunk.len()
+            );
+            // Accept a partial write of the offered chunk: resumption must
+            // pick up mid-chunk.
+            let take = chunk.len().min(100);
+            reassembled.extend_from_slice(&chunk[..take]);
+            emitter.advance(take);
+        }
+        assert!(emitter.is_done());
+        assert_eq!(emitter.remaining(), 0);
+        assert_eq!(reassembled, expected);
+    }
+
+    #[test]
+    fn emitter_coalesces_small_responses_into_one_chunk() {
+        let response = Response::json(200, "{}");
+        let expected = response.to_bytes(false);
+        let emitter = ResponseEmitter::new(response, false);
+        // The whole wire form fits one chunk: a single write, one segment.
+        let first = emitter.next_chunk().unwrap();
+        assert_eq!(first, &expected[..]);
+    }
+
+    #[test]
+    fn emitter_respects_the_connection_mode() {
+        let keep = ResponseEmitter::new(Response::json(200, "{}"), true);
+        let close = ResponseEmitter::new(Response::json(200, "{}"), false);
+        let keep_text = String::from_utf8(keep.next_chunk().unwrap().to_vec()).unwrap();
+        let close_text = String::from_utf8(close.next_chunk().unwrap().to_vec()).unwrap();
+        assert!(keep_text.contains("connection: keep-alive\r\n"));
+        assert!(close_text.contains("connection: close\r\n"));
+    }
+
+    #[test]
+    fn emitter_never_holds_head_and_large_body_contiguously() {
+        // The anti-goal of the old write path: a big body duplicated into
+        // one giant wire buffer. With a bounded chunk the head buffer must
+        // stay head-sized.
+        let body = "y".repeat(1 << 20);
+        let response = Response::json(200, body);
+        let emitter = ResponseEmitter::new(response, true);
+        let first = emitter.next_chunk().unwrap();
+        assert!(
+            first.len() < 1024,
+            "first chunk should be the bare head, got {}",
+            first.len()
+        );
+        assert!(emitter.total_len() > 1 << 20);
     }
 
     #[test]

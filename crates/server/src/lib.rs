@@ -6,12 +6,17 @@
 //! nothing but `std::net` and the vendored `serde_json`:
 //!
 //! * **event-driven connections** — a fixed pool of event-loop threads
-//!   multiplexes every socket over `poll(2)` (wrapped std-only in `sys`),
-//!   so an open connection costs slot-table state, not a thread; each
-//!   connection is a state machine over the incremental
-//!   [`http::RequestBuffer`] push parser, with idle and per-request read
-//!   deadlines enforced by the poll timeout and compute replies delivered
-//!   back to the owning loop through a self-pipe wake fd;
+//!   multiplexes every socket through a pluggable `Poller` readiness
+//!   backend (edge-triggered `epoll(7)` by default on Linux, portable
+//!   `poll(2)` everywhere, both wrapped std-only in `sys` and selected by
+//!   [`ServerConfig::io_backend`]), so an open connection costs
+//!   slot-table state, not a thread; each connection is a state machine
+//!   over the incremental [`http::RequestBuffer`] push parser whose
+//!   kernel-side interest is updated only on state transitions, with
+//!   responses streamed through a bounded-chunk
+//!   [`http::ResponseEmitter`], idle and per-request read deadlines
+//!   enforced by the wait timeout, and compute replies delivered back to
+//!   the owning loop through a self-pipe wake fd;
 //! * **persistent connections** — each socket serves a keep-alive
 //!   exchange sequence over a persistent parse buffer: pipelined bytes
 //!   carry over between requests, with an idle timeout and a
@@ -59,9 +64,9 @@
 //! ```
 
 #![warn(missing_docs)]
-// `unsafe` is confined to `sys`, the FFI shim over poll(2)/pipe(2) that the
-// event-driven connection layer rides on (the workspace has no libc crate);
-// everywhere else it stays an error.
+// `unsafe` is confined to the `sys` module tree, the FFI shim over
+// poll(2)/epoll(7)/pipe(2) that the event-driven connection layer rides on
+// (the workspace has no libc crate); everywhere else it stays an error.
 #![deny(unsafe_code)]
 
 pub mod api;
@@ -77,7 +82,7 @@ mod sys;
 pub use api::{BatchRequest, GenerateRequest};
 pub use auth::{AuthTable, Principal};
 pub use serve::{Server, ServerConfig, StatsSnapshot};
-pub use sys::{install_sighup, sighup_pending};
+pub use sys::{install_sighup, sighup_pending, IoBackend, IoBackendChoice};
 
 #[cfg(test)]
 mod tests {

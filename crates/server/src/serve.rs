@@ -2,10 +2,15 @@
 //! control.
 //!
 //! Connections are served by a fixed pool of *event-loop driver threads*,
-//! each owning a `poll(2)` set of nonblocking sockets — an open connection
+//! each owning a readiness set of nonblocking sockets behind the pluggable
+//! [`sys::Poller`] trait (edge-triggered `epoll(7)` on Linux by default,
+//! portable `poll(2)` otherwise or via `io_backend`) — an open connection
 //! costs a few hundred bytes of state in a loop's slot table, not a thread,
 //! so thousands of mostly-idle keep-alive connections ride on a handful of
-//! threads. One acceptor thread takes TCP connections off the listener,
+//! threads. Each connection registers with its loop's poller once at
+//! accept and changes interest only when its state machine transitions, so
+//! a wait costs O(ready), not O(open connections), on the `epoll` backend.
+//! One acceptor thread takes TCP connections off the listener,
 //! enforces the `max_connections` bound (overflow gets an immediate `503`
 //! off a dedicated rejector thread), and deals admitted sockets round-robin
 //! to the loops through a wake-pipe-signalled inbox.
@@ -43,9 +48,12 @@ use crate::api::{
 };
 use crate::auth::{bearer_token, AuthTable, Principal, StoredKey};
 use crate::histogram::TenantMetrics;
-use crate::http::{self, Limits, Parse, Request, RequestBuffer, Response};
+use crate::http::{self, Limits, Parse, Request, RequestBuffer, Response, ResponseEmitter};
 use crate::queue::{Bounded, FairQueue, Rejection};
-use crate::sys::{self, PollFd, WakePipe, POLLERR, POLLHUP, POLLIN, POLLNVAL, POLLOUT, POLLRDHUP};
+use crate::sys::{
+    self, Event, IoBackend, IoBackendChoice, Poller, WakePipe, POLLERR, POLLHUP, POLLIN, POLLNVAL,
+    POLLOUT, POLLRDHUP,
+};
 use rpg_repager::system::RepagerError;
 use rpg_repager::TimingAggregate;
 use rpg_service::{
@@ -148,6 +156,11 @@ pub struct ServerConfig {
     /// re-reads the manifest from. `None` disables wire-triggered reloads
     /// with a `409`.
     pub manifest_path: Option<String>,
+    /// Which readiness backend the event loops ride on: `Auto` (the
+    /// default) picks edge-triggered `epoll` on Linux and portable `poll`
+    /// elsewhere; forcing `epoll` off Linux fails at spawn. Surfaced in
+    /// `/v1/stats` under `connections.io_backend`.
+    pub io_backend: IoBackendChoice,
 }
 
 impl Default for ServerConfig {
@@ -174,6 +187,7 @@ impl Default for ServerConfig {
             tenant_deadlines: Vec::new(),
             default_deadline_ms: None,
             manifest_path: None,
+            io_backend: IoBackendChoice::default(),
         }
     }
 }
@@ -498,6 +512,9 @@ struct Shared {
     deadlines: RwLock<HashMap<String, u64>>,
     /// The event loops, indexed by the acceptor's round-robin.
     loops: Vec<Arc<LoopShared>>,
+    /// The resolved readiness backend every driver runs on (reported by
+    /// `/v1/stats`).
+    io_backend: IoBackend,
     /// Connections admitted and not yet closed, across all loops.
     open_connections: AtomicUsize,
     shutdown: AtomicBool,
@@ -533,6 +550,13 @@ impl Server {
                 }))
             })
             .collect::<io::Result<Vec<_>>>()?;
+        // Build every driver's poller up front so an unbuildable backend
+        // (epoll forced off Linux, fd exhaustion) fails the spawn instead
+        // of a driver thread.
+        let pollers = (0..driver_count)
+            .map(|_| sys::new_poller(config.io_backend))
+            .collect::<io::Result<Vec<_>>>()?;
+        let io_backend = pollers[0].backend();
         let requests = FairQueue::with_weights(
             config.queue_capacity,
             config.tenant_queue_capacity,
@@ -553,6 +577,7 @@ impl Server {
             metrics: RwLock::new(HashMap::new()),
             deadlines: RwLock::new(deadlines),
             loops,
+            io_backend,
             config,
             open_connections: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
@@ -570,14 +595,16 @@ impl Server {
                 .name("rpg-reject".to_string())
                 .spawn(move || rejector_loop(&shared))?
         };
-        let drivers = (0..driver_count)
-            .map(|i| {
+        let drivers = pollers
+            .into_iter()
+            .enumerate()
+            .map(|(i, poller)| {
                 let shared = shared.clone();
                 std::thread::Builder::new()
                     .name(format!("rpg-loop-{i}"))
                     .spawn(move || {
                         let me = shared.loops[i].clone();
-                        event_loop(&shared, &me);
+                        event_loop(&shared, &me, poller);
                     })
             })
             .collect::<io::Result<Vec<_>>>()?;
@@ -618,6 +645,11 @@ impl Server {
     /// independent of how many connections are open.
     pub fn driver_threads(&self) -> usize {
         self.drivers.len()
+    }
+
+    /// The readiness backend the event loops resolved to at spawn.
+    pub fn io_backend(&self) -> IoBackend {
+        self.shared.io_backend
     }
 
     /// Pipeline requests currently queued for compute, across all tenants.
@@ -817,11 +849,18 @@ struct Connection {
     /// Requests parsed on this connection, against the per-connection
     /// budget.
     served: usize,
-    /// Bytes queued for the wire (interim `100 Continue`s and the current
-    /// response) with the write cursor — partial writes resume here on the
-    /// next `POLLOUT`.
+    /// Interim bytes (`100 Continue`) queued ahead of the response, with
+    /// their write cursor. Responses themselves never land here — they
+    /// stream through `emitter`.
     out: Vec<u8>,
     out_pos: usize,
+    /// The response currently being emitted in bounded chunks; a partial
+    /// write resumes mid-chunk on the next `POLLOUT`.
+    emitter: Option<ResponseEmitter>,
+    /// The interest mask currently installed in the poller (`None` = not
+    /// registered). Compared against [`Connection::interest`] so only an
+    /// actual change costs a syscall.
+    registered: Option<i16>,
     /// The keep-alive decision made when the current request was parsed;
     /// applied once its response fully drains.
     keep_alive_after: bool,
@@ -852,6 +891,8 @@ impl Connection {
             served: 0,
             out: Vec::new(),
             out_pos: 0,
+            emitter: None,
+            registered: None,
             keep_alive_after: false,
             drained: 0,
             abandoned: false,
@@ -860,8 +901,17 @@ impl Connection {
         }
     }
 
+    /// Whether interim bytes are still queued (the reading phases add
+    /// `POLLOUT` interest for these).
     fn out_pending(&self) -> bool {
         self.out_pos < self.out.len()
+    }
+
+    /// Unwritten bytes across the interim buffer and the staged response —
+    /// the `Writing` deadline refreshes only while this shrinks.
+    fn out_remaining(&self) -> usize {
+        (self.out.len() - self.out_pos)
+            + self.emitter.as_ref().map_or(0, ResponseEmitter::remaining)
     }
 
     /// The poll interest for the current phase; `None` keeps the
@@ -891,8 +941,11 @@ impl Connection {
         }
     }
 
-    /// Writes as much pending output as the socket accepts. `Ok(true)`
-    /// means the buffer fully drained.
+    /// Writes as much pending output as the socket accepts — interim
+    /// bytes first, then the staged response chunk by chunk. `Ok(true)`
+    /// means everything (including the emitter) fully drained. On
+    /// `WouldBlock` the emitter's cursor holds the resume point, so no
+    /// bytes are ever re-serialised.
     fn flush_out(&mut self) -> io::Result<bool> {
         while self.out_pos < self.out.len() {
             match (&self.stream).write(&self.out[self.out_pos..]) {
@@ -903,44 +956,56 @@ impl Connection {
                 Err(e) => return Err(e),
             }
         }
+        // Only interim `100 Continue`s pass through `out` now, so the
+        // buffer stays tiny; clearing keeps the capacity for reuse.
         self.out.clear();
         self.out_pos = 0;
-        // Connections are long-lived under the event loop: without this, an
-        // idle socket would pin the allocation of its largest past response
-        // (batch responses reach hundreds of KB) for its whole lifetime.
-        if self.out.capacity() > 64 * 1024 {
-            self.out = Vec::new();
+        while let Some(emitter) = self.emitter.as_mut() {
+            let Some(chunk) = emitter.next_chunk() else {
+                self.emitter = None;
+                break;
+            };
+            match (&self.stream).write(chunk) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => emitter.advance(n),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) => return Err(e),
+            }
         }
         Ok(true)
     }
 
-    /// Queues a response behind any pending interim bytes and enters
-    /// `Writing` (the caller's `advance` drives the flush).
+    /// Stages a response for emission behind any pending interim bytes and
+    /// enters `Writing` (the caller's `advance` drives the flush). The
+    /// response is consumed: its body becomes the emitter's, unserialised.
     fn start_response(
         &mut self,
-        response: &Response,
+        response: Response,
         keep_alive: bool,
         now: Instant,
         shared: &Shared,
     ) {
-        if self.out.is_empty() {
-            // The common case (no interim bytes pending): take the wire
-            // buffer as-is instead of copying it.
-            self.out = response.to_bytes(keep_alive);
-            self.out_pos = 0;
-        } else {
-            self.out.extend_from_slice(&response.to_bytes(keep_alive));
-        }
+        self.emitter = Some(ResponseEmitter::new(response, keep_alive));
         self.keep_alive_after = keep_alive;
         self.phase = Phase::Writing;
         self.deadline = Some(now + shared.config.read_timeout);
     }
 }
 
-fn event_loop(shared: &Shared, me: &Arc<LoopShared>) {
+/// The wake pipe's token in the poller — never a valid slot index (slots
+/// are bounded by `max_connections`).
+const WAKE_TOKEN: usize = usize::MAX;
+
+fn event_loop(shared: &Shared, me: &Arc<LoopShared>, mut poller: Box<dyn Poller>) {
     let mut slots: Vec<Option<Connection>> = Vec::new();
-    let mut pollfds: Vec<PollFd> = Vec::new();
-    let mut poll_tokens: Vec<usize> = Vec::new();
+    let mut events: Vec<Event> = Vec::new();
+    let poller = poller.as_mut();
+    // The one permanent registration; everything else enters and leaves
+    // the interest set with its connection.
+    poller
+        .register(me.wake.read_fd(), WAKE_TOKEN, POLLIN)
+        .expect("a fresh poller accepts the wake pipe");
     loop {
         let shutting_down = shared.shutdown.load(Ordering::SeqCst);
         // 1. Harvest the inbox: new connections and finished compute
@@ -958,7 +1023,7 @@ fn event_loop(shared: &Shared, me: &Arc<LoopShared>) {
                 shared.open_connections.fetch_sub(1, Ordering::SeqCst);
                 continue;
             }
-            register(&mut slots, stream, now, shared);
+            register(&mut slots, poller, stream, now, shared);
         }
         for (token, response) in replies {
             if let Some(conn) = slots.get_mut(token).and_then(Option::as_mut) {
@@ -968,16 +1033,18 @@ fn event_loop(shared: &Shared, me: &Arc<LoopShared>) {
                     // to go — drop it and free the slot (which stayed
                     // reserved so the reply could not be misdelivered to a
                     // successor connection).
-                    close_slot(&mut slots, token, shared);
+                    close_slot(&mut slots, poller, token, shared);
                     continue;
                 }
                 // Honour the keep-alive decision made at parse time, unless
                 // the server started draining in the meantime.
                 let keep_alive = conn.keep_alive_after && !shutting_down;
                 record_response(shared, response.status);
-                conn.start_response(&response, keep_alive, now, shared);
+                conn.start_response(response, keep_alive, now, shared);
                 if advance(conn, shared, me, token, now) == Flow::Close {
-                    close_slot(&mut slots, token, shared);
+                    close_slot(&mut slots, poller, token, shared);
+                } else {
+                    sync_interest(&mut slots, poller, token, shared);
                 }
             }
         }
@@ -991,26 +1058,19 @@ fn event_loop(shared: &Shared, me: &Arc<LoopShared>) {
                     Some(Phase::Idle | Phase::ReadingHead | Phase::ReadingBody)
                 );
                 if closable {
-                    close_slot(&mut slots, token, shared);
+                    close_slot(&mut slots, poller, token, shared);
                 }
             }
             if slots.iter().all(Option::is_none) {
                 return;
             }
         }
-        // 3. Build the poll set: the wake pipe plus every connection with
-        // an interest.
-        pollfds.clear();
-        poll_tokens.clear();
-        pollfds.push(PollFd::new(me.wake.read_fd(), POLLIN));
+        // 3. The earliest deadline still comes from a userspace scan — the
+        // cheap O(n) walk; what the incremental interest set removed is
+        // the O(n) *kernel* hand-off per tick.
         let mut next_deadline: Option<Instant> = None;
-        for (token, slot) in slots.iter().enumerate() {
-            let Some(conn) = slot.as_ref() else { continue };
-            if let Some(events) = conn.interest() {
-                pollfds.push(PollFd::new(conn.stream.as_raw_fd(), events));
-                poll_tokens.push(token);
-            }
-            if let Some(deadline) = conn.deadline {
+        for slot in &slots {
+            if let Some(deadline) = slot.as_ref().and_then(|conn| conn.deadline) {
                 next_deadline =
                     Some(next_deadline.map_or(deadline, |current| current.min(deadline)));
             }
@@ -1022,17 +1082,20 @@ fn event_loop(shared: &Shared, me: &Arc<LoopShared>) {
             .map(|deadline| deadline.saturating_duration_since(now))
             .unwrap_or(Duration::from_millis(500))
             .min(Duration::from_millis(500));
-        if sys::poll_fds(&mut pollfds, Some(timeout)).is_err() {
+        if poller.wait(&mut events, Some(timeout)).is_err() {
             // EINVAL et al. are programming errors; treated as a timeout
             // tick so the loop stays alive (deadlines still fire).
             std::thread::sleep(Duration::from_millis(1));
         }
-        if pollfds[0].has(POLLIN) {
-            me.wake.drain();
-        }
-        // 5. Dispatch readiness per connection.
+        // 5. Dispatch readiness by token.
         let now = Instant::now();
-        for (pollfd, &token) in pollfds[1..].iter().zip(&poll_tokens) {
+        for &event in &events {
+            if event.token == WAKE_TOKEN {
+                // Fully drained, so the next wake byte is a fresh edge.
+                me.wake.drain();
+                continue;
+            }
+            let token = event.token;
             let Some(conn) = slots.get_mut(token).and_then(Option::as_mut) else {
                 continue;
             };
@@ -1044,7 +1107,7 @@ fn event_loop(shared: &Shared, me: &Arc<LoopShared>) {
                 // distinguish a client that `shutdown(SHUT_WR)`'d and still
                 // awaits its response from one whose connection reset — the
                 // probe does: only a true reset cancels the queued work.
-                if pollfd.has(POLLHUP | POLLRDHUP | POLLERR | POLLNVAL) {
+                if event.has(POLLHUP | POLLRDHUP | POLLERR | POLLNVAL) {
                     match sys::peek_peer(conn.stream.as_raw_fd()) {
                         sys::PeerProbe::Reset => {
                             conn.abandoned = true;
@@ -1058,16 +1121,23 @@ fn event_loop(shared: &Shared, me: &Arc<LoopShared>) {
                         sys::PeerProbe::Pending => {}
                     }
                 }
+                // Either verdict drops the hangup watch (under poll the
+                // level-triggered FIN would re-report every tick).
+                sync_interest(&mut slots, poller, token, shared);
                 continue;
             }
-            if pollfd.has(POLLERR | POLLNVAL) {
-                close_slot(&mut slots, token, shared);
+            if event.has(POLLERR | POLLNVAL) {
+                close_slot(&mut slots, poller, token, shared);
                 continue;
             }
-            if pollfd.has(POLLIN | POLLOUT | POLLHUP)
-                && handle_ready(conn, pollfd, shared, me, token, now) == Flow::Close
-            {
-                close_slot(&mut slots, token, shared);
+            if event.has(POLLIN | POLLOUT | POLLHUP | POLLRDHUP) {
+                if handle_ready(conn, event, poller.edge_triggered(), shared, me, token, now)
+                    == Flow::Close
+                {
+                    close_slot(&mut slots, poller, token, shared);
+                } else {
+                    sync_interest(&mut slots, poller, token, shared);
+                }
             }
         }
         // 6. Enforce deadlines.
@@ -1081,13 +1151,59 @@ fn event_loop(shared: &Shared, me: &Arc<LoopShared>) {
             }
             let conn = slots[token].as_mut().expect("expired slot is live");
             if expire(conn, shared, me, token, now) == Flow::Close {
-                close_slot(&mut slots, token, shared);
+                close_slot(&mut slots, poller, token, shared);
+            } else {
+                sync_interest(&mut slots, poller, token, shared);
             }
         }
     }
 }
 
-fn register(slots: &mut Vec<Option<Connection>>, stream: TcpStream, now: Instant, shared: &Shared) {
+/// Reconciles a connection's installed interest with what its phase wants,
+/// spending a syscall only on an actual change. This is also the
+/// edge-triggered re-arm point: `modify` reports conditions that are
+/// *already* true on the next wait, so calling this after every state
+/// transition is what makes interest-on-transition safe under `EPOLLET` —
+/// a response finishing while the socket was writable all along, or
+/// pipelined bytes buffered behind a phase change, still surface.
+fn sync_interest(
+    slots: &mut [Option<Connection>],
+    poller: &mut dyn Poller,
+    token: usize,
+    shared: &Shared,
+) {
+    let Some(conn) = slots[token].as_mut() else {
+        return;
+    };
+    let desired = conn.interest();
+    if conn.registered == desired {
+        return;
+    }
+    let fd = conn.stream.as_raw_fd();
+    let outcome = match (conn.registered, desired) {
+        (None, Some(interest)) => poller.register(fd, token, interest),
+        (Some(_), None) => poller.deregister(fd, token),
+        (Some(_), Some(interest)) => poller.modify(fd, token, interest),
+        (None, None) => Ok(()),
+    };
+    match outcome {
+        Ok(()) => conn.registered = desired,
+        Err(_) => {
+            // An fd the kernel refuses to track cannot be served; the
+            // failed transition also voids whatever registration it had.
+            conn.registered = None;
+            close_slot(slots, poller, token, shared);
+        }
+    }
+}
+
+fn register(
+    slots: &mut Vec<Option<Connection>>,
+    poller: &mut dyn Poller,
+    stream: TcpStream,
+    now: Instant,
+    shared: &Shared,
+) {
     if stream.set_nonblocking(true).is_err() {
         shared.open_connections.fetch_sub(1, Ordering::SeqCst);
         return;
@@ -1096,14 +1212,34 @@ fn register(slots: &mut Vec<Option<Connection>>, stream: TcpStream, now: Instant
     // waiting for a delayed ACK on a persistent connection.
     let _ = stream.set_nodelay(true);
     let conn = Connection::new(stream, now, shared.config.idle_timeout);
-    match slots.iter_mut().find(|slot| slot.is_none()) {
-        Some(slot) => *slot = Some(conn),
-        None => slots.push(Some(conn)),
-    }
+    let token = match slots.iter().position(Option::is_none) {
+        Some(at) => {
+            slots[at] = Some(conn);
+            at
+        }
+        None => {
+            slots.push(Some(conn));
+            slots.len() - 1
+        }
+    };
+    // Enters the poll set once here; from now on only state transitions
+    // touch it.
+    sync_interest(slots, poller, token, shared);
 }
 
-fn close_slot(slots: &mut [Option<Connection>], token: usize, shared: &Shared) {
-    if slots[token].take().is_some() {
+fn close_slot(
+    slots: &mut [Option<Connection>],
+    poller: &mut dyn Poller,
+    token: usize,
+    shared: &Shared,
+) {
+    if let Some(conn) = slots[token].take() {
+        if conn.registered.is_some() {
+            // Deregister before the fd drops: the kernel removes epoll
+            // entries with the last close anyway, but the poll backend
+            // keys on the raw fd number, which the next accept may reuse.
+            let _ = poller.deregister(conn.stream.as_raw_fd(), token);
+        }
         shared.open_connections.fetch_sub(1, Ordering::SeqCst);
     }
 }
@@ -1112,63 +1248,88 @@ fn close_slot(slots: &mut [Option<Connection>], token: usize, shared: &Shared) {
 /// machine as far as the buffered bytes allow.
 fn handle_ready(
     conn: &mut Connection,
-    pollfd: &PollFd,
+    event: Event,
+    edge_triggered: bool,
     shared: &Shared,
     me: &Arc<LoopShared>,
     token: usize,
     now: Instant,
 ) -> Flow {
-    if pollfd.has(POLLIN | POLLHUP)
+    if event.has(POLLIN | POLLHUP | POLLRDHUP)
         && matches!(
             conn.phase,
             Phase::Idle | Phase::ReadingHead | Phase::ReadingBody
         )
     {
-        // Consume what the kernel has buffered in one tick instead of one
-        // 16 KiB chunk per poll round — a large body would otherwise pay a
-        // full poll-set rebuild per chunk. The iteration cap keeps one
-        // fire-hosing client from monopolising the loop; leftover bytes
-        // re-report as readable on the next (immediate) poll.
-        let mut peer_eof = false;
-        for _ in 0..16 {
-            match conn.parse.read_from(&mut &conn.stream) {
-                Ok(0) => {
-                    peer_eof = true;
-                    break;
+        loop {
+            // Consume what the kernel has buffered in bursts of 16 chunks,
+            // parsing between bursts so a huge body is bounded by the
+            // request limits, not by how fast the client can send. Under
+            // level-triggered poll one burst per tick suffices (leftovers
+            // re-report); an edge-triggered backend must drain to
+            // `WouldBlock` before waiting again, hence the outer loop.
+            let mut peer_eof = false;
+            let mut drained_dry = false;
+            for _ in 0..16 {
+                match conn.parse.read_from(&mut &conn.stream) {
+                    Ok(0) => {
+                        peer_eof = true;
+                        break;
+                    }
+                    Ok(_) => {}
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        drained_dry = true;
+                        break;
+                    }
+                    Err(_) => return Flow::Close,
                 }
-                Ok(_) => {}
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
-                Err(_) => return Flow::Close,
             }
-        }
-        if peer_eof {
-            // The peer's data and FIN may land in the same readiness
-            // batch (write-then-shutdown is a legal client pattern), so
-            // any fully buffered requests are served *first*; only what
-            // remains after parsing counts as truncation.
-            let flow = advance(conn, shared, me, token, now);
-            if flow == Flow::Close
-                || !matches!(
-                    conn.phase,
-                    Phase::Idle | Phase::ReadingHead | Phase::ReadingBody
-                )
-            {
-                // A response is in flight (or the connection is closing);
-                // the still-readable EOF is re-observed on a later tick.
-                return flow;
+            if peer_eof {
+                // The peer's data and FIN may land in the same readiness
+                // batch (write-then-shutdown is a legal client pattern), so
+                // any fully buffered requests are served *first*; only what
+                // remains after parsing counts as truncation.
+                let flow = advance(conn, shared, me, token, now);
+                if flow == Flow::Close
+                    || !matches!(
+                        conn.phase,
+                        Phase::Idle | Phase::ReadingHead | Phase::ReadingBody
+                    )
+                {
+                    // A response is in flight (or the connection is
+                    // closing); the EOF is re-observed once that phase's
+                    // transition re-arms readability.
+                    return flow;
+                }
+                if conn.phase == Phase::Idle && !conn.parse.has_buffered() {
+                    // Clean goodbye between requests.
+                    return Flow::Close;
+                }
+                // A partial request was truncated mid-stream: tell the peer
+                // why before closing — it may have half-closed and still be
+                // reading (matching the blocking parser's `Incomplete`).
+                let e = http::HttpError::Incomplete;
+                let response = Response::json(e.status(), error_body(&e.message()));
+                record_response(shared, response.status);
+                conn.start_response(response, false, now, shared);
+                break;
             }
-            if conn.phase == Phase::Idle && !conn.parse.has_buffered() {
-                // Clean goodbye between requests.
+            if advance(conn, shared, me, token, now) == Flow::Close {
                 return Flow::Close;
             }
-            // A partial request was truncated mid-stream: tell the peer
-            // why before closing — it may have half-closed and still be
-            // reading (matching the blocking parser's `Incomplete`).
-            let e = http::HttpError::Incomplete;
-            let response = Response::json(e.status(), error_body(&e.message()));
-            record_response(shared, response.status);
-            conn.start_response(&response, false, now, shared);
+            if !edge_triggered || drained_dry {
+                break;
+            }
+            if !matches!(
+                conn.phase,
+                Phase::Idle | Phase::ReadingHead | Phase::ReadingBody
+            ) {
+                // A response or compute is now in flight; whatever is still
+                // unread surfaces when the phase transition back to reading
+                // re-arms `POLLIN`.
+                break;
+            }
         }
     }
     advance(conn, shared, me, token, now)
@@ -1240,12 +1401,12 @@ fn advance(
                         // `400`) smuggling-proof.
                         let response = Response::json(e.status(), error_body(&e.message()));
                         record_response(shared, response.status);
-                        conn.start_response(&response, false, now, shared);
+                        conn.start_response(response, false, now, shared);
                     }
                 }
             }
             Phase::Writing => {
-                let progress_mark = conn.out_pos;
+                let progress_mark = conn.out_remaining();
                 match conn.flush_out() {
                     Err(_) => return Flow::Close,
                     Ok(false) => {
@@ -1254,7 +1415,7 @@ fn advance(
                         // reader of a large response gets a fresh window
                         // with every accepted chunk, while a fully stalled
                         // one is still cut off after `read_timeout`.
-                        if conn.out_pos > progress_mark {
+                        if conn.out_remaining() < progress_mark {
                             conn.deadline = Some(now + shared.config.read_timeout);
                         }
                         return Flow::Keep;
@@ -1321,7 +1482,7 @@ fn expire(
             let e = http::HttpError::Timeout;
             let response = Response::json(e.status(), error_body(&e.message()));
             record_response(shared, response.status);
-            conn.start_response(&response, false, now, shared);
+            conn.start_response(response, false, now, shared);
             advance(conn, shared, me, token, now)
         }
         // A peer too slow to take its response (or its FIN) forfeits the
@@ -1372,7 +1533,7 @@ fn handle_request(
     match routed {
         Routed::Inline(response) => {
             record_response(shared, response.status);
-            conn.start_response(&response, keep_alive, now, shared);
+            conn.start_response(response, keep_alive, now, shared);
             Flow::Keep
         }
         Routed::Queued => {
@@ -2024,7 +2185,7 @@ fn run_job(job: Job, shared: &Shared) {
             // thread down with it — the item gets an error slot and the
             // worker lives on.
             let value = catch_unwind(AssertUnwindSafe(|| {
-                run_resolved(&corpus, &resolved, shared)
+                run_resolved(&corpus, &resolved, shared, deadline, &metrics)
             }))
             .unwrap_or_else(|_| {
                 Err(ApiError {
@@ -2058,20 +2219,29 @@ fn run_job(job: Job, shared: &Shared) {
                 );
                 return;
             }
-            let response = catch_unwind(AssertUnwindSafe(|| execute(&work, shared)))
-                .unwrap_or_else(|_| Response::json(500, error_body("internal error")));
+            let response = catch_unwind(AssertUnwindSafe(|| {
+                execute(&work, shared, deadline, &metrics)
+            }))
+            .unwrap_or_else(|_| Response::json(500, error_body("internal error")));
             reply.send(response);
             metrics.latency.record(admitted_at.elapsed());
         }
     }
 }
 
-fn execute(work: &Work, shared: &Shared) -> Response {
+fn execute(
+    work: &Work,
+    shared: &Shared,
+    deadline: Option<Instant>,
+    metrics: &TenantMetrics,
+) -> Response {
     match work {
-        Work::Generate(corpus, resolved) => match run_resolved(corpus, resolved, shared) {
-            Ok(value) => json_200(&value),
-            Err(e) => Response::json(e.status, e.body()),
-        },
+        Work::Generate(corpus, resolved) => {
+            match run_resolved(corpus, resolved, shared, deadline, metrics) {
+                Ok(value) => json_200(&value),
+                Err(e) => Response::json(e.status, e.body()),
+            }
+        }
         Work::BatchItem { .. } => unreachable!("batch items are executed by compute_loop"),
         Work::Refresh(tenant) => match shared.registry.refresh_in_place(tenant) {
             Ok(epoch) => json_200(&Value::Object(vec![
@@ -2205,19 +2375,36 @@ fn registry_error(e: RegistryError) -> ApiError {
             status: 500,
             message: format!("pipeline failure: {e}"),
         },
+        // Same shape as the pre-compute shed: overload-class, retryable.
+        RegistryError::Request(RepagerError::DeadlineExceeded) => ApiError {
+            status: 503,
+            message: "deadline exceeded mid-compute, retry shortly".to_string(),
+        },
     }
 }
 
-/// Runs an already-validated request against its corpus.
+/// Runs an already-validated request against its corpus, shedding its
+/// remaining pipeline stages if `deadline` passes mid-compute.
 fn run_resolved(
     corpus: &str,
     resolved: &ResolvedRequest,
     shared: &Shared,
+    deadline: Option<Instant>,
+    metrics: &TenantMetrics,
 ) -> Result<Value, ApiError> {
     let served = shared
         .registry
-        .generate(corpus, &resolved.as_path_request())
-        .map_err(registry_error)?;
+        .generate_with_deadline(corpus, &resolved.as_path_request(), deadline)
+        .map_err(|e| {
+            if matches!(e, RegistryError::Request(RepagerError::DeadlineExceeded)) {
+                // A mid-compute shed counts into the tenant's `shed` total
+                // (kept comparable with pre-compute sheds) plus its own
+                // distinguishing stat.
+                metrics.shed.fetch_add(1, Ordering::Relaxed);
+                metrics.shed_mid_compute.fetch_add(1, Ordering::Relaxed);
+            }
+            registry_error(e)
+        })?;
     if !served.cached {
         shared
             .counters
@@ -2412,6 +2599,10 @@ fn handle_stats(shared: &Shared) -> Response {
                     Value::Number(shared.loops.len() as f64),
                 ),
                 (
+                    "io_backend".to_string(),
+                    Value::String(shared.io_backend.as_str().to_string()),
+                ),
+                (
                     "max".to_string(),
                     Value::Number(shared.config.max_connections as f64),
                 ),
@@ -2482,6 +2673,10 @@ fn tenants_value(shared: &Shared) -> Value {
                     (
                         "shed".to_string(),
                         Value::Number(tenant.shed.load(Ordering::Relaxed) as f64),
+                    ),
+                    (
+                        "shed_mid_compute".to_string(),
+                        Value::Number(tenant.shed_mid_compute.load(Ordering::Relaxed) as f64),
                     ),
                     (
                         "cancelled".to_string(),

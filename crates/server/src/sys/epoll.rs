@@ -1,0 +1,256 @@
+//! The Linux edge-triggered [`Poller`] backend over `epoll(7)`.
+//!
+//! The interest set lives in the kernel: registration is one
+//! `epoll_ctl(2)` at accept time, interest changes are one `epoll_ctl` per
+//! connection state transition, and a wait returns only the fds that
+//! changed state — O(ready) instead of `poll(2)`'s O(registered) rebuild.
+//! All registrations are `EPOLLET` (edge-triggered): a condition is
+//! reported when it *becomes* true, so the driver's ready handlers drain
+//! to `WouldBlock` before waiting again. `EPOLL_CTL_MOD` re-arms the fd —
+//! conditions already true at modify time are reported by the next wait —
+//! which is what makes interest-on-state-transition safe: a response
+//! finishing while the socket was already writable still surfaces.
+//!
+//! Same FFI discipline as the rest of `sys`: the three syscalls are
+//! declared directly via `extern "C"`, no libc crate, and every unsafe
+//! block is a plain call over caller-owned buffers.
+#![allow(unsafe_code)]
+
+use std::ffi::c_int;
+use std::io;
+use std::os::unix::io::RawFd;
+use std::time::Duration;
+
+use super::{timeout_ms, Event, IoBackend, Poller, POLLERR, POLLHUP, POLLIN, POLLOUT, POLLRDHUP};
+
+const EPOLL_CLOEXEC: c_int = 0o2000000;
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+const EPOLL_CTL_MOD: c_int = 3;
+
+/// `EPOLLIN`/`EPOLLOUT`/`EPOLLERR`/`EPOLLHUP`/`EPOLLRDHUP` share their
+/// values with the `POLL*` constants, so interest masks translate by
+/// widening; `EPOLLET` is the one epoll-only bit used here.
+const EPOLLET: u32 = 1 << 31;
+
+/// One entry of `epoll_wait`'s output — layout-compatible with
+/// `struct epoll_event`, which x86 kernels declare packed (64-bit `data`
+/// at offset 4).
+#[cfg_attr(any(target_arch = "x86", target_arch = "x86_64"), repr(C, packed))]
+#[cfg_attr(not(any(target_arch = "x86", target_arch = "x86_64")), repr(C))]
+#[derive(Debug, Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+    fn close(fd: c_int) -> c_int;
+}
+
+/// The largest batch one `epoll_wait` call returns. Excess ready fds are
+/// simply reported by the next wait — the kernel round-robins the ready
+/// list, so nothing starves.
+const EVENT_BATCH: usize = 1024;
+
+/// Edge-triggered `epoll(7)` readiness with the interest set in the kernel.
+#[derive(Debug)]
+pub struct EpollPoller {
+    epfd: RawFd,
+    /// Kernel-filled output buffer, allocated once.
+    buf: Vec<EpollEvent>,
+}
+
+impl EpollPoller {
+    /// Creates the epoll instance (close-on-exec).
+    pub fn new() -> io::Result<EpollPoller> {
+        // SAFETY: plain syscall, no pointers.
+        let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if epfd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(EpollPoller {
+            epfd,
+            buf: vec![EpollEvent { events: 0, data: 0 }; EVENT_BATCH],
+        })
+    }
+
+    fn ctl(&self, op: c_int, fd: RawFd, token: usize, interest: i16) -> io::Result<()> {
+        let mut event = EpollEvent {
+            events: (interest as u16 as u32) | EPOLLET,
+            data: token as u64,
+        };
+        // SAFETY: `event` is a live stack value of the kernel's expected
+        // layout; for EPOLL_CTL_DEL the kernel ignores it.
+        if unsafe { epoll_ctl(self.epfd, op, fd, &mut event) } < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+}
+
+impl Poller for EpollPoller {
+    fn backend(&self) -> IoBackend {
+        IoBackend::Epoll
+    }
+
+    fn edge_triggered(&self) -> bool {
+        true
+    }
+
+    fn register(&mut self, fd: RawFd, token: usize, interest: i16) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, token, interest)
+    }
+
+    fn modify(&mut self, fd: RawFd, token: usize, interest: i16) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, token, interest)
+    }
+
+    fn deregister(&mut self, fd: RawFd, token: usize) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, token, 0)
+    }
+
+    fn wait(&mut self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+        events.clear();
+        // SAFETY: `buf` is a live, exclusively borrowed array of
+        // kernel-layout entries; the kernel writes at most `maxevents` of
+        // them.
+        let rc = unsafe {
+            epoll_wait(
+                self.epfd,
+                self.buf.as_mut_ptr(),
+                self.buf.len() as c_int,
+                timeout_ms(timeout),
+            )
+        };
+        if rc < 0 {
+            let e = io::Error::last_os_error();
+            if e.kind() == io::ErrorKind::Interrupted {
+                return Ok(0);
+            }
+            return Err(e);
+        }
+        for entry in &self.buf[..rc as usize] {
+            // Copy out of the (possibly packed) struct before use.
+            let (bits, data) = (entry.events, entry.data);
+            let revents =
+                (bits & (POLLIN | POLLOUT | POLLERR | POLLHUP | POLLRDHUP) as u16 as u32) as i16;
+            events.push(Event {
+                token: data as usize,
+                revents,
+            });
+        }
+        Ok(events.len())
+    }
+}
+
+impl Drop for EpollPoller {
+    fn drop(&mut self) {
+        // SAFETY: closing the epoll fd this struct owns exclusively.
+        unsafe {
+            close(self.epfd);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::WakePipe;
+    use super::*;
+
+    /// The defining edge-triggered behaviour: readiness that was already
+    /// reported is not re-reported until a fresh edge (new bytes) arrives —
+    /// whereas the level-triggered `poll` backend would keep returning it.
+    #[test]
+    fn edge_triggering_reports_each_readability_edge_once() {
+        let mut poller = EpollPoller::new().unwrap();
+        assert!(poller.edge_triggered());
+        let wake = WakePipe::new().unwrap();
+        poller.register(wake.read_fd(), 1, POLLIN).unwrap();
+        let mut events = Vec::new();
+
+        wake.wake();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(1000)))
+            .unwrap();
+        assert_eq!(n, 1, "the first edge is reported");
+
+        // The byte is still unread, but no new edge has occurred.
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(30)))
+            .unwrap();
+        assert_eq!(n, 0, "unread data is not re-reported under EPOLLET");
+
+        // A new write is a new edge even with old bytes still buffered.
+        wake.wake();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(1000)))
+            .unwrap();
+        assert_eq!(n, 1, "a fresh write re-arms the report");
+    }
+
+    /// `EPOLL_CTL_MOD` must behave as a re-arm: a condition that is
+    /// currently true gets reported by the next wait even though its edge
+    /// predates the modify. The driver relies on this when a connection
+    /// transitions into `Writing` while the socket was writable all along.
+    #[test]
+    fn modify_rearms_an_already_true_condition() {
+        let mut poller = EpollPoller::new().unwrap();
+        let wake = WakePipe::new().unwrap();
+        poller.register(wake.read_fd(), 1, POLLIN).unwrap();
+        let mut events = Vec::new();
+
+        wake.wake();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(1000)))
+            .unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty(), "edge consumed");
+
+        poller.modify(wake.read_fd(), 1, POLLIN).unwrap();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(1000)))
+            .unwrap();
+        assert_eq!(n, 1, "MOD re-arms pending readiness");
+        assert!(events[0].has(POLLIN));
+    }
+
+    /// `ComputeInFlight` connections watch only `POLLRDHUP`: a peer that
+    /// goes away mid-compute must surface without `POLLIN`/`POLLOUT`
+    /// interest, and a healthy quiet peer must not.
+    #[test]
+    fn peer_close_surfaces_under_rdhup_only_interest() {
+        use std::net::{TcpListener, TcpStream};
+        use std::os::unix::io::AsRawFd;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let mut poller = EpollPoller::new().unwrap();
+        poller.register(server.as_raw_fd(), 9, POLLRDHUP).unwrap();
+        let mut events = Vec::new();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(30)))
+            .unwrap();
+        assert_eq!(n, 0, "a healthy quiet peer reports nothing");
+
+        // A graceful close (FIN) raises RDHUP; an abort would add
+        // ERR/HUP, which epoll reports without them being requested.
+        drop(client);
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(1000)))
+            .unwrap();
+        assert_eq!(n, 1, "peer close must surface");
+        assert!(
+            events[0].has(POLLHUP | POLLRDHUP | POLLERR),
+            "hangup-class condition expected, got {:#x}",
+            events[0].revents
+        );
+    }
+}

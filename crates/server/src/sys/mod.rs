@@ -1,20 +1,26 @@
-//! Thin, std-only wrappers over the two OS primitives the event-driven
-//! connection layer needs: `poll(2)` readiness multiplexing and a self-pipe
-//! wake channel.
+//! Thin, std-only wrappers over the OS primitives the event-driven
+//! connection layer needs: readiness multiplexing (behind the [`Poller`]
+//! trait, with `poll(2)` and edge-triggered `epoll(7)` backends) and a
+//! self-pipe wake channel.
 //!
 //! The workspace builds with no external crates, so instead of `libc` or
 //! `mio` the handful of syscalls used here are declared directly via
-//! `extern "C"` against the platform's C library — this module is the one
-//! place in the crate allowed to contain `unsafe`, and every unsafe block
-//! is a plain FFI call with arguments derived from slices and fixed-size
-//! arrays owned by the caller.
+//! `extern "C"` against the platform's C library — this module tree is the
+//! one place in the crate allowed to contain `unsafe`, and every unsafe
+//! block is a plain FFI call with arguments derived from slices and
+//! fixed-size arrays owned by the caller.
 //!
-//! [`poll_fds`] blocks one event-loop thread on an arbitrary set of file
-//! descriptors with a millisecond deadline; [`WakePipe`] is the classic
-//! self-pipe trick — any thread writes a byte to wake the loop out of
-//! `poll`, and the loop drains the pipe on wake so the next write wakes it
-//! again. Both ends are nonblocking: a full pipe means a wake is already
-//! pending, which is exactly the semantic we want.
+//! [`Poller`] abstracts the readiness set: a driver registers each
+//! connection once under a stable token, modifies its interest only on
+//! state transitions, and blocks in [`Poller::wait`] for a batch of
+//! [`Event`]s. [`PollPoller`](poll::PollPoller) keeps the portable
+//! rebuild-the-array-per-wait semantics; [`EpollPoller`](epoll::EpollPoller)
+//! (Linux) holds the interest set in the kernel so a wait costs O(ready),
+//! not O(registered). [`WakePipe`] is the classic self-pipe trick — any
+//! thread writes a byte to wake the loop out of its wait, and the loop
+//! drains the pipe on wake so the next write wakes it again. Both ends are
+//! nonblocking: a full pipe means a wake is already pending, which is
+//! exactly the semantic we want.
 #![allow(unsafe_code)]
 
 use std::ffi::{c_int, c_void};
@@ -22,6 +28,16 @@ use std::io;
 use std::os::unix::io::RawFd;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
+
+mod poll;
+
+#[cfg(target_os = "linux")]
+mod epoll;
+
+pub use poll::PollPoller;
+
+#[cfg(target_os = "linux")]
+pub use epoll::EpollPoller;
 
 /// One entry of a `poll(2)` set — layout-compatible with `struct pollfd`.
 #[repr(C)]
@@ -48,6 +64,7 @@ impl PollFd {
     }
 
     /// Whether any of `mask`'s bits came back in `revents`.
+    #[cfg(test)]
     pub fn has(&self, mask: i16) -> bool {
         self.revents & mask != 0
     }
@@ -111,6 +128,17 @@ extern "C" {
     fn raise(signum: c_int) -> c_int;
 }
 
+/// Converts an optional wait budget to the millisecond form `poll(2)` and
+/// `epoll_wait(2)` share: `None` → block forever (`-1`), sub-millisecond
+/// durations round *up* so a deadline a few microseconds away cannot
+/// degenerate into a zero-timeout busy spin.
+fn timeout_ms(timeout: Option<Duration>) -> c_int {
+    match timeout {
+        None => -1,
+        Some(d) => d.as_micros().div_ceil(1000).min(c_int::MAX as u128) as c_int,
+    }
+}
+
 /// Blocks until at least one descriptor in `fds` is ready, the timeout
 /// elapses (`Ok(0)`), or a signal interrupts the wait (also `Ok(0)` — the
 /// caller's loop re-derives its deadline every tick, so a spurious early
@@ -119,13 +147,9 @@ extern "C" {
 /// Sub-millisecond timeouts round *up*, so a deadline a few microseconds
 /// away cannot degenerate into a zero-timeout busy spin.
 pub fn poll_fds(fds: &mut [PollFd], timeout: Option<Duration>) -> io::Result<usize> {
-    let timeout_ms: c_int = match timeout {
-        None => -1,
-        Some(d) => d.as_micros().div_ceil(1000).min(c_int::MAX as u128) as c_int,
-    };
     // SAFETY: `fds` is a live, exclusively borrowed slice of `#[repr(C)]`
     // pollfd-compatible entries; the kernel writes only within its bounds.
-    let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as NfdsT, timeout_ms) };
+    let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as NfdsT, timeout_ms(timeout)) };
     if rc < 0 {
         let e = io::Error::last_os_error();
         if e.kind() == io::ErrorKind::Interrupted {
@@ -134,6 +158,151 @@ pub fn poll_fds(fds: &mut [PollFd], timeout: Option<Duration>) -> io::Result<usi
         return Err(e);
     }
     Ok(rc as usize)
+}
+
+/// Which readiness syscall a [`Poller`] implementation rides on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoBackend {
+    /// Portable `poll(2)`: the interest set is rebuilt and handed to the
+    /// kernel on every wait — O(registered) per tick.
+    Poll,
+    /// Linux edge-triggered `epoll(7)`: the interest set lives in the
+    /// kernel — O(changes) to maintain, O(ready) per wait.
+    Epoll,
+}
+
+impl IoBackend {
+    /// The lower-case name used by `--io-backend` and `/v1/stats`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            IoBackend::Poll => "poll",
+            IoBackend::Epoll => "epoll",
+        }
+    }
+}
+
+impl std::fmt::Display for IoBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The operator-facing backend selection: a concrete backend, or `Auto`
+/// (the default), which resolves to `epoll` where it exists and `poll`
+/// elsewhere.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum IoBackendChoice {
+    /// Pick the best backend the platform offers (`epoll` on Linux,
+    /// `poll` elsewhere).
+    #[default]
+    Auto,
+    /// Force the portable `poll(2)` backend.
+    Poll,
+    /// Force the Linux `epoll(7)` backend (an error off Linux).
+    Epoll,
+}
+
+impl IoBackendChoice {
+    /// Parses the `auto|poll|epoll` spelling of `--io-backend`.
+    pub fn parse(s: &str) -> Result<IoBackendChoice, String> {
+        match s {
+            "auto" => Ok(IoBackendChoice::Auto),
+            "poll" => Ok(IoBackendChoice::Poll),
+            "epoll" => Ok(IoBackendChoice::Epoll),
+            other => Err(format!("expected auto|poll|epoll, got '{other}'")),
+        }
+    }
+
+    /// The concrete backend this choice resolves to on this platform.
+    /// `Epoll` resolves off Linux too (so the name can round-trip through
+    /// configs); [`new_poller`] is where an unbuildable choice errors.
+    pub fn resolve(self) -> IoBackend {
+        match self {
+            IoBackendChoice::Poll => IoBackend::Poll,
+            IoBackendChoice::Epoll => IoBackend::Epoll,
+            #[cfg(target_os = "linux")]
+            IoBackendChoice::Auto => IoBackend::Epoll,
+            #[cfg(not(target_os = "linux"))]
+            IoBackendChoice::Auto => IoBackend::Poll,
+        }
+    }
+}
+
+/// One readiness notification from [`Poller::wait`]: the token the fd was
+/// registered under plus the `POLL*`-encoded conditions that are true.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The caller-chosen registration token (a driver's slot index).
+    pub token: usize,
+    /// Ready conditions, encoded with the [`POLLIN`]/[`POLLOUT`]/
+    /// [`POLLERR`]/[`POLLHUP`]/[`POLLRDHUP`] bits regardless of backend.
+    pub revents: i16,
+}
+
+impl Event {
+    /// Whether any of `mask`'s bits are set.
+    pub fn has(&self, mask: i16) -> bool {
+        self.revents & mask != 0
+    }
+}
+
+/// A pluggable readiness set: the event-loop driver registers each
+/// connection once under a stable token, adjusts interest only when the
+/// connection's state machine changes what it is waiting for, and blocks in
+/// [`Poller::wait`] for whatever became ready.
+///
+/// Contract shared by both backends:
+///
+/// * `interest` is a `POLL*` mask of [`POLLIN`] | [`POLLOUT`] |
+///   [`POLLRDHUP`]; error and hangup conditions are always reported without
+///   being requested. An interest of `0` keeps the fd registered for those
+///   implicit conditions only.
+/// * Tokens are caller-owned and must be unique among live registrations;
+///   they come back verbatim in [`Event::token`].
+/// * [`Poller::edge_triggered`] distinguishes the delivery contract: an
+///   edge-triggered backend reports a condition when it *becomes* true, so
+///   ready handlers must drain to `WouldBlock` before waiting again; a
+///   level-triggered backend re-reports until the condition clears.
+///   [`Poller::modify`] re-arms: conditions true at modify time are
+///   reported by the next wait on either backend.
+pub trait Poller: Send {
+    /// The syscall family behind this poller.
+    fn backend(&self) -> IoBackend;
+
+    /// Whether readiness is reported edge-triggered (see trait docs).
+    fn edge_triggered(&self) -> bool;
+
+    /// Adds `fd` to the set under `token`, watching for `interest`.
+    fn register(&mut self, fd: RawFd, token: usize, interest: i16) -> io::Result<()>;
+
+    /// Replaces the interest of an already-registered `fd`, re-arming it:
+    /// conditions already true are reported by the next [`Poller::wait`].
+    fn modify(&mut self, fd: RawFd, token: usize, interest: i16) -> io::Result<()>;
+
+    /// Removes `fd` from the set. Must be called before the fd is closed
+    /// (the `poll` backend would otherwise report `POLLNVAL`; `epoll`
+    /// auto-forgets closed fds but the token bookkeeping must not drift).
+    fn deregister(&mut self, fd: RawFd, token: usize) -> io::Result<()>;
+
+    /// Clears `events` and fills it with what is ready, blocking at most
+    /// `timeout` (`None` = forever). Returns the number of events.
+    /// A signal interruption or timeout is `Ok(0)`.
+    fn wait(&mut self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize>;
+}
+
+/// Builds the poller for `choice`, resolving `Auto` to the platform's best
+/// backend. Forcing `epoll` off Linux is an error.
+pub fn new_poller(choice: IoBackendChoice) -> io::Result<Box<dyn Poller>> {
+    match choice.resolve() {
+        IoBackend::Poll => Ok(Box::new(PollPoller::new())),
+        #[cfg(target_os = "linux")]
+        IoBackend::Epoll => Ok(Box::new(EpollPoller::new()?)),
+        #[cfg(not(target_os = "linux"))]
+        IoBackend::Epoll => Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "the epoll backend requires Linux; use --io-backend auto or poll",
+        )),
+    }
 }
 
 /// `recv(2)`'s "look, don't consume" flag — same value on Linux and the
@@ -224,12 +393,16 @@ fn set_nonblocking(fd: RawFd) -> io::Result<()> {
     Ok(())
 }
 
-/// A nonblocking self-pipe: the read end sits in an event loop's `poll`
-/// set, and [`WakePipe::wake`] from any thread makes that `poll` return.
+/// A nonblocking self-pipe: the read end sits in an event loop's readiness
+/// set, and [`WakePipe::wake`] from any thread makes the loop's wait
+/// return.
 ///
 /// Wakes coalesce by design — once the pipe holds a byte, further wakes are
 /// free no-ops (`EAGAIN` on a full pipe still means "a wake is pending"),
-/// and the loop's [`WakePipe::drain`] resets it for the next round.
+/// and the loop's [`WakePipe::drain`] resets it for the next round. Because
+/// drain always empties the pipe completely, the next successful wake write
+/// is a fresh readability edge — safe under both level- and edge-triggered
+/// delivery.
 #[derive(Debug)]
 pub struct WakePipe {
     read_fd: RawFd,
@@ -254,12 +427,12 @@ impl WakePipe {
         Ok(wake)
     }
 
-    /// The descriptor to register for [`POLLIN`] in a poll set.
+    /// The descriptor to register for [`POLLIN`] in a readiness set.
     pub fn read_fd(&self) -> RawFd {
         self.read_fd
     }
 
-    /// Makes the owning loop's `poll` return. Never blocks: a full pipe
+    /// Makes the owning loop's wait return. Never blocks: a full pipe
     /// means a wake is already pending and the write is dropped.
     pub fn wake(&self) {
         let byte = 1u8;
@@ -268,7 +441,7 @@ impl WakePipe {
     }
 
     /// Consumes all pending wake bytes so the next [`WakePipe::wake`]
-    /// triggers `poll` again.
+    /// triggers the wait again.
     pub fn drain(&self) {
         let mut buf = [0u8; 64];
         loop {
@@ -401,5 +574,102 @@ mod tests {
             1
         );
         wake.drain();
+    }
+
+    #[test]
+    fn auto_choice_resolves_to_the_platform_backend() {
+        let resolved = IoBackendChoice::Auto.resolve();
+        if cfg!(target_os = "linux") {
+            assert_eq!(resolved, IoBackend::Epoll);
+        } else {
+            assert_eq!(resolved, IoBackend::Poll);
+        }
+        assert_eq!(IoBackendChoice::parse("poll"), Ok(IoBackendChoice::Poll));
+        assert_eq!(IoBackendChoice::parse("epoll"), Ok(IoBackendChoice::Epoll));
+        assert_eq!(IoBackendChoice::parse("auto"), Ok(IoBackendChoice::Auto));
+        assert!(IoBackendChoice::parse("kqueue").is_err());
+    }
+
+    /// Backends this platform can build, for the trait-level parity tests.
+    fn available_pollers() -> Vec<Box<dyn Poller>> {
+        let mut pollers: Vec<Box<dyn Poller>> = vec![new_poller(IoBackendChoice::Poll).unwrap()];
+        if cfg!(target_os = "linux") {
+            pollers.push(new_poller(IoBackendChoice::Epoll).unwrap());
+        }
+        pollers
+    }
+
+    #[test]
+    fn every_backend_reports_a_wake_under_its_token() {
+        for mut poller in available_pollers() {
+            let backend = poller.backend();
+            let wake = WakePipe::new().unwrap();
+            poller.register(wake.read_fd(), 7, POLLIN).unwrap();
+            let mut events = Vec::new();
+            // Quiet pipe: the wait times out empty.
+            let n = poller
+                .wait(&mut events, Some(Duration::from_millis(10)))
+                .unwrap();
+            assert_eq!(n, 0, "{backend}: nothing is ready yet");
+            wake.wake();
+            let n = poller
+                .wait(&mut events, Some(Duration::from_millis(1000)))
+                .unwrap();
+            assert_eq!(n, 1, "{backend}: the wake must be reported");
+            assert_eq!(events[0].token, 7, "{backend}: token round-trips");
+            assert!(events[0].has(POLLIN), "{backend}: readable");
+        }
+    }
+
+    #[test]
+    fn every_backend_masks_interest_and_rearms_on_modify() {
+        for mut poller in available_pollers() {
+            let backend = poller.backend();
+            let wake = WakePipe::new().unwrap();
+            // Registered with empty interest: a pending byte is invisible.
+            poller.register(wake.read_fd(), 3, 0).unwrap();
+            wake.wake();
+            let mut events = Vec::new();
+            let n = poller
+                .wait(&mut events, Some(Duration::from_millis(20)))
+                .unwrap();
+            assert_eq!(n, 0, "{backend}: interest 0 must mask readability");
+            // Modify re-arms: the already-true readability is reported.
+            poller.modify(wake.read_fd(), 3, POLLIN).unwrap();
+            let n = poller
+                .wait(&mut events, Some(Duration::from_millis(1000)))
+                .unwrap();
+            assert_eq!(n, 1, "{backend}: modify must surface pending readiness");
+            assert!(events[0].has(POLLIN), "{backend}");
+            // Deregister: a fresh wake is no longer observed.
+            wake.drain();
+            poller.deregister(wake.read_fd(), 3).unwrap();
+            wake.wake();
+            let n = poller
+                .wait(&mut events, Some(Duration::from_millis(20)))
+                .unwrap();
+            assert_eq!(n, 0, "{backend}: deregistered fds are silent");
+        }
+    }
+
+    #[test]
+    fn distinct_tokens_multiplex_one_wait() {
+        for mut poller in available_pollers() {
+            let backend = poller.backend();
+            let first = WakePipe::new().unwrap();
+            let second = WakePipe::new().unwrap();
+            poller.register(first.read_fd(), 10, POLLIN).unwrap();
+            poller.register(second.read_fd(), 20, POLLIN).unwrap();
+            first.wake();
+            second.wake();
+            let mut events = Vec::new();
+            let n = poller
+                .wait(&mut events, Some(Duration::from_millis(1000)))
+                .unwrap();
+            assert_eq!(n, 2, "{backend}: both pipes are ready");
+            let mut tokens: Vec<usize> = events.iter().map(|e| e.token).collect();
+            tokens.sort_unstable();
+            assert_eq!(tokens, vec![10, 20], "{backend}");
+        }
     }
 }

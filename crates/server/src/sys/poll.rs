@@ -1,0 +1,107 @@
+//! The portable [`Poller`] backend over `poll(2)`.
+//!
+//! Interest lives in a userspace table and is handed to the kernel afresh
+//! on every [`Poller::wait`] — the rebuild costs O(registered) per tick,
+//! which is exactly the cost profile the `epoll` backend exists to remove,
+//! but it works on every Unix and delivers level-triggered readiness,
+//! which is the easier contract to reason about. The event-loop driver
+//! treats both backends identically apart from the edge-triggered drain
+//! rule, so this implementation is also the semantic reference the `epoll`
+//! parity tests in `sys::tests` compare against.
+
+use std::collections::HashMap;
+use std::io;
+use std::os::unix::io::RawFd;
+use std::time::Duration;
+
+use super::{poll_fds, Event, IoBackend, PollFd, Poller};
+
+/// Level-triggered `poll(2)` readiness with a userspace interest table.
+#[derive(Debug, Default)]
+pub struct PollPoller {
+    /// Live registrations in insertion order: `(fd, token, interest)`.
+    entries: Vec<(RawFd, usize, i16)>,
+    /// token → index into `entries`, maintained across `swap_remove`.
+    index: HashMap<usize, usize>,
+    /// The `pollfd` array rebuilt for each wait, kept allocated across
+    /// ticks.
+    fds: Vec<PollFd>,
+}
+
+impl PollPoller {
+    /// An empty poll set.
+    pub fn new() -> PollPoller {
+        PollPoller::default()
+    }
+
+    fn position(&self, token: usize) -> io::Result<usize> {
+        self.index.get(&token).copied().ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("token {token} is not registered"),
+            )
+        })
+    }
+}
+
+impl Poller for PollPoller {
+    fn backend(&self) -> IoBackend {
+        IoBackend::Poll
+    }
+
+    fn edge_triggered(&self) -> bool {
+        false
+    }
+
+    fn register(&mut self, fd: RawFd, token: usize, interest: i16) -> io::Result<()> {
+        if self.index.contains_key(&token) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("token {token} is already registered"),
+            ));
+        }
+        self.index.insert(token, self.entries.len());
+        self.entries.push((fd, token, interest));
+        Ok(())
+    }
+
+    fn modify(&mut self, fd: RawFd, token: usize, interest: i16) -> io::Result<()> {
+        let at = self.position(token)?;
+        self.entries[at] = (fd, token, interest);
+        Ok(())
+    }
+
+    fn deregister(&mut self, _fd: RawFd, token: usize) -> io::Result<()> {
+        let at = self.position(token)?;
+        self.index.remove(&token);
+        self.entries.swap_remove(at);
+        if let Some(&(_, moved_token, _)) = self.entries.get(at) {
+            self.index.insert(moved_token, at);
+        }
+        Ok(())
+    }
+
+    fn wait(&mut self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+        events.clear();
+        self.fds.clear();
+        self.fds.extend(
+            self.entries
+                .iter()
+                .map(|&(fd, _, interest)| PollFd::new(fd, interest)),
+        );
+        let ready = poll_fds(&mut self.fds, timeout)?;
+        if ready > 0 {
+            events.extend(
+                self.fds
+                    .iter()
+                    .zip(self.entries.iter())
+                    .filter(|(slot, _)| slot.revents != 0)
+                    .map(|(slot, &(_, token, _))| Event {
+                        token,
+                        revents: slot.revents,
+                    }),
+            );
+        }
+        Ok(events.len())
+    }
+}

@@ -536,6 +536,20 @@ impl CorpusRegistry {
         corpus: &str,
         request: &PathRequest<'_>,
     ) -> Result<Served, RegistryError> {
+        self.generate_with_deadline(corpus, request, None)
+    }
+
+    /// As [`CorpusRegistry::generate`], with a cooperative wall-clock
+    /// deadline the pipeline checks *between stages*: once it passes, the
+    /// remaining stages are shed and the request fails with
+    /// [`RepagerError::DeadlineExceeded`]. A cache hit is free and is
+    /// served even past the deadline.
+    pub fn generate_with_deadline(
+        &self,
+        corpus: &str,
+        request: &PathRequest<'_>,
+        deadline: Option<std::time::Instant>,
+    ) -> Result<Served, RegistryError> {
         let (artifacts, epoch) = {
             let tenants = self.tenants.read().unwrap();
             let tenant = tenants
@@ -555,13 +569,19 @@ impl CorpusRegistry {
             });
         }
         let output = crate::with_thread_scratch(|scratch| {
-            serve_request(
+            scratch.set_deadline(deadline);
+            let output = serve_request(
                 artifacts.corpus(),
                 artifacts.scholar(),
                 artifacts.node_weights(),
                 request,
                 scratch,
-            )
+            );
+            // Disarm before the scratch outlives this request — the
+            // thread-local scratch serves unrelated (deadline-less)
+            // requests next.
+            scratch.set_deadline(None);
+            output
         })?;
         self.misses.fetch_add(1, Ordering::Relaxed);
         let output = Arc::new(output);
@@ -671,6 +691,44 @@ mod tests {
         assert!(!via_alpha.output.reading_list.is_empty());
         assert!(!via_alpha.output.same_result(&via_beta.output));
         assert!(!via_beta.cached);
+    }
+
+    #[test]
+    fn an_expired_deadline_sheds_the_pipeline_mid_compute() {
+        let registry = registry_with_two_tenants();
+        let (query, year) = first_query(&registry, "alpha");
+        let request = PathRequest {
+            max_year: Some(year),
+            ..PathRequest::new(&query, 20)
+        };
+        // A deadline captured before the pipeline starts is guaranteed
+        // expired by the first inter-stage gate.
+        let err = registry
+            .generate_with_deadline("alpha", &request, Some(std::time::Instant::now()))
+            .unwrap_err();
+        assert_eq!(err, RegistryError::Request(RepagerError::DeadlineExceeded));
+        // The shed run cached nothing, and the armed deadline does not
+        // leak into the next (deadline-less) request on the same thread's
+        // scratch.
+        assert_eq!(registry.cache_stats().entries, 0);
+        let served = registry.generate("alpha", &request).unwrap();
+        assert!(!served.cached);
+        assert!(!served.output.reading_list.is_empty());
+    }
+
+    #[test]
+    fn a_cache_hit_is_served_even_past_its_deadline() {
+        let registry = registry_with_two_tenants();
+        let (query, year) = first_query(&registry, "alpha");
+        let request = PathRequest {
+            max_year: Some(year),
+            ..PathRequest::new(&query, 20)
+        };
+        registry.generate("alpha", &request).unwrap();
+        let served = registry
+            .generate_with_deadline("alpha", &request, Some(std::time::Instant::now()))
+            .unwrap();
+        assert!(served.cached, "a hit costs no compute, so nothing to shed");
     }
 
     #[test]

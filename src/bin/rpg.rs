@@ -20,7 +20,7 @@ use rpg_corpus::{generate, Corpus, CorpusConfig};
 use rpg_repager::render::{output_to_text, path_to_dot};
 use rpg_repager::system::PathRequest;
 use rpg_repager::{RepagerConfig, Variant};
-use rpg_server::{Server, ServerConfig};
+use rpg_server::{IoBackendChoice, Server, ServerConfig};
 use rpg_service::{CorpusRegistry, Manifest, PathService};
 use std::sync::Arc;
 
@@ -115,7 +115,8 @@ fn usage() -> String {
         "  rpg serve [--addr HOST:PORT] [--workers N] [--drivers N] [--queue N] [--cache N]",
         "            [--max-connections N] [--keep-alive on|off] [--max-requests-per-conn N]",
         "            [--idle-timeout-ms N] [--tenant-queue N] [--tenant-weight NAME=W]...",
-        "            [--default-deadline-ms N] [--manifest FILE] [--auth on|off] [--full-corpus]",
+        "            [--default-deadline-ms N] [--io-backend auto|poll|epoll]",
+        "            [--manifest FILE] [--auth on|off] [--full-corpus]",
         "  rpg bench [--json FILE] [--label TEXT] [--smoke] [--load] [--check BASELINE]",
         "            [--max-regression X]",
         "  rpg hash-key <KEY> [--salt HEX]   print the salted-SHA-256 form of a bearer key",
@@ -152,6 +153,9 @@ fn usage() -> String {
         "      --default-deadline-ms <N>     shed queued requests older than N ms with a 503",
         "                                    (per-tenant deadline_ms in the manifest overrides;",
         "                                    the x-rpg-deadline-ms request header tightens it)",
+        "      --io-backend <auto|poll|epoll> readiness backend of the event loops (default",
+        "                                    auto: edge-triggered epoll on Linux, portable",
+        "                                    poll(2) elsewhere); shown in /v1/stats",
         "",
         "BENCH OPTIONS:",
         "      --json <FILE>    write the machine-readable report (rpg-bench-report/v1)",
@@ -184,6 +188,7 @@ struct ServeOptions {
     tenant_queue: usize,
     tenant_weights: Vec<(String, u64)>,
     default_deadline_ms: Option<u64>,
+    io_backend: IoBackendChoice,
     manifest: Option<String>,
     auth: bool,
     corpus_scale: CorpusScale,
@@ -205,6 +210,7 @@ impl Default for ServeOptions {
             tenant_queue: defaults.tenant_queue_capacity,
             tenant_weights: Vec::new(),
             default_deadline_ms: None,
+            io_backend: defaults.io_backend,
             manifest: None,
             auth: false,
             corpus_scale: CorpusScale::Small,
@@ -297,6 +303,10 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
                         })?,
                 );
             }
+            "--io-backend" => {
+                options.io_backend = IoBackendChoice::parse(&value_of("--io-backend")?)
+                    .map_err(|e| format!("--io-backend: {e}"))?;
+            }
             "--manifest" => options.manifest = Some(value_of("--manifest")?),
             "--auth" => {
                 options.auth = match value_of("--auth")?.as_str() {
@@ -368,6 +378,7 @@ fn start_server(options: &ServeOptions) -> Result<Server, String> {
         tenant_queue_capacity: options.tenant_queue,
         tenant_weights: options.tenant_weights.clone(),
         default_deadline_ms: options.default_deadline_ms,
+        io_backend: options.io_backend,
         auth_enabled: options.auth,
         manifest_path: options.manifest.clone(),
         ..ServerConfig::default()
@@ -392,10 +403,11 @@ fn start_server(options: &ServeOptions) -> Result<Server, String> {
 fn run_serve(options: &ServeOptions) -> Result<(), String> {
     let server = start_server(options)?;
     println!(
-        "rpg-server listening on http://{} ({} workers, {} event loops, {} max connections, queue bound {}, tenant bound {}, cache {}, keep-alive {}, auth {})",
+        "rpg-server listening on http://{} ({} workers, {} event loops on {}, {} max connections, queue bound {}, tenant bound {}, cache {}, keep-alive {}, auth {})",
         server.addr(),
         options.workers,
         server.driver_threads(),
+        server.io_backend(),
         options.max_connections,
         options.queue,
         options.tenant_queue,
@@ -882,6 +894,42 @@ mod tests {
         assert!(parse_serve_args(&args(&["--default-deadline-ms", "0"])).is_err());
         assert!(parse_serve_args(&args(&["--default-deadline-ms", "soon"])).is_err());
         assert!(parse_serve_args(&args(&["--default-deadline-ms"])).is_err());
+    }
+
+    #[test]
+    fn io_backend_flag_parses_and_validates() {
+        let auto = parse_serve_args(&args(&[])).unwrap();
+        assert_eq!(auto.io_backend, IoBackendChoice::Auto, "auto by default");
+        let poll = parse_serve_args(&args(&["--io-backend", "poll"])).unwrap();
+        assert_eq!(poll.io_backend, IoBackendChoice::Poll);
+        let epoll = parse_serve_args(&args(&["--io-backend", "epoll"])).unwrap();
+        assert_eq!(epoll.io_backend, IoBackendChoice::Epoll);
+        assert!(parse_serve_args(&args(&["--io-backend", "kqueue"])).is_err());
+        assert!(parse_serve_args(&args(&["--io-backend"])).is_err());
+    }
+
+    #[test]
+    fn serve_reports_the_resolved_io_backend() {
+        let options = ServeOptions {
+            addr: "127.0.0.1:0".to_string(),
+            io_backend: IoBackendChoice::Poll,
+            ..ServeOptions::default()
+        };
+        let server = start_server(&options).unwrap();
+        assert_eq!(server.io_backend().as_str(), "poll");
+        drop(server);
+        // Auto resolves to the platform backend (epoll on Linux).
+        let auto = start_server(&ServeOptions {
+            addr: "127.0.0.1:0".to_string(),
+            ..ServeOptions::default()
+        })
+        .unwrap();
+        let expected = if cfg!(target_os = "linux") {
+            "epoll"
+        } else {
+            "poll"
+        };
+        assert_eq!(auto.io_backend().as_str(), expected);
     }
 
     #[test]

@@ -10,6 +10,12 @@
 //! keep-alive on/off matrix. Tests that assert keep-alive (or close-mode)
 //! semantics specifically must pin `config.keep_alive` themselves instead
 //! of inheriting the ambient mode.
+//!
+//! Likewise the readiness backend is taken from `RPG_IO_BACKEND`
+//! (`auto`, `poll`, or `epoll`, exactly the `--io-backend` CLI values;
+//! absence means `auto`), which is how CI runs the suite once per
+//! backend. A value that does not parse fails loudly rather than falling
+//! back — a typo'd matrix entry must not silently retest the default.
 
 // Each integration-test binary compiles its own copy of this module and
 // uses a different subset of it.
@@ -17,7 +23,7 @@
 
 use rpg_repro::demo_corpus;
 use rpg_server::client::{self, ClientResponse};
-use rpg_server::{Server, ServerConfig, StatsSnapshot};
+use rpg_server::{IoBackendChoice, Server, ServerConfig, StatsSnapshot};
 use rpg_service::{CorpusRegistry, Manifest};
 use std::net::SocketAddr;
 use std::sync::Arc;
@@ -28,12 +34,24 @@ pub fn keep_alive_mode() -> bool {
     !std::env::var("RPG_TEST_KEEP_ALIVE").is_ok_and(|v| v.eq_ignore_ascii_case("off"))
 }
 
-/// The suite-wide base configuration: an ephemeral port and the ambient
-/// keep-alive mode. Everything else stays at the server's defaults.
+/// The readiness backend this run drives the event loops with (see the
+/// module docs). Panics on an unparseable `RPG_IO_BACKEND`.
+pub fn io_backend_mode() -> IoBackendChoice {
+    match std::env::var("RPG_IO_BACKEND") {
+        Ok(value) => IoBackendChoice::parse(&value)
+            .unwrap_or_else(|e| panic!("RPG_IO_BACKEND={value:?}: {e}")),
+        Err(_) => IoBackendChoice::Auto,
+    }
+}
+
+/// The suite-wide base configuration: an ephemeral port, the ambient
+/// keep-alive mode, and the ambient readiness backend. Everything else
+/// stays at the server's defaults.
 pub fn base_config() -> ServerConfig {
     ServerConfig {
         addr: "127.0.0.1:0".to_string(),
         keep_alive: keep_alive_mode(),
+        io_backend: io_backend_mode(),
         ..ServerConfig::default()
     }
 }

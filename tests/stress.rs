@@ -10,6 +10,7 @@
 mod common;
 
 use rpg_server::client;
+use rpg_server::IoBackendChoice;
 use rpg_service::CorpusRegistry;
 use serde_json::Value;
 use std::io::{Read, Write};
@@ -141,6 +142,124 @@ fn five_hundred_idle_keep_alive_connections_ride_on_two_driver_threads() {
             server.open_connections()
         );
         std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Connections per backend for the idle-churn test: CI-sized by default,
+/// scaled up via `RPG_STRESS_CONNS` on machines with the file-descriptor
+/// headroom to hold thousands of sockets open (each connection costs one
+/// fd on the client side and one on the server side of this process).
+fn stress_connections() -> usize {
+    std::env::var("RPG_STRESS_CONNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(256)
+}
+
+/// The same idle-at-scale contract on every backend the platform offers:
+/// open `RPG_STRESS_CONNS` keep-alive connections, churn a slice of the
+/// fleet through hangup/reconnect cycles, and require that exchanges stay
+/// prompt, the thread pool stays fixed, and the open-connection gauge
+/// tracks the churn exactly. Run against both `poll` and `epoll`, this is
+/// the regression net for backend-specific readiness bugs (missed edges,
+/// stale interest after fd reuse, unobserved FINs).
+#[test]
+fn idle_churn_holds_the_gauge_and_latency_flat_on_every_backend() {
+    let _serial = exclusive();
+    let connections = stress_connections();
+    let churn = connections / 4;
+    // A single exchange against a server whose only load is idle
+    // connections; generous enough to absorb CI noise, tight enough to
+    // catch a backend degrading to seconds under fleet-sized interest.
+    let exchange_budget = Duration::from_secs(2);
+
+    let mut backends = vec![IoBackendChoice::Poll];
+    if cfg!(target_os = "linux") {
+        backends.push(IoBackendChoice::Epoll);
+    }
+    for backend in backends {
+        let server = common::spawn_with(Arc::new(CorpusRegistry::new()), |config| {
+            config.io_backend = backend;
+            config.workers = 1;
+            config.drivers = DRIVERS;
+            config.max_connections = connections + 64;
+            config.keep_alive = true;
+            config.idle_timeout = Duration::from_secs(120);
+            config.read_timeout = Duration::from_secs(30);
+        });
+        assert_eq!(server.io_backend(), backend.resolve());
+
+        let mut conns: Vec<client::Conn> = (0..connections)
+            .map(|i| {
+                client::Conn::connect(server.addr())
+                    .unwrap_or_else(|e| panic!("[{backend:?}] connection {i} failed to open: {e}"))
+            })
+            .collect();
+        let mut slowest = Duration::ZERO;
+        let exchange = |conn: &mut client::Conn, label: &str| {
+            let started = Instant::now();
+            let response = conn
+                .get("/v1/healthz")
+                .unwrap_or_else(|e| panic!("[{backend:?}] {label} failed: {e}"));
+            assert_eq!(response.status, 200, "[{backend:?}] {label}");
+            started.elapsed()
+        };
+        for (i, conn) in conns.iter_mut().enumerate() {
+            slowest = slowest.max(exchange(conn, &format!("exchange on connection {i}")));
+        }
+        assert_eq!(server.open_connections(), connections, "[{backend:?}]");
+
+        // Churn: hang up a quarter of the fleet, wait for the gauge to
+        // notice every FIN, reconnect the same count, and serve one
+        // exchange on each replacement while the survivors idle.
+        for round in 0..2 {
+            drop(conns.split_off(connections - churn));
+            let deadline = Instant::now() + Duration::from_secs(20);
+            while server.open_connections() > connections - churn {
+                assert!(
+                    Instant::now() < deadline,
+                    "[{backend:?}] round {round}: gauge stuck at {} after hangup of {churn}",
+                    server.open_connections()
+                );
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            for i in 0..churn {
+                let mut conn = client::Conn::connect(server.addr()).unwrap_or_else(|e| {
+                    panic!("[{backend:?}] round {round}: reconnect {i} failed: {e}")
+                });
+                slowest = slowest.max(exchange(
+                    &mut conn,
+                    &format!("round {round} exchange on reconnect {i}"),
+                ));
+                conns.push(conn);
+            }
+            assert_eq!(
+                server.open_connections(),
+                connections,
+                "[{backend:?}] round {round}"
+            );
+        }
+        assert!(
+            slowest <= exchange_budget,
+            "[{backend:?}] slowest exchange took {slowest:?} with {connections} connections open"
+        );
+
+        // The churn rode entirely on the fixed loop pool.
+        assert_eq!(threads_named("rpg-loop-"), DRIVERS, "[{backend:?}]");
+        assert_eq!(threads_named("rpg-conn-"), 0, "[{backend:?}]");
+
+        // Mass hangup drains the gauge to zero before the next backend
+        // (or the drop-guard shutdown) takes the stage.
+        drop(conns);
+        let deadline = Instant::now() + Duration::from_secs(20);
+        while server.open_connections() > 0 {
+            assert!(
+                Instant::now() < deadline,
+                "[{backend:?}] gauge stuck at {} after mass hangup",
+                server.open_connections()
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
     }
 }
 
