@@ -23,6 +23,12 @@
 //! exchange while 256 idle keep-alive connections sit registered on the
 //! event loops, once per readiness backend — the committed report shows
 //! what moving the interest set into the kernel buys on the same host.
+//!
+//! PR 9's corpus snapshots pin their win the same way: the
+//! `snapshot_artifacts_build` / `snapshot_artifacts_load` pair times a
+//! tenant's full spec build (generation + artifacts) against decoding a
+//! versioned snapshot of the same artifacts, and the report carries the
+//! ratio as `snapshot_load_vs_build`.
 
 use crate::micro_corpus;
 use rpg_corpus::Corpus;
@@ -31,13 +37,14 @@ use rpg_graph::dijkstra::{self, DijkstraScratch};
 use rpg_graph::steiner::reference::steiner_tree_reference;
 use rpg_graph::steiner::{steiner_tree_with, SteinerScratch};
 use rpg_graph::{mst, NodeId, WeightedGraph};
+use rpg_repager::artifacts::CorpusArtifacts;
 use rpg_repager::seeds::{reallocate, TerminalSelection};
 use rpg_repager::subgraph::SubGraph;
 use rpg_repager::system::PathRequest;
 use rpg_repager::weights::NodeWeights;
 use rpg_repager::RepagerConfig;
 use rpg_server::{client, IoBackendChoice, Server, ServerConfig};
-use rpg_service::{CorpusRegistry, PathService};
+use rpg_service::{snapshot, CorpusRegistry, CorpusSpec, PathService};
 use serde::value::Value;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -123,6 +130,15 @@ impl BenchReport {
         (new > 0.0).then(|| old / new)
     }
 
+    /// The spec-build-versus-snapshot-load speedup
+    /// (`build_median / load_median`), when both benches ran — the
+    /// startup/reload win the snapshot subsystem buys on this host.
+    pub fn snapshot_load_speedup(&self) -> Option<f64> {
+        let load = self.result("snapshot_artifacts_load")?.median_ns as f64;
+        let build = self.result("snapshot_artifacts_build")?.median_ns as f64;
+        (load > 0.0).then(|| build / load)
+    }
+
     /// Renders the report as the `rpg-bench-report/v1` JSON value.
     pub fn to_value(&self) -> Value {
         let (nodes, edges, terminals) = self.instance;
@@ -171,6 +187,9 @@ impl BenchReport {
                 "kmb_speedup_vs_reference".to_string(),
                 Value::Number(speedup),
             ));
+        }
+        if let Some(speedup) = self.snapshot_load_speedup() {
+            fields.push(("snapshot_load_vs_build".to_string(), Value::Number(speedup)));
         }
         Value::Object(fields)
     }
@@ -373,6 +392,39 @@ pub fn run_report(label: &str, iters: Iterations) -> BenchReport {
                 .generate(&request)
                 .expect("cache hit serves")
                 .reading_list
+                .len()
+        },
+    ));
+
+    // The PR 9 cold-start pair: building a tenant's artifacts from its
+    // generation spec versus decoding a versioned snapshot of the same
+    // artifacts.  Their ratio is emitted as `snapshot_load_vs_build` — the
+    // startup/reload win snapshots buy a manifest-booted server.
+    let spec = CorpusSpec::small(97);
+    results.push(run_bench(
+        "snapshot_artifacts_build",
+        iters.service,
+        iters.warmup,
+        || {
+            let corpus = spec.build_corpus().expect("spec builds");
+            CorpusArtifacts::build(corpus)
+                .expect("artifacts build")
+                .corpus()
+                .len()
+        },
+    ));
+    let artifacts =
+        CorpusArtifacts::build(spec.build_corpus().expect("spec builds")).expect("artifacts build");
+    let fingerprint = rpg_service::spec_fingerprint(&spec);
+    let bytes = snapshot::encode(&artifacts, fingerprint).expect("artifacts encode");
+    results.push(run_bench(
+        "snapshot_artifacts_load",
+        iters.service,
+        iters.warmup,
+        || {
+            snapshot::decode(&bytes, fingerprint)
+                .expect("snapshot decodes")
+                .corpus()
                 .len()
         },
     ));
@@ -675,6 +727,8 @@ mod tests {
             "minimum_spanning_forest".to_string(),
             "service_generate_uncached".to_string(),
             "service_generate_cache_hit".to_string(),
+            "snapshot_artifacts_build".to_string(),
+            "snapshot_artifacts_load".to_string(),
         ];
         for backend in available_backends() {
             expected.push(format!(
@@ -686,6 +740,10 @@ mod tests {
             assert!(report.result(name).is_some(), "bench {name} missing");
         }
         assert!(report.kmb_speedup().is_some());
+        assert!(
+            report.snapshot_load_speedup().is_some(),
+            "the snapshot cold-start pair must both run"
+        );
         let parsed = parse_baseline(&report.to_json()).unwrap();
         assert_eq!(parsed.len(), report.results.len());
     }

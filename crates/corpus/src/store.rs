@@ -66,6 +66,71 @@ impl Corpus {
         }
     }
 
+    /// Reassembles a corpus from previously extracted parts (e.g. a decoded
+    /// snapshot), including a pre-built citation graph, without re-running
+    /// the graph builder.
+    ///
+    /// Unlike [`Corpus::assemble`] this validates instead of panicking,
+    /// because the parts come from external bytes rather than the generator:
+    /// paper ids must be dense and in order, every reference must stay in
+    /// bounds, and the graph's node count and per-node reference lists must
+    /// agree with `references` exactly.
+    pub fn from_parts(
+        papers: Vec<Paper>,
+        references: Vec<Vec<Reference>>,
+        graph: CitationGraph,
+        topics: TopicCatalog,
+        venues: VenueTable,
+        survey_bank: SurveyBank,
+    ) -> Result<Self, String> {
+        if references.len() != papers.len() {
+            return Err(format!(
+                "{} reference lists for {} papers",
+                references.len(),
+                papers.len()
+            ));
+        }
+        if graph.node_count() != papers.len() {
+            return Err(format!(
+                "graph has {} nodes for {} papers",
+                graph.node_count(),
+                papers.len()
+            ));
+        }
+        for (i, paper) in papers.iter().enumerate() {
+            if paper.id.index() != i {
+                return Err(format!(
+                    "paper ids are not dense: position {i} holds {:?}",
+                    paper.id
+                ));
+            }
+        }
+        let mut cited = Vec::new();
+        for (i, refs) in references.iter().enumerate() {
+            cited.clear();
+            cited.extend(refs.iter().map(|r| r.cited.node()));
+            cited.sort_unstable();
+            if cited.windows(2).any(|w| w[0] == w[1]) {
+                return Err(format!("paper {i} references the same paper twice"));
+            }
+            // GraphBuilder emits sorted adjacency slices, so a sorted copy of
+            // the reference list must match the graph's slice exactly.
+            if cited != graph.references(NodeId::from_index(i)) {
+                return Err(format!(
+                    "graph adjacency of paper {i} does not match its reference list"
+                ));
+            }
+        }
+        Ok(Corpus {
+            papers,
+            references,
+            graph,
+            topics,
+            venues,
+            survey_bank,
+        })
+    }
+
     /// Installs the SurveyBank benchmark produced by the dataset pipeline.
     pub fn set_survey_bank(&mut self, bank: SurveyBank) {
         self.survey_bank = bank;
@@ -298,6 +363,85 @@ mod tests {
         assert!(c.survey_bank().is_empty());
         c.set_survey_bank(SurveyBank::default());
         assert!(c.survey_bank().is_empty());
+    }
+
+    #[test]
+    fn from_parts_round_trips_an_assembled_corpus() {
+        let c = tiny_corpus();
+        let rebuilt = Corpus::from_parts(
+            c.papers().to_vec(),
+            (0..c.len())
+                .map(|i| c.references_of(PaperId(i as u32)).to_vec())
+                .collect(),
+            c.graph().clone(),
+            c.topics().clone(),
+            c.venues().clone(),
+            c.survey_bank().clone(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt.len(), c.len());
+        assert_eq!(rebuilt.graph().edge_count(), c.graph().edge_count());
+        assert_eq!(rebuilt.occurrences(PaperId(3), PaperId(0)), 3);
+        assert_eq!(rebuilt.citation_count(PaperId(0)), 3);
+    }
+
+    #[test]
+    fn from_parts_rejects_inconsistent_parts() {
+        let c = tiny_corpus();
+        let refs: Vec<Vec<Reference>> = (0..c.len())
+            .map(|i| c.references_of(PaperId(i as u32)).to_vec())
+            .collect();
+
+        // Wrong number of reference lists.
+        assert!(Corpus::from_parts(
+            c.papers().to_vec(),
+            vec![],
+            c.graph().clone(),
+            c.topics().clone(),
+            c.venues().clone(),
+            c.survey_bank().clone(),
+        )
+        .is_err());
+
+        // Graph node count disagrees with the paper count.
+        assert!(Corpus::from_parts(
+            c.papers().to_vec(),
+            refs.clone(),
+            CitationGraph::empty(1),
+            c.topics().clone(),
+            c.venues().clone(),
+            c.survey_bank().clone(),
+        )
+        .is_err());
+
+        // Non-dense paper ids.
+        let mut papers = c.papers().to_vec();
+        papers[0].id = PaperId(9);
+        assert!(Corpus::from_parts(
+            papers,
+            refs.clone(),
+            c.graph().clone(),
+            c.topics().clone(),
+            c.venues().clone(),
+            c.survey_bank().clone(),
+        )
+        .is_err());
+
+        // Reference list that disagrees with the graph adjacency.
+        let mut broken = refs;
+        broken[0].push(Reference {
+            cited: PaperId(1),
+            occurrences: 1,
+        });
+        assert!(Corpus::from_parts(
+            c.papers().to_vec(),
+            broken,
+            c.graph().clone(),
+            c.topics().clone(),
+            c.venues().clone(),
+            c.survey_bank().clone(),
+        )
+        .is_err());
     }
 
     #[test]

@@ -94,6 +94,28 @@ impl EngineIndex {
         })
     }
 
+    /// Assembles the index from a pre-built inverted index (e.g. decoded
+    /// from a snapshot), rebuilding only the cheap per-paper metadata
+    /// columns from the corpus.  The caller is responsible for the inverted
+    /// index actually covering this corpus; `decode` paths guard that with
+    /// checksums and a document-count check.
+    pub fn with_inverted(corpus: &Corpus, inverted: InvertedIndex) -> Arc<Self> {
+        let mut years = Vec::with_capacity(corpus.len());
+        let mut citation_counts = Vec::with_capacity(corpus.len());
+        let mut is_survey = Vec::with_capacity(corpus.len());
+        for paper in corpus.papers() {
+            years.push(paper.year);
+            citation_counts.push(corpus.citation_count(paper.id) as u32);
+            is_survey.push(paper.is_survey());
+        }
+        Arc::new(EngineIndex {
+            inverted,
+            years,
+            citation_counts,
+            is_survey,
+        })
+    }
+
     /// Number of indexed papers.
     pub fn len(&self) -> usize {
         self.years.len()
@@ -262,6 +284,33 @@ mod tests {
         let any_survey = c.survey_bank().iter().next().unwrap().paper;
         assert!(idx.is_survey(any_survey));
         assert_eq!(idx.year(any_survey), c.year(any_survey));
+    }
+
+    #[test]
+    fn with_inverted_matches_a_full_build() {
+        let c = corpus();
+        let built = EngineIndex::build(&c);
+        let rebuilt = EngineIndex::with_inverted(&c, built.inverted().clone());
+        assert_eq!(rebuilt.len(), built.len());
+        for paper in c.papers() {
+            assert_eq!(rebuilt.year(paper.id), built.year(paper.id));
+            assert_eq!(
+                rebuilt.citation_count(paper.id),
+                built.citation_count(paper.id)
+            );
+            assert_eq!(rebuilt.is_survey(paper.id), built.is_survey(paper.id));
+        }
+        // The same engine over both indexes ranks identically.
+        let survey = c.survey_bank().iter().next().unwrap();
+        let config = LexicalConfig {
+            scoring: LexicalScoring::Bm25,
+            title_boost: 3.0,
+            citation_weight: 0.2,
+            recency_weight: 0.0,
+        };
+        let a = LexicalEngine::new(built, "a", config).search(&Query::simple(&survey.query, 20));
+        let b = LexicalEngine::new(rebuilt, "b", config).search(&Query::simple(&survey.query, 20));
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -47,6 +47,91 @@ impl CitationGraph {
         }
     }
 
+    /// Rebuilds a graph from externally supplied out-direction CSR arrays
+    /// (e.g. a decoded snapshot section), validating them and deriving the
+    /// in-direction adjacency.
+    ///
+    /// The incoming adjacency is reconstructed by scanning sources in
+    /// ascending order, which reproduces [`crate::GraphBuilder`]'s layout
+    /// exactly (the builder fills in-lists from source-sorted edges), so a
+    /// graph round-tripped through its out arrays is indistinguishable from
+    /// the originally built one.
+    pub fn from_csr_parts(
+        out_offsets: Vec<u32>,
+        out_targets: Vec<NodeId>,
+    ) -> Result<Self, GraphError> {
+        let malformed = |what: String| GraphError::MalformedCsr { what };
+        if out_offsets.is_empty() {
+            return Err(malformed("offsets array is empty".to_string()));
+        }
+        if out_offsets[0] != 0 {
+            return Err(malformed(format!(
+                "offsets must start at 0, got {}",
+                out_offsets[0]
+            )));
+        }
+        if let Some(w) = out_offsets.windows(2).find(|w| w[0] > w[1]) {
+            return Err(malformed(format!(
+                "offsets are not monotonic ({} > {})",
+                w[0], w[1]
+            )));
+        }
+        let n = out_offsets.len() - 1;
+        let last = *out_offsets.last().expect("non-empty offsets") as usize;
+        if last != out_targets.len() {
+            return Err(malformed(format!(
+                "final offset {last} does not match target count {}",
+                out_targets.len()
+            )));
+        }
+        if let Some(&bad) = out_targets.iter().find(|t| t.index() >= n) {
+            return Err(malformed(format!(
+                "target {bad} out of bounds for {n} nodes"
+            )));
+        }
+
+        let mut in_degree = vec![0u32; n];
+        for t in &out_targets {
+            in_degree[t.index()] += 1;
+        }
+        let mut in_offsets = vec![0u32; n + 1];
+        for i in 0..n {
+            in_offsets[i + 1] = in_offsets[i] + in_degree[i];
+        }
+        let mut in_targets = vec![NodeId(0); out_targets.len()];
+        let mut in_cursor: Vec<u32> = in_offsets[..n].to_vec();
+        for u in 0..n {
+            let start = out_offsets[u] as usize;
+            let end = out_offsets[u + 1] as usize;
+            for &v in &out_targets[start..end] {
+                let c = &mut in_cursor[v.index()];
+                in_targets[*c as usize] = NodeId::from_index(u);
+                *c += 1;
+            }
+        }
+        Ok(CitationGraph::from_csr(
+            out_offsets,
+            out_targets,
+            in_offsets,
+            in_targets,
+        ))
+    }
+
+    /// The out-direction CSR offsets array (`node_count + 1` entries).
+    /// Together with [`Self::out_targets`] this is the full serialisable
+    /// state of the graph (see [`Self::from_csr_parts`]).
+    #[inline]
+    pub fn out_offsets(&self) -> &[u32] {
+        &self.out_offsets
+    }
+
+    /// The out-direction CSR target array, concatenated reference lists in
+    /// node order.
+    #[inline]
+    pub fn out_targets(&self) -> &[NodeId] {
+        &self.out_targets
+    }
+
     /// Creates an empty graph with `node_count` isolated nodes.
     pub fn empty(node_count: usize) -> Self {
         CitationGraph {
@@ -270,6 +355,35 @@ mod tests {
             assert_eq!(g.out_degree(n), 0);
             assert_eq!(g.in_degree(n), 0);
         }
+    }
+
+    #[test]
+    fn from_csr_parts_round_trips_builder_output() {
+        let g = fixture();
+        let rebuilt =
+            CitationGraph::from_csr_parts(g.out_offsets().to_vec(), g.out_targets().to_vec())
+                .unwrap();
+        assert_eq!(rebuilt.node_count(), g.node_count());
+        assert_eq!(rebuilt.edge_count(), g.edge_count());
+        for n in g.nodes() {
+            assert_eq!(rebuilt.references(n), g.references(n));
+            assert_eq!(rebuilt.cited_by(n), g.cited_by(n));
+        }
+    }
+
+    #[test]
+    fn from_csr_parts_rejects_malformed_arrays() {
+        let malformed = |r: Result<CitationGraph, GraphError>| {
+            assert!(matches!(r.unwrap_err(), GraphError::MalformedCsr { .. }));
+        };
+        malformed(CitationGraph::from_csr_parts(vec![], vec![]));
+        malformed(CitationGraph::from_csr_parts(vec![1, 1], vec![NodeId(0)]));
+        malformed(CitationGraph::from_csr_parts(vec![0, 2, 1], vec![]));
+        malformed(CitationGraph::from_csr_parts(vec![0, 2], vec![NodeId(0)]));
+        malformed(CitationGraph::from_csr_parts(
+            vec![0, 1],
+            vec![NodeId(7)], // out of bounds for 1 node
+        ));
     }
 
     #[test]

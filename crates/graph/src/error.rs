@@ -32,6 +32,11 @@ pub enum GraphError {
         /// The node citing itself.
         node: NodeId,
     },
+    /// Externally supplied CSR arrays do not describe a well-formed graph.
+    MalformedCsr {
+        /// Human-readable description of the inconsistency.
+        what: String,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -52,6 +57,7 @@ impl fmt::Display for GraphError {
             }
             GraphError::InvalidWeight { what } => write!(f, "invalid weight: {what}"),
             GraphError::SelfLoop { node } => write!(f, "self-loop on node {node}"),
+            GraphError::MalformedCsr { what } => write!(f, "malformed CSR arrays: {what}"),
         }
     }
 }

@@ -54,6 +54,38 @@ impl CorpusArtifacts {
         }))
     }
 
+    /// Reassembles the artifacts from persisted parts (e.g. a decoded
+    /// snapshot): the corpus, the engine index, and the PageRank scores are
+    /// taken as-is; only the cheap derivations (seed engine, node weights)
+    /// are recomputed.
+    ///
+    /// Errors if the score vector does not cover the corpus — the one
+    /// cross-part invariant this layer can check cheaply.
+    pub fn from_parts(
+        corpus: Arc<Corpus>,
+        index: Arc<EngineIndex>,
+        pagerank: PageRankScores,
+    ) -> Result<Arc<Self>, GraphError> {
+        if pagerank.scores.len() != corpus.len() {
+            return Err(GraphError::InvalidWeight {
+                what: format!(
+                    "{} PageRank scores for {} papers",
+                    pagerank.scores.len(),
+                    corpus.len()
+                ),
+            });
+        }
+        let scholar = ScholarEngine::from_index(index.clone());
+        let node_weights = NodeWeights::build(&corpus, &pagerank);
+        Ok(Arc::new(CorpusArtifacts {
+            corpus,
+            index,
+            scholar,
+            pagerank,
+            node_weights,
+        }))
+    }
+
     /// The corpus the artifacts were built from.
     pub fn corpus(&self) -> &Corpus {
         &self.corpus
@@ -109,5 +141,47 @@ mod tests {
         std::thread::spawn(move || clone.corpus().len())
             .join()
             .unwrap();
+    }
+
+    #[test]
+    fn from_parts_matches_a_full_build() {
+        let corpus = generate(&CorpusConfig {
+            seed: 31,
+            ..CorpusConfig::small()
+        });
+        let built = CorpusArtifacts::build(corpus).unwrap();
+        let rebuilt = CorpusArtifacts::from_parts(
+            built.corpus_arc(),
+            built.index().clone(),
+            built.pagerank().clone(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt.pagerank(), built.pagerank());
+        assert_eq!(rebuilt.node_weights().len(), built.node_weights().len());
+        for i in 0..built.corpus().len() {
+            let id = rpg_corpus::PaperId(i as u32);
+            assert_eq!(
+                rebuilt.node_weights().pagerank(id),
+                built.node_weights().pagerank(id)
+            );
+            assert_eq!(
+                rebuilt.node_weights().venue(id),
+                built.node_weights().venue(id)
+            );
+        }
+    }
+
+    #[test]
+    fn from_parts_rejects_mismatched_scores() {
+        let corpus = generate(&CorpusConfig {
+            seed: 31,
+            ..CorpusConfig::small()
+        });
+        let built = CorpusArtifacts::build(corpus).unwrap();
+        let mut pagerank = built.pagerank().clone();
+        pagerank.scores.pop();
+        let err = CorpusArtifacts::from_parts(built.corpus_arc(), built.index().clone(), pagerank)
+            .unwrap_err();
+        assert!(matches!(err, GraphError::InvalidWeight { .. }));
     }
 }

@@ -463,9 +463,12 @@ fn find_head_end(buf: &[u8], scanned: &mut usize) -> Option<usize> {
 pub struct Response {
     /// Status code.
     pub status: u16,
-    /// Extra headers beyond `Content-Type`/`Content-Length`/`Connection`.
+    /// Extra headers beyond `Content-Length`/`Connection`. A
+    /// `content-type` entry here replaces the default
+    /// `application/json` in the serialised head.
     pub headers: Vec<(String, String)>,
-    /// The JSON body.
+    /// The response body (JSON unless a `content-type` header says
+    /// otherwise).
     pub body: Vec<u8>,
 }
 
@@ -504,10 +507,22 @@ impl Response {
 
     /// Serialises the head alone — status line through the blank line —
     /// with `Content-Length` still describing the (unserialised) body.
+    /// `content-type: application/json` is the default; a response whose
+    /// extra headers spell out their own content type (e.g. a binary
+    /// snapshot export) suppresses it, so the wire never carries two.
     fn head_bytes(&self, keep_alive: bool) -> Vec<u8> {
         let connection = if keep_alive { "keep-alive" } else { "close" };
+        let has_content_type = self
+            .headers
+            .iter()
+            .any(|(name, _)| name.eq_ignore_ascii_case("content-type"));
+        let content_type = if has_content_type {
+            ""
+        } else {
+            "content-type: application/json\r\n"
+        };
         let mut wire = format!(
-            "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {connection}\r\n",
+            "HTTP/1.1 {} {}\r\n{content_type}content-length: {}\r\nconnection: {connection}\r\n",
             self.status,
             reason(self.status),
             self.body.len()
@@ -932,6 +947,22 @@ mod tests {
         Response::json(200, "{}").write_to(&mut wire, true).unwrap();
         let text = String::from_utf8(wire).unwrap();
         assert!(text.contains("connection: keep-alive\r\n"));
+    }
+
+    #[test]
+    fn explicit_content_type_replaces_the_json_default() {
+        let mut wire = Vec::new();
+        Response::json(200, vec![0u8, 1, 2])
+            .with_header("content-type", "application/octet-stream")
+            .write_to(&mut wire, true)
+            .unwrap();
+        let text = String::from_utf8_lossy(&wire);
+        assert!(text.contains("content-type: application/octet-stream\r\n"));
+        assert!(
+            !text.contains("application/json"),
+            "default content-type must be suppressed: {text}"
+        );
+        assert_eq!(text.matches("content-type").count(), 1);
     }
 
     #[test]

@@ -57,7 +57,8 @@ use crate::sys::{
 use rpg_repager::system::RepagerError;
 use rpg_repager::TimingAggregate;
 use rpg_service::{
-    valid_tenant_name, CorpusRegistry, Manifest, ManifestDiff, RegistryError, TenantConfig,
+    snapshot, valid_tenant_name, CorpusRegistry, Manifest, ManifestDiff, RegistryError,
+    TenantConfig,
 };
 use serde::value::Value;
 use serde::Deserialize;
@@ -1647,6 +1648,14 @@ fn route(
                     ),
                 };
             }
+            if let Some(tenant) = snapshot_target(path) {
+                return Routed::Inline(match require_admin(&principal) {
+                    Some(rejection) => rejection,
+                    None if method == "GET" => handle_snapshot_export(tenant, shared),
+                    None => Response::json(405, error_body("method not allowed"))
+                        .with_header("allow", "GET"),
+                });
+            }
             if let Some(tenant) = corpus_target(path) {
                 return match method {
                     "PUT" => match require_admin(&principal) {
@@ -1682,6 +1691,14 @@ fn route(
 fn refresh_target(path: &str) -> Option<&str> {
     path.strip_prefix("/v1/corpora/")
         .and_then(|rest| rest.strip_suffix("/refresh"))
+        .filter(|name| !name.is_empty() && !name.contains('/'))
+}
+
+/// The tenant named by a `/v1/corpora/:name/snapshot` path, if this is
+/// one.
+fn snapshot_target(path: &str) -> Option<&str> {
+    path.strip_prefix("/v1/corpora/")
+        .and_then(|rest| rest.strip_suffix("/snapshot"))
         .filter(|name| !name.is_empty() && !name.contains('/'))
 }
 
@@ -1776,7 +1793,11 @@ fn admit_generate(
             resolved.variant = variant;
         }
     }
-    let deadline = effective_deadline(request, &tenant, shared);
+    let header_ms = match header_deadline_ms(request) {
+        Ok(header_ms) => header_ms,
+        Err(response) => return Routed::Inline(response),
+    };
+    let deadline = effective_deadline(header_ms, &tenant, shared);
     let work = Work::Generate(tenant.clone(), resolved);
     submit(shared, &tenant, work, me, token, cancel, deadline)
 }
@@ -1818,6 +1839,12 @@ fn admit_batch(
     if matches!(principal, Some(Principal::Anonymous)) {
         return Routed::Inline(unauthorized());
     }
+    // The deadline header covers the whole batch; a bad one is a
+    // request-level 400 before any item is admitted.
+    let header_ms = match header_deadline_ms(request) {
+        Ok(header_ms) => header_ms,
+        Err(response) => return Routed::Inline(response),
+    };
     let assembly = BatchAssembly::new(batch.requests.len(), Reply::new(me.clone(), token));
     let retry_after = shared.config.retry_after_secs;
     for (index, dto) in batch.requests.iter().enumerate() {
@@ -1855,7 +1882,7 @@ fn admit_batch(
             cancelled: cancel.clone(),
             lane: tenant.clone(),
             admitted_at: Instant::now(),
-            deadline: effective_deadline(request, &tenant, shared),
+            deadline: effective_deadline(header_ms, &tenant, shared),
         };
         match shared.requests.try_push(&tenant, job) {
             Ok(()) => {}
@@ -1901,7 +1928,11 @@ fn admit_refresh(
         return Routed::Inline(Response::json(e.status, e.body()));
     }
     let tenant = tenant.to_string();
-    let deadline = effective_deadline(request, &tenant, shared);
+    let header_ms = match header_deadline_ms(request) {
+        Ok(header_ms) => header_ms,
+        Err(response) => return Routed::Inline(response),
+    };
+    let deadline = effective_deadline(header_ms, &tenant, shared);
     let work = Work::Refresh(tenant.clone());
     submit(shared, &tenant, work, me, token, cancel, deadline)
 }
@@ -1944,6 +1975,14 @@ fn admit_put(
         return Routed::Inline(Response::json(
             400,
             error_body("inflight and deadline_ms must be at least 1"),
+        ));
+    }
+    // A zero share would self-evict the tenant's cache entry on every
+    // insert; reject it like the other zero-valued tuning knobs.
+    if config.cache_share == Some(0) {
+        return Routed::Inline(Response::json(
+            400,
+            error_body("cache_share must be at least 1"),
         ));
     }
     // Key rules match manifest validation: the wire path must not accept
@@ -2005,7 +2044,11 @@ fn admit_put(
             }
         }
     }
-    let deadline = effective_deadline(request, tenant, shared);
+    let header_ms = match header_deadline_ms(request) {
+        Ok(header_ms) => header_ms,
+        Err(response) => return Routed::Inline(response),
+    };
+    let deadline = effective_deadline(header_ms, tenant, shared);
     let work = Work::Put {
         name: tenant.to_string(),
         config: Box::new(config),
@@ -2027,7 +2070,11 @@ fn admit_reload(
             error_body("server was started without --manifest; nothing to reload"),
         ));
     }
-    let deadline = effective_deadline(request, ADMIN_LANE, shared);
+    let header_ms = match header_deadline_ms(request) {
+        Ok(header_ms) => header_ms,
+        Err(response) => return Routed::Inline(response),
+    };
+    let deadline = effective_deadline(header_ms, ADMIN_LANE, shared);
     submit(
         shared,
         ADMIN_LANE,
@@ -2053,14 +2100,42 @@ fn tenant_metrics(shared: &Shared, tenant: &str) -> Arc<TenantMetrics> {
         .clone()
 }
 
+/// Parses and validates the client's `x-rpg-deadline-ms` header:
+/// `Ok(None)` when absent, `Ok(Some(ms))` for a positive integer. Zero and
+/// malformed values are a `400` with a pointed message — a zero budget is
+/// already expired on arrival, so accepting it would shed every request as
+/// a `503` billed to the tenant's `shed` counter, and silently ignoring
+/// garbage would run the request with no deadline at all, the opposite of
+/// what the caller asked for.
+fn header_deadline_ms(request: &Request) -> Result<Option<u64>, Response> {
+    let Some(raw) = request.header("x-rpg-deadline-ms") else {
+        return Ok(None);
+    };
+    match raw.trim().parse::<u64>() {
+        Ok(0) => Err(Response::json(
+            400,
+            error_body(
+                "x-rpg-deadline-ms must be at least 1: a zero budget is already \
+                 expired on arrival and every request would be shed",
+            ),
+        )),
+        Ok(ms) => Ok(Some(ms)),
+        Err(_) => Err(Response::json(
+            400,
+            error_body(&format!(
+                "invalid x-rpg-deadline-ms {raw:?}: expected a positive integer \
+                 millisecond budget"
+            )),
+        )),
+    }
+}
+
 /// The absolute deadline a request admitted now must meet: the minimum of
-/// the client's `x-rpg-deadline-ms` header and the tenant's policy budget
-/// (manifest `deadline_ms`, falling back to the server-wide default).
-/// `None` — no header, no policy — means the work never expires queued.
-fn effective_deadline(request: &Request, tenant: &str, shared: &Shared) -> Option<Instant> {
-    let header_ms = request
-        .header("x-rpg-deadline-ms")
-        .and_then(|v| v.trim().parse::<u64>().ok());
+/// the client's validated `x-rpg-deadline-ms` budget (see
+/// [`header_deadline_ms`]) and the tenant's policy budget (manifest
+/// `deadline_ms`, falling back to the server-wide default). `None` — no
+/// header, no policy — means the work never expires queued.
+fn effective_deadline(header_ms: Option<u64>, tenant: &str, shared: &Shared) -> Option<Instant> {
     let policy_ms = shared
         .deadlines
         .read()
@@ -2132,15 +2207,53 @@ fn cancel_reply(job: Job) {
     }
 }
 
+/// Pairs the in-flight charge `pop` took on a lane with its release, even
+/// when the job panics on the way out. `run_job` guards the pipeline with
+/// its own `catch_unwind`, but a panic in the reply/ticket/metrics code
+/// *past* that guard would otherwise unwind through `compute_loop` —
+/// killing the worker thread **and** leaking the lane's in-flight charge,
+/// silently shrinking the tenant's concurrency cap for the life of the
+/// process.
+struct InflightGuard<'a> {
+    requests: &'a FairQueue<Job>,
+    lane: String,
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.requests.release(&self.lane);
+    }
+}
+
 fn compute_loop(shared: &Shared) {
     while let Some(job) = shared.requests.pop() {
-        let lane = job.lane.clone();
-        run_job(job, shared);
         // Pairs with the in-flight charge `pop` took on the lane; a capped
         // tenant's next queued job becomes poppable only here, so the cap
-        // bounds *compute occupancy*, not just queue depth.
-        shared.requests.release(&lane);
+        // bounds *compute occupancy*, not just queue depth. The drop guard
+        // releases on the unwind path too, and the `catch_unwind` keeps the
+        // worker pool at full strength across any escaped panic.
+        let guard = InflightGuard {
+            requests: &shared.requests,
+            lane: job.lane.clone(),
+        };
+        let outcome = catch_unwind(AssertUnwindSafe(|| run_job(job, shared)));
+        drop(guard);
+        if outcome.is_err() {
+            eprintln!("[server] a compute job panicked past its pipeline guard; worker continues");
+        }
     }
+}
+
+/// Fault-injection switches for the loopback test suite. Not part of the
+/// public API.
+#[doc(hidden)]
+pub mod test_hooks {
+    use std::sync::atomic::AtomicBool;
+
+    /// When armed, the next non-batch job panics *after* its reply is sent
+    /// — past `run_job`'s pipeline guard — exercising the worker's
+    /// in-flight release guard. Self-disarms on first use.
+    pub static PANIC_AFTER_REPLY: AtomicBool = AtomicBool::new(false);
 }
 
 /// Executes one popped job end to end: the cancellation and deadline gates
@@ -2224,6 +2337,9 @@ fn run_job(job: Job, shared: &Shared) {
             }))
             .unwrap_or_else(|_| Response::json(500, error_body("internal error")));
             reply.send(response);
+            if test_hooks::PANIC_AFTER_REPLY.swap(false, Ordering::SeqCst) {
+                panic!("test hook: panic after reply");
+            }
             metrics.latency.record(admitted_at.elapsed());
         }
     }
@@ -2467,6 +2583,34 @@ fn handle_corpora_list(shared: &Shared, principal: &Option<Principal>) -> Respon
         "corpora".to_string(),
         Value::Array(corpora),
     )]))
+}
+
+/// `GET /v1/corpora/:name/snapshot` (admin-gated): exports the tenant's
+/// live artifacts as a binary snapshot — the same container
+/// `rpg snapshot build` writes, embedding the tenant's spec fingerprint
+/// when it has a spec ([`snapshot::NO_SPEC_FINGERPRINT`] otherwise, so a
+/// spec-less export can be inspected but never matches a manifest spec).
+/// The body is streamed through the event loop's [`ResponseEmitter`] in
+/// bounded chunks like every other large response.
+fn handle_snapshot_export(tenant: &str, shared: &Shared) -> Response {
+    let Some(artifacts) = shared.registry.artifacts(tenant) else {
+        let e = registry_error(RegistryError::UnknownCorpus(tenant.to_string()));
+        return Response::json(e.status, e.body());
+    };
+    let fingerprint = shared
+        .registry
+        .spec(tenant)
+        .map(|spec| snapshot::spec_fingerprint(&spec))
+        .unwrap_or(snapshot::NO_SPEC_FINGERPRINT);
+    match snapshot::encode(&artifacts, fingerprint) {
+        Ok(bytes) => Response::json(200, bytes)
+            .with_header("content-type", "application/octet-stream")
+            .with_header(
+                "content-disposition",
+                format!("attachment; filename=\"{tenant}.rpgsnap\""),
+            ),
+        Err(e) => Response::json(500, error_body(&format!("snapshot encode failed: {e}"))),
+    }
 }
 
 /// `DELETE /v1/corpora/:name`: removes the tenant, evicts its cache

@@ -30,6 +30,7 @@ pub mod fingerprint;
 pub mod manifest;
 pub mod parallel;
 pub mod registry;
+pub mod snapshot;
 
 pub use cache::LruCache;
 pub use fingerprint::RequestFingerprint;
@@ -37,6 +38,7 @@ pub use manifest::{
     valid_tenant_name, CorpusSpec, Manifest, ManifestDiff, ManifestError, TenantConfig,
 };
 pub use registry::{CorpusRegistry, RegistryError, Served, TenantOverview};
+pub use snapshot::{spec_fingerprint, SnapshotError, SnapshotInfo};
 
 use rpg_corpus::Corpus;
 use rpg_engines::ScholarEngine;

@@ -84,6 +84,13 @@ pub struct CorpusSpec {
     pub scale: Option<String>,
     /// Overrides the base number of papers per topic.
     pub papers_per_topic: Option<usize>,
+    /// Path of a snapshot file to load instead of building from the spec.
+    /// The snapshot is used only when its embedded fingerprint matches this
+    /// spec's generator fields (see [`crate::snapshot::spec_fingerprint`]);
+    /// on any mismatch or read/decode error the corpus is rebuilt from the
+    /// spec with a warning — a snapshot can speed a boot up but never
+    /// change what is served.
+    pub snapshot: Option<String>,
 }
 
 impl CorpusSpec {
@@ -93,6 +100,7 @@ impl CorpusSpec {
             seed,
             scale: None,
             papers_per_topic: None,
+            snapshot: None,
         }
     }
 
@@ -323,6 +331,14 @@ impl Manifest {
                     "tenant {name:?}: deadline_ms must be at least 1"
                 )));
             }
+            // A zero share would make the eviction loop self-evict the
+            // tenant's entry on every insert — reject it like the other
+            // zero-valued tuning knobs instead of silently serving uncached.
+            if config.cache_share == Some(0) {
+                return Err(ManifestError::new(format!(
+                    "tenant {name:?}: cache_share must be at least 1"
+                )));
+            }
             if config.is_default() {
                 match &default_tenant {
                     None => default_tenant = Some(name.to_string()),
@@ -471,6 +487,7 @@ mod tests {
             seed: 7,
             scale: Some("full".to_string()),
             papers_per_topic: Some(33),
+            snapshot: None,
         };
         let config = spec.corpus_config().unwrap();
         assert_eq!(config.seed, 7);
@@ -530,6 +547,10 @@ mod tests {
             (
                 r#"{"tenants": {"a": {"corpus": {"seed": 1}, "deadline_ms": 0}}}"#,
                 "zero deadline",
+            ),
+            (
+                r#"{"tenants": {"a": {"corpus": {"seed": 1}, "cache_share": 0}}}"#,
+                "zero cache share",
             ),
             (
                 r#"{"tenants": {

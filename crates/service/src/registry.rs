@@ -104,6 +104,30 @@ struct TenantKey {
     fingerprint: RequestFingerprint,
 }
 
+/// Builds a tenant's artifacts from its spec, preferring the spec's
+/// configured snapshot when one loads and its embedded fingerprint matches
+/// the spec. An unusable snapshot — missing file, corruption, or a
+/// fingerprint from a different spec — degrades to the full build with one
+/// warning; it can never serve stale or wrong data because
+/// [`crate::snapshot::decode`] refuses any fingerprint mismatch.
+fn artifacts_for_spec(
+    name: &str,
+    spec: &CorpusSpec,
+) -> Result<Arc<CorpusArtifacts>, ManifestError> {
+    if let Some(path) = &spec.snapshot {
+        match crate::snapshot::try_load(path, crate::snapshot::spec_fingerprint(spec)) {
+            Ok(artifacts) => return Ok(artifacts),
+            Err(e) => eprintln!(
+                "[registry] tenant {name:?}: snapshot {path:?} unusable ({e}); \
+                 rebuilding from spec"
+            ),
+        }
+    }
+    let corpus = spec.build_corpus()?;
+    CorpusArtifacts::build(corpus)
+        .map_err(|e| ManifestError::new(format!("artifact build failed: {e}")))
+}
+
 /// A thread-shareable registry of named corpora with one shared result
 /// cache.
 pub struct CorpusRegistry {
@@ -169,9 +193,7 @@ impl CorpusRegistry {
         let name = name.into();
         let spec = config.corpus_spec()?.clone();
         let default_variant = config.default_variant()?;
-        let corpus = spec.build_corpus()?;
-        let artifacts = CorpusArtifacts::build(corpus)
-            .map_err(|e| ManifestError::new(format!("artifact build failed: {e}")))?;
+        let artifacts = artifacts_for_spec(&name, &spec)?;
         self.install(name.clone(), artifacts, Some(spec));
         {
             let mut tenants = self.tenants.write().unwrap();
@@ -236,13 +258,8 @@ impl CorpusRegistry {
             |(), i| {
                 let name = to_build[i];
                 let config = manifest.tenant(name).expect("classified tenant is listed");
-                let corpus = config
-                    .corpus_spec()?
-                    .build_corpus()
+                let artifacts = artifacts_for_spec(name, config.corpus_spec()?)
                     .map_err(|e| ManifestError::new(format!("tenant {name:?}: {e}")))?;
-                let artifacts = CorpusArtifacts::build(corpus).map_err(|e| {
-                    ManifestError::new(format!("tenant {name:?}: artifact build failed: {e}"))
-                })?;
                 Ok((name.clone(), artifacts))
             },
         )
@@ -352,15 +369,35 @@ impl CorpusRegistry {
     ///
     /// [`refresh`]: CorpusRegistry::refresh
     pub fn refresh_in_place(&self, name: &str) -> Result<u64, RegistryError> {
-        let (artifacts, epoch) = {
+        let (artifacts, epoch, spec) = {
             let tenants = self.tenants.read().unwrap();
             let tenant = tenants
                 .get(name)
                 .ok_or_else(|| RegistryError::UnknownCorpus(name.to_string()))?;
-            (tenant.artifacts.clone(), tenant.epoch)
+            (tenant.artifacts.clone(), tenant.epoch, tenant.spec.clone())
         };
-        let rebuilt = CorpusArtifacts::build(artifacts.corpus_arc())
-            .map_err(|e| RegistryError::Request(RepagerError::Graph(e)))?;
+        // A spec with a configured snapshot reloads in O(read); anything
+        // unusable about the snapshot degrades to the full rebuild below.
+        let reloaded = spec
+            .as_ref()
+            .and_then(|spec| spec.snapshot.as_deref().map(|path| (spec, path)))
+            .and_then(|(spec, path)| {
+                match crate::snapshot::try_load(path, crate::snapshot::spec_fingerprint(spec)) {
+                    Ok(artifacts) => Some(artifacts),
+                    Err(e) => {
+                        eprintln!(
+                            "[registry] tenant {name:?}: snapshot {path:?} unusable ({e}); \
+                             rebuilding in place"
+                        );
+                        None
+                    }
+                }
+            });
+        let rebuilt = match reloaded {
+            Some(artifacts) => artifacts,
+            None => CorpusArtifacts::build(artifacts.corpus_arc())
+                .map_err(|e| RegistryError::Request(RepagerError::Graph(e)))?,
+        };
         let (new_epoch, installed) = {
             let mut tenants = self.tenants.write().unwrap();
             match tenants.get_mut(name) {
@@ -490,10 +527,16 @@ impl CorpusRegistry {
             .and_then(|t| t.default_variant)
     }
 
-    /// Sets (or clears) a tenant's cache share. Returns whether the tenant
-    /// exists; shrinking a share does not evict until the tenant's next
-    /// cache insert.
+    /// Sets (or clears) a tenant's cache share. Returns whether the share
+    /// was applied: the tenant must exist and a set share must be at least
+    /// 1 — a zero share would make the eviction loop self-evict the
+    /// tenant's entry on every insert, so it is rejected like the other
+    /// zero-valued tuning knobs. Shrinking a share does not evict until
+    /// the tenant's next cache insert.
     pub fn set_cache_share(&self, name: &str, share: Option<usize>) -> bool {
+        if share == Some(0) {
+            return false;
+        }
         match self.tenants.write().unwrap().get_mut(name) {
             Some(tenant) => {
                 tenant.cache_share = share;
@@ -867,9 +910,8 @@ mod tests {
                 (
                     name.to_string(),
                     TenantConfig::for_spec(CorpusSpec {
-                        seed,
-                        scale: None,
                         papers_per_topic: Some(20),
+                        ..CorpusSpec::small(seed)
                     }),
                 )
             })
@@ -971,9 +1013,8 @@ mod tests {
     fn register_spec_records_tuning_and_replaces_like_refresh() {
         let registry = CorpusRegistry::new();
         let mut config = TenantConfig::for_spec(CorpusSpec {
-            seed: 5,
-            scale: None,
             papers_per_topic: Some(20),
+            ..CorpusSpec::small(5)
         });
         config.variant = Some("NEWST-C".to_string());
         config.cache_share = Some(1);
@@ -1030,6 +1071,102 @@ mod tests {
             ..PathRequest::new(query, 10)
         };
         assert!(registry.generate("alpha", &request).unwrap().cached);
+    }
+
+    #[test]
+    fn spec_with_snapshot_loads_from_it() {
+        let path = std::env::temp_dir().join(format!(
+            "rpg-registry-snap-good-{}.rpgsnap",
+            std::process::id()
+        ));
+        let spec = CorpusSpec {
+            papers_per_topic: Some(20),
+            ..CorpusSpec::small(777)
+        };
+        let artifacts = CorpusArtifacts::build(spec.build_corpus().unwrap()).unwrap();
+        let bytes =
+            crate::snapshot::encode(&artifacts, crate::snapshot::spec_fingerprint(&spec)).unwrap();
+        std::fs::write(&path, &bytes).unwrap();
+
+        let registry = CorpusRegistry::new();
+        let snap_spec = CorpusSpec {
+            snapshot: Some(path.to_string_lossy().into_owned()),
+            ..spec.clone()
+        };
+        registry
+            .register_spec("from-snap", &TenantConfig::for_spec(snap_spec.clone()))
+            .unwrap();
+        registry
+            .register_spec("from-spec", &TenantConfig::for_spec(spec))
+            .unwrap();
+        // Snapshot-loaded and spec-built tenants serve identical results.
+        let (query, year) = first_query(&registry, "from-snap");
+        let request = PathRequest {
+            max_year: Some(year),
+            ..PathRequest::new(&query, 15)
+        };
+        let a = registry.generate("from-snap", &request).unwrap();
+        let b = registry.generate("from-spec", &request).unwrap();
+        assert!(a.output.same_result(&b.output));
+        // Refreshing in place reloads from the snapshot and bumps the epoch.
+        assert_eq!(registry.refresh_in_place("from-snap").unwrap(), 1);
+        let refreshed = registry.generate("from-snap", &request).unwrap();
+        assert!(!refreshed.cached, "refresh must evict the tenant's cache");
+        assert!(refreshed.output.same_result(&b.output));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unusable_snapshots_fall_back_to_a_full_build() {
+        let spec = CorpusSpec {
+            papers_per_topic: Some(20),
+            ..CorpusSpec::small(778)
+        };
+        let artifacts = CorpusArtifacts::build(spec.build_corpus().unwrap()).unwrap();
+        // A snapshot whose fingerprint belongs to a *different* spec.
+        let stale = std::env::temp_dir().join(format!(
+            "rpg-registry-snap-stale-{}.rpgsnap",
+            std::process::id()
+        ));
+        let wrong = crate::snapshot::spec_fingerprint(&CorpusSpec::small(1));
+        std::fs::write(&stale, crate::snapshot::encode(&artifacts, wrong).unwrap()).unwrap();
+
+        let registry = CorpusRegistry::new();
+        for (tenant, path) in [
+            ("stale-snap", stale.to_string_lossy().into_owned()),
+            ("missing-snap", "/nonexistent/rpg.rpgsnap".to_string()),
+        ] {
+            let config = TenantConfig::for_spec(CorpusSpec {
+                snapshot: Some(path),
+                ..spec.clone()
+            });
+            registry.register_spec(tenant, &config).unwrap();
+        }
+        registry
+            .register_spec("reference", &TenantConfig::for_spec(spec))
+            .unwrap();
+        let (query, year) = first_query(&registry, "reference");
+        let request = PathRequest {
+            max_year: Some(year),
+            ..PathRequest::new(&query, 15)
+        };
+        let expected = registry.generate("reference", &request).unwrap();
+        for tenant in ["stale-snap", "missing-snap"] {
+            let served = registry.generate(tenant, &request).unwrap();
+            assert!(
+                served.output.same_result(&expected.output),
+                "tenant {tenant} must have been rebuilt from its spec"
+            );
+        }
+        std::fs::remove_file(&stale).ok();
+    }
+
+    #[test]
+    fn zero_cache_shares_are_rejected() {
+        let registry = registry_with_two_tenants();
+        assert!(!registry.set_cache_share("alpha", Some(0)));
+        assert!(registry.set_cache_share("alpha", Some(1)));
+        assert!(registry.set_cache_share("alpha", None));
     }
 
     #[test]

@@ -127,6 +127,65 @@ impl InvertedIndex {
         }
     }
 
+    /// Rebuilds an index from previously extracted parts (e.g. a decoded
+    /// snapshot section) without re-tokenising any text.
+    ///
+    /// `terms` lists the vocabulary in id order; `title_postings` and
+    /// `body_postings` are indexed by [`TermId`] and must have one (possibly
+    /// empty) postings list per term; `doc_stats` lists the per-document
+    /// length statistics.  Returns a human-readable error when the parts are
+    /// structurally inconsistent (duplicate terms, postings for unknown
+    /// documents, mismatched lengths).
+    pub fn from_parts(
+        terms: Vec<String>,
+        title_postings: Vec<Vec<Posting>>,
+        body_postings: Vec<Vec<Posting>>,
+        doc_stats: Vec<(DocId, DocStats)>,
+    ) -> Result<Self, String> {
+        if title_postings.len() != terms.len() || body_postings.len() != terms.len() {
+            return Err(format!(
+                "postings tables have {}/{} entries for {} terms",
+                title_postings.len(),
+                body_postings.len(),
+                terms.len()
+            ));
+        }
+        let mut vocab = Vocabulary::new();
+        for (i, term) in terms.iter().enumerate() {
+            let id = vocab.intern(term);
+            if id as usize != i {
+                return Err(format!("duplicate vocabulary term {term:?}"));
+            }
+        }
+        let stats: HashMap<DocId, DocStats> = doc_stats.iter().copied().collect();
+        if stats.len() != doc_stats.len() {
+            return Err("duplicate document in doc stats".to_string());
+        }
+        let collect = |lists: Vec<Vec<Posting>>| -> Result<HashMap<TermId, Vec<Posting>>, String> {
+            let mut map = HashMap::new();
+            for (i, postings) in lists.into_iter().enumerate() {
+                if let Some(p) = postings.iter().find(|p| !stats.contains_key(&p.doc)) {
+                    return Err(format!(
+                        "postings for term {:?} reference unknown document {}",
+                        terms[i], p.doc
+                    ));
+                }
+                if !postings.is_empty() {
+                    map.insert(i as TermId, postings);
+                }
+            }
+            Ok(map)
+        };
+        let title_postings = collect(title_postings)?;
+        let body_postings = collect(body_postings)?;
+        Ok(InvertedIndex {
+            vocab,
+            title_postings,
+            body_postings,
+            doc_stats: stats,
+        })
+    }
+
     /// The postings list of `term` in `field`, empty if the term is unknown.
     pub fn postings(&self, field: Field, term: &str) -> &[Posting] {
         let Some(id) = self.vocab.get(term) else {
@@ -284,6 +343,80 @@ mod tests {
         assert!(idx.doc_stats(99).is_none());
         assert!(idx.average_body_len() > 0.0);
         assert!(idx.average_title_len() > 0.0);
+    }
+
+    #[test]
+    fn from_parts_round_trips_an_index() {
+        let idx = sample_index();
+        let terms: Vec<String> = idx
+            .vocabulary()
+            .iter()
+            .map(|(_, t)| t.to_string())
+            .collect();
+        let extract = |field: Field| -> Vec<Vec<Posting>> {
+            terms
+                .iter()
+                .map(|t| idx.postings(field, t).to_vec())
+                .collect()
+        };
+        let stats: Vec<(DocId, DocStats)> = (0..idx.doc_count() as DocId)
+            .map(|d| (d, idx.doc_stats(d).unwrap()))
+            .collect();
+        let rebuilt = InvertedIndex::from_parts(
+            terms.clone(),
+            extract(Field::Title),
+            extract(Field::Body),
+            stats,
+        )
+        .unwrap();
+        assert_eq!(rebuilt.doc_count(), idx.doc_count());
+        assert_eq!(rebuilt.term_count(), idx.term_count());
+        for term in &terms {
+            assert_eq!(
+                rebuilt.postings(Field::Title, term),
+                idx.postings(Field::Title, term)
+            );
+            assert_eq!(
+                rebuilt.postings(Field::Body, term),
+                idx.postings(Field::Body, term)
+            );
+        }
+        assert_eq!(rebuilt.average_body_len(), idx.average_body_len());
+    }
+
+    #[test]
+    fn from_parts_rejects_inconsistent_parts() {
+        // Mismatched postings-table length.
+        assert!(
+            InvertedIndex::from_parts(vec!["a".to_string()], vec![], vec![vec![]], vec![]).is_err()
+        );
+        // Duplicate vocabulary term.
+        assert!(InvertedIndex::from_parts(
+            vec!["a".to_string(), "a".to_string()],
+            vec![vec![], vec![]],
+            vec![vec![], vec![]],
+            vec![],
+        )
+        .is_err());
+        // Posting referencing a document with no stats.
+        assert!(InvertedIndex::from_parts(
+            vec!["a".to_string()],
+            vec![vec![Posting {
+                doc: 7,
+                term_frequency: 1
+            }]],
+            vec![vec![]],
+            vec![],
+        )
+        .is_err());
+        // Duplicate doc-stats entry.
+        assert!(InvertedIndex::from_parts(
+            vec![],
+            vec![],
+            vec![],
+            vec![(0, DocStats::default()), (0, DocStats::default())],
+        )
+        .is_err());
     }
 
     #[test]

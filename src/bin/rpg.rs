@@ -119,6 +119,12 @@ fn usage() -> String {
         "            [--manifest FILE] [--auth on|off] [--full-corpus]",
         "  rpg bench [--json FILE] [--label TEXT] [--smoke] [--load] [--check BASELINE]",
         "            [--max-regression X]",
+        "  rpg snapshot build --manifest FILE --out DIR",
+        "                                write <DIR>/<tenant>.rpgsnap for every manifest tenant;",
+        "                                point each spec's \"snapshot\" field at its file for",
+        "                                O(read) startup and reload",
+        "  rpg snapshot inspect FILE     print a snapshot's version, fingerprint, section",
+        "                                sizes and checksums",
         "  rpg hash-key <KEY> [--salt HEX]   print the salted-SHA-256 form of a bearer key",
         "                                    for a manifest's key_hashes/admin_key_hashes",
         "",
@@ -551,6 +557,122 @@ fn run_bench(options: &BenchOptions) -> Result<(), String> {
     Ok(())
 }
 
+/// The parsed `snapshot` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+enum SnapshotCommand {
+    /// `snapshot build --manifest FILE --out DIR`: build every manifest
+    /// tenant from its spec and write `<DIR>/<tenant>.rpgsnap`.
+    Build { manifest: String, out: String },
+    /// `snapshot inspect FILE`: print a snapshot's container metadata.
+    Inspect { file: String },
+}
+
+fn parse_snapshot_args(args: &[String]) -> Result<SnapshotCommand, String> {
+    match args.first().map(String::as_str) {
+        Some("build") => {
+            let mut manifest: Option<String> = None;
+            let mut out: Option<String> = None;
+            let mut iter = args[1..].iter();
+            while let Some(arg) = iter.next() {
+                let mut value_of = |flag: &str| -> Result<String, String> {
+                    iter.next()
+                        .cloned()
+                        .ok_or_else(|| format!("{flag} requires a value"))
+                };
+                match arg.as_str() {
+                    "--manifest" => manifest = Some(value_of("--manifest")?),
+                    "--out" => out = Some(value_of("--out")?),
+                    "--help" | "-h" => return Err(usage()),
+                    other => return Err(format!("unrecognised argument '{other}'\n{}", usage())),
+                }
+            }
+            Ok(SnapshotCommand::Build {
+                manifest: manifest.ok_or_else(|| {
+                    format!("snapshot build requires --manifest FILE\n{}", usage())
+                })?,
+                out: out
+                    .ok_or_else(|| format!("snapshot build requires --out DIR\n{}", usage()))?,
+            })
+        }
+        Some("inspect") => {
+            let mut file: Option<String> = None;
+            for arg in &args[1..] {
+                match arg.as_str() {
+                    "--help" | "-h" => return Err(usage()),
+                    other if file.is_none() => file = Some(other.to_string()),
+                    other => return Err(format!("unrecognised argument '{other}'\n{}", usage())),
+                }
+            }
+            Ok(SnapshotCommand::Inspect {
+                file: file
+                    .ok_or_else(|| format!("snapshot inspect requires a FILE\n{}", usage()))?,
+            })
+        }
+        _ => Err(format!(
+            "snapshot requires a subcommand: build or inspect\n{}",
+            usage()
+        )),
+    }
+}
+
+fn run_snapshot(command: &SnapshotCommand) -> Result<String, String> {
+    use rpg_service::snapshot;
+    match command {
+        SnapshotCommand::Build { manifest, out } => {
+            let manifest = load_manifest(manifest)?;
+            manifest.validate().map_err(|e| e.to_string())?;
+            let out_dir = std::path::Path::new(out);
+            std::fs::create_dir_all(out_dir).map_err(|e| format!("cannot create {out}: {e}"))?;
+            let mut text = String::new();
+            for (name, config) in manifest.tenants_sorted() {
+                let spec = config.corpus_spec().map_err(|e| e.to_string())?;
+                // Always build from the generator spec — a snapshot must
+                // capture what the spec produces, never what another
+                // (possibly stale) snapshot holds.
+                let corpus = spec
+                    .build_corpus()
+                    .map_err(|e| format!("tenant {name:?}: {e}"))?;
+                let artifacts = rpg_repager::artifacts::CorpusArtifacts::build(corpus)
+                    .map_err(|e| format!("tenant {name:?}: artifact build failed: {e}"))?;
+                let fingerprint = snapshot::spec_fingerprint(spec);
+                let bytes = snapshot::encode(&artifacts, fingerprint)
+                    .map_err(|e| format!("tenant {name:?}: {e}"))?;
+                let path = out_dir.join(format!("{name}.rpgsnap"));
+                std::fs::write(&path, &bytes)
+                    .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+                text.push_str(&format!(
+                    "{name}: {} bytes -> {} (fingerprint {fingerprint:#018x})\n",
+                    bytes.len(),
+                    path.display()
+                ));
+            }
+            Ok(text)
+        }
+        SnapshotCommand::Inspect { file } => {
+            let bytes = std::fs::read(file).map_err(|e| format!("cannot read {file}: {e}"))?;
+            let info = snapshot::inspect(&bytes).map_err(|e| e.to_string())?;
+            let mut text = format!(
+                "{file}: format v{}, fingerprint {:#018x}, {} bytes, {} sections\n",
+                info.format_version,
+                info.fingerprint,
+                info.total_len,
+                info.sections.len()
+            );
+            for section in &info.sections {
+                text.push_str(&format!(
+                    "  {:<8} offset {:>10}  {:>10} bytes  crc {:08x}  {}\n",
+                    section.kind.name(),
+                    section.offset,
+                    section.len,
+                    section.crc,
+                    if section.crc_ok { "ok" } else { "CORRUPT" }
+                ));
+            }
+            Ok(text)
+        }
+    }
+}
+
 /// Options of the `hash-key` subcommand, parsed and executed in one go:
 /// prints the `"<salt-hex>:<digest-hex>"` form a manifest's
 /// `key_hashes`/`admin_key_hashes` fields store.
@@ -673,6 +795,16 @@ fn main() {
         if let Err(message) = parse_bench_args(&args[1..]).and_then(|o| run_bench(&o)) {
             eprintln!("{message}");
             std::process::exit(2);
+        }
+        return;
+    }
+    if args.first().map(String::as_str) == Some("snapshot") {
+        match parse_snapshot_args(&args[1..]).and_then(|c| run_snapshot(&c)) {
+            Ok(text) => print!("{text}"),
+            Err(message) => {
+                eprintln!("{message}");
+                std::process::exit(2);
+            }
         }
         return;
     }
@@ -1018,6 +1150,75 @@ mod tests {
         assert_eq!(listing.status, 200);
         assert!(listing.body.contains("\"alpha\""));
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn snapshot_args_parse_and_reject_garbage() {
+        assert_eq!(
+            parse_snapshot_args(&args(&["build", "--manifest", "m.json", "--out", "snaps"]))
+                .unwrap(),
+            SnapshotCommand::Build {
+                manifest: "m.json".to_string(),
+                out: "snaps".to_string(),
+            }
+        );
+        assert_eq!(
+            parse_snapshot_args(&args(&["inspect", "a.rpgsnap"])).unwrap(),
+            SnapshotCommand::Inspect {
+                file: "a.rpgsnap".to_string(),
+            }
+        );
+        assert!(parse_snapshot_args(&args(&["build", "--manifest", "m.json"])).is_err());
+        assert!(parse_snapshot_args(&args(&["build", "--out", "snaps"])).is_err());
+        assert!(parse_snapshot_args(&args(&["inspect"])).is_err());
+        assert!(parse_snapshot_args(&args(&["inspect", "a", "b"])).is_err());
+        assert!(parse_snapshot_args(&args(&["export"])).is_err());
+        assert!(parse_snapshot_args(&args(&[])).is_err());
+    }
+
+    #[test]
+    fn snapshot_build_and_inspect_round_trip() {
+        let base = std::env::temp_dir().join(format!("rpg-cli-snap-{}", std::process::id()));
+        let manifest_path = base.join("manifest.json");
+        let out_dir = base.join("snaps");
+        std::fs::create_dir_all(&base).unwrap();
+        std::fs::write(
+            &manifest_path,
+            r#"{"tenants": {"alpha": {"corpus": {"seed": 21, "papers_per_topic": 20}}}}"#,
+        )
+        .unwrap();
+        let built = run_snapshot(&SnapshotCommand::Build {
+            manifest: manifest_path.to_string_lossy().into_owned(),
+            out: out_dir.to_string_lossy().into_owned(),
+        })
+        .unwrap();
+        assert!(built.contains("alpha:"), "unexpected output: {built}");
+        let snap_path = out_dir.join("alpha.rpgsnap");
+        let inspected = run_snapshot(&SnapshotCommand::Inspect {
+            file: snap_path.to_string_lossy().into_owned(),
+        })
+        .unwrap();
+        assert!(inspected.contains("format v1"), "{inspected}");
+        for section in ["papers", "refs", "graph", "pagerank", "index", "meta"] {
+            assert!(
+                inspected.contains(section),
+                "missing {section}: {inspected}"
+            );
+        }
+        assert!(!inspected.contains("CORRUPT"), "{inspected}");
+        // A manifest pointing at the snapshot boots a server from it.
+        let spec = rpg_service::CorpusSpec {
+            seed: 21,
+            papers_per_topic: Some(20),
+            ..rpg_service::CorpusSpec::small(21)
+        };
+        let loaded = rpg_service::snapshot::try_load(
+            &snap_path.to_string_lossy(),
+            rpg_service::spec_fingerprint(&spec),
+        )
+        .unwrap();
+        assert!(!loaded.corpus().is_empty());
+        let _ = std::fs::remove_dir_all(&base);
     }
 
     #[test]

@@ -784,3 +784,101 @@ fn write_then_half_close_still_gets_served() {
     assert_eq!(truncated.status, 400);
     assert!(truncated.closes_connection());
 }
+
+#[test]
+fn zero_and_garbage_deadline_headers_are_rejected_up_front() {
+    // A zero `x-rpg-deadline-ms` budget is already expired on arrival —
+    // every request carrying it would queue, occupy a compute slot, and
+    // then be shed with a 503. Garbage used to be silently ignored, which
+    // hid client-side bugs. Both are a 400 at parse time now.
+    let server = spawn(demo_registry(), 2, 8);
+    let (query, year) = demo_queries(1).remove(0);
+    let body = generate_body(&query, year, 10);
+
+    for bad in ["0", "soon", "-5", "1.5", ""] {
+        let response = client::request_with(
+            server.addr(),
+            "POST",
+            "/v1/generate",
+            Some(&body),
+            &[("x-rpg-deadline-ms", bad)],
+        )
+        .unwrap();
+        assert_eq!(response.status, 400, "header {bad:?}: {}", response.body);
+        assert!(
+            response.body.contains("x-rpg-deadline-ms"),
+            "the error must name the offending header: {}",
+            response.body
+        );
+    }
+
+    // Batch admission parses the header once per request, before any item
+    // is billed, so the whole batch is refused — not a per-item error.
+    let batch = format!(r#"{{"requests": [{{"query": {query:?}}}]}}"#);
+    let response = client::request_with(
+        server.addr(),
+        "POST",
+        "/v1/batch",
+        Some(&batch),
+        &[("x-rpg-deadline-ms", "0")],
+    )
+    .unwrap();
+    assert_eq!(response.status, 400, "{}", response.body);
+
+    // A generous valid budget still serves normally.
+    let response = client::request_with(
+        server.addr(),
+        "POST",
+        "/v1/generate",
+        Some(&body),
+        &[("x-rpg-deadline-ms", "30000")],
+    )
+    .unwrap();
+    assert_eq!(response.status, 200, "{}", response.body);
+}
+
+#[test]
+fn a_panic_past_the_reply_keeps_the_worker_and_releases_the_charge() {
+    // The fault this guards against: a panic *after* `run_job`'s inner
+    // pipeline guard (reply already sent) used to unwind out of the worker
+    // loop, killing the thread and leaking the tenant's in-flight charge.
+    // With one worker and an in-flight cap of 1, either leak would wedge
+    // the server; the outer RAII guard must absorb both.
+    let server = spawn_with(demo_registry(), |config| {
+        config.workers = 1;
+        config.queue_capacity = 4;
+        config.tenant_inflight = vec![("default".to_string(), 1)];
+    });
+    let (query, year) = demo_queries(1).remove(0);
+    let body = generate_body(&query, year, 10);
+
+    rpg_server::test_hooks::PANIC_AFTER_REPLY.store(true, std::sync::atomic::Ordering::SeqCst);
+    let first = client::post_json(server.addr(), "/v1/generate", &body).unwrap();
+    assert_eq!(first.status, 200, "{}", first.body);
+
+    // The charge drains back to zero (the reply lands before the unwind
+    // does, hence the poll)...
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let stats: Value =
+            serde_json::from_str(&client::get(server.addr(), "/v1/stats").unwrap().body).unwrap();
+        let in_flight = stats
+            .get("tenants")
+            .and_then(|t| t.get("default"))
+            .and_then(|row| row.get("in_flight"))
+            .and_then(Value::as_f64);
+        if in_flight == Some(0.0) {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "in-flight charge never released: {in_flight:?}"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // ...and the sole worker is still alive to serve the next request
+    // through the cap the leak would have pinned shut.
+    let second = client::post_json(server.addr(), "/v1/generate", &body).unwrap();
+    assert_eq!(second.status, 200, "{}", second.body);
+}
