@@ -29,6 +29,12 @@
 //! tenant's full spec build (generation + artifacts) against decoding a
 //! versioned snapshot of the same artifacts, and the report carries the
 //! ratio as `snapshot_load_vs_build`.
+//!
+//! PR 10's observability layer pins its overhead with the
+//! `serve_cache_hit_{untraced,traced}` pair: the same cache-hit
+//! `POST /v1/generate` exchange with and without a caller-supplied
+//! `x-rpg-trace-id` header, so the per-request tracing cost stays visible
+//! in every committed report.
 
 use crate::micro_corpus;
 use rpg_corpus::Corpus;
@@ -430,6 +436,7 @@ pub fn run_report(label: &str, iters: Iterations) -> BenchReport {
     ));
 
     run_idle_exchange_benches(iters, &mut results);
+    run_traced_exchange_benches(&corpus, iters, &mut results);
 
     BenchReport {
         label: label.to_string(),
@@ -521,6 +528,77 @@ fn run_idle_exchange_benches(iters: Iterations, results: &mut Vec<BenchResult>) 
         ));
         drop(idle);
     }
+}
+
+/// The `serve_cache_hit_{untraced,traced}` pair: one loopback server with a
+/// pre-warmed result cache, the same `POST /v1/generate` exchange measured
+/// with and without a caller-supplied `x-rpg-trace-id` header. The delta is
+/// the per-request cost of the observability layer (trace-ID parse, span
+/// recorder, exemplar retention, echo header) on the fastest end-to-end
+/// path the server has — committed per PR so that cost stays visible.
+fn run_traced_exchange_benches(corpus: &Corpus, iters: Iterations, results: &mut Vec<BenchResult>) {
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        drivers: 1,
+        keep_alive: true,
+        idle_timeout: Duration::from_secs(600),
+        ..ServerConfig::default()
+    };
+    let registry = Arc::new(CorpusRegistry::new());
+    registry
+        .register("default", corpus.clone())
+        .expect("bench corpus registers");
+    let server = Server::spawn(registry, config).expect("bench server binds");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match client::get(server.addr(), "/v1/healthz") {
+            Ok(response) if response.status == 200 => break,
+            _ if Instant::now() < deadline => std::thread::sleep(Duration::from_millis(5)),
+            other => panic!("bench server never became ready: {other:?}"),
+        }
+    }
+
+    let survey = corpus.survey_bank().iter().next().expect("survey bank");
+    let body = format!(
+        r#"{{"query": {:?}, "max_year": {}, "top_k": 30}}"#,
+        survey.query, survey.year
+    );
+    let mut conn = client::Conn::connect(server.addr()).expect("bench connection opens");
+    let warm = conn
+        .post_json("/v1/generate", &body)
+        .expect("cache warms end-to-end");
+    assert_eq!(warm.status, 200, "cache warm-up exchange");
+
+    results.push(run_bench(
+        "serve_cache_hit_untraced",
+        iters.service,
+        iters.warmup,
+        || {
+            let response = conn.post_json("/v1/generate", &body).expect("exchange");
+            assert_eq!(response.status, 200);
+            response.body.len()
+        },
+    ));
+    let trace_id = "00f0e1d2c3b4a596870123456789abcd";
+    results.push(run_bench(
+        "serve_cache_hit_traced",
+        iters.service,
+        iters.warmup,
+        || {
+            let response = conn
+                .request_with(
+                    "POST",
+                    "/v1/generate",
+                    Some(&body),
+                    &[("x-rpg-trace-id", trace_id)],
+                )
+                .expect("traced exchange");
+            assert_eq!(response.status, 200);
+            assert_eq!(response.header("x-rpg-trace-id"), Some(trace_id));
+            response.body.len()
+        },
+    ));
 }
 
 /// Parses a committed `rpg-bench-report/v1` JSON into `(name, median_ns)`

@@ -1,0 +1,416 @@
+//! Leveled, rate-limited JSON-lines logging.
+//!
+//! One line per event on stderr:
+//!
+//! ```text
+//! {"ts":1754649296123,"level":"warn","target":"auth","trace_id":"4bf9…","msg":"…","key":"value"}
+//! ```
+//!
+//! * the level lives in one atomic, so `rpg serve --log-level` sets it at
+//!   boot and a SIGHUP manifest reload can swap it without stopping the
+//!   world;
+//! * a per-target one-second window caps emission (default 200
+//!   lines/target/second); suppressed lines are counted and the count is
+//!   attached to the next emitted line for that target, so floods are
+//!   visible without being amplified;
+//! * a thread-local trace context ([`trace_scope`]) stamps `trace_id`
+//!   onto every line logged while a request is being computed.
+
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::io::Write;
+use std::sync::atomic::{AtomicU32, AtomicU8, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant, SystemTime};
+
+use crate::json_escape_into;
+use crate::trace::TraceId;
+
+/// Log severities, most to least severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// The process is degraded or lost data.
+    Error = 0,
+    /// Something unexpected that the process absorbed.
+    Warn = 1,
+    /// Lifecycle events worth keeping in production.
+    Info = 2,
+    /// Diagnostic detail for debugging a deployment.
+    Debug = 3,
+    /// Per-request firehose.
+    Trace = 4,
+}
+
+impl Level {
+    /// The lowercase wire/CLI name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+
+    /// Parses a CLI/manifest level name (case-insensitive).
+    pub fn parse(text: &str) -> Option<Level> {
+        match text.to_ascii_lowercase().as_str() {
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            "trace" => Some(Level::Trace),
+            _ => None,
+        }
+    }
+
+    fn from_u8(value: u8) -> Level {
+        match value {
+            0 => Level::Error,
+            1 => Level::Warn,
+            2 => Level::Info,
+            3 => Level::Debug,
+            _ => Level::Trace,
+        }
+    }
+}
+
+/// The active level. `Info` by default.
+static LEVEL: AtomicU8 = AtomicU8::new(Level::Info as u8);
+
+/// Per-target lines allowed per one-second window.
+static RATE_LIMIT: AtomicU32 = AtomicU32::new(200);
+
+/// Sets the active level. Atomic, so safe to call from the SIGHUP reload
+/// supervisor while request threads are logging.
+pub fn set_level(level: Level) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// The active level.
+pub fn level() -> Level {
+    Level::from_u8(LEVEL.load(Ordering::Relaxed))
+}
+
+/// Whether events at `at` are currently emitted.
+pub fn enabled(at: Level) -> bool {
+    at <= level()
+}
+
+/// Sets the per-target per-second line cap (0 disables the limiter).
+pub fn set_rate_limit(per_second: u32) {
+    RATE_LIMIT.store(per_second, Ordering::Relaxed);
+}
+
+thread_local! {
+    static CURRENT_TRACE: Cell<Option<TraceId>> = const { Cell::new(None) };
+}
+
+/// RAII guard restoring the previous thread-local trace context on drop.
+pub struct TraceScope {
+    previous: Option<TraceId>,
+}
+
+impl Drop for TraceScope {
+    fn drop(&mut self) {
+        CURRENT_TRACE.with(|cell| cell.set(self.previous));
+    }
+}
+
+/// Enters a request's trace context on this thread: lines logged while
+/// the guard lives carry its `trace_id`.
+pub fn trace_scope(id: TraceId) -> TraceScope {
+    let previous = CURRENT_TRACE.with(|cell| cell.replace(Some(id)));
+    TraceScope { previous }
+}
+
+/// The trace ID of the request this thread is currently serving, if any.
+pub fn current_trace() -> Option<TraceId> {
+    CURRENT_TRACE.with(|cell| cell.get())
+}
+
+struct TargetWindow {
+    window_start: Instant,
+    emitted: u32,
+    suppressed: u64,
+}
+
+/// Rate-limiter state, keyed by target. Touched once per emitted line —
+/// never on filtered-out levels, which exit before any locking.
+static WINDOWS: Mutex<Option<HashMap<String, TargetWindow>>> = Mutex::new(None);
+
+enum Admit {
+    /// Emit, with how many earlier lines this window suppressed.
+    Emit {
+        suppressed: u64,
+    },
+    Drop,
+}
+
+fn admit(target: &str) -> Admit {
+    let limit = RATE_LIMIT.load(Ordering::Relaxed);
+    if limit == 0 {
+        return Admit::Emit { suppressed: 0 };
+    }
+    let mut guard = match WINDOWS.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    let windows = guard.get_or_insert_with(HashMap::new);
+    let now = Instant::now();
+    let window = windows
+        .entry(target.to_string())
+        .or_insert_with(|| TargetWindow {
+            window_start: now,
+            emitted: 0,
+            suppressed: 0,
+        });
+    let mut carried = 0;
+    if now.duration_since(window.window_start) >= Duration::from_secs(1) {
+        carried = window.suppressed;
+        window.window_start = now;
+        window.emitted = 0;
+        window.suppressed = 0;
+    }
+    if window.emitted < limit {
+        window.emitted += 1;
+        Admit::Emit {
+            suppressed: carried,
+        }
+    } else {
+        window.suppressed += 1;
+        Admit::Drop
+    }
+}
+
+/// Test sink: when enabled, lines are captured instead of written to
+/// stderr.
+static CAPTURE: Mutex<Option<Vec<String>>> = Mutex::new(None);
+
+/// Diverts emitted lines into an in-memory buffer (tests) or back to
+/// stderr.
+pub fn set_capture(enabled: bool) {
+    let mut guard = match CAPTURE.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    *guard = if enabled { Some(Vec::new()) } else { None };
+}
+
+/// Drains the captured lines (empty when capture is off).
+pub fn take_captured() -> Vec<String> {
+    let mut guard = match CAPTURE.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    match guard.as_mut() {
+        Some(lines) => std::mem::take(lines),
+        None => Vec::new(),
+    }
+}
+
+/// Renders one event as a JSON line (no trailing newline). Split from
+/// [`log`] so the format is unit-testable without touching stderr.
+pub fn format_line(
+    level: Level,
+    target: &str,
+    trace_id: Option<TraceId>,
+    message: &str,
+    fields: &[(&str, &str)],
+    suppressed: u64,
+    unix_ms: u64,
+) -> String {
+    let mut out = String::with_capacity(96 + message.len());
+    out.push_str("{\"ts\":");
+    out.push_str(&unix_ms.to_string());
+    out.push_str(",\"level\":\"");
+    out.push_str(level.as_str());
+    out.push_str("\",\"target\":\"");
+    json_escape_into(&mut out, target);
+    out.push('"');
+    if let Some(id) = trace_id {
+        out.push_str(",\"trace_id\":\"");
+        out.push_str(&id.to_string());
+        out.push('"');
+    }
+    out.push_str(",\"msg\":\"");
+    json_escape_into(&mut out, message);
+    out.push('"');
+    for (key, value) in fields {
+        out.push_str(",\"");
+        json_escape_into(&mut out, key);
+        out.push_str("\":\"");
+        json_escape_into(&mut out, value);
+        out.push('"');
+    }
+    if suppressed > 0 {
+        out.push_str(",\"suppressed\":");
+        out.push_str(&suppressed.to_string());
+    }
+    out.push('}');
+    out
+}
+
+/// Emits one structured event if `level` is enabled and the target's rate
+/// window has room. `fields` are appended as string key/values after the
+/// message.
+pub fn log(level: Level, target: &str, message: &str, fields: &[(&str, &str)]) {
+    if !enabled(level) {
+        return;
+    }
+    let suppressed = match admit(target) {
+        Admit::Emit { suppressed } => suppressed,
+        Admit::Drop => return,
+    };
+    let unix_ms = SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0);
+    let line = format_line(
+        level,
+        target,
+        current_trace(),
+        message,
+        fields,
+        suppressed,
+        unix_ms,
+    );
+    let mut guard = match CAPTURE.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    match guard.as_mut() {
+        Some(lines) => lines.push(line),
+        None => {
+            drop(guard);
+            let mut stderr = std::io::stderr().lock();
+            let _ = writeln!(stderr, "{line}");
+        }
+    }
+}
+
+/// [`log`] at [`Level::Error`].
+pub fn error(target: &str, message: &str, fields: &[(&str, &str)]) {
+    log(Level::Error, target, message, fields);
+}
+
+/// [`log`] at [`Level::Warn`].
+pub fn warn(target: &str, message: &str, fields: &[(&str, &str)]) {
+    log(Level::Warn, target, message, fields);
+}
+
+/// [`log`] at [`Level::Info`].
+pub fn info(target: &str, message: &str, fields: &[(&str, &str)]) {
+    log(Level::Info, target, message, fields);
+}
+
+/// [`log`] at [`Level::Debug`].
+pub fn debug(target: &str, message: &str, fields: &[(&str, &str)]) {
+    log(Level::Debug, target, message, fields);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex, OnceLock};
+
+    /// The logger is process-global state; serialise the tests that mutate
+    /// it.
+    fn logger_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        match LOCK.get_or_init(|| Mutex::new(())).lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    #[test]
+    fn level_parsing_and_ordering() {
+        assert_eq!(Level::parse("WARN"), Some(Level::Warn));
+        assert_eq!(Level::parse("warning"), Some(Level::Warn));
+        assert_eq!(Level::parse("trace"), Some(Level::Trace));
+        assert_eq!(Level::parse("loud"), None);
+        assert!(Level::Error < Level::Trace);
+    }
+
+    #[test]
+    fn format_line_shape() {
+        let id = TraceId::parse("abcdef0123456789abcdef0123456789").unwrap();
+        let line = format_line(
+            Level::Warn,
+            "auth",
+            Some(id),
+            "bad \"key\"",
+            &[("tenant", "alpha"), ("path", "a\\b")],
+            3,
+            1700000000123,
+        );
+        assert_eq!(
+            line,
+            "{\"ts\":1700000000123,\"level\":\"warn\",\"target\":\"auth\",\
+             \"trace_id\":\"abcdef0123456789abcdef0123456789\",\
+             \"msg\":\"bad \\\"key\\\"\",\"tenant\":\"alpha\",\"path\":\"a\\\\b\",\
+             \"suppressed\":3}"
+        );
+    }
+
+    #[test]
+    fn level_filter_and_atomic_swap() {
+        let _guard = logger_lock();
+        set_capture(true);
+        set_level(Level::Warn);
+        log(Level::Info, "test_filter", "hidden", &[]);
+        log(Level::Warn, "test_filter", "shown", &[]);
+        set_level(Level::Debug);
+        log(Level::Debug, "test_filter", "now visible", &[]);
+        let lines = take_captured();
+        set_capture(false);
+        set_level(Level::Info);
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"msg\":\"shown\""));
+        assert!(lines[1].contains("\"msg\":\"now visible\""));
+    }
+
+    #[test]
+    fn rate_limiter_suppresses_and_reports() {
+        let _guard = logger_lock();
+        set_capture(true);
+        set_rate_limit(2);
+        for i in 0..5 {
+            log(Level::Warn, "test_flood", &format!("line {i}"), &[]);
+        }
+        let lines = take_captured();
+        assert_eq!(lines.len(), 2, "only the window cap is emitted: {lines:?}");
+        // Force the window to roll over, then confirm the suppressed count
+        // from the previous window is attached.
+        std::thread::sleep(Duration::from_millis(1050));
+        log(Level::Warn, "test_flood", "after window", &[]);
+        let lines = take_captured();
+        set_capture(false);
+        set_rate_limit(200);
+        assert_eq!(lines.len(), 1);
+        assert!(
+            lines[0].contains("\"suppressed\":3"),
+            "suppressed count carried: {lines:?}"
+        );
+    }
+
+    #[test]
+    fn trace_scope_stamps_and_restores() {
+        let _guard = logger_lock();
+        set_capture(true);
+        let id = TraceId::parse("00000000000000000000000000000abc").unwrap();
+        {
+            let _scope = trace_scope(id);
+            assert_eq!(current_trace(), Some(id));
+            log(Level::Warn, "test_scope", "inside", &[]);
+        }
+        assert_eq!(current_trace(), None);
+        log(Level::Warn, "test_scope", "outside", &[]);
+        let lines = take_captured();
+        set_capture(false);
+        assert!(lines[0].contains("\"trace_id\":\"00000000000000000000000000000abc\""));
+        assert!(!lines[1].contains("trace_id"));
+    }
+}

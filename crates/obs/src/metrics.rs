@@ -1,0 +1,523 @@
+//! The unified metrics registry: named counter / gauge / histogram
+//! families with label sets, rendered as Prometheus text exposition
+//! format 0.0.4.
+//!
+//! Hot-path ergonomics drive the design: callers register once and keep
+//! cheap `Arc`-backed handles ([`Counter`], [`Gauge`]) whose updates are
+//! single atomic ops — the registry mutex is taken only at registration
+//! and render time. Histograms register as [`HistogramSource`] trait
+//! objects so the server's log₂-bucketed latency histogram (or any other
+//! implementation) can expose cumulative `_bucket`/`_sum`/`_count`
+//! series without this crate dictating the bucket layout.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::json_escape_into;
+
+/// A monotonically-increasing counter handle. Clones share the same
+/// underlying atomic.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Increments by one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increments by `delta`.
+    pub fn add(&self, delta: u64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Overwrites the value. For scrape-time sampling of counters whose
+    /// authoritative source lives elsewhere (e.g. cache hit totals inside
+    /// the registry's `CorpusRegistry`); the sampled source must itself be
+    /// monotone or Prometheus rate() math breaks.
+    pub fn set(&self, value: u64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge handle (a value that can go up and down). Clones share the
+/// same underlying atomic.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, value: i64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// Increments by one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Decrements by one.
+    pub fn dec(&self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A cumulative-bucket snapshot of a histogram, in the shape Prometheus
+/// exposition wants. Bucket bounds are in seconds (the Prometheus base
+/// unit for time), ascending, cumulative, without the implicit `+Inf`
+/// bucket (rendered from `count`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// `(le_seconds, cumulative_count)` pairs, ascending by bound.
+    pub buckets: Vec<(f64, u64)>,
+    /// Sum of all observed values, in seconds.
+    pub sum_seconds: f64,
+    /// Total number of observations.
+    pub count: u64,
+}
+
+/// Anything that can be rendered as a Prometheus histogram. Implemented
+/// by the server's log₂ latency histogram; the registry holds the same
+/// `Arc` the request path records into, so `/metrics` and `/v1/stats`
+/// read identical data.
+pub trait HistogramSource: Send + Sync {
+    /// A consistent-enough snapshot of the current state. Implementations
+    /// using relaxed atomics may be momentarily torn between buckets and
+    /// count; renderers clamp rather than panic.
+    fn snapshot(&self) -> HistogramSnapshot;
+}
+
+enum Series {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Arc<dyn HistogramSource>),
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Kind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl Kind {
+    fn as_str(self) -> &'static str {
+        match self {
+            Kind::Counter => "counter",
+            Kind::Gauge => "gauge",
+            Kind::Histogram => "histogram",
+        }
+    }
+}
+
+struct Family {
+    kind: Kind,
+    help: String,
+    /// Keyed by the rendered label block (`{a="x",b="y"}` or empty) so
+    /// series render in a stable order.
+    series: BTreeMap<String, Series>,
+}
+
+/// The process-wide registry of metric families. One instance is shared
+/// by everything that records or renders metrics.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    families: Mutex<BTreeMap<String, Family>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Returns the counter for `name` + `labels`, registering the family
+    /// (with `help`) and the series on first use. Panics if `name` is
+    /// already registered as a different kind, or if the name/labels are
+    /// not valid Prometheus identifiers — both are programmer errors
+    /// caught at startup, not data-dependent conditions.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        let key = label_key(labels);
+        let mut families = self.lock();
+        let family = Self::family_entry(&mut families, name, help, Kind::Counter);
+        match family
+            .series
+            .entry(key)
+            .or_insert_with(|| Series::Counter(Counter::default()))
+        {
+            Series::Counter(counter) => counter.clone(),
+            _ => unreachable!("family kind checked above"),
+        }
+    }
+
+    /// Returns the gauge for `name` + `labels`, registering on first use.
+    /// Same panics as [`counter`](Self::counter).
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        let key = label_key(labels);
+        let mut families = self.lock();
+        let family = Self::family_entry(&mut families, name, help, Kind::Gauge);
+        match family
+            .series
+            .entry(key)
+            .or_insert_with(|| Series::Gauge(Gauge::default()))
+        {
+            Series::Gauge(gauge) => gauge.clone(),
+            _ => unreachable!("family kind checked above"),
+        }
+    }
+
+    /// Registers `source` as the histogram series for `name` + `labels`.
+    /// Re-registering the same series replaces the source (tenants can be
+    /// recreated across manifest reloads).
+    pub fn register_histogram(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        source: Arc<dyn HistogramSource>,
+    ) {
+        let key = label_key(labels);
+        let mut families = self.lock();
+        let family = Self::family_entry(&mut families, name, help, Kind::Histogram);
+        family.series.insert(key, Series::Histogram(source));
+    }
+
+    fn family_entry<'a>(
+        families: &'a mut BTreeMap<String, Family>,
+        name: &str,
+        help: &str,
+        kind: Kind,
+    ) -> &'a mut Family {
+        assert!(valid_metric_name(name), "invalid metric name {name:?}");
+        let family = families.entry(name.to_string()).or_insert_with(|| Family {
+            kind,
+            help: help.to_string(),
+            series: BTreeMap::new(),
+        });
+        assert!(
+            family.kind == kind,
+            "metric {name:?} registered as {} and {}",
+            family.kind.as_str(),
+            kind.as_str()
+        );
+        family
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Family>> {
+        match self.families.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Renders every family as Prometheus text exposition format 0.0.4:
+    /// `# HELP` / `# TYPE` headers, one sample line per series, histograms
+    /// expanded into cumulative `_bucket{le=...}` series plus `_sum` and
+    /// `_count`. Families and series render in name order.
+    pub fn render(&self) -> String {
+        let families = self.lock();
+        let mut out = String::with_capacity(4096);
+        for (name, family) in families.iter() {
+            out.push_str("# HELP ");
+            out.push_str(name);
+            out.push(' ');
+            escape_help_into(&mut out, &family.help);
+            out.push('\n');
+            out.push_str("# TYPE ");
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(family.kind.as_str());
+            out.push('\n');
+            for (label_block, series) in family.series.iter() {
+                match series {
+                    Series::Counter(counter) => {
+                        sample_line(
+                            &mut out,
+                            name,
+                            "",
+                            label_block,
+                            &[],
+                            &counter.get().to_string(),
+                        );
+                    }
+                    Series::Gauge(gauge) => {
+                        sample_line(
+                            &mut out,
+                            name,
+                            "",
+                            label_block,
+                            &[],
+                            &gauge.get().to_string(),
+                        );
+                    }
+                    Series::Histogram(source) => {
+                        let snapshot = source.snapshot();
+                        let mut cumulative = 0u64;
+                        for (le, count) in &snapshot.buckets {
+                            // Snapshots taken from relaxed atomics can be
+                            // momentarily non-monotone; clamp so the
+                            // exposition stays valid.
+                            cumulative = cumulative.max(*count);
+                            sample_line(
+                                &mut out,
+                                name,
+                                "_bucket",
+                                label_block,
+                                &[("le", &format_f64(*le))],
+                                &cumulative.to_string(),
+                            );
+                        }
+                        let total = snapshot.count.max(cumulative);
+                        sample_line(
+                            &mut out,
+                            name,
+                            "_bucket",
+                            label_block,
+                            &[("le", "+Inf")],
+                            &total.to_string(),
+                        );
+                        sample_line(
+                            &mut out,
+                            name,
+                            "_sum",
+                            label_block,
+                            &[],
+                            &format_f64(snapshot.sum_seconds),
+                        );
+                        sample_line(
+                            &mut out,
+                            name,
+                            "_count",
+                            label_block,
+                            &[],
+                            &total.to_string(),
+                        );
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Formats an f64 the way Prometheus parsers expect: plain decimal,
+/// never Rust's `inf`/`NaN` spellings.
+fn format_f64(value: f64) -> String {
+    if value.is_infinite() {
+        return if value > 0.0 { "+Inf" } else { "-Inf" }.to_string();
+    }
+    if value.is_nan() {
+        return "NaN".to_string();
+    }
+    format!("{value}")
+}
+
+/// One `name[suffix]{labels} value` line. `label_block` is the
+/// pre-rendered registration labels (may be empty); `extra` labels (the
+/// histogram `le`) are appended inside the same braces.
+fn sample_line(
+    out: &mut String,
+    name: &str,
+    suffix: &str,
+    label_block: &str,
+    extra: &[(&str, &str)],
+    value: &str,
+) {
+    out.push_str(name);
+    out.push_str(suffix);
+    if !label_block.is_empty() || !extra.is_empty() {
+        out.push('{');
+        out.push_str(label_block);
+        for (i, (key, val)) in extra.iter().enumerate() {
+            if !label_block.is_empty() || i > 0 {
+                out.push(',');
+            }
+            out.push_str(key);
+            out.push_str("=\"");
+            escape_label_into(out, val);
+            out.push('"');
+        }
+        out.push('}');
+    }
+    out.push(' ');
+    out.push_str(value);
+    out.push('\n');
+}
+
+/// Renders a sorted, escaped label block body (no braces). Panics on
+/// invalid label names — a programmer error at registration time.
+fn label_key(labels: &[(&str, &str)]) -> String {
+    let mut sorted: Vec<(&str, &str)> = labels.to_vec();
+    sorted.sort_unstable();
+    let mut out = String::new();
+    for (i, (key, value)) in sorted.iter().enumerate() {
+        assert!(valid_label_name(key), "invalid label name {key:?}");
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(key);
+        out.push_str("=\"");
+        escape_label_into(&mut out, value);
+        out.push('"');
+    }
+    out
+}
+
+/// Prometheus metric names: `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+pub fn valid_metric_name(name: &str) -> bool {
+    let mut bytes = name.bytes();
+    match bytes.next() {
+        Some(b) if b.is_ascii_alphabetic() || b == b'_' || b == b':' => {}
+        _ => return false,
+    }
+    bytes.all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b':')
+}
+
+/// Prometheus label names: `[a-zA-Z_][a-zA-Z0-9_]*`.
+pub fn valid_label_name(name: &str) -> bool {
+    let mut bytes = name.bytes();
+    match bytes.next() {
+        Some(b) if b.is_ascii_alphabetic() || b == b'_' => {}
+        _ => return false,
+    }
+    bytes.all(|b| b.is_ascii_alphanumeric() || b == b'_')
+}
+
+/// Label-value escaping: backslash, double-quote, and newline.
+fn escape_label_into(out: &mut String, value: &str) {
+    for ch in value.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+/// HELP-text escaping: backslash and newline (quotes are legal there).
+fn escape_help_into(out: &mut String, value: &str) {
+    for ch in value.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Escapes a string for embedding in a JSON document (used by callers
+/// rendering registry-adjacent JSON without pulling in a JSON crate).
+pub fn json_string(value: &str) -> String {
+    let mut out = String::with_capacity(value.len() + 2);
+    out.push('"');
+    json_escape_into(&mut out, value);
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct FixedHistogram;
+
+    impl HistogramSource for FixedHistogram {
+        fn snapshot(&self) -> HistogramSnapshot {
+            HistogramSnapshot {
+                buckets: vec![(0.001, 2), (0.01, 5), (0.1, 5)],
+                sum_seconds: 0.025,
+                count: 6,
+            }
+        }
+    }
+
+    #[test]
+    fn counters_and_gauges_render_with_labels() {
+        let registry = MetricsRegistry::new();
+        let c = registry.counter("rpg_requests_total", "Requests.", &[("tenant", "alpha")]);
+        c.add(3);
+        let g = registry.gauge("rpg_connections_open", "Open connections.", &[]);
+        g.set(7);
+        // Same (name, labels) returns the same underlying atomic.
+        registry
+            .counter("rpg_requests_total", "Requests.", &[("tenant", "alpha")])
+            .inc();
+        assert_eq!(c.get(), 4);
+
+        let text = registry.render();
+        assert!(text.contains("# HELP rpg_requests_total Requests.\n"));
+        assert!(text.contains("# TYPE rpg_requests_total counter\n"));
+        assert!(text.contains("rpg_requests_total{tenant=\"alpha\"} 4\n"));
+        assert!(text.contains("# TYPE rpg_connections_open gauge\n"));
+        assert!(text.contains("rpg_connections_open 7\n"));
+    }
+
+    #[test]
+    fn histograms_render_cumulative_buckets_sum_count() {
+        let registry = MetricsRegistry::new();
+        registry.register_histogram(
+            "rpg_latency_seconds",
+            "Latency.",
+            &[("tenant", "alpha")],
+            Arc::new(FixedHistogram),
+        );
+        let text = registry.render();
+        assert!(text.contains("# TYPE rpg_latency_seconds histogram\n"));
+        assert!(text.contains("rpg_latency_seconds_bucket{tenant=\"alpha\",le=\"0.001\"} 2\n"));
+        assert!(text.contains("rpg_latency_seconds_bucket{tenant=\"alpha\",le=\"0.01\"} 5\n"));
+        assert!(text.contains("rpg_latency_seconds_bucket{tenant=\"alpha\",le=\"+Inf\"} 6\n"));
+        assert!(text.contains("rpg_latency_seconds_sum{tenant=\"alpha\"} 0.025\n"));
+        assert!(text.contains("rpg_latency_seconds_count{tenant=\"alpha\"} 6\n"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let registry = MetricsRegistry::new();
+        registry
+            .counter("rpg_odd_total", "Odd.", &[("tenant", "a\"b\\c\nd")])
+            .inc();
+        let text = registry.render();
+        assert!(text.contains("rpg_odd_total{tenant=\"a\\\"b\\\\c\\nd\"} 1\n"));
+    }
+
+    #[test]
+    fn label_order_is_canonical() {
+        let registry = MetricsRegistry::new();
+        let a = registry.counter("rpg_pair_total", "Pair.", &[("b", "2"), ("a", "1")]);
+        let b = registry.counter("rpg_pair_total", "Pair.", &[("a", "1"), ("b", "2")]);
+        a.inc();
+        assert_eq!(b.get(), 1, "label order must not split the series");
+    }
+
+    #[test]
+    #[should_panic(expected = "registered as")]
+    fn kind_mismatch_panics() {
+        let registry = MetricsRegistry::new();
+        registry.counter("rpg_thing", "Thing.", &[]);
+        registry.gauge("rpg_thing", "Thing.", &[]);
+    }
+
+    #[test]
+    fn name_validation() {
+        assert!(valid_metric_name("rpg_requests_total"));
+        assert!(valid_metric_name("a:b_c1"));
+        assert!(!valid_metric_name("1abc"));
+        assert!(!valid_metric_name("a-b"));
+        assert!(!valid_metric_name(""));
+        assert!(valid_label_name("tenant"));
+        assert!(!valid_label_name("le-gal"));
+        assert!(!valid_label_name("9lives"));
+    }
+}

@@ -19,6 +19,7 @@
 use crate::stages::StageCounters;
 use rpg_graph::steiner::SteinerScratch;
 use rpg_graph::NodeId;
+use rpg_obs::trace::StageTrace;
 use std::time::Instant;
 
 /// Reusable buffers + cumulative work counters for one serving worker.
@@ -47,6 +48,11 @@ pub struct PipelineScratch {
     /// untouched; callers set it per request via
     /// [`PipelineScratch::set_deadline`].
     deadline: Option<Instant>,
+    /// Span-recording handle for the *current* request, armed per request
+    /// exactly like the deadline (and for the same reason: request
+    /// construction sites stay untouched). When armed, the pipeline
+    /// records one span per stage under the caller's compute span.
+    trace: Option<StageTrace>,
 }
 
 impl PipelineScratch {
@@ -73,6 +79,21 @@ impl PipelineScratch {
     pub(crate) fn deadline_expired(&self) -> bool {
         self.deadline
             .is_some_and(|deadline| Instant::now() >= deadline)
+    }
+
+    /// Arms (or, with `None`, clears) the span-recording handle the next
+    /// pipeline run records its per-stage spans into. Like the deadline,
+    /// it does not reset itself between requests.
+    pub fn set_trace(&mut self, trace: Option<StageTrace>) {
+        self.trace = trace;
+    }
+
+    /// Records a closed span (started at `started`, ending now) into the
+    /// armed trace, if any. No-op when tracing is not armed.
+    pub(crate) fn record_span(&self, name: &'static str, started: Instant) {
+        if let Some(trace) = &self.trace {
+            trace.record(name, started);
+        }
     }
 
     /// Cumulative pipeline work counters (never reset); diff two snapshots

@@ -406,10 +406,20 @@ fn ordered_float(x: f64) -> u64 {
     x.to_bits()
 }
 
-fn timed<T>(slot: &mut Duration, f: impl FnOnce() -> T) -> T {
+/// Runs one stage, filling its timing slot and — when the scratch has a
+/// span recorder armed — recording a `stage:<name>` span under the
+/// caller's compute span. Spans are recorded even when the stage errors,
+/// so a failed request's trace still shows where the time went.
+fn timed_stage<T, E>(
+    cx: &mut StageContext<'_>,
+    slot: &mut Duration,
+    span: &'static str,
+    f: impl FnOnce(&mut StageContext<'_>) -> Result<T, E>,
+) -> Result<T, E> {
     let started = Instant::now();
-    let out = f();
+    let out = f(cx);
     *slot = started.elapsed();
+    cx.scratch.record_span(span, started);
     out
 }
 
@@ -462,7 +472,9 @@ pub fn run_pipeline(cx: &mut StageContext<'_>) -> Result<RepagerOutput, RepagerE
     let mut timings = StageTimings::default();
     let counters_before = cx.scratch.counters();
 
-    let seeds = timed(&mut timings.seed, || SeedStage.run(cx, ()))?;
+    let seeds = timed_stage(cx, &mut timings.seed, "stage:seed", |cx| {
+        SeedStage.run(cx, ())
+    })?;
     if seeds.is_empty() {
         // No seeds: every downstream stage would be a no-op, so short-circuit
         // with an empty output (stage timings for the skipped stages stay 0).
@@ -483,13 +495,21 @@ pub fn run_pipeline(cx: &mut StageContext<'_>) -> Result<RepagerOutput, RepagerE
     }
 
     deadline_gate(cx)?;
-    let subgraph = timed(&mut timings.subgraph, || SubgraphStage.run(cx, seeds))?;
+    let subgraph = timed_stage(cx, &mut timings.subgraph, "stage:subgraph", |cx| {
+        SubgraphStage.run(cx, seeds)
+    })?;
     deadline_gate(cx)?;
-    let realloc = timed(&mut timings.realloc, || ReallocStage.run(cx, subgraph))?;
+    let realloc = timed_stage(cx, &mut timings.realloc, "stage:realloc", |cx| {
+        ReallocStage.run(cx, subgraph)
+    })?;
     deadline_gate(cx)?;
-    let steiner = timed(&mut timings.steiner, || SteinerStage.run(cx, realloc))?;
+    let steiner = timed_stage(cx, &mut timings.steiner, "stage:steiner", |cx| {
+        SteinerStage.run(cx, realloc)
+    })?;
     deadline_gate(cx)?;
-    let mut output = timed(&mut timings.render, || RenderStage.run(cx, steiner))?;
+    let mut output = timed_stage(cx, &mut timings.render, "stage:render", |cx| {
+        RenderStage.run(cx, steiner)
+    })?;
 
     timings.counters = cx.scratch.counters().since(&counters_before);
     timings.total = started.elapsed();

@@ -91,6 +91,9 @@ pub struct TenantPatch {
     pub inflight: Option<usize>,
     /// New deadline budget in milliseconds (≥ 1).
     pub deadline_ms: Option<u64>,
+    /// New slow-request exemplar threshold in milliseconds (0 retains an
+    /// exemplar for every request).
+    pub trace_slow_ms: Option<u64>,
 }
 
 /// A request-level problem discovered while interpreting a DTO.

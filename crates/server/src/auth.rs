@@ -115,9 +115,13 @@ impl AuthTable {
         for hash in manifest.admin_hashed() {
             match StoredKey::parse(hash) {
                 Some(stored) => table.admin_keys.push(stored),
-                None => eprintln!(
-                    "rpg-server: ignoring malformed admin key_hash {hash:?} \
-                     (expected \"<salt-hex>:<digest-hex>\" from `rpg hash-key`)"
+                None => rpg_obs::log::warn(
+                    "auth",
+                    "ignoring malformed admin key_hash",
+                    &[
+                        ("key_hash", hash),
+                        ("expected", "<salt-hex>:<digest-hex> from `rpg hash-key`"),
+                    ],
                 ),
             }
         }
@@ -126,10 +130,12 @@ impl AuthTable {
             table.grant_tenant_full(name, config.keys(), config.hashed_keys());
         }
         if plaintext > 0 {
-            eprintln!(
-                "rpg-server: manifest stores {plaintext} plaintext api key(s); \
-                 plaintext keys are deprecated — replace api_keys/admin_keys with \
-                 key_hashes/admin_key_hashes (mint values with `rpg hash-key`)"
+            rpg_obs::log::warn(
+                "auth",
+                "manifest stores plaintext api keys; plaintext keys are deprecated — \
+                 replace api_keys/admin_keys with key_hashes/admin_key_hashes \
+                 (mint values with `rpg hash-key`)",
+                &[("plaintext_keys", &plaintext.to_string())],
             );
         }
         table
@@ -155,9 +161,14 @@ impl AuthTable {
         }
         for hash in hashed {
             let Some(stored) = StoredKey::parse(hash) else {
-                eprintln!(
-                    "rpg-server: ignoring malformed key_hash {hash:?} for tenant \
-                     {tenant:?} (expected \"<salt-hex>:<digest-hex>\")"
+                rpg_obs::log::warn(
+                    "auth",
+                    "ignoring malformed tenant key_hash",
+                    &[
+                        ("tenant", tenant),
+                        ("key_hash", hash),
+                        ("expected", "<salt-hex>:<digest-hex>"),
+                    ],
                 );
                 continue;
             };

@@ -9,7 +9,9 @@
 //! exactly what `/v1/stats` needs to prove "the quiet tenant's p99 stayed
 //! flat" without perturbing the workload being measured.
 
+use rpg_obs::metrics::{Counter, HistogramSnapshot, HistogramSource, MetricsRegistry};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Bucket count: bucket `i` holds samples in `[2^i, 2^(i+1))` nanoseconds,
@@ -78,12 +80,7 @@ impl Histogram {
         for (i, bucket) in self.buckets.iter().enumerate() {
             seen += bucket.load(Ordering::Relaxed);
             if seen >= rank {
-                let upper = if i + 1 >= 64 {
-                    u64::MAX
-                } else {
-                    (1u64 << (i + 1)) - 1
-                };
-                return Some(Duration::from_nanos(upper));
+                return Some(Duration::from_nanos(Self::bucket_upper(i)));
             }
         }
         // A racing `record` bumped `count` before its bucket: fall back to
@@ -93,7 +90,52 @@ impl Histogram {
             .enumerate()
             .rev()
             .find(|(_, b)| b.load(Ordering::Relaxed) > 0)
-            .map(|(i, _)| Duration::from_nanos((1u64 << (i + 1).min(63)) - 1))
+            .map(|(i, _)| Duration::from_nanos(Self::bucket_upper(i)))
+    }
+
+    /// Inclusive upper bound of bucket `i` in nanoseconds. The last bucket
+    /// absorbs every overflowing sample, so its honest bound is `u64::MAX`
+    /// rather than `2^48 - 1`.
+    fn bucket_upper(i: usize) -> u64 {
+        if i + 1 >= BUCKETS {
+            u64::MAX
+        } else {
+            (1u64 << (i + 1)) - 1
+        }
+    }
+}
+
+impl HistogramSource for Histogram {
+    /// The Prometheus view of this histogram: the log₂ bucket upper bounds
+    /// become `le` bounds (in seconds), counts become cumulative, and
+    /// trailing empty buckets are trimmed (their mass, if any raced in, is
+    /// still covered by the `+Inf` bucket rendered from `count`). The
+    /// all-overflowing last bucket has no honest finite bound, so it also
+    /// folds into `+Inf`.
+    fn snapshot(&self) -> HistogramSnapshot {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let highest = counts[..BUCKETS - 1]
+            .iter()
+            .rposition(|&c| c > 0)
+            .map_or(0, |i| i + 1);
+        let mut cumulative = 0u64;
+        let buckets = counts[..highest]
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                cumulative += c;
+                (2f64.powi(i as i32 + 1) / 1e9, cumulative)
+            })
+            .collect();
+        HistogramSnapshot {
+            buckets,
+            sum_seconds: self.sum_ns.load(Ordering::Relaxed) as f64 / 1e9,
+            count: self.count(),
+        }
     }
 }
 
@@ -101,20 +143,59 @@ impl Histogram {
 /// tenant's work was shed by a deadline (blown before compute, or
 /// mid-compute between pipeline stages) or cancelled mid-flight (client
 /// gone).
-#[derive(Debug, Default)]
+///
+/// Every field is a handle into the server's shared
+/// [`MetricsRegistry`], registered with a `tenant` label — `/v1/stats`
+/// and `/metrics` read the very same atomics the request path bumps.
+#[derive(Debug)]
 pub struct TenantMetrics {
     /// Admission-to-reply latency of completed requests.
-    pub latency: Histogram,
+    pub latency: Arc<Histogram>,
     /// Requests dropped by a deadline check — before compute or between
     /// pipeline stages (every mid-compute shed also counts here, so this
     /// stays the tenant's total).
-    pub shed: AtomicU64,
+    pub shed: Counter,
     /// The subset of `shed` whose deadline blew *mid-compute*: the
     /// pipeline had already started and dropped its remaining stages at an
     /// inter-stage check.
-    pub shed_mid_compute: AtomicU64,
+    pub shed_mid_compute: Counter,
     /// Requests whose compute was cancelled by client abandonment.
-    pub cancelled: AtomicU64,
+    pub cancelled: Counter,
+}
+
+impl TenantMetrics {
+    /// Creates this tenant's metric handles inside `registry`, labelled
+    /// `tenant=<name>`. Called lazily on the tenant's first request;
+    /// re-registration after a manifest reload re-binds the histogram to
+    /// the same family and returns the existing counter atomics.
+    pub fn registered(registry: &MetricsRegistry, tenant: &str) -> TenantMetrics {
+        let labels = &[("tenant", tenant)];
+        let latency = Arc::new(Histogram::new());
+        registry.register_histogram(
+            "rpg_request_latency_seconds",
+            "Admission-to-reply latency of completed requests.",
+            labels,
+            latency.clone(),
+        );
+        TenantMetrics {
+            latency,
+            shed: registry.counter(
+                "rpg_requests_shed_total",
+                "Requests dropped by a deadline check, queued or mid-compute.",
+                labels,
+            ),
+            shed_mid_compute: registry.counter(
+                "rpg_requests_shed_mid_compute_total",
+                "Deadline sheds that happened between pipeline stages.",
+                labels,
+            ),
+            cancelled: registry.counter(
+                "rpg_requests_cancelled_total",
+                "Requests whose compute was cancelled by client abandonment.",
+                labels,
+            ),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -125,8 +206,66 @@ mod tests {
     fn empty_histogram_has_no_quantiles() {
         let h = Histogram::new();
         assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.0), None);
         assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.quantile(0.99), None);
+        assert_eq!(h.quantile(1.0), None);
         assert_eq!(h.mean(), None);
+    }
+
+    #[test]
+    fn single_sample_answers_every_quantile_with_its_bucket() {
+        let h = Histogram::new();
+        h.record(Duration::from_micros(100)); // 100_000 ns → bucket 16
+        let expected = Duration::from_nanos((1 << 17) - 1);
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Some(expected), "q={q}");
+        }
+        assert_eq!(h.mean(), Some(Duration::from_micros(100)));
+    }
+
+    #[test]
+    fn top_overflow_bucket_clamps_and_still_answers() {
+        let h = Histogram::new();
+        // Everything past 2^47 ns (~39 h) clamps into the last bucket,
+        // including the absurd maximum.
+        h.record(Duration::from_nanos(u64::MAX));
+        h.record(Duration::from_secs(1_000_000_000));
+        assert_eq!(h.count(), 2);
+        let p99 = h.quantile(0.99).expect("non-empty");
+        // The last bucket's reported upper bound saturates at u64::MAX ns
+        // rather than overflowing the shift.
+        assert_eq!(p99, Duration::from_nanos(u64::MAX));
+        assert!(h.mean().is_some());
+    }
+
+    #[test]
+    fn snapshot_is_cumulative_and_trimmed() {
+        use rpg_obs::metrics::HistogramSource;
+        let h = Histogram::new();
+        assert_eq!(h.snapshot().buckets, Vec::new(), "empty → no buckets");
+        h.record(Duration::from_nanos(1)); // bucket 0
+        h.record(Duration::from_nanos(3)); // bucket 1
+        h.record(Duration::from_nanos(3)); // bucket 1
+        let snap = h.snapshot();
+        // Buckets are cumulative, bounds in seconds, trailing zeros trimmed.
+        assert_eq!(snap.count, 3);
+        assert_eq!(snap.buckets.len(), 2);
+        assert_eq!(snap.buckets[0], (2e-9, 1));
+        assert_eq!(snap.buckets[1], (4e-9, 3));
+        assert!((snap.sum_seconds - 7e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn overflow_bucket_mass_folds_into_inf_only() {
+        use rpg_obs::metrics::HistogramSource;
+        let h = Histogram::new();
+        h.record(Duration::from_nanos(u64::MAX)); // last bucket
+        let snap = h.snapshot();
+        // No finite bound can honestly cover the clamp bucket: it renders
+        // only through +Inf (i.e. `count`).
+        assert_eq!(snap.buckets, Vec::new());
+        assert_eq!(snap.count, 1);
     }
 
     #[test]
@@ -170,7 +309,6 @@ mod tests {
 
     #[test]
     fn concurrent_recording_loses_nothing() {
-        use std::sync::Arc;
         let h = Arc::new(Histogram::new());
         let handles: Vec<_> = (0..4)
             .map(|t| {
@@ -187,5 +325,66 @@ mod tests {
         }
         assert_eq!(h.count(), 4000);
         assert!(h.quantile(0.999).is_some());
+    }
+}
+
+#[cfg(all(test, feature = "proptests"))]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// For any sample set and any ordered pair of quantile points,
+        /// quantiles are monotone in q and every answered quantile lies in
+        /// [max/2, 2*max] bucket bounds of the true samples.
+        #[test]
+        fn quantiles_are_monotone_and_bounded(
+            samples in proptest::collection::vec(1u64..=1_000_000_000_000, 1..200),
+            qa_millis in 0u32..=1000,
+            qb_millis in 0u32..=1000,
+        ) {
+            // The vendored proptest shim has no f64 range strategy; derive
+            // the quantile points from integer thousandths.
+            let qa = qa_millis as f64 / 1000.0;
+            let qb = qb_millis as f64 / 1000.0;
+            let h = Histogram::new();
+            for &ns in &samples {
+                h.record(Duration::from_nanos(ns));
+            }
+            let (lo, hi) = if qa <= qb { (qa, qb) } else { (qb, qa) };
+            let at_lo = h.quantile(lo).expect("non-empty");
+            let at_hi = h.quantile(hi).expect("non-empty");
+            prop_assert!(at_lo <= at_hi, "q={lo} gave {at_lo:?} > q={hi} {at_hi:?}");
+            // Any quantile is bounded by the extremes' bucket bounds: at
+            // least the smallest sample's bucket lower bound, at most twice
+            // the largest sample (its bucket upper bound).
+            let min = *samples.iter().min().unwrap();
+            let max = *samples.iter().max().unwrap();
+            prop_assert!(at_lo >= Duration::from_nanos(min / 2));
+            prop_assert!(at_hi <= Duration::from_nanos(max.saturating_mul(2)));
+        }
+
+        /// The Prometheus snapshot is internally consistent for any input:
+        /// cumulative counts are non-decreasing, bounds strictly increase,
+        /// and the final cumulative count never exceeds `count`.
+        #[test]
+        fn snapshots_are_monotone(
+            samples in proptest::collection::vec(1u64..=1_000_000_000_000, 0..200),
+        ) {
+            use rpg_obs::metrics::HistogramSource;
+            let h = Histogram::new();
+            for &ns in &samples {
+                h.record(Duration::from_nanos(ns));
+            }
+            let snap = h.snapshot();
+            for pair in snap.buckets.windows(2) {
+                prop_assert!(pair[0].0 < pair[1].0);
+                prop_assert!(pair[0].1 <= pair[1].1);
+            }
+            if let Some(&(_, last)) = snap.buckets.last() {
+                prop_assert!(last <= snap.count);
+            }
+            prop_assert_eq!(snap.count, samples.len() as u64);
+        }
     }
 }

@@ -54,6 +54,11 @@ use crate::sys::{
     self, Event, IoBackend, IoBackendChoice, Poller, WakePipe, POLLERR, POLLHUP, POLLIN, POLLNVAL,
     POLLOUT, POLLRDHUP,
 };
+use rpg_obs::log as obs_log;
+use rpg_obs::metrics::{Counter, Gauge, MetricsRegistry};
+use rpg_obs::trace::{
+    unix_ms_now, SharedRecorder, Span, SpanRecorder, StageTrace, TraceId, TraceLog, TraceRecord,
+};
 use rpg_repager::system::RepagerError;
 use rpg_repager::TimingAggregate;
 use rpg_service::{
@@ -67,7 +72,7 @@ use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::os::unix::io::AsRawFd;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -162,6 +167,18 @@ pub struct ServerConfig {
     /// elsewhere; forcing `epoll` off Linux fails at spawn. Surfaced in
     /// `/v1/stats` under `connections.io_backend`.
     pub io_backend: IoBackendChoice,
+    /// Completed requests at least this slow (milliseconds, head parse to
+    /// last response byte) are retained as span-tree exemplars behind
+    /// `GET /v1/debug/requests`. `0` retains every request. Tenants can
+    /// override it with the manifest `trace_slow_ms` field.
+    pub trace_slow_ms: u64,
+    /// Per-tenant `trace_slow_ms` overrides (manifest `trace_slow_ms`
+    /// fields); retunable later via `PATCH /v1/admin/tenants`.
+    pub tenant_trace_slow: Vec<(String, u64)>,
+    /// How many slow-request exemplars the trace ring retains (oldest
+    /// evicted first). `0` disables span recording entirely — requests
+    /// still get (and echo) trace IDs, but no span trees are kept.
+    pub trace_log_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -189,6 +206,9 @@ impl Default for ServerConfig {
             default_deadline_ms: None,
             manifest_path: None,
             io_backend: IoBackendChoice::default(),
+            trace_slow_ms: 0,
+            tenant_trace_slow: Vec::new(),
+            trace_log_capacity: 256,
         }
     }
 }
@@ -227,6 +247,11 @@ impl ServerConfig {
             .tenants_sorted()
             .iter()
             .filter_map(|(name, config)| config.deadline_ms.map(|d| (name.to_string(), d)))
+            .collect();
+        self.tenant_trace_slow = manifest
+            .tenants_sorted()
+            .iter()
+            .filter_map(|(name, config)| config.trace_slow_ms.map(|ms| (name.to_string(), ms)))
             .collect();
         if let Some(default) = manifest.default_tenant() {
             self.default_corpus = default.to_string();
@@ -285,16 +310,83 @@ pub struct StatsSnapshot {
     pub pipeline: TimingAggregate,
 }
 
-#[derive(Default)]
+/// The server-wide counters, every one a handle into the shared
+/// [`MetricsRegistry`]: the request path bumps the same atomics that
+/// `GET /metrics` and `/v1/stats` render, so the two views can never
+/// disagree. The gauges and cache counters are *sampled* at scrape time
+/// from their authoritative sources (the open-connection count, the fair
+/// queue, the result cache) rather than double-bookkept on the hot path.
 struct Counters {
-    accepted: AtomicU64,
-    rejected: AtomicU64,
-    throttled: AtomicU64,
-    handled: AtomicU64,
-    ok: AtomicU64,
-    client_errors: AtomicU64,
-    server_errors: AtomicU64,
+    accepted: Counter,
+    rejected: Counter,
+    throttled: Counter,
+    ok: Counter,
+    client_errors: Counter,
+    server_errors: Counter,
+    open_connections: Gauge,
+    queue_depth: Gauge,
+    cache_hits: Counter,
+    cache_misses: Counter,
+    cache_entries: Gauge,
     timings: Mutex<TimingAggregate>,
+}
+
+impl Counters {
+    fn registered(registry: &MetricsRegistry) -> Counters {
+        let class = |class| {
+            registry.counter(
+                "rpg_responses_total",
+                "HTTP responses completed, by status class.",
+                &[("class", class)],
+            )
+        };
+        Counters {
+            accepted: registry.counter(
+                "rpg_connections_accepted_total",
+                "Connections accepted off the listener.",
+                &[],
+            ),
+            rejected: registry.counter(
+                "rpg_requests_rejected_total",
+                "Requests rejected with 503: connection overflow or a full global queue.",
+                &[],
+            ),
+            throttled: registry.counter(
+                "rpg_requests_throttled_total",
+                "Requests rejected with 429 because their tenant's sub-queue was full.",
+                &[],
+            ),
+            ok: class("2xx"),
+            client_errors: class("4xx"),
+            server_errors: class("5xx"),
+            open_connections: registry.gauge(
+                "rpg_connections_open",
+                "Connections currently open across all event loops.",
+                &[],
+            ),
+            queue_depth: registry.gauge(
+                "rpg_queue_depth",
+                "Pipeline requests currently queued for compute, across all tenants.",
+                &[],
+            ),
+            cache_hits: registry.counter(
+                "rpg_cache_hits_total",
+                "Requests answered from the result cache.",
+                &[],
+            ),
+            cache_misses: registry.counter(
+                "rpg_cache_misses_total",
+                "Requests that ran the pipeline because no cached result matched.",
+                &[],
+            ),
+            cache_entries: registry.gauge(
+                "rpg_cache_entries",
+                "Results currently held by the shared LRU cache.",
+                &[],
+            ),
+            timings: Mutex::new(TimingAggregate::default()),
+        }
+    }
 }
 
 /// Pipeline work classified by tenant, queued for the compute pool. A
@@ -388,6 +480,10 @@ struct Job {
     /// Absolute deadline: a worker popping the job past this point sheds
     /// it with a `503` instead of computing a result nobody awaits.
     deadline: Option<Instant>,
+    /// The request's trace: its ID becomes the worker's logging context
+    /// while the job runs, and its recorder (when armed) receives the
+    /// `queue_wait`, `compute`, and per-stage spans.
+    trace: RequestTrace,
 }
 
 /// The shared result collector of one `/v1/batch` request: per-item admission
@@ -511,6 +607,15 @@ struct Shared {
     /// `PATCH /v1/admin/tenants`. Tenants absent here fall back to
     /// `config.default_deadline_ms`.
     deadlines: RwLock<HashMap<String, u64>>,
+    /// Per-tenant slow-trace thresholds (ms); tenants absent here fall
+    /// back to `config.trace_slow_ms`.
+    trace_slow: RwLock<HashMap<String, u64>>,
+    /// The unified metrics registry behind `GET /metrics` — every counter
+    /// in [`Counters`] and every [`TenantMetrics`] handle points into it.
+    obs: Arc<MetricsRegistry>,
+    /// The ring of slow-request span-tree exemplars behind
+    /// `GET /v1/debug/requests`.
+    trace_log: Arc<TraceLog>,
     /// The event loops, indexed by the acceptor's round-robin.
     loops: Vec<Arc<LoopShared>>,
     /// The resolved readiness backend every driver runs on (reported by
@@ -570,6 +675,10 @@ impl Server {
             requests.set_inflight_cap(tenant, *cap);
         }
         let deadlines = config.tenant_deadlines.iter().cloned().collect();
+        let trace_slow = config.tenant_trace_slow.iter().cloned().collect();
+        let obs = Arc::new(MetricsRegistry::new());
+        let counters = Counters::registered(&obs);
+        let trace_log = Arc::new(TraceLog::new(config.trace_log_capacity));
         let shared = Arc::new(Shared {
             registry,
             rejects: Bounded::new((config.queue_capacity * 4).clamp(16, 256)),
@@ -577,12 +686,15 @@ impl Server {
             auth: RwLock::new(config.auth.clone()),
             metrics: RwLock::new(HashMap::new()),
             deadlines: RwLock::new(deadlines),
+            trace_slow: RwLock::new(trace_slow),
+            obs,
+            trace_log,
             loops,
             io_backend,
             config,
             open_connections: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
-            counters: Counters::default(),
+            counters,
         });
         let acceptor = {
             let shared = shared.clone();
@@ -666,15 +778,20 @@ impl Server {
     /// A copy of the server counters.
     pub fn stats(&self) -> StatsSnapshot {
         let counters = &self.shared.counters;
+        let (ok, client_errors, server_errors) = (
+            counters.ok.get(),
+            counters.client_errors.get(),
+            counters.server_errors.get(),
+        );
         StatsSnapshot {
-            accepted: counters.accepted.load(Ordering::Relaxed),
+            accepted: counters.accepted.get(),
             open_connections: self.open_connections() as u64,
-            rejected: counters.rejected.load(Ordering::Relaxed),
-            throttled: counters.throttled.load(Ordering::Relaxed),
-            handled: counters.handled.load(Ordering::Relaxed),
-            ok: counters.ok.load(Ordering::Relaxed),
-            client_errors: counters.client_errors.load(Ordering::Relaxed),
-            server_errors: counters.server_errors.load(Ordering::Relaxed),
+            rejected: counters.rejected.get(),
+            throttled: counters.throttled.get(),
+            handled: ok + client_errors + server_errors,
+            ok,
+            client_errors,
+            server_errors,
             pipeline: *counters.timings.lock().unwrap(),
         }
     }
@@ -739,9 +856,9 @@ fn accept_loop(listener: TcpListener, shared: &Shared) {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     break;
                 }
-                shared.counters.accepted.fetch_add(1, Ordering::Relaxed);
+                shared.counters.accepted.inc();
                 if shared.open_connections.load(Ordering::SeqCst) >= shared.config.max_connections {
-                    shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                    shared.counters.rejected.inc();
                     // Hand the 503 to the rejector thread; if even the
                     // reject queue is full, drop the connection — admission
                     // never blocks and never buffers unboundedly.
@@ -768,16 +885,23 @@ fn accept_loop(listener: TcpListener, shared: &Shared) {
 
 /// Answers the connections the acceptor would not admit.
 ///
-/// The request bytes are never read, so closing immediately after the
-/// write would leave unread data in the receive buffer — on close that
-/// triggers a TCP RST, which can destroy the `503` before the client reads
-/// it. Hence the bounded drain after the write, done here on a dedicated
-/// thread so the acceptor never blocks.
+/// Beyond the trace-ID sniff the request bytes are never read, so closing
+/// immediately after the write would leave unread data in the receive
+/// buffer — on close that triggers a TCP RST, which can destroy the `503`
+/// before the client reads it. Hence the bounded drain after the write,
+/// done here on a dedicated thread so the acceptor never blocks.
 fn rejector_loop(shared: &Shared) {
     while let Some(stream) = shared.rejects.pop() {
         let _ = stream.set_write_timeout(Some(Duration::from_millis(200)));
+        // Even an overflow 503 carries a trace ID the client can quote: a
+        // short bounded read of whatever request bytes have already arrived
+        // recovers the caller's `x-rpg-trace-id` when it sent one (the
+        // header is near the head start, so one early chunk usually holds
+        // it); otherwise the response echoes a freshly minted ID.
+        let trace_id = sniff_trace_id(&stream).unwrap_or_else(TraceId::mint);
         let response = Response::json(503, error_body("server is at capacity, retry shortly"))
-            .with_header("retry-after", shared.config.retry_after_secs.to_string());
+            .with_header("retry-after", shared.config.retry_after_secs.to_string())
+            .with_header("x-rpg-trace-id", trace_id.to_string());
         let _ = response.write_to(&mut &stream, false);
         // Half-close: the FIN lets the client finish reading the response
         // immediately; the drain then consumes its unread request bytes so
@@ -802,6 +926,32 @@ fn drain_bounded(stream: &TcpStream) {
             Ok(n) => drained += n,
         }
     }
+}
+
+/// Reads whatever head bytes the overflow client has already sent (one
+/// bounded, short-deadline read — the rejector must never be pinned by a
+/// slow sender) and scans them for an `x-rpg-trace-id` header, so even a
+/// rejector-thread `503` echoes the caller's trace ID.
+fn sniff_trace_id(stream: &TcpStream) -> Option<TraceId> {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(20)));
+    let mut head = [0u8; 4096];
+    let n = (&mut &*stream).read(&mut head).ok().filter(|&n| n > 0)?;
+    extract_trace_header(&head[..n])
+}
+
+/// Finds the value of an `x-rpg-trace-id` header inside raw head bytes
+/// (case-insensitive name, as HTTP requires), returning it only when it
+/// parses as a valid trace ID.
+fn extract_trace_header(head: &[u8]) -> Option<TraceId> {
+    const NAME: &[u8] = b"x-rpg-trace-id:";
+    for line in head.split(|&b| b == b'\n') {
+        if line.len() < NAME.len() || !line[..NAME.len()].eq_ignore_ascii_case(NAME) {
+            continue;
+        }
+        let value = std::str::from_utf8(&line[NAME.len()..]).ok()?;
+        return TraceId::parse(value.trim_matches(|c: char| c.is_ascii_whitespace()));
+    }
+    None
 }
 
 /// How many bytes a closing connection will read-and-discard so the final
@@ -880,6 +1030,44 @@ struct Connection {
     /// request; flipped when the client hangs up so queued work is skipped
     /// before it runs.
     cancel: Option<Arc<AtomicBool>>,
+    /// The in-flight request's trace: set when its head finishes parsing,
+    /// stamped onto the response as `x-rpg-trace-id`, and consumed when
+    /// the response fully drains (where the request may be retained as a
+    /// slow-trace exemplar).
+    trace: Option<ConnTrace>,
+}
+
+/// The driver-side view of one request's trace.
+struct ConnTrace {
+    /// Client-supplied (`x-rpg-trace-id`) or freshly minted.
+    id: TraceId,
+    /// When the request head finished parsing — the span epoch, and the
+    /// origin of the exemplar's wall-clock latency.
+    started: Instant,
+    /// When the response started writing (stamps the `response_write`
+    /// span).
+    write_started: Instant,
+    /// The response status, captured when the response is staged.
+    status: u16,
+    /// The billing tenant, once admission resolved one.
+    tenant: Option<String>,
+    /// The span sink shared with the compute worker. `None` when the
+    /// trace ring is disabled (`trace_log_capacity == 0`) — IDs still
+    /// flow, spans are not recorded.
+    recorder: Option<SharedRecorder>,
+}
+
+impl ConnTrace {
+    fn new(id: TraceId, now: Instant, record_spans: bool) -> ConnTrace {
+        ConnTrace {
+            id,
+            started: now,
+            write_started: now,
+            status: 0,
+            tenant: None,
+            recorder: record_spans.then(|| Arc::new(Mutex::new(SpanRecorder::with_epoch(now)))),
+        }
+    }
 }
 
 impl Connection {
@@ -899,6 +1087,7 @@ impl Connection {
             abandoned: false,
             half_closed: false,
             cancel: None,
+            trace: None,
         }
     }
 
@@ -980,6 +1169,11 @@ impl Connection {
     /// Stages a response for emission behind any pending interim bytes and
     /// enters `Writing` (the caller's `advance` drives the flush). The
     /// response is consumed: its body becomes the emitter's, unserialised.
+    ///
+    /// This is the one place the `x-rpg-trace-id` header attaches, so
+    /// every response — success, 4xx, 5xx, even connection-level errors
+    /// that never had a parsed request (which get a minted ID here) —
+    /// carries one.
     fn start_response(
         &mut self,
         response: Response,
@@ -987,6 +1181,12 @@ impl Connection {
         now: Instant,
         shared: &Shared,
     ) {
+        let trace = self
+            .trace
+            .get_or_insert_with(|| ConnTrace::new(TraceId::mint(), now, false));
+        trace.status = response.status;
+        trace.write_started = now;
+        let response = response.with_header("x-rpg-trace-id", trace.id.to_string());
         self.emitter = Some(ResponseEmitter::new(response, keep_alive));
         self.keep_alive_after = keep_alive;
         self.phase = Phase::Writing;
@@ -1422,6 +1622,7 @@ fn advance(
                         return Flow::Keep;
                     }
                     Ok(true) => {
+                        finish_trace(conn, shared, now);
                         if conn.keep_alive_after && !shared.shutdown.load(Ordering::SeqCst) {
                             conn.phase = Phase::Idle;
                             conn.deadline = Some(now + shared.config.idle_timeout);
@@ -1495,12 +1696,47 @@ fn expire(
 
 fn record_response(shared: &Shared, status: u16) {
     let counters = &shared.counters;
-    counters.handled.fetch_add(1, Ordering::Relaxed);
     match status {
-        200..=299 => counters.ok.fetch_add(1, Ordering::Relaxed),
-        400..=499 => counters.client_errors.fetch_add(1, Ordering::Relaxed),
-        _ => counters.server_errors.fetch_add(1, Ordering::Relaxed),
+        200..=299 => counters.ok.inc(),
+        400..=499 => counters.client_errors.inc(),
+        _ => counters.server_errors.inc(),
     };
+}
+
+/// Completes a request's trace once its response fully drained: stamps the
+/// `response_write` span and, when the request was slow enough for its
+/// tenant's threshold, retains it as an exemplar in the trace ring.
+fn finish_trace(conn: &mut Connection, shared: &Shared, now: Instant) {
+    let Some(trace) = conn.trace.take() else {
+        return;
+    };
+    let Some(recorder) = trace.recorder else {
+        return;
+    };
+    let latency = now.saturating_duration_since(trace.started);
+    let spans = match recorder.lock() {
+        Ok(mut rec) => {
+            rec.record_between(None, "response_write", trace.write_started, now);
+            rec.spans().to_vec()
+        }
+        Err(_) => return,
+    };
+    let threshold_ms = trace
+        .tenant
+        .as_deref()
+        .and_then(|tenant| shared.trace_slow.read().unwrap().get(tenant).copied())
+        .unwrap_or(shared.config.trace_slow_ms);
+    if latency < Duration::from_millis(threshold_ms) {
+        return;
+    }
+    shared.trace_log.push(TraceRecord {
+        id: trace.id,
+        tenant: trace.tenant,
+        status: trace.status,
+        latency,
+        unix_ms: unix_ms_now(),
+        spans,
+    });
 }
 
 /// Parses one request's routing outcome: answered inline on the loop, or
@@ -1520,6 +1756,28 @@ fn handle_request(
         && conn.served < config.max_requests_per_connection.max(1)
         && !shared.shutdown.load(Ordering::SeqCst);
     conn.keep_alive_after = keep_alive;
+    // Resolve the request's trace identity first: accepted from a valid
+    // `x-rpg-trace-id` header, minted otherwise — so even the rejection
+    // paths below echo an ID. A malformed header is a 400 (silently
+    // re-minting would break the caller's correlation, the one thing the
+    // header exists for).
+    let trace = match header_trace_id(request) {
+        Ok(id) => RequestTrace {
+            id: id.unwrap_or_else(TraceId::mint),
+            recorder: None,
+        },
+        Err(response) => {
+            conn.trace = Some(ConnTrace::new(TraceId::mint(), now, false));
+            record_response(shared, response.status);
+            conn.start_response(response, keep_alive, now, shared);
+            return Flow::Keep;
+        }
+    };
+    let mut conn_trace = ConnTrace::new(trace.id, now, shared.config.trace_log_capacity > 0);
+    let trace = RequestTrace {
+        id: trace.id,
+        recorder: conn_trace.recorder.clone(),
+    };
     // One cancellation flag per queued exchange, shared with every compute
     // job the request spawns: a mid-compute hangup flips it so the work is
     // skipped before it runs.
@@ -1528,16 +1786,19 @@ fn handle_request(
     // it — compute workers guard their side; this guards the loop's inline
     // routes.
     let routed = catch_unwind(AssertUnwindSafe(|| {
-        route(request, shared, me, token, &cancel)
+        route(request, shared, me, token, &cancel, &trace)
     }))
     .unwrap_or_else(|_| Routed::Inline(Response::json(500, error_body("internal error"))));
     match routed {
         Routed::Inline(response) => {
+            conn.trace = Some(conn_trace);
             record_response(shared, response.status);
             conn.start_response(response, keep_alive, now, shared);
             Flow::Keep
         }
-        Routed::Queued => {
+        Routed::Queued(tenant) => {
+            conn_trace.tenant = tenant;
+            conn.trace = Some(conn_trace);
             // Push any pending interim `100 Continue` now: the connection
             // holds no write interest while compute runs, and the client
             // deserves the interim response before the wait, not bundled
@@ -1560,8 +1821,39 @@ fn handle_request(
 enum Routed {
     /// Answered on the event loop without touching the compute pool.
     Inline(Response),
-    /// Admitted to the fair queue; a compute worker will post the reply.
-    Queued,
+    /// Admitted to the fair queue under the named billing tenant (`None`
+    /// for mixed-tenant batches); a compute worker will post the reply.
+    Queued(Option<String>),
+}
+
+/// The worker-side slice of one request's trace, riding its [`Job`]s: the
+/// ID (entered as the thread-local logging context while the job runs)
+/// and the span sink shared with the owning connection.
+#[derive(Clone)]
+struct RequestTrace {
+    id: TraceId,
+    recorder: Option<SharedRecorder>,
+}
+
+/// Parses the client's `x-rpg-trace-id` header: `Ok(None)` when absent,
+/// `Ok(Some(id))` for a well-formed ID. Anything else — wrong length,
+/// non-hex, the reserved all-zero ID — is a `400` naming the header,
+/// because silently substituting a minted ID would defeat the correlation
+/// the caller asked for.
+fn header_trace_id(request: &Request) -> Result<Option<TraceId>, Response> {
+    let Some(raw) = request.header("x-rpg-trace-id") else {
+        return Ok(None);
+    };
+    match TraceId::parse(raw.trim()) {
+        Some(id) => Ok(Some(id)),
+        None => Err(Response::json(
+            400,
+            error_body(&format!(
+                "invalid x-rpg-trace-id {raw:?}: expected exactly 32 hex \
+                 characters (and not all zero)"
+            )),
+        )),
+    }
 }
 
 /// The authenticated identity of one request, or `None` when the server
@@ -1612,19 +1904,26 @@ fn route(
     me: &Arc<LoopShared>,
     token: usize,
     cancel: &Arc<AtomicBool>,
+    trace: &RequestTrace,
 ) -> Routed {
     let principal = authenticate(request, shared);
     match (request.method.as_str(), request.path.as_str()) {
-        ("POST", "/v1/generate") => admit_generate(request, &principal, shared, me, token, cancel),
-        ("POST", "/v1/batch") => admit_batch(request, &principal, shared, me, token, cancel),
+        ("POST", "/v1/generate") => {
+            admit_generate(request, &principal, shared, me, token, cancel, trace)
+        }
+        ("POST", "/v1/batch") => admit_batch(request, &principal, shared, me, token, cancel, trace),
         ("GET", "/v1/healthz") => Routed::Inline(handle_healthz(shared)),
         ("GET", "/v1/stats") => Routed::Inline(handle_stats(shared)),
+        ("GET", "/metrics") => Routed::Inline(handle_metrics(shared)),
+        ("GET", "/v1/debug/requests") => Routed::Inline(
+            require_admin(&principal).unwrap_or_else(|| handle_debug_requests(shared)),
+        ),
         ("GET", "/v1/corpora") => Routed::Inline(
             require_key(&principal).unwrap_or_else(|| handle_corpora_list(shared, &principal)),
         ),
         ("POST", "/v1/admin/reload") => match require_admin(&principal) {
             Some(rejection) => Routed::Inline(rejection),
-            None => admit_reload(request, shared, me, token, cancel),
+            None => admit_reload(request, shared, me, token, cancel, trace),
         },
         (method, path) => {
             if let Some(tenant) = admin_tenant_target(path) {
@@ -1640,7 +1939,7 @@ fn route(
                 return match require_admin(&principal) {
                     Some(rejection) => Routed::Inline(rejection),
                     None if method == "POST" => {
-                        admit_refresh(tenant, request, shared, me, token, cancel)
+                        admit_refresh(tenant, request, shared, me, token, cancel, trace)
                     }
                     None => Routed::Inline(
                         Response::json(405, error_body("method not allowed"))
@@ -1660,7 +1959,7 @@ fn route(
                 return match method {
                     "PUT" => match require_admin(&principal) {
                         Some(rejection) => Routed::Inline(rejection),
-                        None => admit_put(tenant, request, shared, me, token, cancel),
+                        None => admit_put(tenant, request, shared, me, token, cancel, trace),
                     },
                     "DELETE" => Routed::Inline(
                         require_admin(&principal)
@@ -1677,7 +1976,11 @@ fn route(
                     Response::json(405, error_body("method not allowed"))
                         .with_header("allow", "POST")
                 }
-                (_, "/v1/healthz") | (_, "/v1/stats") | (_, "/v1/corpora") => {
+                (_, "/v1/healthz")
+                | (_, "/v1/stats")
+                | (_, "/v1/corpora")
+                | (_, "/metrics")
+                | (_, "/v1/debug/requests") => {
                     Response::json(405, error_body("method not allowed"))
                         .with_header("allow", "GET")
                 }
@@ -1763,6 +2066,7 @@ fn admit_generate(
     me: &Arc<LoopShared>,
     token: usize,
     cancel: &Arc<AtomicBool>,
+    trace: &RequestTrace,
 ) -> Routed {
     let dto: GenerateRequest = match parse_body(&request.body) {
         Ok(dto) => dto,
@@ -1799,7 +2103,7 @@ fn admit_generate(
     };
     let deadline = effective_deadline(header_ms, &tenant, shared);
     let work = Work::Generate(tenant.clone(), resolved);
-    submit(shared, &tenant, work, me, token, cancel, deadline)
+    submit(shared, &tenant, work, me, token, cancel, deadline, trace)
 }
 
 /// Admits a batch *per item*: every item is validated on the loop, billed
@@ -1815,6 +2119,7 @@ fn admit_batch(
     me: &Arc<LoopShared>,
     token: usize,
     cancel: &Arc<AtomicBool>,
+    trace: &RequestTrace,
 ) -> Routed {
     let batch: BatchRequest = match parse_body(&request.body) {
         Ok(batch) => batch,
@@ -1883,20 +2188,21 @@ fn admit_batch(
             lane: tenant.clone(),
             admitted_at: Instant::now(),
             deadline: effective_deadline(header_ms, &tenant, shared),
+            trace: trace.clone(),
         };
         match shared.requests.try_push(&tenant, job) {
             Ok(()) => {}
             Err(rejection) => {
                 let (status, message) = match &rejection {
                     Rejection::TenantFull(_) => {
-                        shared.counters.throttled.fetch_add(1, Ordering::Relaxed);
+                        shared.counters.throttled.inc();
                         (
                             429,
                             format!("tenant {tenant:?} is at capacity, retry after {retry_after}s"),
                         )
                     }
                     Rejection::QueueFull(_) => {
-                        shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                        shared.counters.rejected.inc();
                         (503, "server is at capacity, retry shortly".to_string())
                     }
                     Rejection::Closed(_) => (503, "server is shutting down".to_string()),
@@ -1910,8 +2216,9 @@ fn admit_batch(
     }
     // The assembly owns the batch's reply; once the last item fills (which
     // may already have happened, if everything was rejected inline) the
-    // assembled response travels the normal reply path.
-    Routed::Queued
+    // assembled response travels the normal reply path. A mixed-corpus
+    // batch has no single billing tenant for the exemplar record.
+    Routed::Queued(None)
 }
 
 /// Queues an artifact rebuild for one tenant, billed to that tenant.
@@ -1922,6 +2229,7 @@ fn admit_refresh(
     me: &Arc<LoopShared>,
     token: usize,
     cancel: &Arc<AtomicBool>,
+    trace: &RequestTrace,
 ) -> Routed {
     if !shared.registry.contains(tenant) {
         let e = registry_error(RegistryError::UnknownCorpus(tenant.to_string()));
@@ -1934,7 +2242,7 @@ fn admit_refresh(
     };
     let deadline = effective_deadline(header_ms, &tenant, shared);
     let work = Work::Refresh(tenant.clone());
-    submit(shared, &tenant, work, me, token, cancel, deadline)
+    submit(shared, &tenant, work, me, token, cancel, deadline, trace)
 }
 
 /// Queues a corpus-spec build-and-swap for one tenant (`PUT`), billed to
@@ -1946,6 +2254,7 @@ fn admit_put(
     me: &Arc<LoopShared>,
     token: usize,
     cancel: &Arc<AtomicBool>,
+    trace: &RequestTrace,
 ) -> Routed {
     if !valid_tenant_name(tenant) {
         return Routed::Inline(Response::json(
@@ -2053,7 +2362,7 @@ fn admit_put(
         name: tenant.to_string(),
         config: Box::new(config),
     };
-    submit(shared, tenant, work, me, token, cancel, deadline)
+    submit(shared, tenant, work, me, token, cancel, deadline, trace)
 }
 
 /// Queues a manifest re-read-and-apply, billed to the reserved admin lane.
@@ -2063,6 +2372,7 @@ fn admit_reload(
     me: &Arc<LoopShared>,
     token: usize,
     cancel: &Arc<AtomicBool>,
+    trace: &RequestTrace,
 ) -> Routed {
     if shared.config.manifest_path.is_none() {
         return Routed::Inline(Response::json(
@@ -2083,10 +2393,12 @@ fn admit_reload(
         token,
         cancel,
         deadline,
+        trace,
     )
 }
 
-/// The tenant's metrics cell, created on first touch.
+/// The tenant's metrics cell, created (and registered into the shared
+/// metrics registry, labelled with the tenant) on first touch.
 fn tenant_metrics(shared: &Shared, tenant: &str) -> Arc<TenantMetrics> {
     if let Some(metrics) = shared.metrics.read().unwrap().get(tenant) {
         return metrics.clone();
@@ -2096,7 +2408,7 @@ fn tenant_metrics(shared: &Shared, tenant: &str) -> Arc<TenantMetrics> {
         .write()
         .unwrap()
         .entry(tenant.to_string())
-        .or_default()
+        .or_insert_with(|| Arc::new(TenantMetrics::registered(&shared.obs, tenant)))
         .clone()
 }
 
@@ -2153,6 +2465,7 @@ fn effective_deadline(header_ms: Option<u64>, tenant: &str, shared: &Shared) -> 
 /// Offers work to the fair queue; turns per-tenant overflow into `429` and
 /// global overflow into `503`, both answered inline without a reply ever
 /// being owed.
+#[allow(clippy::too_many_arguments)]
 fn submit(
     shared: &Shared,
     tenant: &str,
@@ -2161,6 +2474,7 @@ fn submit(
     token: usize,
     cancel: &Arc<AtomicBool>,
     deadline: Option<Instant>,
+    trace: &RequestTrace,
 ) -> Routed {
     let job = Job {
         work,
@@ -2169,13 +2483,14 @@ fn submit(
         lane: tenant.to_string(),
         admitted_at: Instant::now(),
         deadline,
+        trace: trace.clone(),
     };
     let retry_after = shared.config.retry_after_secs.to_string();
     match shared.requests.try_push(tenant, job) {
-        Ok(()) => Routed::Queued,
+        Ok(()) => Routed::Queued(Some(tenant.to_string())),
         Err(Rejection::TenantFull(job)) => {
             cancel_reply(job);
-            shared.counters.throttled.fetch_add(1, Ordering::Relaxed);
+            shared.counters.throttled.inc();
             Routed::Inline(
                 Response::json(
                     429,
@@ -2186,7 +2501,7 @@ fn submit(
         }
         Err(Rejection::QueueFull(job)) => {
             cancel_reply(job);
-            shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            shared.counters.rejected.inc();
             Routed::Inline(
                 Response::json(503, error_body("server is at capacity, retry shortly"))
                     .with_header("retry-after", retry_after),
@@ -2239,9 +2554,43 @@ fn compute_loop(shared: &Shared) {
         let outcome = catch_unwind(AssertUnwindSafe(|| run_job(job, shared)));
         drop(guard);
         if outcome.is_err() {
-            eprintln!("[server] a compute job panicked past its pipeline guard; worker continues");
+            obs_log::error(
+                "server",
+                "a compute job panicked past its pipeline guard; worker continues",
+                &[],
+            );
         }
     }
+}
+
+/// Opens a root-level span on a request's recorder, returning the handle
+/// [`close_span`] needs. `None` when the trace carries no recorder (ring
+/// disabled) — span recording must cost nothing then.
+fn open_span(trace: &RequestTrace, name: &'static str) -> Option<(SharedRecorder, usize)> {
+    let recorder = trace.recorder.as_ref()?;
+    let index = recorder.lock().ok()?.open(None, name);
+    Some((recorder.clone(), index))
+}
+
+fn close_span(open: &Option<(SharedRecorder, usize)>) {
+    if let Some((recorder, index)) = open {
+        if let Ok(mut rec) = recorder.lock() {
+            rec.close(*index);
+        }
+    }
+}
+
+/// The pipeline-facing slice of a request's trace, with stage spans
+/// parented under the given span (the worker's `compute` span).
+fn stage_trace(
+    trace: &RequestTrace,
+    parent: &Option<(SharedRecorder, usize)>,
+) -> Option<StageTrace> {
+    let recorder = trace.recorder.as_ref()?;
+    Some(StageTrace {
+        recorder: recorder.clone(),
+        parent: parent.as_ref().map(|(_, index)| *index),
+    })
 }
 
 /// Fault-injection switches for the loopback test suite. Not part of the
@@ -2258,8 +2607,9 @@ pub mod test_hooks {
 
 /// Executes one popped job end to end: the cancellation and deadline gates
 /// first (a gone client or blown budget sheds the work before the pipeline
-/// runs), then the guarded compute, the reply, and the tenant's latency
-/// sample.
+/// runs), then the guarded compute, the tenant's latency sample, and the
+/// reply (sample first, so a client holding the response always finds it
+/// reflected in /metrics and /v1/stats).
 fn run_job(job: Job, shared: &Shared) {
     let Job {
         work,
@@ -2268,12 +2618,23 @@ fn run_job(job: Job, shared: &Shared) {
         lane,
         admitted_at,
         deadline,
+        trace,
     } = job;
+    // Everything logged while this job runs — by the server, the service
+    // layer, or the pipeline — carries the request's trace ID.
+    let _log_scope = obs_log::trace_scope(trace.id);
+    // Queue wait is the span from admission to this pop, whatever happens
+    // next (shed, cancel, or compute).
+    if let Some(recorder) = trace.recorder.as_ref() {
+        if let Ok(mut rec) = recorder.lock() {
+            rec.record(None, "queue_wait", admitted_at);
+        }
+    }
     let metrics = tenant_metrics(shared, &lane);
     let abandoned = cancelled.load(Ordering::SeqCst);
     let expired = !abandoned && deadline.is_some_and(|deadline| Instant::now() >= deadline);
     if expired {
-        metrics.shed.fetch_add(1, Ordering::Relaxed);
+        metrics.shed.inc();
     }
     match work {
         Work::BatchItem {
@@ -2283,7 +2644,7 @@ fn run_job(job: Job, shared: &Shared) {
         } => {
             if abandoned {
                 // Nobody can read the result; skip the pipeline run.
-                metrics.cancelled.fetch_add(1, Ordering::Relaxed);
+                metrics.cancelled.inc();
                 ticket.fill(item_error_value(500, "client disconnected"));
                 return;
             }
@@ -2297,8 +2658,10 @@ fn run_job(job: Job, shared: &Shared) {
             // A panic inside the pipeline must never take the worker
             // thread down with it — the item gets an error slot and the
             // worker lives on.
+            let compute = open_span(&trace, "compute");
+            let stage = stage_trace(&trace, &compute);
             let value = catch_unwind(AssertUnwindSafe(|| {
-                run_resolved(&corpus, &resolved, shared, deadline, &metrics)
+                run_resolved(&corpus, &resolved, shared, deadline, &metrics, stage)
             }))
             .unwrap_or_else(|_| {
                 Err(ApiError {
@@ -2306,11 +2669,15 @@ fn run_job(job: Job, shared: &Shared) {
                     message: "internal error".to_string(),
                 })
             });
+            close_span(&compute);
+            // The sample lands before the ticket is filled so a client that
+            // observes the response is guaranteed to observe the sample too
+            // (/v1/stats and /metrics stay consistent with what was served).
+            metrics.latency.record(admitted_at.elapsed());
             ticket.fill(match value {
                 Ok(value) => value,
                 Err(e) => item_error_value(e.status, &e.message),
             });
-            metrics.latency.record(admitted_at.elapsed());
         }
         work => {
             let reply = reply.expect("non-batch work carries a reply");
@@ -2318,7 +2685,7 @@ fn run_job(job: Job, shared: &Shared) {
                 // The reply is still delivered so the owning loop can
                 // free the connection's slot; the bytes are never
                 // written because the slot is marked abandoned.
-                metrics.cancelled.fetch_add(1, Ordering::Relaxed);
+                metrics.cancelled.inc();
                 reply.send(Response::json(500, error_body("client disconnected")));
                 return;
             }
@@ -2332,15 +2699,20 @@ fn run_job(job: Job, shared: &Shared) {
                 );
                 return;
             }
+            let compute = open_span(&trace, "compute");
+            let stage = stage_trace(&trace, &compute);
             let response = catch_unwind(AssertUnwindSafe(|| {
-                execute(&work, shared, deadline, &metrics)
+                execute(&work, shared, deadline, &metrics, stage)
             }))
             .unwrap_or_else(|_| Response::json(500, error_body("internal error")));
+            close_span(&compute);
+            // Sample before the send: once the client holds the response it
+            // must also find the sample in /metrics and /v1/stats.
+            metrics.latency.record(admitted_at.elapsed());
             reply.send(response);
             if test_hooks::PANIC_AFTER_REPLY.swap(false, Ordering::SeqCst) {
                 panic!("test hook: panic after reply");
             }
-            metrics.latency.record(admitted_at.elapsed());
         }
     }
 }
@@ -2350,10 +2722,11 @@ fn execute(
     shared: &Shared,
     deadline: Option<Instant>,
     metrics: &TenantMetrics,
+    stage: Option<StageTrace>,
 ) -> Response {
     match work {
         Work::Generate(corpus, resolved) => {
-            match run_resolved(corpus, resolved, shared, deadline, metrics) {
+            match run_resolved(corpus, resolved, shared, deadline, metrics, stage) {
                 Ok(value) => json_200(&value),
                 Err(e) => Response::json(e.status, e.body()),
             }
@@ -2426,6 +2799,16 @@ fn apply_tenant_tuning(shared: &Shared, name: &str, config: &TenantConfig) {
         }
     }
     drop(deadlines);
+    let mut trace_slow = shared.trace_slow.write().unwrap();
+    match config.trace_slow_ms {
+        Some(threshold) => {
+            trace_slow.insert(name.to_string(), threshold);
+        }
+        None => {
+            trace_slow.remove(name);
+        }
+    }
+    drop(trace_slow);
     if shared.config.auth_enabled {
         shared
             .auth
@@ -2458,6 +2841,18 @@ fn apply_manifest_to(shared: &Shared, manifest: &Manifest) -> Result<ManifestDif
         .iter()
         .filter_map(|(name, config)| config.deadline_ms.map(|d| (name.to_string(), d)))
         .collect();
+    *shared.trace_slow.write().unwrap() = manifest
+        .tenants_sorted()
+        .iter()
+        .filter_map(|(name, config)| config.trace_slow_ms.map(|t| (name.to_string(), t)))
+        .collect();
+    if let Some(level) = manifest.log_level.as_deref() {
+        // Validated by `Manifest::validate`, so parse can only fail if the
+        // manifest bypassed validation; keep the current level in that case.
+        if let Some(level) = obs_log::Level::parse(level) {
+            obs_log::set_level(level);
+        }
+    }
     for name in &diff.removed {
         shared.requests.retire(name);
     }
@@ -2507,17 +2902,18 @@ fn run_resolved(
     shared: &Shared,
     deadline: Option<Instant>,
     metrics: &TenantMetrics,
+    stage: Option<StageTrace>,
 ) -> Result<Value, ApiError> {
     let served = shared
         .registry
-        .generate_with_deadline(corpus, &resolved.as_path_request(), deadline)
+        .generate_observed(corpus, &resolved.as_path_request(), deadline, stage)
         .map_err(|e| {
             if matches!(e, RegistryError::Request(RepagerError::DeadlineExceeded)) {
                 // A mid-compute shed counts into the tenant's `shed` total
                 // (kept comparable with pre-compute sheds) plus its own
                 // distinguishing stat.
-                metrics.shed.fetch_add(1, Ordering::Relaxed);
-                metrics.shed_mid_compute.fetch_add(1, Ordering::Relaxed);
+                metrics.shed.inc();
+                metrics.shed_mid_compute.inc();
             }
             registry_error(e)
         })?;
@@ -2654,10 +3050,13 @@ fn handle_tenant_patch(tenant: &str, body: &[u8], shared: &Shared) -> Response {
         && patch.queue.is_none()
         && patch.inflight.is_none()
         && patch.deadline_ms.is_none()
+        && patch.trace_slow_ms.is_none()
     {
         return Response::json(
             400,
-            error_body("nothing to change: set weight, queue, inflight and/or deadline_ms"),
+            error_body(
+                "nothing to change: set weight, queue, inflight, deadline_ms and/or trace_slow_ms",
+            ),
         );
     }
     if let Some(weight) = patch.weight {
@@ -2675,6 +3074,14 @@ fn handle_tenant_patch(tenant: &str, body: &[u8], shared: &Shared) -> Response {
             .write()
             .unwrap()
             .insert(tenant.to_string(), budget);
+    }
+    if let Some(threshold) = patch.trace_slow_ms {
+        // 0 is legal: it means "capture an exemplar for every request".
+        shared
+            .trace_slow
+            .write()
+            .unwrap()
+            .insert(tenant.to_string(), threshold);
     }
     json_200(&Value::Object(vec![
         ("tenant".to_string(), Value::String(tenant.to_string())),
@@ -2702,6 +3109,15 @@ fn handle_tenant_patch(tenant: &str, body: &[u8], shared: &Shared) -> Response {
                 .get(tenant)
                 .map_or(Value::Null, |budget| Value::Number(*budget as f64)),
         ),
+        (
+            "trace_slow_ms".to_string(),
+            shared
+                .trace_slow
+                .read()
+                .unwrap()
+                .get(tenant)
+                .map_or(Value::Null, |threshold| Value::Number(*threshold as f64)),
+        ),
     ]))
 }
 
@@ -2727,7 +3143,8 @@ fn handle_stats(shared: &Shared) -> Response {
     let counters = &shared.counters;
     let cache = shared.registry.cache_stats();
     let aggregate = *counters.timings.lock().unwrap();
-    let count = |counter: &AtomicU64| Value::Number(counter.load(Ordering::Relaxed) as f64);
+    let count = |counter: &Counter| Value::Number(counter.get() as f64);
+    let handled = counters.ok.get() + counters.client_errors.get() + counters.server_errors.get();
     json_200(&Value::Object(vec![
         ("queue".to_string(), queue_value(shared)),
         (
@@ -2756,7 +3173,7 @@ fn handle_stats(shared: &Shared) -> Response {
         (
             "responses".to_string(),
             Value::Object(vec![
-                ("handled".to_string(), count(&counters.handled)),
+                ("handled".to_string(), Value::Number(handled as f64)),
                 ("ok".to_string(), count(&counters.ok)),
                 ("client_error".to_string(), count(&counters.client_errors)),
                 ("server_error".to_string(), count(&counters.server_errors)),
@@ -2783,6 +3200,91 @@ fn handle_stats(shared: &Shared) -> Response {
             ]),
         ),
         ("tenants".to_string(), tenants_value(shared)),
+    ]))
+}
+
+/// `GET /metrics`: the same registry `/v1/stats` reads, rendered as
+/// Prometheus text exposition 0.0.4. Sampled gauges (connection/queue/cache
+/// occupancy) are refreshed at scrape time so the scrape never waits on the
+/// hot path to push them.
+fn handle_metrics(shared: &Shared) -> Response {
+    let counters = &shared.counters;
+    counters
+        .open_connections
+        .set(shared.open_connections.load(Ordering::SeqCst) as i64);
+    counters.queue_depth.set(shared.requests.depth() as i64);
+    let cache = shared.registry.cache_stats();
+    counters.cache_hits.set(cache.hits);
+    counters.cache_misses.set(cache.misses);
+    counters.cache_entries.set(cache.entries as i64);
+    Response {
+        status: 200,
+        headers: vec![(
+            "content-type".to_string(),
+            "text/plain; version=0.0.4".to_string(),
+        )],
+        body: shared.obs.render().into_bytes(),
+    }
+}
+
+/// `GET /v1/debug/requests` (admin-gated): the slow-request exemplar ring,
+/// newest first, each entry carrying its full span tree.
+fn handle_debug_requests(shared: &Shared) -> Response {
+    let spans_value = |spans: &[Span]| {
+        Value::Array(
+            spans
+                .iter()
+                .map(|span| {
+                    Value::Object(vec![
+                        ("name".to_string(), Value::String(span.name.to_string())),
+                        (
+                            "start_us".to_string(),
+                            Value::Number(span.start.as_micros() as f64),
+                        ),
+                        (
+                            "duration_us".to_string(),
+                            Value::Number(span.duration.as_micros() as f64),
+                        ),
+                        (
+                            "parent".to_string(),
+                            span.parent
+                                .map_or(Value::Null, |parent| Value::Number(parent as f64)),
+                        ),
+                    ])
+                })
+                .collect(),
+        )
+    };
+    let requests: Vec<Value> = shared
+        .trace_log
+        .snapshot()
+        .iter()
+        .map(|record| {
+            Value::Object(vec![
+                ("trace_id".to_string(), Value::String(record.id.to_string())),
+                (
+                    "tenant".to_string(),
+                    record
+                        .tenant
+                        .as_ref()
+                        .map_or(Value::Null, |t| Value::String(t.clone())),
+                ),
+                ("status".to_string(), Value::Number(record.status as f64)),
+                (
+                    "latency_ms".to_string(),
+                    Value::Number(record.latency.as_secs_f64() * 1e3),
+                ),
+                ("unix_ms".to_string(), Value::Number(record.unix_ms as f64)),
+                ("spans".to_string(), spans_value(&record.spans)),
+            ])
+        })
+        .collect();
+    json_200(&Value::Object(vec![
+        (
+            "capacity".to_string(),
+            Value::Number(shared.trace_log.capacity() as f64),
+        ),
+        ("requests".to_string(), Value::Array(requests)),
     ]))
 }
 
@@ -2814,17 +3316,14 @@ fn tenants_value(shared: &Shared) -> Value {
                             ("p999".to_string(), ms(latency.quantile(0.999))),
                         ]),
                     ),
-                    (
-                        "shed".to_string(),
-                        Value::Number(tenant.shed.load(Ordering::Relaxed) as f64),
-                    ),
+                    ("shed".to_string(), Value::Number(tenant.shed.get() as f64)),
                     (
                         "shed_mid_compute".to_string(),
-                        Value::Number(tenant.shed_mid_compute.load(Ordering::Relaxed) as f64),
+                        Value::Number(tenant.shed_mid_compute.get() as f64),
                     ),
                     (
                         "cancelled".to_string(),
-                        Value::Number(tenant.cancelled.load(Ordering::Relaxed) as f64),
+                        Value::Number(tenant.cancelled.get() as f64),
                     ),
                     (
                         "in_flight".to_string(),
@@ -2872,7 +3371,7 @@ fn queue_value(shared: &Shared) -> Value {
         ),
         (
             "throttled_429".to_string(),
-            Value::Number(shared.counters.throttled.load(Ordering::Relaxed) as f64),
+            Value::Number(shared.counters.throttled.get() as f64),
         ),
         ("tenants".to_string(), Value::Object(tenants)),
     ])

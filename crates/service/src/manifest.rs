@@ -174,6 +174,11 @@ pub struct TenantConfig {
     /// Deadline budget in milliseconds (≥ 1): work of this tenant still
     /// queued past it is shed instead of computed.
     pub deadline_ms: Option<u64>,
+    /// Slow-request threshold in milliseconds for the trace exemplar ring:
+    /// only requests at least this slow are retained for
+    /// `GET /v1/debug/requests`. `0` retains every traced request; when
+    /// omitted the server default applies.
+    pub trace_slow_ms: Option<u64>,
     /// Marks this tenant as the one requests without a `corpus` field
     /// route to. At most one tenant may set it.
     pub default: Option<bool>,
@@ -234,6 +239,11 @@ pub struct Manifest {
     /// Salted-SHA-256 admin keys in `"<salt-hex>:<digest-hex>"` form, as
     /// minted by `rpg hash-key`; the manifest never holds the secret.
     pub admin_key_hashes: Option<Vec<String>>,
+    /// Structured-log level (`error`/`warn`/`info`/`debug`/`trace`);
+    /// applied at load and on every SIGHUP re-apply, so operators can swap
+    /// verbosity without a restart. The process default (or the
+    /// `--log-level` flag) applies when omitted.
+    pub log_level: Option<String>,
     /// Tenant name → tenant configuration.
     pub tenants: Option<HashMap<String, TenantConfig>>,
 }
@@ -292,6 +302,14 @@ impl Manifest {
     pub fn validate(&self) -> Result<(), ManifestError> {
         let mut seen_keys: HashMap<&str, String> = HashMap::new();
         let mut default_tenant: Option<String> = None;
+        if let Some(level) = self.log_level.as_deref() {
+            if rpg_obs::log::Level::parse(level).is_none() {
+                return Err(ManifestError::new(format!(
+                    "unknown log_level {level:?}; expected one of error, warn, \
+                     info, debug, trace"
+                )));
+            }
+        }
         for key in self.admin().iter().chain(self.admin_hashed()) {
             if key.is_empty() {
                 return Err(ManifestError::new("admin keys must be non-empty"));

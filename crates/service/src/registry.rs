@@ -117,9 +117,14 @@ fn artifacts_for_spec(
     if let Some(path) = &spec.snapshot {
         match crate::snapshot::try_load(path, crate::snapshot::spec_fingerprint(spec)) {
             Ok(artifacts) => return Ok(artifacts),
-            Err(e) => eprintln!(
-                "[registry] tenant {name:?}: snapshot {path:?} unusable ({e}); \
-                 rebuilding from spec"
+            Err(e) => rpg_obs::log::warn(
+                "registry",
+                "snapshot unusable; rebuilding from spec",
+                &[
+                    ("tenant", name),
+                    ("snapshot", path),
+                    ("cause", &e.to_string()),
+                ],
             ),
         }
     }
@@ -385,9 +390,14 @@ impl CorpusRegistry {
                 match crate::snapshot::try_load(path, crate::snapshot::spec_fingerprint(spec)) {
                     Ok(artifacts) => Some(artifacts),
                     Err(e) => {
-                        eprintln!(
-                            "[registry] tenant {name:?}: snapshot {path:?} unusable ({e}); \
-                             rebuilding in place"
+                        rpg_obs::log::warn(
+                            "registry",
+                            "snapshot unusable; rebuilding in place",
+                            &[
+                                ("tenant", name),
+                                ("snapshot", path),
+                                ("cause", &e.to_string()),
+                            ],
                         );
                         None
                     }
@@ -593,6 +603,20 @@ impl CorpusRegistry {
         request: &PathRequest<'_>,
         deadline: Option<std::time::Instant>,
     ) -> Result<Served, RegistryError> {
+        self.generate_observed(corpus, request, deadline, None)
+    }
+
+    /// As [`CorpusRegistry::generate_with_deadline`], additionally arming
+    /// the pipeline's span recorder: a fresh run records one span per
+    /// stage into `trace`, a cache hit records a single `cache_hit` span.
+    pub fn generate_observed(
+        &self,
+        corpus: &str,
+        request: &PathRequest<'_>,
+        deadline: Option<std::time::Instant>,
+        trace: Option<rpg_obs::trace::StageTrace>,
+    ) -> Result<Served, RegistryError> {
+        let lookup_started = std::time::Instant::now();
         let (artifacts, epoch) = {
             let tenants = self.tenants.read().unwrap();
             let tenant = tenants
@@ -606,6 +630,9 @@ impl CorpusRegistry {
         };
         if let Some(hit) = self.cache.lock().unwrap().get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            if let Some(trace) = &trace {
+                trace.record("cache_hit", lookup_started);
+            }
             return Ok(Served {
                 output: hit,
                 cached: true,
@@ -613,6 +640,7 @@ impl CorpusRegistry {
         }
         let output = crate::with_thread_scratch(|scratch| {
             scratch.set_deadline(deadline);
+            scratch.set_trace(trace);
             let output = serve_request(
                 artifacts.corpus(),
                 artifacts.scholar(),
@@ -621,9 +649,10 @@ impl CorpusRegistry {
                 scratch,
             );
             // Disarm before the scratch outlives this request — the
-            // thread-local scratch serves unrelated (deadline-less)
-            // requests next.
+            // thread-local scratch serves unrelated (deadline-less,
+            // untraced) requests next.
             scratch.set_deadline(None);
+            scratch.set_trace(None);
             output
         })?;
         self.misses.fetch_add(1, Ordering::Relaxed);
@@ -919,6 +948,7 @@ mod tests {
         Manifest {
             admin_keys: None,
             admin_key_hashes: None,
+            log_level: None,
             tenants: Some(map),
         }
     }

@@ -116,7 +116,7 @@ fn usage() -> String {
         "            [--max-connections N] [--keep-alive on|off] [--max-requests-per-conn N]",
         "            [--idle-timeout-ms N] [--tenant-queue N] [--tenant-weight NAME=W]...",
         "            [--default-deadline-ms N] [--io-backend auto|poll|epoll]",
-        "            [--manifest FILE] [--auth on|off] [--full-corpus]",
+        "            [--manifest FILE] [--auth on|off] [--log-level LEVEL] [--full-corpus]",
         "  rpg bench [--json FILE] [--label TEXT] [--smoke] [--load] [--check BASELINE]",
         "            [--max-regression X]",
         "  rpg snapshot build --manifest FILE --out DIR",
@@ -162,6 +162,10 @@ fn usage() -> String {
         "      --io-backend <auto|poll|epoll> readiness backend of the event loops (default",
         "                                    auto: edge-triggered epoll on Linux, portable",
         "                                    poll(2) elsewhere); shown in /v1/stats",
+        "      --log-level <LEVEL>           minimum level of the JSON line logs on stderr:",
+        "                                    error|warn|info|debug|trace (default info). The",
+        "                                    manifest's log_level applies when the flag is",
+        "                                    omitted, and reloads re-apply the manifest's level",
         "",
         "BENCH OPTIONS:",
         "      --json <FILE>    write the machine-readable report (rpg-bench-report/v1)",
@@ -198,6 +202,7 @@ struct ServeOptions {
     manifest: Option<String>,
     auth: bool,
     corpus_scale: CorpusScale,
+    log_level: Option<rpg_obs::log::Level>,
 }
 
 impl Default for ServeOptions {
@@ -220,6 +225,7 @@ impl Default for ServeOptions {
             manifest: None,
             auth: false,
             corpus_scale: CorpusScale::Small,
+            log_level: None,
         }
     }
 }
@@ -314,6 +320,12 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
                     .map_err(|e| format!("--io-backend: {e}"))?;
             }
             "--manifest" => options.manifest = Some(value_of("--manifest")?),
+            "--log-level" => {
+                let spec = value_of("--log-level")?;
+                options.log_level = Some(rpg_obs::log::Level::parse(&spec).ok_or_else(|| {
+                    format!("--log-level expects error|warn|info|debug|trace, got '{spec}'")
+                })?);
+            }
             "--auth" => {
                 options.auth = match value_of("--auth")?.as_str() {
                     "on" | "true" | "1" => true,
@@ -395,6 +407,17 @@ fn start_server(options: &ServeOptions) -> Result<Server, String> {
             registry
                 .apply_manifest(&manifest)
                 .map_err(|e| format!("cannot build manifest tenants: {e}"))?;
+            if options.log_level.is_none() {
+                // The manifest's level applies unless --log-level overrides
+                // it; reloads re-apply the manifest's level either way.
+                if let Some(level) = manifest
+                    .log_level
+                    .as_deref()
+                    .and_then(rpg_obs::log::Level::parse)
+                {
+                    rpg_obs::log::set_level(level);
+                }
+            }
             config = config.with_manifest(&manifest);
         }
         None => {
@@ -402,6 +425,9 @@ fn start_server(options: &ServeOptions) -> Result<Server, String> {
                 .register("default", build_corpus(options.corpus_scale))
                 .map_err(|e| format!("cannot build corpus artifacts: {e}"))?;
         }
+    }
+    if let Some(level) = options.log_level {
+        rpg_obs::log::set_level(level);
     }
     Server::spawn(registry, config).map_err(|e| format!("cannot bind {}: {e}", options.addr))
 }
@@ -905,6 +931,7 @@ mod tests {
         assert!(options.tenant_queue >= 1);
         assert!(options.tenant_weights.is_empty());
         assert_eq!(options.corpus_scale, CorpusScale::Small);
+        assert_eq!(options.log_level, None, "inherit the logger's default");
     }
 
     #[test]
@@ -934,6 +961,8 @@ mod tests {
             "gold=4",
             "--tenant-weight",
             "silver=2",
+            "--log-level",
+            "debug",
             "--full-corpus",
         ]))
         .unwrap();
@@ -952,7 +981,10 @@ mod tests {
             vec![("gold".to_string(), 4), ("silver".to_string(), 2)]
         );
         assert_eq!(options.corpus_scale, CorpusScale::Default);
+        assert_eq!(options.log_level, Some(rpg_obs::log::Level::Debug));
         assert!(parse_serve_args(&args(&["--workers", "0"])).is_err());
+        assert!(parse_serve_args(&args(&["--log-level", "loud"])).is_err());
+        assert!(parse_serve_args(&args(&["--log-level"])).is_err());
         assert!(parse_serve_args(&args(&["--drivers", "0"])).is_err());
         assert!(parse_serve_args(&args(&["--max-connections", "0"])).is_err());
         assert!(parse_serve_args(&args(&["--queue", "0"])).is_err());

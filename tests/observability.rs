@@ -1,0 +1,351 @@
+//! Loopback coverage of the observability layer: the `x-rpg-trace-id`
+//! contract (echo on every response class, minting, 400 on malformed IDs),
+//! the slow-request exemplar ring behind `GET /v1/debug/requests` with its
+//! full span tree, and the `/metrics` Prometheus exposition — linted by the
+//! in-repo checker and cross-checked against `/v1/stats`, which reads the
+//! same registry atomics.
+
+mod common;
+
+use common::{
+    demo_queries, demo_registry, demo_registry_without_cache, generate_body, get_with_key,
+    post_json_with_key, request_with_key, spawn, spawn_manifest_server, spawn_with, tenant_query,
+    ADMIN_KEY, ALPHA_KEY,
+};
+use rpg_server::client::{self, ClientResponse};
+use serde_json::Value;
+
+/// A caller-supplied trace ID (32 lowercase hex chars, not all zero).
+const TRACE_ID: &str = "4bf92f3577b34da6a3ce929d0e0e4736";
+
+fn parse_json(response: &ClientResponse) -> Value {
+    serde_json::from_str(&response.body)
+        .unwrap_or_else(|e| panic!("body is JSON ({e:?}): {}", response.body))
+}
+
+/// Extracts the value of one exposition sample line, e.g.
+/// `sample_value(text, "rpg_responses_total{class=\"2xx\"}")`.
+fn sample_value(exposition: &str, series: &str) -> Option<f64> {
+    exposition.lines().find_map(|line| {
+        let rest = line.strip_prefix(series)?;
+        rest.trim().parse().ok()
+    })
+}
+
+#[test]
+fn responses_echo_the_supplied_trace_id() {
+    let server = spawn(demo_registry(), 2, 16);
+    let (query, year) = demo_queries(1).remove(0);
+    let response = client::request_with(
+        server.addr(),
+        "POST",
+        "/v1/generate",
+        Some(&generate_body(&query, year, 10)),
+        &[("x-rpg-trace-id", TRACE_ID)],
+    )
+    .unwrap();
+    assert_eq!(response.status, 200);
+    assert_eq!(response.header("x-rpg-trace-id"), Some(TRACE_ID));
+}
+
+#[test]
+fn responses_without_the_header_get_a_minted_trace_id() {
+    let server = spawn(demo_registry(), 2, 16);
+    let response = client::get(server.addr(), "/v1/healthz").unwrap();
+    assert_eq!(response.status, 200);
+    let id = response
+        .header("x-rpg-trace-id")
+        .expect("every response carries a trace ID");
+    assert_eq!(id.len(), 32, "minted ID is 32 hex chars: {id:?}");
+    assert!(id
+        .chars()
+        .all(|c| c.is_ascii_hexdigit() && !c.is_ascii_uppercase()));
+    assert!(id.chars().any(|c| c != '0'), "minted ID is never all-zero");
+}
+
+#[test]
+fn error_responses_echo_the_trace_id_too() {
+    let server = spawn(demo_registry(), 2, 16);
+    // 404: unknown route.
+    let response = client::request_with(
+        server.addr(),
+        "GET",
+        "/v1/no-such-endpoint",
+        None,
+        &[("x-rpg-trace-id", TRACE_ID)],
+    )
+    .unwrap();
+    assert_eq!(response.status, 404);
+    assert_eq!(response.header("x-rpg-trace-id"), Some(TRACE_ID));
+    // 400: unparseable body.
+    let response = client::request_with(
+        server.addr(),
+        "POST",
+        "/v1/generate",
+        Some("{not json"),
+        &[("x-rpg-trace-id", TRACE_ID)],
+    )
+    .unwrap();
+    assert_eq!(response.status, 400);
+    assert_eq!(response.header("x-rpg-trace-id"), Some(TRACE_ID));
+}
+
+#[test]
+fn malformed_trace_ids_get_a_400_naming_the_header() {
+    let server = spawn(demo_registry(), 2, 16);
+    let long = "a".repeat(33);
+    let zero = "0".repeat(32);
+    for bad in ["zz", "1234", long.as_str(), zero.as_str()] {
+        let response = client::request_with(
+            server.addr(),
+            "GET",
+            "/v1/healthz",
+            None,
+            &[("x-rpg-trace-id", bad)],
+        )
+        .unwrap();
+        assert_eq!(response.status, 400, "trace id {bad:?}");
+        assert!(
+            response.body.contains("x-rpg-trace-id"),
+            "400 body names the offending header: {}",
+            response.body
+        );
+        // The reject itself still carries a (minted) trace ID so the
+        // failure is correlatable.
+        let minted = response.header("x-rpg-trace-id").expect("minted trace ID");
+        assert_eq!(minted.len(), 32);
+        assert_ne!(minted, bad);
+    }
+}
+
+#[test]
+fn rejector_503s_echo_the_supplied_trace_id() {
+    // One allowed connection; the second one lands on the rejector thread,
+    // which sniffs the request head for the trace header before answering.
+    let server = spawn_with(demo_registry(), |config| {
+        config.max_connections = 1;
+        // The occupant must stay open after its exchange regardless of the
+        // ambient suite-wide connection mode.
+        config.keep_alive = true;
+    });
+    let mut occupant = client::Conn::connect(server.addr()).unwrap();
+    assert_eq!(occupant.get("/v1/healthz").unwrap().status, 200);
+    let rejected = client::request_with(
+        server.addr(),
+        "GET",
+        "/v1/healthz",
+        None,
+        &[("x-rpg-trace-id", TRACE_ID)],
+    )
+    .unwrap();
+    assert_eq!(rejected.status, 503);
+    assert_eq!(rejected.header("x-rpg-trace-id"), Some(TRACE_ID));
+    drop(occupant);
+}
+
+#[test]
+fn metrics_exposition_is_lint_clean_and_agrees_with_stats() {
+    let server = spawn(demo_registry(), 2, 16);
+    let (query, year) = demo_queries(1).remove(0);
+    for _ in 0..3 {
+        let response = client::post_json(
+            server.addr(),
+            "/v1/generate",
+            &generate_body(&query, year, 10),
+        )
+        .unwrap();
+        assert_eq!(response.status, 200);
+    }
+    assert_eq!(client::get(server.addr(), "/v1/nope").unwrap().status, 404);
+
+    let stats = parse_json(&client::get(server.addr(), "/v1/stats").unwrap());
+    let scrape = client::get(server.addr(), "/metrics").unwrap();
+    assert_eq!(scrape.status, 200);
+    assert!(
+        scrape
+            .header("content-type")
+            .is_some_and(|ct| ct.starts_with("text/plain")),
+        "exposition content type: {:?}",
+        scrape.header("content-type")
+    );
+    let problems = rpg_obs::promlint::lint(&scrape.body);
+    assert!(problems.is_empty(), "exposition lint: {problems:?}");
+
+    // `/metrics` and `/v1/stats` read the very same registry atomics; the
+    // only drift between the two reads is the `/v1/stats` exchange itself
+    // (one more 2xx by scrape time).
+    let responses = stats.get("responses").expect("responses section");
+    let stats_ok = responses.get("ok").and_then(Value::as_f64).unwrap();
+    let stats_4xx = responses
+        .get("client_error")
+        .and_then(Value::as_f64)
+        .unwrap();
+    let metric_2xx = sample_value(&scrape.body, "rpg_responses_total{class=\"2xx\"}")
+        .expect("2xx series rendered");
+    let metric_4xx = sample_value(&scrape.body, "rpg_responses_total{class=\"4xx\"}")
+        .expect("4xx series rendered");
+    assert_eq!(metric_2xx, stats_ok + 1.0);
+    assert_eq!(metric_4xx, stats_4xx);
+    // The per-tenant latency histogram covers the generate requests.
+    let latency_count = sample_value(
+        &scrape.body,
+        "rpg_request_latency_seconds_count{tenant=\"default\"}",
+    )
+    .expect("latency histogram rendered");
+    assert_eq!(latency_count, 3.0);
+}
+
+#[test]
+fn debug_requests_resolve_a_trace_with_its_full_span_tree() {
+    // Default config: slow threshold 0 ms retains an exemplar for every
+    // request. Cache is disabled so the pipeline (and its stage spans)
+    // actually runs.
+    let server = spawn(demo_registry_without_cache(), 2, 16);
+    let (query, year) = demo_queries(1).remove(0);
+    let response = client::request_with(
+        server.addr(),
+        "POST",
+        "/v1/generate",
+        Some(&generate_body(&query, year, 10)),
+        &[("x-rpg-trace-id", TRACE_ID)],
+    )
+    .unwrap();
+    assert_eq!(response.status, 200);
+
+    let debug = client::get(server.addr(), "/v1/debug/requests").unwrap();
+    assert_eq!(debug.status, 200);
+    let body = parse_json(&debug);
+    let requests = body
+        .get("requests")
+        .and_then(Value::as_array)
+        .expect("requests array");
+    let record = requests
+        .iter()
+        .find(|r| r.get("trace_id").and_then(Value::as_str) == Some(TRACE_ID))
+        .unwrap_or_else(|| panic!("trace {TRACE_ID} resolvable in {}", debug.body));
+    assert_eq!(record.get("status").and_then(Value::as_f64), Some(200.0));
+    assert_eq!(
+        record.get("tenant").and_then(Value::as_str),
+        Some("default")
+    );
+    assert!(record.get("latency_ms").and_then(Value::as_f64).unwrap() >= 0.0);
+
+    let spans = record
+        .get("spans")
+        .and_then(Value::as_array)
+        .expect("span tree");
+    let names: Vec<&str> = spans
+        .iter()
+        .filter_map(|s| s.get("name").and_then(Value::as_str))
+        .collect();
+    for expected in [
+        "queue_wait",
+        "compute",
+        "stage:seed",
+        "stage:subgraph",
+        "stage:realloc",
+        "stage:steiner",
+        "stage:render",
+        "response_write",
+    ] {
+        assert!(
+            names.contains(&expected),
+            "span {expected:?} missing from {names:?}"
+        );
+    }
+    // The stage spans are parented under `compute`.
+    let compute_index = spans
+        .iter()
+        .position(|s| s.get("name").and_then(Value::as_str) == Some("compute"))
+        .unwrap();
+    let seed = spans
+        .iter()
+        .find(|s| s.get("name").and_then(Value::as_str) == Some("stage:seed"))
+        .unwrap();
+    assert_eq!(
+        seed.get("parent").and_then(Value::as_f64),
+        Some(compute_index as f64)
+    );
+}
+
+#[test]
+fn debug_requests_are_admin_gated_but_metrics_are_not() {
+    let server = spawn_manifest_server(|_| {});
+    // /metrics stays an open scrape target even with auth on.
+    assert_eq!(client::get(server.addr(), "/metrics").unwrap().status, 200);
+    // The exemplar ring (queries, latencies per tenant) is admin-only.
+    let anonymous = client::get(server.addr(), "/v1/debug/requests").unwrap();
+    assert_eq!(anonymous.status, 401);
+    let tenant = get_with_key(server.addr(), "/v1/debug/requests", ALPHA_KEY).unwrap();
+    assert_eq!(tenant.status, 403);
+    let admin = get_with_key(server.addr(), "/v1/debug/requests", ADMIN_KEY).unwrap();
+    assert_eq!(admin.status, 200);
+    assert!(parse_json(&admin)
+        .get("requests")
+        .and_then(Value::as_array)
+        .is_some());
+}
+
+#[test]
+fn tenant_trace_threshold_is_patchable_at_runtime() {
+    let server = spawn_manifest_server(|_| {});
+    // A high threshold suppresses exemplars for alpha...
+    let response = request_with_key(
+        server.addr(),
+        "PATCH",
+        "/v1/admin/tenants/alpha",
+        Some(r#"{"trace_slow_ms": 60000}"#),
+        Some(ADMIN_KEY),
+    )
+    .unwrap();
+    assert_eq!(response.status, 200, "{}", response.body);
+    assert_eq!(
+        parse_json(&response)
+            .get("trace_slow_ms")
+            .and_then(Value::as_f64),
+        Some(60000.0)
+    );
+
+    let (query, year) = tenant_query(&server, "alpha");
+    let generate = post_json_with_key(
+        server.addr(),
+        "/v1/generate",
+        &generate_body(&query, year, 10),
+        ALPHA_KEY,
+    )
+    .unwrap();
+    assert_eq!(generate.status, 200);
+    let trace_id = generate.header("x-rpg-trace-id").unwrap().to_string();
+    let debug = get_with_key(server.addr(), "/v1/debug/requests", ADMIN_KEY).unwrap();
+    assert!(
+        !debug.body.contains(&trace_id),
+        "sub-threshold request retained an exemplar: {}",
+        debug.body
+    );
+
+    // ...and patching it back to 0 retains every request again.
+    let response = request_with_key(
+        server.addr(),
+        "PATCH",
+        "/v1/admin/tenants/alpha",
+        Some(r#"{"trace_slow_ms": 0}"#),
+        Some(ADMIN_KEY),
+    )
+    .unwrap();
+    assert_eq!(response.status, 200, "{}", response.body);
+    let generate = post_json_with_key(
+        server.addr(),
+        "/v1/generate",
+        &generate_body(&query, year, 10),
+        ALPHA_KEY,
+    )
+    .unwrap();
+    assert_eq!(generate.status, 200);
+    let trace_id = generate.header("x-rpg-trace-id").unwrap().to_string();
+    let debug = get_with_key(server.addr(), "/v1/debug/requests", ADMIN_KEY).unwrap();
+    assert!(
+        debug.body.contains(&trace_id),
+        "zero-threshold request missing from the ring: {}",
+        debug.body
+    );
+}
